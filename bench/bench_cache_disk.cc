@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment E15 (extension of paper §5.4): the cache-disk hierarchy.
+ *
+ * "We could use two disks, each with a different platter size.  The larger
+ * disk, due to its thermal limitations, would have a lower IDR than the
+ * smaller one ... allows the smaller disk to serve as a cache for the
+ * larger one."  Both members run at their own envelope-limited speeds; a
+ * skewed workload is compared on the big disk alone vs the hierarchy.
+ *
+ * Usage: bench_cache_disk [requests] [--csv dir]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sim/hybrid.h"
+#include "thermal/envelope.h"
+#include "trace/synth.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    std::size_t requests = 30000;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_dir = argv[++i];
+        } else {
+            requests = std::size_t(std::atoll(argv[i]));
+        }
+    }
+
+    // Envelope-limited speeds for the two members: a 4-platter 2.6"
+    // capacity drive (with the roadmap's per-count cooling budget) and a
+    // single small 1.6" platter, which thermals allow to spin far faster.
+    auto envelope_rpm = [](double diameter, int platters) {
+        thermal::DriveThermalConfig cfg;
+        cfg.geometry.diameterInches = diameter;
+        cfg.geometry.platters = platters;
+        cfg.coolingScale = thermal::coolingScaleForPlatters(platters);
+        cfg.rpm = 10000.0;
+        return thermal::maxRpmWithinEnvelope(cfg);
+    };
+    const double big_rpm = envelope_rpm(2.6, 4);
+    const double small_rpm = envelope_rpm(1.6, 1);
+
+    sim::HybridConfig cfg;
+    cfg.primary.geometry.diameterInches = 2.6;
+    cfg.primary.geometry.platters = 4;
+    cfg.primary.tech = {533e3, 64e3};
+    cfg.primary.rpm = big_rpm;
+    cfg.cacheDisk.geometry.diameterInches = 1.6;
+    cfg.cacheDisk.tech = {533e3, 64e3};
+    cfg.cacheDisk.rpm = small_rpm;
+    cfg.extentSectors = 512; // 256 KB promotion extents
+
+    std::cout << "Cache-disk hierarchy (paper §5.4): 4-platter 2.6\" "
+                 "primary at "
+              << util::TableWriter::num(big_rpm, 0)
+              << " RPM fronted by a 1.6\" cache disk at "
+              << util::TableWriter::num(small_rpm, 0)
+              << " RPM (both at their thermal envelopes)\n\n";
+
+    trace::WorkloadSpec spec;
+    spec.name = "skewed-read";
+    spec.devices = 1;
+    spec.requests = requests;
+    spec.arrivalRatePerSec = 110.0;
+    spec.readFraction = 0.90;
+    spec.meanSectors = 16;
+    spec.sequentialFraction = 0.2;
+    spec.regions = 512;
+    spec.zipfTheta = 1.1; // hot set -> cacheable working set
+    spec.seed = 0xCD;
+
+    sim::HybridSystem probe(cfg);
+    const trace::SyntheticWorkload gen(spec);
+    const auto workload =
+        gen.generate(probe.primary().totalSectors()).toRequests();
+
+    util::TableWriter table({"Configuration", "mean ms", "p95 ms",
+                             "hit ratio", "promotions"});
+
+    // Baseline: the large disk alone (promotion disabled, so the cache
+    // member never serves data).
+    {
+        sim::HybridConfig alone = cfg;
+        alone.promoteOnMiss = false;
+        sim::HybridSystem sys(alone);
+        const auto metrics = sys.run(workload);
+        table.addRow({"2.6\" x4 primary alone",
+                      util::TableWriter::num(metrics.meanMs()),
+                      util::TableWriter::num(
+                          metrics.histogram().quantile(0.95), 1),
+                      "-", "-"});
+    }
+    // The hierarchy.
+    {
+        sim::HybridSystem sys(cfg);
+        const auto metrics = sys.run(workload);
+        table.addRow({"hierarchy (1.6\" cache disk)",
+                      util::TableWriter::num(metrics.meanMs()),
+                      util::TableWriter::num(
+                          metrics.histogram().quantile(0.95), 1),
+                      util::TableWriter::num(sys.stats().hitRatio(), 3),
+                      util::TableWriter::num(
+                          (long long)sys.stats().promotions)});
+    }
+    table.print(std::cout);
+    std::cout << "\nboth configurations respect the 45.22 C envelope; the "
+                 "hierarchy converts the small platter's thermal headroom "
+                 "into lower service times on the hot set\n";
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/cache_disk.csv");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment E12 — DTM co-simulation (the §5 headline made closed-loop):
+ * 2.6" drives designed for average-case behaviour run above the
+ * envelope-design speed of 15,020 RPM under the Search-Engine workload,
+ * while the closed-loop throttler keeps the internal air inside the
+ * 45.22 C envelope.  The paper's claim: the 5-15K RPM bought by DTM
+ * improves response times 30-60%.
+ *
+ * The final row runs the very aggressive 37,001/22,001 two-speed design.
+ * Because its VCM-off temperature still exceeds the envelope at full
+ * speed, it can only serve sub-second bursts (Figure 7(b)); under a
+ * sustained workload the gate thrashes and the queue grows without
+ * bound — precisely the paper's observation that keeping utilization
+ * above 50% needs sub-second throttling granularity.
+ *
+ * Usage: bench_dtm_cosim [requests] [--csv dir]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/scenarios.h"
+#include "dtm/cosim.h"
+#include "thermal/reliability.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+    std::size_t requests = 150000;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_dir = argv[++i];
+        } else {
+            requests = std::size_t(std::atoll(argv[i]));
+        }
+    }
+
+    // The Search-Engine array rebuilt from 2.6" average-case drives.  The
+    // DTM headroom exists because typical operation keeps the VCM duty
+    // well below the worst-case 100% the envelope was designed for
+    // (paper §5.2).  Multi-speed transitions are the idealized fast ones
+    // the throttling analysis assumes.
+    auto scenario = core::figure4Scenario("Search-Engine", requests);
+    scenario.system.disk.geometry.diameterInches = 2.6;
+    scenario.system.disk.geometry.platters = 1;
+    scenario.workload.arrivalRatePerSec = 600.0;
+    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
+
+    auto trace = [&scenario] {
+        const trace::SyntheticWorkload gen(scenario.workload);
+        const sim::StorageSystem probe(scenario.system);
+        return gen.generate(probe.logicalSectors()).toRequests();
+    }();
+
+    struct Case
+    {
+        const char* label;
+        double rpm;
+        dtm::DtmPolicy policy;
+        double lowRpm;
+    };
+    const Case cases[] = {
+        {"envelope design, 15,020 RPM", 15020.0, dtm::DtmPolicy::None,
+         0.0},
+        {"average-case 24,534 RPM, no DTM guard", 24534.0,
+         dtm::DtmPolicy::None, 0.0},
+        {"average-case 24,534 RPM + gate-VCM DTM", 24534.0,
+         dtm::DtmPolicy::GateRequests, 0.0},
+        {"average-case 24,534 RPM + speed governor", 24534.0,
+         dtm::DtmPolicy::GovernSpeed, 0.0},
+        {"aggressive 37,001/22,001 RPM + gate+low-RPM DTM", 37001.0,
+         dtm::DtmPolicy::GateAndLowRpm, 22001.0},
+    };
+
+    std::cout << "DTM co-simulation: Search-Engine workload on 2.6\" "
+                 "1-platter drives, " << requests << " requests\n"
+              << "(thermal envelope " << thermal::kThermalEnvelopeC
+              << " C; temperatures from the calibrated drive model)\n\n";
+
+    util::TableWriter table({"Configuration", "mean ms", "vs envelope",
+                             "max temp C", ">envelope s", "gated s",
+                             "gates", "VCM duty", "AFR factor"});
+    double baseline_mean = 0.0;
+    for (const auto& c : cases) {
+        dtm::CoSimConfig cfg;
+        cfg.system = scenario.system;
+        cfg.system.disk.rpm = c.rpm;
+        cfg.policy = c.policy;
+        cfg.lowRpm = c.lowRpm;
+        if (c.policy == dtm::DtmPolicy::GovernSpeed) {
+            cfg.rpmLadder = {15020.0, 18000.0, 21000.0, 24534.0};
+        }
+        // Report steady behaviour: the first third of the run warms the
+        // slow thermal state into each policy's operating point.
+        cfg.warmupFraction = 0.35;
+        cfg.maxSimulatedSec = 600.0; // cap runaway (thrashing) cases
+        dtm::CoSimulation cosim(cfg);
+        const auto result = cosim.run(trace);
+        if (baseline_mean == 0.0)
+            baseline_mean = result.metrics.meanMs();
+
+        const bool finished = result.simulatedSec < cfg.maxSimulatedSec;
+        const std::string mean =
+            finished ? util::TableWriter::num(result.metrics.meanMs())
+                     : "(unsustainable)";
+        const std::string gain =
+            finished ? util::TableWriter::num(
+                           100.0 * (1.0 - result.metrics.meanMs() /
+                                              baseline_mean),
+                           1) + "%"
+                     : "-";
+        table.addRow(
+            {c.label, mean, gain,
+             util::TableWriter::num(result.maxTempC),
+             util::TableWriter::num(result.envelopeExceededSec, 1),
+             util::TableWriter::num(result.gatedSec, 1),
+             util::TableWriter::num((long long)result.gateEvents),
+             util::TableWriter::num(result.meanVcmDuty, 3),
+             util::TableWriter::num(
+                 thermal::failureRateFactor(result.meanTempC), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: +10K RPM worth of DTM headroom improves "
+                 "response times 30-60%; two-speed designs whose VCM-off\n"
+                 "temperature still violates the envelope need sub-second "
+                 "throttling granularity (Fig. 7) and thrash here.\n"
+                 "AFR factor: relative failure rate at the mean operating "
+                 "temperature (x2 per +15 C, paper §1)\n";
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/dtm_cosim.csv");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment E2 — paper Figure 1: thermal transient of the modeled
+ * Seagate Cheetah 15K.3 from a 28 °C cold start (VCM and SPM always on).
+ * The paper reports ~33 °C after the first minute and a 45.22 °C steady
+ * state reached after about 48 minutes.
+ *
+ * Usage: bench_fig1_transient [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "thermal/drive_thermal.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    thermal::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = 1;
+    cfg.rpm = thermal::kEnvelopeRpm26;
+    thermal::DriveThermalModel model(cfg);
+    model.reset(28.0);
+
+    const double steady = model.steadyAirTempC();
+    std::cout << "Figure 1: Cheetah 15K.3 warm-up transient "
+                 "(1x2.6\" platter, " << cfg.rpm
+              << " RPM, 28 C ambient)\n"
+              << "steady-state air temperature: "
+              << util::TableWriter::num(steady) << " C (paper: 45.22 C)\n\n";
+
+    util::TableWriter table({"minute", "air C", "spindle C", "base C",
+                             "VCM C"});
+    double settle_min = -1.0;
+    for (int minute = 0; minute <= 150; ++minute) {
+        if (minute > 0)
+            model.advance(60.0); // paper timestep: 600 steps/minute
+        const auto& net = model.network();
+        if (settle_min < 0.0 && model.airTempC() >= steady - 0.05)
+            settle_min = minute;
+        if (minute <= 10 || minute % 10 == 0) {
+            table.addRow(
+                {util::TableWriter::num((long long)minute),
+                 util::TableWriter::num(model.airTempC()),
+                 util::TableWriter::num(
+                     net.temperature(model.spindleNode())),
+                 util::TableWriter::num(net.temperature(model.baseNode())),
+                 util::TableWriter::num(net.temperature(model.vcmNode()))});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nreaches steady state (within 0.05 C) after ~"
+              << util::TableWriter::num(settle_min, 0)
+              << " minutes (paper: ~48 minutes)\n\n";
+
+    // The Figure 1 curve itself.
+    util::AsciiPlot::Options popts;
+    popts.xLabel = "minutes";
+    popts.yLabel = "internal air C";
+    popts.height = 12;
+    util::AsciiPlot plot(popts);
+    {
+        thermal::DriveThermalModel curve_model(cfg);
+        curve_model.reset(28.0);
+        std::vector<std::pair<double, double>> pts;
+        pts.emplace_back(0.0, curve_model.airTempC());
+        for (int minute = 1; minute <= 80; ++minute) {
+            curve_model.advance(60.0);
+            pts.emplace_back(double(minute), curve_model.airTempC());
+        }
+        plot.addSeries("air temperature", std::move(pts));
+    }
+    plot.print(std::cout);
+
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/fig1.csv");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment E6 — paper Figure 3: effect of a better cooling system
+ * (ambient lowered by 5 C and 10 C) on the 1-platter IDR roadmap.
+ *
+ * Usage: bench_fig3_cooling [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "roadmap/roadmap.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    std::cout << "Figure 3: cooling-system improvements "
+                 "(1 platter; achievable IDR in MB/s; * = below target)\n\n";
+
+    roadmap::RoadmapOptions base;
+    roadmap::RoadmapOptions cooler5 = base;
+    cooler5.ambientC -= 5.0;
+    roadmap::RoadmapOptions cooler10 = base;
+    cooler10.ambientC -= 10.0;
+    const roadmap::RoadmapEngine engines[] = {
+        roadmap::RoadmapEngine(base), roadmap::RoadmapEngine(cooler5),
+        roadmap::RoadmapEngine(cooler10)};
+    static const char* kLabels[] = {"28 C (baseline)", "23 C (5 C cooler)",
+                                    "18 C (10 C cooler)"};
+
+    for (const double d : {2.6, 2.1, 1.6}) {
+        std::cout << "-- " << d << "\" platter\n";
+        util::TableWriter table({"Year", "target", kLabels[0], kLabels[1],
+                                 kLabels[2]});
+        for (int year = 2002; year <= 2012; ++year) {
+            std::vector<std::string> row;
+            row.push_back(util::TableWriter::num((long long)year));
+            row.push_back(util::TableWriter::num(
+                engines[0].timeline().targetIdrMBps(year), 1));
+            for (const auto& engine : engines) {
+                const auto p = engine.evaluate(year, d, 1);
+                std::string idr =
+                    util::TableWriter::num(p.achievableIdr, 1);
+                if (!p.meetsTarget)
+                    idr += "*";
+                row.push_back(std::move(idr));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        std::cout << "   last on-target year: ";
+        for (std::size_t i = 0; i < 3; ++i) {
+            std::cout << kLabels[i] << " -> "
+                      << engines[i].lastYearOnTarget(d, 1)
+                      << (i < 2 ? ", " : "\n\n");
+        }
+        if (!csv_dir.empty()) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "/fig3_%.1fin.csv", d);
+            table.writeCsv(csv_dir + name);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment E8 — paper Figure 4: response-time CDFs and means for the
+ * five server workloads as spindle speed increases in +5000 RPM steps
+ * (thermal limits deliberately ignored, as in §5.1).
+ *
+ * Usage: bench_fig4_workloads [requests-per-scenario] [--csv dir]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/scenarios.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    util::setLogLevel(util::LogLevel::Warn);
+    std::size_t requests = 60000;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_dir = argv[++i];
+        } else {
+            requests = std::size_t(std::atoll(argv[i]));
+        }
+    }
+
+    std::cout << "Figure 4: performance impact of faster disk drives on "
+                 "server workloads\n"
+              << "(synthetic traces tuned to the paper's published "
+                 "characteristics; " << requests
+              << " requests per scenario)\n\n";
+
+    for (const auto& scenario : core::figure4Scenarios(requests)) {
+        std::cout << "== " << scenario.name << " ("
+                  << sim::raidLevelName(scenario.system.raid) << ", "
+                  << scenario.system.disks << " disks, base "
+                  << scenario.baseRpm << " RPM)\n";
+
+        util::TableWriter table({"RPM", "mean ms", "paper ms",
+                                 "<=5ms", "<=20ms", "<=60ms", "<=200ms",
+                                 ">200ms"});
+        const auto rpms = scenario.rpmSteps();
+        double base_mean = 0.0;
+        for (std::size_t i = 0; i < rpms.size(); ++i) {
+            const auto metrics = scenario.run(rpms[i]);
+            const auto cdf = metrics.histogram().cdf();
+            if (i == 0)
+                base_mean = metrics.meanMs();
+            table.addRow({util::TableWriter::num(rpms[i], 0),
+                          util::TableWriter::num(metrics.meanMs()),
+                          util::TableWriter::num(
+                              scenario.paperAvgResponseMs[i]),
+                          util::TableWriter::num(cdf[0], 3),
+                          util::TableWriter::num(cdf[2], 3),
+                          util::TableWriter::num(cdf[4], 3),
+                          util::TableWriter::num(cdf[8], 3),
+                          util::TableWriter::num(
+                              metrics.histogram().overflowFraction(), 3)});
+            if (i == 1) {
+                std::cout << "   +5K RPM mean improvement: "
+                          << util::TableWriter::num(
+                                 100.0 * (1.0 -
+                                          metrics.meanMs() / base_mean),
+                                 1)
+                          << "% (paper: "
+                          << util::TableWriter::num(
+                                 100.0 * (1.0 -
+                                          scenario.paperAvgResponseMs[1] /
+                                              scenario
+                                                  .paperAvgResponseMs[0]),
+                                 1)
+                          << "%)\n";
+            }
+        }
+        table.print(std::cout);
+        if (!csv_dir.empty())
+            table.writeCsv(csv_dir + "/fig4_" + scenario.name + ".csv");
+        std::cout << '\n';
+    }
+
+    // Ablation: request-scheduler policy (DESIGN.md §6).  DiskSim-era
+    // systems used FCFS at the driver; drive-internal reordering (SSTF /
+    // LOOK) shortens seeks and therefore shifts how much a higher RPM can
+    // still buy.
+    std::cout << "Ablation: scheduler policy (Search-Engine, base RPM)\n\n";
+    util::TableWriter sched_table({"scheduler", "mean ms",
+                                   "+5K RPM mean ms", "improvement"});
+    for (const auto policy :
+         {sim::SchedulerPolicy::Fcfs, sim::SchedulerPolicy::Sstf,
+          sim::SchedulerPolicy::Elevator}) {
+        auto scenario = core::figure4Scenario("Search-Engine", requests);
+        scenario.system.disk.scheduler = policy;
+        const double base = scenario.run(scenario.baseRpm).meanMs();
+        const double fast =
+            scenario.run(scenario.baseRpm + 5000.0).meanMs();
+        sched_table.addRow(
+            {sim::schedulerPolicyName(policy),
+             util::TableWriter::num(base), util::TableWriter::num(fast),
+             util::TableWriter::num(100.0 * (1.0 - fast / base), 1) +
+                 "%"});
+    }
+    sched_table.print(std::cout);
+    if (!csv_dir.empty())
+        sched_table.writeCsv(csv_dir + "/fig4_scheduler_ablation.csv");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment E10 — paper Figure 6: temperature traces of the two dynamic
+ * throttling scenarios on disks designed for average-case behaviour:
+ *   (a) VCM-alone: 2.6" at 24,534 RPM (2005 target speed) — turning the
+ *       VCM off brings the drive below the envelope;
+ *   (b) VCM + lower RPM: 2.6" at 37,001 RPM (2007 target speed), cooling
+ *       at 22,001 RPM — VCM-off alone no longer suffices.
+ *
+ * Usage: bench_fig6_throttle_traces [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "dtm/throttle.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+namespace {
+
+void
+runScenario(const char* title, const dtm::ThrottleConfig& cfg,
+            double tcool, const std::string& csv_path)
+{
+    const dtm::ThrottleExperiment experiment(cfg);
+    std::cout << "-- " << title << "\n";
+
+    const auto probe = experiment.run(tcool);
+    std::cout << "   steady temps: VCM-on "
+              << util::TableWriter::num(probe.hotSteadyC)
+              << " C (above envelope), cooling config "
+              << util::TableWriter::num(probe.coolSteadyC)
+              << " C (below envelope " << cfg.envelopeC << " C)\n";
+
+    const auto trace = experiment.temperatureTrace(tcool, 4, 0.5);
+    util::TableWriter table({"t (s)", "air C", "phase"});
+    for (std::size_t i = 0; i < trace.size(); i += 2) {
+        table.addRow({util::TableWriter::num(trace[i].timeSec, 1),
+                      util::TableWriter::num(trace[i].tempC, 3),
+                      trace[i].cooling ? "cool" : "heat"});
+    }
+    // Print a compact excerpt; the CSV has the full trace.
+    std::cout << "   trace excerpt (full series in CSV):\n";
+    util::TableWriter excerpt({"t (s)", "air C", "phase"});
+    for (std::size_t i = 0; i < trace.size();
+         i += std::max<std::size_t>(1, trace.size() / 12)) {
+        excerpt.addRow({util::TableWriter::num(trace[i].timeSec, 1),
+                        util::TableWriter::num(trace[i].tempC, 3),
+                        trace[i].cooling ? "cool" : "heat"});
+    }
+    excerpt.print(std::cout);
+    std::cout << "   cycle: cool " << tcool << " s -> reheat "
+              << util::TableWriter::num(probe.theatSec, 1)
+              << " s (ratio "
+              << util::TableWriter::num(probe.ratio(), 2) << ")\n\n";
+    if (!csv_path.empty())
+        table.writeCsv(csv_path);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    std::cout << "Figure 6: dynamic-throttling temperature traces "
+                 "(2.6\", 1 platter)\n\n";
+
+    dtm::ThrottleConfig vcm_only;
+    vcm_only.fullRpm = 24534.0;
+    runScenario("(a) VCM-alone throttling at 24,534 RPM", vcm_only, 4.0,
+                csv_dir.empty() ? "" : csv_dir + "/fig6a.csv");
+
+    dtm::ThrottleConfig vcm_rpm;
+    vcm_rpm.fullRpm = 37001.0;
+    vcm_rpm.lowRpm = 22001.0;
+    runScenario("(b) VCM + lower-RPM throttling at 37,001/22,001 RPM",
+                vcm_rpm, 4.0,
+                csv_dir.empty() ? "" : csv_dir + "/fig6b.csv");
+    return 0;
+}

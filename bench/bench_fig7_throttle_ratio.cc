@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment E11 — paper Figure 7: throttling ratio (t_heat / t_cool) as a
+ * function of the cooling time for both throttling scenarios, plus the
+ * hysteresis ablation from DESIGN.md (how the achievable ratio moves if
+ * throttling triggers slightly below the envelope).
+ *
+ * Usage: bench_fig7_throttle_ratio [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "dtm/throttle.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+namespace {
+
+const std::vector<double> kTcools = {0.25, 0.5, 1.0, 2.0, 3.0,
+                                     4.0,  5.0, 6.0, 7.0, 8.0};
+
+void
+runSweep(const char* title, const dtm::ThrottleConfig& cfg,
+         const std::string& csv_path)
+{
+    const dtm::ThrottleExperiment experiment(cfg);
+    std::cout << "-- " << title << "\n";
+    util::TableWriter table({"tcool (s)", "theat (s)", "ratio",
+                             "utilization", "min temp C"});
+    for (const auto& r : experiment.sweep(kTcools)) {
+        table.addRow({util::TableWriter::num(r.tcoolSec, 2),
+                      util::TableWriter::num(r.theatSec, 2),
+                      util::TableWriter::num(r.ratio(), 3),
+                      util::TableWriter::num(r.utilization(), 3),
+                      util::TableWriter::num(r.minTempC, 3)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    if (!csv_path.empty())
+        table.writeCsv(csv_path);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    std::cout << "Figure 7: throttling ratios vs cooling time "
+                 "(2.6\", 1 platter)\n"
+              << "paper: ratios ~0.4-1.8, with >1 requiring sub-second "
+                 "throttling granularity\n\n";
+
+    dtm::ThrottleConfig vcm_only;
+    vcm_only.fullRpm = 24534.0;
+    runSweep("(a) VCM-alone, 24,534 RPM", vcm_only,
+             csv_dir.empty() ? "" : csv_dir + "/fig7a.csv");
+
+    dtm::ThrottleConfig vcm_rpm;
+    vcm_rpm.fullRpm = 37001.0;
+    vcm_rpm.lowRpm = 22001.0;
+    runSweep("(b) VCM + lower RPM, 37,001/22,001 RPM", vcm_rpm,
+             csv_dir.empty() ? "" : csv_dir + "/fig7b.csv");
+
+    // Ablation: trigger the cool phase early (margin below the envelope).
+    std::cout << "Ablation: throttling margin below the envelope "
+                 "(VCM-alone scenario, tcool = 1 s)\n\n";
+    util::TableWriter margin_table({"margin C", "theat (s)", "ratio"});
+    for (const double margin : {0.0, 0.1, 0.25, 0.5}) {
+        dtm::ThrottleConfig cfg = vcm_only;
+        cfg.envelopeC -= margin;
+        const dtm::ThrottleExperiment experiment(cfg);
+        const auto r = experiment.run(1.0);
+        margin_table.addRow({util::TableWriter::num(margin, 2),
+                             util::TableWriter::num(r.theatSec, 2),
+                             util::TableWriter::num(r.ratio(), 3)});
+    }
+    margin_table.print(std::cout);
+    if (!csv_dir.empty())
+        margin_table.writeCsv(csv_dir + "/fig7_margin_ablation.csv");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiment E7 — paper §4.2.2: form-factor ablation.  Housing the 2.6"
+ * media in a 2.5" enclosure (3.96" x 2.75") roughly halves the
+ * heat-draining case area; the paper finds the design falls off the
+ * roadmap already in 2002 and needs roughly 15 C of extra ambient cooling
+ * before it becomes a comparable option.
+ *
+ * Usage: bench_formfactor_ablation [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "roadmap/roadmap.h"
+#include "util/roots.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+namespace {
+
+double
+maxRpmAt(const hdd::FormFactor& ff, double ambient)
+{
+    thermal::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = 1;
+    cfg.enclosure = ff;
+    cfg.ambientC = ambient;
+    cfg.rpm = 15000.0;
+    return thermal::maxRpmWithinEnvelope(cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    std::cout << "Form-factor ablation (2.6\" media, 1 platter, envelope "
+              << thermal::kThermalEnvelopeC << " C)\n\n";
+
+    util::TableWriter table({"Enclosure", "Ambient C", "max RPM",
+                             "2002 IDR", "last on-target year"});
+    struct Case
+    {
+        const char* label;
+        hdd::FormFactor ff;
+        double ambient;
+    };
+    const Case cases[] = {
+        {"3.5\" (5.75x4.00\")", hdd::FormFactor::ff35(), 28.0},
+        {"2.5\" (3.96x2.75\")", hdd::FormFactor::ff25(), 28.0},
+        {"2.5\" (3.96x2.75\")", hdd::FormFactor::ff25(), 18.0},
+        {"2.5\" (3.96x2.75\")", hdd::FormFactor::ff25(), 13.0},
+        {"2.5\" (3.96x2.75\")", hdd::FormFactor::ff25(), 8.0},
+    };
+    for (const auto& c : cases) {
+        roadmap::RoadmapOptions opts;
+        opts.enclosure = c.ff;
+        opts.ambientC = c.ambient;
+        const roadmap::RoadmapEngine engine(opts);
+        const auto p = engine.evaluate(2002, 2.6, 1);
+        table.addRow({c.label, util::TableWriter::num(c.ambient, 0),
+                      util::TableWriter::num(p.maxRpm, 0),
+                      util::TableWriter::num(p.achievableIdr, 1),
+                      util::TableWriter::num(
+                          (long long)engine.lastYearOnTarget(2.6, 1))});
+    }
+    table.print(std::cout);
+
+    // How much extra cooling does the small enclosure need to match the
+    // 3.5" baseline's envelope-limited speed?
+    const double baseline_rpm = maxRpmAt(hdd::FormFactor::ff35(), 28.0);
+    const double parity_ambient = util::bisect(
+        [&](double ambient) {
+            return maxRpmAt(hdd::FormFactor::ff25(), ambient) -
+                   baseline_rpm;
+        },
+        -15.0, 28.0, {0.01, 200});
+    std::cout << "\nambient needed for the 2.5\" enclosure to match the "
+                 "3.5\" baseline ("
+              << util::TableWriter::num(baseline_rpm, 0)
+              << " RPM): " << util::TableWriter::num(parity_ambient, 1)
+              << " C -> " << util::TableWriter::num(28.0 - parity_ambient,
+                                                    1)
+              << " C of extra cooling (paper: ~15 C)\n";
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/formfactor.csv");
+    return 0;
+}

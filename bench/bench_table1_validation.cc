@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment E1 — paper Table 1: capacity and IDR model validation against
+ * thirteen real SCSI drives (1999-2002), plus the zone-count sensitivity
+ * ablation (the paper assumes 30 zones for all drives).
+ *
+ * Usage: bench_table1_validation [--csv dir]
+ */
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+#include "hdd/capacity.h"
+#include "hdd/drive_catalog.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    std::cout << "Table 1: capacity / IDR model validation "
+                 "(nzones = 30)\n\n";
+
+    util::TableWriter table({"Model", "Year", "RPM", "Cap GB", "Model Cap",
+                             "Paper Cap", "Cap err%", "IDR", "Model IDR",
+                             "Paper IDR", "IDR err%"});
+    double worst_cap = 0.0, worst_idr = 0.0;
+    for (const auto& d : hdd::table1Drives()) {
+        const auto layout = d.layout();
+        const auto cap = hdd::computeCapacity(layout);
+        const double idr = hdd::internalDataRateMBps(layout, d.rpm);
+        const double cap_err =
+            100.0 * (cap.userGB - d.datasheetCapacityGB) /
+            d.datasheetCapacityGB;
+        const double idr_err =
+            100.0 * (idr - d.datasheetIdrMBps) / d.datasheetIdrMBps;
+        worst_cap = std::max(worst_cap, std::fabs(cap_err));
+        worst_idr = std::max(worst_idr, std::fabs(idr_err));
+        table.addRow({d.model, util::TableWriter::num((long long)d.year),
+                      util::TableWriter::num(d.rpm, 0),
+                      util::TableWriter::num(d.datasheetCapacityGB, 1),
+                      util::TableWriter::num(cap.userGB, 1),
+                      util::TableWriter::num(d.paperModelCapacityGB, 1),
+                      util::TableWriter::num(cap_err, 1),
+                      util::TableWriter::num(d.datasheetIdrMBps, 1),
+                      util::TableWriter::num(idr, 1),
+                      util::TableWriter::num(d.paperModelIdrMBps, 1),
+                      util::TableWriter::num(idr_err, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nworst |capacity error| vs datasheet: "
+              << util::TableWriter::num(worst_cap, 1)
+              << "%  (paper reports 'within 12% for most disks')\n"
+              << "worst |IDR error| vs datasheet: "
+              << util::TableWriter::num(worst_idr, 1)
+              << "%  (paper reports 'within 15% for most disks')\n\n";
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/table1.csv");
+
+    // Ablation: sensitivity of the modeled values to the assumed zone
+    // count (older drives used 10-15 zones).
+    std::cout << "Ablation: zone-count sensitivity "
+                 "(Seagate Cheetah 15K.3)\n\n";
+    util::TableWriter zones({"zones", "user GB", "IDR MB/s"});
+    const auto drive = *hdd::findDrive("Seagate Cheetah 15K.3");
+    for (int z : {1, 5, 10, 15, 30, 50, 100}) {
+        const auto layout = drive.layout(z);
+        zones.addRow({util::TableWriter::num((long long)z),
+                      util::TableWriter::num(
+                          hdd::computeCapacity(layout).userGB, 1),
+                      util::TableWriter::num(
+                          hdd::internalDataRateMBps(layout, drive.rpm),
+                          1)});
+    }
+    zones.print(std::cout);
+    if (!csv_dir.empty())
+        zones.writeCsv(csv_dir + "/table1_zone_ablation.csv");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment E4 — paper Table 3: for each year 2002-2012 and platter size
+ * {2.6", 2.1", 1.6"}, the RPM required to sustain the 40% IDR CGR and the
+ * steady-state temperature that RPM produces (1 platter, 50 zones, 3.5"
+ * enclosure, 45.22 C envelope).
+ *
+ * Usage: bench_table3_rpm_thermal [--csv dir]
+ */
+#include <cstring>
+#include <iostream>
+
+#include "roadmap/roadmap.h"
+#include "thermal/reliability.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    const roadmap::RoadmapEngine engine; // paper defaults: 50 zones etc.
+    static const double kSizes[] = {2.6, 2.1, 1.6};
+
+    std::cout << "Table 3: RPM required for the 40% IDR CGR and its "
+                 "thermal profile\n(1 platter, nzones = 50, thermal "
+                 "envelope 45.22 C)\n\n";
+
+    util::TableWriter table({"Year",
+                             "2.6 IDRd", "2.6 RPM", "2.6 T(C)",
+                             "2.1 IDRd", "2.1 RPM", "2.1 T(C)",
+                             "1.6 IDRd", "1.6 RPM", "1.6 T(C)",
+                             "IDR req"});
+    for (int year = 2002; year <= 2012; ++year) {
+        std::vector<std::string> row;
+        row.push_back(util::TableWriter::num((long long)year));
+        double target = 0.0;
+        for (const double d : kSizes) {
+            const auto p = engine.evaluate(year, d, 1);
+            target = p.targetIdr;
+            row.push_back(util::TableWriter::num(p.densityIdr));
+            row.push_back(util::TableWriter::num(p.requiredRpm, 0));
+            row.push_back(util::TableWriter::num(p.requiredRpmTempC));
+        }
+        row.push_back(util::TableWriter::num(target));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper reference rows (2.6\"): 2002: 15098 RPM/45.24 C; "
+                 "2005: 24534/48.26; 2009: 55819/85.04; 2012: "
+                 "143470/602.98\n"
+              << "viscous dissipation at the 2.6\" required RPM: 2002 "
+              << util::TableWriter::num(
+                     engine.evaluate(2002, 2.6, 1).viscousPowerW)
+              << " W (paper 0.91), 2009 "
+              << util::TableWriter::num(
+                     engine.evaluate(2009, 2.6, 1).viscousPowerW)
+              << " W (paper 35.55), 2012 "
+              << util::TableWriter::num(
+                     engine.evaluate(2012, 2.6, 1).viscousPowerW)
+              << " W (paper 499.73)\n";
+    // Reliability view of the same grid (paper §1: +15 C doubles the
+    // failure rate) — why staying on the 40% CGR without shrinking the
+    // platter is untenable long before the temperatures get absurd.
+    std::cout << "\nfailure-rate factor vs 28 C ambient at the 2.6\" "
+                 "required RPM: 2002 "
+              << util::TableWriter::num(
+                     thermal::failureRateFactor(
+                         engine.evaluate(2002, 2.6, 1).requiredRpmTempC),
+                     2)
+              << "x, 2006 "
+              << util::TableWriter::num(
+                     thermal::failureRateFactor(
+                         engine.evaluate(2006, 2.6, 1).requiredRpmTempC),
+                     2)
+              << "x, 2009 "
+              << util::TableWriter::num(
+                     thermal::failureRateFactor(
+                         engine.evaluate(2009, 2.6, 1).requiredRpmTempC),
+                     2)
+              << "x\n";
+    if (!csv_dir.empty())
+        table.writeCsv(csv_dir + "/table3.csv");
+    return 0;
+}

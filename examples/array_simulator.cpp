@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Array simulator: drive the storage simulator from an experiment
+ * description file, the way DiskSim was driven by .parv files.
+ *
+ *   ./array_simulator --init spec.ini        # write a starter spec
+ *   ./array_simulator spec.ini               # synthesize + replay
+ *   ./array_simulator spec.ini --trace t.csv # replay a saved trace
+ *   ./array_simulator spec.ini --rpm 20000   # override spindle speed
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/config_io.h"
+#include "core/energy.h"
+#include "sim/latency_log.h"
+#include "trace/trace.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+namespace {
+
+int
+writeStarterSpec(const std::string& path)
+{
+    core::ExperimentSpec spec;
+    spec.system.disk.tech = {533e3, 64e3};
+    spec.system.disk.rpm = 15000.0;
+    spec.system.disks = 4;
+    spec.system.raid = sim::RaidLevel::Raid5;
+    spec.hasWorkload = true;
+    spec.workload.requests = 30000;
+    spec.workload.arrivalRatePerSec = 200.0;
+    spec.workload.devices = 1;
+    if (!core::saveExperimentSpec(spec, path)) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "starter spec written to " << path << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string spec_path;
+    std::string trace_path;
+    std::string latency_path;
+    double rpm_override = 0.0;
+    bool init = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--init") == 0) {
+            init = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--latency-log") == 0 &&
+                   i + 1 < argc) {
+            latency_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--rpm") == 0 && i + 1 < argc) {
+            rpm_override = std::atof(argv[++i]);
+        } else {
+            spec_path = argv[i];
+        }
+    }
+    if (spec_path.empty()) {
+        std::cerr << "usage: array_simulator [--init] <spec.ini> "
+                     "[--trace file.csv] [--latency-log out.csv] "
+                     "[--rpm R]\n";
+        return 1;
+    }
+    if (init)
+        return writeStarterSpec(spec_path);
+
+    try {
+        auto spec = core::loadExperimentSpec(spec_path);
+        if (rpm_override > 0.0)
+            spec.system.disk.rpm = rpm_override;
+
+        sim::StorageSystem array(spec.system);
+        sim::LatencyLog latency_log;
+        if (!latency_path.empty()) {
+            array.setCompletionCallback(
+                [&latency_log](const sim::IoCompletion& c) {
+                    latency_log.record(c);
+                });
+        }
+        std::cout << "array: " << spec.system.disks << " x "
+                  << spec.system.disk.geometry.diameterInches << "\" @ "
+                  << spec.system.disk.rpm << " RPM, "
+                  << sim::raidLevelName(spec.system.raid) << ", "
+                  << util::TableWriter::num(
+                         double(array.logicalSectors()) / 2.0 / 1024.0 /
+                             1024.0,
+                         1)
+                  << " GiB logical\n";
+
+        trace::Trace tr;
+        if (!trace_path.empty()) {
+            tr = trace::Trace::load(trace_path);
+            std::cout << "trace: " << tr.size() << " records from "
+                      << trace_path << "\n";
+        } else {
+            if (!spec.hasWorkload) {
+                std::cerr << "spec has no [workload] and no --trace "
+                             "given\n";
+                return 1;
+            }
+            tr = trace::SyntheticWorkload(spec.workload)
+                     .generate(array.logicalSectors());
+            std::cout << "workload: " << tr.size()
+                      << " synthetic requests\n";
+        }
+
+        const auto metrics = array.run(tr.toRequests());
+        const double elapsed = array.events().now();
+
+        std::cout << "\n";
+        util::TableWriter table({"metric", "value"});
+        table.addRow({"requests",
+                      util::TableWriter::num((long long)metrics.count())});
+        table.addRow({"mean response",
+                      util::TableWriter::num(metrics.meanMs()) + " ms"});
+        table.addRow({"p95 (approx)",
+                      util::TableWriter::num(
+                          metrics.histogram().quantile(0.95), 1) + " ms"});
+        const auto cdf = metrics.histogram().cdf();
+        table.addRow({"<= 20 ms", util::TableWriter::num(cdf[2], 3)});
+        table.addRow({"> 200 ms",
+                      util::TableWriter::num(
+                          metrics.histogram().overflowFraction(), 3)});
+
+        double energy = 0.0;
+        double hits = 0.0, lookups = 0.0;
+        for (int d = 0; d < array.diskCount(); ++d) {
+            energy += core::accountEnergy(spec.system.disk.geometry,
+                                          spec.system.disk.rpm,
+                                          array.disk(d).activity(),
+                                          elapsed)
+                          .totalJ();
+            hits += double(array.disk(d).cacheStats().readHits);
+            lookups += double(array.disk(d).cacheStats().readHits +
+                              array.disk(d).cacheStats().readMisses);
+        }
+        table.addRow({"array energy",
+                      util::TableWriter::num(energy, 0) + " J over " +
+                          util::TableWriter::num(elapsed, 1) + " s"});
+        table.addRow({"drive-cache hit ratio",
+                      util::TableWriter::num(
+                          lookups > 0.0 ? hits / lookups : 0.0, 3)});
+        double util_sum = 0.0, depth_sum = 0.0;
+        for (int d = 0; d < array.diskCount(); ++d) {
+            util_sum += array.disk(d).utilization(elapsed);
+            depth_sum += array.disk(d).avgQueueDepth(elapsed);
+        }
+        table.addRow({"mean disk utilization",
+                      util::TableWriter::num(
+                          util_sum / array.diskCount(), 3)});
+        table.addRow({"mean queue depth (L)",
+                      util::TableWriter::num(
+                          depth_sum / array.diskCount(), 3)});
+        table.print(std::cout);
+        if (!latency_path.empty()) {
+            if (latency_log.writeCsv(latency_path)) {
+                std::cout << "\nper-request latencies written to "
+                          << latency_path << " (p99 "
+                          << util::TableWriter::num(
+                                 latency_log.quantileMs(0.99), 1)
+                          << " ms)\n";
+            } else {
+                std::cerr << "cannot write " << latency_path << "\n";
+            }
+        }
+    } catch (const util::ModelError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Drive-design explorer: sweep the (platter size x platter count x RPM)
+ * design space for a given technology year and report every design
+ * point's capacity, data rate and thermal verdict — the tool a drive
+ * architect would use to pick next year's product mix.
+ *
+ *   ./drive_designer [year] [--envelope C] [--ambient C]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/integrated.h"
+#include "roadmap/scaling.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    int year = 2005;
+    double envelope = thermal::kThermalEnvelopeC;
+    double ambient = thermal::kBaselineAmbientC;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--envelope") == 0 && i + 1 < argc) {
+            envelope = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--ambient") == 0 && i + 1 < argc) {
+            ambient = std::atof(argv[++i]);
+        } else {
+            year = std::atoi(argv[i]);
+        }
+    }
+
+    const roadmap::TechnologyTimeline timeline;
+    const auto tech = timeline.tech(year);
+    std::cout << "Design space for " << year << ": "
+              << util::TableWriter::num(tech.bpi / 1e3, 0) << " KBPI x "
+              << util::TableWriter::num(tech.tpi / 1e3, 0)
+              << " KTPI (areal density "
+              << util::TableWriter::num(tech.arealDensity() / 1e9, 1)
+              << " Gb/in^2), envelope " << envelope << " C, ambient "
+              << ambient << " C\n"
+              << "target IDR this year: "
+              << util::TableWriter::num(timeline.targetIdrMBps(year), 1)
+              << " MB/s\n\n";
+
+    util::TableWriter table({"platter", "count", "user GB", "max RPM",
+                             "IDR @ max RPM", "temp @ max RPM",
+                             "meets target?"});
+    for (const double d : {1.6, 2.1, 2.6, 3.3}) {
+        for (const int n : {1, 2, 4}) {
+            core::DriveDesign design;
+            design.geometry.diameterInches = d;
+            design.geometry.platters = n;
+            design.tech = tech;
+            design.ambientC = ambient;
+            design.coolingScale = thermal::coolingScaleForPlatters(n);
+            design.rpm = 10000.0; // placeholder; ceiling computed below
+
+            const auto eval = core::evaluateDesign(design, envelope);
+            const double ceiling = eval.maxRpmWithinEnvelope;
+            double idr = 0.0;
+            double temp = 0.0;
+            if (ceiling > 0.0) {
+                design.rpm = ceiling;
+                const auto at_max = core::evaluateDesign(design, envelope);
+                idr = at_max.idrMBps;
+                temp = at_max.steadyAirTempC;
+            }
+            char label[16];
+            std::snprintf(label, sizeof(label), "%.1f\"", d);
+            table.addRow(
+                {label, util::TableWriter::num((long long)n),
+                 util::TableWriter::num(eval.capacity.userGB, 1),
+                 util::TableWriter::num(ceiling, 0),
+                 util::TableWriter::num(idr, 1),
+                 util::TableWriter::num(temp, 2),
+                 idr >= timeline.targetIdrMBps(year) ? "yes" : "no"});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

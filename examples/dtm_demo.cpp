@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DTM demonstration: run a workload through the thermal/performance
+ * co-simulation under a chosen policy and watch the temperature timeline.
+ *
+ *   ./dtm_demo [--policy none|gate|gate-rpm] [--rpm R] [--low-rpm R]
+ *              [--requests N]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/scenarios.h"
+#include "dtm/cosim.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    util::setLogLevel(util::LogLevel::Warn);
+    dtm::DtmPolicy policy = dtm::DtmPolicy::GateRequests;
+    double rpm = 24534.0;
+    double low_rpm = 0.0;
+    std::size_t requests = 20000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "none")
+                policy = dtm::DtmPolicy::None;
+            else if (p == "gate")
+                policy = dtm::DtmPolicy::GateRequests;
+            else if (p == "gate-rpm")
+                policy = dtm::DtmPolicy::GateAndLowRpm;
+            else {
+                std::cerr << "unknown policy: " << p << "\n";
+                return 1;
+            }
+        } else if (std::strcmp(argv[i], "--rpm") == 0 && i + 1 < argc) {
+            rpm = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--low-rpm") == 0 &&
+                   i + 1 < argc) {
+            low_rpm = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            requests = std::size_t(std::atoll(argv[i + 1]));
+            ++i;
+        }
+    }
+    if (policy == dtm::DtmPolicy::GateAndLowRpm && low_rpm <= 0.0)
+        low_rpm = rpm - 15000.0;
+
+    auto scenario = core::figure4Scenario("Search-Engine", requests);
+    scenario.system.disk.geometry.diameterInches = 2.6;
+    scenario.system.disk.geometry.platters = 1;
+    scenario.system.disk.rpm = rpm;
+    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
+
+    dtm::CoSimConfig cfg;
+    cfg.system = scenario.system;
+    cfg.policy = policy;
+    cfg.lowRpm = low_rpm;
+    cfg.maxSimulatedSec = 1200.0;
+
+    const trace::SyntheticWorkload gen(scenario.workload);
+    const sim::StorageSystem probe(cfg.system);
+    const auto trace = gen.generate(probe.logicalSectors()).toRequests();
+
+    std::cout << "DTM demo: Search-Engine-like workload, 2.6\" drive at "
+              << rpm << " RPM, policy " << dtm::dtmPolicyName(policy);
+    if (policy == dtm::DtmPolicy::GateAndLowRpm)
+        std::cout << " (low speed " << low_rpm << " RPM)";
+    std::cout << "\n\n";
+
+    dtm::CoSimulation cosim(cfg);
+    const auto result = cosim.run(trace);
+
+    util::TableWriter table({"metric", "value"});
+    table.addRow({"requests completed",
+                  util::TableWriter::num(
+                      (long long)result.metrics.count())});
+    table.addRow({"mean response",
+                  util::TableWriter::num(result.metrics.meanMs()) +
+                      " ms"});
+    table.addRow({"simulated time",
+                  util::TableWriter::num(result.simulatedSec, 1) + " s"});
+    table.addRow({"mean VCM duty",
+                  util::TableWriter::num(result.meanVcmDuty, 3)});
+    table.addRow({"mean air temp",
+                  util::TableWriter::num(result.meanTempC) + " C"});
+    table.addRow({"max air temp",
+                  util::TableWriter::num(result.maxTempC) + " C"});
+    table.addRow({"time above envelope",
+                  util::TableWriter::num(result.envelopeExceededSec, 1) +
+                      " s"});
+    table.addRow({"time gated",
+                  util::TableWriter::num(result.gatedSec, 1) + " s"});
+    table.addRow({"gate activations",
+                  util::TableWriter::num((long long)result.gateEvents)});
+    table.print(std::cout);
+    return 0;
+}

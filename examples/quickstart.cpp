@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: evaluate one drive design with the integrated model.
+ *
+ * Models a Cheetah-15K.3-class drive (2.6" platter, 15K RPM, 2002
+ * recording technology) and prints everything the library knows about it:
+ * capacity breakdown, data rate, seek curve, steady-state temperatures,
+ * power budget, and the thermal speed ceiling.
+ *
+ *   ./quickstart [rpm]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/integrated.h"
+#include "hdd/capacity.h"
+#include "thermal/reliability.h"
+#include "thermal/drive_thermal.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    core::DriveDesign design;
+    design.geometry.diameterInches = 2.6;
+    design.geometry.platters = 1;
+    design.tech = {533e3, 64e3}; // 2002-class recording point
+    design.rpm = argc > 1 ? std::atof(argv[1]) : 15000.0;
+
+    const auto eval = core::evaluateDesign(design);
+
+    std::cout << "HDDTherm quickstart: 2.6\" x" << design.geometry.platters
+              << " platter drive at " << design.rpm << " RPM\n\n";
+
+    std::cout << "Capacity\n"
+              << "  raw media capacity : "
+              << util::TableWriter::num(eval.capacity.rawGB, 1) << " GB\n"
+              << "  after ZBR          : "
+              << util::TableWriter::num(eval.capacity.zbrGB, 1) << " GB\n"
+              << "  user capacity      : "
+              << util::TableWriter::num(eval.capacity.userGB, 1)
+              << " GB (servo+ECC overhead "
+              << util::TableWriter::num(
+                     100.0 * eval.capacity.overheadFraction, 1)
+              << "% per sector)\n\n";
+
+    std::cout << "Performance\n"
+              << "  max internal data rate : "
+              << util::TableWriter::num(eval.idrMBps, 1) << " MB/s\n"
+              << "  seek (t2t/avg/full)    : "
+              << util::TableWriter::num(eval.seek.trackToTrackMs, 2) << " / "
+              << util::TableWriter::num(eval.seek.averageMs, 2) << " / "
+              << util::TableWriter::num(eval.seek.fullStrokeMs, 2)
+              << " ms\n"
+              << "  avg rotational latency : "
+              << util::TableWriter::num(eval.avgRotationalLatencyMs, 2)
+              << " ms\n\n";
+
+    std::cout << "Thermals (ambient " << design.ambientC << " C)\n"
+              << "  heat sources           : windage "
+              << util::TableWriter::num(eval.viscousPowerW, 2) << " W, VCM "
+              << util::TableWriter::num(eval.vcmPowerW, 2) << " W, SPM "
+              << util::TableWriter::num(eval.spmPowerW, 2) << " W\n"
+              << "  steady internal air    : "
+              << util::TableWriter::num(eval.steadyAirTempC, 2) << " C ("
+              << (eval.withinEnvelope ? "within" : "EXCEEDS")
+              << " the " << thermal::kThermalEnvelopeC
+              << " C envelope)\n"
+              << "  thermal speed ceiling  : "
+              << util::TableWriter::num(eval.maxRpmWithinEnvelope, 0)
+              << " RPM\n"
+              << "  failure-rate factor    : "
+              << util::TableWriter::num(
+                     thermal::failureRateFactor(eval.steadyAirTempC), 2)
+              << "x vs " << design.ambientC
+              << " C operation (x2 per +15 C)\n\n";
+
+    // Where the heat goes at steady state.
+    std::cout << "Steady-state heat flows\n";
+    thermal::DriveThermalModel model(design.thermalConfig());
+    for (const auto& flow : model.steadyHeatFlows()) {
+        std::cout << "  " << flow.path
+                  << std::string(flow.path.size() < 16
+                                     ? 16 - flow.path.size()
+                                     : 1,
+                                 ' ')
+                  << ": " << util::TableWriter::num(flow.watts, 2)
+                  << " W\n";
+    }
+
+    // The ZBR bandwidth staircase.
+    const auto rates = hdd::zoneDataRatesMBps(design.layout(), design.rpm);
+    std::cout << "\nZBR bandwidth staircase: outer zone "
+              << util::TableWriter::num(rates.front(), 1)
+              << " MB/s -> inner zone "
+              << util::TableWriter::num(rates.back(), 1) << " MB/s over "
+              << rates.size() << " zones\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Roadmap explorer: chart the thermally constrained technology roadmap
+ * for arbitrary windows, platter counts and cooling assumptions.
+ *
+ *   ./roadmap_explorer [--platters N] [--ambient C] [--start Y] [--end Y]
+ *                      [--ff25]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "roadmap/roadmap.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+
+using namespace hddtherm;
+
+int
+main(int argc, char** argv)
+{
+    roadmap::RoadmapOptions opts;
+    int platters = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--platters") == 0 && i + 1 < argc) {
+            platters = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--ambient") == 0 && i + 1 < argc) {
+            opts.ambientC = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
+            opts.startYear = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--end") == 0 && i + 1 < argc) {
+            opts.endYear = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--ff25") == 0) {
+            opts.enclosure = hdd::FormFactor::ff25();
+        } else {
+            std::cerr << "unknown argument: " << argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    const roadmap::RoadmapEngine engine(opts);
+    std::cout << "Thermally constrained roadmap, " << platters
+              << " platter(s), ambient " << opts.ambientC
+              << " C, envelope " << opts.envelopeC << " C\n\n";
+
+    util::TableWriter table({"Year", "KBPI", "KTPI", "BAR", "target IDR",
+                             "2.6\" IDR", "2.6\" GB", "2.1\" IDR",
+                             "2.1\" GB", "1.6\" IDR", "1.6\" GB"});
+    for (int year = opts.startYear; year <= opts.endYear; ++year) {
+        std::vector<std::string> row;
+        row.push_back(util::TableWriter::num((long long)year));
+        row.push_back(
+            util::TableWriter::num(engine.timeline().bpi(year) / 1e3, 0));
+        row.push_back(
+            util::TableWriter::num(engine.timeline().tpi(year) / 1e3, 0));
+        row.push_back(util::TableWriter::num(
+            engine.timeline().bitAspectRatio(year), 2));
+        row.push_back(util::TableWriter::num(
+            engine.timeline().targetIdrMBps(year), 1));
+        for (const double d : {2.6, 2.1, 1.6}) {
+            const auto p = engine.evaluate(year, d, platters);
+            std::string idr = util::TableWriter::num(p.achievableIdr, 1);
+            if (!p.meetsTarget)
+                idr += "*";
+            row.push_back(std::move(idr));
+            row.push_back(util::TableWriter::num(p.capacityGB, 1));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "(* = below the 40% CGR target; terabit areal density "
+                 "arrives in "
+              << engine.timeline().terabitYear() << ")\n\n";
+
+    util::AsciiPlot::Options popts;
+    popts.logY = true;
+    popts.xLabel = "year";
+    popts.yLabel = "IDR MB/s";
+    util::AsciiPlot plot(popts);
+    std::vector<std::pair<double, double>> target;
+    for (int year = opts.startYear; year <= opts.endYear; ++year)
+        target.emplace_back(double(year),
+                            engine.timeline().targetIdrMBps(year));
+    plot.addSeries("target", std::move(target));
+    for (const double d : {2.6, 2.1, 1.6}) {
+        std::vector<std::pair<double, double>> pts;
+        for (const auto& p : engine.series(d, platters))
+            pts.emplace_back(double(p.year), p.achievableIdr);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.1f\"", d);
+        plot.addSeries(label, std::move(pts));
+    }
+    plot.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,367 @@
+#include "core/config_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hddtherm::core {
+
+namespace {
+
+std::string
+trim(const std::string& s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+using Section = std::map<std::string, std::string>;
+using Document = std::map<std::string, Section>;
+
+Document
+parseDocument(const std::string& text)
+{
+    Document doc;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto comment = line.find('#');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            HDDTHERM_REQUIRE(line.back() == ']',
+                             "line " + std::to_string(lineno) +
+                                 ": unterminated section header");
+            section = lower(trim(line.substr(1, line.size() - 2)));
+            HDDTHERM_REQUIRE(!section.empty(),
+                             "line " + std::to_string(lineno) +
+                                 ": empty section name");
+            doc[section]; // create even if empty
+            continue;
+        }
+        const auto eq = line.find('=');
+        HDDTHERM_REQUIRE(eq != std::string::npos,
+                         "line " + std::to_string(lineno) +
+                             ": expected 'key = value'");
+        HDDTHERM_REQUIRE(!section.empty(),
+                         "line " + std::to_string(lineno) +
+                             ": key outside any [section]");
+        const std::string key = lower(trim(line.substr(0, eq)));
+        const std::string value = trim(line.substr(eq + 1));
+        HDDTHERM_REQUIRE(!key.empty() && !value.empty(),
+                         "line " + std::to_string(lineno) +
+                             ": empty key or value");
+        HDDTHERM_REQUIRE(!doc[section].count(key),
+                         "line " + std::to_string(lineno) +
+                             ": duplicate key '" + key + "'");
+        doc[section][key] = value;
+    }
+    return doc;
+}
+
+/// Typed accessors that consume keys so leftovers can be reported.
+class SectionReader
+{
+  public:
+    SectionReader(std::string name, Section section)
+        : name_(std::move(name)), section_(std::move(section))
+    {}
+
+    double
+    number(const std::string& key, double fallback)
+    {
+        const auto it = section_.find(key);
+        if (it == section_.end())
+            return fallback;
+        std::size_t pos = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(it->second, &pos);
+        } catch (const std::exception&) {
+            pos = 0;
+        }
+        HDDTHERM_REQUIRE(pos == it->second.size(),
+                         "[" + name_ + "] " + key +
+                             ": not a number: " + it->second);
+        section_.erase(it);
+        return value;
+    }
+
+    std::string
+    word(const std::string& key, const std::string& fallback)
+    {
+        const auto it = section_.find(key);
+        if (it == section_.end())
+            return fallback;
+        const std::string value = lower(it->second);
+        section_.erase(it);
+        return value;
+    }
+
+    bool
+    flag(const std::string& key, bool fallback)
+    {
+        const auto it = section_.find(key);
+        if (it == section_.end())
+            return fallback;
+        const std::string value = lower(it->second);
+        section_.erase(it);
+        if (value == "true" || value == "yes" || value == "1")
+            return true;
+        if (value == "false" || value == "no" || value == "0")
+            return false;
+        throw util::ModelError("[" + name_ + "] " + key +
+                               ": not a boolean: " + value);
+    }
+
+    void
+    finish() const
+    {
+        HDDTHERM_REQUIRE(section_.empty(),
+                         "[" + name_ + "] unknown key '" +
+                             (section_.empty() ? ""
+                                               : section_.begin()->first) +
+                             "'");
+    }
+
+  private:
+    std::string name_;
+    Section section_;
+};
+
+sim::SchedulerPolicy
+parseScheduler(const std::string& word)
+{
+    if (word == "fcfs")
+        return sim::SchedulerPolicy::Fcfs;
+    if (word == "sstf")
+        return sim::SchedulerPolicy::Sstf;
+    if (word == "elevator" || word == "look")
+        return sim::SchedulerPolicy::Elevator;
+    throw util::ModelError("unknown scheduler: " + word);
+}
+
+sim::RaidLevel
+parseRaid(const std::string& word)
+{
+    if (word == "jbod" || word == "none")
+        return sim::RaidLevel::None;
+    if (word == "raid0")
+        return sim::RaidLevel::Raid0;
+    if (word == "raid1")
+        return sim::RaidLevel::Raid1;
+    if (word == "raid5")
+        return sim::RaidLevel::Raid5;
+    throw util::ModelError("unknown raid level: " + word);
+}
+
+const char*
+schedulerWord(sim::SchedulerPolicy policy)
+{
+    switch (policy) {
+      case sim::SchedulerPolicy::Fcfs:
+        return "fcfs";
+      case sim::SchedulerPolicy::Sstf:
+        return "sstf";
+      case sim::SchedulerPolicy::Elevator:
+        return "elevator";
+    }
+    return "fcfs";
+}
+
+const char*
+raidWord(sim::RaidLevel level)
+{
+    switch (level) {
+      case sim::RaidLevel::None:
+        return "jbod";
+      case sim::RaidLevel::Raid0:
+        return "raid0";
+      case sim::RaidLevel::Raid1:
+        return "raid1";
+      case sim::RaidLevel::Raid5:
+        return "raid5";
+    }
+    return "jbod";
+}
+
+} // namespace
+
+ExperimentSpec
+parseExperimentSpec(const std::string& text)
+{
+    Document doc = parseDocument(text);
+    for (const auto& [section, _] : doc) {
+        HDDTHERM_REQUIRE(section == "disk" || section == "array" ||
+                             section == "workload",
+                         "unknown section [" + section + "]");
+    }
+
+    ExperimentSpec spec;
+    const ExperimentSpec defaults;
+
+    if (doc.count("disk")) {
+        SectionReader disk("disk", doc["disk"]);
+        auto& d = spec.system.disk;
+        d.geometry.diameterInches =
+            disk.number("diameter_in", d.geometry.diameterInches);
+        d.geometry.platters =
+            int(disk.number("platters", d.geometry.platters));
+        d.tech.bpi = disk.number("kbpi", d.tech.bpi / 1e3) * 1e3;
+        d.tech.tpi = disk.number("ktpi", d.tech.tpi / 1e3) * 1e3;
+        d.zones = int(disk.number("zones", d.zones));
+        d.rpm = disk.number("rpm", d.rpm);
+        d.headSwitchMs = disk.number("head_switch_ms", d.headSwitchMs);
+        d.controllerOverheadMs =
+            disk.number("controller_overhead_ms", d.controllerOverheadMs);
+        d.busMBps = disk.number("bus_mbps", d.busMBps);
+        d.cacheBytes = std::size_t(
+            disk.number("cache_mb", double(d.cacheBytes) / (1 << 20)) *
+            (1 << 20));
+        d.cacheSegments =
+            int(disk.number("cache_segments", d.cacheSegments));
+        d.readAheadToTrackEnd =
+            disk.flag("read_ahead", d.readAheadToTrackEnd);
+        d.scheduler = parseScheduler(
+            disk.word("scheduler", schedulerWord(d.scheduler)));
+        d.rpmChangeSecPerKrpm =
+            disk.number("rpm_change_s_per_krpm", d.rpmChangeSecPerKrpm);
+        disk.finish();
+    }
+
+    if (doc.count("array")) {
+        SectionReader array("array", doc["array"]);
+        spec.system.disks = int(array.number("disks", spec.system.disks));
+        spec.system.raid =
+            parseRaid(array.word("raid", raidWord(spec.system.raid)));
+        spec.system.stripeSectors =
+            int(array.number("stripe_sectors", spec.system.stripeSectors));
+        spec.system.immediateWriteReport = array.flag(
+            "immediate_write_report", spec.system.immediateWriteReport);
+        spec.system.writeReportLatencyMs = array.number(
+            "write_report_latency_ms", spec.system.writeReportLatencyMs);
+        array.finish();
+    }
+
+    if (doc.count("workload")) {
+        spec.hasWorkload = true;
+        SectionReader w("workload", doc["workload"]);
+        auto& s = spec.workload;
+        s.name = w.word("name", s.name);
+        s.devices = int(w.number("devices", s.devices));
+        s.requests = std::size_t(w.number("requests", double(s.requests)));
+        s.arrivalRatePerSec =
+            w.number("arrival_rate", s.arrivalRatePerSec);
+        s.burstiness = w.number("burstiness", s.burstiness);
+        s.readFraction = w.number("read_fraction", s.readFraction);
+        s.minSectors = int(w.number("min_sectors", s.minSectors));
+        s.meanSectors = int(w.number("mean_sectors", s.meanSectors));
+        s.maxSectors = int(w.number("max_sectors", s.maxSectors));
+        s.sizeSigma = w.number("size_sigma", s.sizeSigma);
+        s.sequentialFraction =
+            w.number("sequential_fraction", s.sequentialFraction);
+        s.regions = int(w.number("regions", s.regions));
+        s.zipfTheta = w.number("zipf_theta", s.zipfTheta);
+        s.deviceZipfTheta =
+            w.number("device_zipf_theta", s.deviceZipfTheta);
+        s.seed = std::uint64_t(w.number("seed", double(s.seed)));
+        w.finish();
+    }
+    return spec;
+}
+
+ExperimentSpec
+loadExperimentSpec(const std::string& path)
+{
+    std::ifstream in(path);
+    HDDTHERM_REQUIRE(bool(in), "cannot open spec file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseExperimentSpec(text.str());
+}
+
+std::string
+formatExperimentSpec(const ExperimentSpec& spec)
+{
+    std::ostringstream out;
+    const auto& d = spec.system.disk;
+    out << "# HDDTherm experiment description\n"
+        << "[disk]\n"
+        << "diameter_in = " << d.geometry.diameterInches << "\n"
+        << "platters = " << d.geometry.platters << "\n"
+        << "kbpi = " << d.tech.bpi / 1e3 << "\n"
+        << "ktpi = " << d.tech.tpi / 1e3 << "\n"
+        << "zones = " << d.zones << "\n"
+        << "rpm = " << d.rpm << "\n"
+        << "head_switch_ms = " << d.headSwitchMs << "\n"
+        << "controller_overhead_ms = " << d.controllerOverheadMs << "\n"
+        << "bus_mbps = " << d.busMBps << "\n"
+        << "cache_mb = " << double(d.cacheBytes) / (1 << 20) << "\n"
+        << "cache_segments = " << d.cacheSegments << "\n"
+        << "read_ahead = " << (d.readAheadToTrackEnd ? "true" : "false")
+        << "\n"
+        << "scheduler = " << schedulerWord(d.scheduler) << "\n"
+        << "rpm_change_s_per_krpm = " << d.rpmChangeSecPerKrpm << "\n\n"
+        << "[array]\n"
+        << "disks = " << spec.system.disks << "\n"
+        << "raid = " << raidWord(spec.system.raid) << "\n"
+        << "stripe_sectors = " << spec.system.stripeSectors << "\n"
+        << "immediate_write_report = "
+        << (spec.system.immediateWriteReport ? "true" : "false") << "\n"
+        << "write_report_latency_ms = "
+        << spec.system.writeReportLatencyMs << "\n";
+    if (spec.hasWorkload) {
+        const auto& s = spec.workload;
+        out << "\n[workload]\n"
+            << "name = " << s.name << "\n"
+            << "devices = " << s.devices << "\n"
+            << "requests = " << s.requests << "\n"
+            << "arrival_rate = " << s.arrivalRatePerSec << "\n"
+            << "burstiness = " << s.burstiness << "\n"
+            << "read_fraction = " << s.readFraction << "\n"
+            << "min_sectors = " << s.minSectors << "\n"
+            << "mean_sectors = " << s.meanSectors << "\n"
+            << "max_sectors = " << s.maxSectors << "\n"
+            << "size_sigma = " << s.sizeSigma << "\n"
+            << "sequential_fraction = " << s.sequentialFraction << "\n"
+            << "regions = " << s.regions << "\n"
+            << "zipf_theta = " << s.zipfTheta << "\n"
+            << "device_zipf_theta = " << s.deviceZipfTheta << "\n"
+            << "seed = " << s.seed << "\n";
+    }
+    return out.str();
+}
+
+bool
+saveExperimentSpec(const ExperimentSpec& spec, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << formatExperimentSpec(spec);
+    return bool(out);
+}
+
+} // namespace hddtherm::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Text-file round-tripping for storage-system and workload descriptions.
+ *
+ * A small INI-style format (sections, `key = value`, `#` comments) lets
+ * experiments be described without recompiling — the role DiskSim's
+ * .parv files played.  Unknown keys are rejected (typos should fail
+ * loudly, not silently fall back to defaults).
+ *
+ * Example:
+ *
+ *     [disk]
+ *     diameter_in = 2.6
+ *     platters = 1
+ *     kbpi = 533
+ *     ktpi = 64
+ *     rpm = 15000
+ *     scheduler = fcfs
+ *
+ *     [array]
+ *     disks = 8
+ *     raid = raid5
+ *     stripe_sectors = 16
+ *
+ *     [workload]
+ *     requests = 60000
+ *     arrival_rate = 345
+ *     read_fraction = 0.4
+ */
+#ifndef HDDTHERM_CORE_CONFIG_IO_H
+#define HDDTHERM_CORE_CONFIG_IO_H
+
+#include <string>
+
+#include "sim/storage_system.h"
+#include "trace/synth.h"
+
+namespace hddtherm::core {
+
+/// A parsed experiment description.
+struct ExperimentSpec
+{
+    sim::SystemConfig system;     ///< [disk] + [array] sections.
+    trace::WorkloadSpec workload; ///< [workload] section.
+    bool hasWorkload = false;     ///< True if a [workload] section exists.
+};
+
+/**
+ * Parse an experiment description file.
+ * @throws util::ModelError on I/O failure, syntax errors, unknown
+ *         sections/keys, or out-of-domain values.
+ */
+ExperimentSpec loadExperimentSpec(const std::string& path);
+
+/// Parse an experiment description from a string (for tests/tools).
+ExperimentSpec parseExperimentSpec(const std::string& text);
+
+/// Serialize a spec back to the file format.
+std::string formatExperimentSpec(const ExperimentSpec& spec);
+
+/// Write a spec to @p path; returns false on I/O failure.
+bool saveExperimentSpec(const ExperimentSpec& spec,
+                        const std::string& path);
+
+} // namespace hddtherm::core
+
+#endif // HDDTHERM_CORE_CONFIG_IO_H

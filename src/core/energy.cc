@@ -1,0 +1,26 @@
+#include "core/energy.h"
+
+#include "thermal/calibration.h"
+#include "util/error.h"
+
+namespace hddtherm::core {
+
+EnergyBreakdown
+accountEnergy(const hdd::PlatterGeometry& geometry, double rpm,
+              const sim::DiskActivity& activity, double elapsed_sec)
+{
+    HDDTHERM_REQUIRE(elapsed_sec >= 0.0, "negative interval");
+    HDDTHERM_REQUIRE(activity.seekSec <= elapsed_sec + 1e-9,
+                     "seek time exceeds the accounted interval");
+    EnergyBreakdown out;
+    out.spindleJ =
+        thermal::spmMotorLossW(geometry.diameterInches) * elapsed_sec;
+    out.windageJ = thermal::viscousDissipationW(
+                       rpm, geometry.diameterInches, geometry.platters) *
+                   elapsed_sec;
+    out.vcmJ = thermal::vcmPowerW(geometry.diameterInches) *
+               activity.seekSec;
+    return out;
+}
+
+} // namespace hddtherm::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Drive energy accounting from simulated activity.
+ *
+ * Combines the calibrated power model (spindle loss, windage, VCM power)
+ * with the simulator's activity counters: the spindle spins — and churns
+ * air — for the whole interval, while the VCM only draws power during
+ * seeks.  This is the bridge between the paper's thermal view and the
+ * energy view of its DRPM lineage (Gurumurthi et al., ISCA 2003).
+ */
+#ifndef HDDTHERM_CORE_ENERGY_H
+#define HDDTHERM_CORE_ENERGY_H
+
+#include "hdd/geometry.h"
+#include "sim/disk.h"
+
+namespace hddtherm::core {
+
+/// Energy consumed by one drive over an interval.
+struct EnergyBreakdown
+{
+    double spindleJ = 0.0; ///< SPM motor loss over the interval.
+    double windageJ = 0.0; ///< Viscous dissipation over the interval.
+    double vcmJ = 0.0;     ///< Actuator energy (seek time x VCM power).
+
+    /// Total energy in joules.
+    double totalJ() const { return spindleJ + windageJ + vcmJ; }
+
+    /// Mean power over the accounted interval (0 for empty intervals).
+    double meanPowerW(double elapsed_sec) const
+    {
+        return elapsed_sec > 0.0 ? totalJ() / elapsed_sec : 0.0;
+    }
+};
+
+/**
+ * Account the energy of a drive that ran for @p elapsed_sec.
+ *
+ * @param geometry platter stack of the drive.
+ * @param rpm spindle speed held over the interval.
+ * @param activity simulator activity counters (seekSec drives VCM energy).
+ * @param elapsed_sec wall-clock interval covered by @p activity.
+ */
+EnergyBreakdown accountEnergy(const hdd::PlatterGeometry& geometry,
+                              double rpm, const sim::DiskActivity& activity,
+                              double elapsed_sec);
+
+} // namespace hddtherm::core
+
+#endif // HDDTHERM_CORE_ENERGY_H

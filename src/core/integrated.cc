@@ -1,0 +1,61 @@
+#include "core/integrated.h"
+
+#include <cmath>
+
+#include "thermal/calibration.h"
+#include "thermal/drive_thermal.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::core {
+
+DriveEvaluation
+evaluateDesign(const DriveDesign& design, double envelope_c)
+{
+    DriveEvaluation out;
+    const auto zm = design.layout();
+    out.capacity = hdd::computeCapacity(zm);
+    out.idrMBps = hdd::internalDataRateMBps(zm, design.rpm);
+    out.seek = hdd::SeekProfile::forDiameter(design.geometry.diameterInches);
+    out.avgRotationalLatencyMs =
+        util::secToMs(util::revolutionTimeSec(design.rpm)) / 2.0;
+
+    const auto tcfg = design.thermalConfig();
+    thermal::DriveThermalModel model(tcfg);
+    out.steadyAirTempC = model.steadyAirTempC();
+    out.withinEnvelope = out.steadyAirTempC <= envelope_c;
+    out.viscousPowerW = model.viscousPowerW();
+    out.vcmPowerW = model.vcmPowerW();
+    out.spmPowerW = model.spmPowerW();
+    out.maxRpmWithinEnvelope =
+        thermal::maxRpmWithinEnvelope(tcfg, envelope_c);
+    return out;
+}
+
+hdd::PlatterGeometry
+geometryForCapacity(const hdd::RecordingTech& tech, double target_gb,
+                    int zones)
+{
+    HDDTHERM_REQUIRE(target_gb > 0.0, "target capacity must be positive");
+    static const double kDiameters[] = {1.6, 2.1, 2.6, 3.0, 3.3, 3.7};
+
+    hdd::PlatterGeometry best;
+    double best_err = -1.0;
+    for (const double d : kDiameters) {
+        for (int platters = 1; platters <= 12; ++platters) {
+            hdd::PlatterGeometry g;
+            g.diameterInches = d;
+            g.platters = platters;
+            const hdd::ZoneModel zm(g, tech, zones);
+            const double gb = hdd::computeCapacity(zm).userGB;
+            const double err = std::fabs(std::log(gb / target_gb));
+            if (best_err < 0.0 || err < best_err) {
+                best_err = err;
+                best = g;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace hddtherm::core

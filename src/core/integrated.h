@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The integrated drive model — the paper's primary contribution (§3): one
+ * evaluation that couples capacity, performance and thermal behaviour of a
+ * drive design point.
+ */
+#ifndef HDDTHERM_CORE_INTEGRATED_H
+#define HDDTHERM_CORE_INTEGRATED_H
+
+#include "hdd/capacity.h"
+#include "hdd/geometry.h"
+#include "hdd/recording.h"
+#include "hdd/seek.h"
+#include "hdd/zoning.h"
+#include "thermal/envelope.h"
+
+namespace hddtherm::core {
+
+/// A complete drive design point.
+struct DriveDesign
+{
+    hdd::PlatterGeometry geometry;     ///< Platter size/count.
+    hdd::RecordingTech tech{533e3, 64e3}; ///< Recording point.
+    int zones = hdd::kDefaultZones;    ///< ZBR zones.
+    double rpm = 15000.0;              ///< Spindle speed.
+    hdd::FormFactor enclosure = hdd::FormFactor::ff35();
+    double ambientC = thermal::kBaselineAmbientC;
+    double coolingScale = 1.0;         ///< External-cooling multiplier.
+
+    /// Lay out the design's recording surfaces.
+    hdd::ZoneModel layout() const
+    {
+        return hdd::ZoneModel(geometry, tech, zones);
+    }
+
+    /// Thermal configuration of the design.
+    thermal::DriveThermalConfig thermalConfig() const
+    {
+        thermal::DriveThermalConfig cfg;
+        cfg.geometry = geometry;
+        cfg.enclosure = enclosure;
+        cfg.rpm = rpm;
+        cfg.ambientC = ambientC;
+        cfg.coolingScale = coolingScale;
+        return cfg;
+    }
+};
+
+/// Everything the integrated model says about a design point.
+struct DriveEvaluation
+{
+    hdd::CapacityBreakdown capacity;   ///< Raw/ZBR/user capacity.
+    double idrMBps = 0.0;              ///< Max internal data rate.
+    hdd::SeekProfile seek;             ///< Seek curve parameters.
+    double avgRotationalLatencyMs = 0.0; ///< Half a revolution.
+    double steadyAirTempC = 0.0;       ///< Worst-case (VCM-on) steady temp.
+    bool withinEnvelope = false;       ///< steadyAirTempC <= envelope.
+    double viscousPowerW = 0.0;        ///< Windage at the design RPM.
+    double vcmPowerW = 0.0;            ///< Actuator power.
+    double spmPowerW = 0.0;            ///< Spindle motor loss.
+    double maxRpmWithinEnvelope = 0.0; ///< Thermal speed ceiling.
+};
+
+/// Evaluate a design against the default 45.22 °C envelope.
+DriveEvaluation evaluateDesign(const DriveDesign& design,
+                               double envelope_c =
+                                   thermal::kThermalEnvelopeC);
+
+/**
+ * Choose a platter geometry whose user capacity under @p tech comes
+ * closest to @p target_gb, searching the paper-era diameters
+ * {1.6, 2.1, 2.6, 3.0, 3.3, 3.7} and 1-12 platters.  Used to reconstruct
+ * the drives behind the Figure 4 traces from their published capacities.
+ */
+hdd::PlatterGeometry geometryForCapacity(const hdd::RecordingTech& tech,
+                                         double target_gb,
+                                         int zones = hdd::kDefaultZones);
+
+} // namespace hddtherm::core
+
+#endif // HDDTHERM_CORE_INTEGRATED_H

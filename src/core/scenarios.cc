@@ -1,0 +1,206 @@
+#include "core/scenarios.h"
+
+#include "core/integrated.h"
+#include "roadmap/scaling.h"
+#include "util/error.h"
+
+namespace hddtherm::core {
+
+trace::Trace
+WorkloadScenario::makeTrace() const
+{
+    const trace::SyntheticWorkload gen(workload);
+    const sim::StorageSystem probe(system);
+    return gen.generate(probe.logicalSectors());
+}
+
+sim::ResponseMetrics
+WorkloadScenario::run(double rpm, std::size_t requests) const
+{
+    sim::SystemConfig cfg = system;
+    cfg.disk.rpm = rpm;
+    trace::WorkloadSpec spec = workload;
+    if (requests)
+        spec.requests = requests;
+    sim::StorageSystem array(cfg);
+    const trace::SyntheticWorkload gen(spec);
+    const auto tr = gen.generate(array.logicalSectors());
+    return array.run(tr.toRequests());
+}
+
+namespace {
+
+/// Shared scenario scaffolding: disk of the trace's year sized to the
+/// published capacity, 4 MB cache, 30 zones, FCFS (DiskSim defaults).
+WorkloadScenario
+makeScenario(const std::string& name, int year, double capacity_gb,
+             double base_rpm, int disks, sim::RaidLevel raid,
+             std::vector<double> paper_ms)
+{
+    static const roadmap::TechnologyTimeline timeline;
+    WorkloadScenario s;
+    s.name = name;
+    s.year = year;
+    s.paperDiskCapacityGB = capacity_gb;
+    s.baseRpm = base_rpm;
+    s.paperAvgResponseMs = std::move(paper_ms);
+
+    s.system.disks = disks;
+    s.system.raid = raid;
+    s.system.stripeSectors = 16; // paper: 16 x 512 B stripe units
+    s.system.disk.tech = timeline.tech(year);
+    // Geometry is reconstructed purely from the published per-disk
+    // capacity under the year's recording technology (the paper's "we
+    // used our model to capture the disk characteristics for the
+    // appropriate year"); the minimizer may pick a smaller-platter,
+    // higher-count stack than the era's marketing form factors.
+    s.system.disk.geometry =
+        geometryForCapacity(s.system.disk.tech, capacity_gb);
+    s.system.disk.rpm = base_rpm;
+    s.system.disk.zones = 30;
+    s.system.disk.cacheBytes = 4u << 20;
+
+    s.workload.name = name;
+    // JBOD traces address their devices directly; RAID traces address one
+    // logical volume.
+    s.workload.devices = raid == sim::RaidLevel::None ? disks : 1;
+    return s;
+}
+
+} // namespace
+
+std::vector<WorkloadScenario>
+figure4Scenarios(std::size_t requests)
+{
+    HDDTHERM_REQUIRE(requests >= 1000,
+                     "too few requests for a meaningful CDF");
+    std::vector<WorkloadScenario> out;
+
+    // ------------------------------------------------------------------
+    // HPL Openmail (2000): 8 x 9.29 GB @ 10K, RAID-5.  Mail-server mix:
+    // write-heavy, bursty, strong sequential runs inside mailbox files
+    // (the paper notes most requests span successive blocks even though
+    // 86% of requests move the arm).  The paper's 54.5 ms baseline mean
+    // indicates operation near saturation.
+    {
+        auto s = makeScenario("Openmail", 2000, 9.29, 10000.0, 8,
+                              sim::RaidLevel::Raid5,
+                              {54.54, 25.93, 18.61, 15.35});
+        s.workload.requests = requests;
+        s.workload.arrivalRatePerSec = 345.0;
+        s.workload.burstiness = 0.6;
+        s.workload.readFraction = 0.40;
+        s.workload.minSectors = 2;
+        s.workload.meanSectors = 12;
+        s.workload.maxSectors = 256;
+        s.workload.sequentialFraction = 0.50;
+        s.workload.regions = 4096;
+        s.workload.zipfTheta = 0.50;
+        s.workload.seed = 0xA11;
+        out.push_back(std::move(s));
+    }
+
+    // ------------------------------------------------------------------
+    // OLTP Application (1999, umass): 24 x 19.07 GB @ 10K, JBOD.  Small
+    // skewed random accesses with modest sequentiality; light per-disk
+    // load (5.66 ms baseline mean).
+    {
+        auto s = makeScenario("OLTP", 1999, 19.07, 10000.0, 24,
+                              sim::RaidLevel::None,
+                              {5.66, 4.48, 3.91, 3.57});
+        s.workload.requests = requests;
+        s.workload.arrivalRatePerSec = 790.0;
+        s.workload.burstiness = 0.2;
+        s.workload.readFraction = 0.66;
+        s.workload.minSectors = 2;
+        s.workload.meanSectors = 6;
+        s.workload.maxSectors = 64;
+        s.workload.sequentialFraction = 0.35;
+        s.workload.regions = 2048;
+        s.workload.zipfTheta = 0.80;
+        s.workload.seed = 0x01A9;
+        out.push_back(std::move(s));
+    }
+
+    // ------------------------------------------------------------------
+    // Search-Engine (1999, umass): 6 x 19.07 GB @ 10K, JBOD.  Almost pure
+    // reads over a popularity-skewed index; moderate queueing (16.2 ms).
+    {
+        auto s = makeScenario("Search-Engine", 1999, 19.07, 10000.0, 6,
+                              sim::RaidLevel::None,
+                              {16.22, 10.72, 8.63, 7.55});
+        s.workload.requests = requests;
+        s.workload.arrivalRatePerSec = 900.0;
+        s.workload.burstiness = 0.5;
+        s.workload.readFraction = 0.99;
+        s.workload.minSectors = 4;
+        s.workload.meanSectors = 16;
+        s.workload.maxSectors = 128;
+        s.workload.sequentialFraction = 0.30;
+        s.workload.regions = 2048;
+        s.workload.zipfTheta = 0.70;
+        s.workload.seed = 0x5EA;
+        out.push_back(std::move(s));
+    }
+
+    // ------------------------------------------------------------------
+    // TPC-C (2002): 4 x 37.17 GB @ 10K, RAID-5.  8 KB page I/O, hot
+    // tables, read-modify-write traffic; 6.5 ms baseline mean.
+    {
+        auto s = makeScenario("TPC-C", 2002, 37.17, 10000.0, 4,
+                              sim::RaidLevel::Raid5,
+                              {6.50, 3.23, 2.46, 2.06});
+        // The published 6.5 ms mean with a ~45% write mix implies an
+        // NVRAM-backed array controller reporting writes early.
+        s.system.immediateWriteReport = true;
+        s.workload.requests = requests;
+        s.workload.arrivalRatePerSec = 115.0;
+        s.workload.burstiness = 0.3;
+        s.workload.readFraction = 0.65;
+        s.workload.minSectors = 8;
+        s.workload.meanSectors = 16;
+        s.workload.maxSectors = 64;
+        s.workload.sequentialFraction = 0.10;
+        s.workload.regions = 512;
+        s.workload.zipfTheta = 1.60;
+        s.workload.seed = 0x7CC;
+        out.push_back(std::move(s));
+    }
+
+    // ------------------------------------------------------------------
+    // TPC-H (2002): 15 x 35.96 GB @ 7.2K, JBOD.  Decision support: large
+    // mostly-sequential scan reads; 4.9 ms baseline mean dominated by
+    // transfer + track-buffer hits.
+    {
+        auto s = makeScenario("TPC-H", 2002, 35.96, 7200.0, 15,
+                              sim::RaidLevel::None,
+                              {4.91, 3.25, 2.64, 2.32});
+        s.workload.requests = requests;
+        s.workload.arrivalRatePerSec = 400.0;
+        s.workload.burstiness = 0.3;
+        s.workload.readFraction = 0.97;
+        s.workload.minSectors = 16;
+        s.workload.meanSectors = 128;
+        s.workload.maxSectors = 512;
+        s.workload.sizeSigma = 0.4;
+        s.workload.sequentialFraction = 0.65;
+        s.workload.regions = 512;
+        s.workload.zipfTheta = 0.30;
+        s.workload.seed = 0x79C;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+WorkloadScenario
+figure4Scenario(const std::string& name, std::size_t requests)
+{
+    for (auto& s : figure4Scenarios(requests)) {
+        if (s.name == name)
+            return s;
+    }
+    throw util::ModelError("unknown Figure 4 scenario: " + name);
+}
+
+} // namespace hddtherm::core

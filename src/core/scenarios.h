@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The five server-workload scenarios of the paper's Figure 4.
+ *
+ * Each scenario reconstructs the storage system of Figure 4(a) — disk
+ * count, RAID organization, per-disk capacity for the trace's year, 4 MB
+ * drive caches, 30 ZBR zones — and pairs it with a synthetic workload
+ * tuned to the trace's published characteristics (see DESIGN.md §2).
+ * The experiment sweeps the spindle speed from the baseline in +5000 RPM
+ * steps, ignoring thermal limits, exactly as §5.1 does.
+ */
+#ifndef HDDTHERM_CORE_SCENARIOS_H
+#define HDDTHERM_CORE_SCENARIOS_H
+
+#include <string>
+#include <vector>
+
+#include "sim/storage_system.h"
+#include "trace/synth.h"
+
+namespace hddtherm::core {
+
+/// One Figure 4 scenario.
+struct WorkloadScenario
+{
+    std::string name;             ///< Trace name (paper Figure 4(a)).
+    int year = 2000;              ///< Year the trace was collected.
+    double paperDiskCapacityGB = 0.0; ///< Published per-disk capacity.
+    double baseRpm = 10000.0;     ///< Published baseline spindle speed.
+    /// Paper's average response times at base, +5K, +10K, +15K RPM (ms).
+    std::vector<double> paperAvgResponseMs;
+
+    trace::WorkloadSpec workload; ///< Synthetic-trace parameters.
+    sim::SystemConfig system;     ///< Reconstructed storage system.
+
+    /// The swept spindle speeds: base + {0, 5000, 10000, 15000}.
+    std::vector<double> rpmSteps() const
+    {
+        return {baseRpm, baseRpm + 5000.0, baseRpm + 10000.0,
+                baseRpm + 15000.0};
+    }
+
+    /// Generate the scenario's trace (deterministic for a fixed spec).
+    trace::Trace makeTrace() const;
+
+    /**
+     * Run the scenario at @p rpm and return the response metrics.
+     * @param requests overrides the spec's request count when nonzero.
+     */
+    sim::ResponseMetrics run(double rpm, std::size_t requests = 0) const;
+};
+
+/**
+ * All five scenarios (Openmail, OLTP, Search-Engine, TPC-C, TPC-H).
+ *
+ * @param requests per-scenario synthetic request count (the published
+ *        traces hold 3-6 M requests; the default keeps experiment runtime
+ *        interactive while the CDFs are already smooth).
+ */
+std::vector<WorkloadScenario> figure4Scenarios(std::size_t requests = 60000);
+
+/// Look up one scenario by name ("Openmail", "OLTP", "Search-Engine",
+/// "TPC-C", "TPC-H").
+WorkloadScenario figure4Scenario(const std::string& name,
+                                 std::size_t requests = 60000);
+
+} // namespace hddtherm::core
+
+#endif // HDDTHERM_CORE_SCENARIOS_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Thermal/performance co-simulation with closed-loop DTM control.
+ *
+ * The paper's §5.3 proposes, as future work, driving throttling decisions
+ * from the observed temperature while requests flow; this module makes
+ * that concrete.  The storage simulator and the drive thermal model step
+ * together: every control interval the measured VCM duty (seek time per
+ * wall-clock time) feeds the thermal model, and the DTM policy gates
+ * request dispatch (and optionally drops the spindle speed) when the
+ * temperature nears the envelope, resuming below a hysteresis threshold.
+ */
+#ifndef HDDTHERM_DTM_COSIM_H
+#define HDDTHERM_DTM_COSIM_H
+
+#include <vector>
+
+#include "dtm/governor.h"
+#include "sim/storage_system.h"
+#include "thermal/drive_thermal.h"
+
+namespace hddtherm::dtm {
+
+/// DTM control policies for the co-simulation.
+enum class DtmPolicy
+{
+    None,          ///< No control: temperature is observed only.
+    GateRequests,  ///< Stop dispatching near the envelope (Fig. 6(a)).
+    GateAndLowRpm, ///< Also drop to a second spindle speed (Fig. 6(b)).
+    GovernSpeed,   ///< DRPM-style multi-speed governor (dynamic §5.2).
+};
+
+/// Human-readable policy name.
+const char* dtmPolicyName(DtmPolicy policy);
+
+/// Co-simulation configuration.
+struct CoSimConfig
+{
+    sim::SystemConfig system;     ///< Storage array under test.
+    DtmPolicy policy = DtmPolicy::None;
+    double envelopeC = thermal::kThermalEnvelopeC;
+    /// Gate when the air temperature reaches this.
+    double gateThresholdC = thermal::kThermalEnvelopeC;
+    /// Resume once the temperature falls below this.  The throttling
+    /// dynamics are sub-second (Figure 7), so the hysteresis band is thin.
+    double resumeThresholdC = thermal::kThermalEnvelopeC - 0.05;
+    double lowRpm = 0.0;          ///< Second speed for GateAndLowRpm.
+    /// Speed ladder for GovernSpeed (must include a full-duty-safe rung).
+    std::vector<double> rpmLadder;
+    double ambientC = thermal::kBaselineAmbientC;
+    /**
+     * Optional ambient-temperature schedule as (time s, ambient C)
+     * breakpoints, linearly interpolated and clamped at the ends; empty
+     * means the constant ambientC.  Models diurnal machine-room swings or
+     * cooling degradation during a run.
+     */
+    std::vector<std::pair<double, double>> ambientProfile;
+    double controlIntervalSec = 0.1; ///< DTM control period.
+    double thermalDtSec = thermal::kPaperTimestepSec;
+    /// Start the drive hot (at its steady operating temperature) instead
+    /// of at ambient; default true, matching the throttling experiments.
+    bool startAtSteadyState = true;
+    /// Safety cap on simulated time; past it the controller stops and any
+    /// still-gated requests are abandoned (a warning is logged).
+    double maxSimulatedSec = 86400.0;
+    /**
+     * Fraction of the workload treated as warm-up: response metrics reset
+     * once this fraction of requests has completed, so slow thermal
+     * transients (the drive cooling into its governed operating point)
+     * don't dominate the reported means.  Temperature statistics still
+     * cover the whole run.
+     */
+    double warmupFraction = 0.0;
+};
+
+/// Co-simulation outcome.
+struct CoSimResult
+{
+    sim::ResponseMetrics metrics;   ///< Logical response times.
+    std::uint64_t speedChanges = 0; ///< Governor spindle-speed changes.
+    double maxTempC = 0.0;          ///< Peak internal air temperature.
+    double meanTempC = 0.0;         ///< Time-averaged air temperature.
+    double envelopeExceededSec = 0.0; ///< Time spent above the envelope.
+    double gatedSec = 0.0;          ///< Time spent throttled.
+    std::uint64_t gateEvents = 0;   ///< Gate activations.
+    double simulatedSec = 0.0;      ///< Total simulated time.
+    double meanVcmDuty = 0.0;       ///< Average measured VCM duty.
+};
+
+/// Joins a StorageSystem with the calibrated drive thermal model.
+class CoSimulation
+{
+  public:
+    explicit CoSimulation(const CoSimConfig& config);
+
+    /// Run a workload to completion under the configured policy.
+    CoSimResult run(const std::vector<sim::IoRequest>& workload);
+
+    /// Configuration in force.
+    const CoSimConfig& config() const { return config_; }
+
+  private:
+    CoSimConfig config_;
+};
+
+} // namespace hddtherm::dtm
+
+#endif // HDDTHERM_DTM_COSIM_H

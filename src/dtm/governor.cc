@@ -1,0 +1,123 @@
+#include "dtm/governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/interp.h"
+
+namespace hddtherm::dtm {
+
+namespace {
+
+/// Numerical slack on steady-state comparisons: admits the
+/// envelope-design speed, whose steady temperature sits exactly on the
+/// envelope up to calibration epsilon.
+constexpr double kSteadyToleranceC = 0.02;
+
+} // namespace
+
+SpeedGovernor::SpeedGovernor(const thermal::DriveThermalConfig& base,
+                             std::vector<double> rpm_ladder,
+                             double envelope_c, double up_margin_c,
+                             double down_trigger_c)
+    : ladder_(std::move(rpm_ladder)),
+      envelope_(envelope_c),
+      up_margin_(up_margin_c),
+      down_trigger_(down_trigger_c)
+{
+    HDDTHERM_REQUIRE(!ladder_.empty(), "empty speed ladder");
+    HDDTHERM_REQUIRE(up_margin_ >= 0.0 && down_trigger_ >= 0.0,
+                     "negative governor margins");
+    std::sort(ladder_.begin(), ladder_.end());
+    HDDTHERM_REQUIRE(ladder_.front() > 0.0, "non-positive ladder speed");
+
+    thermal::DriveThermalConfig cfg = base;
+    for (const double rpm : ladder_) {
+        cfg.rpm = rpm;
+        cfg.vcmDuty = 0.0;
+        steady_duty0_.push_back(thermal::steadyAirTempC(cfg));
+        cfg.vcmDuty = 1.0;
+        steady_duty1_.push_back(thermal::steadyAirTempC(cfg));
+    }
+
+    // Measure each rung transition's fast air jump: settle at the lower
+    // rung, switch speed, and let only the fast (air) mode respond.
+    for (int i = 0; i + 1 < levels(); ++i) {
+        cfg.rpm = ladder_[std::size_t(i)];
+        cfg.vcmDuty = 0.0;
+        thermal::DriveThermalModel model(cfg);
+        model.settle();
+        const double before = model.airTempC();
+        model.setRpm(ladder_[std::size_t(i) + 1]);
+        model.advance(0.5, 0.1);
+        up_jump_.push_back(std::max(0.0, model.airTempC() - before));
+    }
+    up_jump_.push_back(0.0); // top rung has no upward step
+    // The lowest rung must be safe even at full duty, or the governor
+    // could paint itself into a corner (a small tolerance admits the
+    // envelope-design speed itself, which sits exactly on the envelope).
+    HDDTHERM_REQUIRE(steady_duty1_.front() <= envelope_ + kSteadyToleranceC,
+                     "lowest ladder speed violates the envelope at full "
+                     "duty");
+}
+
+double
+SpeedGovernor::predictedSteadyC(int level, double duty) const
+{
+    HDDTHERM_REQUIRE(level >= 0 && level < levels(), "bad ladder level");
+    HDDTHERM_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty outside [0, 1]");
+    return util::lerp(steady_duty0_[std::size_t(level)],
+                      steady_duty1_[std::size_t(level)], duty);
+}
+
+double
+SpeedGovernor::maxSustainableRpm(double duty) const
+{
+    double best = 0.0;
+    for (int i = 0; i < levels(); ++i) {
+        if (predictedSteadyC(i, duty) <= envelope_ + kSteadyToleranceC)
+            best = ladder_[std::size_t(i)];
+    }
+    return best;
+}
+
+double
+SpeedGovernor::decide(double current_rpm, double measured_temp_c,
+                      double measured_duty) const
+{
+    const double duty = std::clamp(measured_duty, 0.0, 1.0);
+
+    // Index of the rung currently in force (highest rung <= current).
+    int cur = 0;
+    for (int i = 0; i < levels(); ++i) {
+        if (ladder_[std::size_t(i)] <= current_rpm + 1e-9)
+            cur = i;
+    }
+
+    // Step down when the measurement trips the trigger or the current
+    // rung cannot hold the observed duty.
+    if (measured_temp_c >= envelope_ - down_trigger_ ||
+        predictedSteadyC(cur, duty) > envelope_ + kSteadyToleranceC) {
+        return ladder_[std::size_t(std::max(cur - 1, 0))];
+    }
+
+    // Step up one rung when it is predicted sustainable and the measured
+    // temperature has headroom to absorb the fast windage jump.
+    if (cur + 1 < levels() &&
+        measured_temp_c + up_jump_[std::size_t(cur)] + up_margin_ <=
+            envelope_ &&
+        predictedSteadyC(cur + 1, duty) <= envelope_ + kSteadyToleranceC) {
+        return ladder_[std::size_t(cur + 1)];
+    }
+    return ladder_[std::size_t(cur)];
+}
+
+double
+SpeedGovernor::upStepJumpC(int level) const
+{
+    HDDTHERM_REQUIRE(level >= 0 && level < levels(), "bad ladder level");
+    return up_jump_[std::size_t(level)];
+}
+
+} // namespace hddtherm::dtm

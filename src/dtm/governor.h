@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-speed governor: the dynamic form of §5.2's thermal-slack
+ * exploitation.
+ *
+ * A multi-speed (DRPM-class) disk can ramp its spindle up when the
+ * workload seeks little and thermal slack exists, and back down as the
+ * temperature approaches the envelope.  The governor picks, from a ladder
+ * of supported speeds, the fastest one whose *predicted* steady-state air
+ * temperature at the currently measured VCM duty stays under the envelope
+ * by a safety margin — dropping immediately if the measured temperature
+ * gets too close.
+ *
+ * Steady temperature is exactly linear in VCM duty for a fixed speed in
+ * the lumped network, so each ladder level is characterized by its
+ * duty-0 and duty-1 steady temperatures, computed once.
+ */
+#ifndef HDDTHERM_DTM_GOVERNOR_H
+#define HDDTHERM_DTM_GOVERNOR_H
+
+#include <vector>
+
+#include "thermal/drive_thermal.h"
+
+namespace hddtherm::dtm {
+
+/// Speed governor over a ladder of spindle speeds.
+class SpeedGovernor
+{
+  public:
+    /**
+     * @param base drive thermal configuration (rpm field ignored).
+     * @param rpm_ladder supported speeds, any order (sorted internally).
+     * @param envelope_c thermal envelope.
+     * @param up_margin_c extra *measured* headroom demanded on top of the
+     *        measured per-rung air-temperature jump (see upStepJumpC)
+     *        before stepping up.
+     * @param down_trigger_c measured temperature (relative to envelope)
+     *        at which the governor steps down regardless of prediction.
+     */
+    SpeedGovernor(const thermal::DriveThermalConfig& base,
+                  std::vector<double> rpm_ladder,
+                  double envelope_c = thermal::kThermalEnvelopeC,
+                  double up_margin_c = 0.1,
+                  double down_trigger_c = 0.02);
+
+    /// Number of ladder levels.
+    int levels() const { return int(ladder_.size()); }
+
+    /// Speed of ladder level @p i (ascending).
+    double rpmAt(int level) const { return ladder_.at(std::size_t(level)); }
+
+    /// Predicted steady air temperature at (level, duty).
+    double predictedSteadyC(int level, double duty) const;
+
+    /**
+     * Choose the operating speed.  The governor moves at most one rung
+     * per decision: down when the measured temperature trips the trigger
+     * or the current rung is predicted unsustainable at the observed
+     * duty; up when the next rung is predicted sustainable and the
+     * measured temperature leaves enough headroom to absorb the step.
+     *
+     * @param current_rpm the speed currently in force.
+     * @param measured_temp_c current internal air temperature.
+     * @param measured_duty VCM duty observed over the last interval.
+     * @return the ladder speed to run at (may equal current_rpm).
+     */
+    double decide(double current_rpm, double measured_temp_c,
+                  double measured_duty) const;
+
+    /// Highest ladder speed sustainable at @p duty (0 if none).
+    double maxSustainableRpm(double duty) const;
+
+    /**
+     * Measured fast air-temperature jump of stepping from rung @p level to
+     * the next one: the extra windage lands in the near-massless internal
+     * air within a fraction of a second, long before the solids respond.
+     * The governor demands this much headroom before climbing.
+     */
+    double upStepJumpC(int level) const;
+
+  private:
+    std::vector<double> ladder_;
+    std::vector<double> steady_duty0_;
+    std::vector<double> steady_duty1_;
+    std::vector<double> up_jump_; ///< Fast jump to the next rung.
+    double envelope_;
+    double up_margin_;
+    double down_trigger_;
+};
+
+} // namespace hddtherm::dtm
+
+#endif // HDDTHERM_DTM_GOVERNOR_H

@@ -1,0 +1,47 @@
+#include "dtm/slack.h"
+
+#include "hdd/capacity.h"
+#include "thermal/calibration.h"
+
+namespace hddtherm::dtm {
+
+SlackPoint
+analyzeSlack(double diameter_inches, int platters,
+             const roadmap::RoadmapEngine& engine)
+{
+    SlackPoint out;
+    out.diameterInches = diameter_inches;
+    out.platters = platters;
+    out.vcmPowerW = thermal::vcmPowerW(diameter_inches);
+
+    auto cfg = engine.thermalConfig(diameter_inches, platters);
+    cfg.vcmDuty = 1.0;
+    out.envelopeRpm =
+        thermal::maxRpmWithinEnvelope(cfg, engine.options().envelopeC);
+    cfg.vcmDuty = 0.0;
+    out.slackRpm =
+        thermal::maxRpmWithinEnvelope(cfg, engine.options().envelopeC);
+    return out;
+}
+
+std::vector<SlackRoadmapPoint>
+slackRoadmap(double diameter_inches, int platters,
+             const roadmap::RoadmapEngine& engine)
+{
+    const SlackPoint slack = analyzeSlack(diameter_inches, platters, engine);
+    std::vector<SlackRoadmapPoint> out;
+    const auto& opts = engine.options();
+    for (int year = opts.startYear; year <= opts.endYear; ++year) {
+        const auto zm = engine.layout(year, diameter_inches, platters);
+        SlackRoadmapPoint p;
+        p.year = year;
+        p.targetIdr = engine.timeline().targetIdrMBps(year);
+        p.envelopeIdr =
+            hdd::internalDataRateMBps(zm, slack.envelopeRpm);
+        p.slackIdr = hdd::internalDataRateMBps(zm, slack.slackRpm);
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace hddtherm::dtm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thermal-slack DTM (paper §5.2).
+ *
+ * The thermal envelope is defined with the VCM continuously on.  When the
+ * workload seeks little (or the disk idles), the VCM heat vanishes and a
+ * multi-speed disk can spin faster while staying inside the envelope.
+ * This module quantifies that slack: the envelope-design RPM (VCM on) vs
+ * the slack-exploiting RPM (VCM off) per platter size, and the revised IDR
+ * roadmap those speeds enable (Figure 5).
+ */
+#ifndef HDDTHERM_DTM_SLACK_H
+#define HDDTHERM_DTM_SLACK_H
+
+#include <vector>
+
+#include "roadmap/roadmap.h"
+#include "thermal/envelope.h"
+
+namespace hddtherm::dtm {
+
+/// Slack analysis for one platter size (Figure 5(a)).
+struct SlackPoint
+{
+    double diameterInches = 0.0;
+    int platters = 1;
+    double envelopeRpm = 0.0;  ///< Max RPM with the VCM always on.
+    double slackRpm = 0.0;     ///< Max RPM with the VCM off.
+    double vcmPowerW = 0.0;    ///< The heat source the slack comes from.
+
+    /// Extra speed unlocked by the slack.
+    double rpmGain() const { return slackRpm - envelopeRpm; }
+};
+
+/// Quantify the VCM-off slack for a configuration.
+SlackPoint analyzeSlack(double diameter_inches, int platters,
+                        const roadmap::RoadmapEngine& engine);
+
+/// One year of the revised (slack-exploiting) IDR roadmap (Figure 5(b)).
+struct SlackRoadmapPoint
+{
+    int year = 0;
+    double targetIdr = 0.0;
+    double envelopeIdr = 0.0; ///< IDR at the VCM-on envelope RPM.
+    double slackIdr = 0.0;    ///< IDR at the VCM-off slack RPM.
+};
+
+/// Revised IDR roadmap for one platter size (1-platter, Figure 5(b)).
+std::vector<SlackRoadmapPoint>
+slackRoadmap(double diameter_inches, int platters,
+             const roadmap::RoadmapEngine& engine);
+
+} // namespace hddtherm::dtm
+
+#endif // HDDTHERM_DTM_SLACK_H

@@ -1,0 +1,50 @@
+#include "dtm/spindown.h"
+
+#include "thermal/calibration.h"
+#include "util/error.h"
+
+namespace hddtherm::dtm {
+
+SpindownResult
+evaluateSpindown(const std::vector<double>& idle_gaps,
+                 const hdd::PlatterGeometry& geometry, double rpm,
+                 const SpindownParams& params)
+{
+    HDDTHERM_REQUIRE(params.timeoutSec >= 0.0 &&
+                         params.spinDownSec >= 0.0 &&
+                         params.spinUpSec >= 0.0 &&
+                         params.spinUpEnergyJ >= 0.0 &&
+                         params.standbyPowerW >= 0.0,
+                     "negative spin-down parameter");
+
+    const double spinning_idle_w =
+        thermal::spmMotorLossW(geometry.diameterInches) +
+        thermal::viscousDissipationW(rpm, geometry.diameterInches,
+                                     geometry.platters);
+
+    SpindownResult out;
+    out.idleGaps = idle_gaps.size();
+    for (const double gap : idle_gaps) {
+        HDDTHERM_REQUIRE(gap >= 0.0, "negative idle gap");
+        out.idleTimeSec += gap;
+        out.idleEnergyJ += spinning_idle_w * gap;
+        if (gap > params.timeoutSec + params.spinDownSec) {
+            // Spin down after the timeout; standby until the next arrival
+            // triggers a spin-up (whose time stalls that request).
+            ++out.spinDowns;
+            const double standby = gap - params.timeoutSec -
+                                   params.spinDownSec;
+            out.policyEnergyJ += spinning_idle_w *
+                                     (params.timeoutSec +
+                                      params.spinDownSec) +
+                                 params.standbyPowerW * standby +
+                                 params.spinUpEnergyJ;
+            out.addedLatencySec += params.spinUpSec;
+        } else {
+            out.policyEnergyJ += spinning_idle_w * gap;
+        }
+    }
+    return out;
+}
+
+} // namespace hddtherm::dtm

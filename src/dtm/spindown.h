@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Timeout-based spin-down power management, evaluated on recorded idle
+ * gaps (paper §2's context).
+ *
+ * Conventional laptop-style power management spins the platters down
+ * after an idle timeout.  The paper argues (citing the authors' own
+ * ISPASS'03 study) that this is "challenging to apply in server systems,
+ * due to the relatively smaller durations of the idle periods" — which is
+ * precisely why the paper turns to DTM instead.  SpindownAnalysis lets
+ * the reproduction make that argument quantitatively: replay a workload
+ * with idle-gap recording on, then score timeout policies by energy saved
+ * and latency added.
+ */
+#ifndef HDDTHERM_DTM_SPINDOWN_H
+#define HDDTHERM_DTM_SPINDOWN_H
+
+#include <vector>
+
+#include "hdd/geometry.h"
+
+namespace hddtherm::dtm {
+
+/// Spin-down mechanism parameters (server-class defaults).
+struct SpindownParams
+{
+    double timeoutSec = 10.0;    ///< Idle time before spinning down.
+    double spinDownSec = 4.0;    ///< Time to stop the spindle.
+    double spinUpSec = 10.0;     ///< Time to restart and re-settle.
+    double spinUpEnergyJ = 135.0; ///< Extra energy of one spin-up.
+    double standbyPowerW = 1.0;  ///< Electronics kept alive in standby.
+};
+
+/// Outcome of evaluating one timeout policy over a gap distribution.
+struct SpindownResult
+{
+    std::size_t idleGaps = 0;      ///< Gaps considered.
+    std::size_t spinDowns = 0;     ///< Gaps long enough to trigger.
+    double idleEnergyJ = 0.0;      ///< Energy with the disk always on.
+    double policyEnergyJ = 0.0;    ///< Energy under the policy.
+    double addedLatencySec = 0.0;  ///< Total spin-up stall imposed.
+    double idleTimeSec = 0.0;      ///< Total idle time analyzed.
+
+    /// Fraction of always-on idle energy saved (can be negative when the
+    /// spin-up energy outweighs the standby savings).
+    double savedFraction() const
+    {
+        return idleEnergyJ > 0.0
+                   ? 1.0 - policyEnergyJ / idleEnergyJ
+                   : 0.0;
+    }
+
+    /// Mean spin-up stall per triggering gap, seconds.
+    double meanStallSec() const
+    {
+        return spinDowns ? addedLatencySec / double(spinDowns) : 0.0;
+    }
+};
+
+/**
+ * Evaluate a timeout spin-down policy over recorded idle gaps.
+ *
+ * Per gap g: the disk idles at its spinning idle power (SPM loss +
+ * windage for @p geometry at @p rpm).  If g > timeout + spinDown, the
+ * policy spins down after the timeout, pays the spin-down/up transition
+ * and the spin-up energy, idles at standby power in between, and stalls
+ * the next request by the spin-up time.
+ *
+ * @param idle_gaps gap lengths from SimDisk::idleGaps().
+ * @param geometry drive geometry (sets the spinning idle power).
+ * @param rpm spindle speed while spinning.
+ * @param params policy/mechanism parameters.
+ */
+SpindownResult evaluateSpindown(const std::vector<double>& idle_gaps,
+                                const hdd::PlatterGeometry& geometry,
+                                double rpm,
+                                const SpindownParams& params = {});
+
+} // namespace hddtherm::dtm
+
+#endif // HDDTHERM_DTM_SPINDOWN_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dynamic throttling DTM (paper §5.3, Figures 6 and 7).
+ *
+ * A drive designed for average-case behaviour spins faster than the
+ * worst-case envelope allows.  When the internal air approaches the
+ * envelope, the throttler stops issuing requests (killing VCM heat) for
+ * t_cool seconds — optionally also dropping to a lower spindle speed — and
+ * then resumes, heating back up over t_heat.  The figure of merit is the
+ * throttling ratio t_heat / t_cool: above 1, the disk works more than it
+ * rests.
+ *
+ * Scenario (a), "VCM-alone": full RPM is sustainable with the VCM off.
+ * Scenario (b), "VCM+Lower RPM": even VCM-off overheats at full speed, so
+ * cooling also drops the spindle to a second speed (a two-RPM disk like
+ * Hitachi's suffices: requests are always served at the high speed).
+ */
+#ifndef HDDTHERM_DTM_THROTTLE_H
+#define HDDTHERM_DTM_THROTTLE_H
+
+#include <optional>
+#include <vector>
+
+#include "thermal/drive_thermal.h"
+
+namespace hddtherm::dtm {
+
+/// Throttling experiment configuration.
+struct ThrottleConfig
+{
+    double diameterInches = 2.6;
+    int platters = 1;
+    double fullRpm = 24534.0;      ///< Operating (average-case) speed.
+    std::optional<double> lowRpm;  ///< Cooling speed (scenario (b)).
+    double envelopeC = thermal::kThermalEnvelopeC;
+    double ambientC = thermal::kBaselineAmbientC;
+    double timestepSec = thermal::kPaperTimestepSec;
+    /**
+     * Cool/heat cycles to run before measuring.  0 (the paper's protocol)
+     * measures the first cycle after the drive reaches the envelope;
+     * larger values converge to the periodic throttling regime.
+     */
+    int warmupCycles = 0;
+    /// Safety cap on a single heat phase, seconds.
+    double maxHeatSec = 7200.0;
+};
+
+/// Outcome of one throttling-ratio measurement.
+struct ThrottleResult
+{
+    double tcoolSec = 0.0;      ///< Imposed cooling time.
+    double theatSec = 0.0;      ///< Measured reheat time to the envelope.
+    double minTempC = 0.0;      ///< Air temperature after cooling.
+    double coolSteadyC = 0.0;   ///< Steady temp of the cooling config.
+    double hotSteadyC = 0.0;    ///< Steady temp of the operating config.
+
+    /// Throttling ratio t_heat / t_cool (want > 1).
+    double ratio() const { return theatSec / tcoolSec; }
+
+    /// Duty cycle achieved: fraction of time serving requests.
+    double utilization() const
+    {
+        return theatSec / (theatSec + tcoolSec);
+    }
+};
+
+/// One sample of a Figure 6 temperature trace.
+struct ThrottleTracePoint
+{
+    double timeSec = 0.0;
+    double tempC = 0.0;
+    bool cooling = false; ///< True while throttled.
+};
+
+/// Runs cool/heat cycles on the calibrated drive thermal model.
+class ThrottleExperiment
+{
+  public:
+    explicit ThrottleExperiment(const ThrottleConfig& config);
+
+    /// Measure the throttling ratio for one cooling time.
+    ThrottleResult run(double tcool_sec) const;
+
+    /// Sweep several cooling times (Figure 7's x-axis).
+    std::vector<ThrottleResult> sweep(
+        const std::vector<double>& tcool_secs) const;
+
+    /**
+     * Produce a temperature-vs-time trace of @p cycles cool/heat cycles
+     * sampled every @p sample_dt seconds (Figure 6).
+     */
+    std::vector<ThrottleTracePoint> temperatureTrace(
+        double tcool_sec, int cycles, double sample_dt = 1.0) const;
+
+    /// Configuration in force.
+    const ThrottleConfig& config() const { return config_; }
+
+  private:
+    thermal::DriveThermalModel makeModel() const;
+    void applyHot(thermal::DriveThermalModel& model) const;
+    void applyCool(thermal::DriveThermalModel& model) const;
+    /// Advance until the air temperature reaches the envelope; returns the
+    /// elapsed time (capped at maxHeatSec).
+    double heatToEnvelope(thermal::DriveThermalModel& model,
+                          double dt) const;
+
+    ThrottleConfig config_;
+};
+
+} // namespace hddtherm::dtm
+
+#endif // HDDTHERM_DTM_THROTTLE_H

@@ -1,0 +1,63 @@
+#include "hdd/capacity.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::hdd {
+
+CapacityBreakdown
+computeCapacity(const ZoneModel& layout)
+{
+    CapacityBreakdown out;
+    out.rawBits = layout.rawCapacityBits();
+    out.zbrSectors = layout.totalRawSectors();
+    out.userSectors = layout.totalUserSectors();
+    out.rawGB = out.rawBits / 8.0 / util::kBytesPerGB;
+    out.zbrGB = double(out.zbrSectors) * util::kSectorBytes /
+                util::kBytesPerGB;
+    out.userGB = double(out.userSectors) * util::kSectorBytes /
+                 util::kBytesPerGB;
+    out.zbrLossFraction =
+        out.rawBits > 0.0
+            ? 1.0 - double(out.zbrSectors) * util::kSectorBits / out.rawBits
+            : 0.0;
+    out.overheadFraction =
+        double(layout.servoBitsPerSector() + layout.eccBitsPerSector()) /
+        double(util::kSectorBits);
+    return out;
+}
+
+double
+internalDataRateMBps(const ZoneModel& layout, double rpm)
+{
+    HDDTHERM_REQUIRE(rpm > 0.0, "rpm must be positive");
+    const int ntz0 = layout.zone(0).userSectorsPerTrack;
+    return util::rpmToRevPerSec(rpm) * double(ntz0) * util::kSectorBytes /
+           util::kBytesPerMiB;
+}
+
+std::vector<double>
+zoneDataRatesMBps(const ZoneModel& layout, double rpm)
+{
+    HDDTHERM_REQUIRE(rpm > 0.0, "rpm must be positive");
+    std::vector<double> out;
+    out.reserve(std::size_t(layout.zones()));
+    for (int z = 0; z < layout.zones(); ++z) {
+        out.push_back(util::rpmToRevPerSec(rpm) *
+                      double(layout.zone(z).userSectorsPerTrack) *
+                      util::kSectorBytes / util::kBytesPerMiB);
+    }
+    return out;
+}
+
+double
+rpmForDataRate(const ZoneModel& layout, double target_idr)
+{
+    HDDTHERM_REQUIRE(target_idr > 0.0, "target IDR must be positive");
+    const int ntz0 = layout.zone(0).userSectorsPerTrack;
+    HDDTHERM_REQUIRE(ntz0 > 0, "layout has no user sectors in zone 0");
+    return target_idr * util::kBytesPerMiB /
+           (double(ntz0) * util::kSectorBytes) * 60.0;
+}
+
+} // namespace hddtherm::hdd

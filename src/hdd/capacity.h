@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Derated drive capacity and internal data rate (paper §3.1-3.2).
+ */
+#ifndef HDDTHERM_HDD_CAPACITY_H
+#define HDDTHERM_HDD_CAPACITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hdd/zoning.h"
+
+namespace hddtherm::hdd {
+
+/// Capacity breakdown of a ZBR layout, mirroring the paper's adjustments.
+struct CapacityBreakdown
+{
+    double rawBits = 0.0;            ///< Cmax: media-limited bits.
+    std::int64_t zbrSectors = 0;     ///< After ZBR quantization only.
+    std::int64_t userSectors = 0;    ///< After servo + ECC derating.
+    double rawGB = 0.0;              ///< Cmax in decimal GB.
+    double zbrGB = 0.0;              ///< ZBR capacity in decimal GB.
+    double userGB = 0.0;             ///< User capacity in decimal GB.
+    double zbrLossFraction = 0.0;    ///< 1 - zbr/raw.
+    double overheadFraction = 0.0;   ///< (servo+ecc)/4096 per sector.
+};
+
+/// Compute the capacity breakdown for a laid-out drive.
+CapacityBreakdown computeCapacity(const ZoneModel& layout);
+
+/**
+ * Maximum internal data rate in MB/s (MB = 2^20 bytes), experienced in the
+ * outermost zone (paper Equation 4):
+ *   IDR = (rpm / 60) * ntz0 * 512 / 2^20.
+ */
+double internalDataRateMBps(const ZoneModel& layout, double rpm);
+
+/**
+ * The RPM needed to reach @p target_idr MB/s on this layout (inverse of
+ * Equation 4).  Used by roadmap step 2.
+ */
+double rpmForDataRate(const ZoneModel& layout, double target_idr);
+
+/**
+ * Sustained media data rate of every zone, outermost first, in MB/s
+ * (MB = 2^20 bytes).  Zone 0's entry equals internalDataRateMBps(); inner
+ * zones fall off with their shorter tracks — the familiar ZBR bandwidth
+ * staircase.
+ */
+std::vector<double> zoneDataRatesMBps(const ZoneModel& layout, double rpm);
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_CAPACITY_H

@@ -1,0 +1,64 @@
+#include "hdd/drive_catalog.h"
+
+namespace hddtherm::hdd {
+
+const std::vector<DriveSpec>&
+table1Drives()
+{
+    // Columns: model, year, rpm, KBPI, KTPI, diameter("), platters,
+    // datasheet capacity (GB), datasheet IDR (MB/s),
+    // paper-model capacity (GB), paper-model IDR (MB/s).
+    static const std::vector<DriveSpec> drives = {
+        {"Quantum Atlas 10K", 1999, 10000, 256, 13.0, 3.3, 6,
+         18, 39.3, 17.6, 46.5},
+        {"IBM Ultrastar 36LZX", 1999, 10000, 352, 20.0, 3.0, 6,
+         36, 56.5, 30.8, 58.1},
+        {"Seagate Cheetah X15", 2000, 15000, 343, 21.4, 2.6, 5,
+         18, 63.5, 20.1, 73.6},
+        {"Quantum Atlas 10K II", 2000, 10000, 341, 14.2, 3.3, 3,
+         18, 59.8, 12.8, 61.9},
+        {"IBM Ultrastar 36Z15", 2001, 15000, 397, 27.0, 2.6, 6,
+         36, 80.9, 35.2, 72.1},
+        {"IBM Ultrastar 73LZX", 2001, 10000, 480, 27.3, 3.3, 3,
+         36, 86.3, 34.7, 85.2},
+        {"Seagate Barracuda 180", 2001, 7200, 490, 31.2, 3.7, 12,
+         180, 63.5, 203.5, 71.8},
+        {"Fujitsu AL-7LX", 2001, 15000, 450, 35.0, 2.7, 4,
+         36, 91.8, 37.2, 100.3},
+        {"Seagate Cheetah X15-36LP", 2001, 15000, 482, 38.0, 2.6, 4,
+         36, 88.6, 40.1, 103.4},
+        {"Seagate Cheetah 73LP", 2001, 10000, 485, 38.0, 3.3, 4,
+         73, 83.9, 65.1, 88.1},
+        {"Fujitsu AL-7LE", 2001, 10000, 485, 39.5, 3.3, 4,
+         73, 84.1, 67.6, 88.1},
+        {"Seagate Cheetah 10K.6", 2002, 10000, 570, 64.0, 3.3, 4,
+         146, 105.1, 128.8, 103.5},
+        {"Seagate Cheetah 15K.3", 2002, 15000, 533, 64.0, 2.6, 4,
+         73, 111.4, 74.8, 114.4},
+    };
+    return drives;
+}
+
+const std::vector<ThermalRating>&
+table2Ratings()
+{
+    static const std::vector<ThermalRating> ratings = {
+        {"IBM Ultrastar 36LZX", 1999, 10000, 29.4, 50.0},
+        {"Seagate Cheetah X15", 2000, 15000, 28.0, 55.0},
+        {"IBM Ultrastar 36Z15", 2001, 15000, 29.4, 55.0},
+        {"Seagate Barracuda 180", 2001, 7200, 28.0, 50.0},
+    };
+    return ratings;
+}
+
+std::optional<DriveSpec>
+findDrive(const std::string& model)
+{
+    for (const auto& d : table1Drives()) {
+        if (d.model == model)
+            return d;
+    }
+    return std::nullopt;
+}
+
+} // namespace hddtherm::hdd

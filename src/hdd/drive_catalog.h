@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Catalog of the real SCSI drives the paper validates against.
+ *
+ * Table 1 lists thirteen drives (1999-2002, four manufacturers) with their
+ * recording points, geometry, datasheet capacity/IDR, and the values the
+ * paper's model predicted.  Table 2 lists rated thermal envelopes for four
+ * of them.  The catalog feeds the model-validation experiment (E1/E3) and
+ * the workload study's per-year drive configurations.
+ */
+#ifndef HDDTHERM_HDD_DRIVE_CATALOG_H
+#define HDDTHERM_HDD_DRIVE_CATALOG_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdd/geometry.h"
+#include "hdd/recording.h"
+#include "hdd/zoning.h"
+
+namespace hddtherm::hdd {
+
+/// One catalog entry (a row of the paper's Table 1).
+struct DriveSpec
+{
+    std::string model;        ///< Marketing name.
+    int year = 0;             ///< Year of market introduction.
+    double rpm = 0.0;         ///< Spindle speed.
+    double kbpi = 0.0;        ///< Linear density, kilo-bits per inch.
+    double ktpi = 0.0;        ///< Track density, kilo-tracks per inch.
+    double diameterInches = 0.0; ///< Platter diameter.
+    int platters = 0;         ///< Platter count.
+    double datasheetCapacityGB = 0.0; ///< Vendor-quoted capacity.
+    double datasheetIdrMBps = 0.0;    ///< Vendor-quoted max IDR.
+    double paperModelCapacityGB = 0.0; ///< Paper's model prediction.
+    double paperModelIdrMBps = 0.0;    ///< Paper's model prediction.
+
+    /// Recording point of this drive.
+    RecordingTech tech() const { return {kbpi * 1e3, ktpi * 1e3}; }
+
+    /// Platter-stack geometry of this drive.
+    PlatterGeometry geometry() const
+    {
+        PlatterGeometry g;
+        g.diameterInches = diameterInches;
+        g.platters = platters;
+        return g;
+    }
+
+    /// Lay out the drive with the paper's 30-zone assumption.
+    ZoneModel layout(int zones = kDefaultZones) const
+    {
+        return ZoneModel(geometry(), tech(), zones);
+    }
+};
+
+/// A rated thermal envelope (a row of the paper's Table 2).
+struct ThermalRating
+{
+    std::string model;        ///< Marketing name.
+    int year = 0;             ///< Year of market introduction.
+    double rpm = 0.0;         ///< Spindle speed.
+    double wetBulbTempC = 0.0;    ///< Specified max external wet-bulb temp.
+    double maxOperatingTempC = 0.0; ///< Rated max operating temperature.
+};
+
+/// The thirteen validation drives of Table 1, in paper order.
+const std::vector<DriveSpec>& table1Drives();
+
+/// The four rated envelopes of Table 2, in paper order.
+const std::vector<ThermalRating>& table2Ratings();
+
+/// Look up a Table 1 drive by (case-sensitive) model name.
+std::optional<DriveSpec> findDrive(const std::string& model);
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_DRIVE_CATALOG_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Platter and enclosure geometry (paper §3.1, §3.3, §4.2.2).
+ */
+#ifndef HDDTHERM_HDD_GEOMETRY_H
+#define HDDTHERM_HDD_GEOMETRY_H
+
+#include "util/error.h"
+
+namespace hddtherm::hdd {
+
+/// Fraction of the radial band usable for data tracks ("stroke efficiency",
+/// paper §3.1; the accepted practitioner value is 2/3).
+inline constexpr double kDefaultStrokeEfficiency = 2.0 / 3.0;
+
+/**
+ * Geometry of the recording media stack.
+ *
+ * The paper's rule of thumb fixes the inner radius at half the outer radius;
+ * we keep the ratio configurable but default to 0.5.
+ */
+struct PlatterGeometry
+{
+    double diameterInches = 2.6;  ///< Platter (media) diameter, inches.
+    double innerRatio = 0.5;      ///< ri / ro.
+    int platters = 1;             ///< Number of platters in the stack.
+    double strokeEfficiency = kDefaultStrokeEfficiency;
+
+    /// Outer data radius in inches.
+    double outerRadiusInches() const { return diameterInches / 2.0; }
+
+    /// Inner data radius in inches.
+    double innerRadiusInches() const
+    {
+        return outerRadiusInches() * innerRatio;
+    }
+
+    /// Number of recording surfaces (two per platter).
+    int surfaces() const { return platters * 2; }
+
+    /// Validate invariants; throws util::ModelError on bad configuration.
+    void validate() const
+    {
+        HDDTHERM_REQUIRE(diameterInches > 0.0, "platter diameter > 0");
+        HDDTHERM_REQUIRE(innerRatio > 0.0 && innerRatio < 1.0,
+                         "inner radius ratio in (0, 1)");
+        HDDTHERM_REQUIRE(platters >= 1, "at least one platter");
+        HDDTHERM_REQUIRE(strokeEfficiency > 0.0 && strokeEfficiency <= 1.0,
+                         "stroke efficiency in (0, 1]");
+    }
+};
+
+/**
+ * Drive enclosure (form factor) footprint.  Determines the base/cover areas
+ * available to drain heat to the outside air (paper §3.3, §4.2.2).
+ */
+struct FormFactor
+{
+    double lengthInches = 5.75; ///< Case length.
+    double widthInches = 4.0;   ///< Case width.
+    double heightInches = 1.0;  ///< Case height.
+
+    /// Standard 3.5" form factor case (the paper's baseline enclosure).
+    static FormFactor ff35() { return {5.75, 4.0, 1.0}; }
+
+    /// 2.5" form factor case, 3.96" x 2.75" (paper §4.2.2).
+    static FormFactor ff25() { return {3.96, 2.75, 0.75}; }
+
+    /// Base (or cover) plate area in square inches.
+    double plateAreaSqIn() const { return lengthInches * widthInches; }
+
+    /// Total external surface area in square inches (plates + side walls).
+    double externalAreaSqIn() const
+    {
+        return 2.0 * plateAreaSqIn() +
+               2.0 * heightInches * (lengthInches + widthInches);
+    }
+};
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_GEOMETRY_H

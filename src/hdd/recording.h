@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Magnetic recording technology abstraction (paper §3.1).
+ *
+ * A recording point is the pair (BPI, TPI): linear bit density along a track
+ * and radial track density.  Their product is the areal density — the
+ * fundamental determinant of both capacity and data rate — and their ratio
+ * is the bit aspect ratio (BAR) that the technology-scaling model tracks.
+ */
+#ifndef HDDTHERM_HDD_RECORDING_H
+#define HDDTHERM_HDD_RECORDING_H
+
+namespace hddtherm::hdd {
+
+/// Areal density threshold, in bits per square inch, beyond which the paper
+/// charges the terabit-class ECC overhead (Wood 2000).
+inline constexpr double kTerabitArealDensity = 1e12;
+
+/// ECC overhead per 512-byte sector for sub-terabit areal densities
+/// (about 10 % of the 4096 payload bits).
+inline constexpr int kEccBitsSubTerabit = 416;
+
+/// ECC overhead per 512-byte sector in the terabit regime (about 35 %).
+inline constexpr int kEccBitsTerabit = 1440;
+
+/// A point in recording-technology space.
+struct RecordingTech
+{
+    double bpi = 0.0; ///< Linear density, bits per inch along a track.
+    double tpi = 0.0; ///< Track density, tracks per inch radially.
+
+    /// Areal density in bits per square inch.
+    double arealDensity() const { return bpi * tpi; }
+
+    /// Bit aspect ratio BPI/TPI (dimensionless, ~6-7 in 2002, ~3.4 at 1 Tb).
+    double bitAspectRatio() const { return bpi / tpi; }
+
+    /// True once areal density reaches the terabit regime.
+    bool isTerabit() const { return arealDensity() >= kTerabitArealDensity; }
+
+    /// ECC bits charged per sector at this density (paper §3.1).
+    int eccBitsPerSector() const
+    {
+        return isTerabit() ? kEccBitsTerabit : kEccBitsSubTerabit;
+    }
+};
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_RECORDING_H

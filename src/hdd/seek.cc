@@ -1,0 +1,84 @@
+#include "hdd/seek.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/interp.h"
+#include "util/units.h"
+
+namespace hddtherm::hdd {
+
+SeekProfile
+SeekProfile::forDiameter(double diameter_inches)
+{
+    HDDTHERM_REQUIRE(diameter_inches > 0.0, "diameter must be positive");
+    // Anchors distilled from server-drive datasheets across platter sizes
+    // (Cheetah X15 family at 2.6", Atlas 10K at 3.3", Barracuda at 3.7",
+    // small-media points extrapolated along the same trend).  The paper
+    // likewise linearly interpolates device data across platter sizes.
+    using util::PiecewiseLinear;
+    static const PiecewiseLinear track_to_track({
+        {1.6, 0.25}, {2.1, 0.30}, {2.6, 0.40}, {3.0, 0.50},
+        {3.3, 0.60}, {3.7, 0.80}});
+    static const PiecewiseLinear average({
+        {1.6, 2.2}, {2.1, 2.9}, {2.6, 3.6}, {3.0, 4.2},
+        {3.3, 4.7}, {3.7, 5.6}});
+    static const PiecewiseLinear full_stroke({
+        {1.6, 4.5}, {2.1, 6.0}, {2.6, 7.4}, {3.0, 9.0},
+        {3.3, 10.5}, {3.7, 12.5}});
+
+    SeekProfile p;
+    p.trackToTrackMs = track_to_track(diameter_inches);
+    p.averageMs = average(diameter_inches);
+    p.fullStrokeMs = full_stroke(diameter_inches);
+    return p;
+}
+
+SeekModel::SeekModel(const SeekProfile& profile, int cylinders)
+    : profile_(profile), cylinders_(cylinders)
+{
+    HDDTHERM_REQUIRE(cylinders_ >= 2, "need at least two cylinders");
+    HDDTHERM_REQUIRE(profile_.trackToTrackMs > 0.0 &&
+                         profile_.averageMs >= profile_.trackToTrackMs &&
+                         profile_.fullStrokeMs >= profile_.averageMs,
+                     "seek profile must be ordered t2t <= avg <= full");
+    avg_distance_ = double(cylinders_) / 3.0;
+}
+
+double
+SeekModel::seekTimeMs(int distance) const
+{
+    HDDTHERM_REQUIRE(distance >= 0 && distance < cylinders_,
+                     "seek distance out of range");
+    if (distance == 0)
+        return 0.0;
+    const auto d = double(distance);
+
+    // Very short seeks (< 10 cylinders) deviate from the linear fit; use a
+    // square-root ramp anchored at the track-to-track time, the classic
+    // acceleration-limited shape.
+    if (d < 10.0 && d < avg_distance_) {
+        const double at10 =
+            profile_.trackToTrackMs +
+            (9.0 / (avg_distance_ - 1.0)) *
+                (profile_.averageMs - profile_.trackToTrackMs);
+        return profile_.trackToTrackMs +
+               (at10 - profile_.trackToTrackMs) * std::sqrt((d - 1.0) / 9.0);
+    }
+
+    if (d <= avg_distance_) {
+        const double t = (d - 1.0) / (avg_distance_ - 1.0);
+        return util::lerp(profile_.trackToTrackMs, profile_.averageMs, t);
+    }
+    const double dmax = double(cylinders_ - 1);
+    const double t = (d - avg_distance_) / (dmax - avg_distance_);
+    return util::lerp(profile_.averageMs, profile_.fullStrokeMs, t);
+}
+
+double
+SeekModel::seekTimeSec(int distance) const
+{
+    return util::msToSec(seekTimeMs(distance));
+}
+
+} // namespace hddtherm::hdd

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seek-time model (paper §3.2).
+ *
+ * Three datasheet parameters — track-to-track, average, and full-stroke
+ * seek times — define a two-segment piecewise-linear curve over seek
+ * distance (Worthington et al. 1995 report this is accurate except for very
+ * short seeks, which get a square-root profile here).  Parameters for
+ * platter sizes without a datasheet are interpolated linearly in diameter
+ * from real-device anchor points, as the paper does.
+ */
+#ifndef HDDTHERM_HDD_SEEK_H
+#define HDDTHERM_HDD_SEEK_H
+
+namespace hddtherm::hdd {
+
+/// Seek-curve parameters, all in milliseconds.
+struct SeekProfile
+{
+    double trackToTrackMs = 0.4; ///< Adjacent-cylinder seek (incl. settle).
+    double averageMs = 3.6;      ///< Random average seek.
+    double fullStrokeMs = 7.4;   ///< End-to-end seek.
+
+    /// Datasheet-style parameters for a platter diameter in inches, by
+    /// linear interpolation between real-device anchors.
+    static SeekProfile forDiameter(double diameter_inches);
+};
+
+/**
+ * Evaluates seek time as a function of seek distance in cylinders.
+ */
+class SeekModel
+{
+  public:
+    /**
+     * @param profile the three-point curve parameters.
+     * @param cylinders total cylinders (fixes the full-stroke distance and
+     *        the average distance at cylinders/3).
+     */
+    SeekModel(const SeekProfile& profile, int cylinders);
+
+    /// Seek time in milliseconds for a move of @p distance cylinders.
+    double seekTimeMs(int distance) const;
+
+    /// Seek time in seconds.
+    double seekTimeSec(int distance) const;
+
+    /// The underlying profile.
+    const SeekProfile& profile() const { return profile_; }
+
+    /// Cylinder count the model was built for.
+    int cylinders() const { return cylinders_; }
+
+    /// Expected seek time for a uniformly random seek (distance cyl/3).
+    double averageMsValue() const { return profile_.averageMs; }
+
+  private:
+    SeekProfile profile_;
+    int cylinders_ = 1;
+    double avg_distance_ = 1.0;
+};
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_SEEK_H

@@ -1,0 +1,109 @@
+#include "hdd/zoning.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::hdd {
+
+ZoneModel::ZoneModel(const PlatterGeometry& geometry,
+                     const RecordingTech& tech, int zones,
+                     int ecc_bits_override)
+    : geometry_(geometry), tech_(tech)
+{
+    geometry_.validate();
+    HDDTHERM_REQUIRE(tech_.bpi > 0.0 && tech_.tpi > 0.0,
+                     "recording densities must be positive");
+    HDDTHERM_REQUIRE(zones >= 1, "need at least one zone");
+
+    const double ro = geometry_.outerRadiusInches();
+    const double ri = geometry_.innerRadiusInches();
+    cylinders_ =
+        int(std::floor(geometry_.strokeEfficiency * (ro - ri) * tech_.tpi));
+    HDDTHERM_REQUIRE(cylinders_ >= 2,
+                     "configuration yields fewer than two cylinders");
+
+    servo_bits_ = int(std::ceil(std::log2(double(cylinders_))));
+    ecc_bits_ = ecc_bits_override >= 0 ? ecc_bits_override
+                                       : tech_.eccBitsPerSector();
+    const double overhead_frac =
+        double(servo_bits_ + ecc_bits_) / double(util::kSectorBits);
+    HDDTHERM_REQUIRE(overhead_frac < 1.0, "per-sector overhead exceeds 100%");
+
+    const int nz = std::min(zones, cylinders_);
+    const int base = cylinders_ / nz; // last zone absorbs the remainder
+    zones_.reserve(std::size_t(nz));
+
+    int first = 0;
+    for (int z = 0; z < nz; ++z) {
+        Zone zone;
+        zone.firstCylinder = first;
+        zone.cylinders = (z == nz - 1) ? cylinders_ - first : base;
+        const int innermost = zone.firstCylinder + zone.cylinders - 1;
+        zone.minTrackRadiusIn = trackRadiusInches(innermost);
+        const double perimeter =
+            2.0 * std::numbers::pi * zone.minTrackRadiusIn;
+        zone.rawBitsPerTrack = std::int64_t(perimeter * tech_.bpi);
+        zone.rawSectorsPerTrack =
+            int(zone.rawBitsPerTrack / util::kSectorBits);
+        zone.userSectorsPerTrack = int(std::floor(
+            double(zone.rawSectorsPerTrack) * (1.0 - overhead_frac)));
+
+        total_raw_sectors_ += std::int64_t(surfaces()) * zone.cylinders *
+                              zone.rawSectorsPerTrack;
+        total_user_sectors_ += std::int64_t(surfaces()) * zone.cylinders *
+                               zone.userSectorsPerTrack;
+        first += zone.cylinders;
+        zones_.push_back(zone);
+    }
+    HDDTHERM_ASSERT(first == cylinders_);
+}
+
+int
+ZoneModel::zoneOfCylinder(int cylinder) const
+{
+    HDDTHERM_REQUIRE(cylinder >= 0 && cylinder < cylinders_,
+                     "cylinder out of range");
+    const int base = zones_.front().cylinders;
+    const int z = std::min(cylinder / base, int(zones_.size()) - 1);
+    HDDTHERM_ASSERT(cylinder >= zones_[std::size_t(z)].firstCylinder);
+    return z;
+}
+
+double
+ZoneModel::trackRadiusInches(int cylinder) const
+{
+    HDDTHERM_REQUIRE(cylinder >= 0 && cylinder < cylinders_,
+                     "cylinder out of range");
+    const double ro = geometry_.outerRadiusInches();
+    const double ri = geometry_.innerRadiusInches();
+    // Paper Equation 1: cylinder 0 is outermost at ro, the last cylinder is
+    // innermost at ri, uniformly spaced in radius.
+    return ri + (ro - ri) * double(cylinders_ - cylinder - 1) /
+                    double(cylinders_ - 1);
+}
+
+int
+ZoneModel::userSectorsPerTrack(int cylinder) const
+{
+    return zones_[std::size_t(zoneOfCylinder(cylinder))].userSectorsPerTrack;
+}
+
+std::int64_t
+ZoneModel::userSectorsPerCylinder(int cylinder) const
+{
+    return std::int64_t(surfaces()) * userSectorsPerTrack(cylinder);
+}
+
+double
+ZoneModel::rawCapacityBits() const
+{
+    const double ro = geometry_.outerRadiusInches();
+    const double ri = geometry_.innerRadiusInches();
+    return geometry_.strokeEfficiency * surfaces() * std::numbers::pi *
+           (ro * ro - ri * ri) * tech_.arealDensity();
+}
+
+} // namespace hddtherm::hdd

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Zoned-bit-recording layout model (paper §3.1).
+ *
+ * ZoneModel lays out the cylinders of one surface across n_zones equal
+ * groups.  Every track in a zone is formatted with the sector count of the
+ * zone's smallest-perimeter (innermost) track.  Per-sector overheads follow
+ * the paper exactly:
+ *   - servo: ceil(log2(n_cylinders)) bits for the Gray-coded track id;
+ *   - ECC: 416 bits/sector below 1 Tb/in^2, 1440 bits/sector at or above.
+ * The derated (user-visible) sector count of a track multiplies the raw
+ * count by (1 - overhead / 4096), matching the paper's alpha adjustment and
+ * its validated Table 1 values.
+ *
+ * The simulator reuses this layout for LBA-to-physical mapping, so the
+ * capacity model and the mechanical model can never disagree.
+ */
+#ifndef HDDTHERM_HDD_ZONING_H
+#define HDDTHERM_HDD_ZONING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hdd/geometry.h"
+#include "hdd/recording.h"
+
+namespace hddtherm::hdd {
+
+/// Default zone count used by the paper for modern drives.
+inline constexpr int kDefaultZones = 30;
+
+/// One zone of the ZBR layout (zone 0 is outermost).
+struct Zone
+{
+    int firstCylinder = 0;       ///< Index of the outermost cylinder.
+    int cylinders = 0;           ///< Number of cylinders in this zone.
+    double minTrackRadiusIn = 0; ///< Radius of the innermost track, inches.
+    std::int64_t rawBitsPerTrack = 0;   ///< Bit capacity of the min track.
+    int rawSectorsPerTrack = 0;  ///< floor(rawBits / 4096).
+    int userSectorsPerTrack = 0; ///< After servo + ECC derating.
+};
+
+/**
+ * The full ZBR layout of one recording surface, replicated across all
+ * surfaces of the stack.
+ */
+class ZoneModel
+{
+  public:
+    /**
+     * Build a layout.
+     *
+     * @param geometry platter stack geometry (validated here).
+     * @param tech recording point; determines ECC overhead.
+     * @param zones number of ZBR zones (>= 1).
+     * @param ecc_bits_override if non-negative, replaces the density-derived
+     *        ECC bits/sector (used by the smoothed-ECC-transition ablation).
+     */
+    ZoneModel(const PlatterGeometry& geometry, const RecordingTech& tech,
+              int zones = kDefaultZones, int ecc_bits_override = -1);
+
+    /// Total cylinders on a surface: eta * (ro - ri) * TPI.
+    int cylinders() const { return cylinders_; }
+
+    /// Number of zones actually laid out (<= requested when few cylinders).
+    int zones() const { return int(zones_.size()); }
+
+    /// Number of recording surfaces.
+    int surfaces() const { return geometry_.surfaces(); }
+
+    /// Servo bits per sector: ceil(log2(cylinders)).
+    int servoBitsPerSector() const { return servo_bits_; }
+
+    /// ECC bits per sector for the configured recording point.
+    int eccBitsPerSector() const { return ecc_bits_; }
+
+    /// Zone descriptor by index (0 = outermost).
+    const Zone& zone(int z) const { return zones_.at(std::size_t(z)); }
+
+    /// Zone index containing @p cylinder.
+    int zoneOfCylinder(int cylinder) const;
+
+    /// Radius of @p cylinder in inches (paper Equation 1 divided by 2*pi).
+    double trackRadiusInches(int cylinder) const;
+
+    /// User sectors on one track of @p cylinder (ZBR: zone-min formatted).
+    int userSectorsPerTrack(int cylinder) const;
+
+    /// User sectors per cylinder (all surfaces).
+    std::int64_t userSectorsPerCylinder(int cylinder) const;
+
+    /// Total user-addressable sectors on the drive.
+    std::int64_t totalUserSectors() const { return total_user_sectors_; }
+
+    /// Total formatted-but-underated sectors (ZBR loss only, no servo/ECC).
+    std::int64_t totalRawSectors() const { return total_raw_sectors_; }
+
+    /// Raw media capacity in bits: eta * nsurf * pi (ro^2-ri^2) * BPI * TPI.
+    double rawCapacityBits() const;
+
+    /// Recording point used for this layout.
+    const RecordingTech& tech() const { return tech_; }
+
+    /// Geometry used for this layout.
+    const PlatterGeometry& geometry() const { return geometry_; }
+
+  private:
+    PlatterGeometry geometry_;
+    RecordingTech tech_;
+    int cylinders_ = 0;
+    int servo_bits_ = 0;
+    int ecc_bits_ = 0;
+    std::vector<Zone> zones_;
+    std::int64_t total_user_sectors_ = 0;
+    std::int64_t total_raw_sectors_ = 0;
+};
+
+} // namespace hddtherm::hdd
+
+#endif // HDDTHERM_HDD_ZONING_H

@@ -1,0 +1,154 @@
+#include "roadmap/planner.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hddtherm::roadmap {
+
+const char*
+planActionName(PlanAction action)
+{
+    switch (action) {
+      case PlanAction::Hold:
+        return "hold";
+      case PlanAction::RaiseRpm:
+        return "raise-rpm";
+      case PlanAction::ShrinkPlatter:
+        return "shrink-platter";
+      case PlanAction::AddPlatters:
+        return "shrink+add-platters";
+      case PlanAction::OffTarget:
+        return "off-target";
+    }
+    return "unknown";
+}
+
+RoadmapPlanner::RoadmapPlanner(const RoadmapEngine& engine,
+                               const PlannerOptions& options)
+    : engine_(engine), options_(options)
+{
+    HDDTHERM_REQUIRE(!options_.diameters.empty(),
+                     "planner needs at least one platter size");
+    HDDTHERM_REQUIRE(!options_.counts.empty(),
+                     "planner needs at least one platter count");
+    HDDTHERM_REQUIRE(std::is_sorted(options_.diameters.begin(),
+                                    options_.diameters.end(),
+                                    std::greater<double>()),
+                     "diameters must be largest-first");
+    HDDTHERM_REQUIRE(std::is_sorted(options_.counts.begin(),
+                                    options_.counts.end()),
+                     "counts must be fewest-first");
+}
+
+RoadmapPoint
+RoadmapPlanner::evaluate(int year, std::size_t diameter_index,
+                         std::size_t count_index) const
+{
+    return engine_.evaluate(year, options_.diameters.at(diameter_index),
+                            options_.counts.at(count_index));
+}
+
+std::vector<PlanStep>
+RoadmapPlanner::plan() const
+{
+    const auto& opts = engine_.options();
+    std::vector<PlanStep> steps;
+    std::size_t di = 0; // largest platter
+    std::size_t ci = 0; // fewest platters
+    double prev_capacity = 0.0;
+
+    for (int year = opts.startYear; year <= opts.endYear; ++year) {
+        PlanAction action =
+            year == opts.startYear ? PlanAction::Hold : PlanAction::RaiseRpm;
+        RoadmapPoint p = evaluate(year, di, ci);
+
+        if (!p.meetsTarget) {
+            // Step 3: shrink the platter until the target is reachable.
+            bool found = false;
+            for (std::size_t d2 = di + 1; d2 < options_.diameters.size();
+                 ++d2) {
+                RoadmapPoint candidate = evaluate(year, d2, ci);
+                if (!candidate.meetsTarget)
+                    continue;
+                // Step 4: the shrink costs capacity; add platters to buy
+                // it back while the target still holds.
+                std::size_t c2 = ci;
+                while (candidate.capacityGB < prev_capacity &&
+                       c2 + 1 < options_.counts.size()) {
+                    const RoadmapPoint taller = evaluate(year, d2, c2 + 1);
+                    if (!taller.meetsTarget)
+                        break;
+                    ++c2;
+                    candidate = taller;
+                }
+                action = c2 > ci ? PlanAction::AddPlatters
+                                 : PlanAction::ShrinkPlatter;
+                di = d2;
+                ci = c2;
+                p = candidate;
+                found = true;
+                break;
+            }
+
+            if (!found) {
+                // Nothing meets the target: settle at the configuration
+                // with the highest achievable IDR (the smallest platter),
+                // stacking platters for capacity while that doesn't hurt
+                // the data rate materially.
+                action = PlanAction::OffTarget;
+                std::size_t best_d = di;
+                double best_idr = p.achievableIdr;
+                for (std::size_t d2 = di; d2 < options_.diameters.size();
+                     ++d2) {
+                    const RoadmapPoint candidate = evaluate(year, d2, ci);
+                    if (candidate.achievableIdr > best_idr) {
+                        best_idr = candidate.achievableIdr;
+                        best_d = d2;
+                    }
+                }
+                std::size_t best_c = ci;
+                RoadmapPoint candidate = evaluate(year, best_d, best_c);
+                while (candidate.capacityGB < prev_capacity &&
+                       best_c + 1 < options_.counts.size()) {
+                    const RoadmapPoint taller =
+                        evaluate(year, best_d, best_c + 1);
+                    if (taller.achievableIdr < 0.95 * best_idr)
+                        break;
+                    ++best_c;
+                    candidate = taller;
+                }
+                di = best_d;
+                ci = best_c;
+                p = candidate;
+            }
+        }
+
+        PlanStep step;
+        step.year = year;
+        step.diameterInches = options_.diameters[di];
+        step.platters = options_.counts[ci];
+        step.targetIdr = p.targetIdr;
+        step.onTarget = p.meetsTarget;
+        if (p.meetsTarget && options_.runAtTargetRpm) {
+            // "Employ a lower RPM to just sustain the target IDR."
+            step.rpm = p.requiredRpm;
+            step.idr = p.targetIdr;
+            step.temperatureC = p.requiredRpmTempC;
+        } else {
+            step.rpm = p.maxRpm;
+            step.idr = p.achievableIdr;
+            auto cfg = engine_.thermalConfig(step.diameterInches,
+                                             step.platters);
+            cfg.rpm = std::max(step.rpm, 1.0);
+            step.temperatureC = thermal::steadyAirTempC(cfg);
+        }
+        step.capacityGB = p.capacityGB;
+        step.action = action;
+        steps.push_back(step);
+        prev_capacity = step.capacityGB;
+    }
+    return steps;
+}
+
+} // namespace hddtherm::roadmap

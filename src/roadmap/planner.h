@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The roadmap *procedure* of paper §4: a manufacturer walking the years.
+ *
+ * Table 3 and Figure 2 evaluate fixed configurations; the paper's
+ * methodology (steps 1-4) and its §4.1 narrative describe what a
+ * manufacturer actually does when a configuration falls off the IDR
+ * target:
+ *
+ *   "Sacrifice the data rate and retain capacity growth by maintaining
+ *    the same platter size. / Sacrifice capacity by reducing the platter
+ *    size to achieve the higher data rate. / Achieve the higher IDR by
+ *    shrinking the platter but get the higher capacity by adding more
+ *    platters."
+ *
+ * RoadmapPlanner automates that walk: each year it keeps the current
+ * (platter size, count) if the envelope-limited IDR still meets the
+ * target; otherwise it shrinks the platter (the paper's step 3), and
+ * when the shrink costs capacity relative to the previous year it adds
+ * platters to buy it back (step 4) — accepting the higher cooling budget
+ * that entails.  When even the smallest platter cannot meet the target,
+ * the drive stays at its best configuration and the shortfall is
+ * recorded.
+ */
+#ifndef HDDTHERM_ROADMAP_PLANNER_H
+#define HDDTHERM_ROADMAP_PLANNER_H
+
+#include <string>
+#include <vector>
+
+#include "roadmap/roadmap.h"
+
+namespace hddtherm::roadmap {
+
+/// What the planner did in a given year.
+enum class PlanAction
+{
+    Hold,          ///< Same configuration as the previous year.
+    RaiseRpm,      ///< Same geometry, higher spindle speed (step 2).
+    ShrinkPlatter, ///< Moved to a smaller platter (step 3).
+    AddPlatters,   ///< Shrink plus extra platters for capacity (step 4).
+    OffTarget,     ///< No configuration meets the target this year.
+};
+
+/// Human-readable action name.
+const char* planActionName(PlanAction action);
+
+/// One year of the planned roadmap.
+struct PlanStep
+{
+    int year = 0;
+    double diameterInches = 0.0;
+    int platters = 0;
+    double rpm = 0.0;          ///< Speed actually run this year.
+    double idr = 0.0;          ///< IDR delivered.
+    double targetIdr = 0.0;    ///< The 40% CGR goal.
+    double capacityGB = 0.0;
+    double temperatureC = 0.0; ///< Steady temp at the chosen speed.
+    PlanAction action = PlanAction::Hold;
+    bool onTarget = false;
+};
+
+/// Planner options.
+struct PlannerOptions
+{
+    /// Platter sizes available, largest first (the paper's spectrum).
+    std::vector<double> diameters = {2.6, 2.1, 1.6};
+    /// Platter counts available, fewest first (low/mid/high capacity).
+    std::vector<int> counts = {1, 2, 4};
+    /// Run at the target-IDR speed when possible rather than flat out
+    /// (the paper: "the manufacturer may opt to employ a lower RPM to
+    /// just sustain the target IDR").
+    bool runAtTargetRpm = true;
+};
+
+/// Walks the roadmap years, adapting the configuration per the paper's
+/// methodology.
+class RoadmapPlanner
+{
+  public:
+    RoadmapPlanner(const RoadmapEngine& engine,
+                   const PlannerOptions& options = {});
+
+    /// Produce the year-by-year plan over the engine's window.
+    std::vector<PlanStep> plan() const;
+
+  private:
+    /// Envelope-limited IDR of a configuration in a year.
+    RoadmapPoint evaluate(int year, std::size_t diameter_index,
+                          std::size_t count_index) const;
+
+    const RoadmapEngine& engine_;
+    PlannerOptions options_;
+};
+
+} // namespace hddtherm::roadmap
+
+#endif // HDDTHERM_ROADMAP_PLANNER_H

@@ -1,0 +1,95 @@
+#include "roadmap/roadmap.h"
+
+#include "util/error.h"
+
+namespace hddtherm::roadmap {
+
+RoadmapEngine::RoadmapEngine(const RoadmapOptions& options)
+    : options_(options), timeline_(options.scaling)
+{
+    HDDTHERM_REQUIRE(options_.startYear <= options_.endYear,
+                     "empty roadmap window");
+    HDDTHERM_REQUIRE(options_.zones >= 1, "need at least one zone");
+    HDDTHERM_REQUIRE(options_.baselineRpm > 0.0,
+                     "baseline rpm must be positive");
+}
+
+hdd::ZoneModel
+RoadmapEngine::layout(int year, double diameter_inches, int platters) const
+{
+    hdd::PlatterGeometry g;
+    g.diameterInches = diameter_inches;
+    g.platters = platters;
+    return hdd::ZoneModel(g, timeline_.tech(year), options_.zones,
+                          options_.eccBitsOverride);
+}
+
+thermal::DriveThermalConfig
+RoadmapEngine::thermalConfig(double diameter_inches, int platters) const
+{
+    thermal::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = diameter_inches;
+    cfg.geometry.platters = platters;
+    cfg.enclosure = options_.enclosure;
+    cfg.ambientC = options_.ambientC;
+    cfg.vcmDuty = options_.vcmDuty;
+    cfg.coolingScale = options_.normalizeCooling
+                           ? thermal::coolingScaleForPlatters(platters)
+                           : 1.0;
+    cfg.rpm = options_.baselineRpm;
+    return cfg;
+}
+
+RoadmapPoint
+RoadmapEngine::evaluate(int year, double diameter_inches, int platters) const
+{
+    RoadmapPoint p;
+    p.year = year;
+    p.diameterInches = diameter_inches;
+    p.platters = platters;
+    p.bpi = timeline_.bpi(year);
+    p.tpi = timeline_.tpi(year);
+    p.arealDensity = timeline_.arealDensity(year);
+    p.terabit = timeline_.tech(year).isTerabit();
+    p.targetIdr = timeline_.targetIdrMBps(year);
+
+    const auto zm = layout(year, diameter_inches, platters);
+    p.densityIdr = hdd::internalDataRateMBps(zm, options_.baselineRpm);
+    p.requiredRpm = hdd::rpmForDataRate(zm, p.targetIdr);
+
+    auto cfg = thermalConfig(diameter_inches, platters);
+    cfg.rpm = p.requiredRpm;
+    p.requiredRpmTempC = thermal::steadyAirTempC(cfg);
+    p.viscousPowerW = thermal::viscousDissipationW(
+        p.requiredRpm, diameter_inches, platters);
+
+    p.maxRpm = thermal::maxRpmWithinEnvelope(cfg, options_.envelopeC);
+    p.achievableIdr =
+        p.maxRpm > 0.0 ? hdd::internalDataRateMBps(zm, p.maxRpm) : 0.0;
+    p.capacityGB = hdd::computeCapacity(zm).userGB;
+    p.meetsTarget = p.achievableIdr >= p.targetIdr;
+    return p;
+}
+
+std::vector<RoadmapPoint>
+RoadmapEngine::series(double diameter_inches, int platters) const
+{
+    std::vector<RoadmapPoint> out;
+    out.reserve(std::size_t(options_.endYear - options_.startYear + 1));
+    for (int year = options_.startYear; year <= options_.endYear; ++year)
+        out.push_back(evaluate(year, diameter_inches, platters));
+    return out;
+}
+
+int
+RoadmapEngine::lastYearOnTarget(double diameter_inches, int platters) const
+{
+    int last = options_.startYear - 1;
+    for (int year = options_.startYear; year <= options_.endYear; ++year) {
+        if (evaluate(year, diameter_inches, platters).meetsTarget)
+            last = year;
+    }
+    return last;
+}
+
+} // namespace hddtherm::roadmap

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The thermally constrained disk-drive technology roadmap (paper §4).
+ *
+ * For each calendar year, platter size and platter count, the engine
+ * combines the scaling timeline (recording densities), the capacity/IDR
+ * model and the thermal model to answer the paper's questions:
+ *   - what RPM would the 40% IDR target require, and how hot would that
+ *     run (Table 3)?
+ *   - what is the highest IDR and capacity attainable inside the thermal
+ *     envelope (Figure 2), optionally with a better cooling system
+ *     (Figure 3) or a smaller enclosure (§4.2.2)?
+ */
+#ifndef HDDTHERM_ROADMAP_ROADMAP_H
+#define HDDTHERM_ROADMAP_ROADMAP_H
+
+#include <vector>
+
+#include "hdd/capacity.h"
+#include "hdd/geometry.h"
+#include "hdd/zoning.h"
+#include "roadmap/scaling.h"
+#include "thermal/envelope.h"
+
+namespace hddtherm::roadmap {
+
+/// Engine options; defaults reproduce the paper's setup.
+struct RoadmapOptions
+{
+    int startYear = 2002;       ///< First roadmap year.
+    int endYear = 2012;         ///< Last roadmap year (inclusive).
+    int zones = 50;             ///< ZBR zones (Table 3 uses 50).
+    double baselineRpm = 15000; ///< RPM for the IDR_density column.
+    double envelopeC = thermal::kThermalEnvelopeC;
+    double ambientC = thermal::kBaselineAmbientC;
+    hdd::FormFactor enclosure = hdd::FormFactor::ff35();
+    ScalingParams scaling = {};
+    /// If non-negative, overrides the density-derived ECC bits/sector.
+    int eccBitsOverride = -1;
+    /// Grant the paper's per-platter-count cooling budget automatically.
+    bool normalizeCooling = true;
+    /// VCM duty assumed when evaluating temperatures (worst case = 1).
+    double vcmDuty = 1.0;
+};
+
+/// One roadmap evaluation (a cell of Table 3 plus a point of Figure 2).
+struct RoadmapPoint
+{
+    int year = 0;
+    double diameterInches = 0.0;
+    int platters = 0;
+
+    double bpi = 0.0;           ///< Linear density this year.
+    double tpi = 0.0;           ///< Track density this year.
+    double arealDensity = 0.0;  ///< bits/in^2.
+    bool terabit = false;       ///< In the terabit-ECC regime.
+
+    double targetIdr = 0.0;     ///< 40%-CGR IDR goal, MB/s.
+    double densityIdr = 0.0;    ///< IDR at the baseline RPM (Table 3 col 1).
+    double requiredRpm = 0.0;   ///< RPM needed to hit targetIdr.
+    double requiredRpmTempC = 0.0; ///< Steady temp at requiredRpm.
+
+    double maxRpm = 0.0;        ///< Envelope-limited RPM.
+    double achievableIdr = 0.0; ///< IDR at maxRpm, MB/s.
+    double capacityGB = 0.0;    ///< User capacity this year.
+    double viscousPowerW = 0.0; ///< Windage at requiredRpm.
+    bool meetsTarget = false;   ///< achievableIdr >= targetIdr.
+};
+
+/// Computes roadmap points and series.
+class RoadmapEngine
+{
+  public:
+    explicit RoadmapEngine(const RoadmapOptions& options = {});
+
+    /// The engine's scaling timeline.
+    const TechnologyTimeline& timeline() const { return timeline_; }
+
+    /// Options in force.
+    const RoadmapOptions& options() const { return options_; }
+
+    /// ZBR layout for a configuration in @p year.
+    hdd::ZoneModel layout(int year, double diameter_inches,
+                          int platters) const;
+
+    /// Evaluate one (year, size, count) roadmap cell.
+    RoadmapPoint evaluate(int year, double diameter_inches,
+                          int platters) const;
+
+    /// Evaluate every year of the roadmap for one configuration.
+    std::vector<RoadmapPoint> series(double diameter_inches,
+                                     int platters) const;
+
+    /**
+     * The thermal configuration used for a roadmap cell (exposed so DTM
+     * studies can perturb duty/cooling consistently).
+     */
+    thermal::DriveThermalConfig thermalConfig(double diameter_inches,
+                                              int platters) const;
+
+    /**
+     * Last year (within the roadmap window) in which the configuration
+     * still meets the IDR target, or startYear-1 if it never does.
+     */
+    int lastYearOnTarget(double diameter_inches, int platters) const;
+
+  private:
+    RoadmapOptions options_;
+    TechnologyTimeline timeline_;
+};
+
+} // namespace hddtherm::roadmap
+
+#endif // HDDTHERM_ROADMAP_ROADMAP_H

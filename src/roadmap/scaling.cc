@@ -1,0 +1,80 @@
+#include "roadmap/scaling.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::roadmap {
+
+TechnologyTimeline::TechnologyTimeline(const ScalingParams& params)
+    : params_(params)
+{
+    HDDTHERM_REQUIRE(params_.anchorBpi > 0.0 && params_.anchorTpi > 0.0 &&
+                         params_.anchorIdr > 0.0,
+                     "scaling anchors must be positive");
+    HDDTHERM_REQUIRE(params_.slowdownYear >= params_.anchorYear,
+                     "slowdown year precedes anchor year");
+    HDDTHERM_REQUIRE(params_.bpiCgrEarly > -1.0 && params_.tpiCgrEarly > -1.0
+                         && params_.bpiCgrLate > -1.0 &&
+                         params_.tpiCgrLate > -1.0 && params_.idrCgr > -1.0,
+                     "growth rates must exceed -100%");
+}
+
+namespace {
+
+/// Two-phase compound growth from an anchor year.
+double
+compound(double anchor, int anchor_year, int slowdown_year, double cgr_early,
+         double cgr_late, int year)
+{
+    const int early_years =
+        std::min(year, slowdown_year) - anchor_year;
+    const int late_years = std::max(0, year - slowdown_year);
+    return anchor * std::pow(1.0 + cgr_early, early_years) *
+           std::pow(1.0 + cgr_late, late_years);
+}
+
+} // namespace
+
+double
+TechnologyTimeline::bpi(int year) const
+{
+    HDDTHERM_REQUIRE(year >= params_.anchorYear,
+                     "year precedes the scaling anchor");
+    return compound(params_.anchorBpi, params_.anchorYear,
+                    params_.slowdownYear, params_.bpiCgrEarly,
+                    params_.bpiCgrLate, year);
+}
+
+double
+TechnologyTimeline::tpi(int year) const
+{
+    HDDTHERM_REQUIRE(year >= params_.anchorYear,
+                     "year precedes the scaling anchor");
+    return compound(params_.anchorTpi, params_.anchorYear,
+                    params_.slowdownYear, params_.tpiCgrEarly,
+                    params_.tpiCgrLate, year);
+}
+
+double
+TechnologyTimeline::targetIdrMBps(int year) const
+{
+    HDDTHERM_REQUIRE(year >= params_.anchorYear,
+                     "year precedes the scaling anchor");
+    return params_.anchorIdr *
+           std::pow(1.0 + params_.idrCgr, year - params_.anchorYear);
+}
+
+int
+TechnologyTimeline::terabitYear() const
+{
+    for (int year = params_.anchorYear; year < params_.anchorYear + 100;
+         ++year) {
+        if (arealDensity(year) >= hdd::kTerabitArealDensity)
+            return year;
+    }
+    HDDTHERM_ASSERT(false && "areal density never reaches 1 Tb/in^2");
+    return -1;
+}
+
+} // namespace hddtherm::roadmap

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Technology-scaling timeline for recording densities and data-rate targets
+ * (paper §4).
+ *
+ * Anchored to the Hitachi historical data the paper cites: in 1999 the
+ * industry stood at 270 KBPI / 20 KTPI / 47 MB/s with compound annual
+ * growth rates of 30% (BPI), 50% (TPI) and 40% (IDR).  The paper slows the
+ * density CGRs to 14% / 28% after 2003 so that areal density crosses
+ * 1 Tb/in^2 in 2010 at a bit aspect ratio near 3.4, while the 40% IDR
+ * target continues unabated.  All of Table 3's IDR_required values follow
+ * from these anchors (e.g. 47 x 1.4^3 = 128.97 MB/s in 2002).
+ */
+#ifndef HDDTHERM_ROADMAP_SCALING_H
+#define HDDTHERM_ROADMAP_SCALING_H
+
+#include "hdd/recording.h"
+
+namespace hddtherm::roadmap {
+
+/// Scaling-law parameters; defaults reproduce the paper exactly.
+struct ScalingParams
+{
+    int anchorYear = 1999;       ///< Year of the Hitachi anchor values.
+    double anchorBpi = 270e3;    ///< BPI in the anchor year.
+    double anchorTpi = 20e3;     ///< TPI in the anchor year.
+    double anchorIdr = 47.0;     ///< IDR (MB/s) in the anchor year.
+    int slowdownYear = 2003;     ///< Last year of the fast CGRs.
+    double bpiCgrEarly = 0.30;   ///< BPI CGR through slowdownYear.
+    double tpiCgrEarly = 0.50;   ///< TPI CGR through slowdownYear.
+    double bpiCgrLate = 0.14;    ///< BPI CGR after slowdownYear.
+    double tpiCgrLate = 0.28;    ///< TPI CGR after slowdownYear.
+    double idrCgr = 0.40;        ///< Target IDR CGR (all years).
+};
+
+/// Evaluates the scaling laws over calendar years.
+class TechnologyTimeline
+{
+  public:
+    /// Build with the paper's parameters (or overrides for ablations).
+    explicit TechnologyTimeline(const ScalingParams& params = {});
+
+    /// Linear density (bits/inch) in @p year.
+    double bpi(int year) const;
+
+    /// Track density (tracks/inch) in @p year.
+    double tpi(int year) const;
+
+    /// Recording point in @p year.
+    hdd::RecordingTech tech(int year) const { return {bpi(year), tpi(year)}; }
+
+    /// Areal density (bits/in^2) in @p year.
+    double arealDensity(int year) const { return bpi(year) * tpi(year); }
+
+    /// Bit aspect ratio in @p year.
+    double bitAspectRatio(int year) const { return bpi(year) / tpi(year); }
+
+    /// Industry target internal data rate (MB/s) in @p year (40% CGR).
+    double targetIdrMBps(int year) const;
+
+    /// First year in which areal density reaches 1 Tb/in^2.
+    int terabitYear() const;
+
+    /// Parameters in force.
+    const ScalingParams& params() const { return params_; }
+
+  private:
+    ScalingParams params_;
+};
+
+} // namespace hddtherm::roadmap
+
+#endif // HDDTHERM_ROADMAP_SCALING_H

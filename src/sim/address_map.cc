@@ -1,0 +1,80 @@
+#include "sim/address_map.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+DiskAddressMap::DiskAddressMap(hdd::ZoneModel layout)
+    : layout_(std::move(layout))
+{
+    zone_start_lba_.reserve(std::size_t(layout_.zones()) + 1);
+    std::int64_t lba = 0;
+    for (int z = 0; z < layout_.zones(); ++z) {
+        zone_start_lba_.push_back(lba);
+        const auto& zone = layout_.zone(z);
+        lba += std::int64_t(zone.cylinders) * layout_.surfaces() *
+               zone.userSectorsPerTrack;
+    }
+    zone_start_lba_.push_back(lba);
+    total_sectors_ = lba;
+    HDDTHERM_ASSERT(total_sectors_ == layout_.totalUserSectors());
+}
+
+PhysicalAddress
+DiskAddressMap::toPhysical(std::int64_t lba) const
+{
+    HDDTHERM_REQUIRE(lba >= 0 && lba < total_sectors_, "LBA out of range");
+    // Locate the zone: last zone whose start is <= lba.
+    const auto it = std::upper_bound(zone_start_lba_.begin(),
+                                     zone_start_lba_.end(), lba);
+    const int zone = int(it - zone_start_lba_.begin()) - 1;
+    const auto& z = layout_.zone(zone);
+
+    const std::int64_t in_zone = lba - zone_start_lba_[std::size_t(zone)];
+    const std::int64_t per_track = z.userSectorsPerTrack;
+    const std::int64_t per_cyl = per_track * layout_.surfaces();
+
+    PhysicalAddress out;
+    out.zone = zone;
+    out.cylinder = z.firstCylinder + int(in_zone / per_cyl);
+    const std::int64_t in_cyl = in_zone % per_cyl;
+    out.surface = int(in_cyl / per_track);
+    out.sector = int(in_cyl % per_track);
+    return out;
+}
+
+std::int64_t
+DiskAddressMap::toLba(const PhysicalAddress& addr) const
+{
+    HDDTHERM_REQUIRE(addr.cylinder >= 0 &&
+                         addr.cylinder < layout_.cylinders(),
+                     "cylinder out of range");
+    const int zone = layout_.zoneOfCylinder(addr.cylinder);
+    const auto& z = layout_.zone(zone);
+    HDDTHERM_REQUIRE(addr.surface >= 0 && addr.surface < layout_.surfaces(),
+                     "surface out of range");
+    HDDTHERM_REQUIRE(addr.sector >= 0 &&
+                         addr.sector < z.userSectorsPerTrack,
+                     "sector out of range");
+    const std::int64_t per_track = z.userSectorsPerTrack;
+    const std::int64_t per_cyl = per_track * layout_.surfaces();
+    return zone_start_lba_[std::size_t(zone)] +
+           std::int64_t(addr.cylinder - z.firstCylinder) * per_cyl +
+           std::int64_t(addr.surface) * per_track + addr.sector;
+}
+
+int
+DiskAddressMap::sectorsPerTrack(int cylinder) const
+{
+    return layout_.userSectorsPerTrack(cylinder);
+}
+
+std::int64_t
+DiskAddressMap::sectorsPerCylinder(int cylinder) const
+{
+    return layout_.userSectorsPerCylinder(cylinder);
+}
+
+} // namespace hddtherm::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LBA-to-physical address translation over a ZBR layout.
+ *
+ * Sectors are laid out cylinder-major: within a cylinder all surfaces'
+ * tracks fill in order before the head assembly moves inward.  The mapping
+ * is derived from the same ZoneModel the capacity model uses, so simulated
+ * mechanics and modeled capacity can never disagree.
+ */
+#ifndef HDDTHERM_SIM_ADDRESS_MAP_H
+#define HDDTHERM_SIM_ADDRESS_MAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hdd/zoning.h"
+
+namespace hddtherm::sim {
+
+/// Physical location of a sector.
+struct PhysicalAddress
+{
+    int cylinder = 0; ///< 0 = outermost.
+    int surface = 0;  ///< 0 .. surfaces-1.
+    int sector = 0;   ///< Sector index within the track.
+    int zone = 0;     ///< ZBR zone of the cylinder.
+};
+
+/// Bidirectional LBA <-> physical translation.
+class DiskAddressMap
+{
+  public:
+    /// Build the map for a laid-out drive (the layout is copied).
+    explicit DiskAddressMap(hdd::ZoneModel layout);
+
+    /// Total user-addressable sectors.
+    std::int64_t totalSectors() const { return total_sectors_; }
+
+    /// Translate an LBA (must be < totalSectors()).
+    PhysicalAddress toPhysical(std::int64_t lba) const;
+
+    /// Translate a physical address back to its LBA.
+    std::int64_t toLba(const PhysicalAddress& addr) const;
+
+    /// Sectors on one track of @p cylinder.
+    int sectorsPerTrack(int cylinder) const;
+
+    /// Sectors in the whole cylinder (all surfaces).
+    std::int64_t sectorsPerCylinder(int cylinder) const;
+
+    /// The underlying layout.
+    const hdd::ZoneModel& layout() const { return layout_; }
+
+  private:
+    hdd::ZoneModel layout_;
+    std::int64_t total_sectors_ = 0;
+    /// First LBA of each zone (size zones()+1; last entry == total).
+    std::vector<std::int64_t> zone_start_lba_;
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_ADDRESS_MAP_H

@@ -1,0 +1,66 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::sim {
+
+DiskCache::DiskCache(std::size_t capacity_bytes, int segments)
+    : max_segments_(segments)
+{
+    HDDTHERM_REQUIRE(segments >= 1, "need at least one cache segment");
+    const auto total_sectors =
+        std::int64_t(capacity_bytes / std::size_t(util::kSectorBytes));
+    segment_sectors_ = total_sectors / segments;
+    HDDTHERM_REQUIRE(segment_sectors_ >= 1,
+                     "cache too small for the segment count");
+}
+
+bool
+DiskCache::read(std::int64_t lba, int sectors)
+{
+    HDDTHERM_REQUIRE(sectors >= 1, "empty read");
+    for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+        if (lba >= it->start && lba + sectors <= it->start + it->length) {
+            segments_.splice(segments_.begin(), segments_, it);
+            ++stats_.readHits;
+            return true;
+        }
+    }
+    ++stats_.readMisses;
+    return false;
+}
+
+void
+DiskCache::install(std::int64_t lba, std::int64_t sectors)
+{
+    HDDTHERM_REQUIRE(sectors >= 1, "empty install");
+    const std::int64_t length = std::min(sectors, segment_sectors_);
+
+    // Reuse a segment this extent overlaps (the common sequential-stream
+    // case) instead of fragmenting the extent across segments.
+    for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+        const bool overlaps = lba < it->start + it->length &&
+                              it->start < lba + length;
+        if (overlaps) {
+            it->start = lba;
+            it->length = length;
+            segments_.splice(segments_.begin(), segments_, it);
+            return;
+        }
+    }
+
+    if (int(segments_.size()) == max_segments_)
+        segments_.pop_back();
+    segments_.push_front({lba, length});
+}
+
+void
+DiskCache::clear()
+{
+    segments_.clear();
+}
+
+} // namespace hddtherm::sim

@@ -1,0 +1,64 @@
+#include "sim/closed_loop.h"
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+ClosedLoopDriver::ClosedLoopDriver(StorageSystem& system, int clients,
+                                   double think_time_sec,
+                                   RequestFactory factory)
+    : system_(system),
+      clients_(clients),
+      think_time_(think_time_sec),
+      factory_(std::move(factory))
+{
+    HDDTHERM_REQUIRE(clients_ >= 1, "need at least one client");
+    HDDTHERM_REQUIRE(think_time_ >= 0.0, "negative think time");
+    HDDTHERM_REQUIRE(bool(factory_), "missing request factory");
+}
+
+void
+ClosedLoopDriver::issue(int client)
+{
+    if (issued_ >= target_)
+        return;
+    ++issued_;
+    IoRequest req = factory_(client, next_seq_);
+    // Ids encode the issuing client so the completion can hand the token
+    // back: id = seq * clients + client + 1 (ids stay unique and > 0).
+    req.id = next_seq_ * std::uint64_t(clients_) +
+             std::uint64_t(client) + 1;
+    ++next_seq_;
+    req.arrival = system_.events().now();
+    system_.submit(req);
+}
+
+ResponseMetrics
+ClosedLoopDriver::run(std::size_t total_requests)
+{
+    HDDTHERM_REQUIRE(total_requests >= 1, "nothing to run");
+    target_ = total_requests;
+    issued_ = 0;
+    completed_ = 0;
+    next_seq_ = 0;
+    system_.resetMetrics();
+
+    system_.setCompletionCallback([this](const IoCompletion& done) {
+        ++completed_;
+        if (issued_ >= target_)
+            return;
+        const int client = int((done.id - 1) % std::uint64_t(clients_));
+        system_.events().scheduleAfter(think_time_, [this, client] {
+            issue(client);
+        });
+    });
+
+    for (int c = 0; c < clients_ && issued_ < target_; ++c)
+        issue(c);
+    system_.runAll();
+    system_.setCompletionCallback(nullptr);
+    HDDTHERM_ASSERT(completed_ == target_);
+    return system_.metrics();
+}
+
+} // namespace hddtherm::sim

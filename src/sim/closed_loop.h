@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Closed-loop workload driving.
+ *
+ * Trace replay is open-loop: arrivals ignore the system's state, so an
+ * overloaded (or DTM-gated) array grows unbounded queues.  Real clients
+ * are closed-loop: each waits for its previous request before thinking
+ * and issuing the next, so throttling translates into throughput loss
+ * rather than queue explosion.  ClosedLoopDriver models N such clients
+ * over a StorageSystem — the natural harness for studying DTM
+ * back-pressure.
+ */
+#ifndef HDDTHERM_SIM_CLOSED_LOOP_H
+#define HDDTHERM_SIM_CLOSED_LOOP_H
+
+#include <functional>
+
+#include "sim/storage_system.h"
+
+namespace hddtherm::sim {
+
+/// N think-time clients issuing dependent requests.
+class ClosedLoopDriver
+{
+  public:
+    /**
+     * Produces client @p client's next request body (lba/sectors/type/
+     * device); id and arrival are filled in by the driver.
+     */
+    using RequestFactory =
+        std::function<IoRequest(int client, std::uint64_t seq)>;
+
+    /**
+     * @param system array under test (the driver owns its completion
+     *        callback for the duration of run()).
+     * @param clients concurrent client count (>= 1).
+     * @param think_time_sec delay between a completion and the client's
+     *        next issue.
+     * @param factory request generator.
+     */
+    ClosedLoopDriver(StorageSystem& system, int clients,
+                     double think_time_sec, RequestFactory factory);
+
+    /**
+     * Run until @p total_requests complete; returns the response metrics
+     * of exactly those requests.
+     */
+    ResponseMetrics run(std::size_t total_requests);
+
+    /// Completed-request count of the last run.
+    std::size_t completed() const { return completed_; }
+
+  private:
+    void issue(int client);
+
+    StorageSystem& system_;
+    int clients_;
+    double think_time_;
+    RequestFactory factory_;
+    std::uint64_t next_seq_ = 0;
+    std::size_t issued_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t target_ = 0;
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_CLOSED_LOOP_H

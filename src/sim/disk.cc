@@ -1,0 +1,180 @@
+#include "sim/disk.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::sim {
+
+hdd::ZoneModel
+makeLayout(const DiskConfig& config)
+{
+    return hdd::ZoneModel(config.geometry, config.tech, config.zones);
+}
+
+SimDisk::SimDisk(EventQueue& events, const DiskConfig& config, int id)
+    : events_(events),
+      config_(config),
+      id_(id),
+      map_(makeLayout(config)),
+      seek_model_(config.seekProfile
+                      ? *config.seekProfile
+                      : hdd::SeekProfile::forDiameter(
+                            config.geometry.diameterInches),
+                  map_.layout().cylinders()),
+      mechanics_(map_, seek_model_, config.rpm,
+                 util::msToSec(config.headSwitchMs)),
+      cache_(config.cacheBytes, config.cacheSegments),
+      sched_(config.scheduler)
+{
+    HDDTHERM_REQUIRE(config_.rpm > 0.0, "rpm must be positive");
+    HDDTHERM_REQUIRE(config_.controllerOverheadMs >= 0.0,
+                     "negative controller overhead");
+    HDDTHERM_REQUIRE(config_.busMBps > 0.0, "bus rate must be positive");
+    HDDTHERM_REQUIRE(config_.rpmChangeSecPerKrpm >= 0.0,
+                     "negative rpm transition rate");
+}
+
+void
+SimDisk::setCompletionHandler(CompletionHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+void
+SimDisk::submit(const IoRequest& request)
+{
+    HDDTHERM_REQUIRE(request.sectors >= 1, "empty request");
+    HDDTHERM_REQUIRE(request.lba >= 0 &&
+                         request.lba + request.sectors <=
+                             map_.totalSectors(),
+                     "request beyond end of disk");
+    noteDepthChange(events_.now(), +1);
+    sched_.push(request, map_.toPhysical(request.lba).cylinder);
+    tryDispatch();
+}
+
+void
+SimDisk::noteDepthChange(SimTime now, int delta)
+{
+    depth_integral_ += double(depth_) * (now - depth_changed_at_);
+    depth_changed_at_ = now;
+    depth_ += delta;
+    HDDTHERM_ASSERT(depth_ >= 0);
+}
+
+double
+SimDisk::avgQueueDepth(SimTime now) const
+{
+    if (now <= 0.0)
+        return 0.0;
+    const double integral =
+        depth_integral_ + double(depth_) * (now - depth_changed_at_);
+    return integral / now;
+}
+
+void
+SimDisk::gate(bool gated)
+{
+    gated_ = gated;
+    if (!gated_)
+        tryDispatch();
+}
+
+void
+SimDisk::changeRpm(double new_rpm)
+{
+    HDDTHERM_REQUIRE(new_rpm > 0.0, "rpm must be positive");
+    if (busy_) {
+        pending_rpm_ = new_rpm; // applied when the in-flight request ends
+        return;
+    }
+    const SimTime now = events_.now();
+    const double duration = std::fabs(new_rpm - mechanics_.rpm()) *
+                            config_.rpmChangeSecPerKrpm / 1000.0;
+    mechanics_.setRpm(new_rpm, now);
+    available_at_ = std::max(available_at_, now + duration);
+    tryDispatch();
+}
+
+void
+SimDisk::tryDispatch()
+{
+    if (busy_ || gated_ || sched_.empty())
+        return;
+
+    const SimTime now = events_.now();
+    if (now < available_at_) {
+        // Spindle transition in progress: retry when it completes.
+        if (!retry_scheduled_) {
+            retry_scheduled_ = true;
+            events_.schedule(available_at_, [this] {
+                retry_scheduled_ = false;
+                tryDispatch();
+            });
+        }
+        return;
+    }
+
+    const Scheduler::Entry entry = sched_.pop(mechanics_.headCylinder());
+    const IoRequest& req = entry.request;
+    if (config_.recordIdleGaps && now > idle_since_)
+        idle_gaps_.push_back(now - idle_since_);
+    busy_ = true;
+
+    const double overhead = util::msToSec(config_.controllerOverheadMs);
+    double service = overhead;
+
+    const bool cache_hit =
+        !req.isWrite() && cache_.read(req.lba, req.sectors);
+    if (cache_hit) {
+        service += double(req.sectors) * util::kSectorBytes /
+                   (config_.busMBps * 1e6);
+    } else {
+        const PhysicalAddress phys = map_.toPhysical(req.lba);
+        const ServiceBreakdown bd =
+            mechanics_.service(phys, req.sectors, now + overhead);
+        service += bd.totalSec();
+        activity_.seekSec += bd.seekSec;
+        activity_.rotationSec += bd.rotationSec;
+        activity_.transferSec += bd.transferSec;
+        ++activity_.mediaAccesses;
+        if (mechanics_.lastSeekDistance() > 0)
+            ++activity_.seeks;
+
+        // Install the fetched extent, optionally reading ahead to the end
+        // of the track (write-through extents are cached as-is).
+        std::int64_t extent = req.sectors;
+        if (!req.isWrite() && config_.readAheadToTrackEnd) {
+            const std::int64_t to_track_end =
+                map_.sectorsPerTrack(phys.cylinder) - phys.sector;
+            extent = std::max<std::int64_t>(extent, to_track_end);
+        }
+        cache_.install(req.lba, extent);
+    }
+
+    activity_.busySec += service;
+    const SimTime finish_time = now + service;
+    events_.schedule(finish_time,
+                     [this, req, finish_time] { finish(req, finish_time); });
+}
+
+void
+SimDisk::finish(const IoRequest& request, SimTime finish_time)
+{
+    busy_ = false;
+    idle_since_ = finish_time;
+    noteDepthChange(finish_time, -1);
+    ++activity_.completions;
+    if (pending_rpm_ > 0.0) {
+        const double target = pending_rpm_;
+        pending_rpm_ = 0.0;
+        changeRpm(target);
+    }
+    if (handler_)
+        handler_(request, finish_time);
+    tryDispatch();
+}
+
+} // namespace hddtherm::sim

@@ -1,0 +1,52 @@
+#include "sim/event.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+void
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    HDDTHERM_REQUIRE(when >= now_, "cannot schedule into the past");
+    heap_.push({when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Callback cb)
+{
+    HDDTHERM_REQUIRE(delay >= 0.0, "negative delay");
+    schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out before pop so the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runNext();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+} // namespace hddtherm::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal, deterministic event queue: events fire in (time, insertion)
+ * order, so simultaneous events execute in the order they were scheduled.
+ * All simulator components share one queue; time is in seconds.
+ */
+#ifndef HDDTHERM_SIM_EVENT_H
+#define HDDTHERM_SIM_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hddtherm::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Time-ordered event queue driving the simulation.
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /// Schedule @p cb at absolute time @p when (>= now()).
+    void schedule(SimTime when, Callback cb);
+
+    /// Schedule @p cb at now() + @p delay.
+    void scheduleAfter(SimTime delay, Callback cb);
+
+    /// Pop and run the earliest event; returns false if the queue is empty.
+    bool runNext();
+
+    /// Run events with when <= @p limit; time advances to @p limit.
+    void runUntil(SimTime limit);
+
+    /// Run until the queue drains.
+    void runAll();
+
+    /// Current simulated time.
+    SimTime now() const { return now_; }
+
+    /// True if no events are pending.
+    bool empty() const { return heap_.empty(); }
+
+    /// Number of pending events.
+    std::size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    SimTime now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_EVENT_H

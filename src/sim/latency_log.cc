@@ -1,0 +1,56 @@
+#include "sim/latency_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+double
+LatencyLog::quantileMs(double p) const
+{
+    HDDTHERM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile: p out of range");
+    if (completions_.empty())
+        return 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(completions_.size());
+    for (const auto& c : completions_)
+        latencies.push_back(c.responseTimeMs());
+    std::sort(latencies.begin(), latencies.end());
+    const auto rank = std::min(
+        latencies.size() - 1,
+        std::size_t(p * double(latencies.size())));
+    return latencies[rank];
+}
+
+double
+LatencyLog::meanMs() const
+{
+    if (completions_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto& c : completions_)
+        sum += c.responseTimeMs();
+    return sum / double(completions_.size());
+}
+
+bool
+LatencyLog::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "id,arrival_s,finish_s,latency_ms\n";
+    char buf[128];
+    for (const auto& c : completions_) {
+        std::snprintf(buf, sizeof(buf), "%llu,%.9f,%.9f,%.6f\n",
+                      static_cast<unsigned long long>(c.id), c.arrival,
+                      c.finish, c.responseTimeMs());
+        out << buf;
+    }
+    return bool(out);
+}
+
+} // namespace hddtherm::sim

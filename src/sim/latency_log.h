@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-request latency capture.
+ *
+ * ResponseMetrics keeps streaming aggregates; LatencyLog keeps the raw
+ * (arrival, finish) pairs so exact percentiles can be computed and the
+ * series exported for external plotting — the data behind a Figure-4 CDF
+ * rather than its binned summary.
+ */
+#ifndef HDDTHERM_SIM_LATENCY_LOG_H
+#define HDDTHERM_SIM_LATENCY_LOG_H
+
+#include <string>
+#include <vector>
+
+#include "sim/request.h"
+
+namespace hddtherm::sim {
+
+/// Records every logical completion.
+class LatencyLog
+{
+  public:
+    /// Record one completion.
+    void record(const IoCompletion& completion)
+    {
+        completions_.push_back(completion);
+    }
+
+    /// Number of records.
+    std::size_t size() const { return completions_.size(); }
+
+    /// True when nothing has been recorded.
+    bool empty() const { return completions_.empty(); }
+
+    /// All records, in completion order.
+    const std::vector<IoCompletion>& completions() const
+    {
+        return completions_;
+    }
+
+    /**
+     * Exact p-quantile of the response times in milliseconds (nearest-rank
+     * on the sorted latencies).  @p p in [0, 1]; empty logs return 0.
+     */
+    double quantileMs(double p) const;
+
+    /// Mean response time in milliseconds (0 when empty).
+    double meanMs() const;
+
+    /**
+     * Write "id,arrival_s,finish_s,latency_ms" CSV to @p path.
+     * @return false on I/O failure.
+     */
+    bool writeCsv(const std::string& path) const;
+
+    /// Drop all records.
+    void clear() { completions_.clear(); }
+
+  private:
+    std::vector<IoCompletion> completions_;
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_LATENCY_LOG_H

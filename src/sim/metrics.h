@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Response-time metrics in the paper's Figure 4 presentation.
+ */
+#ifndef HDDTHERM_SIM_METRICS_H
+#define HDDTHERM_SIM_METRICS_H
+
+#include "sim/request.h"
+#include "util/stats.h"
+
+namespace hddtherm::sim {
+
+/// Accumulates per-request response times (milliseconds).
+class ResponseMetrics
+{
+  public:
+    ResponseMetrics()
+        : histogram_(util::Histogram::paperResponseTimeBins())
+    {}
+
+    /// Record one completed logical request.
+    void record(const IoCompletion& completion)
+    {
+        const double ms = completion.responseTimeMs();
+        stats_.add(ms);
+        histogram_.add(ms);
+    }
+
+    /// Mean response time, ms.
+    double meanMs() const { return stats_.mean(); }
+
+    /// Completed request count.
+    std::uint64_t count() const { return stats_.count(); }
+
+    /// Scalar statistics.
+    const util::OnlineStats& stats() const { return stats_; }
+
+    /// CDF over the paper's bins {5,10,20,40,60,90,120,150,200,200+} ms.
+    const util::Histogram& histogram() const { return histogram_; }
+
+  private:
+    util::OnlineStats stats_;
+    util::Histogram histogram_;
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_METRICS_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * I/O request types shared by the storage simulator.
+ */
+#ifndef HDDTHERM_SIM_REQUEST_H
+#define HDDTHERM_SIM_REQUEST_H
+
+#include <cstdint>
+
+#include "sim/event.h"
+
+namespace hddtherm::sim {
+
+/// Request direction.
+enum class IoType
+{
+    Read,
+    Write,
+};
+
+/// One block-level I/O request (sectors are 512 bytes).
+struct IoRequest
+{
+    std::uint64_t id = 0;     ///< Unique request id.
+    SimTime arrival = 0.0;    ///< Issue time, seconds.
+    int device = 0;           ///< Target logical device.
+    std::int64_t lba = 0;     ///< Starting sector.
+    int sectors = 1;          ///< Length in sectors.
+    IoType type = IoType::Read;
+
+    /// True for writes.
+    bool isWrite() const { return type == IoType::Write; }
+};
+
+/// Completion record for one logical request.
+struct IoCompletion
+{
+    std::uint64_t id = 0;
+    SimTime arrival = 0.0;
+    SimTime finish = 0.0;
+
+    /// End-to-end response time in milliseconds.
+    double responseTimeMs() const { return (finish - arrival) * 1e3; }
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_REQUEST_H

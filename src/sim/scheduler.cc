@@ -1,0 +1,88 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+const char*
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Fcfs:
+        return "FCFS";
+      case SchedulerPolicy::Sstf:
+        return "SSTF";
+      case SchedulerPolicy::Elevator:
+        return "ELEVATOR";
+    }
+    return "UNKNOWN";
+}
+
+Scheduler::Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+
+void
+Scheduler::push(const IoRequest& request, int cylinder)
+{
+    queue_.push_back({request, cylinder});
+}
+
+Scheduler::Entry
+Scheduler::pop(int head_cylinder)
+{
+    HDDTHERM_REQUIRE(!queue_.empty(), "pop from empty scheduler");
+
+    auto take = [this](std::deque<Entry>::iterator it) {
+        Entry out = *it;
+        queue_.erase(it);
+        return out;
+    };
+
+    switch (policy_) {
+      case SchedulerPolicy::Fcfs:
+        return take(queue_.begin());
+
+      case SchedulerPolicy::Sstf: {
+        auto best = queue_.begin();
+        int best_dist = std::abs(best->cylinder - head_cylinder);
+        for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+            const int dist = std::abs(it->cylinder - head_cylinder);
+            if (dist < best_dist) {
+                best = it;
+                best_dist = dist;
+            }
+        }
+        return take(best);
+      }
+
+      case SchedulerPolicy::Elevator: {
+        // LOOK: nearest request in the sweep direction; reverse when the
+        // direction is exhausted.
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            auto best = queue_.end();
+            int best_dist = 0;
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                const int delta = it->cylinder - head_cylinder;
+                if (sweep_up_ ? delta < 0 : delta > 0)
+                    continue;
+                const int dist = std::abs(delta);
+                if (best == queue_.end() || dist < best_dist) {
+                    best = it;
+                    best_dist = dist;
+                }
+            }
+            if (best != queue_.end())
+                return take(best);
+            sweep_up_ = !sweep_up_;
+        }
+        HDDTHERM_ASSERT(false && "elevator found no request");
+        return take(queue_.begin());
+      }
+    }
+    HDDTHERM_ASSERT(false && "unknown scheduler policy");
+    return take(queue_.begin());
+}
+
+} // namespace hddtherm::sim

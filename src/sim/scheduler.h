@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Disk request schedulers: FCFS, SSTF and LOOK (elevator).
+ *
+ * The scheduler owns the per-disk pending queue and chooses the next
+ * request given the current head cylinder.  DiskSim's default for the
+ * paper-era experiments is FCFS at the device driver with the drive
+ * reordering internally; we expose all three policies for the scheduling
+ * ablation.
+ */
+#ifndef HDDTHERM_SIM_SCHEDULER_H
+#define HDDTHERM_SIM_SCHEDULER_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/request.h"
+
+namespace hddtherm::sim {
+
+/// Available scheduling policies.
+enum class SchedulerPolicy
+{
+    Fcfs,     ///< First come, first served.
+    Sstf,     ///< Shortest seek time first.
+    Elevator, ///< LOOK: sweep up, then down.
+};
+
+/// Human-readable policy name.
+const char* schedulerPolicyName(SchedulerPolicy policy);
+
+/// Pending-request queue with a pluggable pick policy.
+class Scheduler
+{
+  public:
+    /// A queued request plus its pre-translated target cylinder.
+    struct Entry
+    {
+        IoRequest request;
+        int cylinder = 0;
+    };
+
+    explicit Scheduler(SchedulerPolicy policy);
+
+    /// Enqueue a request bound for @p cylinder.
+    void push(const IoRequest& request, int cylinder);
+
+    /// True when no requests are pending.
+    bool empty() const { return queue_.empty(); }
+
+    /// Pending count.
+    std::size_t size() const { return queue_.size(); }
+
+    /**
+     * Remove and return the next request to service given the current
+     * head position.  Precondition: !empty().
+     */
+    Entry pop(int head_cylinder);
+
+    /// Policy in force.
+    SchedulerPolicy policy() const { return policy_; }
+
+  private:
+    SchedulerPolicy policy_;
+    std::deque<Entry> queue_;
+    bool sweep_up_ = true; ///< Elevator direction state.
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_SCHEDULER_H

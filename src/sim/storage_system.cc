@@ -1,0 +1,380 @@
+#include "sim/storage_system.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace hddtherm::sim {
+
+StorageSystem::StorageSystem(const SystemConfig& config) : config_(config)
+{
+    HDDTHERM_REQUIRE(config_.disks >= 1, "need at least one disk");
+    if (config_.raid == RaidLevel::Raid5)
+        HDDTHERM_REQUIRE(config_.disks >= 3,
+                         "RAID-5 needs at least three disks");
+    if (config_.raid == RaidLevel::Raid1)
+        HDDTHERM_REQUIRE(config_.disks >= 2,
+                         "RAID-1 needs at least two disks");
+    HDDTHERM_REQUIRE(config_.stripeSectors >= 1,
+                     "stripe unit must be positive");
+    disks_.reserve(std::size_t(config_.disks));
+    for (int i = 0; i < config_.disks; ++i) {
+        disks_.push_back(
+            std::make_unique<SimDisk>(events_, config_.disk, i));
+        disks_.back()->setCompletionHandler(
+            [this](const IoRequest& sub, SimTime finish) {
+                onSubComplete(sub, finish);
+            });
+    }
+}
+
+std::int64_t
+StorageSystem::logicalSectors() const
+{
+    return arrayLogicalSectors(config_.raid, config_.disks,
+                               disks_.front()->totalSectors());
+}
+
+void
+StorageSystem::setCompletionCallback(CompletionCallback cb)
+{
+    callback_ = std::move(cb);
+}
+
+void
+StorageSystem::submit(const IoRequest& request)
+{
+    HDDTHERM_REQUIRE(request.sectors >= 1, "empty request");
+    HDDTHERM_REQUIRE(request.lba >= 0 &&
+                         request.lba + request.sectors <= logicalSectors(),
+                     "request beyond logical capacity");
+    if (config_.raid == RaidLevel::None) {
+        HDDTHERM_REQUIRE(request.device >= 0 &&
+                             request.device < config_.disks,
+                         "device id out of range");
+    }
+    events_.schedule(request.arrival,
+                     [this, request] { dispatch(request); });
+}
+
+ResponseMetrics
+StorageSystem::run(const std::vector<IoRequest>& workload)
+{
+    resetMetrics();
+    for (const auto& req : workload)
+        submit(req);
+    runAll();
+    HDDTHERM_ASSERT(inflight_.empty());
+    return metrics_;
+}
+
+void
+StorageSystem::gateAll(bool gated)
+{
+    for (auto& d : disks_)
+        d->gate(gated);
+}
+
+void
+StorageSystem::changeRpmAll(double rpm)
+{
+    for (auto& d : disks_)
+        d->changeRpm(rpm);
+}
+
+void
+StorageSystem::setPreferredMirror(int index)
+{
+    HDDTHERM_REQUIRE(index >= -1 && index < config_.disks,
+                     "mirror index out of range");
+    HDDTHERM_REQUIRE(index != failed_ || index < 0,
+                     "cannot prefer a failed mirror");
+    preferred_mirror_ = index;
+}
+
+void
+StorageSystem::failDisk(int index)
+{
+    HDDTHERM_REQUIRE(index >= 0 && index < config_.disks,
+                     "disk index out of range");
+    HDDTHERM_REQUIRE(config_.raid == RaidLevel::Raid1 ||
+                         config_.raid == RaidLevel::Raid5,
+                     "failure injection needs a redundant RAID level");
+    HDDTHERM_REQUIRE(failed_ < 0, "only a single failure is tolerated");
+    HDDTHERM_REQUIRE(disks_[std::size_t(index)]->idle(),
+                     "inject failures while the member is idle");
+    failed_ = index;
+    if (preferred_mirror_ == failed_)
+        preferred_mirror_ = -1;
+}
+
+int
+StorageSystem::pickMirror() const
+{
+    if (preferred_mirror_ >= 0 && preferred_mirror_ != failed_)
+        return preferred_mirror_;
+    // Least-loaded surviving mirror; round-robin breaks ties.
+    int best = -1;
+    std::size_t best_depth = 0;
+    for (int i = 0; i < config_.disks; ++i) {
+        const int candidate = (mirror_rr_ + i) % config_.disks;
+        if (candidate == failed_)
+            continue;
+        const std::size_t depth =
+            disks_[std::size_t(candidate)]->queueDepth() +
+            (disks_[std::size_t(candidate)]->idle() ? 0 : 1);
+        if (best < 0 || depth < best_depth) {
+            best = candidate;
+            best_depth = depth;
+        }
+    }
+    mirror_rr_ = (mirror_rr_ + 1) % config_.disks;
+    HDDTHERM_ASSERT(best >= 0);
+    return best;
+}
+
+void
+StorageSystem::issueSub(std::uint64_t parent_id, int disk_index,
+                        const IoRequest& sub)
+{
+    IoRequest out = sub;
+    out.id = next_sub_id_++;
+    out.device = disk_index;
+    out.arrival = events_.now();
+    sub_to_parent_.emplace(out.id, parent_id);
+    disks_[std::size_t(disk_index)]->submit(out);
+}
+
+void
+StorageSystem::dispatch(const IoRequest& request)
+{
+    HDDTHERM_REQUIRE(!inflight_.count(request.id),
+                     "duplicate in-flight logical request id");
+    Outstanding out;
+    out.logical = request;
+
+    // Array-controller write-back cache: report the write now; the media
+    // traffic still flows below.
+    if (config_.immediateWriteReport && request.isWrite()) {
+        out.reported = true;
+        IoCompletion done;
+        done.id = request.id;
+        done.arrival = request.arrival;
+        done.finish = events_.now() +
+                      config_.writeReportLatencyMs * 1e-3;
+        metrics_.record(done);
+        if (callback_)
+            callback_(done);
+    }
+
+    switch (config_.raid) {
+      case RaidLevel::None: {
+        out.remaining = 1;
+        inflight_.emplace(request.id, std::move(out));
+        IoRequest sub = request;
+        issueSub(request.id, request.device, sub);
+        return;
+      }
+
+      case RaidLevel::Raid1: {
+        if (request.isWrite()) {
+            // Writes propagate to every surviving mirror.
+            out.remaining = config_.disks - (failed_ >= 0 ? 1 : 0);
+            inflight_.emplace(request.id, std::move(out));
+            for (int d = 0; d < config_.disks; ++d) {
+                if (d != failed_)
+                    issueSub(request.id, d, request);
+            }
+        } else {
+            out.remaining = 1;
+            inflight_.emplace(request.id, std::move(out));
+            issueSub(request.id, pickMirror(), request);
+        }
+        return;
+      }
+
+      case RaidLevel::Raid0: {
+        const auto targets = stripeRaid0(request.lba, request.sectors,
+                                         config_.disks,
+                                         config_.stripeSectors);
+        out.remaining = int(targets.size());
+        inflight_.emplace(request.id, std::move(out));
+        for (const auto& t : targets) {
+            IoRequest sub = request;
+            sub.lba = t.lba;
+            sub.sectors = t.sectors;
+            issueSub(request.id, t.disk, sub);
+        }
+        return;
+      }
+
+      case RaidLevel::Raid5: {
+        const auto data = stripeRaid5Data(request.lba, request.sectors,
+                                          config_.disks,
+                                          config_.stripeSectors);
+
+        std::vector<std::pair<int, IoRequest>> phase1;
+        std::vector<std::pair<int, IoRequest>> phase2;
+        auto add = [&](int disk_index, std::int64_t lba, int sectors,
+                       IoType type,
+                       std::vector<std::pair<int, IoRequest>>* bucket) {
+            IoRequest sub = request;
+            sub.lba = lba;
+            sub.sectors = sectors;
+            sub.type = type;
+            bucket->emplace_back(disk_index, sub);
+        };
+
+        if (!request.isWrite()) {
+            for (const auto& t : data) {
+                if (t.disk != failed_) {
+                    add(t.disk, t.lba, t.sectors, IoType::Read, &phase1);
+                    continue;
+                }
+                // Degraded read: reconstruct from the same sector range
+                // of every surviving unit in the row (data + parity).
+                for (int d = 0; d < config_.disks; ++d) {
+                    if (d != failed_)
+                        add(d, t.lba, t.sectors, IoType::Read, &phase1);
+                }
+            }
+            out.remaining = int(phase1.size());
+            inflight_.emplace(request.id, std::move(out));
+            for (const auto& [disk_index, sub] : phase1)
+                issueSub(request.id, disk_index, sub);
+            return;
+        }
+
+        // Writes, organized per touched row: classic read-modify-write
+        // when the row is healthy; parity-less writes when the row's
+        // parity member is the failed one; reconstruct-write (read the
+        // surviving complement, rewrite parity) when a data member is.
+        std::map<std::int64_t, std::vector<StripeTarget>> rows;
+        for (const auto& t : data)
+            rows[raid5RowOfTarget(t, config_.stripeSectors)].push_back(t);
+
+        for (const auto& [row, targets] : rows) {
+            const int parity_disk = raid5ParityDisk(row, config_.disks);
+            const auto parity =
+                raid5ParityTarget(row, config_.disks,
+                                  config_.stripeSectors);
+            const bool data_member_lost =
+                failed_ >= 0 && failed_ != parity_disk &&
+                std::any_of(targets.begin(), targets.end(),
+                            [this](const StripeTarget& t) {
+                                return t.disk == failed_;
+                            });
+
+            if (parity_disk == failed_) {
+                // No parity to maintain: plain data writes.
+                for (const auto& t : targets)
+                    add(t.disk, t.lba, t.sectors, IoType::Write, &phase2);
+            } else if (data_member_lost) {
+                // Reconstruct-write: read every surviving data unit of
+                // the row not (fully) supplied by this write, then write
+                // the surviving targets and the recomputed parity unit.
+                std::set<int> written_disks;
+                for (const auto& t : targets)
+                    written_disks.insert(t.disk);
+                for (int d = 0; d < config_.disks; ++d) {
+                    if (d == failed_ || d == parity_disk)
+                        continue;
+                    const bool fully_written = std::any_of(
+                        targets.begin(), targets.end(),
+                        [d, this](const StripeTarget& t) {
+                            return t.disk == d &&
+                                   t.sectors == config_.stripeSectors;
+                        });
+                    if (!fully_written) {
+                        add(d, row * config_.stripeSectors,
+                            config_.stripeSectors, IoType::Read, &phase1);
+                    }
+                }
+                for (const auto& t : targets) {
+                    if (t.disk != failed_)
+                        add(t.disk, t.lba, t.sectors, IoType::Write,
+                            &phase2);
+                }
+                add(parity.disk, parity.lba, parity.sectors,
+                    IoType::Write, &phase2);
+            } else {
+                for (const auto& t : targets) {
+                    add(t.disk, t.lba, t.sectors, IoType::Read, &phase1);
+                    add(t.disk, t.lba, t.sectors, IoType::Write, &phase2);
+                }
+                add(parity.disk, parity.lba, parity.sectors, IoType::Read,
+                    &phase1);
+                add(parity.disk, parity.lba, parity.sectors,
+                    IoType::Write, &phase2);
+            }
+        }
+
+        out.phase2.reserve(phase2.size());
+        for (auto& [disk_index, sub] : phase2) {
+            sub.device = disk_index;
+            out.phase2.push_back(sub);
+        }
+        if (phase1.empty()) {
+            // Parity-less rows only: the writes are the single phase.
+            out.remaining = int(out.phase2.size());
+            std::vector<IoRequest> writes;
+            writes.swap(out.phase2);
+            inflight_.emplace(request.id, std::move(out));
+            for (const auto& w : writes)
+                issueSub(request.id, w.device, w);
+            return;
+        }
+        out.remaining = int(phase1.size());
+        inflight_.emplace(request.id, std::move(out));
+        for (const auto& [disk_index, sub] : phase1)
+            issueSub(request.id, disk_index, sub);
+        return;
+      }
+    }
+    HDDTHERM_ASSERT(false && "unknown RAID level");
+}
+
+void
+StorageSystem::onSubComplete(const IoRequest& sub, SimTime finish)
+{
+    const auto sub_it = sub_to_parent_.find(sub.id);
+    HDDTHERM_ASSERT(sub_it != sub_to_parent_.end());
+    const std::uint64_t parent_id = sub_it->second;
+    sub_to_parent_.erase(sub_it);
+
+    const auto it = inflight_.find(parent_id);
+    HDDTHERM_ASSERT(it != inflight_.end());
+    Outstanding& out = it->second;
+    HDDTHERM_ASSERT(out.remaining > 0);
+    if (--out.remaining > 0)
+        return;
+
+    if (!out.phase2.empty()) {
+        std::vector<IoRequest> writes;
+        writes.swap(out.phase2);
+        out.remaining = int(writes.size());
+        for (const auto& w : writes)
+            issueSub(parent_id, w.device, w);
+        return;
+    }
+    completeLogical(out, finish);
+    inflight_.erase(it);
+}
+
+void
+StorageSystem::completeLogical(Outstanding& out, SimTime finish)
+{
+    if (out.reported)
+        return; // already counted at write-report time
+    IoCompletion done;
+    done.id = out.logical.id;
+    done.arrival = out.logical.arrival;
+    done.finish = finish;
+    metrics_.record(done);
+    if (callback_)
+        callback_(done);
+}
+
+} // namespace hddtherm::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The storage system: an array of simulated disks behind an (optional)
+ * RAID controller, replaying block-level workloads (paper §5.1).
+ *
+ * Logical requests are striped into per-disk sub-requests; RAID-5 writes
+ * follow the read-modify-write protocol (read old data + old parity, then
+ * write new data + new parity).  A logical request completes when its last
+ * sub-request finishes; response times feed the Figure 4 CDFs.
+ */
+#ifndef HDDTHERM_SIM_STORAGE_SYSTEM_H
+#define HDDTHERM_SIM_STORAGE_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/disk.h"
+#include "sim/metrics.h"
+#include "sim/raid.h"
+
+namespace hddtherm::sim {
+
+/// Storage-system configuration.
+struct SystemConfig
+{
+    DiskConfig disk;       ///< Configuration shared by all member disks.
+    int disks = 1;         ///< Member count.
+    RaidLevel raid = RaidLevel::None;
+    int stripeSectors = 16; ///< Stripe unit (paper: 16 x 512 B).
+    /**
+     * Array-controller write-back caching: logical writes are reported
+     * complete after writeReportLatencyMs while the media traffic proceeds
+     * in the background (NVRAM-backed controllers; standard for the
+     * era's enterprise arrays).
+     */
+    bool immediateWriteReport = false;
+    double writeReportLatencyMs = 0.1;
+};
+
+/// Disk array + controller + metrics.
+class StorageSystem
+{
+  public:
+    /// Invoked when a logical request completes.
+    using CompletionCallback = std::function<void(const IoCompletion&)>;
+
+    explicit StorageSystem(const SystemConfig& config);
+
+    /// Shared event queue (drive it manually for co-simulation).
+    EventQueue& events() { return events_; }
+
+    /// Member disk access.
+    SimDisk& disk(int i) { return *disks_.at(std::size_t(i)); }
+    const SimDisk& disk(int i) const { return *disks_.at(std::size_t(i)); }
+
+    /// Number of member disks.
+    int diskCount() const { return int(disks_.size()); }
+
+    /**
+     * Logical sector capacity: per-device for RaidLevel::None (requests
+     * carry a device id), whole-volume for RAID-0/5.
+     */
+    std::int64_t logicalSectors() const;
+
+    /// Optional observer of logical completions.
+    void setCompletionCallback(CompletionCallback cb);
+
+    /**
+     * Schedule a logical request for its arrival time (which must not be
+     * in the simulated past).
+     */
+    void submit(const IoRequest& request);
+
+    /// Submit a whole workload, run to completion, and return the metrics.
+    ResponseMetrics run(const std::vector<IoRequest>& workload);
+
+    /// Drain all pending events.
+    void runAll() { events_.runAll(); }
+
+    /// Metrics accumulated so far.
+    const ResponseMetrics& metrics() const { return metrics_; }
+
+    /// Reset metrics (e.g. after warm-up).
+    void resetMetrics() { metrics_ = ResponseMetrics(); }
+
+    /// Requests accepted but not yet completed.
+    std::size_t inflight() const { return inflight_.size(); }
+
+    /// Configuration in force.
+    const SystemConfig& config() const { return config_; }
+
+    /// @name Array-wide DTM hooks (applied to every member disk).
+    /// @{
+    void gateAll(bool gated);
+    void changeRpmAll(double rpm);
+    /// @}
+
+    /**
+     * RAID-1 read steering (the paper's §5.4 mirrored-disk DTM idea):
+     * direct all mirror reads to member @p index, or pass -1 to restore
+     * the default least-loaded selection.  Writes always go to every
+     * mirror.  Only meaningful for RaidLevel::Raid1.
+     */
+    void setPreferredMirror(int index);
+
+    /// Current preferred mirror (-1 = least-loaded selection).
+    int preferredMirror() const { return preferred_mirror_; }
+
+    /**
+     * Failure injection: mark member @p index failed.  Subsequent RAID-1
+     * traffic avoids it; RAID-5 serves its extents in degraded mode
+     * (reads reconstruct from the row's surviving units, writes maintain
+     * parity without the lost member).  Only redundant levels accept
+     * failures, at most one member, and only while that member is idle
+     * (inject before replay or between bursts).
+     */
+    void failDisk(int index);
+
+    /// Index of the failed member, or -1 if the array is healthy.
+    int failedDisk() const { return failed_; }
+
+  private:
+    struct Outstanding
+    {
+        IoRequest logical;
+        int remaining = 0;
+        bool reported = false;         ///< Already counted (write-back).
+        std::vector<IoRequest> phase2; ///< RMW writes awaiting phase 1.
+    };
+
+    void dispatch(const IoRequest& request);
+    int pickMirror() const;
+    void issueSub(std::uint64_t parent_id, int disk_index,
+                  const IoRequest& sub);
+    void onSubComplete(const IoRequest& sub, SimTime finish);
+    void completeLogical(Outstanding& out, SimTime finish);
+
+    SystemConfig config_;
+    EventQueue events_;
+    std::vector<std::unique_ptr<SimDisk>> disks_;
+    ResponseMetrics metrics_;
+    CompletionCallback callback_;
+
+    std::unordered_map<std::uint64_t, Outstanding> inflight_;
+    std::unordered_map<std::uint64_t, std::uint64_t> sub_to_parent_;
+    std::uint64_t next_sub_id_ = 1;
+    int preferred_mirror_ = -1;
+    mutable int mirror_rr_ = 0; ///< Round-robin tiebreaker for reads.
+    int failed_ = -1;           ///< Failed member (-1 = healthy).
+};
+
+} // namespace hddtherm::sim
+
+#endif // HDDTHERM_SIM_STORAGE_SYSTEM_H

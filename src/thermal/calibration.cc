@@ -1,0 +1,35 @@
+#include "thermal/calibration.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/interp.h"
+
+namespace hddtherm::thermal {
+
+double
+viscousDissipationW(double rpm, double diameter_inches, int platters)
+{
+    HDDTHERM_REQUIRE(rpm >= 0.0, "rpm must be non-negative");
+    HDDTHERM_REQUIRE(diameter_inches > 0.0, "diameter must be positive");
+    HDDTHERM_REQUIRE(platters >= 1, "need at least one platter");
+    return kViscRefWatts * double(platters) *
+           std::pow(rpm / kViscRefRpm, kViscRpmExponent) *
+           std::pow(diameter_inches / kViscRefDiameterIn,
+                    kViscDiameterExponent);
+}
+
+double
+vcmPowerW(double diameter_inches)
+{
+    HDDTHERM_REQUIRE(diameter_inches > 0.0, "diameter must be positive");
+    // Anchors published in the paper (§3.3 and §5.2).  Between anchors we
+    // interpolate linearly; outside we continue the boundary slope, floored
+    // at a small positive actuator power.
+    static const util::PiecewiseLinear anchors(
+        {{1.6, 0.618}, {2.1, 2.28}, {2.6, 3.9}},
+        util::PiecewiseLinear::Extrapolate::Linear);
+    return std::max(0.05, anchors(diameter_inches));
+}
+
+} // namespace hddtherm::thermal

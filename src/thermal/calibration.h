@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Calibration constants anchoring the thermal model to the paper's data
+ * (single source of truth; see DESIGN.md §5).
+ *
+ * The paper publishes enough operating points to pin the model down:
+ *  - viscous dissipation 0.91 W at 15 098 RPM on one 2.6" platter, scaling
+ *    as RPM^2.8 and diameter^4.8 and linearly in platter count (§3.3, §4.1);
+ *  - VCM power 3.9 W at 2.6", 2.28 W at 2.1", 0.618 W at 1.6" (§3.3, §5.2);
+ *  - the modeled Cheetah 15K.3 reaches a 45.22 °C steady state from a 28 °C
+ *    ambient (§3.3) and 15 020 RPM is the highest envelope-respecting speed
+ *    for that configuration (§5.3);
+ *  - the 2002 temperatures of Table 3 for the 2.1" and 1.6" single-platter
+ *    designs (43.56 °C at 18 692 RPM and 41.64 °C at 24 533 RPM).
+ */
+#ifndef HDDTHERM_THERMAL_CALIBRATION_H
+#define HDDTHERM_THERMAL_CALIBRATION_H
+
+namespace hddtherm::thermal {
+
+/// The paper's thermal envelope (max internal air temperature) in °C,
+/// excluding on-board electronics.
+inline constexpr double kThermalEnvelopeC = 45.22;
+
+/// Baseline external ambient (max wet-bulb) temperature, °C.
+inline constexpr double kBaselineAmbientC = 28.0;
+
+/// Viscous-dissipation reference point: watts per platter for a 2.6"
+/// platter at 15 098 RPM (paper §4.1: "0.91 W in 2002").
+inline constexpr double kViscRefWatts = 0.91;
+inline constexpr double kViscRefRpm = 15098.0;
+inline constexpr double kViscRefDiameterIn = 2.6;
+
+/// Exponents of the viscous-dissipation power law (paper §3.3).
+inline constexpr double kViscRpmExponent = 2.8;
+inline constexpr double kViscDiameterExponent = 4.8;
+
+/// Highest RPM of the 1-platter 2.6" design inside the envelope (§5.3).
+inline constexpr double kEnvelopeRpm26 = 15020.0;
+
+/// Finite-difference resolution the paper found sufficient (§3.3):
+/// 600 steps per minute, i.e. 0.1 s.
+inline constexpr double kPaperTimestepSec = 0.1;
+
+/**
+ * Viscous (windage) dissipation in watts for a platter stack.
+ *
+ * @param rpm spindle speed.
+ * @param diameter_inches platter diameter.
+ * @param platters platter count (linear scaling, §3.3).
+ */
+double viscousDissipationW(double rpm, double diameter_inches, int platters);
+
+/**
+ * Voice-coil-motor power in watts for a platter diameter, from the paper's
+ * published anchors with a power-law fit for other sizes.
+ */
+double vcmPowerW(double diameter_inches);
+
+/**
+ * Spindle-motor loss (copper/iron/bearing, excluding windage) in watts.
+ * Solved from the paper's 2002 temperature anchors; varies mildly with
+ * platter size (≈10.2–10.9 W across 2.6"–1.6").
+ */
+double spmMotorLossW(double diameter_inches);
+
+} // namespace hddtherm::thermal
+
+#endif // HDDTHERM_THERMAL_CALIBRATION_H

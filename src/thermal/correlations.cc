@@ -1,0 +1,47 @@
+#include "thermal/correlations.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::thermal {
+
+double
+rotatingDiskReynolds(double rpm, double radius_m, const AirProperties& air)
+{
+    HDDTHERM_REQUIRE(rpm >= 0.0 && radius_m > 0.0,
+                     "invalid Reynolds arguments");
+    const double omega = util::rpmToRadPerSec(rpm);
+    return omega * radius_m * radius_m / air.kinematicViscosity;
+}
+
+double
+rotatingDiskFilmCoefficient(double rpm, double radius_m,
+                            const AirProperties& air)
+{
+    const double re = rotatingDiskReynolds(rpm, radius_m, air);
+    if (re <= 0.0)
+        return 0.0;
+    double nu;
+    if (re <= kDiskTransitionRe) {
+        nu = 0.36 * std::sqrt(re);
+    } else {
+        // Continuity-preserving turbulent branch: matches the laminar value
+        // at the transition, then grows with the turbulent 0.8 exponent.
+        const double nu_c = 0.36 * std::sqrt(kDiskTransitionRe);
+        nu = nu_c * std::pow(re / kDiskTransitionRe, 0.8);
+    }
+    return nu * air.conductivity / radius_m;
+}
+
+double
+stirredSurfaceFilmCoefficient(double rpm, double radius_m, double scale,
+                              double floor_h, const AirProperties& air)
+{
+    HDDTHERM_REQUIRE(scale >= 0.0 && floor_h >= 0.0,
+                     "invalid stirred-surface arguments");
+    return floor_h + scale * rotatingDiskFilmCoefficient(rpm, radius_m, air);
+}
+
+} // namespace hddtherm::thermal

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Empirical convection correlations and material properties (paper §3.3).
+ *
+ * The Clauss/Eibeck drive model computes convective film coefficients from
+ * empirical correlations for the rotating disk stack; we use the classical
+ * free-rotating-disk Nusselt correlations (laminar Nu = 0.36 Re^0.5,
+ * turbulent exponent 0.8) with a continuity-preserving blend at the
+ * transition Reynolds number so that heat transfer is monotone in RPM —
+ * a property the envelope searches rely on.
+ */
+#ifndef HDDTHERM_THERMAL_CORRELATIONS_H
+#define HDDTHERM_THERMAL_CORRELATIONS_H
+
+namespace hddtherm::thermal {
+
+/// Thermophysical properties of a homogeneous material.
+struct Material
+{
+    double conductivity = 0.0; ///< k, W/(m K).
+    double density = 0.0;      ///< rho, kg/m^3.
+    double specificHeat = 0.0; ///< cp, J/(kg K).
+};
+
+/// Aluminum (platters, arms, hub, base/cover castings; paper §3.3).
+inline constexpr Material kAluminum{205.0, 2700.0, 900.0};
+
+/// Air at roughly drive-internal film temperature (~45 °C).
+struct AirProperties
+{
+    double conductivity = 0.0276;        ///< W/(m K).
+    double density = 1.11;               ///< kg/m^3.
+    double specificHeat = 1007.0;        ///< J/(kg K).
+    double kinematicViscosity = 1.75e-5; ///< m^2/s.
+};
+
+/// Default air properties used throughout the drive model.
+inline constexpr AirProperties kDriveAir{};
+
+/// Transition Reynolds number for the rotating-disk boundary layer.
+inline constexpr double kDiskTransitionRe = 2.4e5;
+
+/// Rotational Reynolds number Re = omega r^2 / nu.
+double rotatingDiskReynolds(double rpm, double radius_m,
+                            const AirProperties& air = kDriveAir);
+
+/**
+ * Average convective film coefficient h [W/(m^2 K)] over a disk of radius
+ * @p radius_m spinning at @p rpm.  Laminar branch Nu = 0.36 Re^0.5; above
+ * the transition the exponent steepens to 0.8 with the prefactor chosen for
+ * continuity.  Monotonically non-decreasing in rpm.
+ */
+double rotatingDiskFilmCoefficient(double rpm, double radius_m,
+                                   const AirProperties& air = kDriveAir);
+
+/**
+ * Film coefficient for stationary internal surfaces (case walls, arms)
+ * stirred by the rotating stack.  Modeled as a fraction of the disk film
+ * coefficient plus a natural-convection floor.
+ *
+ * @param rpm spindle speed.
+ * @param radius_m radius of the stirring disk.
+ * @param scale fraction of the disk film coefficient experienced by the
+ *        surface (geometry dependent).
+ * @param floor_h natural-convection floor, W/(m^2 K).
+ */
+double stirredSurfaceFilmCoefficient(double rpm, double radius_m,
+                                     double scale, double floor_h = 5.0,
+                                     const AirProperties& air = kDriveAir);
+
+} // namespace hddtherm::thermal
+
+#endif // HDDTHERM_THERMAL_CORRELATIONS_H

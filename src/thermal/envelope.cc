@@ -1,0 +1,53 @@
+#include "thermal/envelope.h"
+
+#include <map>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/roots.h"
+
+namespace hddtherm::thermal {
+
+double
+maxRpmWithinEnvelope(DriveThermalConfig config, double envelope_c,
+                     const RpmRange& range)
+{
+    HDDTHERM_REQUIRE(range.lo > 0.0 && range.hi > range.lo,
+                     "invalid RPM range");
+    auto within = [&config, envelope_c](double rpm) {
+        config.rpm = rpm;
+        return steadyAirTempC(config) <= envelope_c;
+    };
+    if (!within(range.lo))
+        return 0.0;
+    return util::maxSatisfying(within, range.lo, range.hi, {0.5, 200});
+}
+
+double
+coolingScaleForPlatters(int platters)
+{
+    HDDTHERM_REQUIRE(platters >= 1, "need at least one platter");
+    if (platters == 1)
+        return 1.0;
+
+    static std::mutex mutex;
+    static std::map<int, double> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (auto it = cache.find(platters); it != cache.end())
+        return it->second;
+
+    DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = platters;
+    cfg.rpm = kEnvelopeRpm26;
+    const double scale = util::bisect(
+        [&cfg](double s) {
+            cfg.coolingScale = s;
+            return steadyAirTempC(cfg) - kThermalEnvelopeC;
+        },
+        1.0, 50.0, {1e-6, 200});
+    cache.emplace(platters, scale);
+    return scale;
+}
+
+} // namespace hddtherm::thermal

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Thermal-envelope queries used by the roadmap and DTM layers (paper §4).
+ */
+#ifndef HDDTHERM_THERMAL_ENVELOPE_H
+#define HDDTHERM_THERMAL_ENVELOPE_H
+
+#include "thermal/drive_thermal.h"
+
+namespace hddtherm::thermal {
+
+/// RPM search range for envelope queries.
+struct RpmRange
+{
+    double lo = 1000.0;
+    double hi = 300000.0;
+};
+
+/**
+ * Highest spindle speed for which the steady-state internal air temperature
+ * of @p config (ignoring its rpm field) stays at or below @p envelope_c.
+ *
+ * @return the limiting RPM, or 0 if even the lowest RPM in @p range
+ *         violates the envelope.
+ */
+double maxRpmWithinEnvelope(DriveThermalConfig config,
+                            double envelope_c = kThermalEnvelopeC,
+                            const RpmRange& range = {});
+
+/**
+ * External-cooling multiplier granted to an @p platters-platter stack so
+ * that it matches the envelope at the start of the roadmap (paper §4: "we
+ * provide different external cooling budgets for each of the three platter
+ * counts in order to use the same thermal envelope").
+ *
+ * Solved so the 2.6" n-platter drive at the 1-platter envelope RPM
+ * (15 020) sits exactly at the envelope.  Returns 1.0 for one platter.
+ */
+double coolingScaleForPlatters(int platters);
+
+} // namespace hddtherm::thermal
+
+#endif // HDDTHERM_THERMAL_ENVELOPE_H

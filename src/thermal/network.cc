@@ -1,0 +1,290 @@
+#include "thermal/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::thermal {
+
+ThermalNetwork::NodeId
+ThermalNetwork::addNode(std::string name, double capacitance_j_per_k,
+                        double initial_temp_c)
+{
+    HDDTHERM_REQUIRE(capacitance_j_per_k > 0.0,
+                     "free nodes need positive heat capacity");
+    nodes_.push_back(
+        {std::move(name), capacitance_j_per_k, initial_temp_c, 0.0, false});
+    return int(nodes_.size()) - 1;
+}
+
+ThermalNetwork::NodeId
+ThermalNetwork::addBoundaryNode(std::string name, double temp_c)
+{
+    nodes_.push_back({std::move(name), 0.0, temp_c, 0.0, true});
+    return int(nodes_.size()) - 1;
+}
+
+void
+ThermalNetwork::setConductance(NodeId a, NodeId b, double conductance_w_per_k)
+{
+    HDDTHERM_REQUIRE(a >= 0 && a < size() && b >= 0 && b < size() && a != b,
+                     "setConductance: invalid node pair");
+    HDDTHERM_REQUIRE(conductance_w_per_k >= 0.0,
+                     "conductance must be non-negative");
+    for (auto& e : edges_) {
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) {
+            e.g = conductance_w_per_k;
+            return;
+        }
+    }
+    edges_.push_back({a, b, conductance_w_per_k});
+}
+
+double
+ThermalNetwork::conductance(NodeId a, NodeId b) const
+{
+    for (const auto& e : edges_) {
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+            return e.g;
+    }
+    return 0.0;
+}
+
+void
+ThermalNetwork::setHeatInput(NodeId node, double watts)
+{
+    HDDTHERM_REQUIRE(node >= 0 && node < size(), "invalid node");
+    HDDTHERM_REQUIRE(!nodes_[std::size_t(node)].boundary,
+                     "cannot inject heat into a boundary node");
+    nodes_[std::size_t(node)].heatInputW = watts;
+}
+
+double
+ThermalNetwork::heatInput(NodeId node) const
+{
+    HDDTHERM_REQUIRE(node >= 0 && node < size(), "invalid node");
+    return nodes_[std::size_t(node)].heatInputW;
+}
+
+double
+ThermalNetwork::temperature(NodeId node) const
+{
+    HDDTHERM_REQUIRE(node >= 0 && node < size(), "invalid node");
+    return nodes_[std::size_t(node)].temperatureC;
+}
+
+void
+ThermalNetwork::setTemperature(NodeId node, double temp_c)
+{
+    HDDTHERM_REQUIRE(node >= 0 && node < size(), "invalid node");
+    nodes_[std::size_t(node)].temperatureC = temp_c;
+}
+
+void
+ThermalNetwork::setAllTemperatures(double temp_c)
+{
+    for (auto& n : nodes_) {
+        if (!n.boundary)
+            n.temperatureC = temp_c;
+    }
+}
+
+void
+ThermalNetwork::shiftFreeTemperatures(double delta_c)
+{
+    for (auto& n : nodes_) {
+        if (!n.boundary)
+            n.temperatureC += delta_c;
+    }
+}
+
+const ThermalNode&
+ThermalNetwork::node(NodeId id) const
+{
+    HDDTHERM_REQUIRE(id >= 0 && id < size(), "invalid node");
+    return nodes_[std::size_t(id)];
+}
+
+std::vector<double>
+ThermalNetwork::solveLinear(std::vector<std::vector<double>> a,
+                            std::vector<double> b) const
+{
+    // Dense Gaussian elimination with partial pivoting; the networks here
+    // have a handful of nodes, so this is both simple and fast.
+    const auto n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        }
+        HDDTHERM_REQUIRE(std::fabs(a[pivot][col]) > 1e-14,
+                         "thermal network is singular (isolated node?)");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / a[col][col];
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            s -= a[i][c] * x[c];
+        x[i] = s / a[i][i];
+    }
+    return x;
+}
+
+std::vector<double>
+ThermalNetwork::steadyState() const
+{
+    // Index the free nodes.
+    std::vector<int> free_index(nodes_.size(), -1);
+    int nf = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].boundary)
+            free_index[i] = nf++;
+    }
+    if (nf == 0) {
+        std::vector<double> out;
+        out.reserve(nodes_.size());
+        for (const auto& n : nodes_)
+            out.push_back(n.temperatureC);
+        return out;
+    }
+
+    // Energy balance per free node i: sum_j G_ij (T_j - T_i) + Q_i = 0.
+    std::vector<std::vector<double>> a(std::size_t(nf),
+                                       std::vector<double>(std::size_t(nf),
+                                                           0.0));
+    std::vector<double> b(std::size_t(nf), 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (free_index[i] >= 0)
+            b[std::size_t(free_index[i])] = nodes_[i].heatInputW;
+    }
+    for (const auto& e : edges_) {
+        const int fa = free_index[std::size_t(e.a)];
+        const int fb = free_index[std::size_t(e.b)];
+        if (fa >= 0) {
+            a[std::size_t(fa)][std::size_t(fa)] += e.g;
+            if (fb >= 0) {
+                a[std::size_t(fa)][std::size_t(fb)] -= e.g;
+            } else {
+                b[std::size_t(fa)] +=
+                    e.g * nodes_[std::size_t(e.b)].temperatureC;
+            }
+        }
+        if (fb >= 0) {
+            a[std::size_t(fb)][std::size_t(fb)] += e.g;
+            if (fa >= 0) {
+                a[std::size_t(fb)][std::size_t(fa)] -= e.g;
+            } else {
+                b[std::size_t(fb)] +=
+                    e.g * nodes_[std::size_t(e.a)].temperatureC;
+            }
+        }
+    }
+
+    const auto x = solveLinear(std::move(a), std::move(b));
+    std::vector<double> out;
+    out.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        out.push_back(free_index[i] >= 0 ? x[std::size_t(free_index[i])]
+                                         : nodes_[i].temperatureC);
+    }
+    return out;
+}
+
+void
+ThermalNetwork::settleToSteadyState()
+{
+    const auto temps = steadyState();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].boundary)
+            nodes_[i].temperatureC = temps[i];
+    }
+}
+
+void
+ThermalNetwork::step(double dt)
+{
+    HDDTHERM_REQUIRE(dt > 0.0, "step size must be positive");
+
+    std::vector<int> free_index(nodes_.size(), -1);
+    int nf = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].boundary)
+            free_index[i] = nf++;
+    }
+    if (nf == 0)
+        return;
+
+    // Backward Euler: (C/dt) (T' - T) = Q + sum_j G_ij (T'_j - T'_i)
+    //  => (C/dt + sum G) T'_i - sum_j G_ij T'_j = (C/dt) T_i + Q_i + G*Tb.
+    std::vector<std::vector<double>> a(std::size_t(nf),
+                                       std::vector<double>(std::size_t(nf),
+                                                           0.0));
+    std::vector<double> b(std::size_t(nf), 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const int fi = free_index[i];
+        if (fi < 0)
+            continue;
+        const double cdt = nodes_[i].capacitance / dt;
+        a[std::size_t(fi)][std::size_t(fi)] += cdt;
+        b[std::size_t(fi)] += cdt * nodes_[i].temperatureC +
+                              nodes_[i].heatInputW;
+    }
+    for (const auto& e : edges_) {
+        const int fa = free_index[std::size_t(e.a)];
+        const int fb = free_index[std::size_t(e.b)];
+        if (fa >= 0) {
+            a[std::size_t(fa)][std::size_t(fa)] += e.g;
+            if (fb >= 0) {
+                a[std::size_t(fa)][std::size_t(fb)] -= e.g;
+            } else {
+                b[std::size_t(fa)] +=
+                    e.g * nodes_[std::size_t(e.b)].temperatureC;
+            }
+        }
+        if (fb >= 0) {
+            a[std::size_t(fb)][std::size_t(fb)] += e.g;
+            if (fa >= 0) {
+                a[std::size_t(fb)][std::size_t(fa)] -= e.g;
+            } else {
+                b[std::size_t(fb)] +=
+                    e.g * nodes_[std::size_t(e.a)].temperatureC;
+            }
+        }
+    }
+
+    const auto x = solveLinear(std::move(a), std::move(b));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (free_index[i] >= 0)
+            nodes_[i].temperatureC = x[std::size_t(free_index[i])];
+    }
+}
+
+void
+ThermalNetwork::advance(
+    double duration, double dt,
+    const std::function<void(double, const ThermalNetwork&)>& observer)
+{
+    HDDTHERM_REQUIRE(duration >= 0.0 && dt > 0.0, "invalid advance request");
+    double elapsed = 0.0;
+    while (elapsed < duration) {
+        const double h = std::min(dt, duration - elapsed);
+        step(h);
+        elapsed += h;
+        if (observer)
+            observer(elapsed, *this);
+    }
+}
+
+} // namespace hddtherm::thermal

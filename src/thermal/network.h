@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Generic lumped-parameter thermal network with finite-difference solvers
+ * (paper §3.3).
+ *
+ * Nodes carry a heat capacitance [J/K] and a temperature [°C]; edges carry
+ * a thermal conductance [W/K] combining Newton's-law convection
+ * (dQ/dt = h A dT) and solid conduction (h = k / thickness).  Boundary
+ * nodes (e.g. the externally cooled ambient air) hold a fixed temperature.
+ *
+ * Two solvers are provided:
+ *  - steadyState(): direct linear solve of the energy balance;
+ *  - step()/advance(): implicit (backward-Euler) finite-difference
+ *    transient integration, unconditionally stable so the paper's 0.1 s
+ *    step (600 steps/minute) is safe even with the near-massless internal
+ *    air node.
+ */
+#ifndef HDDTHERM_THERMAL_NETWORK_H
+#define HDDTHERM_THERMAL_NETWORK_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hddtherm::thermal {
+
+/// A lumped thermal node.
+struct ThermalNode
+{
+    std::string name;          ///< Diagnostic label.
+    double capacitance = 0.0;  ///< Heat capacity in J/K (0 for boundary).
+    double temperatureC = 0.0; ///< Current temperature.
+    double heatInputW = 0.0;   ///< External heat injected into this node.
+    bool boundary = false;     ///< True if temperature is externally fixed.
+};
+
+/// Network of thermal nodes joined by conductances.
+class ThermalNetwork
+{
+  public:
+    using NodeId = int;
+
+    /// Add a free node with heat capacity @p capacitance_j_per_k.
+    NodeId addNode(std::string name, double capacitance_j_per_k,
+                   double initial_temp_c);
+
+    /// Add a boundary (fixed-temperature) node.
+    NodeId addBoundaryNode(std::string name, double temp_c);
+
+    /// Create (or overwrite) the conductance between two nodes, in W/K.
+    void setConductance(NodeId a, NodeId b, double conductance_w_per_k);
+
+    /// Current conductance between two nodes (0 if unconnected).
+    double conductance(NodeId a, NodeId b) const;
+
+    /// Set the heat injected into a free node, in W.
+    void setHeatInput(NodeId node, double watts);
+
+    /// Heat currently injected into @p node.
+    double heatInput(NodeId node) const;
+
+    /// Current temperature of @p node.
+    double temperature(NodeId node) const;
+
+    /// Force a node's temperature (also moves a boundary node's set-point).
+    void setTemperature(NodeId node, double temp_c);
+
+    /// Set every free node to @p temp_c (e.g. cold start at ambient).
+    void setAllTemperatures(double temp_c);
+
+    /// Shift every free node by @p delta_c, preserving internal gradients.
+    void shiftFreeTemperatures(double delta_c);
+
+    /// Number of nodes.
+    int size() const { return int(nodes_.size()); }
+
+    /// Node metadata access.
+    const ThermalNode& node(NodeId id) const;
+
+    /**
+     * Solve the steady-state energy balance with the current conductances
+     * and heat inputs, returning all node temperatures (boundary nodes keep
+     * their fixed values).  Does not modify the stored temperatures.
+     *
+     * @throws util::ModelError if any free node is isolated from every
+     *         boundary node (no steady state exists).
+     */
+    std::vector<double> steadyState() const;
+
+    /// As steadyState(), but also store the result as current temperatures.
+    void settleToSteadyState();
+
+    /// Advance one backward-Euler step of @p dt seconds.
+    void step(double dt);
+
+    /**
+     * Advance by @p duration seconds in steps of @p dt, invoking
+     * @p observer (if given) after every step with (elapsed_s, network).
+     */
+    void advance(double duration, double dt,
+                 const std::function<void(double, const ThermalNetwork&)>&
+                     observer = nullptr);
+
+  private:
+    struct Edge
+    {
+        NodeId a;
+        NodeId b;
+        double g;
+    };
+
+    std::vector<double> solveLinear(std::vector<std::vector<double>> a,
+                                    std::vector<double> b) const;
+
+    std::vector<ThermalNode> nodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace hddtherm::thermal
+
+#endif // HDDTHERM_THERMAL_NETWORK_H

@@ -1,0 +1,29 @@
+#include "thermal/reliability.h"
+
+#include <cmath>
+
+#include "thermal/calibration.h"
+#include "util/error.h"
+
+namespace hddtherm::thermal {
+
+double
+failureRateFactor(double temp_c, double reference_c)
+{
+    return std::exp2((temp_c - reference_c) / kFailureDoublingDeltaC);
+}
+
+double
+mttfFactor(double temp_c, double reference_c)
+{
+    return 1.0 / failureRateFactor(temp_c, reference_c);
+}
+
+double
+annualizedFailureRate(double temp_c, double base_afr, double reference_c)
+{
+    HDDTHERM_REQUIRE(base_afr >= 0.0, "negative base AFR");
+    return base_afr * failureRateFactor(temp_c, reference_c);
+}
+
+} // namespace hddtherm::thermal

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Temperature-driven reliability scaling.
+ *
+ * The paper's motivation (§1, citing Anderson/Dykes/Riedel FAST'03): "even
+ * a fifteen degree Celsius rise from the ambient temperature can double
+ * the failure rate of a disk drive", and its closing remark: DTM can be
+ * used purely "to reduce the average operating temperature for enhancing
+ * reliability".  This module turns drive temperatures into relative
+ * failure-rate factors so the DTM experiments can report reliability
+ * alongside performance.
+ */
+#ifndef HDDTHERM_THERMAL_RELIABILITY_H
+#define HDDTHERM_THERMAL_RELIABILITY_H
+
+#include "thermal/calibration.h"
+
+namespace hddtherm::thermal {
+
+/// Temperature rise that doubles the failure rate (Anderson et al.).
+inline constexpr double kFailureDoublingDeltaC = 15.0;
+
+/**
+ * Relative failure-rate factor of operating at @p temp_c versus the
+ * reference temperature: 2^((T - T_ref) / 15).  Factor 1 at the
+ * reference; 2 per 15 C of additional heat; symmetric credit below it.
+ */
+double failureRateFactor(double temp_c,
+                         double reference_c = kBaselineAmbientC);
+
+/**
+ * Relative mean-time-to-failure of operating at @p temp_c versus the
+ * reference (the reciprocal of failureRateFactor()).
+ */
+double mttfFactor(double temp_c, double reference_c = kBaselineAmbientC);
+
+/**
+ * Annualized failure rate at @p temp_c given the AFR observed at the
+ * reference temperature.
+ *
+ * @param base_afr AFR at reference_c, as a fraction (e.g. 0.02 = 2 %/yr).
+ */
+double annualizedFailureRate(double temp_c, double base_afr,
+                             double reference_c = kBaselineAmbientC);
+
+} // namespace hddtherm::thermal
+
+#endif // HDDTHERM_THERMAL_RELIABILITY_H

@@ -1,0 +1,112 @@
+#include "trace/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace hddtherm::trace {
+
+ShuffleMap::ShuffleMap(const Trace& observed, std::int64_t logical_sectors,
+                       std::int64_t extent_sectors)
+    : logical_sectors_(logical_sectors), extent_sectors_(extent_sectors)
+{
+    HDDTHERM_REQUIRE(logical_sectors_ > 0, "empty logical space");
+    HDDTHERM_REQUIRE(extent_sectors_ > 0, "extent size must be positive");
+    extents_ = (logical_sectors_ + extent_sectors_ - 1) / extent_sectors_;
+
+    // Count accesses per extent.
+    std::vector<std::uint64_t> counts(std::size_t(extents_), 0);
+    for (const auto& r : observed.records()) {
+        if (r.lba + r.sectors > logical_sectors_)
+            continue; // foreign-device record
+        const std::int64_t first = r.lba / extent_sectors_;
+        const std::int64_t last =
+            (r.lba + r.sectors - 1) / extent_sectors_;
+        for (std::int64_t e = first; e <= last; ++e) {
+            ++counts[std::size_t(e)];
+            ++total_accesses_;
+        }
+    }
+
+    // Rank extents hottest-first (stable on ties for determinism).
+    std::vector<std::int64_t> ranked;
+    ranked.resize(std::size_t(extents_));
+    std::iota(ranked.begin(), ranked.end(), 0);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&counts](std::int64_t a, std::int64_t b) {
+                         return counts[std::size_t(a)] >
+                                counts[std::size_t(b)];
+                     });
+    sorted_counts_.reserve(ranked.size());
+    for (const auto e : ranked)
+        sorted_counts_.push_back(counts[std::size_t(e)]);
+
+    // Organ-pipe: hottest extent in the middle, alternating outward.
+    forward_.assign(std::size_t(extents_), 0);
+    std::int64_t low = extents_ / 2;
+    std::int64_t high = low + 1;
+    bool to_low = true;
+    for (const auto old_extent : ranked) {
+        std::int64_t target;
+        if (to_low && low >= 0) {
+            target = low--;
+        } else if (high < extents_) {
+            target = high++;
+        } else {
+            target = low--;
+        }
+        HDDTHERM_ASSERT(target >= 0 && target < extents_);
+        forward_[std::size_t(old_extent)] = target;
+        to_low = !to_low;
+    }
+}
+
+std::int64_t
+ShuffleMap::remap(std::int64_t lba) const
+{
+    HDDTHERM_REQUIRE(lba >= 0 && lba < logical_sectors_,
+                     "LBA out of range");
+    const std::int64_t extent = lba / extent_sectors_;
+    const std::int64_t offset = lba % extent_sectors_;
+    return forward_[std::size_t(extent)] * extent_sectors_ + offset;
+}
+
+Trace
+ShuffleMap::apply(const Trace& trace) const
+{
+    Trace out(trace.name() + "-shuffled");
+    for (auto r : trace.records()) {
+        if (r.lba + r.sectors <= logical_sectors_) {
+            // Clamp the remapped extent's tail: a request crossing old
+            // extent boundaries is pinned to its first extent's new home.
+            const std::int64_t mapped = remap(r.lba);
+            const std::int64_t extent_end =
+                (mapped / extent_sectors_ + 1) * extent_sectors_;
+            r.lba = mapped;
+            if (r.lba + r.sectors > extent_end &&
+                r.lba + r.sectors > logical_sectors_) {
+                r.sectors = int(logical_sectors_ - r.lba);
+            }
+        }
+        out.append(r);
+    }
+    return out;
+}
+
+double
+ShuffleMap::accessConcentration(double top_fraction) const
+{
+    HDDTHERM_REQUIRE(top_fraction > 0.0 && top_fraction <= 1.0,
+                     "fraction in (0, 1]");
+    if (total_accesses_ == 0)
+        return 0.0;
+    const auto top = std::max<std::size_t>(
+        1, std::size_t(double(extents_) * top_fraction));
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < top && i < sorted_counts_.size(); ++i)
+        sum += sorted_counts_[i];
+    return double(sum) / double(total_accesses_);
+}
+
+} // namespace hddtherm::trace

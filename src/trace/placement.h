@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seek-reducing data placement (paper §5.4).
+ *
+ * "Techniques for co-locating data items to reduce seek overheads (e.g.
+ * disk shuffling) can reduce VCM power, and further enhance the potential
+ * of throttling."  ShuffleMap implements the classic frequency-based
+ * organ-pipe arrangement [Ruemmler & Wilkes 1991]: extents are ranked by
+ * access count from an observed trace and laid out hottest-first around
+ * the middle of the LBA band, shrinking the expected arm travel between
+ * hot extents.
+ */
+#ifndef HDDTHERM_TRACE_PLACEMENT_H
+#define HDDTHERM_TRACE_PLACEMENT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hddtherm::trace {
+
+/// Frequency-based organ-pipe LBA remapping for one device.
+class ShuffleMap
+{
+  public:
+    /**
+     * Learn a placement from an observed trace.
+     *
+     * @param observed trace to learn access frequencies from (all devices'
+     *        records are counted together; the map applies per device).
+     * @param logical_sectors size of the LBA space being rearranged.
+     * @param extent_sectors relocation granularity.
+     */
+    ShuffleMap(const Trace& observed, std::int64_t logical_sectors,
+               std::int64_t extent_sectors);
+
+    /// Remapped LBA for @p lba.
+    std::int64_t remap(std::int64_t lba) const;
+
+    /// Apply the mapping to a trace (record times/sizes unchanged).
+    Trace apply(const Trace& trace) const;
+
+    /// Number of extents in the map.
+    std::int64_t extents() const { return extents_; }
+
+    /// Extent granularity in sectors.
+    std::int64_t extentSectors() const { return extent_sectors_; }
+
+    /**
+     * Fraction of observed accesses landing in the hottest
+     * @p top_fraction of extents (a skew diagnostic).
+     */
+    double accessConcentration(double top_fraction) const;
+
+  private:
+    std::int64_t logical_sectors_;
+    std::int64_t extent_sectors_;
+    std::int64_t extents_;
+    /// old extent index -> new extent index.
+    std::vector<std::int64_t> forward_;
+    /// Access counts per extent, hottest-first (for diagnostics).
+    std::vector<std::uint64_t> sorted_counts_;
+    std::uint64_t total_accesses_ = 0;
+};
+
+} // namespace hddtherm::trace
+
+#endif // HDDTHERM_TRACE_PLACEMENT_H

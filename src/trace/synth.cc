@@ -1,0 +1,103 @@
+#include "trace/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hddtherm::trace {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadSpec& spec) : spec_(spec)
+{
+    HDDTHERM_REQUIRE(spec_.devices >= 1, "need at least one device");
+    HDDTHERM_REQUIRE(spec_.requests >= 1, "need at least one request");
+    HDDTHERM_REQUIRE(spec_.arrivalRatePerSec > 0.0,
+                     "arrival rate must be positive");
+    HDDTHERM_REQUIRE(spec_.burstiness >= 0.0 && spec_.burstiness < 1.0,
+                     "burstiness in [0, 1)");
+    HDDTHERM_REQUIRE(spec_.readFraction >= 0.0 && spec_.readFraction <= 1.0,
+                     "read fraction in [0, 1]");
+    HDDTHERM_REQUIRE(spec_.minSectors >= 1 &&
+                         spec_.minSectors <= spec_.meanSectors &&
+                         spec_.meanSectors <= spec_.maxSectors,
+                     "size parameters must satisfy min <= mean <= max");
+    HDDTHERM_REQUIRE(spec_.sequentialFraction >= 0.0 &&
+                         spec_.sequentialFraction <= 1.0,
+                     "sequential fraction in [0, 1]");
+    HDDTHERM_REQUIRE(spec_.regions >= 1, "need at least one region");
+    HDDTHERM_REQUIRE(spec_.zipfTheta >= 0.0 && spec_.deviceZipfTheta >= 0.0,
+                     "negative skew");
+}
+
+Trace
+SyntheticWorkload::generate(std::int64_t logical_sectors) const
+{
+    HDDTHERM_REQUIRE(logical_sectors > spec_.maxSectors,
+                     "logical space smaller than the largest request");
+
+    util::Rng rng(spec_.seed);
+    const util::ZipfSampler region_pick(std::size_t(spec_.regions),
+                                        spec_.zipfTheta);
+    const util::ZipfSampler device_pick(std::size_t(spec_.devices),
+                                        spec_.deviceZipfTheta);
+    const std::int64_t region_sectors =
+        std::max<std::int64_t>(logical_sectors / spec_.regions,
+                               spec_.maxSectors + 1);
+
+    // Burst model: short gaps (mean/5) with probability b, long gaps
+    // stretched to preserve the overall rate.
+    const double mean_gap = 1.0 / spec_.arrivalRatePerSec;
+    const double b = spec_.burstiness;
+    const double short_scale = 0.2;
+    const double long_scale =
+        b > 0.0 ? (1.0 - b * short_scale) / (1.0 - b) : 1.0;
+
+    // Log-normal size distribution with the requested mean:
+    // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    const double sigma = spec_.sizeSigma;
+    const double mu = std::log(double(spec_.meanSectors)) -
+                      0.5 * sigma * sigma;
+
+    std::vector<std::int64_t> stream_next(std::size_t(spec_.devices), -1);
+
+    Trace trace(spec_.name);
+    double now = 0.0;
+    for (std::size_t i = 0; i < spec_.requests; ++i) {
+        const double scale =
+            (b > 0.0 && rng.bernoulli(b)) ? short_scale : long_scale;
+        now += rng.exponential(mean_gap * scale);
+
+        TraceRecord r;
+        r.time = now;
+        r.device = int(device_pick(rng));
+
+        // Size: even sector count, clamped.
+        const double raw = rng.lognormal(mu, sigma);
+        int sectors = int(std::llround(raw / 2.0)) * 2;
+        sectors = std::clamp(sectors, spec_.minSectors, spec_.maxSectors);
+        r.sectors = sectors;
+
+        auto& next = stream_next[std::size_t(r.device)];
+        if (next >= 0 && next + sectors <= logical_sectors &&
+            rng.bernoulli(spec_.sequentialFraction)) {
+            r.lba = next;
+        } else {
+            const auto region = std::int64_t(region_pick(rng));
+            const std::int64_t base =
+                std::min(region * region_sectors,
+                         logical_sectors - region_sectors);
+            const std::int64_t span = region_sectors - sectors;
+            r.lba = base + rng.uniformInt(0, span - 1);
+        }
+        // Align to 1 KB (2-sector) boundaries like real block traces.
+        r.lba &= ~std::int64_t(1);
+        next = r.lba + sectors;
+
+        r.write = !rng.bernoulli(spec_.readFraction);
+        trace.append(r);
+    }
+    return trace;
+}
+
+} // namespace hddtherm::trace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic workload generation (the paper-trace substitute; DESIGN.md §2).
+ *
+ * A generator is parameterized by arrival process (Poisson with an optional
+ * heavy-tailed burst component), spatial locality (Zipf-weighted hot
+ * regions plus sequential-stream continuation), request-size distribution
+ * and read/write mix.  The five presets in workloads.h are tuned to the
+ * published characteristics of the paper's Figure 4(a) traces.
+ */
+#ifndef HDDTHERM_TRACE_SYNTH_H
+#define HDDTHERM_TRACE_SYNTH_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/random.h"
+
+namespace hddtherm::trace {
+
+/// Generator parameters.
+struct WorkloadSpec
+{
+    std::string name = "synthetic";
+    int devices = 1;               ///< Logical device count.
+    std::size_t requests = 100000; ///< Records to generate.
+    double arrivalRatePerSec = 500.0; ///< Aggregate arrival rate.
+    /**
+     * Burstiness knob in [0, 1): probability that an inter-arrival gap is
+     * drawn from the short (one-fifth mean) component; the complementary
+     * component is stretched so the overall mean rate is preserved.
+     * 0 yields a pure Poisson process.
+     */
+    double burstiness = 0.0;
+    double readFraction = 0.7;     ///< Probability a request is a read.
+    int minSectors = 2;            ///< Smallest request (sectors).
+    int meanSectors = 8;           ///< Typical request size.
+    int maxSectors = 512;          ///< Largest request.
+    double sizeSigma = 0.6;        ///< Log-normal spread of sizes.
+    /**
+     * Probability a request continues the device's previous stream at the
+     * exact next LBA (models the multi-block sequential runs the paper
+     * observes even in seek-heavy traces).
+     */
+    double sequentialFraction = 0.3;
+    int regions = 1024;            ///< Hot-region granularity.
+    double zipfTheta = 0.6;        ///< Region popularity skew (0=uniform).
+    double deviceZipfTheta = 0.0;  ///< Load imbalance across devices.
+    std::uint64_t seed = 1;        ///< RNG seed (determinism contract).
+};
+
+/// Synthetic trace generator.
+class SyntheticWorkload
+{
+  public:
+    explicit SyntheticWorkload(const WorkloadSpec& spec);
+
+    /**
+     * Generate a trace addressing LBAs in [0, logical_sectors) on each of
+     * the spec's devices.
+     */
+    Trace generate(std::int64_t logical_sectors) const;
+
+    /// Spec in force.
+    const WorkloadSpec& spec() const { return spec_; }
+
+  private:
+    WorkloadSpec spec_;
+};
+
+} // namespace hddtherm::trace
+
+#endif // HDDTHERM_TRACE_SYNTH_H

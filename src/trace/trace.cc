@@ -1,0 +1,236 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hddtherm::trace {
+
+void
+Trace::append(const TraceRecord& record)
+{
+    HDDTHERM_REQUIRE(record.time >= 0.0 && record.sectors >= 1 &&
+                         record.lba >= 0 && record.device >= 0,
+                     "malformed trace record");
+    HDDTHERM_REQUIRE(records_.empty() || record.time >= records_.back().time,
+                     "trace records must be time-ordered");
+    records_.push_back(record);
+}
+
+std::vector<sim::IoRequest>
+Trace::toRequests() const
+{
+    std::vector<sim::IoRequest> out;
+    out.reserve(records_.size());
+    std::uint64_t id = 1;
+    for (const auto& r : records_) {
+        sim::IoRequest req;
+        req.id = id++;
+        req.arrival = r.time;
+        req.device = r.device;
+        req.lba = r.lba;
+        req.sectors = r.sectors;
+        req.type = r.write ? sim::IoType::Write : sim::IoType::Read;
+        out.push_back(req);
+    }
+    return out;
+}
+
+bool
+Trace::save(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "time,device,lba,sectors,op\n";
+    char buf[128];
+    for (const auto& r : records_) {
+        std::snprintf(buf, sizeof(buf), "%.9f,%d,%lld,%d,%c\n", r.time,
+                      r.device, static_cast<long long>(r.lba), r.sectors,
+                      r.write ? 'W' : 'R');
+        out << buf;
+    }
+    return bool(out);
+}
+
+Trace
+Trace::load(const std::string& path)
+{
+    std::ifstream in(path);
+    HDDTHERM_REQUIRE(bool(in), "cannot open trace file: " + path);
+    Trace trace(path);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (line.rfind("time,", 0) == 0)
+                continue; // header
+        }
+        TraceRecord r;
+        char op = 'R';
+        long long lba = 0;
+        const int fields = std::sscanf(line.c_str(), "%lf,%d,%lld,%d,%c",
+                                       &r.time, &r.device, &lba, &r.sectors,
+                                       &op);
+        HDDTHERM_REQUIRE(fields == 5, "malformed trace line: " + line);
+        r.lba = lba;
+        r.write = (op == 'W' || op == 'w');
+        trace.append(r);
+    }
+    return trace;
+}
+
+Trace
+Trace::slice(double t0, double t1) const
+{
+    HDDTHERM_REQUIRE(t0 >= 0.0 && t1 > t0, "invalid slice window");
+    Trace out(name_ + "-slice");
+    for (const auto& r : records_) {
+        if (r.time < t0)
+            continue;
+        if (r.time >= t1)
+            break;
+        TraceRecord shifted = r;
+        shifted.time -= t0;
+        out.append(shifted);
+    }
+    return out;
+}
+
+Trace
+Trace::accelerate(double factor) const
+{
+    HDDTHERM_REQUIRE(factor > 0.0, "acceleration factor must be positive");
+    Trace out(name_ + "-x" + std::to_string(factor));
+    for (auto r : records_) {
+        r.time /= factor;
+        out.append(r);
+    }
+    return out;
+}
+
+Trace
+Trace::loadSpc(const std::string& path)
+{
+    std::ifstream in(path);
+    HDDTHERM_REQUIRE(bool(in), "cannot open SPC trace file: " + path);
+    std::vector<TraceRecord> records;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        int asu = 0;
+        long long lba = 0;
+        long long bytes = 0;
+        char op = 'R';
+        double ts = 0.0;
+        const int fields = std::sscanf(line.c_str(),
+                                       "%d,%lld,%lld, %c ,%lf", &asu,
+                                       &lba, &bytes, &op, &ts);
+        // Some SPC dumps omit the spaces around the opcode.
+        const int fields2 =
+            fields == 5 ? 5
+                        : std::sscanf(line.c_str(), "%d,%lld,%lld,%c,%lf",
+                                      &asu, &lba, &bytes, &op, &ts);
+        HDDTHERM_REQUIRE(fields2 == 5,
+                         "malformed SPC line " + std::to_string(lineno) +
+                             ": " + line);
+        HDDTHERM_REQUIRE(op == 'r' || op == 'R' || op == 'w' || op == 'W',
+                         "bad SPC opcode on line " +
+                             std::to_string(lineno));
+        TraceRecord r;
+        r.time = ts;
+        r.device = asu;
+        r.lba = lba;
+        r.sectors =
+            std::max(1, int((bytes + util::kSectorBytes - 1) /
+                            util::kSectorBytes));
+        r.write = (op == 'w' || op == 'W');
+        records.push_back(r);
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                         return a.time < b.time;
+                     });
+    Trace trace(path);
+    for (const auto& r : records)
+        trace.append(r);
+    return trace;
+}
+
+TraceStats
+analyze(const Trace& trace)
+{
+    TraceStats s;
+    s.requests = trace.size();
+    if (trace.empty())
+        return s;
+
+    std::map<int, std::int64_t> last_end; // device -> end LBA of last req
+    std::size_t reads = 0;
+    std::size_t sequential = 0;
+    double total_sectors = 0.0;
+    for (const auto& r : trace.records()) {
+        s.devices = std::max(s.devices, r.device + 1);
+        reads += !r.write;
+        total_sectors += r.sectors;
+        s.maxLbaTouched = std::max(s.maxLbaTouched, r.lba + r.sectors - 1);
+        const auto it = last_end.find(r.device);
+        if (it != last_end.end() && it->second == r.lba)
+            ++sequential;
+        last_end[r.device] = r.lba + r.sectors;
+    }
+    s.durationSec = trace.durationSec();
+    s.arrivalRatePerSec =
+        s.durationSec > 0.0 ? double(s.requests) / s.durationSec : 0.0;
+    s.readFraction = double(reads) / double(s.requests);
+    s.meanSectors = total_sectors / double(s.requests);
+    s.sequentialFraction = double(sequential) / double(s.requests);
+    return s;
+}
+
+SeekProfileStats
+analyzeSeeks(const Trace& trace, const sim::DiskAddressMap& map)
+{
+    SeekProfileStats out;
+    if (trace.empty())
+        return out;
+
+    std::map<int, int> head; // device -> last cylinder
+    double total_distance = 0.0;
+    std::size_t moves = 0;
+    std::size_t counted = 0;
+    for (const auto& r : trace.records()) {
+        if (r.lba + r.sectors > map.totalSectors())
+            continue; // foreign-device record larger than this layout
+        const int cyl = map.toPhysical(r.lba).cylinder;
+        const auto it = head.find(r.device);
+        if (it != head.end()) {
+            const int dist = std::abs(cyl - it->second);
+            total_distance += dist;
+            moves += dist > 0;
+            ++counted;
+        }
+        // Head ends at the request's final cylinder.
+        head[r.device] =
+            map.toPhysical(r.lba + r.sectors - 1).cylinder;
+    }
+    if (counted) {
+        out.meanSeekCylinders = total_distance / double(counted);
+        out.armMovementFraction = double(moves) / double(counted);
+    }
+    return out;
+}
+
+} // namespace hddtherm::trace

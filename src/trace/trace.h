@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Block-level I/O traces: records, file round-tripping and characteristic
+ * statistics (paper §5.1).
+ *
+ * The paper replays five commercial traces (HPL Openmail, UMass OLTP and
+ * Search-Engine, TPC-C, TPC-H).  Those traces are not redistributable, so
+ * HDDTherm generates synthetic equivalents (see synth.h); this module
+ * defines the common representation plus the statistics used both to
+ * characterize traces and to verify the generators against the published
+ * characteristics (e.g. Openmail's 1952-cylinder mean seek distance and
+ * >86% arm-movement fraction).
+ */
+#ifndef HDDTHERM_TRACE_TRACE_H
+#define HDDTHERM_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/address_map.h"
+#include "sim/request.h"
+
+namespace hddtherm::trace {
+
+/// One trace record (times in seconds, extents in 512-byte sectors).
+struct TraceRecord
+{
+    double time = 0.0;
+    int device = 0;
+    std::int64_t lba = 0;
+    int sectors = 1;
+    bool write = false;
+};
+
+/// A named sequence of records ordered by time.
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    /// Trace label.
+    const std::string& name() const { return name_; }
+
+    /// Append a record; times must be non-decreasing.
+    void append(const TraceRecord& record);
+
+    /// Records, in time order.
+    const std::vector<TraceRecord>& records() const { return records_; }
+
+    /// Record count.
+    std::size_t size() const { return records_.size(); }
+
+    /// True when no records are present.
+    bool empty() const { return records_.empty(); }
+
+    /// Trace duration (last arrival time), seconds.
+    double durationSec() const
+    {
+        return records_.empty() ? 0.0 : records_.back().time;
+    }
+
+    /// Convert to simulator requests with sequential ids starting at 1.
+    std::vector<sim::IoRequest> toRequests() const;
+
+    /**
+     * Records with time in [t0, t1), re-based so the slice starts at 0.
+     * Useful for warm-up removal and windowed analysis.
+     */
+    Trace slice(double t0, double t1) const;
+
+    /**
+     * The same accesses arriving @p factor times faster (times divided by
+     * factor) — load scaling without touching the access pattern.
+     */
+    Trace accelerate(double factor) const;
+
+    /**
+     * Write as CSV ("time,device,lba,sectors,op") to @p path.
+     * @return false on I/O failure.
+     */
+    bool save(const std::string& path) const;
+
+    /**
+     * Load a CSV trace written by save().
+     * @throws util::ModelError on malformed input.
+     */
+    static Trace load(const std::string& path);
+
+    /**
+     * Load an SPC-format trace ("ASU,LBA,Size,Opcode,Timestamp" with the
+     * size in bytes and opcode r/R/w/W) — the format of the UMass traces
+     * the paper replays (OLTP "Financial" and WebSearch).  ASU becomes
+     * the device id; records are sorted by timestamp.
+     * @throws util::ModelError on malformed input.
+     */
+    static Trace loadSpc(const std::string& path);
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+};
+
+/// Aggregate characteristics of a trace.
+struct TraceStats
+{
+    std::size_t requests = 0;
+    int devices = 0;            ///< Max device id + 1.
+    double durationSec = 0.0;
+    double arrivalRatePerSec = 0.0;
+    double readFraction = 0.0;
+    double meanSectors = 0.0;
+    /// Fraction of requests starting exactly where the previous request on
+    /// the same device ended (pure sequential continuation).
+    double sequentialFraction = 0.0;
+    std::int64_t maxLbaTouched = 0;
+};
+
+/// Compute trace characteristics.
+TraceStats analyze(const Trace& trace);
+
+/**
+ * Seek-profile statistics of a trace replayed on a given layout: the mean
+ * seek distance in cylinders and the fraction of requests that move the
+ * arm (paper quotes 1952 cylinders / 86% for Openmail).  Computed per
+ * device with a simple last-cylinder model (no queue reordering).
+ */
+struct SeekProfileStats
+{
+    double meanSeekCylinders = 0.0;
+    double armMovementFraction = 0.0;
+};
+
+SeekProfileStats analyzeSeeks(const Trace& trace,
+                              const sim::DiskAddressMap& map);
+
+} // namespace hddtherm::trace
+
+#endif // HDDTHERM_TRACE_TRACE_H

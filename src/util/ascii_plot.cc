@@ -1,0 +1,173 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+std::string
+formatTick(double v)
+{
+    char buf[32];
+    if (std::fabs(v) >= 1e5 || (v != 0.0 && std::fabs(v) < 1e-2))
+        std::snprintf(buf, sizeof(buf), "%.2g", v);
+    else if (std::fabs(v) >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+} // namespace
+
+AsciiPlot::AsciiPlot() : AsciiPlot(Options{}) {}
+
+AsciiPlot::AsciiPlot(Options options) : options_(std::move(options))
+{
+    HDDTHERM_REQUIRE(options_.width >= 8 && options_.height >= 4,
+                     "plot area too small");
+}
+
+void
+AsciiPlot::addSeries(std::string name,
+                     std::vector<std::pair<double, double>> points)
+{
+    HDDTHERM_REQUIRE(!points.empty(), "empty series");
+    if (options_.logY) {
+        for (const auto& [x, y] : points) {
+            (void)x;
+            HDDTHERM_REQUIRE(y > 0.0, "log-y plot needs positive values");
+        }
+    }
+    Series s;
+    s.name = std::move(name);
+    s.points = std::move(points);
+    s.glyph = kGlyphs[series_.size() % sizeof(kGlyphs)];
+    series_.push_back(std::move(s));
+}
+
+void
+AsciiPlot::print(std::ostream& os) const
+{
+    HDDTHERM_REQUIRE(!series_.empty(), "nothing to plot");
+
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin;
+    double ymin = xmin;
+    double ymax = -xmin;
+    auto yv = [this](double y) {
+        return options_.logY ? std::log10(y) : y;
+    };
+    for (const auto& s : series_) {
+        for (const auto& [x, y] : s.points) {
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymin = std::min(ymin, yv(y));
+            ymax = std::max(ymax, yv(y));
+        }
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1.0;
+    if (ymax == ymin)
+        ymax = ymin + 1.0;
+
+    const int w = options_.width;
+    const int h = options_.height;
+    std::vector<std::string> canvas(std::size_t(h),
+                                    std::string(std::size_t(w), ' '));
+
+    auto col = [&](double x) {
+        return std::clamp(
+            int(std::lround((x - xmin) / (xmax - xmin) * (w - 1))), 0,
+            w - 1);
+    };
+    auto row = [&](double y) {
+        const int r = int(std::lround((yv(y) - ymin) / (ymax - ymin) *
+                                      (h - 1)));
+        return std::clamp(h - 1 - r, 0, h - 1);
+    };
+
+    for (const auto& s : series_) {
+        // Connect consecutive points with interpolated marks so sparse
+        // series still read as curves.
+        for (std::size_t i = 0; i + 1 < s.points.size(); ++i) {
+            const auto [x0, y0] = s.points[i];
+            const auto [x1, y1] = s.points[i + 1];
+            const int c0 = col(x0);
+            const int c1 = col(x1);
+            const int steps = std::max(1, std::abs(c1 - c0));
+            for (int k = 0; k <= steps; ++k) {
+                const double t = double(k) / steps;
+                const double x = x0 + t * (x1 - x0);
+                double y;
+                if (options_.logY) {
+                    y = std::pow(10.0, std::log10(y0) +
+                                           t * (std::log10(y1) -
+                                                std::log10(y0)));
+                } else {
+                    y = y0 + t * (y1 - y0);
+                }
+                canvas[std::size_t(row(y))][std::size_t(col(x))] = s.glyph;
+            }
+        }
+        // Single-point series still get their mark.
+        if (s.points.size() == 1) {
+            canvas[std::size_t(row(s.points[0].second))]
+                  [std::size_t(col(s.points[0].first))] = s.glyph;
+        }
+    }
+
+    const std::string y_top =
+        formatTick(options_.logY ? std::pow(10.0, ymax) : ymax);
+    const std::string y_bot =
+        formatTick(options_.logY ? std::pow(10.0, ymin) : ymin);
+    const std::size_t margin = std::max(y_top.size(), y_bot.size()) + 1;
+
+    if (!options_.yLabel.empty() || options_.logY) {
+        os << std::string(margin, ' ') << options_.yLabel
+           << (options_.logY ? " (log scale)" : "") << '\n';
+    }
+    for (int r = 0; r < h; ++r) {
+        std::string label(margin, ' ');
+        if (r == 0) {
+            label = y_top + std::string(margin - y_top.size(), ' ');
+        } else if (r == h - 1) {
+            label = y_bot + std::string(margin - y_bot.size(), ' ');
+        }
+        os << label << '|' << canvas[std::size_t(r)] << '\n';
+    }
+    os << std::string(margin, ' ') << '+' << std::string(std::size_t(w), '-')
+       << '\n';
+    const std::string x_lo = formatTick(xmin);
+    const std::string x_hi = formatTick(xmax);
+    os << std::string(margin + 1, ' ') << x_lo
+       << std::string(std::size_t(std::max(
+              1, w - int(x_lo.size()) - int(x_hi.size()))), ' ')
+       << x_hi << '\n';
+    if (!options_.xLabel.empty())
+        os << std::string(margin + 1, ' ') << options_.xLabel << '\n';
+
+    os << std::string(margin + 1, ' ');
+    for (const auto& s : series_)
+        os << s.glyph << " = " << s.name << "   ";
+    os << '\n';
+}
+
+std::string
+AsciiPlot::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace hddtherm::util

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII line charts for the console.
+ *
+ * The paper's artifacts are mostly *figures*; the bench binaries print
+ * their series as tables and CSV, and AsciiPlot renders them as terminal
+ * charts so the curve shapes (the roadmap fall-off, the Figure 1 warm-up,
+ * CDF shifts) are visible without leaving the shell.  Multiple series
+ * share axes; y can be linear or log10.
+ */
+#ifndef HDDTHERM_UTIL_ASCII_PLOT_H
+#define HDDTHERM_UTIL_ASCII_PLOT_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hddtherm::util {
+
+/// Multi-series console line chart.
+class AsciiPlot
+{
+  public:
+    /// Plot options.
+    struct Options
+    {
+        int width = 64;       ///< Plot-area columns.
+        int height = 16;      ///< Plot-area rows.
+        bool logY = false;    ///< log10 y-axis (all y must be > 0).
+        std::string xLabel;   ///< Optional x-axis caption.
+        std::string yLabel;   ///< Optional y-axis caption.
+    };
+
+    /// Default-sized plot (64x16, linear axes).
+    AsciiPlot();
+
+    explicit AsciiPlot(Options options);
+
+    /**
+     * Add a series; each gets a distinct glyph ('*', 'o', '+', 'x', ...)
+     * shown in the legend.  Points need not share x positions across
+     * series.
+     */
+    void addSeries(std::string name,
+                   std::vector<std::pair<double, double>> points);
+
+    /// Render the chart (axes, gridless canvas, legend) to @p os.
+    void print(std::ostream& os) const;
+
+    /// Render to a string (for tests).
+    std::string str() const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+        char glyph;
+    };
+
+    Options options_;
+    std::vector<Series> series_;
+};
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_ASCII_PLOT_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting primitives.
+ *
+ * Follows the gem5 fatal()/panic() discipline:
+ *  - ModelError (via HDDTHERM_REQUIRE) reports conditions that are the
+ *    caller's fault — invalid configuration, out-of-domain arguments.  These
+ *    are recoverable by fixing the input, so they are thrown as exceptions.
+ *  - HDDTHERM_ASSERT guards internal invariants whose violation indicates a
+ *    bug in HDDTherm itself; it aborts like panic().
+ */
+#ifndef HDDTHERM_UTIL_ERROR_H
+#define HDDTHERM_UTIL_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hddtherm::util {
+
+/// Exception thrown for user-caused errors (bad configuration/arguments).
+class ModelError : public std::runtime_error
+{
+  public:
+    explicit ModelError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+panicFail(const char* cond, const char* file, int line)
+{
+    std::fprintf(stderr, "hddtherm panic: assertion '%s' failed at %s:%d\n",
+                 cond, file, line);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace hddtherm::util
+
+/// Validate a user-facing precondition; throws ModelError on failure.
+#define HDDTHERM_REQUIRE(cond, msg)                                          \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            throw ::hddtherm::util::ModelError(                              \
+                std::string(msg) + " [" #cond "]");                          \
+        }                                                                    \
+    } while (false)
+
+/// Validate an internal invariant; aborts on failure (simulator bug).
+#define HDDTHERM_ASSERT(cond)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::hddtherm::util::detail::panicFail(#cond, __FILE__, __LINE__);  \
+        }                                                                    \
+    } while (false)
+
+#endif // HDDTHERM_UTIL_ERROR_H

@@ -1,0 +1,82 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+PiecewiseLinear::PiecewiseLinear(
+    std::vector<std::pair<double, double>> points, Extrapolate mode)
+    : points_(std::move(points)), mode_(mode)
+{
+    HDDTHERM_REQUIRE(!points_.empty(),
+                     "PiecewiseLinear needs at least one point");
+    std::sort(points_.begin(), points_.end());
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        HDDTHERM_REQUIRE(points_[i].first > points_[i - 1].first,
+                         "PiecewiseLinear x values must be distinct");
+    }
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    if (points_.size() == 1)
+        return points_.front().second;
+
+    if (x <= points_.front().first) {
+        if (mode_ == Extrapolate::Clamp)
+            return points_.front().second;
+        const auto& [x0, y0] = points_[0];
+        const auto& [x1, y1] = points_[1];
+        return y0 + (x - x0) * (y1 - y0) / (x1 - x0);
+    }
+    if (x >= points_.back().first) {
+        if (mode_ == Extrapolate::Clamp)
+            return points_.back().second;
+        const auto& [x0, y0] = points_[points_.size() - 2];
+        const auto& [x1, y1] = points_.back();
+        return y1 + (x - x1) * (y1 - y0) / (x1 - x0);
+    }
+
+    // Find the segment containing x: first knot with knot.x > x.
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), x,
+        [](double v, const auto& p) { return v < p.first; });
+    const auto& [x1, y1] = *it;
+    const auto& [x0, y0] = *(it - 1);
+    const double t = (x - x0) / (x1 - x0);
+    return lerp(y0, y1, t);
+}
+
+PowerLawFit::PowerLawFit(const std::vector<std::pair<double, double>>& points)
+{
+    HDDTHERM_REQUIRE(points.size() >= 2,
+                     "PowerLawFit needs at least two points");
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (const auto& [x, y] : points) {
+        HDDTHERM_REQUIRE(x > 0.0 && y > 0.0,
+                         "PowerLawFit requires positive samples");
+        const double lx = std::log(x);
+        const double ly = std::log(y);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    const double n = static_cast<double>(points.size());
+    const double denom = n * sxx - sx * sx;
+    HDDTHERM_REQUIRE(denom != 0.0, "PowerLawFit x values must be distinct");
+    b_ = (n * sxy - sx * sy) / denom;
+    a_ = std::exp((sy - b_ * sx) / n);
+}
+
+double
+PowerLawFit::operator()(double x) const
+{
+    return a_ * std::pow(x, b_);
+}
+
+} // namespace hddtherm::util

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * One-dimensional interpolation utilities.
+ *
+ * Two small tools the models lean on repeatedly:
+ *  - PiecewiseLinear: a monotone-x piecewise-linear curve with configurable
+ *    extrapolation.  Used for the 3-point seek model (paper §3.2) and for
+ *    interpolating measured VCM powers across platter sizes (§3.3, §5.2).
+ *  - PowerLawFit: least-squares y = a * x^b in log space.  Used to
+ *    extrapolate VCM power outside the published anchor sizes.
+ */
+#ifndef HDDTHERM_UTIL_INTERP_H
+#define HDDTHERM_UTIL_INTERP_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hddtherm::util {
+
+/**
+ * Piecewise-linear curve through a set of (x, y) points with strictly
+ * increasing x.  Evaluation outside the x-range follows the configured
+ * extrapolation mode.
+ */
+class PiecewiseLinear
+{
+  public:
+    /// Behaviour outside the fitted x-range.
+    enum class Extrapolate
+    {
+        Clamp,  ///< Hold the boundary y value.
+        Linear, ///< Continue the boundary segment's slope.
+    };
+
+    PiecewiseLinear() = default;
+
+    /**
+     * Build from points; the point list is sorted by x internally.
+     *
+     * @param points (x, y) samples; at least one point, x values distinct.
+     * @param mode extrapolation behaviour outside [x_front, x_back].
+     */
+    explicit PiecewiseLinear(std::vector<std::pair<double, double>> points,
+                             Extrapolate mode = Extrapolate::Linear);
+
+    /// Evaluate the curve at @p x.
+    double operator()(double x) const;
+
+    /// Number of knots.
+    std::size_t size() const { return points_.size(); }
+
+    /// Smallest fitted x.
+    double minX() const { return points_.front().first; }
+
+    /// Largest fitted x.
+    double maxX() const { return points_.back().first; }
+
+  private:
+    std::vector<std::pair<double, double>> points_;
+    Extrapolate mode_ = Extrapolate::Linear;
+};
+
+/**
+ * Power-law fit y = a * x^b computed by linear least squares on
+ * (ln x, ln y).  All x and y must be positive.
+ */
+class PowerLawFit
+{
+  public:
+    /// Fit through the given positive (x, y) samples (at least two).
+    explicit PowerLawFit(
+        const std::vector<std::pair<double, double>>& points);
+
+    /// Evaluate a * x^b.
+    double operator()(double x) const;
+
+    /// Multiplicative coefficient a.
+    double coefficient() const { return a_; }
+
+    /// Exponent b.
+    double exponent() const { return b_; }
+
+  private:
+    double a_ = 1.0;
+    double b_ = 1.0;
+};
+
+/// Linear interpolation between two scalars: a + t * (b - a).
+constexpr double
+lerp(double a, double b, double t)
+{
+    return a + t * (b - a);
+}
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_INTERP_H

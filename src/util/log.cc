@@ -1,0 +1,67 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hddtherm::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+void
+vlog(const char* tag, const char* fmt, std::va_list args)
+{
+    std::fprintf(stderr, "[hddtherm %s] ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logDebug(const char* fmt, ...)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vlog("debug", fmt, args);
+    va_end(args);
+}
+
+void
+logInfo(const char* fmt, ...)
+{
+    if (logLevel() > LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vlog("info", fmt, args);
+    va_end(args);
+}
+
+void
+logWarn(const char* fmt, ...)
+{
+    if (logLevel() > LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vlog("warn", fmt, args);
+    va_end(args);
+}
+
+} // namespace hddtherm::util

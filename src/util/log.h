@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal leveled logging (inform/warn), gem5-style.
+ *
+ * Messages go to stderr so they never corrupt table/CSV output on stdout.
+ * Verbosity is a process-wide setting; benches default to Warn so their
+ * reproduction tables stay clean.
+ */
+#ifndef HDDTHERM_UTIL_LOG_H
+#define HDDTHERM_UTIL_LOG_H
+
+#include <cstdarg>
+
+namespace hddtherm::util {
+
+/// Log severity, in increasing order of importance.
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Quiet = 3,
+};
+
+/// Set the process-wide minimum level that will be emitted.
+void setLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel logLevel();
+
+/// printf-style debug message.
+void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style informational message.
+void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style warning.
+void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_LOG_H

@@ -1,0 +1,159 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+namespace {
+
+/// SplitMix64 step, used only for seeding.
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from the high bits.
+    return double((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    HDDTHERM_REQUIRE(lo <= hi, "uniformInt: empty range");
+    const auto span = std::uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return std::int64_t((*this)());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return lo + std::int64_t(v % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    HDDTHERM_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    HDDTHERM_REQUIRE(xm > 0.0 && alpha > 0.0, "pareto: invalid parameters");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return mean + stddev * cached_normal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    HDDTHERM_REQUIRE(n > 0, "ZipfSampler: empty population");
+    HDDTHERM_REQUIRE(theta >= 0.0, "ZipfSampler: negative skew");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(double(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto& v : cdf_)
+        v /= sum;
+}
+
+std::size_t
+ZipfSampler::operator()(Rng& rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return std::size_t(it - cdf_.begin());
+}
+
+} // namespace hddtherm::util

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic random number generation for the synthetic workloads.
+ *
+ * A small xoshiro256** engine plus the distributions the trace generators
+ * need (uniform, exponential, Pareto, Zipf, log-normal).  Determinism given
+ * a seed is part of the public contract: every experiment in EXPERIMENTS.md
+ * is reproducible bit-for-bit.
+ */
+#ifndef HDDTHERM_UTIL_RANDOM_H
+#define HDDTHERM_UTIL_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hddtherm::util {
+
+/// xoshiro256** 1.0 engine seeded via SplitMix64.
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /// Seed the generator; the same seed yields the same stream.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Smallest value produced (UniformRandomBitGenerator contract).
+    static constexpr result_type min() { return 0; }
+
+    /// Largest value produced.
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /// Next raw 64-bit value.
+    result_type operator()();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /// True with probability @p p.
+    bool bernoulli(double p);
+
+    /// Exponential variate with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Pareto variate with scale xm > 0 and shape alpha > 0.
+    double pareto(double xm, double alpha);
+
+    /// Log-normal variate parameterized by the mean/sigma of ln X.
+    double lognormal(double mu, double sigma);
+
+    /// Standard normal variate (Box-Muller).
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+  private:
+    std::uint64_t s_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+/**
+ * Zipf(theta) sampler over {0, ..., n-1} using precomputed inverse-CDF
+ * lookup.  theta == 0 degenerates to uniform; larger theta skews toward
+ * low ranks.  Used to model hot spots in the OLTP/TPC-C workloads.
+ */
+class ZipfSampler
+{
+  public:
+    /// @param n population size (> 0); @param theta skew (>= 0).
+    ZipfSampler(std::size_t n, double theta);
+
+    /// Draw one rank in [0, n).
+    std::size_t operator()(Rng& rng) const;
+
+    /// Population size.
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_RANDOM_H

@@ -1,0 +1,59 @@
+#include "util/roots.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+double
+bisect(const std::function<double(double)>& f, double lo, double hi,
+       const BisectOptions& opt)
+{
+    HDDTHERM_REQUIRE(lo <= hi, "bisect: invalid bracket");
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0)
+        return lo;
+    if (fhi == 0.0)
+        return hi;
+    HDDTHERM_REQUIRE(std::signbit(flo) != std::signbit(fhi),
+                     "bisect: root not bracketed");
+
+    for (int i = 0; i < opt.maxIter && (hi - lo) > opt.xTol; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0)
+            return mid;
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+maxSatisfying(const std::function<bool(double)>& pred, double lo, double hi,
+              const BisectOptions& opt)
+{
+    HDDTHERM_REQUIRE(lo <= hi, "maxSatisfying: invalid bracket");
+    HDDTHERM_REQUIRE(pred(lo), "maxSatisfying: predicate false at lo");
+    if (pred(hi))
+        return hi;
+
+    // Invariant: pred(lo) true, pred(hi) false.
+    for (int i = 0; i < opt.maxIter && (hi - lo) > opt.xTol; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (pred(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+} // namespace hddtherm::util

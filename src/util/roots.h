@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scalar root finding and monotone search.
+ *
+ * The roadmap engine repeatedly inverts monotone model relationships: "what
+ * RPM produces this IDR?" has a closed form, but "what is the highest RPM
+ * whose steady-state temperature stays within the envelope?" does not, so we
+ * solve it with bracketed bisection on the thermal model.
+ */
+#ifndef HDDTHERM_UTIL_ROOTS_H
+#define HDDTHERM_UTIL_ROOTS_H
+
+#include <functional>
+
+namespace hddtherm::util {
+
+/// Options controlling the bisection solvers.
+struct BisectOptions
+{
+    double xTol = 1e-6;   ///< Absolute tolerance on the argument.
+    int maxIter = 200;    ///< Iteration cap (defensive; bisection halves).
+};
+
+/**
+ * Find x in [lo, hi] with f(x) == 0 by bisection.
+ *
+ * @param f continuous function with f(lo) and f(hi) of opposite sign
+ *          (or zero at an endpoint).
+ * @param lo lower bracket.
+ * @param hi upper bracket.
+ * @param opt tolerances.
+ * @return the located root.
+ * @throws ModelError if the root is not bracketed.
+ */
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const BisectOptions& opt = {});
+
+/**
+ * Find the largest x in [lo, hi] for which @p pred holds, assuming pred is
+ * monotone (true on [lo, x*], false on (x*, hi]).
+ *
+ * @param pred monotone predicate; pred(lo) must be true.  If pred(hi) is
+ *        true the function returns hi.
+ * @param lo lower bound (predicate must hold here).
+ * @param hi upper bound.
+ * @param opt tolerances.
+ * @return largest satisfying argument, within opt.xTol.
+ * @throws ModelError if pred(lo) is false.
+ */
+double maxSatisfying(const std::function<bool(double)>& pred, double lo,
+                     double hi, const BisectOptions& opt = {});
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_ROOTS_H

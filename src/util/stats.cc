@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+OnlineStats::merge(const OnlineStats& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = double(n_);
+    const auto nb = double(other.n_);
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ += delta * nb / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0)
+{
+    HDDTHERM_REQUIRE(!edges_.empty(), "Histogram needs at least one edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        HDDTHERM_REQUIRE(edges_[i] > edges_[i - 1],
+                         "Histogram edges must be strictly increasing");
+    }
+}
+
+Histogram
+Histogram::paperResponseTimeBins()
+{
+    return Histogram({5, 10, 20, 40, 60, 90, 120, 150, 200});
+}
+
+void
+Histogram::add(double x)
+{
+    auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+    const auto idx = std::size_t(it - edges_.begin()); // == size() -> overflow
+    ++counts_[idx];
+    ++total_;
+}
+
+std::vector<double>
+Histogram::cdf() const
+{
+    std::vector<double> out(edges_.size(), 0.0);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        cum += counts_[i];
+        out[i] = total_ ? double(cum) / double(total_) : 0.0;
+    }
+    return out;
+}
+
+double
+Histogram::overflowFraction() const
+{
+    return total_ ? double(counts_.back()) / double(total_) : 0.0;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    HDDTHERM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile: p out of range");
+    if (total_ == 0)
+        return 0.0;
+    const double target = p * double(total_);
+    double cum = 0.0;
+    double prev_edge = 0.0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const auto c = double(counts_[i]);
+        if (cum + c >= target) {
+            const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+            return prev_edge + frac * (edges_[i] - prev_edge);
+        }
+        cum += c;
+        prev_edge = edges_[i];
+    }
+    return edges_.back(); // overflow bin: report the last finite edge
+}
+
+} // namespace hddtherm::util

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Online statistics and histogram/CDF accumulators.
+ *
+ * The simulator's metrics (paper Figure 4) are response-time CDFs over the
+ * bins {5, 10, 20, 40, 60, 90, 120, 150, 200, 200+} ms plus the mean.  These
+ * accumulators are also reused by the trace generators' self-checks and the
+ * property tests.
+ */
+#ifndef HDDTHERM_UTIL_STATS_H
+#define HDDTHERM_UTIL_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hddtherm::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats
+{
+  public:
+    /// Add one sample.
+    void add(double x);
+
+    /// Merge another accumulator into this one.
+    void merge(const OnlineStats& other);
+
+    /// Number of samples observed.
+    std::uint64_t count() const { return n_; }
+
+    /// Arithmetic mean (0 if empty).
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /// Population variance (0 if fewer than two samples).
+    double variance() const { return n_ > 1 ? m2_ / double(n_) : 0.0; }
+
+    /// Standard deviation.
+    double stddev() const;
+
+    /// Smallest sample (+inf if empty).
+    double min() const { return min_; }
+
+    /// Largest sample (-inf if empty).
+    double max() const { return max_; }
+
+    /// Sum of all samples.
+    double sum() const { return mean_ * double(n_); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over caller-supplied upper-edge bins; samples above the last
+ * edge land in an overflow bin.  cdf() reports cumulative fractions at each
+ * edge, matching the paper's Figure 4 presentation.
+ */
+class Histogram
+{
+  public:
+    /// @param upper_edges strictly increasing bin upper edges.
+    explicit Histogram(std::vector<double> upper_edges);
+
+    /// Bin edges used by the paper's response-time CDFs, in milliseconds.
+    static Histogram paperResponseTimeBins();
+
+    /// Add one sample; it is counted in the first bin whose edge >= x.
+    void add(double x);
+
+    /// Total samples.
+    std::uint64_t count() const { return total_; }
+
+    /// Upper edge of bin @p i.
+    double edge(std::size_t i) const { return edges_[i]; }
+
+    /// Number of finite-edge bins (excludes overflow).
+    std::size_t bins() const { return edges_.size(); }
+
+    /// Raw count in bin @p i (i == bins() selects the overflow bin).
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+
+    /**
+     * Cumulative fraction of samples <= each edge.  The returned vector has
+     * bins() entries; the overflow bin brings the total to 1 and is implied.
+     */
+    std::vector<double> cdf() const;
+
+    /// Fraction of samples above the last edge.
+    double overflowFraction() const;
+
+    /// Approximate p-quantile via linear interpolation within bins.
+    double quantile(double p) const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_; // edges_.size() + 1 (overflow last)
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_STATS_H

@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+
+#include "util/error.h"
+
+namespace hddtherm::util {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HDDTHERM_REQUIRE(!headers_.empty(), "TableWriter needs columns");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> row)
+{
+    HDDTHERM_REQUIRE(row.size() == headers_.size(),
+                     "TableWriter row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::num(long long v)
+{
+    return std::to_string(v);
+}
+
+void
+TableWriter::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(int(widths[c])) << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+bool
+TableWriter::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            // Quote fields containing separators.
+            const bool quote =
+                row[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+    return bool(out);
+}
+
+} // namespace hddtherm::util

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Console table and CSV emission.
+ *
+ * Every bench binary reproduces a paper table or figure series; TableWriter
+ * renders them as aligned text for the console and optionally mirrors the
+ * rows to a CSV file so the series can be re-plotted.
+ */
+#ifndef HDDTHERM_UTIL_TABLE_H
+#define HDDTHERM_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hddtherm::util {
+
+/// An aligned text table with a header row.
+class TableWriter
+{
+  public:
+    /// @param headers column titles, fixing the column count.
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /// Append a row; must match the header column count.
+    void addRow(std::vector<std::string> row);
+
+    /// Convenience: format doubles with the given precision.
+    static std::string num(double v, int precision = 2);
+
+    /// Convenience: format integers.
+    static std::string num(long long v);
+
+    /// Render the aligned table to @p os.
+    void print(std::ostream& os) const;
+
+    /// Write the table as CSV to @p path; returns false on I/O failure.
+    bool writeCsv(const std::string& path) const;
+
+    /// Number of data rows so far.
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_TABLE_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit conversion helpers and physical constants used across HDDTherm.
+ *
+ * The disk-drive literature mixes imperial media dimensions (platter
+ * diameters quoted in inches, recording densities in bits/tracks per inch)
+ * with SI thermal quantities.  All model internals work in SI; these helpers
+ * are the single place where the conversions live so that no magic factors
+ * appear in model code.
+ */
+#ifndef HDDTHERM_UTIL_UNITS_H
+#define HDDTHERM_UTIL_UNITS_H
+
+#include <numbers>
+
+namespace hddtherm::util {
+
+/// Meters per inch (exact).
+inline constexpr double kMetersPerInch = 0.0254;
+
+/// Bytes per binary megabyte; IDR is reported in MB/s with MB = 2^20 bytes,
+/// matching the paper's Equation 4.
+inline constexpr double kBytesPerMiB = 1024.0 * 1024.0;
+
+/// Bytes per decimal gigabyte; drive capacities in datasheets (and in the
+/// paper's Table 1) use GB = 1e9 bytes.
+inline constexpr double kBytesPerGB = 1e9;
+
+/// User-visible payload of one sector, in bytes and bits.
+inline constexpr int kSectorBytes = 512;
+inline constexpr int kSectorBits = kSectorBytes * 8;
+
+/// Convert inches to meters.
+constexpr double
+inchesToMeters(double inches)
+{
+    return inches * kMetersPerInch;
+}
+
+/// Convert meters to inches.
+constexpr double
+metersToInches(double meters)
+{
+    return meters / kMetersPerInch;
+}
+
+/// Convert rotational speed in revolutions per minute to rad/s.
+constexpr double
+rpmToRadPerSec(double rpm)
+{
+    return rpm * 2.0 * std::numbers::pi / 60.0;
+}
+
+/// Convert rotational speed in revolutions per minute to revolutions/s.
+constexpr double
+rpmToRevPerSec(double rpm)
+{
+    return rpm / 60.0;
+}
+
+/// Time for one full revolution at @p rpm, in seconds.
+constexpr double
+revolutionTimeSec(double rpm)
+{
+    return 60.0 / rpm;
+}
+
+/// Convert degrees Celsius to Kelvin.
+constexpr double
+celsiusToKelvin(double c)
+{
+    return c + 273.15;
+}
+
+/// Convert Kelvin to degrees Celsius.
+constexpr double
+kelvinToCelsius(double k)
+{
+    return k - 273.15;
+}
+
+/// Convert seconds to milliseconds.
+constexpr double
+secToMs(double s)
+{
+    return s * 1e3;
+}
+
+/// Convert milliseconds to seconds.
+constexpr double
+msToSec(double ms)
+{
+    return ms * 1e-3;
+}
+
+} // namespace hddtherm::util
+
+#endif // HDDTHERM_UTIL_UNITS_H

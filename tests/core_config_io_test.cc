@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests of the experiment-description file format.
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "util/error.h"
+
+namespace hc = hddtherm::core;
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+TEST(ConfigIo, ParsesFullSpec)
+{
+    const auto spec = hc::parseExperimentSpec(R"(
+# comment line
+[disk]
+diameter_in = 2.1
+platters = 2
+kbpi = 450
+ktpi = 35      # trailing comment
+zones = 40
+rpm = 12000
+scheduler = sstf
+cache_mb = 8
+read_ahead = false
+
+[array]
+disks = 6
+raid = raid5
+stripe_sectors = 32
+immediate_write_report = yes
+
+[workload]
+requests = 5000
+arrival_rate = 123.5
+read_fraction = 0.9
+zipf_theta = 1.25
+seed = 77
+)");
+    EXPECT_DOUBLE_EQ(spec.system.disk.geometry.diameterInches, 2.1);
+    EXPECT_EQ(spec.system.disk.geometry.platters, 2);
+    EXPECT_DOUBLE_EQ(spec.system.disk.tech.bpi, 450e3);
+    EXPECT_DOUBLE_EQ(spec.system.disk.tech.tpi, 35e3);
+    EXPECT_EQ(spec.system.disk.zones, 40);
+    EXPECT_DOUBLE_EQ(spec.system.disk.rpm, 12000.0);
+    EXPECT_EQ(spec.system.disk.scheduler, hs::SchedulerPolicy::Sstf);
+    EXPECT_EQ(spec.system.disk.cacheBytes, 8u << 20);
+    EXPECT_FALSE(spec.system.disk.readAheadToTrackEnd);
+    EXPECT_EQ(spec.system.disks, 6);
+    EXPECT_EQ(spec.system.raid, hs::RaidLevel::Raid5);
+    EXPECT_EQ(spec.system.stripeSectors, 32);
+    EXPECT_TRUE(spec.system.immediateWriteReport);
+    ASSERT_TRUE(spec.hasWorkload);
+    EXPECT_EQ(spec.workload.requests, 5000u);
+    EXPECT_DOUBLE_EQ(spec.workload.arrivalRatePerSec, 123.5);
+    EXPECT_DOUBLE_EQ(spec.workload.zipfTheta, 1.25);
+    EXPECT_EQ(spec.workload.seed, 77u);
+}
+
+TEST(ConfigIo, MissingSectionsKeepDefaults)
+{
+    const auto spec = hc::parseExperimentSpec("[disk]\nrpm = 9000\n");
+    EXPECT_DOUBLE_EQ(spec.system.disk.rpm, 9000.0);
+    EXPECT_EQ(spec.system.disks, 1);
+    EXPECT_FALSE(spec.hasWorkload);
+    const hc::ExperimentSpec defaults;
+    EXPECT_EQ(spec.system.disk.zones, defaults.system.disk.zones);
+}
+
+TEST(ConfigIo, RejectsUnknownSectionsAndKeys)
+{
+    EXPECT_THROW(hc::parseExperimentSpec("[nonsense]\nfoo = 1\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpmz = 1\n"),
+                 hu::ModelError);
+}
+
+TEST(ConfigIo, RejectsSyntaxErrors)
+{
+    EXPECT_THROW(hc::parseExperimentSpec("rpm = 1\n"), hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk\nrpm = 1\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm 9000\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm = abc\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm = 1\nrpm = 2\n"),
+                 hu::ModelError);
+    EXPECT_THROW(
+        hc::parseExperimentSpec("[disk]\nread_ahead = maybe\n"),
+        hu::ModelError);
+}
+
+TEST(ConfigIo, RoundTripsThroughFormat)
+{
+    hc::ExperimentSpec spec;
+    spec.system.disk.geometry.diameterInches = 1.6;
+    spec.system.disk.rpm = 24534.0;
+    spec.system.disk.scheduler = hs::SchedulerPolicy::Elevator;
+    spec.system.disks = 3;
+    spec.system.raid = hs::RaidLevel::Raid1;
+    spec.hasWorkload = true;
+    spec.workload.requests = 1234;
+    spec.workload.burstiness = 0.4;
+
+    const auto text = hc::formatExperimentSpec(spec);
+    const auto parsed = hc::parseExperimentSpec(text);
+    EXPECT_DOUBLE_EQ(parsed.system.disk.geometry.diameterInches, 1.6);
+    EXPECT_DOUBLE_EQ(parsed.system.disk.rpm, 24534.0);
+    EXPECT_EQ(parsed.system.disk.scheduler,
+              hs::SchedulerPolicy::Elevator);
+    EXPECT_EQ(parsed.system.disks, 3);
+    EXPECT_EQ(parsed.system.raid, hs::RaidLevel::Raid1);
+    ASSERT_TRUE(parsed.hasWorkload);
+    EXPECT_EQ(parsed.workload.requests, 1234u);
+    EXPECT_DOUBLE_EQ(parsed.workload.burstiness, 0.4);
+}
+
+TEST(ConfigIo, FileRoundTrip)
+{
+    hc::ExperimentSpec spec;
+    spec.system.disk.rpm = 11111.0;
+    const std::string path = "/tmp/hddtherm_spec_test.ini";
+    ASSERT_TRUE(hc::saveExperimentSpec(spec, path));
+    const auto loaded = hc::loadExperimentSpec(path);
+    EXPECT_DOUBLE_EQ(loaded.system.disk.rpm, 11111.0);
+    std::remove(path.c_str());
+    EXPECT_THROW(hc::loadExperimentSpec("/nonexistent/spec.ini"),
+                 hu::ModelError);
+}
+
+TEST(ConfigIo, ParsedSpecBuildsARunnableSystem)
+{
+    const auto spec = hc::parseExperimentSpec(R"(
+[disk]
+diameter_in = 2.6
+kbpi = 400
+ktpi = 30
+rpm = 10000
+
+[array]
+disks = 2
+raid = raid1
+)");
+    hs::StorageSystem array(spec.system);
+    EXPECT_EQ(array.diskCount(), 2);
+    EXPECT_GT(array.logicalSectors(), 0);
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests of the integrated model facade and the Figure 4 scenarios.
+ */
+#include <gtest/gtest.h>
+
+#include "core/integrated.h"
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace hc = hddtherm::core;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+namespace htr = hddtherm::trace;
+namespace hu = hddtherm::util;
+
+TEST(Integrated, EvaluatesCheetahClassDesign)
+{
+    hc::DriveDesign design;
+    design.geometry.diameterInches = 2.6;
+    design.geometry.platters = 4;
+    design.tech = {533e3, 64e3};
+    design.rpm = 15000.0;
+    design.coolingScale = ht::coolingScaleForPlatters(4);
+
+    const auto eval = hc::evaluateDesign(design);
+    EXPECT_NEAR(eval.capacity.userGB, 74.8, 7.5); // paper model: 74.8 GB
+    EXPECT_NEAR(eval.idrMBps, 114.4, 4.0);        // paper model: 114.4
+    EXPECT_NEAR(eval.avgRotationalLatencyMs, 2.0, 1e-9);
+    EXPECT_GT(eval.maxRpmWithinEnvelope, 10000.0);
+    EXPECT_DOUBLE_EQ(eval.vcmPowerW, 3.9);
+}
+
+TEST(Integrated, EnvelopeVerdictConsistent)
+{
+    hc::DriveDesign design;
+    design.geometry.diameterInches = 2.6;
+    design.tech = {533e3, 64e3};
+    design.rpm = 15000.0;
+    const auto cool = hc::evaluateDesign(design);
+    EXPECT_TRUE(cool.withinEnvelope);
+
+    design.rpm = 30000.0;
+    const auto hot = hc::evaluateDesign(design);
+    EXPECT_FALSE(hot.withinEnvelope);
+    EXPECT_GT(hot.steadyAirTempC, cool.steadyAirTempC);
+    EXPECT_GT(hot.viscousPowerW, cool.viscousPowerW);
+}
+
+TEST(Integrated, GeometryForCapacityLandsClose)
+{
+    const hddtherm::hdd::RecordingTech tech{500e3, 40e3};
+    for (const double target : {5.0, 20.0, 75.0, 200.0}) {
+        const auto g = hc::geometryForCapacity(tech, target);
+        const hddtherm::hdd::ZoneModel zm(g, tech);
+        const double got = hddtherm::hdd::computeCapacity(zm).userGB;
+        EXPECT_GT(got, target * 0.5) << target;
+        EXPECT_LT(got, target * 2.0) << target;
+    }
+}
+
+TEST(Integrated, GeometryForCapacityRejectsBadTarget)
+{
+    EXPECT_THROW(hc::geometryForCapacity({500e3, 40e3}, -1.0),
+                 hu::ModelError);
+}
+
+TEST(Scenarios, AllFivePresent)
+{
+    const auto scenarios = hc::figure4Scenarios(2000);
+    ASSERT_EQ(scenarios.size(), 5u);
+    EXPECT_EQ(scenarios[0].name, "Openmail");
+    EXPECT_EQ(scenarios[1].name, "OLTP");
+    EXPECT_EQ(scenarios[2].name, "Search-Engine");
+    EXPECT_EQ(scenarios[3].name, "TPC-C");
+    EXPECT_EQ(scenarios[4].name, "TPC-H");
+}
+
+TEST(Scenarios, MatchPaperFigure4aTable)
+{
+    const auto scenarios = hc::figure4Scenarios(2000);
+    // Disk counts, RAID organization and base RPM straight from the
+    // paper's Figure 4(a).
+    EXPECT_EQ(scenarios[0].system.disks, 8);
+    EXPECT_EQ(scenarios[0].system.raid, hs::RaidLevel::Raid5);
+    EXPECT_EQ(scenarios[1].system.disks, 24);
+    EXPECT_EQ(scenarios[1].system.raid, hs::RaidLevel::None);
+    EXPECT_EQ(scenarios[2].system.disks, 6);
+    EXPECT_EQ(scenarios[3].system.disks, 4);
+    EXPECT_EQ(scenarios[4].system.disks, 15);
+    EXPECT_DOUBLE_EQ(scenarios[4].baseRpm, 7200.0);
+    for (const auto& s : scenarios) {
+        ASSERT_EQ(s.paperAvgResponseMs.size(), 4u) << s.name;
+        EXPECT_EQ(s.system.stripeSectors, 16) << s.name;
+        EXPECT_EQ(s.system.disk.cacheBytes, 4u << 20) << s.name;
+        EXPECT_EQ(s.system.disk.zones, 30) << s.name;
+    }
+}
+
+TEST(Scenarios, DiskCapacityNearPublished)
+{
+    for (const auto& s : hc::figure4Scenarios(2000)) {
+        const auto layout = hs::makeLayout(s.system.disk);
+        const double gb =
+            hddtherm::hdd::computeCapacity(layout).userGB;
+        EXPECT_GT(gb, 0.5 * s.paperDiskCapacityGB) << s.name;
+        EXPECT_LT(gb, 2.0 * s.paperDiskCapacityGB) << s.name;
+    }
+}
+
+TEST(Scenarios, RpmStepsAreFivekApart)
+{
+    const auto s = hc::figure4Scenario("OLTP", 2000);
+    const auto steps = s.rpmSteps();
+    ASSERT_EQ(steps.size(), 4u);
+    EXPECT_DOUBLE_EQ(steps[0], 10000.0);
+    EXPECT_DOUBLE_EQ(steps[3], 25000.0);
+}
+
+TEST(Scenarios, TraceIsDeterministic)
+{
+    const auto s = hc::figure4Scenario("TPC-C", 3000);
+    const auto a = s.makeTrace();
+    const auto b = s.makeTrace();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.records()[100].lba, b.records()[100].lba);
+}
+
+TEST(Scenarios, HigherRpmImprovesEveryWorkload)
+{
+    // The headline of Figure 4, at reduced scale for test runtime.
+    for (const auto& s : hc::figure4Scenarios(4000)) {
+        const double base = s.run(s.baseRpm).meanMs();
+        const double fast = s.run(s.baseRpm + 5000.0).meanMs();
+        EXPECT_LT(fast, base) << s.name;
+        // Paper range: 20.8% (OLTP) to 52.5% (Openmail) improvement.
+        const double improvement = 1.0 - fast / base;
+        EXPECT_GT(improvement, 0.08) << s.name;
+        EXPECT_LT(improvement, 0.75) << s.name;
+    }
+}
+
+TEST(Scenarios, UnknownNameThrows)
+{
+    EXPECT_THROW(hc::figure4Scenario("NoSuchTrace", 2000), hu::ModelError);
+}
+
+TEST(Scenarios, RunHonorsRequestOverride)
+{
+    const auto s = hc::figure4Scenario("OLTP", 5000);
+    const auto metrics = s.run(s.baseRpm, 2000);
+    EXPECT_EQ(metrics.count(), 2000u);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Edge-case coverage for surfaces the module suites don't reach: geometry
+ * validation, network accessors, thermal model introspection, scenario
+ * helpers, hybrid accessors, and co-simulation warm-up handling.
+ */
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "dtm/cosim.h"
+#include "hdd/geometry.h"
+#include "sim/hybrid.h"
+#include "thermal/drive_thermal.h"
+#include "thermal/network.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace hc = hddtherm::core;
+namespace hd = hddtherm::dtm;
+namespace hh = hddtherm::hdd;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+TEST(Geometry, PlatterValidation)
+{
+    hh::PlatterGeometry g;
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.surfaces(), 2);
+    EXPECT_DOUBLE_EQ(g.innerRadiusInches(), g.outerRadiusInches() / 2.0);
+
+    g.diameterInches = -1.0;
+    EXPECT_THROW(g.validate(), hu::ModelError);
+    g = hh::PlatterGeometry{};
+    g.innerRatio = 1.0;
+    EXPECT_THROW(g.validate(), hu::ModelError);
+    g = hh::PlatterGeometry{};
+    g.strokeEfficiency = 0.0;
+    EXPECT_THROW(g.validate(), hu::ModelError);
+}
+
+TEST(Geometry, FormFactorAreas)
+{
+    const auto ff = hh::FormFactor::ff35();
+    EXPECT_DOUBLE_EQ(ff.plateAreaSqIn(), 5.75 * 4.0);
+    EXPECT_DOUBLE_EQ(ff.externalAreaSqIn(),
+                     2.0 * 23.0 + 2.0 * 1.0 * 9.75);
+    const auto small = hh::FormFactor::ff25();
+    EXPECT_LT(small.externalAreaSqIn(), ff.externalAreaSqIn());
+}
+
+TEST(Network, ConductanceGetterAndZeroEdges)
+{
+    ht::ThermalNetwork net;
+    const auto a = net.addBoundaryNode("amb", 0.0);
+    const auto b = net.addNode("b", 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(net.conductance(a, b), 0.0);
+    net.setConductance(a, b, 0.0); // zero edge is legal (disconnected)
+    EXPECT_DOUBLE_EQ(net.conductance(a, b), 0.0);
+    net.setConductance(a, b, 2.5);
+    EXPECT_DOUBLE_EQ(net.conductance(b, a), 2.5);
+    EXPECT_EQ(net.size(), 2);
+    EXPECT_EQ(net.node(b).name, "b");
+    EXPECT_THROW(net.step(0.0), hu::ModelError);
+    EXPECT_NO_THROW(net.advance(0.0, 0.1)); // empty advance is a no-op
+}
+
+TEST(Network, HeatInputAccessors)
+{
+    ht::ThermalNetwork net;
+    net.addBoundaryNode("amb", 0.0);
+    const auto b = net.addNode("b", 1.0, 0.0);
+    net.setHeatInput(b, 3.5);
+    EXPECT_DOUBLE_EQ(net.heatInput(b), 3.5);
+    EXPECT_THROW(net.heatInput(99), hu::ModelError);
+}
+
+TEST(DriveThermal, IntrospectionSurfaces)
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.rpm = 15000.0;
+    ht::DriveThermalModel m(cfg);
+    EXPECT_NEAR(m.totalPowerW(),
+                m.viscousPowerW() + m.vcmPowerW() + m.spmPowerW(), 1e-12);
+
+    const auto temps = m.steadyTemps();
+    ASSERT_EQ(temps.size(), 4u);
+    // Spindle runs hottest (it hosts the motor loss); base is coolest of
+    // the free nodes (it touches the ambient).
+    EXPECT_GT(temps[1], temps[0]); // spindle > air
+    EXPECT_LT(temps[2], temps[0]); // base < air
+    EXPECT_GT(m.network().temperature(m.ambientNode()), 0.0);
+    EXPECT_GT(ht::DriveThermalModel::calibratedExternalFilmCoefficient(),
+              5.0);
+}
+
+TEST(DriveThermal, DutyScalingOfVcmPower)
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.rpm = 15000.0;
+    cfg.vcmDuty = 0.5;
+    ht::DriveThermalModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.vcmPowerW(), 0.5 * 3.9);
+    m.setVcmDuty(0.25);
+    EXPECT_DOUBLE_EQ(m.vcmPowerW(), 0.25 * 3.9);
+}
+
+TEST(DriveThermal, PowerOverridesRespected)
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.rpm = 15000.0;
+    cfg.vcmPowerOverrideW = 1.0;
+    cfg.spmPowerOverrideW = 5.0;
+    ht::DriveThermalModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.vcmPowerW(), 1.0);
+    EXPECT_DOUBLE_EQ(m.spmPowerW(), 5.0);
+    // Less heat than the calibrated drive: cooler steady state.
+    ht::DriveThermalConfig stock = cfg;
+    stock.vcmPowerOverrideW.reset();
+    stock.spmPowerOverrideW.reset();
+    EXPECT_LT(m.steadyAirTempC(), ht::steadyAirTempC(stock));
+}
+
+TEST(Hybrid, AccessorsAndEventQueue)
+{
+    hs::HybridConfig cfg;
+    cfg.primary.tech = {400e3, 30e3};
+    cfg.cacheDisk.geometry.diameterInches = 1.6;
+    cfg.cacheDisk.tech = {400e3, 30e3};
+    hs::HybridSystem sys(cfg);
+    EXPECT_EQ(sys.metrics().count(), 0u);
+    EXPECT_DOUBLE_EQ(sys.events().now(), 0.0);
+    EXPECT_EQ(sys.primary().id(), 0);
+    EXPECT_EQ(sys.cacheDisk().id(), 1);
+}
+
+TEST(CoSim, WarmupFractionValidation)
+{
+    hd::CoSimConfig cfg;
+    cfg.system.disk.tech = {500e3, 60e3};
+    cfg.system.disk.rpm = 15020.0;
+    cfg.warmupFraction = 1.0;
+    EXPECT_THROW({ hd::CoSimulation c(cfg); }, hu::ModelError);
+    cfg.warmupFraction = -0.1;
+    EXPECT_THROW({ hd::CoSimulation c(cfg); }, hu::ModelError);
+}
+
+TEST(CoSim, WarmupResetsMetrics)
+{
+    hd::CoSimConfig cfg;
+    cfg.system.disk.tech = {500e3, 60e3};
+    cfg.system.disk.rpm = 15020.0;
+    cfg.warmupFraction = 0.5;
+    hd::CoSimulation cosim(cfg);
+    std::vector<hs::IoRequest> workload;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = double(i) * 0.01;
+        r.lba = std::int64_t(i) * 5000;
+        r.sectors = 8;
+        workload.push_back(r);
+    }
+    const auto result = cosim.run(workload);
+    // Only the post-warm-up half is reported.
+    EXPECT_EQ(result.metrics.count(), 50u);
+}
+
+TEST(Scenarios, MakeTraceCoversLogicalSpaceSafely)
+{
+    const auto s = hc::figure4Scenario("TPC-H", 3000);
+    const auto tr = s.makeTrace();
+    const hs::StorageSystem probe(s.system);
+    for (const auto& r : tr.records()) {
+        EXPECT_GE(r.lba, 0);
+        EXPECT_LE(r.lba + r.sectors, probe.logicalSectors());
+        EXPECT_LT(r.device, s.workload.devices);
+    }
+}
+
+TEST(Units, Conversions)
+{
+    using namespace hddtherm::util;
+    EXPECT_DOUBLE_EQ(inchesToMeters(1.0), 0.0254);
+    EXPECT_DOUBLE_EQ(metersToInches(0.0254), 1.0);
+    EXPECT_NEAR(rpmToRadPerSec(60.0), 2.0 * 3.14159265358979, 1e-9);
+    EXPECT_DOUBLE_EQ(rpmToRevPerSec(15000.0), 250.0);
+    EXPECT_DOUBLE_EQ(revolutionTimeSec(15000.0), 0.004);
+    EXPECT_DOUBLE_EQ(celsiusToKelvin(0.0), 273.15);
+    EXPECT_NEAR(kelvinToCelsius(300.0), 26.85, 1e-12);
+    EXPECT_DOUBLE_EQ(secToMs(1.5), 1500.0);
+    EXPECT_DOUBLE_EQ(msToSec(250.0), 0.25);
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests of the multi-speed governor and the mirrored-disk DTM
+ * (paper §5.2 dynamic form and §5.4).
+ */
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "dtm/governor.h"
+#include "dtm/mirror.h"
+#include "util/error.h"
+
+namespace hd = hddtherm::dtm;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+namespace {
+
+ht::DriveThermalConfig
+base26()
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = 1;
+    cfg.rpm = 15000.0;
+    return cfg;
+}
+
+const std::vector<double> kLadder = {15020.0, 18000.0, 21000.0, 24534.0,
+                                     26000.0};
+
+} // namespace
+
+TEST(Governor, LadderSortedAndQueried)
+{
+    hd::SpeedGovernor gov(base26(), {24534.0, 15020.0, 21000.0});
+    EXPECT_EQ(gov.levels(), 3);
+    EXPECT_DOUBLE_EQ(gov.rpmAt(0), 15020.0);
+    EXPECT_DOUBLE_EQ(gov.rpmAt(2), 24534.0);
+}
+
+TEST(Governor, PredictionsLinearInDuty)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    const double t0 = gov.predictedSteadyC(3, 0.0);
+    const double t1 = gov.predictedSteadyC(3, 1.0);
+    const double th = gov.predictedSteadyC(3, 0.5);
+    EXPECT_NEAR(th, 0.5 * (t0 + t1), 1e-9);
+    EXPECT_GT(t1, t0);
+}
+
+TEST(Governor, FullDutyForcesEnvelopeSpeed)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    // At 100% duty only the envelope-design speed is sustainable.
+    EXPECT_DOUBLE_EQ(gov.maxSustainableRpm(1.0), 15020.0);
+}
+
+TEST(Governor, IdleDutyUnlocksTheSlackSpeed)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    // VCM off: the §5.2 slack (up to ~26.1K RPM here) becomes available.
+    EXPECT_DOUBLE_EQ(gov.maxSustainableRpm(0.0), 26000.0);
+}
+
+TEST(Governor, SpeedsBeyondTheSlackStayLocked)
+{
+    // A rung above the VCM-off ceiling (~26.1K RPM) is never sustainable.
+    hd::SpeedGovernor gov(base26(), {15020.0, 27000.0});
+    EXPECT_DOUBLE_EQ(gov.maxSustainableRpm(0.0), 15020.0);
+}
+
+TEST(Governor, UpStepJumpsArePositiveBelowTop)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    for (int i = 0; i + 1 < gov.levels(); ++i) {
+        EXPECT_GT(gov.upStepJumpC(i), 0.0) << i;
+        EXPECT_LT(gov.upStepJumpC(i), 3.0) << i;
+    }
+    EXPECT_DOUBLE_EQ(gov.upStepJumpC(gov.levels() - 1), 0.0);
+}
+
+TEST(Governor, HigherRungsJumpFurtherAtSimilarSpacing)
+{
+    // The windage jump grows superlinearly with speed: at comparable rung
+    // spacing (~3K RPM) the 21000->24534 step jumps further than the
+    // 15020->18000 step.
+    hd::SpeedGovernor gov(base26(), kLadder);
+    EXPECT_GT(gov.upStepJumpC(2), gov.upStepJumpC(0));
+}
+
+TEST(Governor, RefusesUpStepWithoutJumpHeadroom)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    // Measured temperature so close to the envelope that the next rung's
+    // fast jump would overshoot: must hold (or drop), never climb.
+    const double decision =
+        gov.decide(21000.0, ht::kThermalEnvelopeC - 0.05, 0.1);
+    EXPECT_LE(decision, 21000.0);
+}
+
+TEST(Governor, SustainableSpeedMonotoneInDuty)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    double prev = 1e9;
+    for (double duty = 0.0; duty <= 1.0; duty += 0.1) {
+        const double rpm = gov.maxSustainableRpm(duty);
+        EXPECT_LE(rpm, prev);
+        prev = rpm;
+    }
+}
+
+TEST(Governor, EmergencyStepsDown)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    const double decision =
+        gov.decide(24534.0, ht::kThermalEnvelopeC, 0.0);
+    EXPECT_LT(decision, 24534.0);
+}
+
+TEST(Governor, HoldsWhenPredictedSafe)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    const double decision = gov.decide(21000.0, 44.0, 0.2);
+    EXPECT_GE(decision, 21000.0);
+}
+
+TEST(Governor, StepsUpWithSlack)
+{
+    hd::SpeedGovernor gov(base26(), kLadder);
+    const double decision = gov.decide(15020.0, 43.0, 0.0);
+    EXPECT_GT(decision, 15020.0);
+}
+
+TEST(Governor, RejectsUnsafeLadder)
+{
+    // A ladder whose lowest rung already violates the envelope at full
+    // duty is rejected outright.
+    EXPECT_THROW({ hd::SpeedGovernor gov(base26(), {24534.0, 26000.0}); },
+                 hu::ModelError);
+    EXPECT_THROW({ hd::SpeedGovernor gov(base26(), {}); }, hu::ModelError);
+}
+
+namespace {
+
+hs::SystemConfig
+mirrorSystem(double rpm)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = rpm;
+    cfg.disks = 2;
+    cfg.raid = hs::RaidLevel::Raid1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+readWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 104729 * 256) % (space - 64);
+        r.sectors = 8;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(MirrorDtm, RunsAndCompletes)
+{
+    hd::MirrorDtmConfig cfg;
+    cfg.system = mirrorSystem(15020.0);
+    hd::MirrorDtmSimulation sim(cfg);
+    const auto space =
+        hs::StorageSystem(cfg.system).logicalSectors();
+    const auto result = sim.run(readWorkload(400, space, 100.0));
+    EXPECT_EQ(result.metrics.count(), 400u);
+    ASSERT_EQ(result.maxTempC.size(), 2u);
+    EXPECT_GT(result.maxTempC[0], 0.0);
+}
+
+TEST(MirrorDtm, ThermalSteeringAlternatesMirrors)
+{
+    hd::MirrorDtmConfig cfg;
+    cfg.system = mirrorSystem(20000.0);
+    cfg.policy = hd::MirrorPolicy::ThermalSteer;
+    hd::MirrorDtmSimulation sim(cfg);
+    const auto space =
+        hs::StorageSystem(cfg.system).logicalSectors();
+    const auto result = sim.run(readWorkload(2000, space, 120.0));
+    EXPECT_GT(result.swaps, 0u);
+    // Both members end up doing some of the read work.
+    EXPECT_GT(result.meanDuty[0], 0.0);
+    EXPECT_GT(result.meanDuty[1], 0.0);
+}
+
+TEST(MirrorDtm, SteeringReducesPeakTemperatureVsPinned)
+{
+    // Pin all reads on member 0 by disabling steering and preferring it:
+    // compare peak per-member temperature against thermal steering at a
+    // speed above the single-member sustainable point.
+    const auto space =
+        hs::StorageSystem(mirrorSystem(20000.0)).logicalSectors();
+    const auto workload = readWorkload(3000, space, 140.0);
+
+    hd::MirrorDtmConfig steer;
+    steer.system = mirrorSystem(20000.0);
+    steer.policy = hd::MirrorPolicy::ThermalSteer;
+    const auto steered = hd::MirrorDtmSimulation(steer).run(workload);
+
+    hd::MirrorDtmConfig balanced;
+    balanced.system = mirrorSystem(20000.0);
+    balanced.policy = hd::MirrorPolicy::Balanced;
+    const auto base = hd::MirrorDtmSimulation(balanced).run(workload);
+
+    const double steer_peak =
+        std::max(steered.maxTempC[0], steered.maxTempC[1]);
+    const double base_peak = std::max(base.maxTempC[0], base.maxTempC[1]);
+    // Thermal steering never does worse than balanced on the peak.
+    EXPECT_LE(steer_peak, base_peak + 0.05);
+}
+
+TEST(MirrorDtm, RequiresRaid1)
+{
+    hd::MirrorDtmConfig cfg;
+    cfg.system = mirrorSystem(15000.0);
+    cfg.system.raid = hs::RaidLevel::None;
+    EXPECT_THROW({ hd::MirrorDtmSimulation sim(cfg); }, hu::ModelError);
+}
+
+TEST(MirrorDtm, PolicyNames)
+{
+    EXPECT_STREQ(hd::mirrorPolicyName(hd::MirrorPolicy::Balanced),
+                 "balanced");
+    EXPECT_STREQ(hd::mirrorPolicyName(hd::MirrorPolicy::ThermalSteer),
+                 "thermal-steer");
+}
+
+TEST(CoSimGovernor, GovernedRunCompletesWithinEnvelope)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = mirrorSystem(15020.0);
+    cfg.system.raid = hs::RaidLevel::None;
+    cfg.system.disks = 1;
+    cfg.system.disk.rpmChangeSecPerKrpm = 0.02;
+    cfg.policy = hd::DtmPolicy::GovernSpeed;
+    cfg.rpmLadder = kLadder;
+    hd::CoSimulation cosim(cfg);
+    const auto space =
+        hs::StorageSystem(cfg.system).logicalSectors();
+    const auto result = cosim.run(readWorkload(800, space, 30.0));
+    EXPECT_EQ(result.metrics.count(), 800u);
+    EXPECT_LE(result.maxTempC, ht::kThermalEnvelopeC + 0.15);
+}
+
+TEST(CoSimGovernor, LadderRequired)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = mirrorSystem(15020.0);
+    cfg.system.raid = hs::RaidLevel::None;
+    cfg.system.disks = 1;
+    cfg.policy = hd::DtmPolicy::GovernSpeed;
+    EXPECT_THROW({ hd::CoSimulation c(cfg); }, hu::ModelError);
+}

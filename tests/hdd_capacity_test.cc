@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Validation of the capacity/IDR model against the paper's Table 1 drives,
+ * plus unit tests of the derived quantities.
+ */
+#include <gtest/gtest.h>
+
+#include "hdd/capacity.h"
+#include "hdd/drive_catalog.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::hdd;
+namespace hu = hddtherm::util;
+
+TEST(Capacity, BreakdownOrdering)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah 15K.3");
+    ASSERT_TRUE(drive.has_value());
+    const auto layout = drive->layout();
+    const auto cap = hh::computeCapacity(layout);
+    EXPECT_GT(cap.rawGB, cap.zbrGB);
+    EXPECT_GT(cap.zbrGB, cap.userGB);
+    EXPECT_GT(cap.userGB, 0.0);
+    EXPECT_GT(cap.zbrLossFraction, 0.0);
+    EXPECT_LT(cap.zbrLossFraction, 0.2);
+}
+
+TEST(Capacity, Cheetah15k3MatchesPaperModel)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah 15K.3");
+    ASSERT_TRUE(drive.has_value());
+    const auto cap = hh::computeCapacity(drive->layout());
+    // The paper's model computes 74.8 GB for this drive; our reading of the
+    // (partly under-specified) derating lands within 10%.
+    EXPECT_NEAR(cap.userGB, drive->paperModelCapacityGB,
+                0.10 * drive->paperModelCapacityGB);
+}
+
+TEST(Capacity, Cheetah15k3IdrMatchesPaperModel)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah 15K.3");
+    ASSERT_TRUE(drive.has_value());
+    const double idr = hh::internalDataRateMBps(drive->layout(), drive->rpm);
+    // The paper's model computes 114.4 MB/s for this drive.
+    EXPECT_NEAR(idr, drive->paperModelIdrMBps,
+                0.03 * drive->paperModelIdrMBps);
+}
+
+TEST(Capacity, RpmForDataRateInvertsIdr)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah X15");
+    ASSERT_TRUE(drive.has_value());
+    const auto layout = drive->layout();
+    const double idr = hh::internalDataRateMBps(layout, 15000.0);
+    EXPECT_NEAR(hh::rpmForDataRate(layout, idr), 15000.0, 1e-6);
+}
+
+TEST(Capacity, IdrScalesLinearlyWithRpm)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah X15");
+    ASSERT_TRUE(drive.has_value());
+    const auto layout = drive->layout();
+    const double idr1 = hh::internalDataRateMBps(layout, 10000.0);
+    const double idr2 = hh::internalDataRateMBps(layout, 20000.0);
+    EXPECT_NEAR(idr2, 2.0 * idr1, 1e-9);
+}
+
+TEST(Capacity, RejectsBadArguments)
+{
+    const auto drive = hh::findDrive("Seagate Cheetah X15");
+    ASSERT_TRUE(drive.has_value());
+    const auto layout = drive->layout();
+    EXPECT_THROW(hh::internalDataRateMBps(layout, 0.0), hu::ModelError);
+    EXPECT_THROW(hh::rpmForDataRate(layout, -5.0), hu::ModelError);
+}
+
+TEST(Catalog, HasThirteenDrives)
+{
+    EXPECT_EQ(hh::table1Drives().size(), 13u);
+    EXPECT_EQ(hh::table2Ratings().size(), 4u);
+}
+
+TEST(Catalog, FindDrive)
+{
+    EXPECT_TRUE(hh::findDrive("Quantum Atlas 10K").has_value());
+    EXPECT_FALSE(hh::findDrive("No Such Drive").has_value());
+}
+
+/// Validation sweep over every Table 1 drive: the reproduced model must
+/// stay within the paper's own error envelope of its published model
+/// predictions (the paper reports <=12% capacity and <=15% IDR error vs
+/// datasheets; we hold our model to 15% of the paper's model values, which
+/// absorbs the paper's unstated rounding conventions).
+class Table1Sweep : public ::testing::TestWithParam<hh::DriveSpec>
+{};
+
+TEST_P(Table1Sweep, CapacityNearPaperModel)
+{
+    const auto& drive = GetParam();
+    const auto cap = hh::computeCapacity(drive.layout());
+    EXPECT_NEAR(cap.userGB, drive.paperModelCapacityGB,
+                0.15 * drive.paperModelCapacityGB)
+        << drive.model;
+}
+
+TEST_P(Table1Sweep, IdrNearPaperModel)
+{
+    const auto& drive = GetParam();
+    const double idr = hh::internalDataRateMBps(drive.layout(), drive.rpm);
+    // 12 of 13 drives land within 10% of the paper's model; the Ultrastar
+    // 36Z15 (whose paper-model value of 72.1 MB/s is itself 11% below the
+    // datasheet's 80.9 MB/s) needs the wider band.
+    EXPECT_NEAR(idr, drive.paperModelIdrMBps,
+                0.20 * drive.paperModelIdrMBps)
+        << drive.model;
+}
+
+TEST_P(Table1Sweep, IdrWithinPaperBandOfDatasheet)
+{
+    // The paper claims its model stays within ~15% of the datasheet IDR for
+    // "most" disks; its own Atlas 10K prediction is 18.3% off (46.5 vs
+    // 39.3 MB/s), so the reproduction uses a 19% envelope.
+    const auto& drive = GetParam();
+    const double idr = hh::internalDataRateMBps(drive.layout(), drive.rpm);
+    EXPECT_NEAR(idr, drive.datasheetIdrMBps, 0.19 * drive.datasheetIdrMBps)
+        << drive.model;
+}
+
+TEST_P(Table1Sweep, LayoutInvariants)
+{
+    const auto& drive = GetParam();
+    const auto layout = drive.layout();
+    EXPECT_GT(layout.cylinders(), 1000) << drive.model;
+    EXPECT_EQ(layout.surfaces(), drive.platters * 2) << drive.model;
+    EXPECT_GT(layout.zone(0).userSectorsPerTrack, 0) << drive.model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDrives, Table1Sweep, ::testing::ValuesIn(hh::table1Drives()),
+    [](const ::testing::TestParamInfo<hh::DriveSpec>& param_info) {
+        std::string name = param_info.param.model;
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit and property tests of the three-point seek model (paper §3.2).
+ */
+#include <gtest/gtest.h>
+
+#include "hdd/seek.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::hdd;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hh::SeekModel
+model26(int cylinders = 27733)
+{
+    return hh::SeekModel(hh::SeekProfile::forDiameter(2.6), cylinders);
+}
+
+} // namespace
+
+TEST(SeekProfile, AnchorsAreDatasheetLike)
+{
+    const auto p = hh::SeekProfile::forDiameter(2.6);
+    EXPECT_NEAR(p.trackToTrackMs, 0.4, 1e-9);
+    EXPECT_NEAR(p.averageMs, 3.6, 1e-9);
+    EXPECT_NEAR(p.fullStrokeMs, 7.4, 1e-9);
+}
+
+TEST(SeekProfile, SmallerPlattersSeekFaster)
+{
+    const auto small = hh::SeekProfile::forDiameter(1.6);
+    const auto big = hh::SeekProfile::forDiameter(3.7);
+    EXPECT_LT(small.averageMs, big.averageMs);
+    EXPECT_LT(small.fullStrokeMs, big.fullStrokeMs);
+    EXPECT_LT(small.trackToTrackMs, big.trackToTrackMs);
+}
+
+TEST(SeekModel, ZeroDistanceIsFree)
+{
+    EXPECT_DOUBLE_EQ(model26().seekTimeMs(0), 0.0);
+}
+
+TEST(SeekModel, KeyPointsMatchProfile)
+{
+    const auto m = model26();
+    EXPECT_DOUBLE_EQ(m.seekTimeMs(1), 0.4);
+    // Average-distance seek (cyl/3) returns the average seek time.
+    EXPECT_NEAR(m.seekTimeMs(27733 / 3), 3.6, 0.01);
+    EXPECT_NEAR(m.seekTimeMs(27732), 7.4, 1e-9);
+}
+
+TEST(SeekModel, MonotoneNonDecreasing)
+{
+    const auto m = model26();
+    double prev = 0.0;
+    for (int d = 0; d < m.cylinders(); d += 101) {
+        const double t = m.seekTimeMs(d);
+        EXPECT_GE(t, prev) << "at distance " << d;
+        prev = t;
+    }
+}
+
+TEST(SeekModel, ShortSeeksAboveTrackToTrack)
+{
+    const auto m = model26();
+    for (int d = 1; d < 10; ++d) {
+        EXPECT_GE(m.seekTimeMs(d), m.profile().trackToTrackMs);
+        EXPECT_LT(m.seekTimeMs(d), m.profile().averageMs);
+    }
+}
+
+TEST(SeekModel, SecondsConversion)
+{
+    const auto m = model26();
+    EXPECT_DOUBLE_EQ(m.seekTimeSec(1), 0.0004);
+}
+
+TEST(SeekModel, RejectsOutOfRange)
+{
+    const auto m = model26();
+    EXPECT_THROW(m.seekTimeMs(-1), hu::ModelError);
+    EXPECT_THROW(m.seekTimeMs(m.cylinders()), hu::ModelError);
+}
+
+TEST(SeekModel, RejectsDisorderedProfile)
+{
+    hh::SeekProfile p;
+    p.trackToTrackMs = 2.0;
+    p.averageMs = 1.0;
+    p.fullStrokeMs = 3.0;
+    EXPECT_THROW(hh::SeekModel(p, 1000), hu::ModelError);
+}
+
+/// Property sweep across platter sizes: seek curves stay ordered and
+/// bounded by their profile everywhere.
+class SeekDiameterSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SeekDiameterSweep, CurveBoundedByProfile)
+{
+    const double diameter = GetParam();
+    const auto profile = hh::SeekProfile::forDiameter(diameter);
+    const hh::SeekModel m(profile, 20000);
+    for (int d = 1; d < 20000; d += 499) {
+        const double t = m.seekTimeMs(d);
+        EXPECT_GE(t, profile.trackToTrackMs);
+        EXPECT_LE(t, profile.fullStrokeMs + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, SeekDiameterSweep,
+                         ::testing::Values(1.6, 2.1, 2.6, 3.0, 3.3, 3.7));

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit and property tests for the ZBR layout model (paper §3.1).
+ */
+#include <gtest/gtest.h>
+
+#include "hdd/drive_catalog.h"
+#include "hdd/recording.h"
+#include "hdd/zoning.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::hdd;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hh::ZoneModel
+cheetah15k3(int zones = 30)
+{
+    // Seagate Cheetah 15K.3: 533 KBPI, 64 KTPI, 2.6" platters, 4 platters.
+    hh::PlatterGeometry g;
+    g.diameterInches = 2.6;
+    g.platters = 4;
+    return hh::ZoneModel(g, {533e3, 64e3}, zones);
+}
+
+} // namespace
+
+TEST(ZoneModel, CylinderCountMatchesPaperFormula)
+{
+    const auto zm = cheetah15k3();
+    // eta * (ro - ri) * TPI = (2/3) * 0.65 * 64000 = 27733.
+    EXPECT_EQ(zm.cylinders(), 27733);
+}
+
+TEST(ZoneModel, ServoBitsAreGrayCodeWidth)
+{
+    const auto zm = cheetah15k3();
+    // ceil(log2(27733)) = 15.
+    EXPECT_EQ(zm.servoBitsPerSector(), 15);
+}
+
+TEST(ZoneModel, SubTerabitEccBits)
+{
+    const auto zm = cheetah15k3();
+    EXPECT_EQ(zm.eccBitsPerSector(), hh::kEccBitsSubTerabit);
+}
+
+TEST(ZoneModel, TerabitEccKicksIn)
+{
+    hh::PlatterGeometry g;
+    g.diameterInches = 1.6;
+    // Slightly above the paper's 1.85 MBPI x 540 KTPI point, which lands
+    // a hair below 1e12 bits/in^2.
+    hh::RecordingTech tech{1.9e6, 540e3};
+    ASSERT_TRUE(tech.isTerabit());
+    const hh::ZoneModel zm(g, tech);
+    EXPECT_EQ(zm.eccBitsPerSector(), hh::kEccBitsTerabit);
+}
+
+TEST(ZoneModel, TrackRadiusEndpoints)
+{
+    const auto zm = cheetah15k3();
+    EXPECT_DOUBLE_EQ(zm.trackRadiusInches(0), 1.3);
+    EXPECT_DOUBLE_EQ(zm.trackRadiusInches(zm.cylinders() - 1), 0.65);
+}
+
+TEST(ZoneModel, TrackRadiusIsStrictlyDecreasing)
+{
+    const auto zm = cheetah15k3();
+    double prev = zm.trackRadiusInches(0);
+    for (int c = 1; c < zm.cylinders(); c += 997) {
+        const double r = zm.trackRadiusInches(c);
+        EXPECT_LT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(ZoneModel, ZonesPartitionCylinders)
+{
+    const auto zm = cheetah15k3();
+    int total = 0;
+    int expected_first = 0;
+    for (int z = 0; z < zm.zones(); ++z) {
+        const auto& zone = zm.zone(z);
+        EXPECT_EQ(zone.firstCylinder, expected_first);
+        EXPECT_GT(zone.cylinders, 0);
+        expected_first += zone.cylinders;
+        total += zone.cylinders;
+    }
+    EXPECT_EQ(total, zm.cylinders());
+}
+
+TEST(ZoneModel, OuterZonesHoldMoreSectors)
+{
+    const auto zm = cheetah15k3();
+    for (int z = 1; z < zm.zones(); ++z) {
+        EXPECT_GT(zm.zone(z - 1).userSectorsPerTrack,
+                  zm.zone(z).userSectorsPerTrack);
+        EXPECT_GT(zm.zone(z - 1).rawSectorsPerTrack,
+                  zm.zone(z).rawSectorsPerTrack);
+    }
+}
+
+TEST(ZoneModel, UserSectorsNeverExceedRaw)
+{
+    const auto zm = cheetah15k3();
+    for (int z = 0; z < zm.zones(); ++z) {
+        EXPECT_LE(zm.zone(z).userSectorsPerTrack,
+                  zm.zone(z).rawSectorsPerTrack);
+    }
+    EXPECT_LE(zm.totalUserSectors(), zm.totalRawSectors());
+}
+
+TEST(ZoneModel, ZoneOfCylinderIsConsistent)
+{
+    const auto zm = cheetah15k3();
+    for (int c = 0; c < zm.cylinders(); c += 313) {
+        const int z = zm.zoneOfCylinder(c);
+        const auto& zone = zm.zone(z);
+        EXPECT_GE(c, zone.firstCylinder);
+        EXPECT_LT(c, zone.firstCylinder + zone.cylinders);
+    }
+    EXPECT_EQ(zm.zoneOfCylinder(zm.cylinders() - 1), zm.zones() - 1);
+}
+
+TEST(ZoneModel, RejectsInvalidInput)
+{
+    hh::PlatterGeometry g;
+    EXPECT_THROW(hh::ZoneModel(g, {0.0, 64e3}), hu::ModelError);
+    EXPECT_THROW(hh::ZoneModel(g, {533e3, 0.0}), hu::ModelError);
+    EXPECT_THROW(hh::ZoneModel(g, {533e3, 64e3}, 0), hu::ModelError);
+    g.platters = 0;
+    EXPECT_THROW(hh::ZoneModel(g, {533e3, 64e3}), hu::ModelError);
+}
+
+TEST(ZoneModel, FewCylindersClampZoneCount)
+{
+    hh::PlatterGeometry g;
+    g.diameterInches = 2.6;
+    const hh::ZoneModel zm(g, {500e3, 100.0}, 30); // ~21 cylinders
+    EXPECT_LE(zm.zones(), zm.cylinders());
+    EXPECT_GE(zm.zones(), 1);
+}
+
+TEST(ZoneModel, RawCapacityMatchesClosedForm)
+{
+    const auto zm = cheetah15k3();
+    // eta * nsurf * pi * (ro^2 - ri^2) * BPI * TPI
+    const double expected = (2.0 / 3.0) * 8 * 3.14159265358979 *
+                            (1.3 * 1.3 - 0.65 * 0.65) * 533e3 * 64e3;
+    EXPECT_NEAR(zm.rawCapacityBits(), expected, expected * 1e-9);
+}
+
+/// Property sweep: layout invariants hold across zone counts.
+class ZoneCountSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ZoneCountSweep, InvariantsHold)
+{
+    const int zones = GetParam();
+    const auto zm = cheetah15k3(zones);
+    EXPECT_EQ(zm.zones(), zones);
+    int total = 0;
+    for (int z = 0; z < zm.zones(); ++z)
+        total += zm.zone(z).cylinders;
+    EXPECT_EQ(total, zm.cylinders());
+    EXPECT_GT(zm.totalUserSectors(), 0);
+    // More zones -> less ZBR waste -> no fewer total user sectors than a
+    // single-zone layout.
+    const auto one_zone = cheetah15k3(1);
+    EXPECT_GE(zm.totalUserSectors(), one_zone.totalUserSectors());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zones, ZoneCountSweep,
+                         ::testing::Values(1, 2, 5, 10, 15, 30, 50, 100));
+
+/// Property sweep: capacity grows monotonically with recording density.
+class DensitySweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DensitySweep, CapacityMonotoneInBpi)
+{
+    const double scale = GetParam();
+    hh::PlatterGeometry g;
+    g.diameterInches = 2.6;
+    const hh::ZoneModel base(g, {400e3, 50e3});
+    const hh::ZoneModel denser(g, {400e3 * scale, 50e3});
+    EXPECT_GE(denser.totalUserSectors(), base.totalUserSectors());
+}
+
+TEST_P(DensitySweep, CylindersMonotoneInTpi)
+{
+    const double scale = GetParam();
+    hh::PlatterGeometry g;
+    g.diameterInches = 2.6;
+    const hh::ZoneModel base(g, {400e3, 50e3});
+    const hh::ZoneModel denser(g, {400e3, 50e3 * scale});
+    EXPECT_GE(denser.cylinders(), base.cylinders());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DensitySweep,
+                         ::testing::Values(1.0, 1.1, 1.5, 2.0, 4.0));
+
+TEST(RecordingTech, DerivedQuantities)
+{
+    hh::RecordingTech tech{600e3, 100e3};
+    EXPECT_DOUBLE_EQ(tech.arealDensity(), 6e10);
+    EXPECT_DOUBLE_EQ(tech.bitAspectRatio(), 6.0);
+    EXPECT_FALSE(tech.isTerabit());
+}

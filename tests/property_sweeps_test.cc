@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Broad parameterized property sweeps across the model stack: the
+ * physical monotonicities and conservation laws that every experiment
+ * depends on, checked over grids of configurations.
+ */
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "hdd/capacity.h"
+#include "roadmap/roadmap.h"
+#include "sim/raid.h"
+#include "thermal/drive_thermal.h"
+#include "thermal/envelope.h"
+
+namespace hh = hddtherm::hdd;
+namespace hr = hddtherm::roadmap;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+
+// ---------------------------------------------------------------------
+// Thermal grid: for every (diameter, platters) configuration, steady
+// temperature must rise with RPM, with duty, and with ambient, and the
+// heat flows must conserve energy.
+// ---------------------------------------------------------------------
+
+using ThermalConfigParam = std::tuple<double, int>;
+
+class ThermalGrid : public ::testing::TestWithParam<ThermalConfigParam>
+{
+  protected:
+    ht::DriveThermalConfig
+    config(double rpm) const
+    {
+        ht::DriveThermalConfig cfg;
+        cfg.geometry.diameterInches = std::get<0>(GetParam());
+        cfg.geometry.platters = std::get<1>(GetParam());
+        cfg.coolingScale =
+            ht::coolingScaleForPlatters(cfg.geometry.platters);
+        cfg.rpm = rpm;
+        return cfg;
+    }
+};
+
+TEST_P(ThermalGrid, SteadyTempMonotoneInRpm)
+{
+    // At small platters and low speed the windage gained by spinning
+    // faster is outweighed by the improved film coefficients (the stack
+    // stirs its own cooling), producing a genuine sub-degree dip —
+    // largest for tall 1.6" stacks (~0.25 C).  The operative properties:
+    // the curve never dips materially below its running maximum, and is
+    // strictly increasing once windage dominates (>= 18K RPM).
+    double prev = -1e9;
+    double running_max = -1e9;
+    for (double rpm = 6000.0; rpm <= 40000.0; rpm += 4000.0) {
+        const double t = ht::steadyAirTempC(config(rpm));
+        EXPECT_GT(t, running_max - 0.30) << "rpm " << rpm;
+        if (rpm >= 18000.0) {
+            EXPECT_GT(t, prev) << "rpm " << rpm;
+        }
+        prev = t;
+        running_max = std::max(running_max, t);
+    }
+}
+
+TEST_P(ThermalGrid, SteadyTempMonotoneInDuty)
+{
+    auto cfg = config(15000.0);
+    double prev = -1e9;
+    for (double duty = 0.0; duty <= 1.0; duty += 0.25) {
+        cfg.vcmDuty = duty;
+        const double t = ht::steadyAirTempC(cfg);
+        EXPECT_GT(t, prev) << "duty " << duty;
+        prev = t;
+    }
+}
+
+TEST_P(ThermalGrid, AmbientShiftIsExactlyAdditive)
+{
+    // The network is linear: an ambient change translates the solution.
+    auto cfg = config(18000.0);
+    const double base = ht::steadyAirTempC(cfg);
+    cfg.ambientC += 7.0;
+    EXPECT_NEAR(ht::steadyAirTempC(cfg), base + 7.0, 1e-9);
+}
+
+TEST_P(ThermalGrid, HeatFlowsConserveEnergy)
+{
+    ht::DriveThermalModel model(config(20000.0));
+    double to_ambient = 0.0;
+    for (const auto& f : model.steadyHeatFlows()) {
+        if (f.path == "base->ambient")
+            to_ambient = f.watts;
+    }
+    EXPECT_NEAR(to_ambient, model.totalPowerW(),
+                1e-6 * model.totalPowerW());
+}
+
+TEST_P(ThermalGrid, EnvelopeCeilingConsistentWithSteadyTemp)
+{
+    auto cfg = config(15000.0);
+    const double ceiling = ht::maxRpmWithinEnvelope(cfg);
+    if (ceiling <= 0.0)
+        return; // always above the envelope for this configuration
+    cfg.rpm = ceiling;
+    EXPECT_NEAR(ht::steadyAirTempC(cfg), ht::kThermalEnvelopeC, 0.05);
+    cfg.rpm = ceiling * 1.05;
+    EXPECT_GT(ht::steadyAirTempC(cfg), ht::kThermalEnvelopeC);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThermalGrid,
+    ::testing::Combine(::testing::Values(1.6, 2.1, 2.6, 3.0),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<ThermalConfigParam>& param_info) {
+        return "d" + std::to_string(int(std::get<0>(param_info.param) * 10)) +
+               "_p" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Capacity grid: user capacity scales exactly with platter count and
+// monotonically with density and diameter.
+// ---------------------------------------------------------------------
+
+class CapacityGrid : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CapacityGrid, CapacityLinearInPlatters)
+{
+    const double diameter = GetParam();
+    hh::PlatterGeometry g;
+    g.diameterInches = diameter;
+    const hh::RecordingTech tech{500e3, 50e3};
+    g.platters = 1;
+    const auto one = hh::computeCapacity(hh::ZoneModel(g, tech));
+    for (int n : {2, 3, 4, 8}) {
+        g.platters = n;
+        const auto many = hh::computeCapacity(hh::ZoneModel(g, tech));
+        EXPECT_NEAR(many.userGB, n * one.userGB, 1e-9) << n;
+    }
+}
+
+TEST_P(CapacityGrid, IdrIndependentOfPlatters)
+{
+    const double diameter = GetParam();
+    hh::PlatterGeometry g;
+    g.diameterInches = diameter;
+    const hh::RecordingTech tech{500e3, 50e3};
+    g.platters = 1;
+    const double idr1 =
+        hh::internalDataRateMBps(hh::ZoneModel(g, tech), 10000.0);
+    g.platters = 6;
+    const double idr6 =
+        hh::internalDataRateMBps(hh::ZoneModel(g, tech), 10000.0);
+    EXPECT_DOUBLE_EQ(idr1, idr6);
+}
+
+TEST_P(CapacityGrid, LargerPlatterHoldsMoreAndStreamsFaster)
+{
+    const double diameter = GetParam();
+    if (diameter >= 3.0)
+        return; // compare each size against one step up
+    hh::PlatterGeometry small, big;
+    small.diameterInches = diameter;
+    big.diameterInches = diameter + 0.5;
+    const hh::RecordingTech tech{500e3, 50e3};
+    const auto cap_small = hh::computeCapacity(hh::ZoneModel(small, tech));
+    const auto cap_big = hh::computeCapacity(hh::ZoneModel(big, tech));
+    EXPECT_GT(cap_big.userGB, cap_small.userGB);
+    EXPECT_GT(
+        hh::internalDataRateMBps(hh::ZoneModel(big, tech), 10000.0),
+        hh::internalDataRateMBps(hh::ZoneModel(small, tech), 10000.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, CapacityGrid,
+                         ::testing::Values(1.6, 2.1, 2.6, 3.0, 3.3));
+
+// ---------------------------------------------------------------------
+// RAID-0 width sweep: striping covers each logical sector exactly once
+// for any width and request shape.
+// ---------------------------------------------------------------------
+
+class RaidWidths : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RaidWidths, Raid0PartitionIsExact)
+{
+    const int disks = GetParam();
+    const int stripe = 16;
+    for (int sectors : {1, 15, 16, 17, 160, 333}) {
+        for (std::int64_t lba : {0ll, 7ll, 1000ll, 99999ll}) {
+            const auto ts =
+                hs::stripeRaid0(lba, sectors, disks, stripe);
+            int total = 0;
+            for (const auto& t : ts) {
+                EXPECT_GE(t.disk, 0);
+                EXPECT_LT(t.disk, disks);
+                EXPECT_GT(t.sectors, 0);
+                EXPECT_LE(t.sectors, stripe);
+                total += t.sectors;
+            }
+            EXPECT_EQ(total, sectors);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RaidWidths,
+                         ::testing::Values(1, 2, 3, 5, 8, 24));
+
+// ---------------------------------------------------------------------
+// Roadmap ambient sweep: cooler ambients never shorten the on-target
+// horizon and never lower the achievable IDR.
+// ---------------------------------------------------------------------
+
+class AmbientSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AmbientSweep, CoolerNeverWorse)
+{
+    const double ambient = GetParam();
+    hr::RoadmapOptions base;
+    hr::RoadmapOptions cooler = base;
+    cooler.ambientC = ambient;
+    const hr::RoadmapEngine warm_engine(base);
+    const hr::RoadmapEngine cool_engine(cooler);
+    for (int year : {2003, 2007, 2011}) {
+        const auto warm = warm_engine.evaluate(year, 2.1, 1);
+        const auto cool = cool_engine.evaluate(year, 2.1, 1);
+        EXPECT_GE(cool.maxRpm, warm.maxRpm - 1.0) << year;
+        EXPECT_GE(cool.achievableIdr, warm.achievableIdr - 0.01) << year;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ambients, AmbientSweep,
+                         ::testing::Values(18.0, 23.0, 26.0, 28.0));

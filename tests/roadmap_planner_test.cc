@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests of the roadmap planner (the paper's §4 methodology automated).
+ */
+#include <gtest/gtest.h>
+
+#include "roadmap/planner.h"
+#include "util/error.h"
+
+namespace hr = hddtherm::roadmap;
+namespace hu = hddtherm::util;
+
+namespace {
+
+const std::vector<hr::PlanStep>&
+defaultPlan()
+{
+    static const std::vector<hr::PlanStep> steps = [] {
+        static const hr::RoadmapEngine engine;
+        return hr::RoadmapPlanner(engine).plan();
+    }();
+    return steps;
+}
+
+} // namespace
+
+TEST(Planner, CoversEveryYear)
+{
+    const auto& plan = defaultPlan();
+    ASSERT_EQ(plan.size(), 11u);
+    EXPECT_EQ(plan.front().year, 2002);
+    EXPECT_EQ(plan.back().year, 2012);
+}
+
+TEST(Planner, MeetsTargetThroughTwoThousandFive)
+{
+    // Paper §4.1: "the IDR growth of 40% can be sustained till the year
+    // 2006" (our 1.6" ceiling lands the fall-off at 2006 itself).
+    for (const auto& step : defaultPlan()) {
+        if (step.year <= 2005) {
+            EXPECT_TRUE(step.onTarget) << step.year;
+        }
+        if (step.year >= 2007) {
+            EXPECT_FALSE(step.onTarget) << step.year;
+        }
+    }
+}
+
+TEST(Planner, ReproducesThePaper2005Transition)
+{
+    // Paper §4.1 worked example: in 2005 the 2.1" size misses the target;
+    // shrink to 1.6" and add a platter to push the capacity back up
+    // (the paper lands at 70.97 GB with 2 platters).
+    const auto& plan = defaultPlan();
+    const auto& y2005 = plan[3];
+    ASSERT_EQ(y2005.year, 2005);
+    EXPECT_DOUBLE_EQ(y2005.diameterInches, 1.6);
+    EXPECT_EQ(y2005.platters, 2);
+    EXPECT_EQ(y2005.action, hr::PlanAction::AddPlatters);
+    EXPECT_NEAR(y2005.capacityGB, 70.97, 8.0);
+}
+
+TEST(Planner, PlatterSizeNeverGrowsBack)
+{
+    double prev = 1e9;
+    for (const auto& step : defaultPlan()) {
+        EXPECT_LE(step.diameterInches, prev) << step.year;
+        prev = step.diameterInches;
+    }
+}
+
+TEST(Planner, OnTargetYearsRunAtExactlyTheTarget)
+{
+    for (const auto& step : defaultPlan()) {
+        if (step.onTarget) {
+            EXPECT_NEAR(step.idr, step.targetIdr, 1e-6) << step.year;
+            // Staying on target never needs to exceed the envelope.
+            EXPECT_LE(step.temperatureC,
+                      hddtherm::thermal::kThermalEnvelopeC + 0.05)
+                << step.year;
+        }
+    }
+}
+
+TEST(Planner, OffTargetYearsPinTheEnvelope)
+{
+    for (const auto& step : defaultPlan()) {
+        if (!step.onTarget) {
+            EXPECT_NEAR(step.temperatureC,
+                        hddtherm::thermal::kThermalEnvelopeC, 0.1)
+                << step.year;
+            EXPECT_LT(step.idr, step.targetIdr) << step.year;
+        }
+    }
+}
+
+TEST(Planner, CapacityRecoversAcrossTransitions)
+{
+    // The add-platters rule keeps capacity from collapsing at shrink
+    // points: each year's capacity stays above 60% of the previous
+    // year's (and grows overall).
+    const auto& plan = defaultPlan();
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+        EXPECT_GT(plan[i].capacityGB, 0.6 * plan[i - 1].capacityGB)
+            << plan[i].year;
+    }
+    EXPECT_GT(plan.back().capacityGB, plan.front().capacityGB * 10.0);
+}
+
+TEST(Planner, ActionNamesAreStable)
+{
+    EXPECT_STREQ(hr::planActionName(hr::PlanAction::Hold), "hold");
+    EXPECT_STREQ(hr::planActionName(hr::PlanAction::RaiseRpm),
+                 "raise-rpm");
+    EXPECT_STREQ(hr::planActionName(hr::PlanAction::ShrinkPlatter),
+                 "shrink-platter");
+    EXPECT_STREQ(hr::planActionName(hr::PlanAction::AddPlatters),
+                 "shrink+add-platters");
+    EXPECT_STREQ(hr::planActionName(hr::PlanAction::OffTarget),
+                 "off-target");
+}
+
+TEST(Planner, BetterCoolingDelaysTheFirstOffTargetYear)
+{
+    hr::RoadmapOptions cool;
+    cool.ambientC -= 10.0;
+    const hr::RoadmapEngine cool_engine(cool);
+    const auto cool_plan = hr::RoadmapPlanner(cool_engine).plan();
+
+    auto first_off = [](const std::vector<hr::PlanStep>& plan) {
+        for (const auto& step : plan) {
+            if (!step.onTarget)
+                return step.year;
+        }
+        return 9999;
+    };
+    EXPECT_GT(first_off(cool_plan), first_off(defaultPlan()));
+}
+
+TEST(Planner, SingleConfigurationDegeneratesToFigure2Curve)
+{
+    // With one size and one count the planner can only ride the curve.
+    static const hr::RoadmapEngine engine;
+    hr::PlannerOptions opts;
+    opts.diameters = {2.6};
+    opts.counts = {1};
+    const auto plan = hr::RoadmapPlanner(engine, opts).plan();
+    for (const auto& step : plan) {
+        EXPECT_DOUBLE_EQ(step.diameterInches, 2.6);
+        EXPECT_EQ(step.platters, 1);
+    }
+    // 2.6" alone is already off target at the start (Table 3: 45.24 C).
+    EXPECT_FALSE(plan.front().onTarget);
+}
+
+TEST(Planner, RejectsBadOptions)
+{
+    static const hr::RoadmapEngine engine;
+    hr::PlannerOptions opts;
+    opts.diameters = {1.6, 2.6}; // wrong order
+    EXPECT_THROW({ hr::RoadmapPlanner p(engine, opts); }, hu::ModelError);
+    opts = hr::PlannerOptions{};
+    opts.counts = {4, 1}; // wrong order
+    EXPECT_THROW({ hr::RoadmapPlanner p(engine, opts); }, hu::ModelError);
+    opts = hr::PlannerOptions{};
+    opts.diameters.clear();
+    EXPECT_THROW({ hr::RoadmapPlanner p(engine, opts); }, hu::ModelError);
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the scaling timeline and roadmap engine against the paper's §4
+ * narrative and Table 3 / Figure 2 numbers.
+ */
+#include <gtest/gtest.h>
+
+#include "roadmap/roadmap.h"
+#include "roadmap/scaling.h"
+#include "util/error.h"
+
+namespace hr = hddtherm::roadmap;
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+TEST(Timeline, AnchorYearValues)
+{
+    hr::TechnologyTimeline tl;
+    EXPECT_DOUBLE_EQ(tl.bpi(1999), 270e3);
+    EXPECT_DOUBLE_EQ(tl.tpi(1999), 20e3);
+    EXPECT_DOUBLE_EQ(tl.targetIdrMBps(1999), 47.0);
+}
+
+TEST(Timeline, EarlyCgrThrough2003)
+{
+    hr::TechnologyTimeline tl;
+    EXPECT_NEAR(tl.bpi(2000), 270e3 * 1.3, 1.0);
+    EXPECT_NEAR(tl.tpi(2003), 20e3 * 1.5 * 1.5 * 1.5 * 1.5, 1.0);
+}
+
+TEST(Timeline, LateCgrAfter2003)
+{
+    hr::TechnologyTimeline tl;
+    EXPECT_NEAR(tl.bpi(2004) / tl.bpi(2003), 1.14, 1e-9);
+    EXPECT_NEAR(tl.tpi(2004) / tl.tpi(2003), 1.28, 1e-9);
+}
+
+TEST(Timeline, TerabitArrivesIn2010)
+{
+    // Paper: "industry projections predict ... 1 Tb/in^2 in the year 2010".
+    hr::TechnologyTimeline tl;
+    EXPECT_EQ(tl.terabitYear(), 2010);
+}
+
+TEST(Timeline, BarDropsTowardFour)
+{
+    // BAR is ~6-7 early and expected to drop to ~4 or below (paper §4).
+    hr::TechnologyTimeline tl;
+    EXPECT_GT(tl.bitAspectRatio(2002), 6.0);
+    EXPECT_LT(tl.bitAspectRatio(2010), 4.0);
+}
+
+TEST(Timeline, IdrTargetMatchesTable3)
+{
+    hr::TechnologyTimeline tl;
+    EXPECT_NEAR(tl.targetIdrMBps(2002), 128.97, 0.01);
+    EXPECT_NEAR(tl.targetIdrMBps(2007), 693.62, 0.05);
+    EXPECT_NEAR(tl.targetIdrMBps(2012), 3730.46, 0.30);
+}
+
+TEST(Timeline, RejectsPreAnchorYears)
+{
+    hr::TechnologyTimeline tl;
+    EXPECT_THROW(tl.bpi(1998), hu::ModelError);
+}
+
+TEST(Roadmap, DensityIdrMatchesTable3)
+{
+    // Table 3's IDR_density column for the 2.6" size (within ~2%).
+    hr::RoadmapEngine engine;
+    const auto p02 = engine.evaluate(2002, 2.6, 1);
+    EXPECT_NEAR(p02.densityIdr, 128.14, 0.02 * 128.14);
+    const auto p07 = engine.evaluate(2007, 2.6, 1);
+    EXPECT_NEAR(p07.densityIdr, 281.19, 0.02 * 281.19);
+    const auto p12 = engine.evaluate(2012, 2.6, 1);
+    EXPECT_NEAR(p12.densityIdr, 390.03, 0.02 * 390.03);
+}
+
+TEST(Roadmap, RequiredRpmMatchesTable3)
+{
+    hr::RoadmapEngine engine;
+    // Required RPM = target / density ratio; the paper's 2.6" column.
+    EXPECT_NEAR(engine.evaluate(2002, 2.6, 1).requiredRpm, 15098, 350);
+    EXPECT_NEAR(engine.evaluate(2005, 2.6, 1).requiredRpm, 24534, 550);
+    EXPECT_NEAR(engine.evaluate(2009, 2.6, 1).requiredRpm, 55819, 1300);
+    EXPECT_NEAR(engine.evaluate(2012, 2.6, 1).requiredRpm, 143470, 3200);
+}
+
+TEST(Roadmap, TerabitTransitionRaisesRequiredRpmSharply)
+{
+    // Paper: ~70% RPM jump from 2009 to 2010 due to the ECC step.
+    hr::RoadmapEngine engine;
+    const double r09 = engine.evaluate(2009, 2.6, 1).requiredRpm;
+    const double r10 = engine.evaluate(2010, 2.6, 1).requiredRpm;
+    EXPECT_GT(r10 / r09, 1.5);
+    EXPECT_LT(r10 / r09, 1.9);
+}
+
+TEST(Roadmap, SmallerPlattersNeedHigherRpmButRunCooler)
+{
+    hr::RoadmapEngine engine;
+    const auto p26 = engine.evaluate(2005, 2.6, 1);
+    const auto p21 = engine.evaluate(2005, 2.1, 1);
+    const auto p16 = engine.evaluate(2005, 1.6, 1);
+    EXPECT_GT(p21.requiredRpm, p26.requiredRpm);
+    EXPECT_GT(p16.requiredRpm, p21.requiredRpm);
+    EXPECT_LT(p21.requiredRpmTempC, p26.requiredRpmTempC);
+    EXPECT_LT(p16.requiredRpmTempC, p21.requiredRpmTempC);
+}
+
+TEST(Roadmap, RequiredTempsEventuallyExceedEnvelope)
+{
+    // Even the 1.6" size cannot meet the target forever (paper §4.1).
+    hr::RoadmapEngine engine;
+    EXPECT_LT(engine.evaluate(2002, 1.6, 1).requiredRpmTempC,
+              ht::kThermalEnvelopeC);
+    EXPECT_GT(engine.evaluate(2012, 1.6, 1).requiredRpmTempC,
+              ht::kThermalEnvelopeC);
+}
+
+TEST(Roadmap, FalloffYearsOrderedBySize)
+{
+    // Paper Figure 2 (1 platter): 2.6" falls off first, then 2.1", then
+    // 1.6" — the 40% CGR is sustainable until roughly 2006.
+    hr::RoadmapEngine engine;
+    const int y26 = engine.lastYearOnTarget(2.6, 1);
+    const int y21 = engine.lastYearOnTarget(2.1, 1);
+    const int y16 = engine.lastYearOnTarget(1.6, 1);
+    EXPECT_LE(y26, y21);
+    EXPECT_LE(y21, y16);
+    EXPECT_GE(y16, 2005);
+    EXPECT_LE(y16, 2008);
+    // The 2.6" size is borderline at the very start: the paper's own
+    // Table 3 puts its 2002 required-RPM temperature at 45.24 C, a hair
+    // over the 45.22 C envelope, so "never on target" is acceptable.
+    EXPECT_GE(y26, 2001);
+    EXPECT_LE(y26, 2004);
+}
+
+TEST(Roadmap, CapacityGrowsWithDensityWithinASize)
+{
+    hr::RoadmapEngine engine;
+    const auto series = engine.series(2.6, 1);
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        if (series[i].terabit == series[i - 1].terabit) {
+            EXPECT_GT(series[i].capacityGB, series[i - 1].capacityGB)
+                << "year " << series[i].year;
+        }
+    }
+}
+
+TEST(Roadmap, TerabitEccStepDentsCapacityGrowth)
+{
+    // The ECC jump from 10% to 35% claws back capacity (and IDR) in 2010.
+    hr::RoadmapEngine engine;
+    const auto p09 = engine.evaluate(2009, 2.6, 1);
+    const auto p10 = engine.evaluate(2010, 2.6, 1);
+    // Density still grows 46%/yr but usable capacity grows much less.
+    EXPECT_LT(p10.capacityGB / p09.capacityGB, 1.15);
+    EXPECT_LT(p10.achievableIdr, p09.achievableIdr);
+}
+
+TEST(Roadmap, MorePlattersMeanMoreCapacitySameIdr)
+{
+    hr::RoadmapEngine engine;
+    const auto one = engine.evaluate(2004, 2.1, 1);
+    const auto four = engine.evaluate(2004, 2.1, 4);
+    EXPECT_NEAR(four.capacityGB, 4.0 * one.capacityGB,
+                0.01 * four.capacityGB);
+    EXPECT_DOUBLE_EQ(four.densityIdr, one.densityIdr);
+}
+
+TEST(Roadmap, CoolingNormalizationEqualizesStartOfRoadmap)
+{
+    // With the per-count cooling budget, all platter counts have (nearly)
+    // the same envelope-limited RPM at the 2.6" reference point.
+    hr::RoadmapEngine engine;
+    const auto one = engine.evaluate(2002, 2.6, 1);
+    const auto four = engine.evaluate(2002, 2.6, 4);
+    EXPECT_NEAR(four.maxRpm, one.maxRpm, 0.05 * one.maxRpm);
+}
+
+TEST(Roadmap, BetterCoolingExtendsTheRoadmap)
+{
+    // Figure 3: 5 C / 10 C cooler ambients lengthen the on-target window.
+    hr::RoadmapOptions base;
+    hr::RoadmapOptions cooler5 = base;
+    cooler5.ambientC = base.ambientC - 5.0;
+    hr::RoadmapOptions cooler10 = base;
+    cooler10.ambientC = base.ambientC - 10.0;
+
+    const int y_base = hr::RoadmapEngine(base).lastYearOnTarget(1.6, 1);
+    const int y_5 = hr::RoadmapEngine(cooler5).lastYearOnTarget(1.6, 1);
+    const int y_10 = hr::RoadmapEngine(cooler10).lastYearOnTarget(1.6, 1);
+    EXPECT_GE(y_5, y_base);
+    EXPECT_GE(y_10, y_5);
+    EXPECT_GT(y_10, y_base);
+}
+
+TEST(Roadmap, SmallEnclosureFallsOffImmediately)
+{
+    // §4.2.2: a 2.5" enclosure misses the target already in 2002.
+    hr::RoadmapOptions opts;
+    opts.enclosure = hddtherm::hdd::FormFactor::ff25();
+    hr::RoadmapEngine engine(opts);
+    EXPECT_FALSE(engine.evaluate(2002, 2.6, 1).meetsTarget);
+}
+
+TEST(Roadmap, MaxRpmIndependentOfYear)
+{
+    // The envelope limit depends on geometry/cooling only; density growth
+    // moves the IDR, not the thermal ceiling.
+    hr::RoadmapEngine engine;
+    const double rpm_a = engine.evaluate(2003, 2.1, 1).maxRpm;
+    const double rpm_b = engine.evaluate(2009, 2.1, 1).maxRpm;
+    EXPECT_NEAR(rpm_a, rpm_b, 2.0);
+}
+
+TEST(Roadmap, RejectsBadOptions)
+{
+    hr::RoadmapOptions opts;
+    opts.startYear = 2010;
+    opts.endYear = 2005;
+    EXPECT_THROW({ hr::RoadmapEngine engine(opts); }, hu::ModelError);
+}
+
+/// Figure 2 property sweep: every configuration's achievable IDR curve is
+/// eventually dominated by the 40% target line.
+class RoadmapConfigSweep
+    : public ::testing::TestWithParam<std::pair<double, int>>
+{};
+
+TEST_P(RoadmapConfigSweep, EventuallyFallsOffTarget)
+{
+    const auto [diameter, platters] = GetParam();
+    hr::RoadmapEngine engine;
+    const auto series = engine.series(diameter, platters);
+    EXPECT_FALSE(series.back().meetsTarget)
+        << diameter << "\" x" << platters;
+    // And once off target, it stays off (no re-crossing).
+    bool fell_off = false;
+    for (const auto& p : series) {
+        if (!p.meetsTarget)
+            fell_off = true;
+        else
+            EXPECT_FALSE(fell_off) << "re-crossed in " << p.year;
+    }
+}
+
+TEST_P(RoadmapConfigSweep, AchievableIdrNeverExceedsUnconstrained)
+{
+    const auto [diameter, platters] = GetParam();
+    hr::RoadmapEngine engine;
+    for (const auto& p : engine.series(diameter, platters)) {
+        if (p.meetsTarget)
+            EXPECT_LE(p.targetIdr, p.achievableIdr + 1e-9);
+        else
+            EXPECT_LT(p.achievableIdr, p.targetIdr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RoadmapConfigSweep,
+    ::testing::Values(std::pair{2.6, 1}, std::pair{2.1, 1},
+                      std::pair{1.6, 1}, std::pair{2.6, 2},
+                      std::pair{2.1, 4}, std::pair{1.6, 4}));

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit and property tests of LBA <-> physical translation.
+ */
+#include <gtest/gtest.h>
+
+#include "hdd/drive_catalog.h"
+#include "sim/address_map.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::hdd;
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::DiskAddressMap
+cheetahMap()
+{
+    const auto drive = hh::findDrive("Seagate Cheetah 15K.3");
+    return hs::DiskAddressMap(drive->layout());
+}
+
+} // namespace
+
+TEST(AddressMap, TotalMatchesLayout)
+{
+    const auto map = cheetahMap();
+    EXPECT_EQ(map.totalSectors(), map.layout().totalUserSectors());
+    EXPECT_GT(map.totalSectors(), 0);
+}
+
+TEST(AddressMap, FirstAndLastSectors)
+{
+    const auto map = cheetahMap();
+    const auto first = map.toPhysical(0);
+    EXPECT_EQ(first.cylinder, 0);
+    EXPECT_EQ(first.surface, 0);
+    EXPECT_EQ(first.sector, 0);
+    EXPECT_EQ(first.zone, 0);
+
+    const auto last = map.toPhysical(map.totalSectors() - 1);
+    EXPECT_EQ(last.cylinder, map.layout().cylinders() - 1);
+    EXPECT_EQ(last.surface, map.layout().surfaces() - 1);
+    EXPECT_EQ(last.zone, map.layout().zones() - 1);
+}
+
+TEST(AddressMap, RoundTripSampledLbas)
+{
+    const auto map = cheetahMap();
+    const std::int64_t total = map.totalSectors();
+    for (std::int64_t lba = 0; lba < total; lba += total / 9973 + 1) {
+        const auto phys = map.toPhysical(lba);
+        EXPECT_EQ(map.toLba(phys), lba) << "lba " << lba;
+    }
+}
+
+TEST(AddressMap, ConsecutiveLbasShareTrackUntilBoundary)
+{
+    const auto map = cheetahMap();
+    const int per_track = map.sectorsPerTrack(0);
+    for (int i = 0; i < per_track; ++i) {
+        const auto phys = map.toPhysical(i);
+        EXPECT_EQ(phys.cylinder, 0);
+        EXPECT_EQ(phys.surface, 0);
+        EXPECT_EQ(phys.sector, i);
+    }
+    const auto next = map.toPhysical(per_track);
+    EXPECT_EQ(next.cylinder, 0);
+    EXPECT_EQ(next.surface, 1);
+    EXPECT_EQ(next.sector, 0);
+}
+
+TEST(AddressMap, CylinderAdvancesAfterAllSurfaces)
+{
+    const auto map = cheetahMap();
+    const auto per_cyl = map.sectorsPerCylinder(0);
+    const auto phys = map.toPhysical(per_cyl);
+    EXPECT_EQ(phys.cylinder, 1);
+    EXPECT_EQ(phys.surface, 0);
+    EXPECT_EQ(phys.sector, 0);
+}
+
+TEST(AddressMap, RejectsOutOfRange)
+{
+    const auto map = cheetahMap();
+    EXPECT_THROW(map.toPhysical(-1), hu::ModelError);
+    EXPECT_THROW(map.toPhysical(map.totalSectors()), hu::ModelError);
+}
+
+TEST(AddressMap, ZoneBoundariesAreExact)
+{
+    const auto map = cheetahMap();
+    const auto& layout = map.layout();
+    // The first LBA of zone 1 lands on zone 1's first cylinder.
+    std::int64_t zone0_sectors = std::int64_t(layout.zone(0).cylinders) *
+                                 layout.surfaces() *
+                                 layout.zone(0).userSectorsPerTrack;
+    const auto phys = map.toPhysical(zone0_sectors);
+    EXPECT_EQ(phys.zone, 1);
+    EXPECT_EQ(phys.cylinder, layout.zone(1).firstCylinder);
+    EXPECT_EQ(phys.surface, 0);
+    EXPECT_EQ(phys.sector, 0);
+}
+
+/// Property: round-trip holds across very different drive shapes.
+class MapDriveSweep : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(MapDriveSweep, RoundTrip)
+{
+    const auto drive = hh::findDrive(GetParam());
+    ASSERT_TRUE(drive.has_value());
+    const hs::DiskAddressMap map(drive->layout());
+    const std::int64_t total = map.totalSectors();
+    for (std::int64_t lba = 0; lba < total; lba += total / 4099 + 1) {
+        EXPECT_EQ(map.toLba(map.toPhysical(lba)), lba);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drives, MapDriveSweep,
+                         ::testing::Values("Quantum Atlas 10K",
+                                           "Seagate Barracuda 180",
+                                           "Seagate Cheetah X15",
+                                           "Fujitsu AL-7LE"));

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the segmented disk buffer.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+TEST(DiskCache, MissesWhenEmpty)
+{
+    hs::DiskCache cache(4u << 20, 16);
+    EXPECT_FALSE(cache.read(0, 8));
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    EXPECT_EQ(cache.stats().readHits, 0u);
+}
+
+TEST(DiskCache, HitsAfterInstall)
+{
+    hs::DiskCache cache(4u << 20, 16);
+    cache.install(100, 64);
+    EXPECT_TRUE(cache.read(100, 8));
+    EXPECT_TRUE(cache.read(120, 44));
+    EXPECT_TRUE(cache.read(163, 1));
+    EXPECT_FALSE(cache.read(100, 65));  // extends past extent
+    EXPECT_FALSE(cache.read(99, 2));    // starts before extent
+    EXPECT_DOUBLE_EQ(cache.stats().hitRatio(), 3.0 / 5.0);
+}
+
+TEST(DiskCache, SegmentSizeClipsInstall)
+{
+    hs::DiskCache cache(1u << 20, 16); // 2048 sectors / 16 = 128 per seg
+    EXPECT_EQ(cache.segmentSectors(), 128);
+    cache.install(0, 1000);
+    EXPECT_TRUE(cache.read(0, 128));
+    EXPECT_FALSE(cache.read(0, 129));
+}
+
+TEST(DiskCache, LruEvictsOldest)
+{
+    hs::DiskCache cache(4096 * 512, 2); // 2 segments
+    cache.install(0, 64);
+    cache.install(10000, 64);
+    cache.install(20000, 64); // evicts extent at 0
+    EXPECT_FALSE(cache.read(0, 1));
+    EXPECT_TRUE(cache.read(10000, 1));
+    EXPECT_TRUE(cache.read(20000, 1));
+}
+
+TEST(DiskCache, ReadRefreshesLru)
+{
+    hs::DiskCache cache(4096 * 512, 2);
+    cache.install(0, 64);
+    cache.install(10000, 64);
+    EXPECT_TRUE(cache.read(0, 1));  // refresh extent 0
+    cache.install(20000, 64);       // should evict 10000, not 0
+    EXPECT_TRUE(cache.read(0, 1));
+    EXPECT_FALSE(cache.read(10000, 1));
+}
+
+TEST(DiskCache, OverlappingInstallReusesSegment)
+{
+    hs::DiskCache cache(4096 * 512, 2);
+    cache.install(0, 64);
+    cache.install(32, 64); // sequential stream advancing
+    EXPECT_EQ(cache.activeSegments(), 1);
+    EXPECT_TRUE(cache.read(90, 6));
+    EXPECT_FALSE(cache.read(0, 8)); // old head of stream replaced
+}
+
+TEST(DiskCache, ClearDropsEverything)
+{
+    hs::DiskCache cache(4u << 20, 4);
+    cache.install(0, 64);
+    cache.clear();
+    EXPECT_FALSE(cache.read(0, 1));
+    EXPECT_EQ(cache.activeSegments(), 0);
+}
+
+TEST(DiskCache, RejectsBadConfig)
+{
+    EXPECT_THROW({ hs::DiskCache c(4096, 0); }, hu::ModelError);
+    EXPECT_THROW({ hs::DiskCache c(512, 2); }, hu::ModelError);
+}
+
+TEST(DiskCache, RejectsEmptyOps)
+{
+    hs::DiskCache cache(4u << 20, 4);
+    EXPECT_THROW(cache.read(0, 0), hu::ModelError);
+    EXPECT_THROW(cache.install(0, 0), hu::ModelError);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests of the closed-loop (think-time) workload driver.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/closed_loop.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::SystemConfig
+oneDisk(double rpm = 10000.0)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.tech = {400e3, 30e3};
+    cfg.disk.rpm = rpm;
+    return cfg;
+}
+
+hs::ClosedLoopDriver::RequestFactory
+randomReads(std::int64_t space)
+{
+    auto rng = std::make_shared<hu::Rng>(17);
+    return [rng, space](int, std::uint64_t) {
+        hs::IoRequest r;
+        r.lba = rng->uniformInt(0, space - 64);
+        r.sectors = 8;
+        return r;
+    };
+}
+
+} // namespace
+
+TEST(ClosedLoop, CompletesExactlyTheRequestedCount)
+{
+    hs::StorageSystem sys(oneDisk());
+    hs::ClosedLoopDriver driver(sys, 4, 0.002,
+                                randomReads(sys.logicalSectors()));
+    const auto metrics = driver.run(300);
+    EXPECT_EQ(metrics.count(), 300u);
+    EXPECT_EQ(driver.completed(), 300u);
+    EXPECT_EQ(sys.inflight(), 0u);
+}
+
+TEST(ClosedLoop, InFlightNeverExceedsClientCount)
+{
+    hs::StorageSystem sys(oneDisk());
+    const int clients = 3;
+    std::size_t max_inflight = 0;
+    sys.disk(0); // ensure construction
+    hs::ClosedLoopDriver driver(
+        sys, clients, 0.0,
+        [&sys, &max_inflight, space = sys.logicalSectors()](
+            int, std::uint64_t seq) {
+            max_inflight = std::max(max_inflight, sys.inflight() + 1);
+            hs::IoRequest r;
+            r.lba = std::int64_t(seq) * 9973 * 64 % (space - 64);
+            r.sectors = 8;
+            return r;
+        });
+    driver.run(200);
+    EXPECT_LE(max_inflight, std::size_t(clients));
+}
+
+TEST(ClosedLoop, ThroughputSelfLimitsUnderGating)
+{
+    // The defining closed-loop property: gating the array pauses the
+    // clients instead of growing an unbounded queue.  Gate the disk for
+    // a fixed window mid-run; the run still finishes, response times
+    // stay bounded by the gate window (not by queue depth).
+    hs::StorageSystem sys(oneDisk());
+    hs::ClosedLoopDriver driver(sys, 2, 0.001,
+                                randomReads(sys.logicalSectors()));
+    sys.events().schedule(0.05, [&sys] { sys.gateAll(true); });
+    sys.events().schedule(0.25, [&sys] { sys.gateAll(false); });
+    const auto metrics = driver.run(200);
+    EXPECT_EQ(metrics.count(), 200u);
+    // At most ~2 requests (one per client) waited out the 200 ms gate.
+    EXPECT_LT(metrics.stats().max(), 260.0);
+    EXPECT_LT(metrics.meanMs(), 30.0);
+}
+
+TEST(ClosedLoop, MoreClientsMoreThroughputUntilSaturation)
+{
+    auto run_with = [](int clients) {
+        hs::StorageSystem sys(oneDisk());
+        hs::ClosedLoopDriver driver(
+            sys, clients, 0.0, randomReads(sys.logicalSectors()));
+        driver.run(400);
+        return 400.0 / sys.events().now(); // requests per second
+    };
+    const double x1 = run_with(1);
+    const double x4 = run_with(4);
+    // With zero think time a single disk is already busy at 1 client;
+    // extra clients deepen the queue but SSTF-free FCFS gains little —
+    // throughput must not regress and not explode.
+    EXPECT_GE(x4, x1 * 0.95);
+    EXPECT_LT(x4, x1 * 3.0);
+}
+
+TEST(ClosedLoop, ThinkTimeThrottlesThroughput)
+{
+    auto run_with = [](double think) {
+        hs::StorageSystem sys(oneDisk());
+        hs::ClosedLoopDriver driver(
+            sys, 2, think, randomReads(sys.logicalSectors()));
+        driver.run(200);
+        return 200.0 / sys.events().now();
+    };
+    EXPECT_GT(run_with(0.0), 1.5 * run_with(0.05));
+}
+
+TEST(ClosedLoop, RejectsBadConfig)
+{
+    hs::StorageSystem sys(oneDisk());
+    auto factory = randomReads(sys.logicalSectors());
+    EXPECT_THROW({ hs::ClosedLoopDriver d(sys, 0, 0.0, factory); },
+                 hu::ModelError);
+    EXPECT_THROW({ hs::ClosedLoopDriver d(sys, 1, -1.0, factory); },
+                 hu::ModelError);
+    EXPECT_THROW({ hs::ClosedLoopDriver d(sys, 1, 0.0, nullptr); },
+                 hu::ModelError);
+    hs::ClosedLoopDriver driver(sys, 1, 0.0, factory);
+    EXPECT_THROW(driver.run(0), hu::ModelError);
+}

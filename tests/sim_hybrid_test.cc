@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests of the cache-disk hierarchy (paper §5.4).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/hybrid.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::HybridConfig
+smallHybrid()
+{
+    hs::HybridConfig cfg;
+    // Large slow primary: 3.7" at a conservative spindle speed.
+    cfg.primary.geometry.diameterInches = 3.7;
+    cfg.primary.tech = {400e3, 30e3};
+    cfg.primary.rpm = 7200.0;
+    // Small fast cache member: 1.6" spinning much faster.
+    cfg.cacheDisk.geometry.diameterInches = 1.6;
+    cfg.cacheDisk.tech = {400e3, 30e3};
+    cfg.cacheDisk.rpm = 20000.0;
+    cfg.extentSectors = 256;
+    return cfg;
+}
+
+hs::IoRequest
+make(std::uint64_t id, double arrival, std::int64_t lba, int sectors,
+     hs::IoType type = hs::IoType::Read)
+{
+    hs::IoRequest r;
+    r.id = id;
+    r.arrival = arrival;
+    r.lba = lba;
+    r.sectors = sectors;
+    r.type = type;
+    return r;
+}
+
+} // namespace
+
+TEST(Hybrid, CapacityComesFromPrimary)
+{
+    hs::HybridSystem sys(smallHybrid());
+    EXPECT_EQ(sys.logicalSectors(), sys.primary().totalSectors());
+    EXPECT_GT(sys.cacheExtents(), 0);
+    EXPECT_LT(sys.cacheDisk().totalSectors(),
+              sys.primary().totalSectors());
+}
+
+TEST(Hybrid, FirstReadMissesSecondHits)
+{
+    hs::HybridSystem sys(smallHybrid());
+    sys.run({make(1, 0.0, 1000, 8)});
+    EXPECT_EQ(sys.stats().readMisses, 1u);
+    EXPECT_EQ(sys.stats().readHits, 0u);
+    EXPECT_GT(sys.stats().promotions, 0u);
+
+    sys.run({make(2, 0.0, 1000, 8)});
+    EXPECT_EQ(sys.stats().readHits, 1u);
+    EXPECT_EQ(sys.stats().readMisses, 1u);
+}
+
+TEST(Hybrid, HitServedByCacheDisk)
+{
+    hs::HybridSystem sys(smallHybrid());
+    sys.run({make(1, 0.0, 1000, 8)});
+    const auto cache_before = sys.cacheDisk().activity().completions;
+    sys.run({make(2, 0.0, 1000, 8)});
+    EXPECT_GT(sys.cacheDisk().activity().completions, cache_before);
+}
+
+TEST(Hybrid, RepeatedHotSetFasterThanPrimaryAlone)
+{
+    // A hot set much larger than the drives' 4 MB track buffers but
+    // smaller than the cache member, re-read several times: the hybrid
+    // should beat the primary alone.
+    auto workload = [] {
+        std::vector<hs::IoRequest> load;
+        std::uint64_t id = 1;
+        double t = 0.0;
+        for (int round = 0; round < 5; ++round) {
+            for (int i = 0; i < 300; ++i) {
+                t += 0.02;
+                load.push_back(
+                    make(id++, t, std::int64_t(i) * 40000, 8));
+            }
+        }
+        return load;
+    }();
+
+    hs::HybridSystem hybrid(smallHybrid());
+    const auto hybrid_metrics = hybrid.run(workload);
+    EXPECT_GT(hybrid.stats().hitRatio(), 0.7);
+
+    hs::HybridConfig no_promote = smallHybrid();
+    no_promote.promoteOnMiss = false;
+    hs::HybridSystem baseline(no_promote);
+    const auto baseline_metrics = baseline.run(workload);
+    EXPECT_DOUBLE_EQ(baseline.stats().hitRatio(), 0.0);
+
+    EXPECT_LT(hybrid_metrics.meanMs(), baseline_metrics.meanMs());
+}
+
+TEST(Hybrid, WritesGoToPrimary)
+{
+    hs::HybridSystem sys(smallHybrid());
+    sys.run({make(1, 0.0, 5000, 8, hs::IoType::Write)});
+    EXPECT_EQ(sys.primary().activity().completions, 1u);
+    EXPECT_EQ(sys.stats().readHits + sys.stats().readMisses, 0u);
+}
+
+TEST(Hybrid, WriteUpdatesResidentExtent)
+{
+    hs::HybridSystem sys(smallHybrid());
+    sys.run({make(1, 0.0, 1000, 8)}); // promote the extent
+    const auto cache_ops = sys.cacheDisk().activity().completions;
+    sys.run({make(2, 0.0, 1000, 8, hs::IoType::Write)});
+    // The cached copy is refreshed: one extra cache-disk op.
+    EXPECT_GT(sys.cacheDisk().activity().completions, cache_ops);
+    // And a subsequent read still hits with fresh data.
+    sys.run({make(3, 0.0, 1000, 8)});
+    EXPECT_EQ(sys.stats().readHits, 1u);
+}
+
+TEST(Hybrid, LruEvictsWhenCacheFull)
+{
+    auto cfg = smallHybrid();
+    cfg.extentSectors = 1 << 16; // few large extents -> small residency
+    hs::HybridSystem sys(cfg);
+    const auto extents = sys.cacheExtents();
+    ASSERT_GT(extents, 0);
+    ASSERT_LT(extents, 100);
+
+    std::vector<hs::IoRequest> load;
+    std::uint64_t id = 1;
+    double t = 0.0;
+    for (std::int64_t e = 0; e <= extents; ++e) {
+        t += 0.05;
+        load.push_back(make(id++, t, e * cfg.extentSectors, 8));
+    }
+    sys.run(load);
+    EXPECT_GT(sys.stats().evictions, 0u);
+    // The first extent was evicted: reading it again misses.
+    const auto misses = sys.stats().readMisses;
+    sys.run({make(id, 0.0, 0, 8)});
+    EXPECT_EQ(sys.stats().readMisses, misses + 1);
+}
+
+TEST(Hybrid, CrossExtentReadJoinsCorrectly)
+{
+    auto cfg = smallHybrid();
+    hs::HybridSystem sys(cfg);
+    const std::int64_t boundary = cfg.extentSectors;
+    // Warm both extents, then read across the boundary.
+    sys.run({make(1, 0.0, boundary - 64, 8),
+             make(2, 0.1, boundary + 8, 8)});
+    const auto metrics = sys.run({make(3, 0.0, boundary - 8, 16)});
+    EXPECT_EQ(metrics.count(), 1u);
+    EXPECT_EQ(sys.stats().readHits, 1u);
+}
+
+TEST(Hybrid, RejectsBadRequestsAndConfigs)
+{
+    hs::HybridSystem sys(smallHybrid());
+    EXPECT_THROW(sys.submit(make(1, 0.0, -1, 8)), hu::ModelError);
+    EXPECT_THROW(sys.submit(make(2, 0.0, sys.logicalSectors(), 8)),
+                 hu::ModelError);
+
+    auto cfg = smallHybrid();
+    cfg.extentSectors = 4;
+    EXPECT_THROW({ hs::HybridSystem bad(cfg); }, hu::ModelError);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests of the mechanical positioning model.
+ */
+#include <gtest/gtest.h>
+
+#include "hdd/drive_catalog.h"
+#include "sim/mechanics.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::hdd;
+namespace hs = hddtherm::sim;
+
+namespace {
+
+struct Rig
+{
+    hs::DiskAddressMap map;
+    hh::SeekModel seek;
+    hs::DiskMechanics mech;
+
+    explicit Rig(double rpm = 15000.0)
+        : map(hh::findDrive("Seagate Cheetah 15K.3")->layout()),
+          seek(hh::SeekProfile::forDiameter(2.6), map.layout().cylinders()),
+          mech(map, seek, rpm)
+    {}
+};
+
+} // namespace
+
+TEST(Mechanics, PhaseAdvancesWithTime)
+{
+    Rig rig(15000.0); // 4 ms per revolution
+    EXPECT_NEAR(rig.mech.revolutionSec(), 0.004, 1e-12);
+    EXPECT_NEAR(rig.mech.phaseAt(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(rig.mech.phaseAt(0.001), 0.25, 1e-9);
+    EXPECT_NEAR(rig.mech.phaseAt(0.004), 0.0, 1e-9);
+    EXPECT_NEAR(rig.mech.phaseAt(0.0055), 0.375, 1e-9);
+}
+
+TEST(Mechanics, PhaseContinuousAcrossRpmChange)
+{
+    Rig rig(15000.0);
+    const double before = rig.mech.phaseAt(0.003);
+    rig.mech.setRpm(30000.0, 0.003);
+    EXPECT_NEAR(rig.mech.phaseAt(0.003), before, 1e-12);
+    // Half the revolution time now.
+    EXPECT_NEAR(rig.mech.revolutionSec(), 0.002, 1e-12);
+}
+
+TEST(Mechanics, ZeroSeekSameCylinder)
+{
+    Rig rig;
+    const hs::PhysicalAddress addr{0, 0, 0, 0};
+    const auto bd = rig.mech.service(addr, 1, 0.0);
+    EXPECT_DOUBLE_EQ(bd.seekSec, 0.0);
+    EXPECT_EQ(rig.mech.lastSeekDistance(), 0);
+}
+
+TEST(Mechanics, SeekChargedForDistance)
+{
+    Rig rig;
+    rig.mech.setHeadCylinder(0);
+    const int target = rig.map.layout().cylinders() - 1;
+    const auto phys = hs::PhysicalAddress{target, 0, 0, 0};
+    const auto bd = rig.mech.service(phys, 1, 0.0);
+    EXPECT_NEAR(bd.seekSec, rig.seek.seekTimeSec(target), 1e-12);
+    EXPECT_EQ(rig.mech.headCylinder(), target);
+}
+
+TEST(Mechanics, RotationalLatencyBoundedByOneRevolution)
+{
+    Rig rig;
+    for (int s = 0; s < rig.map.sectorsPerTrack(0); s += 37) {
+        hs::PhysicalAddress addr{0, 0, s, 0};
+        const auto bd = rig.mech.service(addr, 1, 0.1234 * s);
+        EXPECT_GE(bd.rotationSec, 0.0);
+        EXPECT_LT(bd.rotationSec, rig.mech.revolutionSec());
+    }
+}
+
+TEST(Mechanics, RotationalLatencyHitsExactSector)
+{
+    Rig rig;
+    // At t=0 the head is over sector 0 of any track.  Requesting sector k
+    // costs exactly k/N revolutions.
+    const int per_track = rig.map.sectorsPerTrack(0);
+    const int k = per_track / 4;
+    hs::PhysicalAddress addr{0, 0, k, 0};
+    const auto bd = rig.mech.service(addr, 1, 0.0);
+    EXPECT_NEAR(bd.rotationSec,
+                double(k) / per_track * rig.mech.revolutionSec(), 1e-9);
+}
+
+TEST(Mechanics, TransferTimeProportionalToSectors)
+{
+    Rig rig;
+    hs::PhysicalAddress addr{0, 0, 0, 0};
+    const auto one = rig.mech.service(addr, 1, 0.0);
+    rig.mech.setHeadCylinder(0);
+    const auto ten = rig.mech.service(addr, 10, 0.0);
+    EXPECT_NEAR(ten.transferSec, 10.0 * one.transferSec, 1e-9);
+}
+
+TEST(Mechanics, HigherRpmIsFasterEndToEnd)
+{
+    Rig slow(10000.0), fast(20000.0);
+    hs::PhysicalAddress addr{5000, 2, 100, 0};
+    const auto bd_slow = slow.mech.service(addr, 64, 0.0);
+    const auto bd_fast = fast.mech.service(addr, 64, 0.0);
+    // Same seek; rotation + transfer shrink with RPM.
+    EXPECT_DOUBLE_EQ(bd_slow.seekSec, bd_fast.seekSec);
+    EXPECT_LT(bd_fast.rotationSec + bd_fast.transferSec,
+              bd_slow.rotationSec + bd_slow.transferSec);
+}
+
+TEST(Mechanics, TrackBoundaryCrossingChargesHeadSwitch)
+{
+    Rig rig;
+    const int per_track = rig.map.sectorsPerTrack(0);
+    hs::PhysicalAddress addr{0, 0, per_track - 2, 0};
+    const auto bd = rig.mech.service(addr, 4, 0.0);
+    EXPECT_EQ(bd.trackSwitches, 1);
+}
+
+TEST(Mechanics, MultiTrackTransferCrossesCylinders)
+{
+    Rig rig;
+    const auto per_cyl = rig.map.sectorsPerCylinder(0);
+    hs::PhysicalAddress addr{0, 0, 0, 0};
+    const auto bd = rig.mech.service(addr, int(per_cyl) + 10, 0.0);
+    EXPECT_EQ(rig.mech.headCylinder(), 1);
+    EXPECT_EQ(bd.trackSwitches, rig.map.layout().surfaces());
+}
+
+TEST(Mechanics, RejectsInvalidService)
+{
+    Rig rig;
+    hs::PhysicalAddress addr{0, 0, 0, 0};
+    EXPECT_THROW(rig.mech.service(addr, 0, 0.0),
+                 hddtherm::util::ModelError);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of RAID-1 mirroring and read steering.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/storage_system.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::SystemConfig
+mirrorConfig(int disks = 2)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.tech = {400e3, 30e3};
+    cfg.disk.rpm = 10000.0;
+    cfg.disks = disks;
+    cfg.raid = hs::RaidLevel::Raid1;
+    return cfg;
+}
+
+hs::IoRequest
+make(std::uint64_t id, double arrival, std::int64_t lba, int sectors,
+     hs::IoType type = hs::IoType::Read)
+{
+    hs::IoRequest r;
+    r.id = id;
+    r.arrival = arrival;
+    r.lba = lba;
+    r.sectors = sectors;
+    r.type = type;
+    return r;
+}
+
+} // namespace
+
+TEST(Raid1, CapacityIsOneMember)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    EXPECT_EQ(sys.logicalSectors(), sys.disk(0).totalSectors());
+    EXPECT_EQ(hs::arrayLogicalSectors(hs::RaidLevel::Raid1, 2, 500), 500);
+}
+
+TEST(Raid1, WritesGoToAllMirrors)
+{
+    hs::StorageSystem sys(mirrorConfig(3));
+    const auto metrics =
+        sys.run({make(1, 0.0, 0, 8, hs::IoType::Write)});
+    EXPECT_EQ(metrics.count(), 1u);
+    for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(sys.disk(d).activity().completions, 1u) << d;
+}
+
+TEST(Raid1, ReadsGoToOneMirror)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    const auto metrics = sys.run({make(1, 0.0, 0, 8)});
+    EXPECT_EQ(metrics.count(), 1u);
+    EXPECT_EQ(sys.disk(0).activity().completions +
+                  sys.disk(1).activity().completions,
+              1u);
+}
+
+TEST(Raid1, LeastLoadedSteeringBalancesReads)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    std::vector<hs::IoRequest> load;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        load.push_back(
+            make(i + 1, double(i) * 1e-4, std::int64_t(i) * 1000, 8));
+    sys.run(load);
+    const auto a = sys.disk(0).activity().completions;
+    const auto b = sys.disk(1).activity().completions;
+    EXPECT_EQ(a + b, 100u);
+    EXPECT_GT(a, 25u);
+    EXPECT_GT(b, 25u);
+}
+
+TEST(Raid1, PreferredMirrorReceivesAllReads)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    sys.setPreferredMirror(1);
+    std::vector<hs::IoRequest> load;
+    for (std::uint64_t i = 0; i < 50; ++i)
+        load.push_back(
+            make(i + 1, double(i) * 1e-4, std::int64_t(i) * 1000, 8));
+    sys.run(load);
+    EXPECT_EQ(sys.disk(0).activity().completions, 0u);
+    EXPECT_EQ(sys.disk(1).activity().completions, 50u);
+}
+
+TEST(Raid1, PreferenceCanBeCleared)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    sys.setPreferredMirror(0);
+    sys.setPreferredMirror(-1);
+    std::vector<hs::IoRequest> load;
+    for (std::uint64_t i = 0; i < 60; ++i)
+        load.push_back(
+            make(i + 1, double(i) * 1e-4, std::int64_t(i) * 1000, 8));
+    sys.run(load);
+    EXPECT_GT(sys.disk(0).activity().completions, 0u);
+    EXPECT_GT(sys.disk(1).activity().completions, 0u);
+}
+
+TEST(Raid1, MirroredWriteSlowerThanSingleRead)
+{
+    hs::StorageSystem sys(mirrorConfig());
+    const auto write_metrics =
+        sys.run({make(1, 0.0, 50000, 8, hs::IoType::Write)});
+    hs::StorageSystem sys2(mirrorConfig());
+    const auto read_metrics = sys2.run({make(1, 0.0, 50000, 8)});
+    // The write waits for the slower of two independent positionings.
+    EXPECT_GE(write_metrics.meanMs(), read_metrics.meanMs() - 1e-9);
+}
+
+TEST(Raid1, RejectsBadConfigs)
+{
+    EXPECT_THROW({ hs::StorageSystem sys(mirrorConfig(1)); },
+                 hu::ModelError);
+    hs::StorageSystem sys(mirrorConfig());
+    EXPECT_THROW(sys.setPreferredMirror(2), hu::ModelError);
+    EXPECT_THROW(sys.setPreferredMirror(-2), hu::ModelError);
+}
+
+TEST(Raid1, NameIsStable)
+{
+    EXPECT_STREQ(hs::raidLevelName(hs::RaidLevel::Raid1), "RAID-1");
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property tests of the RAID striping arithmetic.
+ */
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "sim/raid.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+TEST(Raid0, SingleUnitStaysOnOneDisk)
+{
+    const auto t = hs::stripeRaid0(0, 16, 4, 16);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].disk, 0);
+    EXPECT_EQ(t[0].lba, 0);
+    EXPECT_EQ(t[0].sectors, 16);
+}
+
+TEST(Raid0, CrossingUnitsRotateDisks)
+{
+    const auto t = hs::stripeRaid0(8, 32, 4, 16);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].disk, 0);
+    EXPECT_EQ(t[0].lba, 8);
+    EXPECT_EQ(t[0].sectors, 8);
+    EXPECT_EQ(t[1].disk, 1);
+    EXPECT_EQ(t[1].lba, 0);
+    EXPECT_EQ(t[1].sectors, 16);
+    EXPECT_EQ(t[2].disk, 2);
+    EXPECT_EQ(t[2].lba, 0);
+    EXPECT_EQ(t[2].sectors, 8);
+}
+
+TEST(Raid0, WrapsToNextRow)
+{
+    // Unit index 4 on a 4-disk array is disk 0, second row.
+    const auto t = hs::stripeRaid0(64, 16, 4, 16);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].disk, 0);
+    EXPECT_EQ(t[0].lba, 16);
+}
+
+TEST(Raid0, SectorsConserved)
+{
+    for (std::int64_t lba : {0, 5, 123, 1000, 8191}) {
+        for (int sectors : {1, 7, 16, 33, 100}) {
+            const auto ts = hs::stripeRaid0(lba, sectors, 5, 16);
+            int total = 0;
+            for (const auto& t : ts)
+                total += t.sectors;
+            EXPECT_EQ(total, sectors);
+        }
+    }
+}
+
+TEST(Raid5, ParityRotatesLeftSymmetric)
+{
+    EXPECT_EQ(hs::raid5ParityDisk(0, 4), 3);
+    EXPECT_EQ(hs::raid5ParityDisk(1, 4), 2);
+    EXPECT_EQ(hs::raid5ParityDisk(2, 4), 1);
+    EXPECT_EQ(hs::raid5ParityDisk(3, 4), 0);
+    EXPECT_EQ(hs::raid5ParityDisk(4, 4), 3);
+}
+
+TEST(Raid5, DataNeverLandsOnParityDisk)
+{
+    const int disks = 5, stripe = 16;
+    for (std::int64_t lba = 0; lba < 5000; lba += 13) {
+        const auto ts = hs::stripeRaid5Data(lba, 40, disks, stripe);
+        for (const auto& t : ts) {
+            const auto row = hs::raid5RowOfTarget(t, stripe);
+            EXPECT_NE(t.disk, hs::raid5ParityDisk(row, disks))
+                << "lba " << lba;
+        }
+    }
+}
+
+TEST(Raid5, SectorsConserved)
+{
+    for (std::int64_t lba : {0, 3, 47, 999}) {
+        for (int sectors : {1, 15, 16, 17, 64, 200}) {
+            const auto ts = hs::stripeRaid5Data(lba, sectors, 4, 16);
+            int total = 0;
+            for (const auto& t : ts)
+                total += t.sectors;
+            EXPECT_EQ(total, sectors);
+        }
+    }
+}
+
+TEST(Raid5, ConsecutiveUnitsFillRowBeforeAdvancing)
+{
+    // 4 disks => 3 data units per row.  Units 0,1,2 share row 0; unit 3
+    // starts row 1.
+    const int stripe = 16;
+    const auto u0 = hs::stripeRaid5Data(0, 16, 4, stripe).front();
+    const auto u2 = hs::stripeRaid5Data(32, 16, 4, stripe).front();
+    const auto u3 = hs::stripeRaid5Data(48, 16, 4, stripe).front();
+    EXPECT_EQ(hs::raid5RowOfTarget(u0, stripe), 0);
+    EXPECT_EQ(hs::raid5RowOfTarget(u2, stripe), 0);
+    EXPECT_EQ(hs::raid5RowOfTarget(u3, stripe), 1);
+    // Distinct disks within a row.
+    EXPECT_NE(u0.disk, u2.disk);
+}
+
+TEST(Raid5, ParityTargetShape)
+{
+    const auto p = hs::raid5ParityTarget(7, 4, 16);
+    EXPECT_EQ(p.disk, hs::raid5ParityDisk(7, 4));
+    EXPECT_EQ(p.lba, 7 * 16);
+    EXPECT_EQ(p.sectors, 16);
+}
+
+TEST(ArrayCapacity, PerLevel)
+{
+    EXPECT_EQ(hs::arrayLogicalSectors(hs::RaidLevel::None, 8, 1000), 1000);
+    EXPECT_EQ(hs::arrayLogicalSectors(hs::RaidLevel::Raid0, 8, 1000), 8000);
+    EXPECT_EQ(hs::arrayLogicalSectors(hs::RaidLevel::Raid5, 8, 1000), 7000);
+}
+
+TEST(ArrayCapacity, Raid5NeedsThreeDisks)
+{
+    EXPECT_THROW(hs::arrayLogicalSectors(hs::RaidLevel::Raid5, 2, 1000),
+                 hu::ModelError);
+}
+
+TEST(RaidNames, AreStable)
+{
+    EXPECT_STREQ(hs::raidLevelName(hs::RaidLevel::None), "JBOD");
+    EXPECT_STREQ(hs::raidLevelName(hs::RaidLevel::Raid0), "RAID-0");
+    EXPECT_STREQ(hs::raidLevelName(hs::RaidLevel::Raid5), "RAID-5");
+}
+
+TEST(RaidValidation, RejectsBadArguments)
+{
+    EXPECT_THROW(hs::stripeRaid0(-1, 16, 4, 16), hu::ModelError);
+    EXPECT_THROW(hs::stripeRaid0(0, 0, 4, 16), hu::ModelError);
+    EXPECT_THROW(hs::stripeRaid0(0, 16, 0, 16), hu::ModelError);
+    EXPECT_THROW(hs::stripeRaid0(0, 16, 4, 0), hu::ModelError);
+    EXPECT_THROW(hs::raid5ParityDisk(-1, 4), hu::ModelError);
+}
+
+/// Property: across widths, every logical sector maps to exactly one
+/// (disk, lba) and distinct logical units never collide.
+class RaidWidthSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RaidWidthSweep, Raid5MappingIsInjective)
+{
+    const int disks = GetParam();
+    const int stripe = 16;
+    std::set<std::pair<int, std::int64_t>> seen;
+    for (std::int64_t unit = 0; unit < 200; ++unit) {
+        const auto ts =
+            hs::stripeRaid5Data(unit * stripe, stripe, disks, stripe);
+        ASSERT_EQ(ts.size(), 1u);
+        const auto key = std::make_pair(ts[0].disk, ts[0].lba);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "collision at unit " << unit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RaidWidthSweep,
+                         ::testing::Values(3, 4, 5, 8, 15));

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the request schedulers.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::IoRequest
+req(std::uint64_t id)
+{
+    hs::IoRequest r;
+    r.id = id;
+    return r;
+}
+
+} // namespace
+
+TEST(Scheduler, FcfsPreservesArrivalOrder)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Fcfs);
+    s.push(req(1), 900);
+    s.push(req(2), 10);
+    s.push(req(3), 500);
+    EXPECT_EQ(s.pop(0).request.id, 1u);
+    EXPECT_EQ(s.pop(0).request.id, 2u);
+    EXPECT_EQ(s.pop(0).request.id, 3u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, SstfPicksNearestCylinder)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Sstf);
+    s.push(req(1), 900);
+    s.push(req(2), 10);
+    s.push(req(3), 500);
+    EXPECT_EQ(s.pop(480).request.id, 3u);
+    EXPECT_EQ(s.pop(500).request.id, 1u);
+    EXPECT_EQ(s.pop(900).request.id, 2u);
+}
+
+TEST(Scheduler, SstfBreaksTiesByArrival)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Sstf);
+    s.push(req(1), 110);
+    s.push(req(2), 90);
+    EXPECT_EQ(s.pop(100).request.id, 1u); // equal distance, first wins
+}
+
+TEST(Scheduler, ElevatorSweepsUpThenDown)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Elevator);
+    s.push(req(1), 300);
+    s.push(req(2), 100);
+    s.push(req(3), 200);
+    // Head at 150 sweeping up: 200, 300, then reverse to 100.
+    EXPECT_EQ(s.pop(150).request.id, 3u);
+    EXPECT_EQ(s.pop(200).request.id, 1u);
+    EXPECT_EQ(s.pop(300).request.id, 2u);
+}
+
+TEST(Scheduler, ElevatorServesEqualCylinder)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Elevator);
+    s.push(req(1), 100);
+    EXPECT_EQ(s.pop(100).request.id, 1u);
+}
+
+TEST(Scheduler, PopOnEmptyThrows)
+{
+    hs::Scheduler s(hs::SchedulerPolicy::Fcfs);
+    EXPECT_THROW(s.pop(0), hu::ModelError);
+}
+
+TEST(Scheduler, PolicyNames)
+{
+    EXPECT_STREQ(hs::schedulerPolicyName(hs::SchedulerPolicy::Fcfs),
+                 "FCFS");
+    EXPECT_STREQ(hs::schedulerPolicyName(hs::SchedulerPolicy::Sstf),
+                 "SSTF");
+    EXPECT_STREQ(hs::schedulerPolicyName(hs::SchedulerPolicy::Elevator),
+                 "ELEVATOR");
+}
+
+/// Property: every policy eventually serves every request exactly once.
+class SchedulerPolicySweep
+    : public ::testing::TestWithParam<hs::SchedulerPolicy>
+{};
+
+TEST_P(SchedulerPolicySweep, ServesAllExactlyOnce)
+{
+    hs::Scheduler s(GetParam());
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        s.push(req(std::uint64_t(i)), (i * 7919) % 10000);
+    std::vector<bool> seen(n, false);
+    int head = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto e = s.pop(head);
+        head = e.cylinder;
+        ASSERT_LT(e.request.id, std::uint64_t(n));
+        EXPECT_FALSE(seen[std::size_t(e.request.id)]);
+        seen[std::size_t(e.request.id)] = true;
+    }
+    EXPECT_TRUE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerPolicySweep,
+                         ::testing::Values(hs::SchedulerPolicy::Fcfs,
+                                           hs::SchedulerPolicy::Sstf,
+                                           hs::SchedulerPolicy::Elevator));

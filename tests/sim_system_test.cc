@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Integration tests of the storage system (striping, RMW, metrics).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/storage_system.h"
+#include "util/error.h"
+
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::SystemConfig
+arrayConfig(int disks, hs::RaidLevel raid)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.tech = {400e3, 30e3};
+    cfg.disk.rpm = 10000.0;
+    cfg.disks = disks;
+    cfg.raid = raid;
+    return cfg;
+}
+
+hs::IoRequest
+make(std::uint64_t id, double arrival, std::int64_t lba, int sectors,
+     hs::IoType type = hs::IoType::Read, int device = 0)
+{
+    hs::IoRequest r;
+    r.id = id;
+    r.arrival = arrival;
+    r.device = device;
+    r.lba = lba;
+    r.sectors = sectors;
+    r.type = type;
+    return r;
+}
+
+} // namespace
+
+TEST(StorageSystem, JbodRoutesByDevice)
+{
+    hs::StorageSystem sys(arrayConfig(3, hs::RaidLevel::None));
+    std::vector<hs::IoRequest> load;
+    load.push_back(make(1, 0.0, 0, 8, hs::IoType::Read, 0));
+    load.push_back(make(2, 0.0, 0, 8, hs::IoType::Read, 2));
+    const auto metrics = sys.run(load);
+    EXPECT_EQ(metrics.count(), 2u);
+    EXPECT_EQ(sys.disk(0).activity().completions, 1u);
+    EXPECT_EQ(sys.disk(1).activity().completions, 0u);
+    EXPECT_EQ(sys.disk(2).activity().completions, 1u);
+}
+
+TEST(StorageSystem, JbodLogicalCapacityIsPerDevice)
+{
+    hs::StorageSystem sys(arrayConfig(3, hs::RaidLevel::None));
+    EXPECT_EQ(sys.logicalSectors(), sys.disk(0).totalSectors());
+}
+
+TEST(StorageSystem, Raid0SpreadsAcrossDisks)
+{
+    hs::StorageSystem sys(arrayConfig(4, hs::RaidLevel::Raid0));
+    EXPECT_EQ(sys.logicalSectors(), 4 * sys.disk(0).totalSectors());
+    // A 64-sector read at stripe 16 touches all four disks.
+    const auto metrics = sys.run({make(1, 0.0, 0, 64)});
+    EXPECT_EQ(metrics.count(), 1u);
+    for (int d = 0; d < 4; ++d)
+        EXPECT_EQ(sys.disk(d).activity().completions, 1u) << d;
+}
+
+TEST(StorageSystem, Raid5ReadTouchesOnlyDataDisks)
+{
+    hs::StorageSystem sys(arrayConfig(4, hs::RaidLevel::Raid5));
+    const auto metrics = sys.run({make(1, 0.0, 0, 16)});
+    EXPECT_EQ(metrics.count(), 1u);
+    std::uint64_t total = 0;
+    for (int d = 0; d < 4; ++d)
+        total += sys.disk(d).activity().completions;
+    EXPECT_EQ(total, 1u); // one data unit, no parity traffic
+}
+
+TEST(StorageSystem, Raid5SmallWriteDoesReadModifyWrite)
+{
+    hs::StorageSystem sys(arrayConfig(4, hs::RaidLevel::Raid5));
+    const auto metrics =
+        sys.run({make(1, 0.0, 0, 16, hs::IoType::Write)});
+    EXPECT_EQ(metrics.count(), 1u);
+    // One data unit write: read old data + old parity, write both = 4 ops.
+    std::uint64_t total = 0;
+    for (int d = 0; d < 4; ++d)
+        total += sys.disk(d).activity().completions;
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(StorageSystem, Raid5WriteSpanningRowsAmplifies)
+{
+    hs::StorageSystem sys(arrayConfig(4, hs::RaidLevel::Raid5));
+    // 3 data units per row; 4 units span two rows: 4 data + 2 parity,
+    // each read+written = 12 ops.
+    const auto metrics =
+        sys.run({make(1, 0.0, 0, 64, hs::IoType::Write)});
+    EXPECT_EQ(metrics.count(), 1u);
+    std::uint64_t total = 0;
+    for (int d = 0; d < 4; ++d)
+        total += sys.disk(d).activity().completions;
+    EXPECT_EQ(total, 12u);
+}
+
+TEST(StorageSystem, Raid5WriteSlowerThanRead)
+{
+    hs::StorageSystem read_sys(arrayConfig(4, hs::RaidLevel::Raid5));
+    const auto read_metrics = read_sys.run({make(1, 0.0, 1024, 16)});
+    hs::StorageSystem write_sys(arrayConfig(4, hs::RaidLevel::Raid5));
+    const auto write_metrics =
+        write_sys.run({make(1, 0.0, 1024, 16, hs::IoType::Write)});
+    EXPECT_GT(write_metrics.meanMs(), read_metrics.meanMs());
+}
+
+TEST(StorageSystem, MetricsCountAllLogicalRequests)
+{
+    hs::StorageSystem sys(arrayConfig(3, hs::RaidLevel::None));
+    std::vector<hs::IoRequest> load;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        load.push_back(make(i + 1, double(i) * 0.001,
+                            std::int64_t(i) * 1000 % 100000, 8,
+                            i % 3 ? hs::IoType::Read : hs::IoType::Write,
+                            int(i % 3)));
+    }
+    const auto metrics = sys.run(load);
+    EXPECT_EQ(metrics.count(), 100u);
+    EXPECT_GT(metrics.meanMs(), 0.0);
+    EXPECT_EQ(sys.inflight(), 0u);
+}
+
+TEST(StorageSystem, CompletionCallbackFires)
+{
+    hs::StorageSystem sys(arrayConfig(1, hs::RaidLevel::None));
+    int called = 0;
+    sys.setCompletionCallback(
+        [&called](const hs::IoCompletion&) { ++called; });
+    sys.run({make(1, 0.0, 0, 8), make(2, 0.001, 64, 8)});
+    EXPECT_EQ(called, 2);
+}
+
+TEST(StorageSystem, ArrivalTimesAreHonored)
+{
+    hs::StorageSystem sys(arrayConfig(1, hs::RaidLevel::None));
+    hs::IoCompletion seen;
+    sys.setCompletionCallback(
+        [&seen](const hs::IoCompletion& c) { seen = c; });
+    sys.run({make(1, 5.0, 0, 8)});
+    EXPECT_DOUBLE_EQ(seen.arrival, 5.0);
+    EXPECT_GT(seen.finish, 5.0);
+}
+
+TEST(StorageSystem, GateAllPausesArray)
+{
+    hs::StorageSystem sys(arrayConfig(2, hs::RaidLevel::None));
+    sys.gateAll(true);
+    sys.submit(make(1, 0.0, 0, 8));
+    sys.runAll();
+    EXPECT_EQ(sys.metrics().count(), 0u);
+    sys.gateAll(false);
+    sys.runAll();
+    EXPECT_EQ(sys.metrics().count(), 1u);
+}
+
+TEST(StorageSystem, RejectsBadRequests)
+{
+    hs::StorageSystem sys(arrayConfig(2, hs::RaidLevel::None));
+    EXPECT_THROW(sys.submit(make(1, 0.0, -5, 8)), hu::ModelError);
+    EXPECT_THROW(sys.submit(make(2, 0.0, sys.logicalSectors(), 8)),
+                 hu::ModelError);
+    EXPECT_THROW(
+        sys.submit(make(3, 0.0, 0, 8, hs::IoType::Read, 7)),
+        hu::ModelError);
+}
+
+TEST(StorageSystem, Raid5RequiresThreeDisks)
+{
+    EXPECT_THROW(
+        { hs::StorageSystem sys(arrayConfig(2, hs::RaidLevel::Raid5)); },
+        hu::ModelError);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the generic thermal network and its solvers.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "thermal/network.h"
+#include "util/error.h"
+
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+namespace {
+
+/// One node heated with Q, tied to an ambient boundary through G:
+/// steady dT = Q / G, transient tau = C / G.
+struct SingleNodeRig
+{
+    ht::ThermalNetwork net;
+    ht::ThermalNetwork::NodeId ambient;
+    ht::ThermalNetwork::NodeId body;
+
+    SingleNodeRig(double c, double g, double q, double ambient_temp = 20.0)
+    {
+        ambient = net.addBoundaryNode("ambient", ambient_temp);
+        body = net.addNode("body", c, ambient_temp);
+        net.setConductance(body, ambient, g);
+        net.setHeatInput(body, q);
+    }
+};
+
+} // namespace
+
+TEST(ThermalNetwork, SingleNodeSteadyState)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    const auto temps = rig.net.steadyState();
+    EXPECT_DOUBLE_EQ(temps[std::size_t(rig.ambient)], 20.0);
+    EXPECT_NEAR(temps[std::size_t(rig.body)], 25.0, 1e-9);
+}
+
+TEST(ThermalNetwork, TransientApproachesSteadyExponentially)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    const double tau = 100.0 / 2.0; // 50 s
+    rig.net.advance(tau, 0.01);
+    // After one time constant: 1 - e^-1 of the 5 K rise.
+    const double expected = 20.0 + 5.0 * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(rig.net.temperature(rig.body), expected, 0.02);
+}
+
+TEST(ThermalNetwork, ImplicitStepStableWithTinyCapacitance)
+{
+    // A nearly massless node (like the drive's internal air) must not blow
+    // up even with steps far larger than its own time constant.
+    ht::ThermalNetwork net;
+    const auto amb = net.addBoundaryNode("ambient", 25.0);
+    const auto air = net.addNode("air", 0.1, 25.0);
+    net.setConductance(air, amb, 2.0);
+    net.setHeatInput(air, 4.0);
+    net.advance(10.0, 0.5); // dt = 10x the node time constant
+    EXPECT_NEAR(net.temperature(air), 27.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(net.temperature(air)));
+}
+
+TEST(ThermalNetwork, SettleMatchesSteadyState)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    rig.net.settleToSteadyState();
+    EXPECT_NEAR(rig.net.temperature(rig.body), 25.0, 1e-9);
+}
+
+TEST(ThermalNetwork, TwoNodeChainSteadyState)
+{
+    // ambient --G1-- a --G2-- b(Q): T_b = amb + Q/G1 + Q/G2.
+    ht::ThermalNetwork net;
+    const auto amb = net.addBoundaryNode("ambient", 10.0);
+    const auto a = net.addNode("a", 50.0, 10.0);
+    const auto b = net.addNode("b", 50.0, 10.0);
+    net.setConductance(amb, a, 4.0);
+    net.setConductance(a, b, 1.0);
+    net.setHeatInput(b, 8.0);
+    const auto temps = net.steadyState();
+    EXPECT_NEAR(temps[std::size_t(a)], 12.0, 1e-9);
+    EXPECT_NEAR(temps[std::size_t(b)], 20.0, 1e-9);
+}
+
+TEST(ThermalNetwork, EnergyConservationAtSteadyState)
+{
+    // Heat into the network equals heat crossing into the boundary.
+    ht::ThermalNetwork net;
+    const auto amb = net.addBoundaryNode("ambient", 0.0);
+    const auto a = net.addNode("a", 10.0, 0.0);
+    const auto b = net.addNode("b", 10.0, 0.0);
+    net.setConductance(amb, a, 3.0);
+    net.setConductance(a, b, 0.7);
+    net.setHeatInput(a, 2.0);
+    net.setHeatInput(b, 5.0);
+    const auto temps = net.steadyState();
+    const double flux_out = 3.0 * (temps[std::size_t(a)] - 0.0);
+    EXPECT_NEAR(flux_out, 7.0, 1e-9);
+}
+
+TEST(ThermalNetwork, IsolatedNodeIsSingular)
+{
+    ht::ThermalNetwork net;
+    net.addBoundaryNode("ambient", 0.0);
+    net.addNode("stranded", 10.0, 0.0);
+    EXPECT_THROW(net.steadyState(), hu::ModelError);
+}
+
+TEST(ThermalNetwork, SetConductanceOverwrites)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    rig.net.setConductance(rig.body, rig.ambient, 5.0);
+    EXPECT_DOUBLE_EQ(rig.net.conductance(rig.body, rig.ambient), 5.0);
+    EXPECT_DOUBLE_EQ(rig.net.conductance(rig.ambient, rig.body), 5.0);
+    const auto temps = rig.net.steadyState();
+    EXPECT_NEAR(temps[std::size_t(rig.body)], 22.0, 1e-9);
+}
+
+TEST(ThermalNetwork, BoundaryTemperatureMoves)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    rig.net.setTemperature(rig.ambient, 30.0);
+    const auto temps = rig.net.steadyState();
+    EXPECT_NEAR(temps[std::size_t(rig.body)], 35.0, 1e-9);
+}
+
+TEST(ThermalNetwork, HeatIntoBoundaryRejected)
+{
+    ht::ThermalNetwork net;
+    const auto amb = net.addBoundaryNode("ambient", 0.0);
+    EXPECT_THROW(net.setHeatInput(amb, 1.0), hu::ModelError);
+}
+
+TEST(ThermalNetwork, RejectsInvalidEdges)
+{
+    ht::ThermalNetwork net;
+    const auto a = net.addNode("a", 1.0, 0.0);
+    EXPECT_THROW(net.setConductance(a, a, 1.0), hu::ModelError);
+    EXPECT_THROW(net.setConductance(a, 99, 1.0), hu::ModelError);
+    EXPECT_THROW(net.setConductance(a, 0, -1.0), hu::ModelError);
+}
+
+TEST(ThermalNetwork, AdvanceObserverSeesMonotoneWarmup)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    double prev = 20.0;
+    int calls = 0;
+    rig.net.advance(20.0, 0.1,
+                    [&](double, const ht::ThermalNetwork& n) {
+                        const double t = n.temperature(1);
+                        EXPECT_GE(t, prev - 1e-12);
+                        prev = t;
+                        ++calls;
+                    });
+    EXPECT_EQ(calls, 200);
+}
+
+TEST(ThermalNetwork, SetAllTemperaturesSkipsBoundary)
+{
+    SingleNodeRig rig(100.0, 2.0, 10.0, 28.0);
+    rig.net.settleToSteadyState();
+    rig.net.setAllTemperatures(28.0);
+    EXPECT_DOUBLE_EQ(rig.net.temperature(rig.body), 28.0);
+    EXPECT_DOUBLE_EQ(rig.net.temperature(rig.ambient), 28.0);
+}
+
+/// Timestep-robustness property: the implicit integrator converges to the
+/// same trajectory endpoint across a wide range of step sizes.
+class TimestepSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(TimestepSweep, EndpointInsensitiveToStep)
+{
+    const double dt = GetParam();
+    SingleNodeRig rig(100.0, 2.0, 10.0);
+    rig.net.advance(200.0, dt);
+    // Analytic: 20 + 5 (1 - e^{-200/50}) = 24.908...
+    const double expected = 20.0 + 5.0 * (1.0 - std::exp(-4.0));
+    EXPECT_NEAR(rig.net.temperature(rig.body), expected, 0.05 + dt * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, TimestepSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0));

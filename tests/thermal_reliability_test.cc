@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests of the temperature-reliability scaling and its DTM tie-in.
+ */
+#include <gtest/gtest.h>
+
+#include "thermal/drive_thermal.h"
+#include "thermal/reliability.h"
+#include "util/error.h"
+
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+TEST(Reliability, UnityAtReference)
+{
+    EXPECT_DOUBLE_EQ(ht::failureRateFactor(28.0, 28.0), 1.0);
+    EXPECT_DOUBLE_EQ(ht::mttfFactor(28.0, 28.0), 1.0);
+}
+
+TEST(Reliability, FifteenDegreesDoubles)
+{
+    // The paper's motivating citation: +15 C doubles the failure rate.
+    EXPECT_DOUBLE_EQ(ht::failureRateFactor(43.0, 28.0), 2.0);
+    EXPECT_DOUBLE_EQ(ht::failureRateFactor(58.0, 28.0), 4.0);
+    EXPECT_DOUBLE_EQ(ht::mttfFactor(43.0, 28.0), 0.5);
+}
+
+TEST(Reliability, CoolerBuysCredit)
+{
+    EXPECT_DOUBLE_EQ(ht::failureRateFactor(13.0, 28.0), 0.5);
+    EXPECT_GT(ht::mttfFactor(20.0, 28.0), 1.0);
+}
+
+TEST(Reliability, MonotoneInTemperature)
+{
+    double prev = 0.0;
+    for (double t = 20.0; t <= 100.0; t += 5.0) {
+        const double f = ht::failureRateFactor(t);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Reliability, AfrScalesFromBase)
+{
+    // A 2%-AFR drive run 15 C hotter becomes a 4%-AFR drive.
+    EXPECT_NEAR(ht::annualizedFailureRate(43.0, 0.02, 28.0), 0.04, 1e-12);
+    EXPECT_THROW(ht::annualizedFailureRate(40.0, -0.01), hu::ModelError);
+}
+
+TEST(Reliability, EnvelopeOperationCostsAboutTwoPointTwo)
+{
+    // Running pinned at the 45.22 C envelope vs the 28 C ambient is a
+    // ~2.2x failure-rate multiplier — the margin DTM can claw back by
+    // cooling the average operating point.
+    const double factor =
+        ht::failureRateFactor(ht::kThermalEnvelopeC, 28.0);
+    EXPECT_GT(factor, 2.1);
+    EXPECT_LT(factor, 2.4);
+}
+
+TEST(Reliability, DtmCoolingImprovesMttf)
+{
+    // The paper's closing remark quantified: the same drive at the same
+    // speed, idle-VCM (DTM-throttled) vs flat out.
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.rpm = 15020.0;
+    cfg.vcmDuty = 1.0;
+    const double hot = ht::steadyAirTempC(cfg);
+    cfg.vcmDuty = 0.25;
+    const double cool = ht::steadyAirTempC(cfg);
+    EXPECT_GT(ht::mttfFactor(cool) / ht::mttfFactor(hot), 1.1);
+}

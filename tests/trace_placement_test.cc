@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the organ-pipe shuffle placement (paper §5.4) and the energy
+ * accounting bridge.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "trace/placement.h"
+#include "trace/synth.h"
+#include "util/error.h"
+
+namespace hc = hddtherm::core;
+namespace hs = hddtherm::sim;
+namespace htr = hddtherm::trace;
+namespace hu = hddtherm::util;
+
+namespace {
+
+constexpr std::int64_t kSpace = 1 << 20; // 512 MB of sectors
+constexpr std::int64_t kExtent = 1 << 12;
+
+/// A trace hammering two far-apart hot extents.
+htr::Trace
+bimodalTrace()
+{
+    htr::Trace t("bimodal");
+    double now = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        now += 0.001;
+        const std::int64_t lba = (i % 2 == 0) ? 100 : kSpace - 5000;
+        t.append({now, 0, lba, 8, false});
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(Shuffle, RemapIsABijectionOnExtents)
+{
+    const htr::ShuffleMap map(bimodalTrace(), kSpace, kExtent);
+    std::set<std::int64_t> seen;
+    for (std::int64_t e = 0; e < map.extents(); ++e) {
+        const std::int64_t mapped = map.remap(e * kExtent);
+        EXPECT_EQ(mapped % kExtent, 0);
+        EXPECT_TRUE(seen.insert(mapped / kExtent).second)
+            << "extent " << e << " collides";
+    }
+    EXPECT_EQ(std::int64_t(seen.size()), map.extents());
+}
+
+TEST(Shuffle, OffsetsWithinExtentPreserved)
+{
+    const htr::ShuffleMap map(bimodalTrace(), kSpace, kExtent);
+    const std::int64_t base = map.remap(100 - 100 % kExtent);
+    EXPECT_EQ(map.remap(100), base + 100 % kExtent);
+}
+
+TEST(Shuffle, HotExtentsLandAdjacentInTheMiddle)
+{
+    const htr::ShuffleMap map(bimodalTrace(), kSpace, kExtent);
+    const std::int64_t a = map.remap(100) / kExtent;
+    const std::int64_t b = map.remap(kSpace - 5000) / kExtent;
+    // The two hottest extents end up neighbors near the band center.
+    EXPECT_LE(std::abs(a - b), 1);
+    EXPECT_NEAR(double(a), double(map.extents()) / 2.0, 2.0);
+}
+
+TEST(Shuffle, ShrinksSpatialSpreadOfHotTraffic)
+{
+    const auto trace = bimodalTrace();
+    const htr::ShuffleMap map(trace, kSpace, kExtent);
+    const auto shuffled = map.apply(trace);
+    // Original alternates across nearly the whole band; shuffled stays
+    // within a couple of extents.
+    auto spread = [](const htr::Trace& t) {
+        std::int64_t lo = 1ll << 62, hi = 0;
+        for (const auto& r : t.records()) {
+            lo = std::min(lo, r.lba);
+            hi = std::max(hi, r.lba);
+        }
+        return hi - lo;
+    };
+    EXPECT_GT(spread(trace), kSpace / 2);
+    EXPECT_LT(spread(shuffled), 4 * kExtent);
+}
+
+TEST(Shuffle, ApplyPreservesTimesSizesAndOps)
+{
+    const auto trace = bimodalTrace();
+    const htr::ShuffleMap map(trace, kSpace, kExtent);
+    const auto shuffled = map.apply(trace);
+    ASSERT_EQ(shuffled.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); i += 97) {
+        EXPECT_DOUBLE_EQ(shuffled.records()[i].time,
+                         trace.records()[i].time);
+        EXPECT_EQ(shuffled.records()[i].sectors,
+                  trace.records()[i].sectors);
+        EXPECT_EQ(shuffled.records()[i].write, trace.records()[i].write);
+    }
+}
+
+TEST(Shuffle, ConcentrationDiagnostic)
+{
+    const htr::ShuffleMap map(bimodalTrace(), kSpace, kExtent);
+    // Two extents hold all accesses.
+    EXPECT_NEAR(map.accessConcentration(1.0), 1.0, 1e-9);
+    EXPECT_GT(map.accessConcentration(0.05), 0.99);
+}
+
+TEST(Shuffle, SkewedSyntheticTraceBenefits)
+{
+    htr::WorkloadSpec spec;
+    spec.requests = 20000;
+    spec.zipfTheta = 1.2;
+    spec.regions = 256;
+    spec.sequentialFraction = 0.1;
+    spec.seed = 5;
+    const auto trace =
+        htr::SyntheticWorkload(spec).generate(kSpace);
+    const htr::ShuffleMap map(trace, kSpace, kExtent);
+    // With theta = 1.2 the hot fifth of extents should capture most
+    // accesses.
+    EXPECT_GT(map.accessConcentration(0.2), 0.6);
+}
+
+TEST(Shuffle, RejectsBadArguments)
+{
+    EXPECT_THROW({ htr::ShuffleMap m(bimodalTrace(), 0, kExtent); },
+                 hu::ModelError);
+    EXPECT_THROW({ htr::ShuffleMap m(bimodalTrace(), kSpace, 0); },
+                 hu::ModelError);
+    const htr::ShuffleMap map(bimodalTrace(), kSpace, kExtent);
+    EXPECT_THROW(map.remap(-1), hu::ModelError);
+    EXPECT_THROW(map.remap(kSpace), hu::ModelError);
+}
+
+TEST(Energy, BreakdownMatchesPowerModel)
+{
+    hddtherm::hdd::PlatterGeometry g;
+    g.diameterInches = 2.6;
+    g.platters = 1;
+    hs::DiskActivity activity;
+    activity.seekSec = 10.0;
+    const auto e = hc::accountEnergy(g, 15098.0, activity, 100.0);
+    // Windage: 0.91 W for 100 s; VCM: 3.9 W for the 10 s of seeking.
+    EXPECT_NEAR(e.windageJ, 91.0, 0.5);
+    EXPECT_NEAR(e.vcmJ, 39.0, 1e-9);
+    EXPECT_GT(e.spindleJ, 500.0); // ~10 W motor loss
+    EXPECT_NEAR(e.meanPowerW(100.0), e.totalJ() / 100.0, 1e-12);
+}
+
+TEST(Energy, ScalesWithSeekActivity)
+{
+    hddtherm::hdd::PlatterGeometry g;
+    g.diameterInches = 2.1;
+    hs::DiskActivity quiet, busy;
+    quiet.seekSec = 1.0;
+    busy.seekSec = 50.0;
+    const auto a = hc::accountEnergy(g, 12000.0, quiet, 60.0);
+    const auto b = hc::accountEnergy(g, 12000.0, busy, 60.0);
+    EXPECT_DOUBLE_EQ(a.spindleJ, b.spindleJ);
+    EXPECT_DOUBLE_EQ(a.windageJ, b.windageJ);
+    EXPECT_GT(b.vcmJ, a.vcmJ);
+}
+
+TEST(Energy, RejectsInconsistentInterval)
+{
+    hddtherm::hdd::PlatterGeometry g;
+    hs::DiskActivity activity;
+    activity.seekSec = 10.0;
+    EXPECT_THROW(hc::accountEnergy(g, 10000.0, activity, 5.0),
+                 hu::ModelError);
+    EXPECT_THROW(hc::accountEnergy(g, 10000.0, activity, -1.0),
+                 hu::ModelError);
+}

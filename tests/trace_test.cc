@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests of the trace container, file round-trip and synthetic generators.
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.h"
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace htr = hddtherm::trace;
+namespace hu = hddtherm::util;
+
+namespace {
+
+htr::WorkloadSpec
+baseSpec()
+{
+    htr::WorkloadSpec spec;
+    spec.name = "test";
+    spec.devices = 4;
+    spec.requests = 20000;
+    spec.arrivalRatePerSec = 1000.0;
+    spec.readFraction = 0.7;
+    spec.sequentialFraction = 0.3;
+    spec.seed = 99;
+    return spec;
+}
+
+constexpr std::int64_t kSpace = 10'000'000;
+
+} // namespace
+
+TEST(Trace, AppendValidatesOrderingAndFields)
+{
+    htr::Trace t("x");
+    t.append({0.0, 0, 0, 8, false});
+    t.append({1.0, 1, 100, 8, true});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_THROW(t.append({0.5, 0, 0, 8, false}), hu::ModelError);
+    EXPECT_THROW(t.append({2.0, 0, -1, 8, false}), hu::ModelError);
+    EXPECT_THROW(t.append({2.0, 0, 0, 0, false}), hu::ModelError);
+}
+
+TEST(Trace, ToRequestsPreservesFields)
+{
+    htr::Trace t("x");
+    t.append({0.5, 2, 4096, 16, true});
+    const auto reqs = t.toRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].id, 1u);
+    EXPECT_DOUBLE_EQ(reqs[0].arrival, 0.5);
+    EXPECT_EQ(reqs[0].device, 2);
+    EXPECT_EQ(reqs[0].lba, 4096);
+    EXPECT_EQ(reqs[0].sectors, 16);
+    EXPECT_TRUE(reqs[0].isWrite());
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    htr::Trace t("roundtrip");
+    t.append({0.001, 0, 128, 8, false});
+    t.append({0.503, 3, 999, 32, true});
+    const std::string path = "/tmp/hddtherm_trace_test.csv";
+    ASSERT_TRUE(t.save(path));
+    const auto loaded = htr::Trace::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_NEAR(loaded.records()[0].time, 0.001, 1e-9);
+    EXPECT_EQ(loaded.records()[1].device, 3);
+    EXPECT_EQ(loaded.records()[1].lba, 999);
+    EXPECT_EQ(loaded.records()[1].sectors, 32);
+    EXPECT_TRUE(loaded.records()[1].write);
+    EXPECT_FALSE(loaded.records()[0].write);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    const std::string path = "/tmp/hddtherm_trace_bad.csv";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        std::fputs("time,device,lba,sectors,op\nnot,a,valid,line\n", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(htr::Trace::load(path), hu::ModelError);
+    std::remove(path.c_str());
+    EXPECT_THROW(htr::Trace::load("/nonexistent/trace.csv"),
+                 hu::ModelError);
+}
+
+TEST(Synth, DeterministicForSameSeed)
+{
+    const htr::SyntheticWorkload gen(baseSpec());
+    const auto a = gen.generate(kSpace);
+    const auto b = gen.generate(kSpace);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 977) {
+        EXPECT_DOUBLE_EQ(a.records()[i].time, b.records()[i].time);
+        EXPECT_EQ(a.records()[i].lba, b.records()[i].lba);
+    }
+}
+
+TEST(Synth, DifferentSeedsDiffer)
+{
+    auto spec = baseSpec();
+    const auto a = htr::SyntheticWorkload(spec).generate(kSpace);
+    spec.seed = 100;
+    const auto b = htr::SyntheticWorkload(spec).generate(kSpace);
+    int same = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        same += (a.records()[i].lba == b.records()[i].lba);
+    EXPECT_LT(same, 10);
+}
+
+TEST(Synth, HonorsArrivalRate)
+{
+    const auto t = htr::SyntheticWorkload(baseSpec()).generate(kSpace);
+    const auto stats = htr::analyze(t);
+    EXPECT_NEAR(stats.arrivalRatePerSec, 1000.0, 50.0);
+}
+
+TEST(Synth, HonorsReadFraction)
+{
+    const auto t = htr::SyntheticWorkload(baseSpec()).generate(kSpace);
+    const auto stats = htr::analyze(t);
+    EXPECT_NEAR(stats.readFraction, 0.7, 0.02);
+}
+
+TEST(Synth, SequentialFractionMaterializes)
+{
+    auto spec = baseSpec();
+    spec.sequentialFraction = 0.5;
+    const auto t = htr::SyntheticWorkload(spec).generate(kSpace);
+    const auto stats = htr::analyze(t);
+    // Streams restart on region jumps, so the observed fraction tracks
+    // the parameter closely but not exactly.
+    EXPECT_NEAR(stats.sequentialFraction, 0.5, 0.05);
+
+    spec.sequentialFraction = 0.0;
+    const auto t0 = htr::SyntheticWorkload(spec).generate(kSpace);
+    EXPECT_LT(htr::analyze(t0).sequentialFraction, 0.02);
+}
+
+TEST(Synth, StaysWithinLogicalSpace)
+{
+    auto spec = baseSpec();
+    spec.maxSectors = 512;
+    const auto t = htr::SyntheticWorkload(spec).generate(kSpace);
+    for (const auto& r : t.records()) {
+        EXPECT_GE(r.lba, 0);
+        EXPECT_LE(r.lba + r.sectors, kSpace);
+    }
+}
+
+TEST(Synth, SizesWithinBounds)
+{
+    auto spec = baseSpec();
+    spec.minSectors = 4;
+    spec.maxSectors = 64;
+    const auto t = htr::SyntheticWorkload(spec).generate(kSpace);
+    for (const auto& r : t.records()) {
+        EXPECT_GE(r.sectors, 4);
+        EXPECT_LE(r.sectors, 64);
+    }
+}
+
+TEST(Synth, DevicesAllUsed)
+{
+    const auto t = htr::SyntheticWorkload(baseSpec()).generate(kSpace);
+    const auto stats = htr::analyze(t);
+    EXPECT_EQ(stats.devices, 4);
+}
+
+TEST(Synth, BurstinessIncreasesVarianceNotMean)
+{
+    auto spec = baseSpec();
+    spec.requests = 50000;
+    const auto smooth = htr::SyntheticWorkload(spec).generate(kSpace);
+    spec.burstiness = 0.7;
+    const auto bursty = htr::SyntheticWorkload(spec).generate(kSpace);
+    const auto s1 = htr::analyze(smooth);
+    const auto s2 = htr::analyze(bursty);
+    // Same long-run rate...
+    EXPECT_NEAR(s2.arrivalRatePerSec, s1.arrivalRatePerSec,
+                0.1 * s1.arrivalRatePerSec);
+    // ...but burstier gaps: compare squared coefficient of variation.
+    auto scv = [](const htr::Trace& t) {
+        double sum = 0.0, sumsq = 0.0;
+        const auto& r = t.records();
+        for (std::size_t i = 1; i < r.size(); ++i) {
+            const double gap = r[i].time - r[i - 1].time;
+            sum += gap;
+            sumsq += gap * gap;
+        }
+        const double n = double(r.size() - 1);
+        const double mean = sum / n;
+        return (sumsq / n - mean * mean) / (mean * mean);
+    };
+    EXPECT_GT(scv(bursty), 1.5 * scv(smooth));
+}
+
+TEST(Synth, RejectsInvalidSpecs)
+{
+    auto spec = baseSpec();
+    spec.devices = 0;
+    EXPECT_THROW({ htr::SyntheticWorkload g(spec); }, hu::ModelError);
+    spec = baseSpec();
+    spec.burstiness = 1.0;
+    EXPECT_THROW({ htr::SyntheticWorkload g(spec); }, hu::ModelError);
+    spec = baseSpec();
+    spec.minSectors = 100;
+    spec.meanSectors = 8;
+    EXPECT_THROW({ htr::SyntheticWorkload g(spec); }, hu::ModelError);
+}
+
+TEST(Trace, LoadSpcFormat)
+{
+    const std::string path = "/tmp/hddtherm_spc_test.txt";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        // Unordered timestamps, both opcode spellings, byte sizes.
+        std::fputs("0,20941264,8192,W,0.551706\n", f);
+        std::fputs("1,9288928,4096, R ,0.100000\n", f);
+        std::fputs("# comment\n", f);
+        std::fputs("0,684266,512,r,0.300000\n", f);
+        std::fclose(f);
+    }
+    const auto t = htr::Trace::loadSpc(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(t.size(), 3u);
+    // Sorted by timestamp.
+    EXPECT_DOUBLE_EQ(t.records()[0].time, 0.1);
+    EXPECT_EQ(t.records()[0].device, 1);
+    EXPECT_EQ(t.records()[0].sectors, 8); // 4096 B
+    EXPECT_FALSE(t.records()[0].write);
+    EXPECT_EQ(t.records()[1].sectors, 1); // 512 B
+    EXPECT_EQ(t.records()[2].sectors, 16); // 8192 B
+    EXPECT_TRUE(t.records()[2].write);
+    EXPECT_EQ(t.records()[2].lba, 20941264);
+}
+
+TEST(Trace, LoadSpcRejectsGarbage)
+{
+    const std::string path = "/tmp/hddtherm_spc_bad.txt";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        std::fputs("0,1,512,X,0.1\n", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(htr::Trace::loadSpc(path), hu::ModelError);
+    std::remove(path.c_str());
+    EXPECT_THROW(htr::Trace::loadSpc("/nonexistent/spc.txt"),
+                 hu::ModelError);
+}
+
+TEST(Analyze, EmptyTraceIsSafe)
+{
+    const auto stats = htr::analyze(htr::Trace("empty"));
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_DOUBLE_EQ(stats.arrivalRatePerSec, 0.0);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the console line-chart renderer.
+ */
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.h"
+#include "util/error.h"
+
+namespace hu = hddtherm::util;
+
+TEST(AsciiPlot, RendersSeriesAndLegend)
+{
+    hu::AsciiPlot plot;
+    plot.addSeries("up", {{0.0, 0.0}, {1.0, 1.0}});
+    const auto out = plot.str();
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("* = up"), std::string::npos);
+    EXPECT_NE(out.find('|'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, DistinctGlyphsPerSeries)
+{
+    hu::AsciiPlot plot;
+    plot.addSeries("a", {{0.0, 0.0}, {1.0, 1.0}});
+    plot.addSeries("b", {{0.0, 1.0}, {1.0, 0.0}});
+    const auto out = plot.str();
+    EXPECT_NE(out.find("* = a"), std::string::npos);
+    EXPECT_NE(out.find("o = b"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesPutsEndpointsInCorners)
+{
+    hu::AsciiPlot::Options opts;
+    opts.width = 20;
+    opts.height = 8;
+    hu::AsciiPlot plot(opts);
+    plot.addSeries("line", {{0.0, 0.0}, {1.0, 1.0}});
+    const auto out = plot.str();
+    // Split into lines; the first canvas row should contain the glyph at
+    // the right edge, the last canvas row at the left edge.
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream is(out);
+    while (std::getline(is, line))
+        lines.push_back(line);
+    const auto bar0 = lines[0].find('|');
+    ASSERT_NE(bar0, std::string::npos);
+    const auto top_pos = lines[0].find('*');
+    const auto bottom_pos = lines[7].find('*');
+    ASSERT_NE(top_pos, std::string::npos);
+    ASSERT_NE(bottom_pos, std::string::npos);
+    EXPECT_GT(top_pos, bottom_pos); // rising curve: left-bottom to right-top
+}
+
+TEST(AsciiPlot, AxisTicksShowRange)
+{
+    hu::AsciiPlot plot;
+    plot.addSeries("s", {{2002.0, 100.0}, {2012.0, 4000.0}});
+    const auto out = plot.str();
+    EXPECT_NE(out.find("2002"), std::string::npos);
+    EXPECT_NE(out.find("2012"), std::string::npos);
+    EXPECT_NE(out.find("4000"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleAcceptsOnlyPositive)
+{
+    hu::AsciiPlot::Options opts;
+    opts.logY = true;
+    hu::AsciiPlot plot(opts);
+    EXPECT_THROW(plot.addSeries("bad", {{0.0, 0.0}}), hu::ModelError);
+    EXPECT_NO_THROW(plot.addSeries("good", {{0.0, 1.0}, {1.0, 1000.0}}));
+    EXPECT_NE(plot.str().find("log scale"), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatAndSinglePointSeriesAreSafe)
+{
+    hu::AsciiPlot plot;
+    plot.addSeries("flat", {{0.0, 5.0}, {1.0, 5.0}});
+    plot.addSeries("dot", {{0.5, 5.0}});
+    EXPECT_NO_THROW(plot.str());
+}
+
+TEST(AsciiPlot, RejectsBadInput)
+{
+    hu::AsciiPlot plot;
+    EXPECT_THROW(plot.addSeries("empty", {}), hu::ModelError);
+    EXPECT_THROW(plot.print(std::cout), hu::ModelError); // no series
+    hu::AsciiPlot::Options tiny;
+    tiny.width = 2;
+    EXPECT_THROW({ hu::AsciiPlot p(tiny); }, hu::ModelError);
+}
+
+TEST(AsciiPlot, LabelsAppear)
+{
+    hu::AsciiPlot::Options opts;
+    opts.xLabel = "year";
+    opts.yLabel = "IDR MB/s";
+    hu::AsciiPlot plot(opts);
+    plot.addSeries("s", {{0.0, 1.0}, {1.0, 2.0}});
+    const auto out = plot.str();
+    EXPECT_NE(out.find("year"), std::string::npos);
+    EXPECT_NE(out.find("IDR MB/s"), std::string::npos);
+}

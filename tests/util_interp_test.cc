@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for interpolation and root-finding utilities.
+ */
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/interp.h"
+#include "util/roots.h"
+
+namespace hu = hddtherm::util;
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots)
+{
+    hu::PiecewiseLinear pl({{0.0, 0.0}, {1.0, 10.0}, {3.0, 30.0}});
+    EXPECT_DOUBLE_EQ(pl(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pl(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(pl(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(pl(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(pl(3.0), 30.0);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput)
+{
+    hu::PiecewiseLinear pl({{3.0, 30.0}, {0.0, 0.0}, {1.0, 10.0}});
+    EXPECT_DOUBLE_EQ(pl(2.0), 20.0);
+}
+
+TEST(PiecewiseLinear, LinearExtrapolationContinuesSlope)
+{
+    hu::PiecewiseLinear pl({{1.0, 1.0}, {2.0, 3.0}});
+    EXPECT_DOUBLE_EQ(pl(3.0), 5.0);
+    EXPECT_DOUBLE_EQ(pl(0.0), -1.0);
+}
+
+TEST(PiecewiseLinear, ClampExtrapolationHoldsBoundary)
+{
+    hu::PiecewiseLinear pl({{1.0, 1.0}, {2.0, 3.0}},
+                           hu::PiecewiseLinear::Extrapolate::Clamp);
+    EXPECT_DOUBLE_EQ(pl(10.0), 3.0);
+    EXPECT_DOUBLE_EQ(pl(-10.0), 1.0);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant)
+{
+    hu::PiecewiseLinear pl({{2.0, 7.0}});
+    EXPECT_DOUBLE_EQ(pl(-5.0), 7.0);
+    EXPECT_DOUBLE_EQ(pl(2.0), 7.0);
+    EXPECT_DOUBLE_EQ(pl(50.0), 7.0);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateX)
+{
+    EXPECT_THROW(hu::PiecewiseLinear({{1.0, 1.0}, {1.0, 2.0}}),
+                 hu::ModelError);
+}
+
+TEST(PiecewiseLinear, RejectsEmpty)
+{
+    std::vector<std::pair<double, double>> empty;
+    EXPECT_THROW({ hu::PiecewiseLinear pl(empty); }, hu::ModelError);
+}
+
+TEST(PowerLawFit, RecoversExactPowerLaw)
+{
+    // y = 2.5 * x^1.7
+    std::vector<std::pair<double, double>> pts;
+    for (double x : {0.5, 1.0, 2.0, 4.0, 8.0})
+        pts.emplace_back(x, 2.5 * std::pow(x, 1.7));
+    hu::PowerLawFit fit(pts);
+    EXPECT_NEAR(fit.coefficient(), 2.5, 1e-9);
+    EXPECT_NEAR(fit.exponent(), 1.7, 1e-9);
+    EXPECT_NEAR(fit(3.0), 2.5 * std::pow(3.0, 1.7), 1e-9);
+}
+
+TEST(PowerLawFit, RejectsNonPositiveSamples)
+{
+    EXPECT_THROW(hu::PowerLawFit({{1.0, 1.0}, {2.0, -1.0}}), hu::ModelError);
+    EXPECT_THROW(hu::PowerLawFit({{0.0, 1.0}, {2.0, 1.0}}), hu::ModelError);
+}
+
+TEST(Bisect, FindsRootOfMonotoneFunction)
+{
+    const double root = hu::bisect(
+        [](double x) { return x * x - 2.0; }, 0.0, 2.0, {1e-10, 200});
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint)
+{
+    EXPECT_DOUBLE_EQ(
+        hu::bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        hu::bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, ThrowsWhenNotBracketed)
+{
+    EXPECT_THROW(
+        hu::bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+        hu::ModelError);
+}
+
+TEST(MaxSatisfying, LocatesThreshold)
+{
+    const double x = hu::maxSatisfying(
+        [](double v) { return v <= 3.25; }, 0.0, 10.0, {1e-9, 200});
+    EXPECT_NEAR(x, 3.25, 1e-6);
+}
+
+TEST(MaxSatisfying, ReturnsHiWhenAllSatisfy)
+{
+    const double x =
+        hu::maxSatisfying([](double) { return true; }, 0.0, 10.0);
+    EXPECT_DOUBLE_EQ(x, 10.0);
+}
+
+TEST(MaxSatisfying, ThrowsWhenLoFails)
+{
+    EXPECT_THROW(
+        hu::maxSatisfying([](double) { return false; }, 0.0, 1.0),
+        hu::ModelError);
+}
+
+TEST(Lerp, Endpoints)
+{
+    EXPECT_DOUBLE_EQ(hu::lerp(2.0, 6.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(hu::lerp(2.0, 6.0, 1.0), 6.0);
+    EXPECT_DOUBLE_EQ(hu::lerp(2.0, 6.0, 0.25), 3.0);
+}

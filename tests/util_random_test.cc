@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace hu = hddtherm::util;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    hu::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    hu::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformWithinRange)
+{
+    hu::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    hu::Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    hu::Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange)
+{
+    hu::Rng rng(5);
+    EXPECT_THROW(rng.uniformInt(3, 2), hu::ModelError);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    hu::Rng rng(13);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    hu::Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale)
+{
+    hu::Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    hu::Rng rng(23);
+    hddtherm::util::Rng::result_type dummy = 0;
+    (void)dummy;
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    hu::Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(ZipfSampler, UniformWhenThetaZero)
+{
+    hu::Rng rng(31);
+    hu::ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 0.1, 0.01);
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks)
+{
+    hu::Rng rng(37);
+    hu::ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+}
+
+TEST(ZipfSampler, StaysInRange)
+{
+    hu::Rng rng(41);
+    hu::ZipfSampler zipf(5, 2.0);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf(rng), 5u);
+}
+
+TEST(ZipfSampler, RejectsEmptyPopulation)
+{
+    EXPECT_THROW(hu::ZipfSampler(0, 1.0), hu::ModelError);
+}

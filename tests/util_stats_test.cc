@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace hu = hddtherm::util;
+
+TEST(OnlineStats, BasicMoments)
+{
+    hu::OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsSafe)
+{
+    hu::OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    hu::OnlineStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0 + i;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    hu::OnlineStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    hu::OnlineStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndCdf)
+{
+    hu::Histogram h({10.0, 20.0, 30.0});
+    for (double x : {1.0, 5.0, 10.0, 15.0, 25.0, 40.0})
+        h.add(x);
+    EXPECT_EQ(h.count(), 6u);
+    // x <= 10 goes into bin 0 (lower_bound: 10.0 maps to edge 10).
+    EXPECT_EQ(h.binCount(0), 3u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(3), 1u); // overflow
+    const auto cdf = h.cdf();
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0], 0.5);
+    EXPECT_DOUBLE_EQ(cdf[1], 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cdf[2], 5.0 / 6.0);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 1.0 / 6.0);
+}
+
+TEST(Histogram, CdfIsMonotone)
+{
+    hu::Histogram h = hu::Histogram::paperResponseTimeBins();
+    for (int i = 0; i < 1000; ++i)
+        h.add(double(i % 250));
+    const auto cdf = h.cdf();
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    EXPECT_LE(cdf.back(), 1.0);
+}
+
+TEST(Histogram, PaperBins)
+{
+    hu::Histogram h = hu::Histogram::paperResponseTimeBins();
+    EXPECT_EQ(h.bins(), 9u);
+    EXPECT_DOUBLE_EQ(h.edge(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.edge(8), 200.0);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    hu::Histogram h({1.0, 2.0, 3.0, 4.0});
+    for (int i = 0; i < 100; ++i)
+        h.add(0.5 + double(i % 4)); // 25 samples per bin
+    EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-9);
+    EXPECT_NEAR(h.quantile(0.25), 1.0, 1e-9);
+    EXPECT_LE(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, RejectsBadEdges)
+{
+    EXPECT_THROW(hu::Histogram({}), hu::ModelError);
+    EXPECT_THROW(hu::Histogram({2.0, 1.0}), hu::ModelError);
+}
