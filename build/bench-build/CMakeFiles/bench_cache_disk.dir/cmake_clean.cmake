@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_disk"
+  "../bench/bench_cache_disk.pdb"
+  "CMakeFiles/bench_cache_disk.dir/bench_cache_disk.cc.o"
+  "CMakeFiles/bench_cache_disk.dir/bench_cache_disk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_degraded_raid"
+  "../bench/bench_degraded_raid.pdb"
+  "CMakeFiles/bench_degraded_raid.dir/bench_degraded_raid.cc.o"
+  "CMakeFiles/bench_degraded_raid.dir/bench_degraded_raid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

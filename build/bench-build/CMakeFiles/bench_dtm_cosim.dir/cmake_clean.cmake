@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dtm_cosim"
+  "../bench/bench_dtm_cosim.pdb"
+  "CMakeFiles/bench_dtm_cosim.dir/bench_dtm_cosim.cc.o"
+  "CMakeFiles/bench_dtm_cosim.dir/bench_dtm_cosim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtm_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_transient"
+  "../bench/bench_fig1_transient.pdb"
+  "CMakeFiles/bench_fig1_transient.dir/bench_fig1_transient.cc.o"
+  "CMakeFiles/bench_fig1_transient.dir/bench_fig1_transient.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

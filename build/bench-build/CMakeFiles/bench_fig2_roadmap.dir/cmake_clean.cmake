@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_roadmap"
+  "../bench/bench_fig2_roadmap.pdb"
+  "CMakeFiles/bench_fig2_roadmap.dir/bench_fig2_roadmap.cc.o"
+  "CMakeFiles/bench_fig2_roadmap.dir/bench_fig2_roadmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cooling"
+  "../bench/bench_fig3_cooling.pdb"
+  "CMakeFiles/bench_fig3_cooling.dir/bench_fig3_cooling.cc.o"
+  "CMakeFiles/bench_fig3_cooling.dir/bench_fig3_cooling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_slack"
+  "../bench/bench_fig5_slack.pdb"
+  "CMakeFiles/bench_fig5_slack.dir/bench_fig5_slack.cc.o"
+  "CMakeFiles/bench_fig5_slack.dir/bench_fig5_slack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mirror_dtm"
+  "../bench/bench_mirror_dtm.pdb"
+  "CMakeFiles/bench_mirror_dtm.dir/bench_mirror_dtm.cc.o"
+  "CMakeFiles/bench_mirror_dtm.dir/bench_mirror_dtm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mirror_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

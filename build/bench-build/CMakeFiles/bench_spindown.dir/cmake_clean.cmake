@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spindown"
+  "../bench/bench_spindown.pdb"
+  "CMakeFiles/bench_spindown.dir/bench_spindown.cc.o"
+  "CMakeFiles/bench_spindown.dir/bench_spindown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spindown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_validation"
+  "../bench/bench_table1_validation.pdb"
+  "CMakeFiles/bench_table1_validation.dir/bench_table1_validation.cc.o"
+  "CMakeFiles/bench_table1_validation.dir/bench_table1_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_envelope"
+  "../bench/bench_table2_envelope.pdb"
+  "CMakeFiles/bench_table2_envelope.dir/bench_table2_envelope.cc.o"
+  "CMakeFiles/bench_table2_envelope.dir/bench_table2_envelope.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_simulator.dir/array_simulator.cpp.o"
+  "CMakeFiles/array_simulator.dir/array_simulator.cpp.o.d"
+  "array_simulator"
+  "array_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

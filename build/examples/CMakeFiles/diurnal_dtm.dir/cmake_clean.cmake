@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_dtm.dir/diurnal_dtm.cpp.o"
+  "CMakeFiles/diurnal_dtm.dir/diurnal_dtm.cpp.o.d"
+  "diurnal_dtm"
+  "diurnal_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_designer.dir/drive_designer.cpp.o"
+  "CMakeFiles/drive_designer.dir/drive_designer.cpp.o.d"
+  "drive_designer"
+  "drive_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_demo.dir/dtm_demo.cpp.o"
+  "CMakeFiles/dtm_demo.dir/dtm_demo.cpp.o.d"
+  "dtm_demo"
+  "dtm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_explorer.dir/roadmap_explorer.cpp.o"
+  "CMakeFiles/roadmap_explorer.dir/roadmap_explorer.cpp.o.d"
+  "roadmap_explorer"
+  "roadmap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_core.dir/config_io.cc.o"
+  "CMakeFiles/hddtherm_core.dir/config_io.cc.o.d"
+  "CMakeFiles/hddtherm_core.dir/energy.cc.o"
+  "CMakeFiles/hddtherm_core.dir/energy.cc.o.d"
+  "CMakeFiles/hddtherm_core.dir/integrated.cc.o"
+  "CMakeFiles/hddtherm_core.dir/integrated.cc.o.d"
+  "CMakeFiles/hddtherm_core.dir/scenarios.cc.o"
+  "CMakeFiles/hddtherm_core.dir/scenarios.cc.o.d"
+  "libhddtherm_core.a"
+  "libhddtherm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

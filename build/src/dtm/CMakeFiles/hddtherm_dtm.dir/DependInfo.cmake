@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtm/cosim.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/cosim.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/cosim.cc.o.d"
+  "/root/repo/src/dtm/governor.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/governor.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/governor.cc.o.d"
+  "/root/repo/src/dtm/mirror.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/mirror.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/mirror.cc.o.d"
+  "/root/repo/src/dtm/slack.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/slack.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/slack.cc.o.d"
+  "/root/repo/src/dtm/spindown.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/spindown.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/spindown.cc.o.d"
+  "/root/repo/src/dtm/throttle.cc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/throttle.cc.o" "gcc" "src/dtm/CMakeFiles/hddtherm_dtm.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadmap/CMakeFiles/hddtherm_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hddtherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hddtherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hddtherm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/hddtherm_hdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_dtm.dir/cosim.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/cosim.cc.o.d"
+  "CMakeFiles/hddtherm_dtm.dir/governor.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/governor.cc.o.d"
+  "CMakeFiles/hddtherm_dtm.dir/mirror.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/mirror.cc.o.d"
+  "CMakeFiles/hddtherm_dtm.dir/slack.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/slack.cc.o.d"
+  "CMakeFiles/hddtherm_dtm.dir/spindown.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/spindown.cc.o.d"
+  "CMakeFiles/hddtherm_dtm.dir/throttle.cc.o"
+  "CMakeFiles/hddtherm_dtm.dir/throttle.cc.o.d"
+  "libhddtherm_dtm.a"
+  "libhddtherm_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

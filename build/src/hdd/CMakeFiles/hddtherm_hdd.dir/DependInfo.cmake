@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdd/capacity.cc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/capacity.cc.o" "gcc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/capacity.cc.o.d"
+  "/root/repo/src/hdd/drive_catalog.cc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/drive_catalog.cc.o" "gcc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/drive_catalog.cc.o.d"
+  "/root/repo/src/hdd/seek.cc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/seek.cc.o" "gcc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/seek.cc.o.d"
+  "/root/repo/src/hdd/zoning.cc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/zoning.cc.o" "gcc" "src/hdd/CMakeFiles/hddtherm_hdd.dir/zoning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hddtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_hdd.dir/capacity.cc.o"
+  "CMakeFiles/hddtherm_hdd.dir/capacity.cc.o.d"
+  "CMakeFiles/hddtherm_hdd.dir/drive_catalog.cc.o"
+  "CMakeFiles/hddtherm_hdd.dir/drive_catalog.cc.o.d"
+  "CMakeFiles/hddtherm_hdd.dir/seek.cc.o"
+  "CMakeFiles/hddtherm_hdd.dir/seek.cc.o.d"
+  "CMakeFiles/hddtherm_hdd.dir/zoning.cc.o"
+  "CMakeFiles/hddtherm_hdd.dir/zoning.cc.o.d"
+  "libhddtherm_hdd.a"
+  "libhddtherm_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

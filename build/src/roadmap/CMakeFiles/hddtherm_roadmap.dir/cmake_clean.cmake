@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_roadmap.dir/planner.cc.o"
+  "CMakeFiles/hddtherm_roadmap.dir/planner.cc.o.d"
+  "CMakeFiles/hddtherm_roadmap.dir/roadmap.cc.o"
+  "CMakeFiles/hddtherm_roadmap.dir/roadmap.cc.o.d"
+  "CMakeFiles/hddtherm_roadmap.dir/scaling.cc.o"
+  "CMakeFiles/hddtherm_roadmap.dir/scaling.cc.o.d"
+  "libhddtherm_roadmap.a"
+  "libhddtherm_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

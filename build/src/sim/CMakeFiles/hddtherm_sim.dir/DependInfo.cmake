@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_map.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/address_map.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/address_map.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/closed_loop.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/closed_loop.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/closed_loop.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/disk.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/disk.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/hybrid.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/hybrid.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/hybrid.cc.o.d"
+  "/root/repo/src/sim/latency_log.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/latency_log.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/latency_log.cc.o.d"
+  "/root/repo/src/sim/mechanics.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/mechanics.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/mechanics.cc.o.d"
+  "/root/repo/src/sim/raid.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/raid.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/raid.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/storage_system.cc" "src/sim/CMakeFiles/hddtherm_sim.dir/storage_system.cc.o" "gcc" "src/sim/CMakeFiles/hddtherm_sim.dir/storage_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdd/CMakeFiles/hddtherm_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hddtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_sim.dir/address_map.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/address_map.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/cache.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/cache.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/closed_loop.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/closed_loop.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/disk.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/disk.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/event.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/event.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/hybrid.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/hybrid.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/latency_log.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/latency_log.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/mechanics.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/mechanics.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/raid.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/raid.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/scheduler.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/hddtherm_sim.dir/storage_system.cc.o"
+  "CMakeFiles/hddtherm_sim.dir/storage_system.cc.o.d"
+  "libhddtherm_sim.a"
+  "libhddtherm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/calibration.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/calibration.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/calibration.cc.o.d"
+  "/root/repo/src/thermal/correlations.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/correlations.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/correlations.cc.o.d"
+  "/root/repo/src/thermal/drive_thermal.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/drive_thermal.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/drive_thermal.cc.o.d"
+  "/root/repo/src/thermal/envelope.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/envelope.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/envelope.cc.o.d"
+  "/root/repo/src/thermal/network.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/network.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/network.cc.o.d"
+  "/root/repo/src/thermal/reliability.cc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/reliability.cc.o" "gcc" "src/thermal/CMakeFiles/hddtherm_thermal.dir/reliability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdd/CMakeFiles/hddtherm_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hddtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

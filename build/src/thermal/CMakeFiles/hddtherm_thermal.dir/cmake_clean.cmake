@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_thermal.dir/calibration.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/calibration.cc.o.d"
+  "CMakeFiles/hddtherm_thermal.dir/correlations.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/correlations.cc.o.d"
+  "CMakeFiles/hddtherm_thermal.dir/drive_thermal.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/drive_thermal.cc.o.d"
+  "CMakeFiles/hddtherm_thermal.dir/envelope.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/envelope.cc.o.d"
+  "CMakeFiles/hddtherm_thermal.dir/network.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/network.cc.o.d"
+  "CMakeFiles/hddtherm_thermal.dir/reliability.cc.o"
+  "CMakeFiles/hddtherm_thermal.dir/reliability.cc.o.d"
+  "libhddtherm_thermal.a"
+  "libhddtherm_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

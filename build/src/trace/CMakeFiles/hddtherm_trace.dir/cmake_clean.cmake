@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_trace.dir/placement.cc.o"
+  "CMakeFiles/hddtherm_trace.dir/placement.cc.o.d"
+  "CMakeFiles/hddtherm_trace.dir/synth.cc.o"
+  "CMakeFiles/hddtherm_trace.dir/synth.cc.o.d"
+  "CMakeFiles/hddtherm_trace.dir/trace.cc.o"
+  "CMakeFiles/hddtherm_trace.dir/trace.cc.o.d"
+  "libhddtherm_trace.a"
+  "libhddtherm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddtherm_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/hddtherm_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/interp.cc.o"
+  "CMakeFiles/hddtherm_util.dir/interp.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/log.cc.o"
+  "CMakeFiles/hddtherm_util.dir/log.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/random.cc.o"
+  "CMakeFiles/hddtherm_util.dir/random.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/roots.cc.o"
+  "CMakeFiles/hddtherm_util.dir/roots.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/stats.cc.o"
+  "CMakeFiles/hddtherm_util.dir/stats.cc.o.d"
+  "CMakeFiles/hddtherm_util.dir/table.cc.o"
+  "CMakeFiles/hddtherm_util.dir/table.cc.o.d"
+  "libhddtherm_util.a"
+  "libhddtherm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddtherm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dtm_cosim_test.cc" "tests/CMakeFiles/dtm_cosim_test.dir/dtm_cosim_test.cc.o" "gcc" "tests/CMakeFiles/dtm_cosim_test.dir/dtm_cosim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtm/CMakeFiles/hddtherm_dtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadmap/CMakeFiles/hddtherm_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hddtherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hddtherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/hddtherm_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hddtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_cosim_test.dir/dtm_cosim_test.cc.o"
+  "CMakeFiles/dtm_cosim_test.dir/dtm_cosim_test.cc.o.d"
+  "dtm_cosim_test"
+  "dtm_cosim_test.pdb"
+  "dtm_cosim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_cosim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

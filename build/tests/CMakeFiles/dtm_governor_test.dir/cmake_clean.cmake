@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_governor_test.dir/dtm_governor_test.cc.o"
+  "CMakeFiles/dtm_governor_test.dir/dtm_governor_test.cc.o.d"
+  "dtm_governor_test"
+  "dtm_governor_test.pdb"
+  "dtm_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_spindown_test.dir/dtm_spindown_test.cc.o"
+  "CMakeFiles/dtm_spindown_test.dir/dtm_spindown_test.cc.o.d"
+  "dtm_spindown_test"
+  "dtm_spindown_test.pdb"
+  "dtm_spindown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_spindown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_extras_test.dir/feature_extras_test.cc.o"
+  "CMakeFiles/feature_extras_test.dir/feature_extras_test.cc.o.d"
+  "feature_extras_test"
+  "feature_extras_test.pdb"
+  "feature_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_capacity_test.dir/hdd_capacity_test.cc.o"
+  "CMakeFiles/hdd_capacity_test.dir/hdd_capacity_test.cc.o.d"
+  "hdd_capacity_test"
+  "hdd_capacity_test.pdb"
+  "hdd_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

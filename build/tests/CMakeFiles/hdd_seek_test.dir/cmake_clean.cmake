@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_seek_test.dir/hdd_seek_test.cc.o"
+  "CMakeFiles/hdd_seek_test.dir/hdd_seek_test.cc.o.d"
+  "hdd_seek_test"
+  "hdd_seek_test.pdb"
+  "hdd_seek_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_seek_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_zoning_test.dir/hdd_zoning_test.cc.o"
+  "CMakeFiles/hdd_zoning_test.dir/hdd_zoning_test.cc.o.d"
+  "hdd_zoning_test"
+  "hdd_zoning_test.pdb"
+  "hdd_zoning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_zoning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

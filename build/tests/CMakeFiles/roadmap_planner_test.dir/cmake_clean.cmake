@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_planner_test.dir/roadmap_planner_test.cc.o"
+  "CMakeFiles/roadmap_planner_test.dir/roadmap_planner_test.cc.o.d"
+  "roadmap_planner_test"
+  "roadmap_planner_test.pdb"
+  "roadmap_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_table3_test.dir/roadmap_table3_test.cc.o"
+  "CMakeFiles/roadmap_table3_test.dir/roadmap_table3_test.cc.o.d"
+  "roadmap_table3_test"
+  "roadmap_table3_test.pdb"
+  "roadmap_table3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_table3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

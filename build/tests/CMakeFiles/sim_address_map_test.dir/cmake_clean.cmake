@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_address_map_test.dir/sim_address_map_test.cc.o"
+  "CMakeFiles/sim_address_map_test.dir/sim_address_map_test.cc.o.d"
+  "sim_address_map_test"
+  "sim_address_map_test.pdb"
+  "sim_address_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_closed_loop_test.dir/sim_closed_loop_test.cc.o"
+  "CMakeFiles/sim_closed_loop_test.dir/sim_closed_loop_test.cc.o.d"
+  "sim_closed_loop_test"
+  "sim_closed_loop_test.pdb"
+  "sim_closed_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_closed_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

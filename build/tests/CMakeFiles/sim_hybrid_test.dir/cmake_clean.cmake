@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_hybrid_test.dir/sim_hybrid_test.cc.o"
+  "CMakeFiles/sim_hybrid_test.dir/sim_hybrid_test.cc.o.d"
+  "sim_hybrid_test"
+  "sim_hybrid_test.pdb"
+  "sim_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mechanics_test.dir/sim_mechanics_test.cc.o"
+  "CMakeFiles/sim_mechanics_test.dir/sim_mechanics_test.cc.o.d"
+  "sim_mechanics_test"
+  "sim_mechanics_test.pdb"
+  "sim_mechanics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mechanics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_raid_test.dir/sim_raid_test.cc.o"
+  "CMakeFiles/sim_raid_test.dir/sim_raid_test.cc.o.d"
+  "sim_raid_test"
+  "sim_raid_test.pdb"
+  "sim_raid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_raid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_network_test.dir/thermal_network_test.cc.o"
+  "CMakeFiles/thermal_network_test.dir/thermal_network_test.cc.o.d"
+  "thermal_network_test"
+  "thermal_network_test.pdb"
+  "thermal_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_reliability_test.dir/thermal_reliability_test.cc.o"
+  "CMakeFiles/thermal_reliability_test.dir/thermal_reliability_test.cc.o.d"
+  "thermal_reliability_test"
+  "thermal_reliability_test.pdb"
+  "thermal_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

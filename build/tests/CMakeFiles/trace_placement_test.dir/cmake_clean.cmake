@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_placement_test.dir/trace_placement_test.cc.o"
+  "CMakeFiles/trace_placement_test.dir/trace_placement_test.cc.o.d"
+  "trace_placement_test"
+  "trace_placement_test.pdb"
+  "trace_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
