@@ -4,13 +4,52 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 #include "util/error.h"
-#include "util/interp.h"
 #include "util/log.h"
 
 namespace hddtherm::dtm {
+
+namespace {
+
+/// Shared construction-time validation (CoSimulation and CoSimEngine).
+void
+validateConfig(const CoSimConfig& config)
+{
+    HDDTHERM_REQUIRE(config.controlIntervalSec > 0.0,
+                     "control interval must be positive");
+    HDDTHERM_REQUIRE(config.resumeThresholdC < config.gateThresholdC,
+                     "hysteresis band is inverted");
+    HDDTHERM_REQUIRE(config.warmupFraction >= 0.0 &&
+                         config.warmupFraction < 1.0,
+                     "warm-up fraction must be in [0, 1)");
+    if (config.policy == DtmPolicy::GateAndLowRpm) {
+        HDDTHERM_REQUIRE(config.lowRpm > 0.0 &&
+                             config.lowRpm < config.system.disk.rpm,
+                         "low RPM must be positive and below full speed");
+    }
+    if (config.policy == DtmPolicy::GovernSpeed) {
+        HDDTHERM_REQUIRE(config.rpmLadder.size() >= 2,
+                         "speed governor needs a ladder of speeds");
+    }
+}
+
+/// One thermal model stands in for every (symmetric) member disk; disk 0
+/// supplies the measured VCM duty.
+thermal::DriveThermalConfig
+thermalConfigFor(const CoSimConfig& config)
+{
+    thermal::DriveThermalConfig tcfg;
+    tcfg.geometry = config.system.disk.geometry;
+    tcfg.rpm = config.system.disk.rpm;
+    tcfg.ambientC = config.ambientC;
+    tcfg.vcmDuty = 1.0;
+    tcfg.coolingScale =
+        thermal::coolingScaleForPlatters(tcfg.geometry.platters);
+    return tcfg;
+}
+
+} // namespace
 
 const char*
 dtmPolicyName(DtmPolicy policy)
@@ -28,170 +67,189 @@ dtmPolicyName(DtmPolicy policy)
     return "unknown";
 }
 
-CoSimulation::CoSimulation(const CoSimConfig& config) : config_(config)
+CoSimEngine::CoSimEngine(const CoSimConfig& config)
+    : config_((validateConfig(config), config)),
+      system_(config_.system),
+      model_(thermalConfigFor(config_))
 {
-    HDDTHERM_REQUIRE(config_.controlIntervalSec > 0.0,
-                     "control interval must be positive");
-    HDDTHERM_REQUIRE(config_.resumeThresholdC < config_.gateThresholdC,
-                     "hysteresis band is inverted");
-    HDDTHERM_REQUIRE(config_.warmupFraction >= 0.0 &&
-                         config_.warmupFraction < 1.0,
-                     "warm-up fraction must be in [0, 1)");
-    if (config_.policy == DtmPolicy::GateAndLowRpm) {
-        HDDTHERM_REQUIRE(config_.lowRpm > 0.0 &&
-                             config_.lowRpm < config_.system.disk.rpm,
-                         "low RPM must be positive and below full speed");
-    }
     if (config_.policy == DtmPolicy::GovernSpeed) {
-        HDDTHERM_REQUIRE(config_.rpmLadder.size() >= 2,
-                         "speed governor needs a ladder of speeds");
-    }
-}
-
-CoSimResult
-CoSimulation::run(const std::vector<sim::IoRequest>& workload)
-{
-    HDDTHERM_REQUIRE(!workload.empty(), "empty workload");
-
-    sim::StorageSystem system(config_.system);
-
-    // One thermal model stands in for every (symmetric) member disk; disk 0
-    // supplies the measured VCM duty.
-    thermal::DriveThermalConfig tcfg;
-    tcfg.geometry = config_.system.disk.geometry;
-    tcfg.rpm = config_.system.disk.rpm;
-    tcfg.ambientC = config_.ambientC;
-    tcfg.vcmDuty = 1.0;
-    tcfg.coolingScale =
-        thermal::coolingScaleForPlatters(tcfg.geometry.platters);
-    thermal::DriveThermalModel model(tcfg);
-
-    std::optional<SpeedGovernor> governor;
-    if (config_.policy == DtmPolicy::GovernSpeed) {
-        governor.emplace(tcfg, config_.rpmLadder, config_.envelopeC);
+        governor_.emplace(model_.config(), config_.rpmLadder,
+                          config_.envelopeC);
         // Start at the fastest full-duty-safe rung.
-        const double start = governor->maxSustainableRpm(1.0);
-        system.changeRpmAll(start);
-        model.setRpm(start);
+        const double start = governor_->maxSustainableRpm(1.0);
+        system_.changeRpmAll(start);
+        model_.setRpm(start);
     }
     if (config_.startAtSteadyState) {
         // The drive has been busy.  A DTM-guarded drive has been held at
         // (or below) the envelope by its policy; an unguarded drive simply
         // sits at its worst-case operating steady state.
-        double start_air = model.steadyAirTempC();
+        double start_air = model_.steadyAirTempC();
         if (config_.policy != DtmPolicy::None)
             start_air = std::min(start_air, config_.envelopeC);
-        model.settleWithAirAt(start_air);
+        model_.settleWithAirAt(start_air);
     }
-
-    std::size_t completed = 0;
-    const std::size_t warmup_count = std::size_t(
-        config_.warmupFraction * double(workload.size()));
-    system.setCompletionCallback(
-        [&completed, warmup_count, &system](const sim::IoCompletion&) {
-            if (++completed == warmup_count)
-                system.resetMetrics();
-        });
-    for (const auto& req : workload)
-        system.submit(req);
-
-    std::optional<util::PiecewiseLinear> ambient_schedule;
     if (!config_.ambientProfile.empty()) {
-        ambient_schedule.emplace(config_.ambientProfile,
-                                 util::PiecewiseLinear::Extrapolate::Clamp);
+        ambient_schedule_.emplace(config_.ambientProfile,
+                                  util::PiecewiseLinear::Extrapolate::Clamp);
     }
+}
 
-    CoSimResult result;
-    bool gated = false;
-    double last_seek_total = 0.0;
-    double duty_weighted = 0.0;
-    double duty_ewma = 0.0;
+void
+CoSimEngine::start(const std::vector<sim::IoRequest>& workload)
+{
+    HDDTHERM_REQUIRE(!workload.empty(), "empty workload");
+    HDDTHERM_REQUIRE(!started_, "CoSimEngine::start called twice");
+    started_ = true;
+    workload_size_ = workload.size();
+    warmup_count_ =
+        std::size_t(config_.warmupFraction * double(workload.size()));
+    system_.setCompletionCallback([this](const sim::IoCompletion&) {
+        if (++completed_ == warmup_count_)
+            system_.resetMetrics();
+    });
+    for (const auto& req : workload)
+        system_.submit(req);
+    system_.events().scheduleAfter(config_.controlIntervalSec,
+                                   [this]() { tick(); });
+}
+
+void
+CoSimEngine::tick()
+{
+    const sim::SimTime now = system_.events().now();
+    const double dt = now - last_tick_;
+    last_tick_ = now;
+
     // Smooth the per-interval duty for governor decisions: raw 100 ms
     // windows swing between 0 and 1 on bursty traffic and would make the
     // ladder oscillate (each spindle transition stalls the disk).
-    const double duty_tau = 5.0;
-    double temp_integral = 0.0;
-    sim::SimTime last_tick = 0.0;
+    constexpr double duty_tau = 5.0;
 
-    // Recurring control event.
-    std::function<void()> tick = [&]() {
-        const sim::SimTime now = system.events().now();
-        const double dt = now - last_tick;
-        last_tick = now;
+    if (dt > 0.0) {
+        if (ambient_schedule_)
+            model_.setAmbient((*ambient_schedule_)(now));
+        // Measure the VCM duty over the last interval from disk 0.
+        const double seek_total = system_.disk(0).activity().seekSec;
+        const double duty =
+            std::clamp((seek_total - last_seek_total_) / dt, 0.0, 1.0);
+        last_seek_total_ = seek_total;
+        duty_weighted_ += duty * dt;
+        const double alpha = std::min(1.0, dt / duty_tau);
+        duty_ewma_ += alpha * (duty - duty_ewma_);
+        model_.setVcmDuty(duty);
+        model_.advance(dt, std::min(config_.thermalDtSec, dt));
 
-        if (dt > 0.0) {
-            if (ambient_schedule)
-                model.setAmbient((*ambient_schedule)(now));
-            // Measure the VCM duty over the last interval from disk 0.
-            const double seek_total = system.disk(0).activity().seekSec;
-            const double duty = std::clamp(
-                (seek_total - last_seek_total) / dt, 0.0, 1.0);
-            last_seek_total = seek_total;
-            duty_weighted += duty * dt;
-            const double alpha = std::min(1.0, dt / duty_tau);
-            duty_ewma += alpha * (duty - duty_ewma);
-            model.setVcmDuty(duty);
-            model.advance(dt, std::min(config_.thermalDtSec, dt));
+        const double temp = model_.airTempC();
+        temp_integral_ += temp * dt;
+        partial_.maxTempC = std::max(partial_.maxTempC, temp);
+        if (temp > config_.envelopeC)
+            partial_.envelopeExceededSec += dt;
+        if (gated_)
+            partial_.gatedSec += dt;
 
-            const double temp = model.airTempC();
-            temp_integral += temp * dt;
-            result.maxTempC = std::max(result.maxTempC, temp);
-            if (temp > config_.envelopeC)
-                result.envelopeExceededSec += dt;
-            if (gated)
-                result.gatedSec += dt;
-
-            // Policy decisions.
-            if (config_.policy == DtmPolicy::GovernSpeed) {
-                const double target =
-                    governor->decide(model.config().rpm, temp, duty_ewma);
-                if (std::fabs(target - model.config().rpm) > 1e-9) {
-                    system.changeRpmAll(target);
-                    model.setRpm(target);
-                    ++result.speedChanges;
+        // Policy decisions.
+        if (config_.policy == DtmPolicy::GovernSpeed) {
+            const double target =
+                governor_->decide(model_.config().rpm, temp, duty_ewma_);
+            if (std::fabs(target - model_.config().rpm) > 1e-9) {
+                system_.changeRpmAll(target);
+                model_.setRpm(target);
+                ++partial_.speedChanges;
+            }
+        } else if (config_.policy != DtmPolicy::None) {
+            if (!gated_ && temp >= config_.gateThresholdC) {
+                gated_ = true;
+                ++partial_.gateEvents;
+                system_.gateAll(true);
+                if (config_.policy == DtmPolicy::GateAndLowRpm) {
+                    system_.changeRpmAll(config_.lowRpm);
+                    model_.setRpm(config_.lowRpm);
                 }
-            } else if (config_.policy != DtmPolicy::None) {
-                if (!gated && temp >= config_.gateThresholdC) {
-                    gated = true;
-                    ++result.gateEvents;
-                    system.gateAll(true);
-                    if (config_.policy == DtmPolicy::GateAndLowRpm) {
-                        system.changeRpmAll(config_.lowRpm);
-                        model.setRpm(config_.lowRpm);
-                    }
-                } else if (gated && temp <= config_.resumeThresholdC) {
-                    gated = false;
-                    if (config_.policy == DtmPolicy::GateAndLowRpm) {
-                        system.changeRpmAll(config_.system.disk.rpm);
-                        model.setRpm(config_.system.disk.rpm);
-                    }
-                    system.gateAll(false);
+            } else if (gated_ && temp <= config_.resumeThresholdC) {
+                gated_ = false;
+                if (config_.policy == DtmPolicy::GateAndLowRpm) {
+                    system_.changeRpmAll(config_.system.disk.rpm);
+                    model_.setRpm(config_.system.disk.rpm);
                 }
+                system_.gateAll(false);
             }
         }
+    }
 
-        if (completed < workload.size()) {
-            if (now >= config_.maxSimulatedSec) {
-                util::logWarn("co-simulation hit the %.0f s safety cap with "
-                              "%zu/%zu requests done; releasing gates",
-                              config_.maxSimulatedSec, completed,
-                              workload.size());
-                system.gateAll(false);
-                return;
-            }
-            system.events().scheduleAfter(config_.controlIntervalSec, tick);
+    if (completed_ < workload_size_) {
+        if (now >= config_.maxSimulatedSec) {
+            util::logWarn("co-simulation hit the %.0f s safety cap with "
+                          "%zu/%zu requests done; releasing gates",
+                          config_.maxSimulatedSec, completed_,
+                          workload_size_);
+            system_.gateAll(false);
+            return;
         }
-    };
-    system.events().scheduleAfter(config_.controlIntervalSec, tick);
-    system.runAll();
+        system_.events().scheduleAfter(config_.controlIntervalSec,
+                                       [this]() { tick(); });
+    }
+}
 
-    result.metrics = system.metrics();
-    result.simulatedSec = system.events().now();
+void
+CoSimEngine::advanceTo(sim::SimTime t)
+{
+    HDDTHERM_REQUIRE(started_, "CoSimEngine::advanceTo before start");
+    system_.events().runUntil(t);
+}
+
+void
+CoSimEngine::advanceToCompletion()
+{
+    HDDTHERM_REQUIRE(started_, "CoSimEngine::advanceToCompletion before "
+                               "start");
+    system_.runAll();
+}
+
+bool
+CoSimEngine::finished() const
+{
+    return started_ && completed_ >= workload_size_;
+}
+
+double
+CoSimEngine::heatOutputW() const
+{
+    return model_.totalPowerW() * double(system_.diskCount());
+}
+
+void
+CoSimEngine::setAmbient(double ambient_c)
+{
+    if (!ambient_schedule_)
+        model_.setAmbient(ambient_c);
+}
+
+CoSimResult
+CoSimEngine::result() const
+{
+    CoSimResult result = partial_;
+    result.metrics = system_.metrics();
+    result.simulatedSec = system_.events().now();
     if (result.simulatedSec > 0.0) {
-        result.meanTempC = temp_integral / result.simulatedSec;
-        result.meanVcmDuty = duty_weighted / result.simulatedSec;
+        result.meanTempC = temp_integral_ / result.simulatedSec;
+        result.meanVcmDuty = duty_weighted_ / result.simulatedSec;
     }
     return result;
+}
+
+CoSimulation::CoSimulation(const CoSimConfig& config) : config_(config)
+{
+    validateConfig(config_);
+}
+
+CoSimResult
+CoSimulation::run(const std::vector<sim::IoRequest>& workload)
+{
+    CoSimEngine engine(config_);
+    engine.start(workload);
+    engine.advanceToCompletion();
+    return engine.result();
 }
 
 } // namespace hddtherm::dtm

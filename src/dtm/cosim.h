@@ -13,11 +13,13 @@
 #ifndef HDDTHERM_DTM_COSIM_H
 #define HDDTHERM_DTM_COSIM_H
 
+#include <optional>
 #include <vector>
 
 #include "dtm/governor.h"
 #include "sim/storage_system.h"
 #include "thermal/drive_thermal.h"
+#include "util/interp.h"
 
 namespace hddtherm::dtm {
 
@@ -85,6 +87,88 @@ struct CoSimResult
     std::uint64_t gateEvents = 0;   ///< Gate activations.
     double simulatedSec = 0.0;      ///< Total simulated time.
     double meanVcmDuty = 0.0;       ///< Average measured VCM duty.
+};
+
+/**
+ * Steppable thermal/performance co-simulation engine.
+ *
+ * Owns one StorageSystem plus the drive thermal model and DTM controller,
+ * exposed as an explicit time-stepping API so an external coordinator (the
+ * fleet simulator) can interleave many engines: start() loads the workload
+ * and arms the control loop, advanceTo() runs simulated time forward to a
+ * barrier, and setAmbient() re-points the external cooling boundary between
+ * barriers (inter-drive coupling through shared chassis air).
+ *
+ * CoSimulation::run() is a thin wrapper — start + advanceToCompletion —
+ * and the engine produces bit-identical results to it for any advanceTo()
+ * schedule: stepping changes when host code observes the simulation, never
+ * the event order inside it.
+ */
+class CoSimEngine
+{
+  public:
+    explicit CoSimEngine(const CoSimConfig& config);
+
+    /// Submit the whole workload and arm the DTM control loop.  Call once.
+    void start(const std::vector<sim::IoRequest>& workload);
+
+    /// Run events up to simulated time @p t (the clock advances to @p t
+    /// even if the queue drains early).
+    void advanceTo(sim::SimTime t);
+
+    /// Drain every pending event (classic run-to-completion).
+    void advanceToCompletion();
+
+    /// True once every submitted request has completed.
+    bool finished() const;
+
+    /// Current simulated time, seconds.
+    sim::SimTime now() const { return system_.events().now(); }
+
+    /// Current internal drive air temperature, °C.
+    double airTempC() const { return model_.airTempC(); }
+
+    /**
+     * Heat the bay currently rejects into the chassis air stream, watts:
+     * the thermal model's operating-point dissipation times the member-disk
+     * count (one calibrated model stands for every symmetric member).
+     */
+    double heatOutputW() const;
+
+    /// Re-point the external ambient (chassis inlet) temperature.  Ignored
+    /// while an ambientProfile drives the ambient instead.
+    void setAmbient(double ambient_c);
+
+    /// Storage system under control (metrics, DTM hooks, event clock).
+    sim::StorageSystem& system() { return system_; }
+    const sim::StorageSystem& system() const { return system_; }
+
+    /// Result snapshot (means finalized over the time simulated so far).
+    CoSimResult result() const;
+
+    /// Configuration in force.
+    const CoSimConfig& config() const { return config_; }
+
+  private:
+    void tick();
+
+    CoSimConfig config_;
+    sim::StorageSystem system_;
+    thermal::DriveThermalModel model_;
+    std::optional<SpeedGovernor> governor_;
+    std::optional<util::PiecewiseLinear> ambient_schedule_;
+
+    CoSimResult partial_;
+    std::size_t workload_size_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t warmup_count_ = 0;
+    bool started_ = false;
+    bool gated_ = false;
+    double last_seek_total_ = 0.0;
+    double duty_weighted_ = 0.0;
+    double duty_ewma_ = 0.0;
+    double temp_integral_ = 0.0;
+    sim::SimTime last_tick_ = 0.0;
 };
 
 /// Joins a StorageSystem with the calibrated drive thermal model.

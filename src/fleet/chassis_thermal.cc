@@ -1,0 +1,36 @@
+#include "fleet/chassis_thermal.h"
+
+#include "thermal/correlations.h"
+#include "util/error.h"
+
+namespace hddtherm::fleet {
+
+std::vector<ChassisAirState>
+resolveChassisAir(const FleetConfig& config,
+                  const std::vector<double>& chassis_heat_w)
+{
+    HDDTHERM_REQUIRE(int(chassis_heat_w.size()) == config.totalChassis(),
+                     "one heat load per chassis required");
+    const double mass_flow =
+        thermal::airMassFlowFromCfm(config.chassis.airflowCfm);
+
+    std::vector<ChassisAirState> states(chassis_heat_w.size());
+    for (int r = 0; r < config.racks; ++r) {
+        double preheat = 0.0; // accumulated leakage from chassis below
+        for (int c = 0; c < config.rack.chassisCount; ++c) {
+            const auto ci = std::size_t(r * config.rack.chassisCount + c);
+            const double rise =
+                thermal::exhaustTempRiseC(chassis_heat_w[ci], mass_flow);
+            ChassisAirState& s = states[ci];
+            s.inletC = config.rack.inletC + config.chassis.inletOffsetC +
+                       preheat;
+            s.exhaustC = s.inletC + rise;
+            s.driveAmbientC =
+                s.inletC + config.chassis.recirculationFraction * rise;
+            preheat += config.rack.preheatFraction * rise;
+        }
+    }
+    return states;
+}
+
+} // namespace hddtherm::fleet

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Inter-drive thermal coupling through shared chassis air.
+ *
+ * Each chassis is treated as a steady-flow control volume: cooling air
+ * enters at the chassis inlet temperature, absorbs every watt its member
+ * drives reject (thermal::exhaustTempRiseC), and leaves as exhaust.  Two
+ * leakage paths couple drives to each other:
+ *   - within a chassis, a recirculation fraction of the exhaust rise is
+ *     mixed back into the air the drives actually breathe, so a busy
+ *     neighbour raises everyone's ambient;
+ *   - within a rack, a preheat fraction of each chassis's exhaust rise
+ *     leaks into the intake of the chassis above it, so position in the
+ *     stack matters (bottom runs coolest).
+ *
+ * The fleet simulator recomputes these states at every ambient-sync
+ * barrier from the heats sampled at the barrier; the computation is a
+ * single bottom-to-top pass per rack in fixed chassis order, which keeps
+ * the coupling bit-deterministic regardless of how shards were scheduled.
+ */
+#ifndef HDDTHERM_FLEET_CHASSIS_THERMAL_H
+#define HDDTHERM_FLEET_CHASSIS_THERMAL_H
+
+#include <vector>
+
+#include "fleet/topology.h"
+
+namespace hddtherm::fleet {
+
+/// Air temperatures of one chassis at a barrier.
+struct ChassisAirState
+{
+    double inletC = 0.0;        ///< Intake after rack preheat + offset.
+    double exhaustC = 0.0;      ///< Intake plus the full exhaust rise.
+    double driveAmbientC = 0.0; ///< What member drives breathe (recirc mix).
+};
+
+/**
+ * Resolve every chassis's air state from the member heat loads.
+ *
+ * @param config fleet topology (airflow, recirculation, preheat).
+ * @param chassis_heat_w total heat each chassis's bays reject, watts, in
+ *        global chassis order (rack-major); size must be totalChassis().
+ * @return per-chassis air states in the same order.
+ */
+std::vector<ChassisAirState>
+resolveChassisAir(const FleetConfig& config,
+                  const std::vector<double>& chassis_heat_w);
+
+} // namespace hddtherm::fleet
+
+#endif // HDDTHERM_FLEET_CHASSIS_THERMAL_H

@@ -1,0 +1,158 @@
+#include "fleet/fleet_sim.h"
+
+#include <algorithm>
+
+#include "trace/synth.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/random.h"
+
+namespace hddtherm::fleet {
+
+namespace {
+
+/// One drive bay: its position plus the co-simulation advancing it.
+struct Shard
+{
+    BayAddress addr;
+    std::unique_ptr<dtm::CoSimEngine> engine;
+};
+
+} // namespace
+
+FleetSimulation::FleetSimulation(const FleetConfig& config)
+    : config_(config)
+{
+    config_.validate();
+    // The bay template is validated eagerly so a bad fleet fails at
+    // construction, not at run() after workload generation.
+    dtm::CoSimulation probe(config_.bay);
+    (void)probe;
+}
+
+FleetResult
+FleetSimulation::run(int threads)
+{
+    const auto bays = enumerateBays(config_);
+    const auto chassis_count = std::size_t(config_.totalChassis());
+
+    // Idle chassis air (zero heat) supplies each bay's starting ambient —
+    // position in the rack already matters once traffic begins.
+    const auto idle_air = resolveChassisAir(
+        config_, std::vector<double>(chassis_count, 0.0));
+
+    // Shards are built serially in bay order: thermal calibration (lazy,
+    // shared) resolves on this thread, and engine construction order never
+    // depends on the executor.
+    std::vector<Shard> shards;
+    shards.reserve(bays.size());
+    for (const auto& addr : bays) {
+        dtm::CoSimConfig cfg = config_.bay;
+        cfg.ambientC =
+            idle_air[std::size_t(addr.chassisIndex)].driveAmbientC;
+        cfg.maxSimulatedSec = config_.maxSimulatedSec;
+        Shard shard;
+        shard.addr = addr;
+        shard.engine = std::make_unique<dtm::CoSimEngine>(cfg);
+        shards.push_back(std::move(shard));
+    }
+
+    ShardExecutor executor(threads);
+
+    // Per-bay workload generation + submission, farmed to the executor:
+    // every stream is a pure function of (fleet seed, bay index), so the
+    // schedule cannot perturb the traces.
+    {
+        std::vector<ShardExecutor::Task> setup;
+        setup.reserve(shards.size());
+        for (auto& shard : shards) {
+            setup.push_back([this, &shard]() {
+                trace::WorkloadSpec spec = config_.workload;
+                spec.seed = util::deriveStreamSeed(
+                    config_.seed, std::uint64_t(shard.addr.globalIndex));
+                spec.devices =
+                    config_.bay.system.raid == sim::RaidLevel::None
+                        ? shard.engine->system().diskCount()
+                        : 1;
+                const trace::SyntheticWorkload gen(spec);
+                const auto trace =
+                    gen.generate(shard.engine->system().logicalSectors());
+                shard.engine->start(trace.toRequests());
+            });
+        }
+        executor.runBatch(std::move(setup));
+    }
+
+    FleetResult result;
+    result.shards = int(shards.size());
+    result.chassis.resize(chassis_count);
+    for (const auto& shard : shards) {
+        auto& report = result.chassis[std::size_t(shard.addr.chassisIndex)];
+        report.rack = shard.addr.rack;
+        report.chassis = shard.addr.chassis;
+    }
+
+    // Epoch loop: parallel shard advance, then the ambient-sync barrier.
+    std::vector<double> chassis_heat(chassis_count, 0.0);
+    double t = 0.0;
+    bool all_done = false;
+    while (!all_done) {
+        t += config_.epochSec;
+
+        std::vector<ShardExecutor::Task> batch;
+        batch.reserve(shards.size());
+        for (auto& shard : shards) {
+            if (!shard.engine->finished()) {
+                dtm::CoSimEngine* engine = shard.engine.get();
+                batch.push_back([engine, t]() { engine->advanceTo(t); });
+            }
+        }
+        executor.runBatch(std::move(batch));
+        ++result.epochs;
+
+        // Barrier: all cross-shard coupling happens here, on this thread,
+        // in fixed bay/chassis order (the determinism contract).
+        std::fill(chassis_heat.begin(), chassis_heat.end(), 0.0);
+        all_done = true;
+        for (const auto& shard : shards) {
+            chassis_heat[std::size_t(shard.addr.chassisIndex)] +=
+                shard.engine->heatOutputW();
+            all_done = all_done && shard.engine->finished();
+        }
+        const auto air = resolveChassisAir(config_, chassis_heat);
+        for (auto& shard : shards) {
+            const auto ci = std::size_t(shard.addr.chassisIndex);
+            shard.engine->setAmbient(air[ci].driveAmbientC);
+            result.chassis[ci].peakDriveAmbientC = std::max(
+                result.chassis[ci].peakDriveAmbientC, air[ci].driveAmbientC);
+        }
+
+        if (!all_done && t >= config_.maxSimulatedSec) {
+            util::logWarn("fleet simulation hit the %.0f s cap with "
+                          "unfinished shards; aggregating partial results",
+                          config_.maxSimulatedSec);
+            break;
+        }
+    }
+
+    // Aggregate in bay order on this thread.
+    for (const auto& shard : shards) {
+        const dtm::CoSimResult r = shard.engine->result();
+        auto& report = result.chassis[std::size_t(shard.addr.chassisIndex)];
+        result.metrics.merge(r.metrics);
+        result.gateEvents += r.gateEvents;
+        result.speedChanges += r.speedChanges;
+        result.gatedSec += r.gatedSec;
+        result.maxDriveTempC = std::max(result.maxDriveTempC, r.maxTempC);
+        result.simulatedSec = std::max(result.simulatedSec, r.simulatedSec);
+        report.peakDriveTempC = std::max(report.peakDriveTempC, r.maxTempC);
+        report.gateEvents += r.gateEvents;
+        report.gatedSec += r.gatedSec;
+    }
+    result.meanLatencyMs = result.metrics.meanMs();
+    result.p95LatencyMs = result.metrics.histogram().quantile(0.95);
+    result.executor = executor.stats();
+    return result;
+}
+
+} // namespace hddtherm::fleet

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Rack-scale multi-drive thermal/workload co-simulation.
+ *
+ * A FleetSimulation instantiates one CoSimEngine per drive bay of a
+ * FleetConfig, generates each bay an independent workload (RNG streams
+ * split from one fleet seed), and advances the shards in epochs on a
+ * work-stealing ShardExecutor:
+ *
+ *   repeat until every bay's workload completes:
+ *     1. advance every unfinished shard to the next epoch boundary
+ *        (parallel, shards independent);
+ *     2. barrier: sample every bay's exhaust heat, resolve the shared
+ *        chassis air (resolveChassisAir), re-point every bay's ambient.
+ *
+ * Determinism: for a fixed FleetConfig the aggregated result is
+ * bit-identical for every executor thread count.  Shards never share
+ * state between barriers, barrier-side work (heat gathering, chassis air
+ * resolution, metric merging) runs on the caller's thread in fixed bay
+ * order, and per-bay RNG streams are pure functions of (seed, bay index).
+ */
+#ifndef HDDTHERM_FLEET_FLEET_SIM_H
+#define HDDTHERM_FLEET_FLEET_SIM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/chassis_thermal.h"
+#include "fleet/shard_executor.h"
+#include "fleet/topology.h"
+#include "sim/metrics.h"
+
+namespace hddtherm::fleet {
+
+/// Per-chassis outcome of a fleet run.
+struct ChassisReport
+{
+    int rack = 0;    ///< Rack index.
+    int chassis = 0; ///< Position in the rack (0 = bottom).
+    /// Hottest shared-air temperature the members breathed (at barriers).
+    double peakDriveAmbientC = 0.0;
+    /// Hottest internal drive air among the members (continuous).
+    double peakDriveTempC = 0.0;
+    std::uint64_t gateEvents = 0; ///< DTM gate activations, all members.
+    double gatedSec = 0.0;        ///< Summed member throttle time.
+};
+
+/// Aggregated outcome of a fleet run.
+struct FleetResult
+{
+    sim::ResponseMetrics metrics; ///< All bays' logical response times.
+    double meanLatencyMs = 0.0;   ///< Fleet-wide mean response time.
+    double p95LatencyMs = 0.0;    ///< Fleet-wide 95th percentile.
+    double maxDriveTempC = 0.0;   ///< Hottest internal drive air anywhere.
+    std::uint64_t gateEvents = 0; ///< DTM gate activations, fleet-wide.
+    std::uint64_t speedChanges = 0; ///< Governor transitions, fleet-wide.
+    double gatedSec = 0.0;          ///< Summed throttle time, fleet-wide.
+    double simulatedSec = 0.0;      ///< Simulated span (slowest bay).
+    std::uint64_t epochs = 0;       ///< Ambient-sync barriers executed.
+    int shards = 0;                 ///< Drive bays simulated.
+    std::vector<ChassisReport> chassis; ///< Global chassis order.
+    ShardExecutor::Stats executor;      ///< Scheduling counters.
+};
+
+/// Co-simulates every drive bay of a FleetConfig.
+class FleetSimulation
+{
+  public:
+    /// Validates the configuration; throws util::ModelError if invalid.
+    explicit FleetSimulation(const FleetConfig& config);
+
+    /**
+     * Build all shards, generate their workloads, and run to completion
+     * on @p threads executor threads (0 = hardware concurrency).  Each
+     * call is an independent simulation from a fresh state.
+     */
+    FleetResult run(int threads = 1);
+
+    /// Configuration in force.
+    const FleetConfig& config() const { return config_; }
+
+  private:
+    FleetConfig config_;
+};
+
+} // namespace hddtherm::fleet
+
+#endif // HDDTHERM_FLEET_FLEET_SIM_H

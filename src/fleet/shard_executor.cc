@@ -1,0 +1,133 @@
+#include "fleet/shard_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace hddtherm::fleet {
+
+ShardExecutor::ShardExecutor(int threads)
+{
+    if (threads <= 0)
+        threads = int(std::max(1u, std::thread::hardware_concurrency()));
+    threads_ = threads;
+    if (threads_ == 1)
+        return; // inline mode: no workers, no synchronization
+    queues_.resize(std::size_t(threads_));
+    workers_.reserve(std::size_t(threads_));
+    for (int w = 0; w < threads_; ++w)
+        workers_.emplace_back([this, w]() { workerLoop(std::size_t(w)); });
+}
+
+ShardExecutor::~ShardExecutor()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ShardExecutor::runBatch(std::vector<Task> tasks)
+{
+    if (threads_ == 1) {
+        for (auto& task : tasks) {
+            task();
+            ++stats_.tasks;
+        }
+        ++stats_.batches;
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    HDDTHERM_REQUIRE(pending_ == 0, "ShardExecutor::runBatch is not "
+                                    "reentrant");
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        queues_[i % queues_.size()].push_back(std::move(tasks[i]));
+    }
+    pending_ = tasks.size();
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this]() { return pending_ == 0; });
+    ++stats_.batches;
+    if (first_error_) {
+        std::exception_ptr err;
+        std::swap(err, first_error_);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+bool
+ShardExecutor::grab(std::size_t self, Task& task, bool& stolen)
+{
+    if (!queues_[self].empty()) {
+        task = std::move(queues_[self].front());
+        queues_[self].pop_front();
+        stolen = false;
+        return true;
+    }
+    // Steal from the back of the longest peer deque (spreads the tail of
+    // an uneven batch instead of ping-ponging one victim).
+    std::size_t victim = self;
+    std::size_t longest = 0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (q != self && queues_[q].size() > longest) {
+            longest = queues_[q].size();
+            victim = q;
+        }
+    }
+    if (longest == 0)
+        return false;
+    task = std::move(queues_[victim].back());
+    queues_[victim].pop_back();
+    stolen = true;
+    return true;
+}
+
+void
+ShardExecutor::workerLoop(std::size_t self)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Task task;
+        bool stolen = false;
+        if (grab(self, task, stolen)) {
+            ++stats_.tasks;
+            if (stolen)
+                ++stats_.steals;
+            lock.unlock();
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            if (err && !first_error_)
+                first_error_ = err;
+            if (--pending_ == 0)
+                done_cv_.notify_all();
+            continue;
+        }
+        if (stop_)
+            return;
+        work_cv_.wait(lock);
+    }
+}
+
+ShardExecutor::Stats
+ShardExecutor::stats() const
+{
+    if (threads_ == 1)
+        return stats_;
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace hddtherm::fleet

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Work-stealing thread pool for advancing independent simulation shards.
+ *
+ * The fleet simulator advances every unfinished drive bay by one epoch
+ * between ambient-sync barriers.  Shard runtimes are wildly uneven (a
+ * throttled drive burns thermal-integration steps while an idle one
+ * fast-forwards), so static partitioning would leave threads idle; each
+ * worker therefore owns a deque seeded round-robin and steals from the
+ * busiest peer when its own runs dry.
+ *
+ * Determinism contract: the executor only chooses *which thread* runs a
+ * task, never reorders observable work — tasks must be mutually
+ * independent (each touches only its own shard), so any interleaving
+ * yields bit-identical shard states.  All cross-shard reads/merges happen
+ * on the caller's thread after runBatch() returns (the barrier).
+ *
+ * A single-threaded executor runs batches inline on the caller, making
+ * thread count a pure performance knob.
+ */
+#ifndef HDDTHERM_FLEET_SHARD_EXECUTOR_H
+#define HDDTHERM_FLEET_SHARD_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hddtherm::fleet {
+
+/// Fixed pool of workers executing batches of independent tasks.
+class ShardExecutor
+{
+  public:
+    using Task = std::function<void()>;
+
+    /// Cumulative executor counters.
+    struct Stats
+    {
+        std::uint64_t batches = 0; ///< runBatch() calls completed.
+        std::uint64_t tasks = 0;   ///< Tasks executed.
+        std::uint64_t steals = 0;  ///< Tasks run by a non-home worker.
+    };
+
+    /// @param threads worker count; 0 selects hardware_concurrency.
+    explicit ShardExecutor(int threads = 0);
+
+    /// Drains in-flight work and joins the workers.
+    ~ShardExecutor();
+
+    ShardExecutor(const ShardExecutor&) = delete;
+    ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+    /// Worker count (1 = inline execution on the caller).
+    int threads() const { return threads_; }
+
+    /**
+     * Execute every task and return when all have finished (the barrier).
+     * Tasks must be mutually independent.  If any task throws, the first
+     * exception (in completion order) is rethrown after the barrier; the
+     * remaining tasks still run.  Not reentrant.
+     */
+    void runBatch(std::vector<Task> tasks);
+
+    /// Counters accumulated since construction.
+    Stats stats() const;
+
+  private:
+    void workerLoop(std::size_t self);
+
+    /// Pop the next task for worker @p self (own deque front, else steal
+    /// from the back of the longest peer deque).  Caller holds mu_.
+    bool grab(std::size_t self, Task& task, bool& stolen);
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+    std::vector<std::deque<Task>> queues_; ///< One home deque per worker.
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; ///< Signals workers: work or stop.
+    std::condition_variable done_cv_; ///< Signals the caller: batch done.
+    std::size_t pending_ = 0;         ///< Tasks queued or running.
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+    Stats stats_;
+};
+
+} // namespace hddtherm::fleet
+
+#endif // HDDTHERM_FLEET_SHARD_EXECUTOR_H

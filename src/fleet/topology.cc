@@ -1,0 +1,54 @@
+#include "fleet/topology.h"
+
+#include "util/error.h"
+
+namespace hddtherm::fleet {
+
+void
+FleetConfig::validate() const
+{
+    HDDTHERM_REQUIRE(racks >= 1, "fleet needs at least one rack");
+    HDDTHERM_REQUIRE(rack.chassisCount >= 1,
+                     "rack needs at least one chassis");
+    HDDTHERM_REQUIRE(chassis.bays >= 1,
+                     "chassis needs at least one drive bay");
+    HDDTHERM_REQUIRE(chassis.airflowCfm > 0.0,
+                     "chassis airflow must be positive");
+    HDDTHERM_REQUIRE(chassis.recirculationFraction >= 0.0 &&
+                         chassis.recirculationFraction <= 1.0,
+                     "recirculation fraction must be in [0, 1]");
+    HDDTHERM_REQUIRE(rack.preheatFraction >= 0.0 &&
+                         rack.preheatFraction <= 1.0,
+                     "preheat fraction must be in [0, 1]");
+    HDDTHERM_REQUIRE(epochSec > 0.0, "ambient-sync epoch must be positive");
+    HDDTHERM_REQUIRE(maxSimulatedSec > 0.0,
+                     "simulated-time cap must be positive");
+    HDDTHERM_REQUIRE(bay.ambientProfile.empty(),
+                     "the fleet owns the ambient: bay template must not "
+                     "carry an ambientProfile");
+    HDDTHERM_REQUIRE(workload.requests > 0, "per-bay workload is empty");
+}
+
+std::vector<BayAddress>
+enumerateBays(const FleetConfig& config)
+{
+    std::vector<BayAddress> bays;
+    bays.reserve(std::size_t(config.totalBays()));
+    int global = 0;
+    for (int r = 0; r < config.racks; ++r) {
+        for (int c = 0; c < config.rack.chassisCount; ++c) {
+            for (int b = 0; b < config.chassis.bays; ++b) {
+                BayAddress addr;
+                addr.rack = r;
+                addr.chassis = c;
+                addr.bay = b;
+                addr.chassisIndex = r * config.rack.chassisCount + c;
+                addr.globalIndex = global++;
+                bays.push_back(addr);
+            }
+        }
+    }
+    return bays;
+}
+
+} // namespace hddtherm::fleet

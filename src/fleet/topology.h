@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fleet topology: racks of chassis of drive bays.
+ *
+ * The paper's §5 workload study simulates one drive/array at a time, but
+ * its thermal argument is a machine-room one: drives throttle because of
+ * the *shared* chassis air they sit in.  A FleetConfig scales the model
+ * out — racks hold vertically stacked chassis, each chassis holds drive
+ * bays, and every bay is an independent storage-plus-DTM co-simulation
+ * (sim::StorageSystem + dtm::CoSimEngine) whose external ambient is the
+ * chassis air rather than a constant.
+ *
+ * The topology is homogeneous by construction (one bay template, one
+ * chassis spec, one rack spec): fleets differ in *where* a drive sits —
+ * how much pre-heated air reaches it — not in what the drive is, which is
+ * exactly the coupling the chassis air model resolves.
+ */
+#ifndef HDDTHERM_FLEET_TOPOLOGY_H
+#define HDDTHERM_FLEET_TOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dtm/cosim.h"
+#include "trace/synth.h"
+
+namespace hddtherm::fleet {
+
+/// One chassis: bays sharing a forced-air cooling stream.
+struct ChassisSpec
+{
+    int bays = 8;              ///< Drive bays per chassis.
+    double airflowCfm = 120.0; ///< Cooling airflow through the chassis.
+    /**
+     * Fraction of the chassis exhaust temperature rise that recirculates
+     * to the member drives' inlets (0 = perfectly ducted front-to-back
+     * flow, 1 = drives breathe fully mixed exhaust air).
+     */
+    double recirculationFraction = 0.3;
+    /// Static offset of the chassis inlet above its rack inlet (plenum
+    /// losses, PSU pre-heating).
+    double inletOffsetC = 0.0;
+};
+
+/// One rack: chassis stacked bottom-to-top in a shared cold aisle.
+struct RackSpec
+{
+    int chassisCount = 4; ///< Chassis per rack (index 0 = bottom).
+    /// Cold-aisle supply temperature at the rack face.
+    double inletC = thermal::kBaselineAmbientC;
+    /**
+     * Fraction of each chassis's exhaust temperature rise that leaks
+     * upward into the intake of the chassis above it (bypass/recirculation
+     * around the rack; 0 = ideal containment).
+     */
+    double preheatFraction = 0.1;
+};
+
+/// Whole-fleet configuration.
+struct FleetConfig
+{
+    int racks = 1;       ///< Identical racks (thermally independent).
+    RackSpec rack;       ///< Per-rack layout and cold-aisle supply.
+    ChassisSpec chassis; ///< Per-chassis bays and airflow.
+    /**
+     * Per-bay co-simulation template.  ambientC and ambientProfile are
+     * managed by the fleet (the chassis air model owns the ambient), so
+     * the profile must be left empty.
+     */
+    dtm::CoSimConfig bay;
+    /**
+     * Per-bay workload template; each bay's generator seed is derived from
+     * the fleet seed and the bay's global index (util::deriveStreamSeed),
+     * and the device count is forced to match the bay's storage system.
+     */
+    trace::WorkloadSpec workload;
+    std::uint64_t seed = 1; ///< Root seed for all per-bay RNG streams.
+    /**
+     * Ambient-sync barrier period, seconds: shards advance independently
+     * for one epoch, then every chassis's shared air temperature is
+     * recomputed from its members' exhaust heat.
+     */
+    double epochSec = 0.5;
+    /// Safety cap on simulated time (mirrors CoSimConfig::maxSimulatedSec).
+    double maxSimulatedSec = 86400.0;
+
+    /// @name Derived sizes.
+    /// @{
+    int totalChassis() const { return racks * rack.chassisCount; }
+    int totalBays() const { return totalChassis() * chassis.bays; }
+    /// @}
+
+    /// Validate invariants; throws util::ModelError on bad configuration.
+    void validate() const;
+};
+
+/// Position of one drive bay within the fleet.
+struct BayAddress
+{
+    int rack = 0;         ///< Rack index.
+    int chassis = 0;      ///< Chassis index within the rack (0 = bottom).
+    int bay = 0;          ///< Bay index within the chassis.
+    int chassisIndex = 0; ///< Global chassis index (rack-major).
+    int globalIndex = 0;  ///< Global bay index (rack, chassis, bay major).
+};
+
+/// Every bay in deterministic rack-major order (the shard order: RNG
+/// streams, aggregation and chassis membership all follow it).
+std::vector<BayAddress> enumerateBays(const FleetConfig& config);
+
+} // namespace hddtherm::fleet
+
+#endif // HDDTHERM_FLEET_TOPOLOGY_H

@@ -26,6 +26,18 @@ class ResponseMetrics
         histogram_.add(ms);
     }
 
+    /**
+     * Fold another accumulator into this one (fleet-level aggregation).
+     * Merge is order-sensitive in floating point, so callers that promise
+     * determinism must merge in a fixed order (the fleet merges in bay
+     * order on one thread).
+     */
+    void merge(const ResponseMetrics& other)
+    {
+        stats_.merge(other.stats_);
+        histogram_.merge(other.histogram_);
+    }
+
     /// Mean response time, ms.
     double meanMs() const { return stats_.mean(); }
 

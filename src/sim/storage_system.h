@@ -50,6 +50,7 @@ class StorageSystem
 
     /// Shared event queue (drive it manually for co-simulation).
     EventQueue& events() { return events_; }
+    const EventQueue& events() const { return events_; }
 
     /// Member disk access.
     SimDisk& disk(int i) { return *disks_.at(std::size_t(i)); }

@@ -44,4 +44,21 @@ stirredSurfaceFilmCoefficient(double rpm, double radius_m, double scale,
     return floor_h + scale * rotatingDiskFilmCoefficient(rpm, radius_m, air);
 }
 
+double
+airMassFlowFromCfm(double cfm, const AirProperties& air)
+{
+    HDDTHERM_REQUIRE(cfm >= 0.0, "airflow must be non-negative");
+    constexpr double cubic_feet_to_m3 = 0.0283168466;
+    return cfm * cubic_feet_to_m3 / 60.0 * air.density;
+}
+
+double
+exhaustTempRiseC(double power_w, double mass_flow_kg_s,
+                 const AirProperties& air)
+{
+    HDDTHERM_REQUIRE(power_w >= 0.0, "heat load must be non-negative");
+    HDDTHERM_REQUIRE(mass_flow_kg_s > 0.0, "mass flow must be positive");
+    return power_w / (mass_flow_kg_s * air.specificHeat);
+}
+
 } // namespace hddtherm::thermal

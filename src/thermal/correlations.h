@@ -68,6 +68,26 @@ double stirredSurfaceFilmCoefficient(double rpm, double radius_m,
                                      double scale, double floor_h = 5.0,
                                      const AirProperties& air = kDriveAir);
 
+/// @name Chassis-scale forced-air bookkeeping (fleet co-simulation).
+/// The rack/chassis coupling treats each chassis as a steady-flow control
+/// volume: cooling air enters at the inlet temperature, every watt the
+/// member drives dissipate ends up in that stream, and the exhaust rise
+/// follows the energy balance dT = Q / (m_dot cp).
+/// @{
+
+/// Mass flow [kg/s] of a fan moving @p cfm cubic feet of air per minute.
+double airMassFlowFromCfm(double cfm, const AirProperties& air = kDriveAir);
+
+/**
+ * Steady-flow exhaust temperature rise [K] of an air stream of
+ * @p mass_flow_kg_s absorbing @p power_w.  Zero power gives zero rise;
+ * the mass flow must be positive.
+ */
+double exhaustTempRiseC(double power_w, double mass_flow_kg_s,
+                        const AirProperties& air = kDriveAir);
+
+/// @}
+
 } // namespace hddtherm::thermal
 
 #endif // HDDTHERM_THERMAL_CORRELATIONS_H

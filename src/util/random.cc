@@ -29,11 +29,30 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveStreamSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two dependent SplitMix64 steps: the first whitens the root seed, the
+    // second folds in the stream index.  Adjacent indices land far apart,
+    // and stream 0 is NOT the root stream (the fold still perturbs it), so
+    // a parent Rng(seed) never aliases any child.
+    std::uint64_t x = seed;
+    std::uint64_t derived = splitmix64(x);
+    x = derived ^ (stream + 0xD1B54A32D192ED03ull);
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
     for (auto& s : s_)
         s = splitmix64(sm);
+}
+
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    return Rng(deriveStreamSeed(seed, stream));
 }
 
 Rng::result_type

@@ -15,6 +15,17 @@
 
 namespace hddtherm::util {
 
+/**
+ * Derive an independent child seed from a root seed and a stream index.
+ *
+ * Parallel shards each seed their own engine with
+ * deriveStreamSeed(root, shard); the SplitMix64 finalizer decorrelates the
+ * children even for adjacent indices, so shard streams neither share nor
+ * correlate state.  Pure function of (seed, stream): the mapping is part
+ * of the determinism contract.
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 /// xoshiro256** 1.0 engine seeded via SplitMix64.
 class Rng
 {
@@ -23,6 +34,10 @@ class Rng
 
     /// Seed the generator; the same seed yields the same stream.
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Engine for child stream @p stream of @p seed (cheap split for
+    /// parallel shards; see deriveStreamSeed).
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
 
     /// Smallest value produced (UniformRandomBitGenerator contract).
     static constexpr result_type min() { return 0; }

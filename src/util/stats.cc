@@ -69,6 +69,16 @@ Histogram::add(double x)
     ++total_;
 }
 
+void
+Histogram::merge(const Histogram& other)
+{
+    HDDTHERM_REQUIRE(edges_ == other.edges_,
+                     "Histogram::merge: bin edges differ");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 std::vector<double>
 Histogram::cdf() const
 {

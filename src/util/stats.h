@@ -72,6 +72,13 @@ class Histogram
     /// Add one sample; it is counted in the first bin whose edge >= x.
     void add(double x);
 
+    /**
+     * Merge another histogram accumulated over identical edges (per-bin
+     * count addition; integer, so merge order cannot perturb the result).
+     * @throws util::ModelError on mismatched edges.
+     */
+    void merge(const Histogram& other);
+
     /// Total samples.
     std::uint64_t count() const { return total_; }
 

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests of the rack-scale fleet co-simulation: topology validation, the
+ * chassis air coupling, the work-stealing executor, and the determinism
+ * contract (bit-identical fleet metrics across executor thread counts).
+ */
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "fleet/chassis_thermal.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/shard_executor.h"
+#include "util/error.h"
+
+namespace hd = hddtherm::dtm;
+namespace hf = hddtherm::fleet;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+namespace {
+
+/// A hot 2.6" drive (steady state above the envelope at full duty) so the
+/// GateRequests policy actually throttles under fleet traffic.
+hs::SystemConfig
+hotDrive()
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = 24534.0;
+    cfg.disks = 1;
+    return cfg;
+}
+
+hf::FleetConfig
+smallFleet(int racks, int chassis_per_rack, int bays_per_chassis)
+{
+    hf::FleetConfig cfg;
+    cfg.racks = racks;
+    cfg.rack.chassisCount = chassis_per_rack;
+    cfg.chassis.bays = bays_per_chassis;
+    cfg.bay.system = hotDrive();
+    cfg.bay.policy = hd::DtmPolicy::GateRequests;
+    cfg.workload.requests = 150;
+    cfg.workload.arrivalRatePerSec = 100.0;
+    cfg.epochSec = 0.25;
+    cfg.maxSimulatedSec = 600.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FleetTopology, EnumeratesBaysRackMajor)
+{
+    const auto cfg = smallFleet(2, 3, 4);
+    const auto bays = hf::enumerateBays(cfg);
+    ASSERT_EQ(bays.size(), 24u);
+    EXPECT_EQ(cfg.totalBays(), 24);
+    EXPECT_EQ(cfg.totalChassis(), 6);
+    EXPECT_EQ(bays[0].globalIndex, 0);
+    EXPECT_EQ(bays[0].chassisIndex, 0);
+    // Bay 13 = rack 1, chassis 0, bay 1.
+    EXPECT_EQ(bays[13].rack, 1);
+    EXPECT_EQ(bays[13].chassis, 0);
+    EXPECT_EQ(bays[13].bay, 1);
+    EXPECT_EQ(bays[13].chassisIndex, 3);
+    EXPECT_EQ(bays.back().globalIndex, 23);
+}
+
+TEST(FleetTopology, ValidatesConfiguration)
+{
+    auto bad = smallFleet(1, 1, 2);
+    bad.racks = 0;
+    EXPECT_THROW(bad.validate(), hu::ModelError);
+
+    bad = smallFleet(1, 1, 2);
+    bad.chassis.airflowCfm = 0.0;
+    EXPECT_THROW(bad.validate(), hu::ModelError);
+
+    bad = smallFleet(1, 1, 2);
+    bad.chassis.recirculationFraction = 1.5;
+    EXPECT_THROW(bad.validate(), hu::ModelError);
+
+    bad = smallFleet(1, 1, 2);
+    bad.bay.ambientProfile = {{0.0, 28.0}, {10.0, 35.0}};
+    EXPECT_THROW(bad.validate(), hu::ModelError);
+
+    bad = smallFleet(1, 1, 2);
+    bad.workload.requests = 0;
+    EXPECT_THROW(bad.validate(), hu::ModelError);
+}
+
+TEST(ChassisAir, IdleChassisSitsAtInlet)
+{
+    const auto cfg = smallFleet(1, 2, 4);
+    const auto states =
+        hf::resolveChassisAir(cfg, std::vector<double>(2, 0.0));
+    ASSERT_EQ(states.size(), 2u);
+    for (const auto& s : states) {
+        EXPECT_DOUBLE_EQ(s.inletC, cfg.rack.inletC);
+        EXPECT_DOUBLE_EQ(s.exhaustC, s.inletC);
+        EXPECT_DOUBLE_EQ(s.driveAmbientC, s.inletC);
+    }
+}
+
+TEST(ChassisAir, HeatRaisesExhaustAndDriveAmbient)
+{
+    const auto cfg = smallFleet(1, 1, 4);
+    const auto states = hf::resolveChassisAir(cfg, {200.0});
+    ASSERT_EQ(states.size(), 1u);
+    EXPECT_GT(states[0].exhaustC, states[0].inletC);
+    EXPECT_GT(states[0].driveAmbientC, states[0].inletC);
+    // Partial recirculation: drives breathe cooler air than the exhaust.
+    EXPECT_LT(states[0].driveAmbientC, states[0].exhaustC);
+
+    // Double the heat, double the rise (steady-flow energy balance).
+    const auto twice = hf::resolveChassisAir(cfg, {400.0});
+    EXPECT_NEAR(twice[0].exhaustC - twice[0].inletC,
+                2.0 * (states[0].exhaustC - states[0].inletC), 1e-9);
+}
+
+TEST(ChassisAir, UpperChassisInheritsPreheat)
+{
+    const auto cfg = smallFleet(1, 3, 4);
+    const auto states = hf::resolveChassisAir(cfg, {150.0, 150.0, 150.0});
+    ASSERT_EQ(states.size(), 3u);
+    EXPECT_GT(states[1].inletC, states[0].inletC);
+    EXPECT_GT(states[2].inletC, states[1].inletC);
+
+    // Racks are independent: the second rack's bottom chassis matches the
+    // first rack's bottom chassis.
+    auto two_racks = smallFleet(2, 3, 4);
+    const auto both = hf::resolveChassisAir(
+        two_racks, std::vector<double>(6, 150.0));
+    EXPECT_DOUBLE_EQ(both[3].inletC, both[0].inletC);
+}
+
+TEST(ShardExecutor, RunsEveryTaskAcrossThreads)
+{
+    for (int threads : {1, 2, 4}) {
+        hf::ShardExecutor exec(threads);
+        EXPECT_EQ(exec.threads(), threads);
+        std::atomic<int> ran{0};
+        std::vector<hf::ShardExecutor::Task> tasks;
+        for (int i = 0; i < 64; ++i)
+            tasks.push_back([&ran]() { ++ran; });
+        exec.runBatch(std::move(tasks));
+        EXPECT_EQ(ran.load(), 64);
+        EXPECT_EQ(exec.stats().tasks, 64u);
+        EXPECT_EQ(exec.stats().batches, 1u);
+    }
+}
+
+TEST(ShardExecutor, StealsUnevenWork)
+{
+    // Worker 0's home deque gets the long task first (round-robin), so the
+    // other workers run dry and must steal the remainder of its queue.
+    hf::ShardExecutor exec(4);
+    std::vector<hf::ShardExecutor::Task> tasks;
+    tasks.push_back([]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i)
+        tasks.push_back([&ran]() { ++ran; });
+    exec.runBatch(std::move(tasks));
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_EQ(exec.stats().tasks, 33u);
+}
+
+TEST(ShardExecutor, PropagatesTaskExceptions)
+{
+    hf::ShardExecutor exec(2);
+    std::atomic<int> ran{0};
+    std::vector<hf::ShardExecutor::Task> tasks;
+    tasks.push_back([]() { throw std::runtime_error("shard failed"); });
+    for (int i = 0; i < 8; ++i)
+        tasks.push_back([&ran]() { ++ran; });
+    EXPECT_THROW(exec.runBatch(std::move(tasks)), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8); // remaining tasks still ran
+
+    // The pool survives a failed batch.
+    std::vector<hf::ShardExecutor::Task> again;
+    again.push_back([&ran]() { ++ran; });
+    exec.runBatch(std::move(again));
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ShardExecutor, ZeroSelectsHardwareConcurrency)
+{
+    hf::ShardExecutor exec(0);
+    EXPECT_GE(exec.threads(), 1);
+}
+
+TEST(CoSimEngine, SteppedRunMatchesRunToCompletion)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+
+    std::vector<hs::IoRequest> workload;
+    const std::int64_t space = hs::StorageSystem(cfg.system).logicalSectors();
+    for (std::size_t i = 0; i < 300; ++i) {
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = double(i) * 0.01;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        workload.push_back(r);
+    }
+
+    hd::CoSimulation oneshot(cfg);
+    const auto a = oneshot.run(workload);
+
+    hd::CoSimEngine engine(cfg);
+    engine.start(workload);
+    double t = 0.0;
+    while (!engine.finished()) {
+        t += 0.37; // barrier schedule deliberately unrelated to the ticks
+        engine.advanceTo(t);
+    }
+    engine.advanceToCompletion();
+    const auto b = engine.result();
+
+    // Stepping changes when the host observes the simulation, never the
+    // event order inside it: metrics and thermal outcomes are bit-equal.
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.metrics.stats().max(), b.metrics.stats().max());
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    // Duty *means* divide by simulatedSec, which legitimately differs (the
+    // stepped clock ends on a barrier boundary); the integrals must match.
+    EXPECT_NEAR(a.meanVcmDuty * a.simulatedSec,
+                b.meanVcmDuty * b.simulatedSec, 1e-9);
+}
+
+TEST(FleetSim, AggregatesEveryBayAndThrottles)
+{
+    auto cfg = smallFleet(1, 2, 3);
+    hf::FleetSimulation fleet(cfg);
+    const auto result = fleet.run(1);
+
+    EXPECT_EQ(result.shards, 6);
+    EXPECT_EQ(result.metrics.count(), 6u * cfg.workload.requests);
+    EXPECT_GT(result.epochs, 0u);
+    EXPECT_GT(result.simulatedSec, 0.0);
+    EXPECT_GT(result.meanLatencyMs, 0.0);
+    EXPECT_GT(result.p95LatencyMs, 0.0);
+    // The hot drive config throttles under shared chassis air.
+    EXPECT_GT(result.gateEvents, 0u);
+    EXPECT_GT(result.maxDriveTempC, cfg.rack.inletC);
+
+    ASSERT_EQ(result.chassis.size(), 2u);
+    std::uint64_t chassis_gates = 0;
+    for (const auto& c : result.chassis) {
+        // Members heated the shared air above the cold-aisle supply.
+        EXPECT_GT(c.peakDriveAmbientC, cfg.rack.inletC);
+        EXPECT_GT(c.peakDriveTempC, c.peakDriveAmbientC);
+        chassis_gates += c.gateEvents;
+    }
+    EXPECT_EQ(chassis_gates, result.gateEvents);
+}
+
+TEST(FleetSim, DenserChassisRunsHotter)
+{
+    auto sparse = smallFleet(1, 1, 2);
+    auto dense = smallFleet(1, 1, 6);
+    const auto a = hf::FleetSimulation(sparse).run(1);
+    const auto b = hf::FleetSimulation(dense).run(1);
+    EXPECT_GT(b.chassis[0].peakDriveAmbientC,
+              a.chassis[0].peakDriveAmbientC);
+}
+
+TEST(FleetSim, BitIdenticalAcrossThreadCounts)
+{
+    const auto cfg = smallFleet(1, 2, 4);
+    const auto base = hf::FleetSimulation(cfg).run(1);
+    for (int threads : {2, 4}) {
+        const auto other = hf::FleetSimulation(cfg).run(threads);
+        // The acceptance contract: aggregated fleet metrics are
+        // bit-identical for a fixed seed regardless of the thread count.
+        EXPECT_EQ(base.metrics.count(), other.metrics.count());
+        EXPECT_EQ(base.metrics.meanMs(), other.metrics.meanMs());
+        EXPECT_EQ(base.metrics.stats().variance(),
+                  other.metrics.stats().variance());
+        EXPECT_EQ(base.p95LatencyMs, other.p95LatencyMs);
+        EXPECT_EQ(base.maxDriveTempC, other.maxDriveTempC);
+        EXPECT_EQ(base.gateEvents, other.gateEvents);
+        EXPECT_EQ(base.gatedSec, other.gatedSec);
+        EXPECT_EQ(base.epochs, other.epochs);
+        ASSERT_EQ(base.chassis.size(), other.chassis.size());
+        for (std::size_t i = 0; i < base.chassis.size(); ++i) {
+            EXPECT_EQ(base.chassis[i].peakDriveAmbientC,
+                      other.chassis[i].peakDriveAmbientC);
+            EXPECT_EQ(base.chassis[i].peakDriveTempC,
+                      other.chassis[i].peakDriveTempC);
+            EXPECT_EQ(base.chassis[i].gateEvents,
+                      other.chassis[i].gateEvents);
+        }
+    }
+}
+
+TEST(FleetSim, SeedSelectsTheWorkload)
+{
+    auto cfg = smallFleet(1, 1, 2);
+    const auto a = hf::FleetSimulation(cfg).run(1);
+    cfg.seed = 1234;
+    const auto b = hf::FleetSimulation(cfg).run(1);
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_NE(a.metrics.meanMs(), b.metrics.meanMs());
+}
+
+TEST(FleetSim, RejectsInvalidFleet)
+{
+    auto cfg = smallFleet(1, 1, 1);
+    cfg.epochSec = 0.0;
+    EXPECT_THROW({ hf::FleetSimulation f(cfg); }, hu::ModelError);
+}

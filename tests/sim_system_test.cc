@@ -184,3 +184,77 @@ TEST(StorageSystem, Raid5RequiresThreeDisks)
         { hs::StorageSystem sys(arrayConfig(2, hs::RaidLevel::Raid5)); },
         hu::ModelError);
 }
+
+TEST(StorageSystem, ImmediateWriteReportUsesReportLatency)
+{
+    auto cfg = arrayConfig(2, hs::RaidLevel::None);
+    cfg.immediateWriteReport = true;
+    cfg.writeReportLatencyMs = 0.25;
+    hs::StorageSystem sys(cfg);
+    hs::IoCompletion seen;
+    sys.setCompletionCallback(
+        [&seen](const hs::IoCompletion& c) { seen = c; });
+    sys.run({make(1, 1.0, 0, 64, hs::IoType::Write)});
+
+    // The write is reported at the NVRAM latency, not the media latency.
+    EXPECT_EQ(seen.id, 1u);
+    EXPECT_NEAR(seen.responseTimeMs(), 0.25, 1e-9);
+    EXPECT_EQ(sys.metrics().count(), 1u);
+    EXPECT_NEAR(sys.metrics().meanMs(), 0.25, 1e-9);
+    // The media traffic still flowed in the background.
+    EXPECT_EQ(sys.disk(0).activity().completions, 1u);
+}
+
+TEST(StorageSystem, ImmediateWriteReportLeavesReadsUntouched)
+{
+    auto cfg = arrayConfig(1, hs::RaidLevel::None);
+    cfg.immediateWriteReport = true;
+    cfg.writeReportLatencyMs = 0.1;
+    hs::StorageSystem sys(cfg);
+    const auto metrics = sys.run({make(1, 0.0, 0, 8, hs::IoType::Read)});
+    // Reads pay the full media latency, well above the report latency.
+    EXPECT_EQ(metrics.count(), 1u);
+    EXPECT_GT(metrics.meanMs(), 0.1);
+}
+
+TEST(StorageSystem, ImmediateWriteReportOrdersBeforeMediaCompletion)
+{
+    auto cfg = arrayConfig(1, hs::RaidLevel::None);
+    cfg.immediateWriteReport = true;
+    cfg.writeReportLatencyMs = 0.05;
+    hs::StorageSystem sys(cfg);
+    std::vector<hs::IoCompletion> order;
+    sys.setCompletionCallback(
+        [&order](const hs::IoCompletion& c) { order.push_back(c); });
+
+    // A write and a later read to the same device: the write's report
+    // fires at submit time, before either media access completes, and the
+    // read still queues behind the write's background media traffic.
+    sys.submit(make(1, 0.0, 0, 256, hs::IoType::Write));
+    sys.submit(make(2, 0.001, 4096, 8, hs::IoType::Read));
+    sys.runAll();
+
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0].id, 1u);
+    EXPECT_EQ(order[1].id, 2u);
+    EXPECT_LT(order[0].finish, order[1].finish);
+    // Background media work for the write happened even though its
+    // completion was reported long before.
+    EXPECT_EQ(sys.disk(0).activity().completions, 2u);
+    EXPECT_GT(order[1].responseTimeMs(), 0.05);
+}
+
+TEST(StorageSystem, ImmediateWriteReportCountsRaid5WritesOnce)
+{
+    auto cfg = arrayConfig(4, hs::RaidLevel::Raid5);
+    cfg.immediateWriteReport = true;
+    hs::StorageSystem sys(cfg);
+    // A small RMW write plus a read; each logical request is counted
+    // exactly once despite the write's two-phase sub-request fan-out.
+    const auto metrics = sys.run({
+        make(1, 0.0, 0, 8, hs::IoType::Write),
+        make(2, 0.0, 1024, 8, hs::IoType::Read),
+    });
+    EXPECT_EQ(metrics.count(), 2u);
+    EXPECT_EQ(sys.inflight(), 0u);
+}
