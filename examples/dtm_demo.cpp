@@ -4,13 +4,18 @@
  * co-simulation under a chosen policy and watch the temperature timeline.
  *
  *   ./dtm_demo [--policy none|gate|gate-rpm] [--rpm R] [--low-rpm R]
- *              [--requests N]
+ *              [--requests N] [--faults schedule.ini]
+ *
+ * With --faults the demo replays a fault schedule (see docs/faults.md and
+ * examples/configs/fan_failure_emergency.ini), reruns the same workload
+ * fault-free, and prints an emergency report of what the faults cost.
  */
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "core/config_io.h"
 #include "core/scenarios.h"
 #include "dtm/cosim.h"
 #include "util/log.h"
@@ -26,6 +31,7 @@ main(int argc, char** argv)
     double rpm = 24534.0;
     double low_rpm = 0.0;
     std::size_t requests = 20000;
+    std::string faults_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
             const std::string p = argv[++i];
@@ -48,6 +54,8 @@ main(int argc, char** argv)
                    i + 1 < argc) {
             requests = std::size_t(std::atoll(argv[i + 1]));
             ++i;
+        } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+            faults_path = argv[++i];
         }
     }
     if (policy == dtm::DtmPolicy::GateAndLowRpm && low_rpm <= 0.0)
@@ -64,6 +72,8 @@ main(int argc, char** argv)
     cfg.policy = policy;
     cfg.lowRpm = low_rpm;
     cfg.maxSimulatedSec = 1200.0;
+    if (!faults_path.empty())
+        cfg.faults = core::loadFaultSchedule(faults_path);
 
     const trace::SyntheticWorkload gen(scenario.workload);
     const sim::StorageSystem probe(cfg.system);
@@ -73,6 +83,9 @@ main(int argc, char** argv)
               << rpm << " RPM, policy " << dtm::dtmPolicyName(policy);
     if (policy == dtm::DtmPolicy::GateAndLowRpm)
         std::cout << " (low speed " << low_rpm << " RPM)";
+    if (!faults_path.empty())
+        std::cout << "\nfault schedule: " << faults_path << " ("
+                  << cfg.faults.size() << " events)";
     std::cout << "\n\n";
 
     dtm::CoSimulation cosim(cfg);
@@ -101,5 +114,16 @@ main(int argc, char** argv)
     table.addRow({"gate activations",
                   util::TableWriter::num((long long)result.gateEvents)});
     table.print(std::cout);
+
+    if (!faults_path.empty()) {
+        // Rerun the same workload fault-free and report what the
+        // emergency cost (latency penalty, fail-safe time, and so on).
+        dtm::CoSimConfig clean = cfg;
+        clean.faults = fault::FaultSchedule();
+        const auto baseline = dtm::CoSimulation(clean).run(trace);
+        std::cout << "\nEmergency report (vs fault-free baseline):\n"
+                  << fault::formatEmergencyReport(
+                         dtm::emergencyReport(result, baseline));
+    }
     return 0;
 }

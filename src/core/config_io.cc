@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -191,6 +192,43 @@ schedulerWord(sim::SchedulerPolicy policy)
     return "fcfs";
 }
 
+fault::FaultKind
+parseFaultKind(const std::string& word)
+{
+    static constexpr fault::FaultKind kKinds[] = {
+        fault::FaultKind::AirflowDegrade, fault::FaultKind::AmbientStep,
+        fault::FaultKind::AmbientSpike,   fault::FaultKind::SensorStuck,
+        fault::FaultKind::SensorDropout,  fault::FaultKind::SensorNoise,
+        fault::FaultKind::BayKill,        fault::FaultKind::BayRestore,
+    };
+    for (const auto kind : kKinds) {
+        if (word == fault::faultKindName(kind))
+            return kind;
+    }
+    throw util::ModelError("unknown fault kind: " + word);
+}
+
+/// The magnitude key each kind reads (nullptr = takes no magnitude).
+const char*
+faultValueKey(fault::FaultKind kind)
+{
+    switch (kind) {
+      case fault::FaultKind::AirflowDegrade:
+        return "factor";
+      case fault::FaultKind::AmbientStep:
+      case fault::FaultKind::AmbientSpike:
+        return "delta_c";
+      case fault::FaultKind::SensorNoise:
+        return "sigma_c";
+      case fault::FaultKind::SensorStuck:
+      case fault::FaultKind::SensorDropout:
+      case fault::FaultKind::BayKill:
+      case fault::FaultKind::BayRestore:
+        return nullptr;
+    }
+    return nullptr;
+}
+
 const char*
 raidWord(sim::RaidLevel level)
 {
@@ -361,6 +399,108 @@ saveExperimentSpec(const ExperimentSpec& spec, const std::string& path)
     if (!out)
         return false;
     out << formatExperimentSpec(spec);
+    return bool(out);
+}
+
+fault::FaultSchedule
+parseFaultSchedule(const std::string& text)
+{
+    Document doc = parseDocument(text);
+
+    std::uint64_t noise_seed = 0;
+    if (doc.count("schedule")) {
+        SectionReader s("schedule", doc["schedule"]);
+        noise_seed = std::uint64_t(s.number("noise_seed", 0.0));
+        s.finish();
+        doc.erase("schedule");
+    }
+
+    // Events come as [fault.N] sections; replay them in N order (the map
+    // iterates lexically, which would put fault.10 before fault.2).
+    std::vector<std::pair<long, std::string>> order;
+    for (const auto& [name, _] : doc) {
+        HDDTHERM_REQUIRE(name.rfind("fault.", 0) == 0,
+                         "unknown section [" + name +
+                             "] in fault schedule");
+        const std::string digits = name.substr(6);
+        HDDTHERM_REQUIRE(!digits.empty() &&
+                             std::all_of(digits.begin(), digits.end(),
+                                         [](unsigned char c) {
+                                             return std::isdigit(c) != 0;
+                                         }),
+                         "bad fault section index: [" + name + "]");
+        order.emplace_back(std::stol(digits), name);
+    }
+    std::sort(order.begin(), order.end());
+
+    std::vector<fault::FaultEvent> events;
+    events.reserve(order.size());
+    for (const auto& [index, name] : order) {
+        (void)index;
+        SectionReader s(name, doc[name]);
+        fault::FaultEvent e;
+        e.timeSec = s.number("at", std::nan(""));
+        HDDTHERM_REQUIRE(std::isfinite(e.timeSec),
+                         "[" + name + "] missing onset time 'at'");
+        const std::string kind_word = s.word("kind", "");
+        HDDTHERM_REQUIRE(!kind_word.empty(),
+                         "[" + name + "] missing 'kind'");
+        e.kind = parseFaultKind(kind_word);
+        if (const char* key = faultValueKey(e.kind)) {
+            e.value = s.number(key, std::nan(""));
+            HDDTHERM_REQUIRE(std::isfinite(e.value),
+                             "[" + name + "] " + kind_word +
+                                 " needs a '" + key + "' value");
+        }
+        e.durationSec = s.number("duration", 0.0);
+        e.target = int(s.number("target", -1.0));
+        s.finish();
+        events.push_back(e);
+    }
+    fault::FaultSchedule schedule(std::move(events), noise_seed);
+    return schedule;
+}
+
+fault::FaultSchedule
+loadFaultSchedule(const std::string& path)
+{
+    std::ifstream in(path);
+    HDDTHERM_REQUIRE(bool(in), "cannot open fault schedule: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseFaultSchedule(text.str());
+}
+
+std::string
+formatFaultSchedule(const fault::FaultSchedule& schedule)
+{
+    std::ostringstream out;
+    out << "# HDDTherm fault schedule\n"
+        << "[schedule]\n"
+        << "noise_seed = " << schedule.noiseSeed() << "\n";
+    int index = 0;
+    for (const auto& e : schedule.events()) {
+        out << "\n[fault." << index++ << "]\n"
+            << "at = " << e.timeSec << "\n"
+            << "kind = " << fault::faultKindName(e.kind) << "\n";
+        if (const char* key = faultValueKey(e.kind))
+            out << key << " = " << e.value << "\n";
+        if (e.durationSec > 0.0)
+            out << "duration = " << e.durationSec << "\n";
+        if (e.target >= 0)
+            out << "target = " << e.target << "\n";
+    }
+    return out.str();
+}
+
+bool
+saveFaultSchedule(const fault::FaultSchedule& schedule,
+                  const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << formatFaultSchedule(schedule);
     return bool(out);
 }
 

@@ -32,6 +32,7 @@
 
 #include <string>
 
+#include "fault/fault_schedule.h"
 #include "sim/storage_system.h"
 #include "trace/synth.h"
 
@@ -61,6 +62,36 @@ std::string formatExperimentSpec(const ExperimentSpec& spec);
 /// Write a spec to @p path; returns false on I/O failure.
 bool saveExperimentSpec(const ExperimentSpec& spec,
                         const std::string& path);
+
+/**
+ * Parse a fault schedule from the same INI dialect.  An optional
+ * [schedule] section carries `noise_seed`; each event is a numbered
+ * [fault.N] section (replayed in N order) with:
+ *
+ *     [fault.0]
+ *     at = 120              # onset, simulated seconds (required)
+ *     kind = airflow_degrade
+ *     factor = 0.4          # kind-specific magnitude, see below
+ *     duration = 600        # optional window, 0/absent = to run end
+ *     target = 2            # optional addressee, absent = -1 (broadcast)
+ *
+ * The magnitude key depends on the kind: `factor` for airflow_degrade,
+ * `delta_c` for ambient_step/ambient_spike, `sigma_c` for sensor_noise;
+ * sensor_stuck, sensor_dropout, bay_kill and bay_restore take none.
+ * Unknown sections/keys and out-of-domain values are rejected.
+ * @throws util::ModelError on any of the above.
+ */
+fault::FaultSchedule parseFaultSchedule(const std::string& text);
+
+/// Parse a fault-schedule file; throws util::ModelError as above.
+fault::FaultSchedule loadFaultSchedule(const std::string& path);
+
+/// Serialize a schedule back to the file format (parse round-trips).
+std::string formatFaultSchedule(const fault::FaultSchedule& schedule);
+
+/// Write a schedule to @p path; returns false on I/O failure.
+bool saveFaultSchedule(const fault::FaultSchedule& schedule,
+                       const std::string& path);
 
 } // namespace hddtherm::core
 

@@ -23,6 +23,9 @@ validateConfig(const CoSimConfig& config)
     HDDTHERM_REQUIRE(config.warmupFraction >= 0.0 &&
                          config.warmupFraction < 1.0,
                      "warm-up fraction must be in [0, 1)");
+    HDDTHERM_REQUIRE(config.failSafeInvalidTicks >= 1,
+                     "fail-safe needs at least one invalid tick");
+    config.faults.validate();
     if (config.policy == DtmPolicy::GateAndLowRpm) {
         HDDTHERM_REQUIRE(config.lowRpm > 0.0 &&
                              config.lowRpm < config.system.disk.rpm,
@@ -93,6 +96,8 @@ CoSimEngine::CoSimEngine(const CoSimConfig& config)
         ambient_schedule_.emplace(config_.ambientProfile,
                                   util::PiecewiseLinear::Extrapolate::Clamp);
     }
+    if (!config_.faults.empty())
+        fault_player_.emplace(config_.faults);
 }
 
 void
@@ -129,6 +134,10 @@ CoSimEngine::tick()
     if (dt > 0.0) {
         if (ambient_schedule_)
             model_.setAmbient((*ambient_schedule_)(now));
+        if (fault_player_) {
+            model_.setCoolingFaultScale(fault_player_->coolingScaleAt(now));
+            model_.setAmbientOffsetC(fault_player_->ambientOffsetAt(now));
+        }
         // Measure the VCM duty over the last interval from disk 0.
         const double seek_total = system_.disk(0).activity().seekSec;
         const double duty =
@@ -140,6 +149,8 @@ CoSimEngine::tick()
         model_.setVcmDuty(duty);
         model_.advance(dt, std::min(config_.thermalDtSec, dt));
 
+        // Physical-temperature statistics always track the truth; policy
+        // decisions below only ever see the (possibly faulted) sensor.
         const double temp = model_.airTempC();
         temp_integral_ += temp * dt;
         partial_.maxTempC = std::max(partial_.maxTempC, temp);
@@ -147,34 +158,22 @@ CoSimEngine::tick()
             partial_.envelopeExceededSec += dt;
         if (gated_)
             partial_.gatedSec += dt;
+        if (fail_safe_)
+            partial_.failSafeSec += dt;
 
-        // Policy decisions.
-        if (config_.policy == DtmPolicy::GovernSpeed) {
-            const double target =
-                governor_->decide(model_.config().rpm, temp, duty_ewma_);
-            if (std::fabs(target - model_.config().rpm) > 1e-9) {
-                system_.changeRpmAll(target);
-                model_.setRpm(target);
-                ++partial_.speedChanges;
-            }
-        } else if (config_.policy != DtmPolicy::None) {
-            if (!gated_ && temp >= config_.gateThresholdC) {
-                gated_ = true;
-                ++partial_.gateEvents;
-                system_.gateAll(true);
-                if (config_.policy == DtmPolicy::GateAndLowRpm) {
-                    system_.changeRpmAll(config_.lowRpm);
-                    model_.setRpm(config_.lowRpm);
-                }
-            } else if (gated_ && temp <= config_.resumeThresholdC) {
-                gated_ = false;
-                if (config_.policy == DtmPolicy::GateAndLowRpm) {
-                    system_.changeRpmAll(config_.system.disk.rpm);
-                    model_.setRpm(config_.system.disk.rpm);
-                }
-                system_.gateAll(false);
-            }
+        fault::SensorReading reading{temp, true};
+        if (fault_player_)
+            reading = fault_player_->sense(now, temp);
+        if (reading.valid) {
+            invalid_run_ = 0;
+        } else {
+            ++partial_.invalidReadings;
+            ++invalid_run_;
         }
+
+        // A powered-off bay has no spindle to govern and no gate to trim.
+        if (powered_)
+            decidePolicy(reading);
     }
 
     if (completed_ < workload_size_) {
@@ -188,6 +187,75 @@ CoSimEngine::tick()
         }
         system_.events().scheduleAfter(config_.controlIntervalSec,
                                        [this]() { tick(); });
+    }
+}
+
+void
+CoSimEngine::decidePolicy(const fault::SensorReading& reading)
+{
+    if (config_.policy == DtmPolicy::None)
+        return;
+
+    // Fail-safe: too many consecutive blind ticks throttle to the safe
+    // floor; the first valid reading hands control back to the policy
+    // (which releases the floor through its own hysteresis).
+    if (!fail_safe_ && invalid_run_ >= config_.failSafeInvalidTicks) {
+        fail_safe_ = true;
+        ++partial_.failSafeActivations;
+        enterFailSafeFloor();
+    } else if (fail_safe_ && reading.valid) {
+        fail_safe_ = false;
+    }
+    if (fail_safe_ || !reading.valid)
+        return; // hold the last actuation while blind
+
+    const double temp = reading.valueC;
+    if (config_.policy == DtmPolicy::GovernSpeed) {
+        const double target =
+            governor_->decide(model_.config().rpm, temp, duty_ewma_);
+        if (std::fabs(target - model_.config().rpm) > 1e-9) {
+            system_.changeRpmAll(target);
+            model_.setRpm(target);
+            ++partial_.speedChanges;
+        }
+    } else {
+        if (!gated_ && temp >= config_.gateThresholdC) {
+            gated_ = true;
+            ++partial_.gateEvents;
+            applyGates();
+            if (config_.policy == DtmPolicy::GateAndLowRpm) {
+                system_.changeRpmAll(config_.lowRpm);
+                model_.setRpm(config_.lowRpm);
+            }
+        } else if (gated_ && temp <= config_.resumeThresholdC) {
+            gated_ = false;
+            if (config_.policy == DtmPolicy::GateAndLowRpm) {
+                system_.changeRpmAll(config_.system.disk.rpm);
+                model_.setRpm(config_.system.disk.rpm);
+            }
+            applyGates();
+        }
+    }
+}
+
+void
+CoSimEngine::enterFailSafeFloor()
+{
+    if (config_.policy == DtmPolicy::GovernSpeed) {
+        const double floor_rpm = governor_->rpmAt(0);
+        if (std::fabs(floor_rpm - model_.config().rpm) > 1e-9) {
+            system_.changeRpmAll(floor_rpm);
+            model_.setRpm(floor_rpm);
+            ++partial_.speedChanges;
+        }
+    } else if (!gated_) {
+        gated_ = true;
+        ++partial_.gateEvents;
+        applyGates();
+        if (config_.policy == DtmPolicy::GateAndLowRpm) {
+            system_.changeRpmAll(config_.lowRpm);
+            model_.setRpm(config_.lowRpm);
+        }
     }
 }
 
@@ -218,11 +286,25 @@ CoSimEngine::heatOutputW() const
     return model_.totalPowerW() * double(system_.diskCount());
 }
 
-void
+bool
 CoSimEngine::setAmbient(double ambient_c)
 {
-    if (!ambient_schedule_)
-        model_.setAmbient(ambient_c);
+    // An ambientProfile owns the ambient for the whole run: external
+    // re-points are rejected (not silently dropped) so callers can tell.
+    if (ambient_schedule_)
+        return false;
+    model_.setAmbient(ambient_c);
+    return true;
+}
+
+void
+CoSimEngine::setBayPower(bool on)
+{
+    if (powered_ == on)
+        return;
+    powered_ = on;
+    model_.setPowered(on);
+    applyGates();
 }
 
 CoSimResult
@@ -236,6 +318,35 @@ CoSimEngine::result() const
         result.meanVcmDuty = duty_weighted_ / result.simulatedSec;
     }
     return result;
+}
+
+fault::EmergencyReport
+emergencyReport(const CoSimResult& run)
+{
+    fault::EmergencyReport report;
+    report.simulatedSec = run.simulatedSec;
+    report.maxTempC = run.maxTempC;
+    report.envelopeExceededSec = run.envelopeExceededSec;
+    report.gateEvents = run.gateEvents;
+    report.gatedSec = run.gatedSec;
+    report.failSafeActivations = run.failSafeActivations;
+    report.failSafeSec = run.failSafeSec;
+    report.invalidReadings = run.invalidReadings;
+    report.meanLatencyMs = run.metrics.meanMs();
+    return report;
+}
+
+fault::EmergencyReport
+emergencyReport(const CoSimResult& run, const CoSimResult& baseline)
+{
+    fault::EmergencyReport report = emergencyReport(run);
+    report.hasBaseline = true;
+    report.baselineMeanLatencyMs = baseline.metrics.meanMs();
+    report.baselineEnvelopeExceededSec = baseline.envelopeExceededSec;
+    report.latencyPenaltyMs =
+        report.meanLatencyMs - report.baselineMeanLatencyMs;
+    report.throttlePenaltySec = run.gatedSec - baseline.gatedSec;
+    return report;
 }
 
 CoSimulation::CoSimulation(const CoSimConfig& config) : config_(config)

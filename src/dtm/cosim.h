@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "dtm/governor.h"
+#include "fault/emergency.h"
+#include "fault/fault_player.h"
+#include "fault/fault_schedule.h"
 #include "sim/storage_system.h"
 #include "thermal/drive_thermal.h"
 #include "util/interp.h"
@@ -73,6 +76,22 @@ struct CoSimConfig
      * cover the whole run.
      */
     double warmupFraction = 0.0;
+    /**
+     * Deterministic fault-injection schedule (empty = fault-free; an
+     * empty schedule is bit-identical to pre-fault-support behavior).
+     * Only events with target < 0 apply to a standalone engine; the fleet
+     * routes targeted events per bay.  See docs/faults.md.
+     */
+    fault::FaultSchedule faults;
+    /**
+     * Fail-safe policy: after this many *consecutive* invalid sensor
+     * readings (dropout faults) the controller throttles to its safe
+     * floor — gate policies force the gate closed (GateAndLowRpm also
+     * drops the spindle), GovernSpeed drops to the lowest rung — until a
+     * valid reading returns control to the normal policy.  DtmPolicy::None
+     * has no actuator and therefore no fail-safe.
+     */
+    int failSafeInvalidTicks = 5;
 };
 
 /// Co-simulation outcome.
@@ -87,7 +106,18 @@ struct CoSimResult
     std::uint64_t gateEvents = 0;   ///< Gate activations.
     double simulatedSec = 0.0;      ///< Total simulated time.
     double meanVcmDuty = 0.0;       ///< Average measured VCM duty.
+    std::uint64_t invalidReadings = 0;     ///< Dropped sensor samples.
+    std::uint64_t failSafeActivations = 0; ///< Fail-safe floor entries.
+    double failSafeSec = 0.0;              ///< Time at the fail-safe floor.
 };
+
+/// Summarize a (faulted) run as an EmergencyReport.
+fault::EmergencyReport emergencyReport(const CoSimResult& run);
+
+/// As above, with fault-induced penalties versus a fault-free baseline of
+/// the same workload.
+fault::EmergencyReport emergencyReport(const CoSimResult& run,
+                                       const CoSimResult& baseline);
 
 /**
  * Steppable thermal/performance co-simulation engine.
@@ -135,9 +165,28 @@ class CoSimEngine
      */
     double heatOutputW() const;
 
-    /// Re-point the external ambient (chassis inlet) temperature.  Ignored
-    /// while an ambientProfile drives the ambient instead.
-    void setAmbient(double ambient_c);
+    /**
+     * Re-point the external ambient (chassis inlet) temperature.
+     *
+     * Precedence: a non-empty CoSimConfig::ambientProfile owns the
+     * ambient for the whole run; while one is active this call is a no-op
+     * and returns false.  Returns true when the ambient was re-pointed.
+     * (The fleet layer requires the profile to be empty, so its barrier
+     * updates always apply.)  Fault-schedule ambient offsets compose on
+     * top of whichever source wins.
+     */
+    bool setAmbient(double ambient_c);
+
+    /**
+     * Power the bay on/off (fleet BayKill/BayRestore faults).  Off, the
+     * thermal model stops dissipating, heatOutputW() reads zero, request
+     * dispatch gates closed, and DTM policy decisions freeze; restore
+     * re-opens the gate (unless the policy holds it) and resumes control.
+     */
+    void setBayPower(bool on);
+
+    /// True while the bay has power (the default).
+    bool bayPowered() const { return powered_; }
 
     /// Storage system under control (metrics, DTM hooks, event clock).
     sim::StorageSystem& system() { return system_; }
@@ -151,12 +200,18 @@ class CoSimEngine
 
   private:
     void tick();
+    void decidePolicy(const fault::SensorReading& reading);
+    void enterFailSafeFloor();
+    /// One gate authority: the disks are gated while the policy says so
+    /// OR the bay is powered off (kill must not be undone by a resume).
+    void applyGates() { system_.gateAll(gated_ || !powered_); }
 
     CoSimConfig config_;
     sim::StorageSystem system_;
     thermal::DriveThermalModel model_;
     std::optional<SpeedGovernor> governor_;
     std::optional<util::PiecewiseLinear> ambient_schedule_;
+    std::optional<fault::FaultPlayer> fault_player_;
 
     CoSimResult partial_;
     std::size_t workload_size_ = 0;
@@ -164,6 +219,9 @@ class CoSimEngine
     std::size_t warmup_count_ = 0;
     bool started_ = false;
     bool gated_ = false;
+    bool powered_ = true;
+    bool fail_safe_ = false;
+    int invalid_run_ = 0;
     double last_seek_total_ = 0.0;
     double duty_weighted_ = 0.0;
     double duty_ewma_ = 0.0;

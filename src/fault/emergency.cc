@@ -1,0 +1,45 @@
+#include "fault/emergency.h"
+
+#include <cstdio>
+
+namespace hddtherm::fault {
+
+std::string
+formatEmergencyReport(const EmergencyReport& r)
+{
+    char line[128];
+    std::string out;
+    auto add = [&out, &line](int n) { out.append(line, std::size_t(n)); };
+
+    add(std::snprintf(line, sizeof line, "simulated time: %.1f s\n",
+                      r.simulatedSec));
+    add(std::snprintf(line, sizeof line, "max air temp: %.2f C\n",
+                      r.maxTempC));
+    add(std::snprintf(line, sizeof line,
+                      "time above envelope: %.1f s (%.1f%%)\n",
+                      r.envelopeExceededSec,
+                      100.0 * r.envelopeExceededFraction()));
+    add(std::snprintf(line, sizeof line,
+                      "time throttled: %.1f s (%.1f%%), %llu activations\n",
+                      r.gatedSec, 100.0 * r.gatedFraction(),
+                      (unsigned long long)r.gateEvents));
+    add(std::snprintf(line, sizeof line,
+                      "fail-safe floor: %.1f s, %llu activations\n",
+                      r.failSafeSec,
+                      (unsigned long long)r.failSafeActivations));
+    add(std::snprintf(line, sizeof line, "invalid sensor readings: %llu\n",
+                      (unsigned long long)r.invalidReadings));
+    add(std::snprintf(line, sizeof line, "mean response: %.3f ms\n",
+                      r.meanLatencyMs));
+    if (r.hasBaseline) {
+        add(std::snprintf(line, sizeof line,
+                          "latency penalty vs fault-free: %+.3f ms\n",
+                          r.latencyPenaltyMs));
+        add(std::snprintf(line, sizeof line,
+                          "extra throttled time vs fault-free: %+.1f s\n",
+                          r.throttlePenaltySec));
+    }
+    return out;
+}
+
+} // namespace hddtherm::fault

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * EmergencyReport: what a thermal emergency cost.
+ *
+ * Summarizes one faulted run — how long the drive sat above the thermal
+ * envelope, how often the fail-safe floor engaged, and what the fault-
+ * induced throttling cost in performance — optionally against a fault-free
+ * baseline of the same workload.  Filled from dtm::CoSimResult by
+ * dtm::emergencyReport() (this header stays below the dtm layer), printed
+ * by examples/dtm_demo and bench/bench_fault_emergency.
+ */
+#ifndef HDDTHERM_FAULT_EMERGENCY_H
+#define HDDTHERM_FAULT_EMERGENCY_H
+
+#include <cstdint>
+#include <string>
+
+namespace hddtherm::fault {
+
+/// Outcome summary of a run under a fault schedule.
+struct EmergencyReport
+{
+    double simulatedSec = 0.0;        ///< Span of the faulted run.
+    double maxTempC = 0.0;            ///< Peak physical air temperature.
+    double envelopeExceededSec = 0.0; ///< Time above the envelope.
+    std::uint64_t gateEvents = 0;     ///< Throttle activations.
+    double gatedSec = 0.0;            ///< Time spent throttled.
+    std::uint64_t failSafeActivations = 0; ///< Fail-safe floor entries.
+    double failSafeSec = 0.0;         ///< Time at the fail-safe floor.
+    std::uint64_t invalidReadings = 0; ///< Dropped sensor samples.
+    double meanLatencyMs = 0.0;       ///< Faulted mean response time.
+
+    /// @name Versus the fault-free baseline (when one was run).
+    /// @{
+    bool hasBaseline = false;
+    double baselineMeanLatencyMs = 0.0;
+    double baselineEnvelopeExceededSec = 0.0;
+    /// Fault-induced latency penalty (faulted minus baseline mean), ms.
+    double latencyPenaltyMs = 0.0;
+    /// Extra throttled time the faults caused, seconds.
+    double throttlePenaltySec = 0.0;
+    /// @}
+
+    /// Fraction of the run spent throttled.
+    double gatedFraction() const
+    {
+        return simulatedSec > 0.0 ? gatedSec / simulatedSec : 0.0;
+    }
+
+    /// Fraction of the run spent above the envelope.
+    double envelopeExceededFraction() const
+    {
+        return simulatedSec > 0.0 ? envelopeExceededSec / simulatedSec
+                                  : 0.0;
+    }
+};
+
+/// Multi-line human-readable rendering (one "key: value" per line).
+std::string formatEmergencyReport(const EmergencyReport& report);
+
+} // namespace hddtherm::fault
+
+#endif // HDDTHERM_FAULT_EMERGENCY_H

@@ -1,0 +1,47 @@
+#include "fault/fault_player.h"
+
+namespace hddtherm::fault {
+
+FaultPlayer::FaultPlayer(const FaultSchedule& schedule,
+                         std::uint64_t noise_stream)
+    : schedule_(schedule),
+      noise_rng_(util::Rng::forStream(schedule.noiseSeed(), noise_stream)),
+      stuck_latch_(schedule_.size())
+{
+}
+
+SensorReading
+FaultPlayer::sense(double t, double true_temp_c)
+{
+    const auto& events = schedule_.events();
+
+    // Dropout beats everything: the wire is dead.
+    for (const auto& e : events) {
+        if (e.kind == FaultKind::SensorDropout && e.activeAt(t) &&
+            e.appliesTo(-1))
+            return {0.0, false};
+    }
+
+    // Stuck beats noise: the earliest active window latches the first
+    // reading sampled inside it and repeats it verbatim.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto& e = events[i];
+        if (e.kind != FaultKind::SensorStuck || !e.activeAt(t) ||
+            !e.appliesTo(-1))
+            continue;
+        if (!stuck_latch_[i])
+            stuck_latch_[i] = true_temp_c;
+        return {*stuck_latch_[i], true};
+    }
+
+    // Noise: one fresh draw per active window per reading.
+    double reported = true_temp_c;
+    for (const auto& e : events) {
+        if (e.kind == FaultKind::SensorNoise && e.activeAt(t) &&
+            e.appliesTo(-1))
+            reported += noise_rng_.normal(0.0, e.value);
+    }
+    return {reported, true};
+}
+
+} // namespace hddtherm::fault

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Drive-level replay of a FaultSchedule.
+ *
+ * A FaultPlayer turns the declarative schedule into the three per-tick
+ * answers a co-simulating engine needs:
+ *
+ *   - coolingScaleAt(t): multiplier on the drive's external convective
+ *     conductance (fan/airflow degradation);
+ *   - ambientOffsetAt(t): delta on the effective external ambient;
+ *   - sense(t, truth): what the temperature *sensor* reports, which is the
+ *     truth unless a sensor fault window is active.
+ *
+ * sense() is the stateful part.  A stuck sensor latches the first reading
+ * taken inside its window and repeats it; noise adds a fresh Gaussian draw
+ * per reading from an Rng stream split off the schedule's noise seed, so a
+ * faulted run is exactly reproducible; a dropout returns an invalid
+ * reading.  When windows overlap, dropout wins over stuck, stuck over
+ * noise — a dead wire beats a frozen ADC beats a noisy one.
+ *
+ * The player only honors events with target < 0: the fleet layer routes
+ * targeted events to the right bay and clears the target before handing a
+ * per-bay schedule to its engine.
+ */
+#ifndef HDDTHERM_FAULT_FAULT_PLAYER_H
+#define HDDTHERM_FAULT_FAULT_PLAYER_H
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault_schedule.h"
+#include "util/random.h"
+
+namespace hddtherm::fault {
+
+/// One sensor sample as the DTM controller sees it.
+struct SensorReading
+{
+    double valueC = 0.0; ///< Reported temperature (garbage when invalid).
+    bool valid = false;  ///< False while the sensor is dropped out.
+};
+
+/// Stateful, deterministic replay of one drive's fault schedule.
+class FaultPlayer
+{
+  public:
+    /// @param schedule the faults to replay (copied).
+    /// @param noise_stream Rng sub-stream index for this drive's sensor
+    ///        noise.  Callers replaying one schedule on many drives keep
+    ///        the streams independent by passing distinct indices or by
+    ///        pre-deriving distinct noise seeds (the fleet derives a
+    ///        per-bay seed from the bay's global index).
+    explicit FaultPlayer(const FaultSchedule& schedule,
+                         std::uint64_t noise_stream = 0);
+
+    /// True when the schedule carries no events.
+    bool empty() const { return schedule_.empty(); }
+
+    /// Cooling-path scale at time @p t (product of active degradations).
+    double coolingScaleAt(double t) const
+    {
+        return schedule_.coolingScaleAt(t, -1);
+    }
+
+    /// Ambient offset at time @p t (sum of active steps/spikes), °C.
+    double ambientOffsetAt(double t) const
+    {
+        return schedule_.ambientOffsetAt(t, -1);
+    }
+
+    /**
+     * Sample the temperature sensor at time @p t given the physical
+     * temperature @p true_temp_c.  Stateful: advances stuck latches and
+     * the noise stream.  Call once per control tick, in time order.
+     */
+    SensorReading sense(double t, double true_temp_c);
+
+    /// Schedule being replayed.
+    const FaultSchedule& schedule() const { return schedule_; }
+
+  private:
+    FaultSchedule schedule_;
+    util::Rng noise_rng_;
+    /// Per-event latched reading for SensorStuck windows (index-aligned
+    /// with schedule_.events(); unused slots stay empty).
+    std::vector<std::optional<double>> stuck_latch_;
+};
+
+} // namespace hddtherm::fault
+
+#endif // HDDTHERM_FAULT_FAULT_PLAYER_H

@@ -1,0 +1,167 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::fault {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::AirflowDegrade:
+        return "airflow_degrade";
+      case FaultKind::AmbientStep:
+        return "ambient_step";
+      case FaultKind::AmbientSpike:
+        return "ambient_spike";
+      case FaultKind::SensorStuck:
+        return "sensor_stuck";
+      case FaultKind::SensorDropout:
+        return "sensor_dropout";
+      case FaultKind::SensorNoise:
+        return "sensor_noise";
+      case FaultKind::BayKill:
+        return "bay_kill";
+      case FaultKind::BayRestore:
+        return "bay_restore";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+validateEvent(const FaultEvent& e)
+{
+    HDDTHERM_REQUIRE(std::isfinite(e.timeSec) && e.timeSec >= 0.0,
+                     "fault onset time must be finite and non-negative");
+    HDDTHERM_REQUIRE(std::isfinite(e.durationSec) && e.durationSec >= 0.0,
+                     "fault duration must be finite and non-negative");
+    HDDTHERM_REQUIRE(std::isfinite(e.value), "fault value must be finite");
+    switch (e.kind) {
+      case FaultKind::AirflowDegrade:
+        HDDTHERM_REQUIRE(e.value > 0.0,
+                         "airflow scale factor must be positive");
+        break;
+      case FaultKind::AmbientStep:
+        break;
+      case FaultKind::AmbientSpike:
+        HDDTHERM_REQUIRE(e.durationSec > 0.0,
+                         "an ambient spike needs a bounded window");
+        break;
+      case FaultKind::SensorStuck:
+      case FaultKind::SensorDropout:
+        break;
+      case FaultKind::SensorNoise:
+        HDDTHERM_REQUIRE(e.value >= 0.0,
+                         "sensor-noise sigma must be non-negative");
+        break;
+      case FaultKind::BayKill:
+      case FaultKind::BayRestore:
+        HDDTHERM_REQUIRE(e.target >= 0,
+                         "bay kill/restore must target a bay index");
+        break;
+    }
+}
+
+} // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events,
+                             std::uint64_t noise_seed)
+    : events_(std::move(events)), noise_seed_(noise_seed)
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.timeSec < b.timeSec;
+                     });
+    validate();
+}
+
+void
+FaultSchedule::add(const FaultEvent& event)
+{
+    validateEvent(event);
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), event,
+        [](const FaultEvent& a, const FaultEvent& b) {
+            return a.timeSec < b.timeSec;
+        });
+    events_.insert(pos, event);
+}
+
+void
+FaultSchedule::validate() const
+{
+    for (const auto& e : events_)
+        validateEvent(e);
+}
+
+double
+FaultSchedule::coolingScaleAt(double t, int index) const
+{
+    double scale = 1.0;
+    for (const auto& e : events_) {
+        if (e.kind == FaultKind::AirflowDegrade && e.activeAt(t) &&
+            e.appliesTo(index))
+            scale *= e.value;
+    }
+    return scale;
+}
+
+double
+FaultSchedule::ambientOffsetAt(double t, int index) const
+{
+    double offset = 0.0;
+    for (const auto& e : events_) {
+        if ((e.kind == FaultKind::AmbientStep ||
+             e.kind == FaultKind::AmbientSpike) &&
+            e.activeAt(t) && e.appliesTo(index))
+            offset += e.value;
+    }
+    return offset;
+}
+
+bool
+FaultSchedule::bayKilledAt(double t, int index) const
+{
+    // Events are onset-ordered, so the last matching edge at or before t
+    // decides; a bay with no edges is alive.
+    bool killed = false;
+    for (const auto& e : events_) {
+        if (e.timeSec > t)
+            break;
+        if (e.target != index)
+            continue;
+        if (e.kind == FaultKind::BayKill)
+            killed = true;
+        else if (e.kind == FaultKind::BayRestore)
+            killed = false;
+    }
+    return killed;
+}
+
+bool
+FaultSchedule::hasSensorFaults() const
+{
+    return std::any_of(events_.begin(), events_.end(),
+                       [](const FaultEvent& e) {
+                           return e.kind == FaultKind::SensorStuck ||
+                                  e.kind == FaultKind::SensorDropout ||
+                                  e.kind == FaultKind::SensorNoise;
+                       });
+}
+
+bool
+FaultSchedule::hasBayPowerEvents() const
+{
+    return std::any_of(events_.begin(), events_.end(),
+                       [](const FaultEvent& e) {
+                           return e.kind == FaultKind::BayKill ||
+                                  e.kind == FaultKind::BayRestore;
+                       });
+}
+
+} // namespace hddtherm::fault

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic fault-injection schedules for thermal emergencies.
+ *
+ * The paper's case for DTM rests on thermal emergencies — degraded fans,
+ * machine-room cooling loss, ambient excursions — yet a co-simulation that
+ * can only vary the ambient along a smooth schedule never exercises the
+ * control stack's fault paths.  A FaultSchedule is a typed, time-stamped
+ * list of such events:
+ *
+ *   - AirflowDegrade: cooling degradation.  At drive level it scales the
+ *     external convective conductance (a tired fan moves less air over the
+ *     case); at fleet level it scales a chassis's cooling airflow (CFM).
+ *   - AmbientStep / AmbientSpike: the external cooling boundary jumps by a
+ *     delta, permanently (step) or for a bounded window (spike).
+ *   - SensorStuck / SensorDropout / SensorNoise: the temperature *sensor*
+ *     the DTM governor reads misbehaves while the physical model keeps
+ *     integrating the truth.  Noise draws come from a split util::Rng
+ *     stream so faulted runs stay bit-reproducible.
+ *   - BayKill / BayRestore: a fleet drive bay loses power (stops serving
+ *     and stops dissipating) and later comes back.
+ *
+ * Schedules are plain data: validated once, replayed deterministically by
+ * a FaultPlayer (drive level) or the fleet barrier loop (chassis/bay
+ * level).  An empty schedule is the contract-level no-op — engines built
+ * with one are bit-identical to engines built without fault support.
+ */
+#ifndef HDDTHERM_FAULT_FAULT_SCHEDULE_H
+#define HDDTHERM_FAULT_FAULT_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hddtherm::fault {
+
+/// The kinds of fault events a schedule can carry.
+enum class FaultKind
+{
+    AirflowDegrade, ///< Scale a cooling path by `value` (> 0, < 1 degrades).
+    AmbientStep,    ///< Add `value` °C to the ambient from timeSec on.
+    AmbientSpike,   ///< Add `value` °C for [timeSec, timeSec + durationSec).
+    SensorStuck,    ///< Sensor latches its onset reading for the window.
+    SensorDropout,  ///< Sensor returns invalid readings for the window.
+    SensorNoise,    ///< Add N(0, value²) °C noise to readings in the window.
+    BayKill,        ///< Power off fleet bay `target` at timeSec.
+    BayRestore,     ///< Power fleet bay `target` back on at timeSec.
+};
+
+/// Human-readable kind name (matches the config-file spelling).
+const char* faultKindName(FaultKind kind);
+
+/// One time-stamped fault event.
+struct FaultEvent
+{
+    double timeSec = 0.0; ///< Onset, simulated seconds.
+    FaultKind kind = FaultKind::AmbientStep;
+    /// Kind-specific magnitude: airflow scale factor, ambient delta °C, or
+    /// noise standard deviation °C.  Unused for stuck/dropout/kill/restore.
+    double value = 0.0;
+    /// Window length, seconds; 0 means "until the end of the run".
+    /// Ignored by BayKill/BayRestore (they are edges, not windows).
+    double durationSec = 0.0;
+    /**
+     * Addressee.  -1 targets the schedule's own drive (the only form a
+     * standalone CoSimEngine honors).  In a fleet schedule, AirflowDegrade
+     * targets a global chassis index and every other kind targets a global
+     * bay index; -1 broadcasts to all chassis/bays.
+     */
+    int target = -1;
+
+    /// True while the event's window covers simulated time @p t.
+    bool activeAt(double t) const
+    {
+        return t >= timeSec &&
+               (durationSec <= 0.0 || t < timeSec + durationSec);
+    }
+
+    /// True if the event addresses @p index (or broadcasts).
+    bool appliesTo(int index) const
+    {
+        return target < 0 || target == index;
+    }
+};
+
+/// A validated, time-ordered list of fault events plus the noise seed.
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /// Build from events (stably sorted by onset time) and validate.
+    explicit FaultSchedule(std::vector<FaultEvent> events,
+                           std::uint64_t noise_seed = 0);
+
+    /// Append one event, keeping the time ordering.
+    void add(const FaultEvent& event);
+
+    /// True when no events are scheduled (the bit-identical no-op).
+    bool empty() const { return events_.empty(); }
+
+    /// Number of events.
+    std::size_t size() const { return events_.size(); }
+
+    /// Events in onset order.
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    /// Root seed for sensor-noise streams (split per drive/bay).
+    std::uint64_t noiseSeed() const { return noise_seed_; }
+    void setNoiseSeed(std::uint64_t seed) { noise_seed_ = seed; }
+
+    /// @throws util::ModelError on out-of-domain events.
+    void validate() const;
+
+    /**
+     * Product of every active AirflowDegrade factor addressing @p index at
+     * time @p t (1.0 when none).  Pass -1 for the drive-level view (only
+     * untargeted events), a chassis index for the fleet view.
+     */
+    double coolingScaleAt(double t, int index = -1) const;
+
+    /// Sum of every active ambient step/spike delta addressing @p index.
+    double ambientOffsetAt(double t, int index = -1) const;
+
+    /// Power state of bay @p index at @p t: the latest kill/restore edge
+    /// at or before @p t wins; no edge means alive.
+    bool bayKilledAt(double t, int index) const;
+
+    /// True if any sensor-fault event is scheduled.
+    bool hasSensorFaults() const;
+
+    /// True if any BayKill/BayRestore edge is scheduled.
+    bool hasBayPowerEvents() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+    std::uint64_t noise_seed_ = 0;
+};
+
+} // namespace hddtherm::fault
+
+#endif // HDDTHERM_FAULT_FAULT_SCHEDULE_H

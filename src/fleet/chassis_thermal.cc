@@ -9,16 +9,30 @@ std::vector<ChassisAirState>
 resolveChassisAir(const FleetConfig& config,
                   const std::vector<double>& chassis_heat_w)
 {
+    return resolveChassisAir(
+        config, chassis_heat_w,
+        std::vector<double>(chassis_heat_w.size(), 1.0));
+}
+
+std::vector<ChassisAirState>
+resolveChassisAir(const FleetConfig& config,
+                  const std::vector<double>& chassis_heat_w,
+                  const std::vector<double>& airflow_scale)
+{
     HDDTHERM_REQUIRE(int(chassis_heat_w.size()) == config.totalChassis(),
                      "one heat load per chassis required");
-    const double mass_flow =
-        thermal::airMassFlowFromCfm(config.chassis.airflowCfm);
+    HDDTHERM_REQUIRE(airflow_scale.size() == chassis_heat_w.size(),
+                     "one airflow scale per chassis required");
 
     std::vector<ChassisAirState> states(chassis_heat_w.size());
     for (int r = 0; r < config.racks; ++r) {
         double preheat = 0.0; // accumulated leakage from chassis below
         for (int c = 0; c < config.rack.chassisCount; ++c) {
             const auto ci = std::size_t(r * config.rack.chassisCount + c);
+            HDDTHERM_REQUIRE(airflow_scale[ci] > 0.0,
+                             "chassis airflow scale must be positive");
+            const double mass_flow = thermal::airMassFlowFromCfm(
+                config.chassis.airflowCfm * airflow_scale[ci]);
             const double rise =
                 thermal::exhaustTempRiseC(chassis_heat_w[ci], mass_flow);
             ChassisAirState& s = states[ci];

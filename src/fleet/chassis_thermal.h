@@ -47,6 +47,18 @@ std::vector<ChassisAirState>
 resolveChassisAir(const FleetConfig& config,
                   const std::vector<double>& chassis_heat_w);
 
+/**
+ * As above with a per-chassis cooling-airflow derating (fan/blower
+ * faults): chassis i moves airflowCfm * airflow_scale[i] of air (every
+ * scale > 0; 1.0 = healthy).  Same determinism contract — the scales are
+ * sampled from the fleet fault schedule at the barrier, on the barrier
+ * thread, in fixed chassis order.
+ */
+std::vector<ChassisAirState>
+resolveChassisAir(const FleetConfig& config,
+                  const std::vector<double>& chassis_heat_w,
+                  const std::vector<double>& airflow_scale);
+
 } // namespace hddtherm::fleet
 
 #endif // HDDTHERM_FLEET_CHASSIS_THERMAL_H

@@ -18,6 +18,43 @@ struct Shard
     std::unique_ptr<dtm::CoSimEngine> engine;
 };
 
+/**
+ * The slice of a fleet fault schedule one bay's engine replays itself:
+ * sensor and ambient events addressed to the bay, re-targeted to the
+ * drive-level form (-1) a CoSimEngine honors.  Airflow and bay-power
+ * events stay with the barrier loop.  The bay's noise seed is split from
+ * the fleet noise seed by global index, so per-bay noise streams are
+ * independent and a pure function of (schedule, bay) — executor-agnostic.
+ */
+fault::FaultSchedule
+bayFaultSchedule(const fault::FaultSchedule& fleet_faults, int global_index)
+{
+    std::vector<fault::FaultEvent> events;
+    for (const auto& e : fleet_faults.events()) {
+        switch (e.kind) {
+        case fault::FaultKind::AmbientStep:
+        case fault::FaultKind::AmbientSpike:
+        case fault::FaultKind::SensorStuck:
+        case fault::FaultKind::SensorDropout:
+        case fault::FaultKind::SensorNoise:
+            if (e.appliesTo(global_index)) {
+                fault::FaultEvent routed = e;
+                routed.target = -1;
+                events.push_back(routed);
+            }
+            break;
+        case fault::FaultKind::AirflowDegrade:
+        case fault::FaultKind::BayKill:
+        case fault::FaultKind::BayRestore:
+            break; // resolved at epoch barriers by the fleet loop
+        }
+    }
+    return fault::FaultSchedule(
+        std::move(events),
+        util::deriveStreamSeed(fleet_faults.noiseSeed(),
+                               std::uint64_t(global_index)));
+}
+
 } // namespace
 
 FleetSimulation::FleetSimulation(const FleetConfig& config)
@@ -46,11 +83,17 @@ FleetSimulation::run(int threads)
     // depends on the executor.
     std::vector<Shard> shards;
     shards.reserve(bays.size());
+    const bool have_faults = !config_.faults.empty();
+    const bool have_bay_power =
+        have_faults && config_.faults.hasBayPowerEvents();
     for (const auto& addr : bays) {
         dtm::CoSimConfig cfg = config_.bay;
         cfg.ambientC =
             idle_air[std::size_t(addr.chassisIndex)].driveAmbientC;
         cfg.maxSimulatedSec = config_.maxSimulatedSec;
+        if (have_faults) {
+            cfg.faults = bayFaultSchedule(config_.faults, addr.globalIndex);
+        }
         Shard shard;
         shard.addr = addr;
         shard.engine = std::make_unique<dtm::CoSimEngine>(cfg);
@@ -92,8 +135,17 @@ FleetSimulation::run(int threads)
         report.chassis = shard.addr.chassis;
     }
 
+    // Bay-power edges at t = 0 apply before the first epoch, in bay order.
+    if (have_bay_power) {
+        for (auto& shard : shards) {
+            shard.engine->setBayPower(
+                !config_.faults.bayKilledAt(0.0, shard.addr.globalIndex));
+        }
+    }
+
     // Epoch loop: parallel shard advance, then the ambient-sync barrier.
     std::vector<double> chassis_heat(chassis_count, 0.0);
+    std::vector<double> airflow_scale(chassis_count, 1.0);
     double t = 0.0;
     bool all_done = false;
     while (!all_done) {
@@ -119,9 +171,19 @@ FleetSimulation::run(int threads)
                 shard.engine->heatOutputW();
             all_done = all_done && shard.engine->finished();
         }
-        const auto air = resolveChassisAir(config_, chassis_heat);
+        if (have_faults) {
+            for (std::size_t ci = 0; ci < chassis_count; ++ci) {
+                airflow_scale[ci] = config_.faults.coolingScaleAt(t, int(ci));
+            }
+        }
+        const auto air =
+            resolveChassisAir(config_, chassis_heat, airflow_scale);
         for (auto& shard : shards) {
             const auto ci = std::size_t(shard.addr.chassisIndex);
+            if (have_bay_power) {
+                shard.engine->setBayPower(
+                    !config_.faults.bayKilledAt(t, shard.addr.globalIndex));
+            }
             shard.engine->setAmbient(air[ci].driveAmbientC);
             result.chassis[ci].peakDriveAmbientC = std::max(
                 result.chassis[ci].peakDriveAmbientC, air[ci].driveAmbientC);
@@ -143,6 +205,9 @@ FleetSimulation::run(int threads)
         result.gateEvents += r.gateEvents;
         result.speedChanges += r.speedChanges;
         result.gatedSec += r.gatedSec;
+        result.invalidReadings += r.invalidReadings;
+        result.failSafeActivations += r.failSafeActivations;
+        result.failSafeSec += r.failSafeSec;
         result.maxDriveTempC = std::max(result.maxDriveTempC, r.maxTempC);
         result.simulatedSec = std::max(result.simulatedSec, r.simulatedSec);
         report.peakDriveTempC = std::max(report.peakDriveTempC, r.maxTempC);

@@ -56,6 +56,12 @@ struct FleetResult
     std::uint64_t gateEvents = 0; ///< DTM gate activations, fleet-wide.
     std::uint64_t speedChanges = 0; ///< Governor transitions, fleet-wide.
     double gatedSec = 0.0;          ///< Summed throttle time, fleet-wide.
+    /// Invalid sensor readings delivered to governors, fleet-wide.
+    std::uint64_t invalidReadings = 0;
+    /// Sensor fail-safe entries, fleet-wide.
+    std::uint64_t failSafeActivations = 0;
+    /// Summed time bays spent on the fail-safe floor, fleet-wide.
+    double failSafeSec = 0.0;
     double simulatedSec = 0.0;      ///< Simulated span (slowest bay).
     std::uint64_t epochs = 0;       ///< Ambient-sync barriers executed.
     int shards = 0;                 ///< Drive bays simulated.

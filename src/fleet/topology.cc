@@ -26,7 +26,21 @@ FleetConfig::validate() const
     HDDTHERM_REQUIRE(bay.ambientProfile.empty(),
                      "the fleet owns the ambient: bay template must not "
                      "carry an ambientProfile");
+    HDDTHERM_REQUIRE(bay.faults.empty(),
+                     "the fleet owns fault routing: bay template must not "
+                     "carry a FaultSchedule (use FleetConfig::faults)");
     HDDTHERM_REQUIRE(workload.requests > 0, "per-bay workload is empty");
+    faults.validate();
+    for (const auto& e : faults.events()) {
+        if (e.kind == fault::FaultKind::AirflowDegrade) {
+            HDDTHERM_REQUIRE(e.target < totalChassis(),
+                             "airflow fault targets a chassis beyond the "
+                             "fleet");
+        } else {
+            HDDTHERM_REQUIRE(e.target < totalBays(),
+                             "fault targets a bay beyond the fleet");
+        }
+    }
 }
 
 std::vector<BayAddress>

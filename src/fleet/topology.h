@@ -83,6 +83,18 @@ struct FleetConfig
     double epochSec = 0.5;
     /// Safety cap on simulated time (mirrors CoSimConfig::maxSimulatedSec).
     double maxSimulatedSec = 86400.0;
+    /**
+     * Fleet-level fault schedule (empty = fault-free).  Routing by kind:
+     * AirflowDegrade targets a global chassis index (-1 = every chassis)
+     * and scales that chassis's cooling airflow at each epoch barrier;
+     * BayKill/BayRestore target a global bay index and are applied at
+     * barriers; sensor and ambient events target a global bay index
+     * (-1 = every bay) and are forwarded into the bay engines with
+     * per-bay noise streams split from faults.noiseSeed().  The bay
+     * template must not carry its own schedule (the fleet owns fault
+     * routing), mirroring the ambientProfile rule above.
+     */
+    fault::FaultSchedule faults;
 
     /// @name Derived sizes.
     /// @{

@@ -269,14 +269,16 @@ DriveThermalModel::rebuildOperatingPoint()
     net_.setConductance(spindle_, base_, kSpindleBearingG);
     net_.setConductance(vcm_, base_, kActuatorPivotG);
 
-    // External cooling: base/cover to the constant-temperature outside air.
+    // External cooling: base/cover to the constant-temperature outside
+    // air, derated by any active airflow fault; the ambient the network
+    // sees carries any active fault offset.
     const double h_ext = config_.externalFilmOverride
                              ? *config_.externalFilmOverride
                              : calibratedExternalFilmCoefficient();
     net_.setConductance(base_, ambient_,
                         h_ext * externalAreaM2(config_.enclosure) *
-                            config_.coolingScale);
-    net_.setTemperature(ambient_, config_.ambientC);
+                            config_.coolingScale * cooling_fault_scale_);
+    net_.setTemperature(ambient_, effectiveAmbientC());
 
     // Heat sources.
     net_.setHeatInput(air_, viscousPowerW());
@@ -308,9 +310,33 @@ DriveThermalModel::setAmbient(double ambient_c)
     rebuildOperatingPoint();
 }
 
+void
+DriveThermalModel::setCoolingFaultScale(double scale)
+{
+    HDDTHERM_REQUIRE(scale > 0.0, "cooling fault scale must be positive");
+    cooling_fault_scale_ = scale;
+    rebuildOperatingPoint();
+}
+
+void
+DriveThermalModel::setAmbientOffsetC(double delta_c)
+{
+    ambient_offset_c_ = delta_c;
+    rebuildOperatingPoint();
+}
+
+void
+DriveThermalModel::setPowered(bool on)
+{
+    powered_ = on;
+    rebuildOperatingPoint();
+}
+
 double
 DriveThermalModel::viscousPowerW() const
 {
+    if (!powered_)
+        return 0.0;
     return viscousDissipationW(config_.rpm, config_.geometry.diameterInches,
                                config_.geometry.platters);
 }
@@ -318,6 +344,8 @@ DriveThermalModel::viscousPowerW() const
 double
 DriveThermalModel::vcmPowerW() const
 {
+    if (!powered_)
+        return 0.0;
     const double full = config_.vcmPowerOverrideW
                             ? *config_.vcmPowerOverrideW
                             : thermal::vcmPowerW(
@@ -328,6 +356,8 @@ DriveThermalModel::vcmPowerW() const
 double
 DriveThermalModel::spmPowerW() const
 {
+    if (!powered_)
+        return 0.0;
     return config_.spmPowerOverrideW
                ? *config_.spmPowerOverrideW
                : spmMotorLossW(config_.geometry.diameterInches);

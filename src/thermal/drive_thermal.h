@@ -65,6 +65,39 @@ class DriveThermalModel
     void setAmbient(double ambient_c);
     /// @}
 
+    /// @name Fault-injection overrides (hddtherm_fault hook points).
+    /// All default to the no-fault identity, under which the model is
+    /// bit-identical to one without the overrides.
+    /// @{
+    /**
+     * Scale the external (base-to-ambient) convective conductance by
+     * @p scale (> 0): a degraded fan moves less air over the case.
+     * Composes multiplicatively with config().coolingScale.
+     */
+    void setCoolingFaultScale(double scale);
+    double coolingFaultScale() const { return cooling_fault_scale_; }
+
+    /// Offset the effective external ambient by @p delta_c without
+    /// touching the nominal config().ambientC (ambient spike/step faults).
+    void setAmbientOffsetC(double delta_c);
+    double ambientOffsetC() const { return ambient_offset_c_; }
+
+    /// Ambient the network actually sees: nominal plus fault offset.
+    double effectiveAmbientC() const
+    {
+        return config_.ambientC + ambient_offset_c_;
+    }
+
+    /**
+     * Power the drive on/off (bay kill/restore).  Off, every heat source
+     * reads zero and the enclosure cools toward ambient through its
+     * calibrated paths (the film coefficients keep their rotating values —
+     * a conservative simplification documented in docs/faults.md).
+     */
+    void setPowered(bool on);
+    bool powered() const { return powered_; }
+    /// @}
+
     /// Current configuration.
     const DriveThermalConfig& config() const { return config_; }
 
@@ -147,6 +180,9 @@ class DriveThermalModel
     void rebuildOperatingPoint();
 
     DriveThermalConfig config_;
+    double cooling_fault_scale_ = 1.0;
+    double ambient_offset_c_ = 0.0;
+    bool powered_ = true;
     ThermalNetwork net_;
     ThermalNetwork::NodeId air_ = -1;
     ThermalNetwork::NodeId spindle_ = -1;

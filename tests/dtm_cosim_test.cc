@@ -199,6 +199,31 @@ TEST(CoSim, AmbientProfileClampsBeyondEnds)
     EXPECT_GT(result.simulatedSec, 5.0);
 }
 
+TEST(CoSim, SetAmbientReportsProfilePrecedence)
+{
+    // Regression: setAmbient used to be silently ignored while an
+    // ambientProfile was active; it must now report the rejection.
+    const auto workload =
+        randomWorkload(200, diskSpace(smallSystem(15020.0)), 50.0);
+
+    hd::CoSimConfig scheduled;
+    scheduled.system = smallSystem(15020.0);
+    scheduled.ambientProfile = {{0.0, 28.0}, {10.0, 30.0}};
+    hd::CoSimEngine owned(scheduled);
+    owned.start(workload);
+    owned.advanceTo(1.0);
+    EXPECT_FALSE(owned.setAmbient(10.0)); // profile owns the ambient
+    owned.advanceToCompletion();
+
+    hd::CoSimConfig constant;
+    constant.system = smallSystem(15020.0);
+    hd::CoSimEngine free(constant);
+    free.start(workload);
+    free.advanceTo(1.0);
+    EXPECT_TRUE(free.setAmbient(20.0)); // no profile: re-point applies
+    free.advanceToCompletion();
+}
+
 TEST(CoSim, PolicyNames)
 {
     EXPECT_STREQ(hd::dtmPolicyName(hd::DtmPolicy::None), "none");

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Property tests for the fault-injection layer:
+ *
+ *   - an all-null schedule (identity factors, zero deltas, zero sigma) is
+ *     bit-identical to running with no schedule at all;
+ *   - cooling faults move temperatures, never energy: the dissipated power
+ *     is invariant and the transient converges to the faulted steady state;
+ *   - a faulted fleet keeps the determinism contract: bit-identical
+ *     aggregates for every executor thread count.
+ */
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "fault/fault_schedule.h"
+#include "fleet/fleet_sim.h"
+#include "thermal/drive_thermal.h"
+#include "thermal/envelope.h"
+
+namespace hd = hddtherm::dtm;
+namespace hfa = hddtherm::fault;
+namespace hfl = hddtherm::fleet;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+
+namespace {
+
+hfa::FaultEvent
+event(double at, hfa::FaultKind kind, double value = 0.0,
+      double duration = 0.0, int target = -1)
+{
+    hfa::FaultEvent e;
+    e.timeSec = at;
+    e.kind = kind;
+    e.value = value;
+    e.durationSec = duration;
+    e.target = target;
+    return e;
+}
+
+hs::SystemConfig
+hotDrive()
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = 24534.0;
+    cfg.disks = 1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+randomWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        out.push_back(r);
+    }
+    return out;
+}
+
+hfl::FleetConfig
+faultedFleet()
+{
+    hfl::FleetConfig cfg;
+    cfg.racks = 1;
+    cfg.rack.chassisCount = 2;
+    cfg.chassis.bays = 3;
+    // A hot drive gated by DTM at the default 28 °C aisle can never cool
+    // below its resume threshold once faults heat the chassis; a 27 °C
+    // cold aisle keeps the run convergent (see the verify notes).
+    cfg.rack.inletC = 27.0;
+    cfg.bay.system = hotDrive();
+    cfg.bay.policy = hd::DtmPolicy::GateRequests;
+    cfg.workload.requests = 150;
+    cfg.workload.arrivalRatePerSec = 100.0;
+    cfg.epochSec = 0.25;
+    cfg.maxSimulatedSec = 600.0;
+    cfg.seed = 7;
+    // One fault of every routing class: a chassis airflow fault, a bay
+    // power cycle, a broadcast sensor-noise window (independent per-bay
+    // streams), and a targeted dropout long enough to trip the fail-safe.
+    cfg.faults = hfa::FaultSchedule(
+        {event(1.0, hfa::FaultKind::AirflowDegrade, 0.6, 4.0, 0),
+         event(1.0, hfa::FaultKind::SensorNoise, 0.3, 6.0),
+         event(1.5, hfa::FaultKind::BayKill, 0.0, 0.0, 1),
+         event(3.0, hfa::FaultKind::BayRestore, 0.0, 0.0, 1),
+         event(1.0, hfa::FaultKind::SensorDropout, 0.0, 2.0, 2)},
+        99);
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultProperties, NullScheduleIsBitIdenticalToNoSchedule)
+{
+    hd::CoSimConfig clean;
+    clean.system = hotDrive();
+    clean.policy = hd::DtmPolicy::GateRequests;
+    const auto workload =
+        randomWorkload(1200, hs::StorageSystem(clean.system).logicalSectors(),
+                       120.0);
+    const auto a = hd::CoSimulation(clean).run(workload);
+
+    // Identity events walk the whole fault path — the player is
+    // constructed, overrides are applied every tick, every reading passes
+    // through sense() — but scale x1, offset +0 and sigma 0 are exact
+    // no-ops in IEEE arithmetic, so nothing may move by even one ulp.
+    hd::CoSimConfig null_faults = clean;
+    null_faults.faults = hfa::FaultSchedule(
+        {event(0.0, hfa::FaultKind::AirflowDegrade, 1.0),
+         event(0.0, hfa::FaultKind::AmbientStep, 0.0),
+         event(0.0, hfa::FaultKind::AmbientSpike, 0.0, 5.0),
+         event(0.0, hfa::FaultKind::SensorNoise, 0.0)},
+        1234);
+    const auto b = hd::CoSimulation(null_faults).run(workload);
+
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.metrics.stats().variance(), b.metrics.stats().variance());
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.meanTempC, b.meanTempC);
+    EXPECT_EQ(a.envelopeExceededSec, b.envelopeExceededSec);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.meanVcmDuty, b.meanVcmDuty);
+    EXPECT_EQ(b.invalidReadings, 0u);
+    EXPECT_EQ(b.failSafeActivations, 0u);
+}
+
+TEST(FaultProperties, CoolingFaultsMoveTemperatureNotEnergy)
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = 1;
+    cfg.rpm = 15020.0;
+    cfg.vcmDuty = 1.0;
+    cfg.coolingScale = ht::coolingScaleForPlatters(cfg.geometry.platters);
+    ht::DriveThermalModel model(cfg);
+
+    const double healthy_power = model.totalPowerW();
+    double previous_steady = 0.0;
+    for (const double scale : {2.0, 1.0, 0.5, 0.25}) {
+        model.setCoolingFaultScale(scale);
+        // The fault changes where the heat goes, not how much is made:
+        // dissipation depends on rpm and duty only.
+        EXPECT_EQ(model.totalPowerW(), healthy_power);
+        // Worse cooling, hotter steady state (strict monotonicity).
+        const double steady = model.steadyAirTempC();
+        EXPECT_GT(steady, previous_steady);
+        previous_steady = steady;
+        // Energy balance: integrating the transient long enough lands on
+        // the faulted steady state (what flows in flows out).
+        model.settleWithAirAt(model.config().ambientC);
+        model.advance(20000.0, 0.5);
+        EXPECT_NEAR(model.airTempC(), steady, 0.05);
+    }
+}
+
+TEST(FaultProperties, FaultedFleetBitIdenticalAcrossThreadCounts)
+{
+    const auto cfg = faultedFleet();
+    const auto base = hfl::FleetSimulation(cfg).run(1);
+
+    // The schedule really fired: blind bays tripped the fail-safe and the
+    // killed bay still finished its workload after restore.
+    EXPECT_GT(base.invalidReadings, 0u);
+    EXPECT_GT(base.failSafeActivations, 0u);
+    EXPECT_EQ(base.metrics.count(),
+              std::uint64_t(cfg.totalBays()) * cfg.workload.requests);
+
+    for (int threads : {2, 4}) {
+        const auto other = hfl::FleetSimulation(cfg).run(threads);
+        EXPECT_EQ(base.metrics.count(), other.metrics.count());
+        EXPECT_EQ(base.metrics.meanMs(), other.metrics.meanMs());
+        EXPECT_EQ(base.metrics.stats().variance(),
+                  other.metrics.stats().variance());
+        EXPECT_EQ(base.p95LatencyMs, other.p95LatencyMs);
+        EXPECT_EQ(base.maxDriveTempC, other.maxDriveTempC);
+        EXPECT_EQ(base.gateEvents, other.gateEvents);
+        EXPECT_EQ(base.gatedSec, other.gatedSec);
+        EXPECT_EQ(base.epochs, other.epochs);
+        EXPECT_EQ(base.invalidReadings, other.invalidReadings);
+        EXPECT_EQ(base.failSafeActivations, other.failSafeActivations);
+        EXPECT_EQ(base.failSafeSec, other.failSafeSec);
+        ASSERT_EQ(base.chassis.size(), other.chassis.size());
+        for (std::size_t i = 0; i < base.chassis.size(); ++i) {
+            EXPECT_EQ(base.chassis[i].peakDriveAmbientC,
+                      other.chassis[i].peakDriveAmbientC);
+            EXPECT_EQ(base.chassis[i].peakDriveTempC,
+                      other.chassis[i].peakDriveTempC);
+            EXPECT_EQ(base.chassis[i].gateEvents,
+                      other.chassis[i].gateEvents);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Fault-schedule config parsing plus smoke tests of the two shipped
+ * emergency scenarios (examples/configs): the files must parse, round-trip
+ * through the formatter, and actually drive the co-simulation through the
+ * behavior they advertise (throttling for the fan failure, fail-safe
+ * entries for the sensor soak).
+ */
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "dtm/cosim.h"
+#include "util/error.h"
+
+namespace hc = hddtherm::core;
+namespace hd = hddtherm::dtm;
+namespace hf = hddtherm::fault;
+namespace hs = hddtherm::sim;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hs::SystemConfig
+smallSystem(double rpm)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = rpm;
+    cfg.disk.rpmChangeSecPerKrpm = 0.02;
+    cfg.disks = 1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+steadyWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(FaultScheduleIo, ParsesEveryKindAndRoundTrips)
+{
+    const std::string text = "[schedule]\n"
+                             "noise_seed = 42\n"
+                             "[fault.0]\n"
+                             "at = 10\n"
+                             "kind = airflow_degrade\n"
+                             "factor = 0.5\n"
+                             "duration = 60\n"
+                             "[fault.1]\n"
+                             "at = 20\n"
+                             "kind = ambient_spike\n"
+                             "delta_c = 4.5\n"
+                             "duration = 30\n"
+                             "[fault.2]\n"
+                             "at = 30\n"
+                             "kind = sensor_noise\n"
+                             "sigma_c = 0.25\n"
+                             "[fault.3]\n"
+                             "at = 40\n"
+                             "kind = bay_kill\n"
+                             "target = 3\n";
+    const auto schedule = hc::parseFaultSchedule(text);
+    ASSERT_EQ(schedule.size(), 4u);
+    EXPECT_EQ(schedule.noiseSeed(), 42u);
+    EXPECT_EQ(schedule.events()[0].kind, hf::FaultKind::AirflowDegrade);
+    EXPECT_DOUBLE_EQ(schedule.events()[0].value, 0.5);
+    EXPECT_DOUBLE_EQ(schedule.events()[0].durationSec, 60.0);
+    EXPECT_EQ(schedule.events()[0].target, -1);
+    EXPECT_EQ(schedule.events()[1].kind, hf::FaultKind::AmbientSpike);
+    EXPECT_EQ(schedule.events()[2].kind, hf::FaultKind::SensorNoise);
+    EXPECT_EQ(schedule.events()[3].kind, hf::FaultKind::BayKill);
+    EXPECT_EQ(schedule.events()[3].target, 3);
+
+    // format -> parse is the identity on the parsed representation.
+    const auto again = hc::parseFaultSchedule(
+        hc::formatFaultSchedule(schedule));
+    ASSERT_EQ(again.size(), schedule.size());
+    EXPECT_EQ(again.noiseSeed(), schedule.noiseSeed());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        EXPECT_EQ(again.events()[i].kind, schedule.events()[i].kind);
+        EXPECT_DOUBLE_EQ(again.events()[i].timeSec,
+                         schedule.events()[i].timeSec);
+        EXPECT_DOUBLE_EQ(again.events()[i].value,
+                         schedule.events()[i].value);
+        EXPECT_DOUBLE_EQ(again.events()[i].durationSec,
+                         schedule.events()[i].durationSec);
+        EXPECT_EQ(again.events()[i].target, schedule.events()[i].target);
+    }
+}
+
+TEST(FaultScheduleIo, SectionsReplayInNumericOrder)
+{
+    // fault.10 sorts lexically before fault.2; numeric order must win.
+    const std::string text = "[fault.10]\n"
+                             "at = 5\n"
+                             "kind = ambient_step\n"
+                             "delta_c = 2\n"
+                             "[fault.2]\n"
+                             "at = 5\n"
+                             "kind = ambient_step\n"
+                             "delta_c = 1\n";
+    const auto schedule = hc::parseFaultSchedule(text);
+    ASSERT_EQ(schedule.size(), 2u);
+    EXPECT_DOUBLE_EQ(schedule.events()[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(schedule.events()[1].value, 2.0);
+}
+
+TEST(FaultScheduleIo, RejectsMalformedSchedules)
+{
+    // Unknown section.
+    EXPECT_THROW(hc::parseFaultSchedule("[bogus]\nx = 1\n"),
+                 hu::ModelError);
+    // Bad section index.
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.one]\nat = 0\nkind = ambient_step\n"
+                     "delta_c = 1\n"),
+                 hu::ModelError);
+    // Missing onset.
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.0]\nkind = ambient_step\ndelta_c = 1\n"),
+                 hu::ModelError);
+    // Missing kind.
+    EXPECT_THROW(hc::parseFaultSchedule("[fault.0]\nat = 1\n"),
+                 hu::ModelError);
+    // Unknown kind.
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.0]\nat = 1\nkind = gremlins\n"),
+                 hu::ModelError);
+    // Missing magnitude for a kind that needs one.
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.0]\nat = 1\nkind = airflow_degrade\n"),
+                 hu::ModelError);
+    // Stray magnitude on a kind that takes none.
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.0]\nat = 1\nkind = sensor_dropout\n"
+                     "sigma_c = 1\n"),
+                 hu::ModelError);
+    // Out-of-domain value (validated by the schedule itself).
+    EXPECT_THROW(hc::parseFaultSchedule(
+                     "[fault.0]\nat = 1\nkind = airflow_degrade\n"
+                     "factor = 0\n"),
+                 hu::ModelError);
+}
+
+TEST(FaultScenarios, FanFailureEmergencyThrottlesTheDrive)
+{
+    const auto schedule = hc::loadFaultSchedule(
+        HDDTHERM_CONFIG_DIR "/fan_failure_emergency.ini");
+    ASSERT_EQ(schedule.size(), 2u);
+    EXPECT_EQ(schedule.events()[0].kind, hf::FaultKind::AirflowDegrade);
+    EXPECT_EQ(schedule.events()[1].kind, hf::FaultKind::AmbientStep);
+    EXPECT_FALSE(schedule.hasSensorFaults());
+
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(24534.0);
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    cfg.faults = schedule;
+    const auto workload = steadyWorkload(
+        1500, hs::StorageSystem(cfg.system).logicalSectors(), 20.0);
+    const auto result = hd::CoSimulation(cfg).run(workload);
+    EXPECT_EQ(result.metrics.count(), 1500u);
+    // The collapse arrives at t = 60 s with the drive already governed at
+    // the envelope: the policy must throttle through the window.
+    EXPECT_GT(result.gateEvents, 0u);
+    EXPECT_GT(result.gatedSec, 0.0);
+    EXPECT_EQ(result.failSafeActivations, 0u); // sensor stays healthy
+}
+
+TEST(FaultScenarios, NoisySensorSoakTripsTheFailSafe)
+{
+    const auto schedule = hc::loadFaultSchedule(
+        HDDTHERM_CONFIG_DIR "/noisy_sensor_soak.ini");
+    ASSERT_EQ(schedule.size(), 4u);
+    EXPECT_TRUE(schedule.hasSensorFaults());
+    EXPECT_EQ(schedule.noiseSeed(), 77u);
+
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(15020.0);
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    cfg.faults = schedule;
+    const auto workload = steadyWorkload(
+        4500, hs::StorageSystem(cfg.system).logicalSectors(), 20.0);
+    const auto result = hd::CoSimulation(cfg).run(workload);
+    EXPECT_EQ(result.metrics.count(), 4500u);
+    EXPECT_GT(result.invalidReadings, 0u);
+    // Both dropout windows outlast failSafeInvalidTicks control periods.
+    EXPECT_EQ(result.failSafeActivations, 2u);
+    EXPECT_GT(result.failSafeSec, 0.0);
+    // The drive itself never had a thermal emergency.
+    EXPECT_LE(result.maxTempC, cfg.envelopeC + 0.1);
+}

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests of the fault-injection layer: schedules, the drive-level player,
+ * the thermal-model fault hooks, and the co-simulation fail-safe path.
+ */
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "fault/emergency.h"
+#include "fault/fault_player.h"
+#include "fault/fault_schedule.h"
+#include "thermal/drive_thermal.h"
+#include "thermal/envelope.h"
+#include "util/error.h"
+
+namespace hd = hddtherm::dtm;
+namespace hf = hddtherm::fault;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::thermal;
+namespace hu = hddtherm::util;
+
+namespace {
+
+hf::FaultEvent
+event(double at, hf::FaultKind kind, double value = 0.0,
+      double duration = 0.0, int target = -1)
+{
+    hf::FaultEvent e;
+    e.timeSec = at;
+    e.kind = kind;
+    e.value = value;
+    e.durationSec = duration;
+    e.target = target;
+    return e;
+}
+
+hs::SystemConfig
+smallSystem(double rpm)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = rpm;
+    cfg.disk.rpmChangeSecPerKrpm = 0.02;
+    cfg.disks = 1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+randomWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::int64_t
+diskSpace(const hs::SystemConfig& cfg)
+{
+    return hs::StorageSystem(cfg).logicalSectors();
+}
+
+ht::DriveThermalConfig
+thermalConfig()
+{
+    ht::DriveThermalConfig cfg;
+    cfg.geometry.diameterInches = 2.6;
+    cfg.geometry.platters = 1;
+    cfg.rpm = 15020.0;
+    cfg.vcmDuty = 1.0;
+    cfg.coolingScale = ht::coolingScaleForPlatters(cfg.geometry.platters);
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultSchedule, KindNamesMatchConfigSpelling)
+{
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::AirflowDegrade),
+                 "airflow_degrade");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::AmbientStep),
+                 "ambient_step");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::AmbientSpike),
+                 "ambient_spike");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::SensorStuck),
+                 "sensor_stuck");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::SensorDropout),
+                 "sensor_dropout");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::SensorNoise),
+                 "sensor_noise");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::BayKill), "bay_kill");
+    EXPECT_STREQ(hf::faultKindName(hf::FaultKind::BayRestore),
+                 "bay_restore");
+}
+
+TEST(FaultSchedule, EventsKeptInOnsetOrder)
+{
+    hf::FaultSchedule schedule;
+    schedule.add(event(30.0, hf::FaultKind::AmbientStep, 2.0));
+    schedule.add(event(10.0, hf::FaultKind::AmbientStep, 1.0));
+    schedule.add(event(20.0, hf::FaultKind::AmbientStep, 4.0));
+    ASSERT_EQ(schedule.size(), 3u);
+    EXPECT_DOUBLE_EQ(schedule.events()[0].timeSec, 10.0);
+    EXPECT_DOUBLE_EQ(schedule.events()[1].timeSec, 20.0);
+    EXPECT_DOUBLE_EQ(schedule.events()[2].timeSec, 30.0);
+}
+
+TEST(FaultSchedule, CoolingScaleComposesActiveWindows)
+{
+    const hf::FaultSchedule schedule(
+        {event(10.0, hf::FaultKind::AirflowDegrade, 0.5, 20.0),
+         event(20.0, hf::FaultKind::AirflowDegrade, 0.8)});
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(15.0), 0.5);
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(25.0), 0.5 * 0.8);
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(40.0), 0.8); // window ended
+}
+
+TEST(FaultSchedule, AmbientOffsetsSumStepsAndSpikes)
+{
+    const hf::FaultSchedule schedule(
+        {event(10.0, hf::FaultKind::AmbientStep, 3.0),
+         event(20.0, hf::FaultKind::AmbientSpike, 5.0, 10.0)});
+    EXPECT_DOUBLE_EQ(schedule.ambientOffsetAt(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(schedule.ambientOffsetAt(15.0), 3.0);
+    EXPECT_DOUBLE_EQ(schedule.ambientOffsetAt(25.0), 8.0);
+    EXPECT_DOUBLE_EQ(schedule.ambientOffsetAt(35.0), 3.0); // spike over
+}
+
+TEST(FaultSchedule, TargetedEventsAddressOneIndex)
+{
+    const hf::FaultSchedule schedule(
+        {event(0.0, hf::FaultKind::AirflowDegrade, 0.5, 0.0, 2),
+         event(0.0, hf::FaultKind::AirflowDegrade, 0.25, 0.0, -1)});
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(1.0, 2), 0.5 * 0.25);
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(1.0, 1), 0.25);
+    // The drive-level view (-1) only sees untargeted events.
+    EXPECT_DOUBLE_EQ(schedule.coolingScaleAt(1.0, -1), 0.25);
+}
+
+TEST(FaultSchedule, BayPowerLastEdgeWins)
+{
+    const hf::FaultSchedule schedule(
+        {event(10.0, hf::FaultKind::BayKill, 0.0, 0.0, 3),
+         event(20.0, hf::FaultKind::BayRestore, 0.0, 0.0, 3)});
+    EXPECT_FALSE(schedule.bayKilledAt(5.0, 3));
+    EXPECT_TRUE(schedule.bayKilledAt(10.0, 3));
+    EXPECT_TRUE(schedule.bayKilledAt(19.9, 3));
+    EXPECT_FALSE(schedule.bayKilledAt(20.0, 3));
+    EXPECT_FALSE(schedule.bayKilledAt(15.0, 4)); // other bay untouched
+    EXPECT_TRUE(schedule.hasBayPowerEvents());
+    EXPECT_FALSE(schedule.hasSensorFaults());
+}
+
+TEST(FaultSchedule, RejectsOutOfDomainEvents)
+{
+    EXPECT_THROW(hf::FaultSchedule(
+                     {event(-1.0, hf::FaultKind::AmbientStep, 1.0)}),
+                 hu::ModelError);
+    EXPECT_THROW(hf::FaultSchedule(
+                     {event(0.0, hf::FaultKind::AirflowDegrade, 0.0)}),
+                 hu::ModelError);
+    EXPECT_THROW(hf::FaultSchedule(
+                     {event(0.0, hf::FaultKind::AmbientSpike, 5.0, 0.0)}),
+                 hu::ModelError);
+    EXPECT_THROW(hf::FaultSchedule(
+                     {event(0.0, hf::FaultKind::SensorNoise, -0.5, 10.0)}),
+                 hu::ModelError);
+    EXPECT_THROW(hf::FaultSchedule({event(0.0, hf::FaultKind::BayKill)}),
+                 hu::ModelError);
+}
+
+TEST(FaultPlayer, EmptyScheduleIsTransparent)
+{
+    hf::FaultPlayer player{hf::FaultSchedule()};
+    EXPECT_TRUE(player.empty());
+    EXPECT_DOUBLE_EQ(player.coolingScaleAt(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(player.ambientOffsetAt(100.0), 0.0);
+    const auto reading = player.sense(1.0, 42.25);
+    EXPECT_TRUE(reading.valid);
+    EXPECT_DOUBLE_EQ(reading.valueC, 42.25);
+}
+
+TEST(FaultPlayer, DropoutInvalidatesTheWindow)
+{
+    hf::FaultPlayer player{hf::FaultSchedule(
+        {event(10.0, hf::FaultKind::SensorDropout, 0.0, 5.0)})};
+    EXPECT_TRUE(player.sense(9.9, 40.0).valid);
+    EXPECT_FALSE(player.sense(10.0, 40.0).valid);
+    EXPECT_FALSE(player.sense(14.9, 40.0).valid);
+    EXPECT_TRUE(player.sense(15.0, 40.0).valid);
+}
+
+TEST(FaultPlayer, StuckLatchesTheFirstReadingInWindow)
+{
+    hf::FaultPlayer player{hf::FaultSchedule(
+        {event(10.0, hf::FaultKind::SensorStuck, 0.0, 10.0)})};
+    EXPECT_DOUBLE_EQ(player.sense(5.0, 39.0).valueC, 39.0);
+    EXPECT_DOUBLE_EQ(player.sense(10.0, 40.5).valueC, 40.5); // latches
+    EXPECT_DOUBLE_EQ(player.sense(15.0, 44.0).valueC, 40.5);
+    EXPECT_DOUBLE_EQ(player.sense(19.9, 46.0).valueC, 40.5);
+    EXPECT_DOUBLE_EQ(player.sense(20.0, 46.0).valueC, 46.0); // released
+}
+
+TEST(FaultPlayer, NoiseIsDeterministicPerStream)
+{
+    const hf::FaultSchedule schedule(
+        {event(0.0, hf::FaultKind::SensorNoise, 0.5)}, 77);
+    hf::FaultPlayer a(schedule, 0);
+    hf::FaultPlayer b(schedule, 0);
+    hf::FaultPlayer c(schedule, 1);
+    bool streams_differ = false;
+    bool noise_seen = false;
+    for (int i = 0; i < 32; ++i) {
+        const double t = 0.1 * i;
+        const auto ra = a.sense(t, 40.0);
+        const auto rb = b.sense(t, 40.0);
+        const auto rc = c.sense(t, 40.0);
+        ASSERT_TRUE(ra.valid);
+        EXPECT_DOUBLE_EQ(ra.valueC, rb.valueC); // same stream: identical
+        streams_differ = streams_differ || ra.valueC != rc.valueC;
+        noise_seen = noise_seen || ra.valueC != 40.0;
+    }
+    EXPECT_TRUE(streams_differ);
+    EXPECT_TRUE(noise_seen);
+}
+
+TEST(FaultPlayer, DropoutBeatsStuckBeatsNoise)
+{
+    hf::FaultPlayer player{hf::FaultSchedule(
+        {event(0.0, hf::FaultKind::SensorNoise, 1.0),
+         event(10.0, hf::FaultKind::SensorStuck, 0.0, 20.0),
+         event(20.0, hf::FaultKind::SensorDropout, 0.0, 5.0)})};
+    EXPECT_TRUE(player.sense(5.0, 40.0).valid); // noise only
+    const auto stuck = player.sense(10.0, 41.0);
+    EXPECT_TRUE(stuck.valid);
+    EXPECT_DOUBLE_EQ(stuck.valueC, 41.0); // latched truth, no noise on top
+    EXPECT_DOUBLE_EQ(player.sense(15.0, 43.0).valueC, 41.0);
+    EXPECT_FALSE(player.sense(22.0, 44.0).valid); // dropout wins
+    EXPECT_DOUBLE_EQ(player.sense(27.0, 45.0).valueC, 41.0); // stuck again
+}
+
+TEST(FaultPlayer, IgnoresTargetedEvents)
+{
+    hf::FaultPlayer player{hf::FaultSchedule(
+        {event(0.0, hf::FaultKind::SensorDropout, 0.0, 0.0, 3)})};
+    EXPECT_TRUE(player.sense(1.0, 40.0).valid);
+}
+
+TEST(ThermalFaultHooks, CoolingFaultScaleHeatsTheSteadyState)
+{
+    ht::DriveThermalModel model(thermalConfig());
+    const double healthy = model.steadyAirTempC();
+    model.setCoolingFaultScale(0.5);
+    EXPECT_GT(model.steadyAirTempC(), healthy + 1.0);
+    model.setCoolingFaultScale(1.0);
+    EXPECT_DOUBLE_EQ(model.steadyAirTempC(), healthy);
+    EXPECT_THROW(model.setCoolingFaultScale(0.0), hu::ModelError);
+}
+
+TEST(ThermalFaultHooks, AmbientOffsetShiftsTheBoundary)
+{
+    ht::DriveThermalModel model(thermalConfig());
+    const double base = model.steadyAirTempC();
+    model.setAmbientOffsetC(5.0);
+    EXPECT_DOUBLE_EQ(model.effectiveAmbientC(),
+                     model.config().ambientC + 5.0);
+    EXPECT_NEAR(model.steadyAirTempC(), base + 5.0, 0.2);
+    model.setAmbientOffsetC(0.0);
+    EXPECT_DOUBLE_EQ(model.steadyAirTempC(), base);
+}
+
+TEST(ThermalFaultHooks, PoweredOffDissipatesNothing)
+{
+    ht::DriveThermalModel model(thermalConfig());
+    EXPECT_GT(model.totalPowerW(), 0.0);
+    model.setPowered(false);
+    EXPECT_FALSE(model.powered());
+    EXPECT_DOUBLE_EQ(model.totalPowerW(), 0.0);
+    model.setPowered(true);
+    EXPECT_GT(model.totalPowerW(), 0.0);
+}
+
+TEST(CoSimFaults, AirflowFaultHeatsTheDrive)
+{
+    // The case/base thermal masses respond over minutes, so the fault
+    // must be deep and the run long enough for the air to clearly move.
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(15020.0);
+    const auto workload =
+        randomWorkload(3000, diskSpace(cfg.system), 50.0);
+    const auto clean = hd::CoSimulation(cfg).run(workload);
+
+    cfg.faults = hf::FaultSchedule(
+        {event(1.0, hf::FaultKind::AirflowDegrade, 0.25)});
+    const auto faulted = hd::CoSimulation(cfg).run(workload);
+    EXPECT_GT(faulted.maxTempC, clean.maxTempC + 0.5);
+}
+
+TEST(CoSimFaults, DropoutEntersAndExitsFailSafe)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(24534.0);
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    cfg.failSafeInvalidTicks = 3;
+    cfg.faults = hf::FaultSchedule(
+        {event(1.0, hf::FaultKind::SensorDropout, 0.0, 4.0)});
+    const auto workload =
+        randomWorkload(1500, diskSpace(cfg.system), 100.0);
+    const auto result = hd::CoSimulation(cfg).run(workload);
+    EXPECT_EQ(result.metrics.count(), 1500u); // recovers and completes
+    EXPECT_GT(result.invalidReadings, 0u);
+    EXPECT_EQ(result.failSafeActivations, 1u);
+    EXPECT_GT(result.failSafeSec, 0.0);
+    EXPECT_GT(result.gateEvents, 0u);
+}
+
+TEST(CoSimFaults, PolicyNoneHasNoFailSafeActuator)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(15020.0);
+    cfg.policy = hd::DtmPolicy::None;
+    cfg.faults = hf::FaultSchedule(
+        {event(1.0, hf::FaultKind::SensorDropout, 0.0, 3.0)});
+    const auto workload = randomWorkload(600, diskSpace(cfg.system), 80.0);
+    const auto result = hd::CoSimulation(cfg).run(workload);
+    EXPECT_GT(result.invalidReadings, 0u);
+    EXPECT_EQ(result.failSafeActivations, 0u);
+    EXPECT_EQ(result.gateEvents, 0u);
+}
+
+TEST(CoSimFaults, BayPowerGatesAndSilencesTheDrive)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(15020.0);
+    hd::CoSimEngine engine(cfg);
+    const auto workload = randomWorkload(400, diskSpace(cfg.system), 50.0);
+    engine.start(workload);
+    engine.advanceTo(1.0);
+    EXPECT_GT(engine.heatOutputW(), 0.0);
+
+    engine.setBayPower(false);
+    EXPECT_FALSE(engine.bayPowered());
+    EXPECT_DOUBLE_EQ(engine.heatOutputW(), 0.0);
+    const auto done_before = engine.result().metrics.count();
+    engine.advanceTo(3.0);
+    // Powered off: nothing dispatches, nothing completes.
+    EXPECT_EQ(engine.result().metrics.count(), done_before);
+
+    engine.setBayPower(true);
+    engine.advanceToCompletion();
+    EXPECT_TRUE(engine.finished());
+    EXPECT_EQ(engine.result().metrics.count(), 400u);
+}
+
+TEST(EmergencyReport, SummarizesRunAgainstBaseline)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(24534.0);
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    const auto workload =
+        randomWorkload(1000, diskSpace(cfg.system), 100.0);
+    const auto clean = hd::CoSimulation(cfg).run(workload);
+
+    cfg.faults = hf::FaultSchedule(
+        {event(1.0, hf::FaultKind::AirflowDegrade, 0.6)});
+    const auto faulted = hd::CoSimulation(cfg).run(workload);
+
+    const auto report = hd::emergencyReport(faulted, clean);
+    EXPECT_TRUE(report.hasBaseline);
+    EXPECT_DOUBLE_EQ(report.simulatedSec, faulted.simulatedSec);
+    EXPECT_DOUBLE_EQ(report.maxTempC, faulted.maxTempC);
+    EXPECT_DOUBLE_EQ(report.meanLatencyMs, faulted.metrics.meanMs());
+    EXPECT_DOUBLE_EQ(report.baselineMeanLatencyMs, clean.metrics.meanMs());
+    EXPECT_NEAR(report.latencyPenaltyMs,
+                faulted.metrics.meanMs() - clean.metrics.meanMs(), 1e-12);
+    EXPECT_GE(report.throttlePenaltySec, 0.0);
+    EXPECT_GE(report.gatedFraction(), 0.0);
+    EXPECT_LE(report.gatedFraction(), 1.0);
+
+    const std::string text = hf::formatEmergencyReport(report);
+    EXPECT_NE(text.find("fail-safe"), std::string::npos);
+    EXPECT_NE(text.find("envelope"), std::string::npos);
+
+    const auto solo = hd::emergencyReport(faulted);
+    EXPECT_FALSE(solo.hasBaseline);
+}
