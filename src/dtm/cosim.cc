@@ -73,6 +73,7 @@ dtmPolicyName(DtmPolicy policy)
 CoSimEngine::CoSimEngine(const CoSimConfig& config)
     : config_((validateConfig(config), config)),
       system_(config_.system),
+      thermal_domain_(system_.events().registerDomain("thermal")),
       model_(thermalConfigFor(config_))
 {
     if (config_.policy == DtmPolicy::GovernSpeed) {
@@ -115,11 +116,16 @@ CoSimEngine::start(const std::vector<sim::IoRequest>& workload)
     });
     for (const auto& req : workload)
         system_.submit(req);
-    system_.events().scheduleAfter(config_.controlIntervalSec,
-                                   [this]() { tick(); });
+    // The DTM control loop is a periodic task in the kernel's thermal
+    // domain: sensor sampling, governor decisions, and fault-player
+    // updates all happen at the tick's timestamp, interleaved with the
+    // storage domain's request events on the one shared clock.
+    system_.events().schedulePeriodic(thermal_domain_,
+                                      config_.controlIntervalSec,
+                                      [this]() { return tick(); });
 }
 
-void
+bool
 CoSimEngine::tick()
 {
     const sim::SimTime now = system_.events().now();
@@ -147,7 +153,8 @@ CoSimEngine::tick()
         const double alpha = std::min(1.0, dt / duty_tau);
         duty_ewma_ += alpha * (duty - duty_ewma_);
         model_.setVcmDuty(duty);
-        model_.advance(dt, std::min(config_.thermalDtSec, dt));
+        // The kernel owns the clock; the thermal stepper just follows it.
+        model_.advanceTo(now, config_.thermalDtSec);
 
         // Physical-temperature statistics always track the truth; policy
         // decisions below only ever see the (possibly faulted) sensor.
@@ -176,18 +183,17 @@ CoSimEngine::tick()
             decidePolicy(reading);
     }
 
-    if (completed_ < workload_size_) {
-        if (now >= config_.maxSimulatedSec) {
-            util::logWarn("co-simulation hit the %.0f s safety cap with "
-                          "%zu/%zu requests done; releasing gates",
-                          config_.maxSimulatedSec, completed_,
-                          workload_size_);
-            system_.gateAll(false);
-            return;
-        }
-        system_.events().scheduleAfter(config_.controlIntervalSec,
-                                       [this]() { tick(); });
+    if (completed_ >= workload_size_)
+        return false;
+    if (now >= config_.maxSimulatedSec) {
+        util::logWarn("co-simulation hit the %.0f s safety cap with "
+                      "%zu/%zu requests done; releasing gates",
+                      config_.maxSimulatedSec, completed_,
+                      workload_size_);
+        system_.gateAll(false);
+        return false;
     }
+    return true;
 }
 
 void

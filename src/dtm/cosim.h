@@ -199,7 +199,9 @@ class CoSimEngine
     const CoSimConfig& config() const { return config_; }
 
   private:
-    void tick();
+    /// One control tick; returns true while the periodic task should
+    /// keep firing (workload unfinished and safety cap not reached).
+    bool tick();
     void decidePolicy(const fault::SensorReading& reading);
     void enterFailSafeFloor();
     /// One gate authority: the disks are gated while the policy says so
@@ -208,6 +210,8 @@ class CoSimEngine
 
     CoSimConfig config_;
     sim::StorageSystem system_;
+    /// Fixed-step thermal/control clock domain in the shared kernel.
+    engine::DomainId thermal_domain_;
     thermal::DriveThermalModel model_;
     std::optional<SpeedGovernor> governor_;
     std::optional<util::PiecewiseLinear> ambient_schedule_;

@@ -1,0 +1,169 @@
+#include "engine/kernel.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace hddtherm::engine {
+
+namespace {
+
+/// Biased priority in the top 16 bits (monotonic: a lower priority
+/// yields a smaller key, so it fires first at equal times) plus the
+/// domain id in the low 16 — everything of an event key except its
+/// sequence number.
+std::uint64_t
+keyBase(int priority, DomainId domain)
+{
+    const auto biased =
+        std::uint64_t(std::uint16_t(priority)) ^ 0x8000ull;
+    return biased << (SimKernel::kSeqBits + SimKernel::kDomainBits) |
+           std::uint64_t(domain);
+}
+
+} // namespace
+
+SimKernel::SimKernel()
+{
+    domains_.push_back({"default", 0, keyBase(0, 0)});
+}
+
+DomainId
+SimKernel::registerDomain(const std::string& name, int priority)
+{
+    HDDTHERM_REQUIRE(!name.empty(), "domain name must not be empty");
+    HDDTHERM_REQUIRE(priority >= kMinPriority && priority <= kMaxPriority,
+                     "domain priority out of the 16-bit key range");
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        if (domains_[i].name == name) {
+            HDDTHERM_REQUIRE(domains_[i].priority == priority,
+                             "domain re-registered with a different "
+                             "priority");
+            return DomainId(i);
+        }
+    }
+    const auto id = DomainId(domains_.size());
+    HDDTHERM_REQUIRE(id < (1 << kDomainBits),
+                     "too many clock domains for the 16-bit key field");
+    domains_.push_back({name, priority, keyBase(priority, id)});
+    return id;
+}
+
+const std::string&
+SimKernel::domainName(DomainId id) const
+{
+    HDDTHERM_REQUIRE(id >= 0 && id < domainCount(), "unknown domain id");
+    return domains_[std::size_t(id)].name;
+}
+
+int
+SimKernel::domainPriority(DomainId id) const
+{
+    HDDTHERM_REQUIRE(id >= 0 && id < domainCount(), "unknown domain id");
+    return domains_[std::size_t(id)].priority;
+}
+
+void
+SimKernel::schedule(SimTime when, DomainId domain, Callback cb)
+{
+    HDDTHERM_REQUIRE(when >= now_, "cannot schedule into the past");
+    HDDTHERM_REQUIRE(domain >= 0 && domain < domainCount(),
+                     "unknown domain id");
+    // 2^32 events per kernel instance is far beyond any simulation here
+    // (kernels are per drive / per fleet barrier loop), and the cap
+    // fails loudly rather than silently mis-ordering.
+    HDDTHERM_ASSERT(next_seq_ >> kSeqBits == 0);
+    Event ev{when,
+             domains_[std::size_t(domain)].key_base |
+                 (next_seq_++ << kDomainBits),
+             std::move(cb)};
+    if (sink_)
+        emit(TraceKind::Scheduled, ev);
+    heap_.push(std::move(ev));
+}
+
+void
+SimKernel::scheduleAfter(SimTime delay, DomainId domain, Callback cb)
+{
+    HDDTHERM_REQUIRE(delay >= 0.0, "negative delay");
+    schedule(now_ + delay, domain, std::move(cb));
+}
+
+void
+SimKernel::schedulePeriodic(DomainId domain, SimTime period,
+                            PeriodicCallback cb)
+{
+    HDDTHERM_REQUIRE(period > 0.0, "period must be positive");
+    HDDTHERM_REQUIRE(bool(cb), "missing periodic callback");
+    periodic_.push_back({domain, period, std::move(cb)});
+    const std::size_t index = periodic_.size() - 1;
+    schedule(now_ + period, domain, [this, index] { firePeriodic(index); });
+}
+
+void
+SimKernel::firePeriodic(std::size_t index)
+{
+    // The callback may arm further periodic tasks (reallocating the
+    // vector), so the task is re-indexed after it returns.
+    const bool keep = periodic_[index].cb();
+    if (!keep) {
+        periodic_[index].cb = nullptr; // release captured state
+        return;
+    }
+    const PeriodicTask& task = periodic_[index];
+    schedule(now_ + task.period, task.domain,
+             [this, index] { firePeriodic(index); });
+}
+
+bool
+SimKernel::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // Move out before pop so the callback may schedule new events.  The
+    // const_cast is the standard priority_queue escape hatch: top() is
+    // const-qualified only to protect the heap order, which pop()
+    // re-establishes immediately.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++fired_;
+    if (sink_)
+        emit(TraceKind::Fired, ev);
+    ev.cb();
+    return true;
+}
+
+void
+SimKernel::runUntil(SimTime limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runNext();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+SimKernel::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+void
+SimKernel::emit(TraceKind kind, const Event& ev)
+{
+    TraceEvent out;
+    out.time = now_;
+    out.when = ev.when;
+    out.domain =
+        DomainId(ev.key & ((std::uint64_t(1) << kDomainBits) - 1));
+    out.domainName = domains_[std::size_t(out.domain)].name;
+    out.kind = kind;
+    // The id is the raw sequence number (priority and domain stripped).
+    out.id = (ev.key >> kDomainBits) &
+             ((std::uint64_t(1) << kSeqBits) - 1);
+    sink_->onEvent(out);
+}
+
+} // namespace hddtherm::engine

@@ -1,0 +1,70 @@
+#include "engine/trace.h"
+
+#include <ostream>
+
+#include "util/error.h"
+
+namespace hddtherm::engine {
+
+const char*
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Scheduled:
+        return "scheduled";
+      case TraceKind::Fired:
+        return "fired";
+    }
+    return "unknown";
+}
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : ring_(capacity)
+{
+    HDDTHERM_REQUIRE(capacity >= 1, "ring buffer needs capacity");
+}
+
+void
+RingBufferTraceSink::onEvent(const TraceEvent& event)
+{
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size())
+        ++size_;
+    ++observed_;
+}
+
+std::vector<TraceEvent>
+RingBufferTraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    // Oldest element sits at head_ once the ring has wrapped.
+    const std::size_t start =
+        size_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+RingBufferTraceSink::clear()
+{
+    head_ = 0;
+    size_ = 0;
+}
+
+CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(out)
+{
+    out_ << "time_sec,when_sec,domain,kind,id\n";
+}
+
+void
+CsvTraceSink::onEvent(const TraceEvent& event)
+{
+    out_ << event.time << ',' << event.when << ',' << event.domainName
+         << ',' << traceKindName(event.kind) << ',' << event.id << '\n';
+    ++rows_;
+}
+
+} // namespace hddtherm::engine

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Event-trace hook interface of the simulation kernel.
+ *
+ * A TraceSink subscribed to a SimKernel observes every event the kernel
+ * schedules and fires as a TraceEvent {time, when, domain, kind, id}.
+ * Tracing is strictly observational: attaching any sink leaves simulation
+ * results bit-identical (the kernel-equivalence property test pins this).
+ *
+ * Three sinks cover the common cases: no sink at all (a nullptr, the
+ * default — one branch of overhead), RingBufferTraceSink (bounded
+ * in-memory capture for tests and post-mortem inspection), and
+ * CsvTraceSink (streaming "time,domain,kind,id" rows for offline
+ * analysis).
+ */
+#ifndef HDDTHERM_ENGINE_TRACE_H
+#define HDDTHERM_ENGINE_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hddtherm::engine {
+
+/// Simulated time in seconds (the one clock every layer shares).
+using SimTime = double;
+
+/// Handle of a registered clock domain.
+using DomainId = int;
+
+/// What a TraceEvent records.
+enum class TraceKind : std::uint8_t
+{
+    Scheduled, ///< An event was enqueued (time = now, when = fire time).
+    Fired,     ///< An event executed (time == when == its fire time).
+};
+
+/// Human-readable TraceKind name.
+const char* traceKindName(TraceKind kind);
+
+/// One observed kernel event.
+struct TraceEvent
+{
+    SimTime time = 0.0;      ///< Kernel time at emission.
+    SimTime when = 0.0;      ///< The event's (scheduled) fire time.
+    DomainId domain = 0;     ///< Clock domain the event belongs to.
+    /// Domain name.  An owning copy (SSO-cheap for real domain names), so
+    /// buffered TraceEvents stay valid after their kernel is destroyed —
+    /// e.g. the fleet's epoch kernel is local to FleetSimulation::run().
+    std::string domainName;
+    TraceKind kind = TraceKind::Scheduled;
+    std::uint64_t id = 0;    ///< Kernel-unique event sequence number.
+};
+
+/// Subscriber interface for kernel event traces.
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /// Called by the kernel for every schedule and fire.
+    virtual void onEvent(const TraceEvent& event) = 0;
+};
+
+/// Keeps the newest @p capacity events in memory; older ones are dropped.
+class RingBufferTraceSink : public TraceSink
+{
+  public:
+    explicit RingBufferTraceSink(std::size_t capacity);
+
+    void onEvent(const TraceEvent& event) override;
+
+    /// Buffered events, oldest first.
+    std::vector<TraceEvent> events() const;
+
+    /// Total events observed (buffered + dropped).
+    std::uint64_t observed() const { return observed_; }
+
+    /// Events that fell off the ring.
+    std::uint64_t dropped() const
+    {
+        return observed_ - std::uint64_t(size_);
+    }
+
+    /// Drop everything buffered (counters keep running).
+    void clear();
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0; ///< Next write position.
+    std::size_t size_ = 0; ///< Buffered count (<= capacity).
+    std::uint64_t observed_ = 0;
+};
+
+/// Streams "time,when,domain,kind,id" CSV rows (header included).
+class CsvTraceSink : public TraceSink
+{
+  public:
+    /// Writes to @p out, which must outlive the sink.
+    explicit CsvTraceSink(std::ostream& out);
+
+    void onEvent(const TraceEvent& event) override;
+
+    /// Rows written so far (excluding the header).
+    std::uint64_t rows() const { return rows_; }
+
+  private:
+    std::ostream& out_;
+    std::uint64_t rows_ = 0;
+};
+
+} // namespace hddtherm::engine
+
+#endif // HDDTHERM_ENGINE_TRACE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/kernel.h"
 #include "trace/synth.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -68,7 +69,7 @@ FleetSimulation::FleetSimulation(const FleetConfig& config)
 }
 
 FleetResult
-FleetSimulation::run(int threads)
+FleetSimulation::run(int threads, engine::TraceSink* epoch_trace)
 {
     const auto bays = enumerateBays(config_);
     const auto chassis_count = std::size_t(config_.totalChassis());
@@ -143,13 +144,19 @@ FleetSimulation::run(int threads)
         }
     }
 
-    // Epoch loop: parallel shard advance, then the ambient-sync barrier.
+    // Epoch loop: the ambient-sync barrier is a periodic task in a
+    // fleet-level kernel's "fleet-epoch" clock domain.  Each firing
+    // advances every unfinished shard's kernel to the epoch timestamp in
+    // parallel, then runs all cross-shard coupling on this thread in
+    // fixed bay/chassis order (the determinism contract).
     std::vector<double> chassis_heat(chassis_count, 0.0);
     std::vector<double> airflow_scale(chassis_count, 1.0);
-    double t = 0.0;
-    bool all_done = false;
-    while (!all_done) {
-        t += config_.epochSec;
+    engine::SimKernel epochs;
+    const engine::DomainId epoch_domain =
+        epochs.registerDomain("fleet-epoch");
+    epochs.setTraceSink(epoch_trace);
+    epochs.schedulePeriodic(epoch_domain, config_.epochSec, [&]() {
+        const double t = epochs.now();
 
         std::vector<ShardExecutor::Task> batch;
         batch.reserve(shards.size());
@@ -162,10 +169,8 @@ FleetSimulation::run(int threads)
         executor.runBatch(std::move(batch));
         ++result.epochs;
 
-        // Barrier: all cross-shard coupling happens here, on this thread,
-        // in fixed bay/chassis order (the determinism contract).
         std::fill(chassis_heat.begin(), chassis_heat.end(), 0.0);
-        all_done = true;
+        bool all_done = true;
         for (const auto& shard : shards) {
             chassis_heat[std::size_t(shard.addr.chassisIndex)] +=
                 shard.engine->heatOutputW();
@@ -189,13 +194,17 @@ FleetSimulation::run(int threads)
                 result.chassis[ci].peakDriveAmbientC, air[ci].driveAmbientC);
         }
 
-        if (!all_done && t >= config_.maxSimulatedSec) {
+        if (all_done)
+            return false;
+        if (t >= config_.maxSimulatedSec) {
             util::logWarn("fleet simulation hit the %.0f s cap with "
                           "unfinished shards; aggregating partial results",
                           config_.maxSimulatedSec);
-            break;
+            return false;
         }
-    }
+        return true;
+    });
+    epochs.runAll();
 
     // Aggregate in bay order on this thread.
     for (const auto& shard : shards) {

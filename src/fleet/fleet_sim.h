@@ -13,6 +13,13 @@
  *     2. barrier: sample every bay's exhaust heat, resolve the shared
  *        chassis air (resolveChassisAir), re-point every bay's ambient.
  *
+ * The barrier loop is itself a clock domain: a fleet-level SimKernel
+ * runs a periodic "fleet-epoch" task at epochSec, and each barrier
+ * advances the per-shard kernels (CoSimEngine::advanceTo) to its
+ * timestamp.  An engine::TraceSink passed to run() observes the epoch
+ * events; per-shard event streams are reachable through each engine's
+ * own kernel.
+ *
  * Determinism: for a fixed FleetConfig the aggregated result is
  * bit-identical for every executor thread count.  Shards never share
  * state between barriers, barrier-side work (heat gathering, chassis air
@@ -30,6 +37,10 @@
 #include "fleet/shard_executor.h"
 #include "fleet/topology.h"
 #include "sim/metrics.h"
+
+namespace hddtherm::engine {
+class TraceSink;
+}
 
 namespace hddtherm::fleet {
 
@@ -80,8 +91,14 @@ class FleetSimulation
      * Build all shards, generate their workloads, and run to completion
      * on @p threads executor threads (0 = hardware concurrency).  Each
      * call is an independent simulation from a fresh state.
+     *
+     * @p epoch_trace, when non-null, subscribes to the fleet-level
+     * kernel's "fleet-epoch" domain (one event per ambient-sync
+     * barrier).  Tracing never changes results: aggregates stay
+     * bit-identical with or without a sink, for every thread count.
      */
-    FleetResult run(int threads = 1);
+    FleetResult run(int threads = 1,
+                    engine::TraceSink* epoch_trace = nullptr);
 
     /// Configuration in force.
     const FleetConfig& config() const { return config_; }

@@ -8,6 +8,7 @@ ClosedLoopDriver::ClosedLoopDriver(StorageSystem& system, int clients,
                                    double think_time_sec,
                                    RequestFactory factory)
     : system_(system),
+      domain_(system.events().registerDomain("client")),
       clients_(clients),
       think_time_(think_time_sec),
       factory_(std::move(factory))
@@ -48,9 +49,8 @@ ClosedLoopDriver::run(std::size_t total_requests)
         if (issued_ >= target_)
             return;
         const int client = int((done.id - 1) % std::uint64_t(clients_));
-        system_.events().scheduleAfter(think_time_, [this, client] {
-            issue(client);
-        });
+        system_.events().scheduleAfter(think_time_, domain_,
+                                       [this, client] { issue(client); });
     });
 
     for (int c = 0; c < clients_ && issued_ < target_; ++c)

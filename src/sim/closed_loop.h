@@ -54,6 +54,7 @@ class ClosedLoopDriver
     void issue(int client);
 
     StorageSystem& system_;
+    engine::DomainId domain_; ///< Kernel clock domain for think times.
     int clients_;
     double think_time_;
     RequestFactory factory_;

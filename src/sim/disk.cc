@@ -15,6 +15,7 @@ makeLayout(const DiskConfig& config)
 
 SimDisk::SimDisk(EventQueue& events, const DiskConfig& config, int id)
     : events_(events),
+      domain_(storageDomain(events)),
       config_(config),
       id_(id),
       map_(makeLayout(config)),
@@ -109,7 +110,7 @@ SimDisk::tryDispatch()
         // Spindle transition in progress: retry when it completes.
         if (!retry_scheduled_) {
             retry_scheduled_ = true;
-            events_.schedule(available_at_, [this] {
+            events_.schedule(available_at_, domain_, [this] {
                 retry_scheduled_ = false;
                 tryDispatch();
             });
@@ -156,7 +157,7 @@ SimDisk::tryDispatch()
 
     activity_.busySec += service;
     const SimTime finish_time = now + service;
-    events_.schedule(finish_time,
+    events_.schedule(finish_time, domain_,
                      [this, req, finish_time] { finish(req, finish_time); });
 }
 

@@ -156,6 +156,7 @@ class SimDisk
     void noteDepthChange(SimTime now, int delta);
 
     EventQueue& events_;
+    engine::DomainId domain_; ///< The kernel's storage clock domain.
     DiskConfig config_;
     int id_;
     DiskAddressMap map_;

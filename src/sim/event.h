@@ -1,75 +1,38 @@
 /**
  * @file
- * Discrete-event simulation kernel.
+ * The storage layer's view of the simulation kernel.
  *
- * A minimal, deterministic event queue: events fire in (time, insertion)
- * order, so simultaneous events execute in the order they were scheduled.
- * All simulator components share one queue; time is in seconds.
+ * The event loop that used to live here (a private (time, seq) heap) is
+ * now the engine-layer SimKernel, shared by every layer of the simulator:
+ * the storage components schedule under its "storage" clock domain, the
+ * DTM controller ticks under "thermal", and the fleet barrier steps an
+ * "fleet-epoch" domain (see docs/engine.md for the port map).  EventQueue
+ * remains the name the storage layer uses; it *is* the kernel, so
+ * attaching trace sinks or registering further domains needs no new
+ * plumbing.
  */
 #ifndef HDDTHERM_SIM_EVENT_H
 #define HDDTHERM_SIM_EVENT_H
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include "engine/kernel.h"
 
 namespace hddtherm::sim {
 
-/// Simulated time in seconds.
-using SimTime = double;
+/// Simulated time in seconds (the kernel's clock).
+using SimTime = engine::SimTime;
 
-/// Time-ordered event queue driving the simulation.
-class EventQueue
+/// The shared simulation kernel, under its storage-layer name.
+using EventQueue = engine::SimKernel;
+
+/// Clock-domain name every storage component schedules under.
+inline constexpr const char* kStorageDomainName = "storage";
+
+/// Register (or look up) the storage clock domain of @p events.
+inline engine::DomainId
+storageDomain(EventQueue& events)
 {
-  public:
-    using Callback = std::function<void()>;
-
-    /// Schedule @p cb at absolute time @p when (>= now()).
-    void schedule(SimTime when, Callback cb);
-
-    /// Schedule @p cb at now() + @p delay.
-    void scheduleAfter(SimTime delay, Callback cb);
-
-    /// Pop and run the earliest event; returns false if the queue is empty.
-    bool runNext();
-
-    /// Run events with when <= @p limit; time advances to @p limit.
-    void runUntil(SimTime limit);
-
-    /// Run until the queue drains.
-    void runAll();
-
-    /// Current simulated time.
-    SimTime now() const { return now_; }
-
-    /// True if no events are pending.
-    bool empty() const { return heap_.empty(); }
-
-    /// Number of pending events.
-    std::size_t pending() const { return heap_.size(); }
-
-  private:
-    struct Event
-    {
-        SimTime when;
-        std::uint64_t seq;
-        Callback cb;
-    };
-    struct Later
-    {
-        bool operator()(const Event& a, const Event& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
-    SimTime now_ = 0.0;
-    std::uint64_t next_seq_ = 0;
-};
+    return events.registerDomain(kStorageDomainName);
+}
 
 } // namespace hddtherm::sim
 

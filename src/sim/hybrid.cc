@@ -6,7 +6,8 @@
 
 namespace hddtherm::sim {
 
-HybridSystem::HybridSystem(const HybridConfig& config) : config_(config)
+HybridSystem::HybridSystem(const HybridConfig& config)
+    : config_(config), domain_(storageDomain(events_))
 {
     HDDTHERM_REQUIRE(config_.extentSectors >= 8,
                      "extent granularity too small");
@@ -87,7 +88,7 @@ HybridSystem::submit(const IoRequest& request)
                      "request beyond logical capacity");
     // Arrivals earlier than the current simulated time (e.g. re-running
     // a workload on a warm hierarchy) dispatch immediately.
-    events_.schedule(std::max(events_.now(), request.arrival),
+    events_.schedule(std::max(events_.now(), request.arrival), domain_,
                      [this, request] { dispatch(request); });
 }
 

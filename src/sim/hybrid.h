@@ -110,6 +110,7 @@ class HybridSystem
 
     HybridConfig config_;
     EventQueue events_;
+    engine::DomainId domain_; ///< Storage clock domain of events_.
     std::unique_ptr<SimDisk> primary_;
     std::unique_ptr<SimDisk> cache_;
     ResponseMetrics metrics_;

@@ -8,7 +8,8 @@
 
 namespace hddtherm::sim {
 
-StorageSystem::StorageSystem(const SystemConfig& config) : config_(config)
+StorageSystem::StorageSystem(const SystemConfig& config)
+    : config_(config), domain_(storageDomain(events_))
 {
     HDDTHERM_REQUIRE(config_.disks >= 1, "need at least one disk");
     if (config_.raid == RaidLevel::Raid5)
@@ -55,7 +56,7 @@ StorageSystem::submit(const IoRequest& request)
                              request.device < config_.disks,
                          "device id out of range");
     }
-    events_.schedule(request.arrival,
+    events_.schedule(request.arrival, domain_,
                      [this, request] { dispatch(request); });
 }
 

@@ -140,6 +140,7 @@ class StorageSystem
 
     SystemConfig config_;
     EventQueue events_;
+    engine::DomainId domain_; ///< Storage clock domain of events_.
     std::vector<std::unique_ptr<SimDisk>> disks_;
     ResponseMetrics metrics_;
     CompletionCallback callback_;

@@ -1,5 +1,6 @@
 #include "thermal/drive_thermal.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -441,6 +442,17 @@ DriveThermalModel::advance(
     } else {
         net_.advance(duration, dt);
     }
+}
+
+void
+DriveThermalModel::advanceTo(double t, double max_dt)
+{
+    HDDTHERM_REQUIRE(t >= clock_sec_,
+                     "cannot advance the thermal clock backwards");
+    const double dt = t - clock_sec_;
+    clock_sec_ = t;
+    if (dt > 0.0)
+        advance(dt, std::min(max_dt, dt));
 }
 
 double

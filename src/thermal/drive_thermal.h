@@ -158,6 +158,23 @@ class DriveThermalModel
                  const std::function<void(double, double)>& observer =
                      nullptr);
 
+    /**
+     * Kernel-facing stepping: integrate the transient from the model's
+     * clock (the time of the previous advanceTo) up to absolute simulated
+     * time @p t, with step at most @p max_dt, and move the clock to @p t.
+     * The simulation kernel's fixed-step thermal domain consumes this
+     * instead of owning an integration loop: each control tick advances
+     * the model to the tick's timestamp.  @p t must not precede the
+     * clock; equal time is a no-op.
+     */
+    void advanceTo(double t, double max_dt = kPaperTimestepSec);
+
+    /// Absolute time the transient state corresponds to (advanceTo's).
+    double clockSec() const { return clock_sec_; }
+
+    /// Re-anchor the clock (e.g. reusing a model across runs).
+    void resetClock(double t = 0.0) { clock_sec_ = t; }
+
     /// Underlying network (e.g. to inspect per-node temperatures).
     const ThermalNetwork& network() const { return net_; }
 
@@ -180,6 +197,7 @@ class DriveThermalModel
     void rebuildOperatingPoint();
 
     DriveThermalConfig config_;
+    double clock_sec_ = 0.0;
     double cooling_fault_scale_ = 1.0;
     double ambient_offset_c_ = 0.0;
     bool powered_ = true;

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Kernel-equivalence property tests: the SimKernel port of the four time
+ * loops must be an observationally invisible refactor.  Three invariants
+ * are pinned bit-for-bit:
+ *
+ *   1. Trace sinks are pure observers — attaching a ring buffer and a
+ *      CSV sink to a co-simulation changes no result field, fault-free
+ *      or faulted.
+ *   2. Stepping is observation, not perturbation — driving a CoSimEngine
+ *      with advanceTo() on an arbitrary (odd, non-commensurate) grid
+ *      produces the same event history as run-to-completion.
+ *   3. The fleet epoch domain is executor- and sink-agnostic — a traced
+ *      single-thread fleet run equals an untraced two-thread run.
+ */
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "engine/trace.h"
+#include "fault/fault_schedule.h"
+#include "fleet/fleet_sim.h"
+
+namespace hd = hddtherm::dtm;
+namespace he = hddtherm::engine;
+namespace hfa = hddtherm::fault;
+namespace hf = hddtherm::fleet;
+namespace hs = hddtherm::sim;
+
+namespace {
+
+hs::SystemConfig
+smallSystem(double rpm)
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = rpm;
+    cfg.disk.rpmChangeSecPerKrpm = 0.02;
+    cfg.disks = 1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+randomWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        out.push_back(r);
+    }
+    return out;
+}
+
+hfa::FaultEvent
+event(double at, hfa::FaultKind kind, double value, double duration = 0.0,
+      int target = -1)
+{
+    hfa::FaultEvent e;
+    e.timeSec = at;
+    e.kind = kind;
+    e.value = value;
+    e.durationSec = duration;
+    e.target = target;
+    return e;
+}
+
+/// A hot drive under GateRequests so the DTM loop actually acts.
+hd::CoSimConfig
+hotConfig()
+{
+    hd::CoSimConfig cfg;
+    cfg.system = smallSystem(24534.0);
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    return cfg;
+}
+
+/// A fault mix that exercises every co-sim fault path: ambient offsets,
+/// sensor corruption, and a dropout long enough to trip the fail-safe.
+hfa::FaultSchedule
+stressFaults()
+{
+    return hfa::FaultSchedule(
+        {event(0.5, hfa::FaultKind::AmbientStep, 4.0),
+         event(1.0, hfa::FaultKind::AmbientSpike, 8.0, 2.0),
+         event(1.5, hfa::FaultKind::SensorNoise, 0.4, 3.0),
+         event(2.0, hfa::FaultKind::SensorDropout, 0.0, 2.5)},
+        4242);
+}
+
+/// Every CoSimResult field, bit-for-bit.
+void
+expectIdentical(const hd::CoSimResult& a, const hd::CoSimResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.metrics.stats().variance(), b.metrics.stats().variance());
+    EXPECT_EQ(a.metrics.histogram().bins(), b.metrics.histogram().bins());
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.meanTempC, b.meanTempC);
+    EXPECT_EQ(a.envelopeExceededSec, b.envelopeExceededSec);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.meanVcmDuty, b.meanVcmDuty);
+    EXPECT_EQ(a.invalidReadings, b.invalidReadings);
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations);
+    EXPECT_EQ(a.failSafeSec, b.failSafeSec);
+}
+
+/**
+ * Event-history fields of a CoSimResult — everything except the three
+ * means normalized by observed time (simulatedSec, meanTempC,
+ * meanVcmDuty).  runUntil() advances the clock to its limit even after
+ * the queue drains, so a stepped run legitimately *observes* a longer
+ * span than run-to-completion while executing the exact same events.
+ */
+void
+expectIdenticalHistory(const hd::CoSimResult& a, const hd::CoSimResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.metrics.stats().variance(), b.metrics.stats().variance());
+    EXPECT_EQ(a.metrics.histogram().bins(), b.metrics.histogram().bins());
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.envelopeExceededSec, b.envelopeExceededSec);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.invalidReadings, b.invalidReadings);
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations);
+    EXPECT_EQ(a.failSafeSec, b.failSafeSec);
+}
+
+hf::FleetConfig
+smallFleet()
+{
+    hf::FleetConfig cfg;
+    cfg.racks = 1;
+    cfg.rack.chassisCount = 2;
+    cfg.chassis.bays = 2;
+    cfg.bay.system = smallSystem(24534.0);
+    cfg.bay.policy = hd::DtmPolicy::GateRequests;
+    cfg.workload.requests = 120;
+    cfg.workload.arrivalRatePerSec = 100.0;
+    cfg.epochSec = 0.25;
+    cfg.maxSimulatedSec = 600.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/// Every FleetResult aggregate, bit-for-bit.
+void
+expectIdentical(const hf::FleetResult& a, const hf::FleetResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.metrics.stats().variance(), b.metrics.stats().variance());
+    EXPECT_EQ(a.meanLatencyMs, b.meanLatencyMs);
+    EXPECT_EQ(a.p95LatencyMs, b.p95LatencyMs);
+    EXPECT_EQ(a.maxDriveTempC, b.maxDriveTempC);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.invalidReadings, b.invalidReadings);
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations);
+    EXPECT_EQ(a.failSafeSec, b.failSafeSec);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.shards, b.shards);
+    ASSERT_EQ(a.chassis.size(), b.chassis.size());
+    for (std::size_t i = 0; i < a.chassis.size(); ++i) {
+        EXPECT_EQ(a.chassis[i].peakDriveAmbientC,
+                  b.chassis[i].peakDriveAmbientC);
+        EXPECT_EQ(a.chassis[i].peakDriveTempC, b.chassis[i].peakDriveTempC);
+        EXPECT_EQ(a.chassis[i].gateEvents, b.chassis[i].gateEvents);
+        EXPECT_EQ(a.chassis[i].gatedSec, b.chassis[i].gatedSec);
+    }
+}
+
+/// Run a co-simulation with ring-buffer and CSV sinks attached to the
+/// shared kernel for the whole run.
+hd::CoSimResult
+tracedRun(const hd::CoSimConfig& cfg,
+          const std::vector<hs::IoRequest>& workload, std::ostream& csv,
+          std::size_t ring_capacity = 4096)
+{
+    hd::CoSimEngine engine(cfg);
+    he::RingBufferTraceSink ring(ring_capacity);
+    he::CsvTraceSink tee(csv);
+    engine.system().events().setTraceSink(&ring);
+    engine.start(workload);
+    engine.advanceToCompletion();
+    // Swap sinks mid-stream is legal too: the CSV sink sees nothing (the
+    // run is over) but proves detach/attach never touches kernel state.
+    engine.system().events().setTraceSink(&tee);
+    engine.system().events().setTraceSink(nullptr);
+    return engine.result();
+}
+
+} // namespace
+
+TEST(KernelEquivalence, TraceSinksNeverPerturbFaultFreeCoSim)
+{
+    const auto cfg = hotConfig();
+    const auto workload = randomWorkload(
+        800, hs::StorageSystem(cfg.system).logicalSectors(), 120.0);
+
+    const auto plain = hd::CoSimulation(cfg).run(workload);
+    std::ostringstream csv;
+    const auto traced = tracedRun(cfg, workload, csv);
+
+    expectIdentical(plain, traced);
+    // The run fires storage, client-facing, and thermal events alike;
+    // the trace must actually have seen them.
+    EXPECT_GT(plain.metrics.count(), 0u);
+}
+
+TEST(KernelEquivalence, TraceSinksNeverPerturbFaultedCoSim)
+{
+    auto cfg = hotConfig();
+    cfg.faults = stressFaults();
+    // The dropout parks the run on the fail-safe floor, so it ends at the
+    // safety cap — keep the cap short and cover the cap path cheaply.
+    cfg.maxSimulatedSec = 60.0;
+    const auto workload = randomWorkload(
+        800, hs::StorageSystem(cfg.system).logicalSectors(), 120.0);
+
+    const auto plain = hd::CoSimulation(cfg).run(workload);
+    std::ostringstream csv;
+    const auto traced = tracedRun(cfg, workload, csv);
+
+    expectIdentical(plain, traced);
+    // The fault mix must actually have bitten for this to mean anything.
+    EXPECT_GT(plain.invalidReadings, 0u);
+    EXPECT_GT(plain.failSafeActivations, 0u);
+
+    // Emergency summaries derive from the result, so they match too.
+    const auto ra = hd::emergencyReport(plain);
+    const auto rb = hd::emergencyReport(traced);
+    EXPECT_EQ(ra.simulatedSec, rb.simulatedSec);
+    EXPECT_EQ(ra.maxTempC, rb.maxTempC);
+    EXPECT_EQ(ra.envelopeExceededSec, rb.envelopeExceededSec);
+    EXPECT_EQ(ra.gateEvents, rb.gateEvents);
+    EXPECT_EQ(ra.gatedSec, rb.gatedSec);
+    EXPECT_EQ(ra.failSafeActivations, rb.failSafeActivations);
+    EXPECT_EQ(ra.failSafeSec, rb.failSafeSec);
+    EXPECT_EQ(ra.invalidReadings, rb.invalidReadings);
+    EXPECT_EQ(ra.meanLatencyMs, rb.meanLatencyMs);
+}
+
+TEST(KernelEquivalence, SteppedEngineMatchesRunToCompletion)
+{
+    // Drive the engine on a 0.337 s grid — deliberately incommensurate
+    // with the 1 s control interval and the thermal dt — and compare
+    // against the classic one-shot run.  Identical event histories are
+    // the port criterion; only the observation span may differ (the
+    // stepped clock ends on a grid point past the last event).
+    const auto cfg = hotConfig();
+    const auto workload = randomWorkload(
+        600, hs::StorageSystem(cfg.system).logicalSectors(), 120.0);
+
+    const auto oneshot = hd::CoSimulation(cfg).run(workload);
+
+    hd::CoSimEngine engine(cfg);
+    engine.start(workload);
+    double t = 0.0;
+    while (!engine.finished()) {
+        t += 0.337;
+        engine.advanceTo(t);
+    }
+    const auto stepped = engine.result();
+
+    expectIdenticalHistory(oneshot, stepped);
+    // The stepped observation span covers the one-shot span and ends on
+    // the stepping grid.
+    EXPECT_GE(stepped.simulatedSec, oneshot.simulatedSec);
+    EXPECT_LT(stepped.simulatedSec, oneshot.simulatedSec + 0.337 + 1e-9);
+}
+
+TEST(KernelEquivalence, SteppedEngineMatchesRunToCompletionUnderFaults)
+{
+    auto cfg = hotConfig();
+    cfg.faults = stressFaults();
+    cfg.maxSimulatedSec = 60.0;
+    const auto workload = randomWorkload(
+        600, hs::StorageSystem(cfg.system).logicalSectors(), 120.0);
+
+    const auto oneshot = hd::CoSimulation(cfg).run(workload);
+
+    hd::CoSimEngine engine(cfg);
+    engine.start(workload);
+    double t = 0.0;
+    while (!engine.finished()) {
+        t += 0.337;
+        engine.advanceTo(t);
+    }
+    expectIdenticalHistory(oneshot, engine.result());
+}
+
+TEST(KernelEquivalence, FleetEpochTraceIsPureObservation)
+{
+    const auto cfg = smallFleet();
+
+    he::RingBufferTraceSink epoch_trace(1 << 14);
+    auto traced = hf::FleetSimulation(cfg).run(1, &epoch_trace);
+    auto plain = hf::FleetSimulation(cfg).run(2, nullptr);
+
+    expectIdentical(traced, plain);
+
+    // One periodic task in the "fleet-epoch" domain: every barrier is a
+    // Scheduled/Fired pair (the stopping fire schedules no successor).
+    EXPECT_EQ(epoch_trace.observed(), 2 * traced.epochs);
+    EXPECT_EQ(epoch_trace.dropped(), 0u);
+    const auto events = epoch_trace.events();
+    ASSERT_FALSE(events.empty());
+    for (const auto& e : events)
+        EXPECT_EQ(e.domainName, "fleet-epoch");
+    // Barriers land on the epoch grid.
+    const auto& last = events.back();
+    EXPECT_EQ(last.kind, he::TraceKind::Fired);
+    EXPECT_NEAR(std::fmod(last.time, cfg.epochSec), 0.0, 1e-9);
+}
+
+TEST(KernelEquivalence, FaultedFleetIsSinkAndExecutorAgnostic)
+{
+    auto cfg = smallFleet();
+    cfg.faults = hfa::FaultSchedule(
+        {event(1.0, hfa::FaultKind::AirflowDegrade, 0.6, 4.0, 0),
+         event(1.0, hfa::FaultKind::SensorNoise, 0.3, 6.0),
+         event(1.5, hfa::FaultKind::BayKill, 0.0, 0.0, 1),
+         event(3.0, hfa::FaultKind::BayRestore, 0.0, 0.0, 1),
+         event(1.0, hfa::FaultKind::SensorDropout, 0.0, 2.0, 2)},
+        99);
+
+    he::RingBufferTraceSink epoch_trace(1 << 14);
+    auto traced = hf::FleetSimulation(cfg).run(1, &epoch_trace);
+    auto plain = hf::FleetSimulation(cfg).run(2, nullptr);
+
+    expectIdentical(traced, plain);
+    EXPECT_GT(traced.invalidReadings, 0u);
+    EXPECT_EQ(epoch_trace.observed(), 2 * traced.epochs);
+}
