@@ -103,14 +103,18 @@ SimKernel::schedulePeriodic(DomainId domain, SimTime period,
 void
 SimKernel::firePeriodic(std::size_t index)
 {
-    // The callback may arm further periodic tasks (reallocating the
-    // vector), so the task is re-indexed after it returns.
-    const bool keep = periodic_[index].cb();
+    // The callback may arm further periodic tasks, reallocating the
+    // vector mid-call, so the callable is moved out before it runs (an
+    // inline-stored closure would otherwise be destroyed while
+    // executing) and the task is re-indexed after it returns.
+    PeriodicCallback cb = std::move(periodic_[index].cb);
+    const bool keep = cb();
     if (!keep) {
-        periodic_[index].cb = nullptr; // release captured state
+        periodic_[index].cb = nullptr; // captured state dies with cb
         return;
     }
-    const PeriodicTask& task = periodic_[index];
+    PeriodicTask& task = periodic_[index];
+    task.cb = std::move(cb);
     schedule(now_ + task.period, task.domain,
              [this, index] { firePeriodic(index); });
 }

@@ -27,10 +27,12 @@ RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
 void
 RingBufferTraceSink::onEvent(const TraceEvent& event)
 {
+    if (size_ == ring_.size())
+        ++dropped_; // overwriting the oldest buffered event
+    else
+        ++size_;
     ring_[head_] = event;
     head_ = (head_ + 1) % ring_.size();
-    if (size_ < ring_.size())
-        ++size_;
     ++observed_;
 }
 

@@ -78,13 +78,12 @@ class RingBufferTraceSink : public TraceSink
     /// Total events observed (buffered + dropped).
     std::uint64_t observed() const { return observed_; }
 
-    /// Events that fell off the ring.
-    std::uint64_t dropped() const
-    {
-        return observed_ - std::uint64_t(size_);
-    }
+    /// Events that fell off the ring (overwritten by newer ones).
+    /// Events discarded via clear() are not counted here.
+    std::uint64_t dropped() const { return dropped_; }
 
-    /// Drop everything buffered (counters keep running).
+    /// Discard everything buffered.  observed() and dropped() keep
+    /// running; discarded events count as neither.
     void clear();
 
   private:
@@ -92,6 +91,7 @@ class RingBufferTraceSink : public TraceSink
     std::size_t head_ = 0; ///< Next write position.
     std::size_t size_ = 0; ///< Buffered count (<= capacity).
     std::uint64_t observed_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 /// Streams "time,when,domain,kind,id" CSV rows (header included).

@@ -139,6 +139,53 @@ TEST(SimKernel, PeriodicCallbackMayArmFurtherPeriodicTasks)
     EXPECT_EQ(inner, 3);
 }
 
+TEST(SimKernel, PeriodicCallbackSurvivesTaskTableReallocation)
+{
+    // Regression guard (use-after-free, caught under ASan): the outer
+    // callback captures a single pointer, so std::function stores the
+    // closure inline.  Arming a new periodic task mid-fire reallocates
+    // the kernel's task table; the executing closure must survive that
+    // and still be able to touch its captures afterwards.
+    he::SimKernel k;
+    const auto ctrl = k.registerDomain("control");
+    struct State
+    {
+        he::SimKernel* kernel;
+        he::DomainId domain;
+        int outer = 0;
+        int inner = 0;
+    } s{&k, ctrl};
+    k.schedulePeriodic(ctrl, 1.0, [p = &s] {
+        if (++p->outer == 1) {
+            p->kernel->schedulePeriodic(p->domain, 0.25,
+                                        [p] { return ++p->inner < 3; });
+        }
+        return p->outer < 2;
+    });
+    k.runAll();
+    EXPECT_EQ(s.outer, 2);
+    EXPECT_EQ(s.inner, 3);
+}
+
+TEST(SimKernel, RingBufferClearedEventsAreNotCountedAsDropped)
+{
+    he::RingBufferTraceSink sink(4);
+    he::TraceEvent ev;
+    for (int i = 0; i < 3; ++i)
+        sink.onEvent(ev);
+    sink.clear();
+    EXPECT_EQ(sink.events().size(), 0u);
+    EXPECT_EQ(sink.observed(), 3u);
+    EXPECT_EQ(sink.dropped(), 0u); // cleared, not dropped
+
+    // Counters keep running after clear(); only overwrites drop.
+    for (int i = 0; i < 6; ++i)
+        sink.onEvent(ev);
+    EXPECT_EQ(sink.events().size(), 4u);
+    EXPECT_EQ(sink.observed(), 9u);
+    EXPECT_EQ(sink.dropped(), 2u);
+}
+
 TEST(SimKernel, RingBufferSinkSeesSchedulesAndFires)
 {
     he::SimKernel k;
