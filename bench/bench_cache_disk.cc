@@ -14,6 +14,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "sim/hybrid.h"
 #include "thermal/envelope.h"
 #include "trace/synth.h"
@@ -24,6 +25,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_cache_disk", argc, argv);
     std::size_t requests = 30000;
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
@@ -116,5 +118,6 @@ main(int argc, char** argv)
                  "into lower service times on the hot set\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/cache_disk.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "core/energy.h"
+#include "obs/manifest.h"
 #include "sim/storage_system.h"
 #include "thermal/envelope.h"
 #include "trace/synth.h"
@@ -69,6 +70,7 @@ replay(const sim::SystemConfig& system, int fail_disk,
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_degraded_raid", argc, argv);
     std::size_t requests = 30000;
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
@@ -133,5 +135,6 @@ main(int argc, char** argv)
                  "bandwidth\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/degraded_raid.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "core/scenarios.h"
 #include "dtm/cosim.h"
+#include "obs/manifest.h"
 #include "thermal/reliability.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -31,6 +32,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_dtm_cosim", argc, argv);
     util::setLogLevel(util::LogLevel::Quiet);
     std::size_t requests = 150000;
     std::string csv_dir;
@@ -135,5 +137,6 @@ main(int argc, char** argv)
                  "temperature (x2 per +15 C, paper §1)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/dtm_cosim.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

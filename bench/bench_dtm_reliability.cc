@@ -18,6 +18,7 @@
 #include "core/energy.h"
 #include "core/scenarios.h"
 #include "dtm/cosim.h"
+#include "obs/manifest.h"
 #include "thermal/reliability.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -27,6 +28,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_dtm_reliability", argc, argv);
     util::setLogLevel(util::LogLevel::Warn);
     std::size_t requests = 40000;
     std::string csv_dir;
@@ -94,5 +96,6 @@ main(int argc, char** argv)
                  "DTM-guarded)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/dtm_reliability.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "core/scenarios.h"
 #include "dtm/cosim.h"
+#include "obs/manifest.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -61,6 +62,7 @@ emergencySchedule()
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fault_emergency", argc, argv);
     util::setLogLevel(util::LogLevel::Warn);
     std::size_t requests = 40000;
     std::string csv_dir;
@@ -150,5 +152,6 @@ main(int argc, char** argv)
                              unguarded.envelopeExceededSec, 1)
                   << "% of the exposure)";
     std::cout << ".\n";
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "thermal/drive_thermal.h"
 #include "util/ascii_plot.h"
 #include "util/table.h"
@@ -19,6 +20,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig1_transient", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -84,5 +86,6 @@ main(int argc, char** argv)
 
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/fig1.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

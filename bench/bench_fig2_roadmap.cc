@@ -11,6 +11,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "roadmap/planner.h"
 #include "roadmap/roadmap.h"
 #include "util/ascii_plot.h"
@@ -67,6 +68,7 @@ printPlatterRoadmap(const roadmap::RoadmapEngine& engine, int platters,
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig2_roadmap", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -182,5 +184,6 @@ main(int argc, char** argv)
     zbr.print(std::cout);
     if (!csv_dir.empty())
         zbr.writeCsv(csv_dir + "/fig2_zbr_ablation.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "roadmap/roadmap.h"
 #include "util/table.h"
 
@@ -16,6 +17,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig3_cooling", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -68,5 +70,6 @@ main(int argc, char** argv)
             table.writeCsv(csv_dir + name);
         }
     }
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/scenarios.h"
+#include "obs/manifest.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -20,6 +21,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig4_workloads", argc, argv);
     util::setLogLevel(util::LogLevel::Warn);
     std::size_t requests = 60000;
     std::string csv_dir;
@@ -109,5 +111,6 @@ main(int argc, char** argv)
     sched_table.print(std::cout);
     if (!csv_dir.empty())
         sched_table.writeCsv(csv_dir + "/fig4_scheduler_ablation.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

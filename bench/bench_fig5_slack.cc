@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "dtm/slack.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -19,6 +20,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig5_slack", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -77,5 +79,6 @@ main(int argc, char** argv)
                  "design\n";
     if (!csv_dir.empty())
         idr_table.writeCsv(csv_dir + "/fig5b.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "dtm/throttle.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -63,6 +64,7 @@ runScenario(const char* title, const dtm::ThrottleConfig& cfg,
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig6_throttle_traces", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -83,5 +85,6 @@ main(int argc, char** argv)
     runScenario("(b) VCM + lower-RPM throttling at 37,001/22,001 RPM",
                 vcm_rpm, 4.0,
                 csv_dir.empty() ? "" : csv_dir + "/fig6b.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

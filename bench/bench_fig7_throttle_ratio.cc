@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "dtm/throttle.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -46,6 +47,7 @@ runSweep(const char* title, const dtm::ThrottleConfig& cfg,
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fig7_throttle_ratio", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -84,5 +86,6 @@ main(int argc, char** argv)
     margin_table.print(std::cout);
     if (!csv_dir.empty())
         margin_table.writeCsv(csv_dir + "/fig7_margin_ablation.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -14,7 +14,7 @@
  * fingerprint columns hold on any host.
  *
  * Usage: bench_fleet_scale [--drives 16,64] [--threads 1,2,4]
- *                          [--requests N] [--seed S]
+ *                          [--requests N] [--seed S] [--csv dir]
  */
 #include <algorithm>
 #include <chrono>
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "fleet/fleet_sim.h"
+#include "obs/manifest.h"
 #include "util/log.h"
 
 using namespace hddtherm;
@@ -80,11 +81,13 @@ fleetOf(int drives, std::size_t requests, std::uint64_t seed)
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_fleet_scale", argc, argv);
     util::setLogLevel(util::LogLevel::Quiet);
     std::vector<int> drives = {16, 64};
     std::vector<int> threads = {1, 2, 4};
     std::size_t requests = 4000;
     std::uint64_t seed = 42;
+    std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--drives") == 0 && i + 1 < argc)
             drives = parseList(argv[++i]);
@@ -94,7 +97,11 @@ main(int argc, char** argv)
             requests = std::size_t(std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             seed = std::uint64_t(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
     }
+    bench_run.setSeed(seed);
+    bench_run.setConfig("requests=" + std::to_string(requests));
 
     std::printf("{\"host_hardware_threads\": %u}\n",
                 std::thread::hardware_concurrency());
@@ -127,5 +134,6 @@ main(int argc, char** argv)
             std::fflush(stdout);
         }
     }
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

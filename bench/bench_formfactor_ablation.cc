@@ -11,6 +11,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "roadmap/roadmap.h"
 #include "util/roots.h"
 #include "util/table.h"
@@ -36,6 +37,7 @@ maxRpmAt(const hdd::FormFactor& ff, double ambient)
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_formfactor_ablation", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -92,5 +94,6 @@ main(int argc, char** argv)
               << " C of extra cooling (paper: ~15 C)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/formfactor.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

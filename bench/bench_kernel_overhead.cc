@@ -19,6 +19,7 @@
  * the checksum (same events, same order, same clock).
  *
  * Usage: bench_kernel_overhead [--events N] [--actors N] [--reps N]
+ *                              [--csv dir]
  */
 #include <algorithm>
 #include <chrono>
@@ -28,11 +29,13 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <queue>
 #include <vector>
 
 #include "engine/kernel.h"
 #include "engine/trace.h"
+#include "obs/manifest.h"
 #include "util/error.h"
 
 using namespace hddtherm;
@@ -180,6 +183,8 @@ report(const char* variant, const Sample& s, double legacy_rate)
 int
 main(int argc, char** argv)
 {
+    obs::BenchRun bench_run("bench_kernel_overhead", argc, argv);
+    std::string csv_dir;
     std::uint64_t total = 2'000'000;
     int actors = 64;
     int reps = 5;
@@ -190,7 +195,12 @@ main(int argc, char** argv)
             actors = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
             reps = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
     }
+    bench_run.setConfig("events=" + std::to_string(total) +
+                        " actors=" + std::to_string(actors) +
+                        " reps=" + std::to_string(reps));
 
     std::printf("{\"events\": %llu, \"actors\": %d, \"reps\": %d}\n",
                 static_cast<unsigned long long>(total), actors, reps);
@@ -249,5 +259,6 @@ main(int argc, char** argv)
                      best_paired);
         return 1;
     }
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

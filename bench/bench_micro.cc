@@ -4,11 +4,16 @@
  * model components, documenting the cost of the building blocks every
  * experiment leans on.
  */
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "dtm/governor.h"
 #include "hdd/capacity.h"
 #include "hdd/drive_catalog.h"
+#include "obs/manifest.h"
 #include "sim/cache.h"
 #include "sim/disk.h"
 #include "sim/event.h"
@@ -207,4 +212,29 @@ BENCHMARK(BM_HistogramAdd);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip the repo-standard --csv option (google-benchmark
+// rejects unknown flags) before initializing, and drop the manifest +
+// metrics artifacts beside any other bench's.
+int
+main(int argc, char** argv)
+{
+    hddtherm::obs::BenchRun bench_run("bench_micro", argc, argv);
+    std::string csv_dir;
+    std::vector<char*> args;
+    args.reserve(std::size_t(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_dir = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered = int(args.size());
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench_run.writeArtifacts(csv_dir);
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "dtm/mirror.h"
+#include "obs/manifest.h"
 #include "trace/synth.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -27,6 +28,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_mirror_dtm", argc, argv);
     util::setLogLevel(util::LogLevel::Warn);
     std::size_t requests = 30000;
     std::string csv_dir;
@@ -98,5 +100,6 @@ main(int argc, char** argv)
                  "redistributes read seeks)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/mirror_dtm.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "core/energy.h"
+#include "obs/manifest.h"
 #include "sim/storage_system.h"
 #include "thermal/envelope.h"
 #include "trace/placement.h"
@@ -69,6 +70,7 @@ replay(const sim::SystemConfig& system, const trace::Trace& tr)
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_placement", argc, argv);
     std::size_t requests = 40000;
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
@@ -140,5 +142,6 @@ main(int argc, char** argv)
               << " extra RPM of envelope headroom\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/placement.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

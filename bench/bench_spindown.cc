@@ -17,6 +17,7 @@
 
 #include "core/scenarios.h"
 #include "dtm/spindown.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -24,6 +25,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_spindown", argc, argv);
     std::size_t requests = 30000;
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
@@ -115,5 +117,6 @@ main(int argc, char** argv)
                  "thermal (not power-mode) management of server disks\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/spindown.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

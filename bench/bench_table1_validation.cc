@@ -12,6 +12,7 @@
 
 #include "hdd/capacity.h"
 #include "hdd/drive_catalog.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -19,6 +20,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_table1_validation", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -82,5 +84,6 @@ main(int argc, char** argv)
     zones.print(std::cout);
     if (!csv_dir.empty())
         zones.writeCsv(csv_dir + "/table1_zone_ablation.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

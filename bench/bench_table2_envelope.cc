@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "hdd/drive_catalog.h"
+#include "obs/manifest.h"
 #include "thermal/envelope.h"
 #include "util/table.h"
 
@@ -28,6 +29,7 @@ constexpr double kElectronicsDeltaC = 10.0;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_table2_envelope", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -66,5 +68,6 @@ main(int argc, char** argv)
                  "55.22 C vs 55 C rated (paper §3.3)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/table2.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "roadmap/roadmap.h"
 #include "thermal/reliability.h"
 #include "util/table.h"
@@ -19,6 +20,7 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    hddtherm::obs::BenchRun bench_run("bench_table3_rpm_thermal", argc, argv);
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -88,5 +90,6 @@ main(int argc, char** argv)
               << "x\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/table3.csv");
+    bench_run.writeArtifacts(csv_dir);
     return 0;
 }

@@ -106,6 +106,12 @@ class SectionReader
         HDDTHERM_REQUIRE(pos == it->second.size(),
                          "[" + name_ + "] " + key +
                              ": not a number: " + it->second);
+        // std::stod happily parses "nan" and "inf"; a non-finite config
+        // value is never meaningful here and must not propagate silently
+        // into the models.
+        HDDTHERM_REQUIRE(std::isfinite(value),
+                         "[" + name_ + "] " + key +
+                             ": not a finite number: " + it->second);
         section_.erase(it);
         return value;
     }
@@ -429,7 +435,17 @@ parseFaultSchedule(const std::string& text)
                                              return std::isdigit(c) != 0;
                                          }),
                          "bad fault section index: [" + name + "]");
-        order.emplace_back(std::stol(digits), name);
+        // std::stol throws std::out_of_range (not ModelError) on an
+        // absurdly long digit run; keep parse failures in one exception
+        // family so callers can catch configuration errors uniformly.
+        long fault_index = 0;
+        try {
+            fault_index = std::stol(digits);
+        } catch (const std::exception&) {
+            throw util::ModelError("fault section index out of range: [" +
+                                   name + "]");
+        }
+        order.emplace_back(fault_index, name);
     }
     std::sort(order.begin(), order.end());
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -208,6 +209,7 @@ CoSimEngine::decidePolicy(const fault::SensorReading& reading)
     if (!fail_safe_ && invalid_run_ >= config_.failSafeInvalidTicks) {
         fail_safe_ = true;
         ++partial_.failSafeActivations;
+        HDDTHERM_OBS_COUNT("dtm.fail_safe.entry");
         enterFailSafeFloor();
     } else if (fail_safe_ && reading.valid) {
         fail_safe_ = false;
@@ -223,11 +225,13 @@ CoSimEngine::decidePolicy(const fault::SensorReading& reading)
             system_.changeRpmAll(target);
             model_.setRpm(target);
             ++partial_.speedChanges;
+            HDDTHERM_OBS_COUNT("dtm.governor.speed_change");
         }
     } else {
         if (!gated_ && temp >= config_.gateThresholdC) {
             gated_ = true;
             ++partial_.gateEvents;
+            HDDTHERM_OBS_COUNT("dtm.gate.engage");
             applyGates();
             if (config_.policy == DtmPolicy::GateAndLowRpm) {
                 system_.changeRpmAll(config_.lowRpm);
@@ -235,6 +239,7 @@ CoSimEngine::decidePolicy(const fault::SensorReading& reading)
             }
         } else if (gated_ && temp <= config_.resumeThresholdC) {
             gated_ = false;
+            HDDTHERM_OBS_COUNT("dtm.gate.disengage");
             if (config_.policy == DtmPolicy::GateAndLowRpm) {
                 system_.changeRpmAll(config_.system.disk.rpm);
                 model_.setRpm(config_.system.disk.rpm);
@@ -253,10 +258,12 @@ CoSimEngine::enterFailSafeFloor()
             system_.changeRpmAll(floor_rpm);
             model_.setRpm(floor_rpm);
             ++partial_.speedChanges;
+            HDDTHERM_OBS_COUNT("dtm.governor.speed_change");
         }
     } else if (!gated_) {
         gated_ = true;
         ++partial_.gateEvents;
+        HDDTHERM_OBS_COUNT("dtm.gate.engage");
         applyGates();
         if (config_.policy == DtmPolicy::GateAndLowRpm) {
             system_.changeRpmAll(config_.lowRpm);

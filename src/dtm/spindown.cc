@@ -1,5 +1,6 @@
 #include "dtm/spindown.h"
 
+#include "obs/metrics.h"
 #include "thermal/calibration.h"
 #include "util/error.h"
 
@@ -44,6 +45,8 @@ evaluateSpindown(const std::vector<double>& idle_gaps,
             out.policyEnergyJ += spinning_idle_w * gap;
         }
     }
+    HDDTHERM_OBS_ADD("dtm.spindown.evaluated_gaps", out.idleGaps);
+    HDDTHERM_OBS_ADD("dtm.spindown.transitions", out.spinDowns);
     return out;
 }
 

@@ -1,0 +1,65 @@
+#include "engine/metrics_sink.h"
+
+namespace hddtherm::engine {
+
+namespace {
+
+/// Microsecond buckets for inter-fire dispatch timing.
+const std::vector<double>&
+dispatchEdgesUs()
+{
+    static const std::vector<double> edges = {0.1,  0.5,   1.0,   5.0,
+                                              10.0, 100.0, 1000.0};
+    return edges;
+}
+
+} // namespace
+
+KernelMetricsSink::KernelMetricsSink(obs::MetricsRegistry& registry)
+    : registry_(registry)
+{}
+
+KernelMetricsSink::DomainCounters&
+KernelMetricsSink::countersFor(const std::string& domain)
+{
+    const auto it = domains_.find(domain);
+    if (it != domains_.end())
+        return it->second;
+    DomainCounters counters;
+    counters.scheduled =
+        &registry_.counter("engine.kernel." + domain + ".scheduled");
+    counters.fired =
+        &registry_.counter("engine.kernel." + domain + ".fired");
+    return domains_.emplace(domain, counters).first->second;
+}
+
+void
+KernelMetricsSink::onEvent(const TraceEvent& event)
+{
+    if (!obs::enabled())
+        return;
+    DomainCounters& counters = countersFor(event.domainName);
+    switch (event.kind) {
+      case TraceKind::Scheduled:
+        counters.scheduled->add(1);
+        break;
+      case TraceKind::Fired: {
+        counters.fired->add(1);
+        const auto now = std::chrono::steady_clock::now();
+        if (has_last_fire_) {
+            if (!dispatch_us_) {
+                dispatch_us_ = &registry_.histogram(
+                    "engine.kernel.dispatch_us", dispatchEdgesUs());
+            }
+            dispatch_us_->observe(
+                std::chrono::duration<double, std::micro>(now - last_fire_)
+                    .count());
+        }
+        last_fire_ = now;
+        has_last_fire_ = true;
+        break;
+      }
+    }
+}
+
+} // namespace hddtherm::engine

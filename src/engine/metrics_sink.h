@@ -1,0 +1,64 @@
+/**
+ * @file
+ * KernelMetricsSink: the TraceSink that aggregates instead of recording.
+ *
+ * Where RingBufferTraceSink keeps individual events and CsvTraceSink
+ * streams them, KernelMetricsSink folds the kernel's event stream into
+ * the obs metrics registry:
+ *
+ *   engine.kernel.<domain>.scheduled   events enqueued per clock domain
+ *   engine.kernel.<domain>.fired       events executed per clock domain
+ *   engine.kernel.dispatch_us          host wall time between consecutive
+ *                                      fires (dispatch + callback cost)
+ *
+ * Like every sink it is strictly observational — attaching one changes
+ * no simulation result (pinned by the kernel-equivalence and obs
+ * bit-identity suites).  The per-domain counters are deterministic
+ * functions of the run; the dispatch histogram is host wall time and is
+ * therefore excluded from golden comparisons.
+ *
+ * The sink honors obs::enabled() per event, so it can stay attached with
+ * metrics off at the cost of the kernel's sink branch plus one atomic
+ * load per event.
+ */
+#ifndef HDDTHERM_ENGINE_METRICS_SINK_H
+#define HDDTHERM_ENGINE_METRICS_SINK_H
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+#include "engine/trace.h"
+#include "obs/metrics.h"
+
+namespace hddtherm::engine {
+
+/// Aggregates kernel events into an obs::MetricsRegistry.
+class KernelMetricsSink : public TraceSink
+{
+  public:
+    /// Record into @p registry (defaults to the global registry).
+    explicit KernelMetricsSink(
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::global());
+
+    void onEvent(const TraceEvent& event) override;
+
+  private:
+    struct DomainCounters
+    {
+        obs::Counter* scheduled = nullptr;
+        obs::Counter* fired = nullptr;
+    };
+
+    DomainCounters& countersFor(const std::string& domain);
+
+    obs::MetricsRegistry& registry_;
+    std::unordered_map<std::string, DomainCounters> domains_;
+    obs::HistogramMetric* dispatch_us_ = nullptr;
+    bool has_last_fire_ = false;
+    std::chrono::steady_clock::time_point last_fire_;
+};
+
+} // namespace hddtherm::engine
+
+#endif // HDDTHERM_ENGINE_METRICS_SINK_H

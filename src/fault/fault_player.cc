@@ -1,5 +1,7 @@
 #include "fault/fault_player.h"
 
+#include "obs/metrics.h"
+
 namespace hddtherm::fault {
 
 FaultPlayer::FaultPlayer(const FaultSchedule& schedule,
@@ -8,6 +10,7 @@ FaultPlayer::FaultPlayer(const FaultSchedule& schedule,
       noise_rng_(util::Rng::forStream(schedule.noiseSeed(), noise_stream)),
       stuck_latch_(schedule_.size())
 {
+    HDDTHERM_OBS_ADD("fault.schedule.events", schedule_.size());
 }
 
 SensorReading
@@ -18,8 +21,10 @@ FaultPlayer::sense(double t, double true_temp_c)
     // Dropout beats everything: the wire is dead.
     for (const auto& e : events) {
         if (e.kind == FaultKind::SensorDropout && e.activeAt(t) &&
-            e.appliesTo(-1))
+            e.appliesTo(-1)) {
+            HDDTHERM_OBS_COUNT("fault.sense.dropout");
             return {0.0, false};
+        }
     }
 
     // Stuck beats noise: the earliest active window latches the first
@@ -31,16 +36,22 @@ FaultPlayer::sense(double t, double true_temp_c)
             continue;
         if (!stuck_latch_[i])
             stuck_latch_[i] = true_temp_c;
+        HDDTHERM_OBS_COUNT("fault.sense.stuck");
         return {*stuck_latch_[i], true};
     }
 
     // Noise: one fresh draw per active window per reading.
     double reported = true_temp_c;
+    bool noisy = false;
     for (const auto& e : events) {
         if (e.kind == FaultKind::SensorNoise && e.activeAt(t) &&
-            e.appliesTo(-1))
+            e.appliesTo(-1)) {
             reported += noise_rng_.normal(0.0, e.value);
+            noisy = true;
+        }
     }
+    if (noisy)
+        HDDTHERM_OBS_COUNT("fault.sense.noisy");
     return {reported, true};
 }
 

@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace hddtherm::fleet {
+
+namespace {
+
+/// Per-task wall-time histogram (shared by every executor instance).
+obs::HistogramMetric&
+taskWallMsHistogram()
+{
+    static obs::HistogramMetric& h =
+        obs::MetricsRegistry::global().histogram(
+            "fleet.executor.task_ms", obs::defaultLatencyEdgesMs());
+    return h;
+}
+
+/// Run @p task, timing it into the shard wall-time histogram when
+/// metrics are on (a disabled run never touches the registry or clock).
+void
+runTimed(const ShardExecutor::Task& task)
+{
+    if (obs::enabled()) {
+        obs::ScopedTimer timer(taskWallMsHistogram());
+        task();
+    } else {
+        task();
+    }
+}
+
+} // namespace
 
 ShardExecutor::ShardExecutor(int threads)
 {
@@ -38,10 +66,12 @@ ShardExecutor::runBatch(std::vector<Task> tasks)
 {
     if (threads_ == 1) {
         for (auto& task : tasks) {
-            task();
+            runTimed(task);
             ++stats_.tasks;
+            HDDTHERM_OBS_COUNT("fleet.executor.tasks");
         }
         ++stats_.batches;
+        HDDTHERM_OBS_COUNT("fleet.executor.batches");
         return;
     }
 
@@ -55,6 +85,7 @@ ShardExecutor::runBatch(std::vector<Task> tasks)
     work_cv_.notify_all();
     done_cv_.wait(lock, [this]() { return pending_ == 0; });
     ++stats_.batches;
+    HDDTHERM_OBS_COUNT("fleet.executor.batches");
     if (first_error_) {
         std::exception_ptr err;
         std::swap(err, first_error_);
@@ -99,12 +130,15 @@ ShardExecutor::workerLoop(std::size_t self)
         bool stolen = false;
         if (grab(self, task, stolen)) {
             ++stats_.tasks;
-            if (stolen)
+            HDDTHERM_OBS_COUNT("fleet.executor.tasks");
+            if (stolen) {
                 ++stats_.steals;
+                HDDTHERM_OBS_COUNT("fleet.executor.steals");
+            }
             lock.unlock();
             std::exception_ptr err;
             try {
-                task();
+                runTimed(task);
             } catch (...) {
                 err = std::current_exception();
             }

@@ -1,0 +1,128 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hddtherm::obs {
+
+namespace {
+
+/// Shortest round-trip double formatting (matches TableWriter style for
+/// integers: no trailing ".000000" noise on exact values).
+std::string
+fmt(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    return out.str();
+}
+
+std::string
+fmtEdge(double v)
+{
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string& name)
+{
+    std::string out = "hddtherm_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const auto uc = static_cast<unsigned char>(c);
+        if (std::isalnum(uc) || c == '_' || c == ':')
+            out.push_back(c);
+        else
+            out.push_back('_');
+    }
+    return out;
+}
+
+void
+writePrometheus(std::ostream& out, const Snapshot& snapshot)
+{
+    for (const auto& c : snapshot.counters) {
+        const std::string name = prometheusName(c.name);
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << c.value << "\n";
+    }
+    for (const auto& g : snapshot.gauges) {
+        const std::string name = prometheusName(g.name);
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << fmt(g.value) << "\n"
+            << "# TYPE " << name << "_max gauge\n"
+            << name << "_max " << fmt(g.max) << "\n";
+    }
+    for (const auto& h : snapshot.histograms) {
+        const std::string name = prometheusName(h.name);
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.edges.size(); ++i) {
+            cum += h.counts[i];
+            out << name << "_bucket{le=\"" << fmtEdge(h.edges[i]) << "\"} "
+                << cum << "\n";
+        }
+        cum += h.counts.back();
+        out << name << "_bucket{le=\"+Inf\"} " << cum << "\n"
+            << name << "_sum " << fmt(h.sum) << "\n"
+            << name << "_count " << cum << "\n";
+    }
+}
+
+std::string
+toPrometheusText(const Snapshot& snapshot)
+{
+    std::ostringstream out;
+    writePrometheus(out, snapshot);
+    return out.str();
+}
+
+util::TableWriter
+toTable(const Snapshot& snapshot)
+{
+    util::TableWriter table({"metric", "kind", "label", "value"});
+    for (const auto& c : snapshot.counters)
+        table.addRow({c.name, "counter", "",
+                      util::TableWriter::num((long long)(c.value))});
+    for (const auto& g : snapshot.gauges) {
+        table.addRow({g.name, "gauge", "value", fmt(g.value)});
+        table.addRow({g.name, "gauge", "max", fmt(g.max)});
+    }
+    for (const auto& h : snapshot.histograms) {
+        for (std::size_t i = 0; i < h.edges.size(); ++i) {
+            table.addRow({h.name, "histogram",
+                          "le=" + fmtEdge(h.edges[i]),
+                          util::TableWriter::num((long long)(h.counts[i]))});
+        }
+        table.addRow({h.name, "histogram", "le=+Inf",
+                      util::TableWriter::num((long long)(h.counts.back()))});
+        table.addRow({h.name, "histogram", "sum", fmt(h.sum)});
+        table.addRow({h.name, "histogram", "count",
+                      util::TableWriter::num((long long)(h.count()))});
+    }
+    return table;
+}
+
+bool
+writeMetricsFiles(const Snapshot& snapshot, const std::string& dir,
+                  const std::string& basename)
+{
+    {
+        std::ofstream prom(dir + "/" + basename + ".prom");
+        if (!prom)
+            return false;
+        writePrometheus(prom, snapshot);
+        if (!prom)
+            return false;
+    }
+    return toTable(snapshot).writeCsv(dir + "/" + basename + ".csv");
+}
+
+} // namespace hddtherm::obs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Snapshot exporters: Prometheus text format and the repo's CSV path.
+ *
+ * Exported text is a pure, deterministic function of the Snapshot (which
+ * is name-sorted), so two snapshots of equal metric state serialize to
+ * identical bytes — the exporter golden tests diff full strings.
+ *
+ * Prometheus names are the registered names sanitized to the exposition
+ * charset ([a-zA-Z0-9_:], '.' becomes '_') and prefixed "hddtherm_".
+ * Histograms follow the standard cumulative-bucket convention
+ * (`_bucket{le="..."}` including `+Inf`, then `_sum` and `_count`).
+ *
+ * The CSV exporter rides the existing util::TableWriter so metric dumps
+ * land next to the benches' table CSVs with the same quoting rules.
+ */
+#ifndef HDDTHERM_OBS_EXPORT_H
+#define HDDTHERM_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/table.h"
+
+namespace hddtherm::obs {
+
+/// Sanitized, prefixed Prometheus metric name for a registered name.
+std::string prometheusName(const std::string& name);
+
+/// Render @p snapshot in the Prometheus text exposition format.
+void writePrometheus(std::ostream& out, const Snapshot& snapshot);
+
+/// As above, into a string (tests, small dumps).
+std::string toPrometheusText(const Snapshot& snapshot);
+
+/**
+ * Render @p snapshot as a metric/kind/label/value table (one row per
+ * counter, gauge, gauge max, and histogram bucket), ready for
+ * TableWriter::writeCsv or console printing.
+ */
+util::TableWriter toTable(const Snapshot& snapshot);
+
+/**
+ * Write @p snapshot as @p dir/@p basename.prom and @p dir/@p basename.csv.
+ * @returns false if either file could not be written.
+ */
+bool writeMetricsFiles(const Snapshot& snapshot, const std::string& dir,
+                       const std::string& basename = "metrics");
+
+} // namespace hddtherm::obs
+
+#endif // HDDTHERM_OBS_EXPORT_H

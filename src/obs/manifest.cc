@@ -1,0 +1,152 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+#ifndef HDDTHERM_GIT_SHA
+#define HDDTHERM_GIT_SHA "unknown"
+#endif
+
+namespace hddtherm::obs {
+
+namespace {
+
+/// JSON string escaping for the few characters a command line can carry.
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+utcNowIso()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+const char*
+buildGitSha()
+{
+    return HDDTHERM_GIT_SHA;
+}
+
+std::uint64_t
+fnv1a64(const std::string& text)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+toJson(const RunManifest& manifest)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"bench\": \"" << jsonEscape(manifest.bench) << "\",\n"
+        << "  \"git_sha\": \"" << jsonEscape(manifest.gitSha) << "\",\n"
+        << "  \"command\": \"" << jsonEscape(manifest.command) << "\",\n"
+        << "  \"seed\": " << manifest.seed << ",\n"
+        << "  \"config\": \"" << jsonEscape(manifest.config) << "\",\n"
+        << "  \"config_hash\": \"" << std::hex << manifest.configHash
+        << std::dec << "\",\n"
+        << "  \"wall_sec\": " << manifest.wallSec << ",\n"
+        << "  \"started_utc\": \"" << jsonEscape(manifest.startedUtc)
+        << "\"\n"
+        << "}\n";
+    return out.str();
+}
+
+BenchRun::BenchRun(std::string bench_name, int argc, char** argv)
+    : bench_(std::move(bench_name)),
+      start_(std::chrono::steady_clock::now()), started_utc_(utcNowIso())
+{
+    std::ostringstream cmd;
+    for (int i = 0; i < argc; ++i) {
+        if (i)
+            cmd << ' ';
+        cmd << argv[i];
+    }
+    command_ = cmd.str();
+    setEnabled(true);
+}
+
+RunManifest
+BenchRun::manifest() const
+{
+    RunManifest m;
+    m.bench = bench_;
+    m.gitSha = buildGitSha();
+    m.command = command_;
+    m.seed = seed_;
+    m.config = config_;
+    m.configHash = fnv1a64(config_);
+    m.wallSec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    m.startedUtc = started_utc_;
+    return m;
+}
+
+bool
+BenchRun::writeArtifacts(const std::string& dir) const
+{
+    if (dir.empty())
+        return true;
+    const RunManifest m = manifest();
+    // Mirror the run's wall time into the registry so even a bench whose
+    // code paths record nothing emits a non-empty metrics dump.
+    MetricsRegistry::global().gauge("bench.wall_sec").set(m.wallSec);
+    {
+        std::ofstream out(dir + "/manifest.json");
+        if (!out)
+            return false;
+        out << toJson(m);
+        if (!out)
+            return false;
+    }
+    return writeMetricsFiles(MetricsRegistry::global().snapshot(), dir);
+}
+
+} // namespace hddtherm::obs

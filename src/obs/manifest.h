@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Run manifests: who produced this data, from what source, with what
+ * inputs — the provenance line every bench emits next to its CSVs.
+ *
+ * A RunManifest records the bench name, the git revision the binary was
+ * built from (captured at configure time), the workload seed, a free-form
+ * config summary plus its FNV-1a hash, the command line, and wall time.
+ * Serialized as a small flat JSON object (`manifest.json`), so BENCH_*
+ * trajectories can be machine-assembled without parsing console text.
+ *
+ * BenchRun is the one-liner benches use: construct it first thing in
+ * main() (this also turns metric collection on), note the seed/config
+ * when known, and call writeArtifacts(csv_dir) before exiting to drop
+ * manifest.json + metrics.prom + metrics.csv beside the tables.
+ */
+#ifndef HDDTHERM_OBS_MANIFEST_H
+#define HDDTHERM_OBS_MANIFEST_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hddtherm::obs {
+
+/// Git revision the binary was configured from ("unknown" outside git).
+const char* buildGitSha();
+
+/// FNV-1a 64-bit hash (config fingerprints).
+std::uint64_t fnv1a64(const std::string& text);
+
+/// Provenance record for one bench invocation.
+struct RunManifest
+{
+    std::string bench;           ///< Binary name.
+    std::string gitSha;          ///< Source revision.
+    std::string command;         ///< Space-joined argv.
+    std::uint64_t seed = 0;      ///< Workload seed (0 = unseeded).
+    std::string config;          ///< Free-form parameter summary.
+    std::uint64_t configHash = 0; ///< fnv1a64(config).
+    double wallSec = 0.0;        ///< Host wall time of the run.
+    std::string startedUtc;      ///< Start timestamp, UTC ISO-8601.
+};
+
+/// Serialize @p manifest as a flat JSON object (stable key order).
+std::string toJson(const RunManifest& manifest);
+
+/// Bench-side run context: manifest fields + the metrics dump.
+class BenchRun
+{
+  public:
+    /**
+     * Start a run: records the command line and start time, and enables
+     * metric collection process-wide (benches always want metrics; the
+     * production default stays off).
+     */
+    BenchRun(std::string bench_name, int argc, char** argv);
+
+    /// Note the workload seed for the manifest.
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    /// Note a parameter summary; its hash lands in the manifest.
+    void setConfig(std::string summary) { config_ = std::move(summary); }
+
+    /// Manifest snapshot (wall time = elapsed since construction).
+    RunManifest manifest() const;
+
+    /**
+     * Write manifest.json, metrics.prom, and metrics.csv (a snapshot of
+     * the global registry) under @p dir.  No-op (returning true) when
+     * @p dir is empty — benches pass their --csv argument through.
+     * @returns false if any file could not be written.
+     */
+    bool writeArtifacts(const std::string& dir) const;
+
+  private:
+    std::string bench_;
+    std::string command_;
+    std::uint64_t seed_ = 0;
+    std::string config_;
+    std::chrono::steady_clock::time_point start_;
+    std::string started_utc_;
+};
+
+} // namespace hddtherm::obs
+
+#endif // HDDTHERM_OBS_MANIFEST_H

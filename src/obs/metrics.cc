@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hddtherm::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Micro-unit fixed-point conversion for exact concurrent sums.
+std::int64_t
+toMicro(double x)
+{
+    return std::int64_t(std::llround(x * 1e6));
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistogramMetric::HistogramMetric(std::string name,
+                                 std::vector<double> edges)
+    : name_(std::move(name)), edges_(std::move(edges))
+{
+    HDDTHERM_REQUIRE(!edges_.empty(),
+                     "histogram '" + name_ + "' needs at least one edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        HDDTHERM_REQUIRE(edges_[i] > edges_[i - 1],
+                         "histogram '" + name_ +
+                             "' edges must be strictly increasing");
+    }
+    counts_.resize(edges_.size() + 1);
+}
+
+void
+HistogramMetric::observe(double x)
+{
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+    const auto idx = std::size_t(it - edges_.begin());
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    sum_micro_.fetch_add(toMicro(x), std::memory_order_relaxed);
+}
+
+std::uint64_t
+HistogramMetric::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto& c : counts_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+HistogramMetric::reset()
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    sum_micro_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+HistogramSample::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    return total;
+}
+
+void
+Snapshot::merge(const Snapshot& other)
+{
+    const auto byName = [](const auto& a, const auto& b) {
+        return a.name < b.name;
+    };
+
+    for (const auto& c : other.counters) {
+        const auto it = std::lower_bound(counters.begin(), counters.end(),
+                                         c, byName);
+        if (it != counters.end() && it->name == c.name)
+            it->value += c.value;
+        else
+            counters.insert(it, c);
+    }
+    for (const auto& g : other.gauges) {
+        const auto it =
+            std::lower_bound(gauges.begin(), gauges.end(), g, byName);
+        if (it != gauges.end() && it->name == g.name) {
+            if (g.value != 0.0)
+                it->value = g.value;
+            it->max = std::max(it->max, g.max);
+        } else {
+            gauges.insert(it, g);
+        }
+    }
+    for (const auto& h : other.histograms) {
+        const auto it = std::lower_bound(histograms.begin(),
+                                         histograms.end(), h, byName);
+        if (it != histograms.end() && it->name == h.name) {
+            HDDTHERM_REQUIRE(it->edges == h.edges,
+                             "Snapshot::merge: histogram '" + h.name +
+                                 "' edges differ");
+            for (std::size_t i = 0; i < it->counts.size(); ++i)
+                it->counts[i] += h.counts[i];
+            it->sum += h.sum;
+        } else {
+            histograms.insert(it, h);
+        }
+    }
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    HDDTHERM_REQUIRE(!name.empty(), "metric name must not be empty");
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = names_.find(name);
+    if (it != names_.end()) {
+        HDDTHERM_REQUIRE(it->second.kind == Kind::Counter,
+                         "metric '" + name +
+                             "' already registered as another kind");
+        return *counters_[it->second.index];
+    }
+    counters_.emplace_back(new Counter(name));
+    names_.emplace(name, Entry{Kind::Counter, counters_.size() - 1});
+    return *counters_.back();
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    HDDTHERM_REQUIRE(!name.empty(), "metric name must not be empty");
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = names_.find(name);
+    if (it != names_.end()) {
+        HDDTHERM_REQUIRE(it->second.kind == Kind::Gauge,
+                         "metric '" + name +
+                             "' already registered as another kind");
+        return *gauges_[it->second.index];
+    }
+    gauges_.emplace_back(new Gauge(name));
+    names_.emplace(name, Entry{Kind::Gauge, gauges_.size() - 1});
+    return *gauges_.back();
+}
+
+HistogramMetric&
+MetricsRegistry::histogram(const std::string& name,
+                           const std::vector<double>& upper_edges)
+{
+    HDDTHERM_REQUIRE(!name.empty(), "metric name must not be empty");
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = names_.find(name);
+    if (it != names_.end()) {
+        HDDTHERM_REQUIRE(it->second.kind == Kind::Histogram,
+                         "metric '" + name +
+                             "' already registered as another kind");
+        HistogramMetric& existing = *histograms_[it->second.index];
+        HDDTHERM_REQUIRE(existing.edges() == upper_edges,
+                         "histogram '" + name +
+                             "' re-registered with different edges");
+        return existing;
+    }
+    histograms_.emplace_back(new HistogramMetric(name, upper_edges));
+    names_.emplace(name, Entry{Kind::Histogram, histograms_.size() - 1});
+    return *histograms_.back();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_.size();
+}
+
+void
+MetricsRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& c : counters_)
+        c->reset();
+    for (auto& g : gauges_)
+        g->reset();
+    for (auto& h : histograms_)
+        h->reset();
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot out;
+    // names_ iterates sorted, so every section comes out name-ordered.
+    for (const auto& [name, entry] : names_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            out.counters.push_back({name, counters_[entry.index]->value()});
+            break;
+          case Kind::Gauge: {
+            const Gauge& g = *gauges_[entry.index];
+            out.gauges.push_back({name, g.value(), g.max()});
+            break;
+          }
+          case Kind::Histogram: {
+            const HistogramMetric& h = *histograms_[entry.index];
+            HistogramSample s;
+            s.name = name;
+            s.edges = h.edges();
+            s.counts.reserve(s.edges.size() + 1);
+            for (std::size_t i = 0; i <= s.edges.size(); ++i)
+                s.counts.push_back(h.binCount(i));
+            s.sum = h.sum();
+            out.histograms.push_back(std::move(s));
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+const std::vector<double>&
+defaultLatencyEdgesMs()
+{
+    static const std::vector<double> edges = {0.01, 0.1, 1.0,   5.0,
+                                              20.0, 100., 1000., 10000.};
+    return edges;
+}
+
+} // namespace hddtherm::obs

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Low-overhead metrics: a process-wide registry of named counters,
+ * gauges, and histograms, plus RAII profiling scopes.
+ *
+ * Design contract (pinned by bench_obs_overhead and the obs test suite):
+ *
+ *   - Disabled is near-free.  Every instrumentation site guards on
+ *     obs::enabled(), a single relaxed atomic load; with metrics off no
+ *     registry lookup, no allocation, and no clock read happens.  The
+ *     paired gate keeps the disabled tax <= 2% on a pure event-churn
+ *     workload.
+ *
+ *   - Collection is pure observation.  Recording a metric never perturbs
+ *     simulation state: enabling metrics leaves every simulation result
+ *     bit-identical (the obs bit-identity property test proves this for
+ *     fault-free and faulted runs, engine and fleet).
+ *
+ *   - Values are exact.  Counters and histogram bins are integer atomics
+ *     with relaxed increments; concurrent writers (fleet ShardExecutor
+ *     workers) lose nothing, and integer addition makes snapshot merges
+ *     associative and order-independent.
+ *
+ *   - Handles are stable.  Registration is idempotent — re-registering a
+ *     name returns the same object — and nothing is ever deregistered,
+ *     so call sites may cache a reference forever (the
+ *     HDDTHERM_OBS_COUNT macro caches one in a function-local static).
+ *     resetValues() zeroes values but keeps every registration live.
+ *
+ * Wall-clock metrics (ScopedTimer, dispatch timing) are inherently
+ * host-dependent; everything else recorded from simulation code is a
+ * deterministic function of the simulated run.
+ */
+#ifndef HDDTHERM_OBS_METRICS_H
+#define HDDTHERM_OBS_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hddtherm::obs {
+
+/// True while metric collection is globally enabled (default: off).
+bool enabled();
+
+/// Turn metric collection on or off (process-wide, thread-safe).
+void setEnabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter
+{
+  public:
+    /// Add @p n (relaxed; exact under concurrent writers).
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Current value.
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /// Registered name.
+    const std::string& name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    std::string name_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level plus a high watermark (queue depths, temperatures).
+class Gauge
+{
+  public:
+    /// Set the current level and fold it into the high watermark.
+    void set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        raiseMax(v);
+    }
+
+    /// Fold @p v into the high watermark only (CAS loop, lock-free).
+    void raiseMax(double v)
+    {
+        double cur = max_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !max_.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Last value set (0 before the first set()).
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+    /// Largest value ever set (0 before the first set()).
+    double max() const { return max_.load(std::memory_order_relaxed); }
+
+    /// Registered name.
+    const std::string& name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+    void reset()
+    {
+        value_.store(0.0, std::memory_order_relaxed);
+        max_.store(0.0, std::memory_order_relaxed);
+    }
+
+    std::string name_;
+    std::atomic<double> value_{0.0};
+    std::atomic<double> max_{0.0};
+};
+
+/**
+ * Fixed-bin histogram with atomic bin counts.  Bin semantics match
+ * util::Histogram: strictly increasing upper edges, a sample lands in
+ * the first bin whose edge >= x, samples above the last edge land in an
+ * implicit overflow bin.  The sum is kept in integer micro-units so
+ * concurrent observation stays exact and merge order cannot perturb it.
+ */
+class HistogramMetric
+{
+  public:
+    /// Observe one sample (relaxed atomics; exact under concurrency).
+    void observe(double x);
+
+    /// Total samples.
+    std::uint64_t count() const;
+
+    /// Upper edges (excludes the overflow bin).
+    const std::vector<double>& edges() const { return edges_; }
+
+    /// Raw count in bin @p i (i == edges().size() is the overflow bin).
+    std::uint64_t binCount(std::size_t i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    /// Sum of all observed samples (micro-unit integer, exact).
+    double sum() const
+    {
+        return double(sum_micro_.load(std::memory_order_relaxed)) * 1e-6;
+    }
+
+    /// Registered name.
+    const std::string& name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    HistogramMetric(std::string name, std::vector<double> edges);
+    void reset();
+
+    std::string name_;
+    std::vector<double> edges_;
+    /// edges_.size() + 1 slots; the last is the overflow bin.
+    std::deque<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::int64_t> sum_micro_{0};
+};
+
+/// Point-in-time copy of one counter.
+struct CounterSample
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/// Point-in-time copy of one gauge.
+struct GaugeSample
+{
+    std::string name;
+    double value = 0.0;
+    double max = 0.0;
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSample
+{
+    std::string name;
+    std::vector<double> edges;
+    std::vector<std::uint64_t> counts; ///< edges.size() + 1 (overflow last).
+    double sum = 0.0;
+
+    /// Total samples across all bins.
+    std::uint64_t count() const;
+};
+
+/**
+ * A consistent-enough copy of a registry (each metric is read atomically;
+ * the set is read under the registration lock).  Sorted by name, so two
+ * snapshots of equal state export identical text.
+ */
+struct Snapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    /**
+     * Fold @p other in: counters and histogram bins add (associative,
+     * order-independent — integer addition), gauge values take the last
+     * non-zero writer and maxes combine.  Metrics present only in
+     * @p other are appended; the result stays name-sorted.
+     * @throws util::ModelError on mismatched histogram edges.
+     */
+    void merge(const Snapshot& other);
+};
+
+/**
+ * Named-metric registry.  Registration (the counter()/gauge()/histogram()
+ * lookups) takes a mutex; recording through the returned handles is
+ * lock-free.  Handles are valid for the registry's lifetime — metrics are
+ * never deregistered, and storage is node-stable.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The process-wide registry every instrumentation site records into.
+    static MetricsRegistry& global();
+
+    /**
+     * Look up or create the counter called @p name.  Idempotent: the same
+     * name always returns the same object.
+     * @throws util::ModelError if @p name is empty or already registered
+     *         as a different metric kind.
+     */
+    Counter& counter(const std::string& name);
+
+    /// Look up or create a gauge (idempotent; same rules as counter()).
+    Gauge& gauge(const std::string& name);
+
+    /**
+     * Look up or create a histogram over @p upper_edges (strictly
+     * increasing).  Re-registration must agree on the edges.
+     * @throws util::ModelError on empty/non-increasing edges, kind
+     *         collisions, or edge mismatch with an existing registration.
+     */
+    HistogramMetric& histogram(const std::string& name,
+                               const std::vector<double>& upper_edges);
+
+    /// Registered metric count (all kinds).
+    std::size_t size() const;
+
+    /// Zero every value; registrations (and cached handles) stay valid.
+    void resetValues();
+
+    /// Copy out every metric, sorted by name.
+    Snapshot snapshot() const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+    struct Entry
+    {
+        Kind kind;
+        std::size_t index; ///< Into the kind's deque.
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> names_;
+    /// Owned nodes: handles stay valid across later registrations.
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Gauge>> gauges_;
+    std::vector<std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/**
+ * RAII wall-time profiling scope: observes the elapsed milliseconds into
+ * a histogram at destruction.  Construction reads the clock only when
+ * metrics are enabled; a disabled scope costs one branch.
+ */
+class ScopedTimer
+{
+  public:
+    /// Time into @p sink_ms (a histogram of milliseconds).
+    explicit ScopedTimer(HistogramMetric& sink_ms)
+        : sink_(&sink_ms), armed_(enabled())
+    {
+        if (armed_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (armed_) {
+            const auto end = std::chrono::steady_clock::now();
+            sink_->observe(
+                std::chrono::duration<double, std::milli>(end - start_)
+                    .count());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    HistogramMetric* sink_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Default bucket edges for wall-time histograms, milliseconds.
+const std::vector<double>& defaultLatencyEdgesMs();
+
+} // namespace hddtherm::obs
+
+/**
+ * Count one occurrence of @p name in the global registry.  The handle is
+ * resolved once per call site (function-local static) and only on the
+ * first *enabled* pass, so a disabled site never touches the registry.
+ */
+#define HDDTHERM_OBS_COUNT(name)                                             \
+    do {                                                                     \
+        if (::hddtherm::obs::enabled()) {                                    \
+            static ::hddtherm::obs::Counter& hddtherm_obs_counter_ =         \
+                ::hddtherm::obs::MetricsRegistry::global().counter(name);    \
+            hddtherm_obs_counter_.add(1);                                    \
+        }                                                                    \
+    } while (false)
+
+/// As HDDTHERM_OBS_COUNT, but adds @p n occurrences.
+#define HDDTHERM_OBS_ADD(name, n)                                            \
+    do {                                                                     \
+        if (::hddtherm::obs::enabled()) {                                    \
+            static ::hddtherm::obs::Counter& hddtherm_obs_counter_ =         \
+                ::hddtherm::obs::MetricsRegistry::global().counter(name);    \
+            hddtherm_obs_counter_.add(std::uint64_t(n));                     \
+        }                                                                    \
+    } while (false)
+
+/// Set gauge @p name to @p v (also raising its high watermark).
+#define HDDTHERM_OBS_GAUGE_SET(name, v)                                      \
+    do {                                                                     \
+        if (::hddtherm::obs::enabled()) {                                    \
+            static ::hddtherm::obs::Gauge& hddtherm_obs_gauge_ =             \
+                ::hddtherm::obs::MetricsRegistry::global().gauge(name);      \
+            hddtherm_obs_gauge_.set(double(v));                              \
+        }                                                                    \
+    } while (false)
+
+#endif // HDDTHERM_OBS_METRICS_H

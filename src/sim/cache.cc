@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -26,10 +27,12 @@ DiskCache::read(std::int64_t lba, int sectors)
         if (lba >= it->start && lba + sectors <= it->start + it->length) {
             segments_.splice(segments_.begin(), segments_, it);
             ++stats_.readHits;
+            HDDTHERM_OBS_COUNT("sim.cache.read_hit");
             return true;
         }
     }
     ++stats_.readMisses;
+    HDDTHERM_OBS_COUNT("sim.cache.read_miss");
     return false;
 }
 

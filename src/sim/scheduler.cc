@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace hddtherm::sim {
@@ -27,6 +28,8 @@ void
 Scheduler::push(const IoRequest& request, int cylinder)
 {
     queue_.push_back({request, cylinder});
+    HDDTHERM_OBS_COUNT("sim.scheduler.pushed");
+    HDDTHERM_OBS_GAUGE_SET("sim.scheduler.queue_depth", queue_.size());
 }
 
 Scheduler::Entry

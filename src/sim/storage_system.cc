@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace hddtherm::sim {
@@ -56,6 +57,7 @@ StorageSystem::submit(const IoRequest& request)
                              request.device < config_.disks,
                          "device id out of range");
     }
+    HDDTHERM_OBS_COUNT("sim.system.submitted");
     events_.schedule(request.arrival, domain_,
                      [this, request] { dispatch(request); });
 }
@@ -374,6 +376,7 @@ StorageSystem::completeLogical(Outstanding& out, SimTime finish)
     done.arrival = out.logical.arrival;
     done.finish = finish;
     metrics_.record(done);
+    HDDTHERM_OBS_COUNT("sim.system.completed");
     if (callback_)
         callback_(done);
 }

@@ -1,0 +1,66 @@
+# Integration check: every bench invoked with `--csv dir` must drop the
+# provenance/metrics artifact triple — manifest.json (with a git_sha and
+# the command line), metrics.prom (Prometheus text exposition), and
+# metrics.csv (the util::table path) — beside its table CSVs.
+#
+# Invoked via `cmake -DBENCHES=path1|path2 -DWORK_DIR=dir -P <this file>`
+# from the ctest entry registered in tests/CMakeLists.txt ('|' separates
+# paths; a raw ';' would need escaping through two quoting layers).
+
+if(NOT DEFINED BENCHES OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCHES=... -DWORK_DIR=... -P "
+                        "bench_artifacts_check.cmake")
+endif()
+
+string(REPLACE "|" ";" BENCHES "${BENCHES}")
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+
+foreach(bench IN LISTS BENCHES)
+    get_filename_component(name "${bench}" NAME)
+    set(dir "${WORK_DIR}/${name}")
+    file(MAKE_DIRECTORY "${dir}")
+
+    execute_process(COMMAND "${bench}" --csv "${dir}"
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${name} --csv exited with ${rc}")
+    endif()
+
+    foreach(artifact manifest.json metrics.prom metrics.csv)
+        if(NOT EXISTS "${dir}/${artifact}")
+            message(FATAL_ERROR "${name} did not write ${artifact}")
+        endif()
+    endforeach()
+
+    file(READ "${dir}/manifest.json" manifest)
+    foreach(key git_sha command seed config_hash started_utc)
+        string(FIND "${manifest}" "\"${key}\"" pos)
+        if(pos EQUAL -1)
+            message(FATAL_ERROR
+                "${name} manifest.json lacks \"${key}\": ${manifest}")
+        endif()
+    endforeach()
+    string(FIND "${manifest}" "${name}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "${name} manifest.json does not name the "
+                            "bench: ${manifest}")
+    endif()
+
+    file(READ "${dir}/metrics.prom" prom)
+    string(FIND "${prom}" "# TYPE hddtherm_" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "${name} metrics.prom has no hddtherm_ "
+                            "metric: ${prom}")
+    endif()
+
+    file(READ "${dir}/metrics.csv" csv)
+    string(FIND "${csv}" "metric,kind,label,value" pos)
+    if(NOT pos EQUAL 0)
+        message(FATAL_ERROR "${name} metrics.csv lacks the exporter "
+                            "header: ${csv}")
+    endif()
+
+    message(STATUS "${name}: artifact triple OK")
+endforeach()

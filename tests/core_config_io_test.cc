@@ -150,3 +150,104 @@ raid = raid1
     EXPECT_EQ(array.diskCount(), 2);
     EXPECT_GT(array.logicalSectors(), 0);
 }
+
+TEST(ConfigIo, RejectsNonFiniteNumbers)
+{
+    // std::stod accepts "nan" and "inf"; the parser must not let them
+    // propagate silently into the models.
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm = nan\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm = inf\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseExperimentSpec("[disk]\nrpm = -inf\n"),
+                 hu::ModelError);
+    EXPECT_THROW(
+        hc::parseExperimentSpec("[workload]\narrival_rate = NaN\n"),
+        hu::ModelError);
+}
+
+TEST(ConfigIo, FaultScheduleRejectsMalformedInput)
+{
+    // Key before any section header.
+    EXPECT_THROW(hc::parseFaultSchedule("at = 1\n"), hu::ModelError);
+    // Unknown section family.
+    EXPECT_THROW(hc::parseFaultSchedule("[faults.0]\nat = 1\n"),
+                 hu::ModelError);
+    // Missing onset time.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nkind = ambient_step\n"
+                               "delta_c = 4\n"),
+        hu::ModelError);
+    // Missing kind.
+    EXPECT_THROW(hc::parseFaultSchedule("[fault.0]\nat = 1\n"),
+                 hu::ModelError);
+    // Unknown kind.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nat = 1\nkind = gremlins\n"),
+        hu::ModelError);
+    // Kind present but its magnitude key missing.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nat = 1\n"
+                               "kind = ambient_step\n"),
+        hu::ModelError);
+    // Non-numeric and non-finite fields.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nat = soon\n"
+                               "kind = sensor_dropout\n"),
+        hu::ModelError);
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nat = 1\n"
+                               "kind = ambient_step\ndelta_c = nan\n"),
+        hu::ModelError);
+    // Duplicate key inside a fault section.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.0]\nat = 1\nat = 2\n"
+                               "kind = sensor_dropout\n"),
+        hu::ModelError);
+}
+
+TEST(ConfigIo, FaultScheduleRejectsOverflowingSectionIndex)
+{
+    // A section index beyond long range must surface as a ModelError,
+    // not an uncaught std::out_of_range.
+    EXPECT_THROW(
+        hc::parseFaultSchedule("[fault.99999999999999999999]\n"
+                               "at = 1\nkind = sensor_dropout\n"),
+        hu::ModelError);
+    EXPECT_THROW(hc::parseFaultSchedule("[fault.]\nat = 1\n"),
+                 hu::ModelError);
+    EXPECT_THROW(hc::parseFaultSchedule("[fault.two]\nat = 1\n"),
+                 hu::ModelError);
+}
+
+TEST(ConfigIo, FaultScheduleRoundTripsThroughFormat)
+{
+    const auto schedule = hc::parseFaultSchedule(R"(
+[schedule]
+noise_seed = 77
+
+[fault.1]
+at = 2.5
+kind = ambient_spike
+delta_c = 8
+duration = 3
+
+[fault.0]
+at = 1.0
+kind = sensor_noise
+sigma_c = 0.4
+target = 2
+)");
+    EXPECT_EQ(schedule.noiseSeed(), 77u);
+    const auto& events = schedule.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Events replay in fault.N order, not file order.
+    EXPECT_EQ(events[0].timeSec, 1.0);
+    EXPECT_EQ(events[1].timeSec, 2.5);
+
+    const auto text = hc::formatFaultSchedule(schedule);
+    const auto reparsed = hc::parseFaultSchedule(text);
+    ASSERT_EQ(reparsed.events().size(), 2u);
+    EXPECT_EQ(reparsed.noiseSeed(), 77u);
+    EXPECT_EQ(reparsed.events()[1].value, 8.0);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Concurrency tests of the metrics layer: many threads hammering one
+ * registry must lose nothing (counters, histogram bins, and the gauge
+ * high watermark are exact), and metrics recorded from inside
+ * fleet::ShardExecutor worker threads must add up exactly, steals and
+ * all.
+ */
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/shard_executor.h"
+#include "obs/metrics.h"
+
+namespace hf = hddtherm::fleet;
+namespace ho = hddtherm::obs;
+
+namespace {
+
+class ObsConcurrencyTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ho::setEnabled(false); }
+    void TearDown() override { ho::setEnabled(false); }
+};
+
+} // namespace
+
+TEST_F(ObsConcurrencyTest, CountersAreExactUnderContention)
+{
+    ho::MetricsRegistry reg;
+    ho::Counter& hot = reg.counter("hot");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIters = 50'000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, &hot, t]() {
+            // Each thread also races registration of a shared name and a
+            // private name, interleaved with hot-path increments.
+            ho::Counter& mine =
+                reg.counter("private." + std::to_string(t));
+            for (std::uint64_t i = 0; i < kIters; ++i) {
+                hot.add(1);
+                mine.add(2);
+                reg.counter("shared").add(1);
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(hot.value(), kThreads * kIters);
+    EXPECT_EQ(reg.counter("shared").value(), kThreads * kIters);
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(reg.counter("private." + std::to_string(t)).value(),
+                  2 * kIters);
+    EXPECT_EQ(reg.size(), std::size_t(kThreads) + 2);
+}
+
+TEST_F(ObsConcurrencyTest, HistogramBinsAndGaugeMaxAreExact)
+{
+    ho::MetricsRegistry reg;
+    ho::HistogramMetric& h = reg.histogram("lat", {1.0, 2.0, 3.0});
+    ho::Gauge& g = reg.gauge("level");
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20'000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, &g, t]() {
+            for (int i = 0; i < kIters; ++i) {
+                h.observe(double(i % 4) + 0.5); // bins 0..2 + overflow
+                g.raiseMax(double(t * kIters + i));
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    const std::uint64_t per_bin = std::uint64_t(kThreads) * kIters / 4;
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(h.binCount(b), per_bin) << "bin " << b;
+    EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kIters);
+    // Sum is exact in micro-units: each thread contributes the same
+    // arithmetic series.
+    const double per_thread = kIters / 4.0 * (0.5 + 1.5 + 2.5 + 3.5);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * per_thread);
+    EXPECT_EQ(g.max(), double(kThreads * kIters - 1));
+}
+
+TEST_F(ObsConcurrencyTest, ShardExecutorWorkersRecordExactly)
+{
+    ho::setEnabled(true);
+    auto& global = ho::MetricsRegistry::global();
+    const std::uint64_t tasks_before =
+        global.counter("fleet.executor.tasks").value();
+    const std::uint64_t batches_before =
+        global.counter("fleet.executor.batches").value();
+
+    ho::MetricsRegistry reg;
+    ho::Counter& done = reg.counter("tasks.done");
+    ho::HistogramMetric& weights = reg.histogram("tasks.weight",
+                                                 {10.0, 100.0});
+
+    constexpr int kBatches = 5;
+    constexpr int kTasksPerBatch = 64;
+    hf::ShardExecutor exec(4);
+    for (int b = 0; b < kBatches; ++b) {
+        std::vector<hf::ShardExecutor::Task> batch;
+        batch.reserve(kTasksPerBatch);
+        for (int i = 0; i < kTasksPerBatch; ++i) {
+            batch.emplace_back([&done, &weights, i]() {
+                done.add(1);
+                weights.observe(double(i));
+            });
+        }
+        exec.runBatch(std::move(batch));
+    }
+
+    EXPECT_EQ(done.value(), std::uint64_t(kBatches) * kTasksPerBatch);
+    EXPECT_EQ(weights.count(), std::uint64_t(kBatches) * kTasksPerBatch);
+
+    // The executor's own instrumentation agrees with its Stats struct
+    // and with the ground truth.
+    const auto stats = exec.stats();
+    EXPECT_EQ(stats.tasks, std::uint64_t(kBatches) * kTasksPerBatch);
+    EXPECT_EQ(stats.batches, std::uint64_t(kBatches));
+    EXPECT_EQ(global.counter("fleet.executor.tasks").value() -
+                  tasks_before,
+              std::uint64_t(kBatches) * kTasksPerBatch);
+    EXPECT_EQ(global.counter("fleet.executor.batches").value() -
+                  batches_before,
+              std::uint64_t(kBatches));
+    // Worker wall time flowed into the shared histogram.
+    EXPECT_GE(global
+                  .histogram("fleet.executor.task_ms",
+                             ho::defaultLatencyEdgesMs())
+                  .count(),
+              std::uint64_t(kBatches) * kTasksPerBatch);
+}
+
+TEST_F(ObsConcurrencyTest, InlineExecutorMatchesThreadedCounts)
+{
+    ho::setEnabled(true);
+    auto& tasks = ho::MetricsRegistry::global().counter(
+        "fleet.executor.tasks");
+    auto& steals = ho::MetricsRegistry::global().counter(
+        "fleet.executor.steals");
+
+    const auto run = [](int threads) {
+        hf::ShardExecutor exec(threads);
+        std::atomic<int> hits{0};
+        std::vector<hf::ShardExecutor::Task> batch;
+        for (int i = 0; i < 32; ++i)
+            batch.emplace_back([&hits]() { ++hits; });
+        exec.runBatch(std::move(batch));
+        return hits.load();
+    };
+
+    const std::uint64_t t0 = tasks.value();
+    EXPECT_EQ(run(1), 32);
+    EXPECT_EQ(tasks.value() - t0, 32u);
+
+    const std::uint64_t t1 = tasks.value();
+    const std::uint64_t s1 = steals.value();
+    EXPECT_EQ(run(3), 32);
+    EXPECT_EQ(tasks.value() - t1, 32u);
+    // Steal accounting is workload-dependent but never exceeds the
+    // batch and matches the executor's own tally by construction.
+    EXPECT_LE(steals.value() - s1, 32u);
+}

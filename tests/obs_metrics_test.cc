@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Unit + property tests of the obs metrics layer: registry uniqueness
+ * and idempotent re-registration, the enable-flag gate, snapshot merge
+ * associativity, exporter golden output (Prometheus text and the CSV
+ * table), and the RunManifest provenance record.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace ho = hddtherm::obs;
+namespace hu = hddtherm::util;
+
+namespace {
+
+/// Restores the process-wide enable flag (tests must be shuffle-safe).
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ho::setEnabled(false); }
+    void TearDown() override { ho::setEnabled(false); }
+};
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Field-exact snapshot equality (merge associativity checks).
+void
+expectEqual(const ho::Snapshot& a, const ho::Snapshot& b)
+{
+    ASSERT_EQ(a.counters.size(), b.counters.size());
+    for (std::size_t i = 0; i < a.counters.size(); ++i) {
+        EXPECT_EQ(a.counters[i].name, b.counters[i].name);
+        EXPECT_EQ(a.counters[i].value, b.counters[i].value);
+    }
+    ASSERT_EQ(a.gauges.size(), b.gauges.size());
+    for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+        EXPECT_EQ(a.gauges[i].name, b.gauges[i].name);
+        EXPECT_EQ(a.gauges[i].value, b.gauges[i].value);
+        EXPECT_EQ(a.gauges[i].max, b.gauges[i].max);
+    }
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+        EXPECT_EQ(a.histograms[i].name, b.histograms[i].name);
+        EXPECT_EQ(a.histograms[i].edges, b.histograms[i].edges);
+        EXPECT_EQ(a.histograms[i].counts, b.histograms[i].counts);
+        EXPECT_EQ(a.histograms[i].sum, b.histograms[i].sum);
+    }
+}
+
+} // namespace
+
+TEST_F(ObsTest, RegistrationIsIdempotent)
+{
+    ho::MetricsRegistry reg;
+    ho::Counter& c1 = reg.counter("a.count");
+    ho::Counter& c2 = reg.counter("a.count");
+    EXPECT_EQ(&c1, &c2);
+
+    ho::Gauge& g1 = reg.gauge("a.depth");
+    ho::Gauge& g2 = reg.gauge("a.depth");
+    EXPECT_EQ(&g1, &g2);
+
+    ho::HistogramMetric& h1 = reg.histogram("a.lat", {1.0, 2.0});
+    ho::HistogramMetric& h2 = reg.histogram("a.lat", {1.0, 2.0});
+    EXPECT_EQ(&h1, &h2);
+
+    EXPECT_EQ(reg.size(), 3u);
+    c1.add(5);
+    EXPECT_EQ(c2.value(), 5u);
+}
+
+TEST_F(ObsTest, HandlesSurviveLaterRegistrations)
+{
+    // Node-stable storage: a cached reference must stay valid while the
+    // registry grows well past any initial vector capacity.
+    ho::MetricsRegistry reg;
+    ho::Counter& first = reg.counter("first");
+    for (int i = 0; i < 200; ++i)
+        reg.counter("extra." + std::to_string(i)).add(1);
+    first.add(3);
+    EXPECT_EQ(reg.counter("first").value(), 3u);
+    EXPECT_EQ(reg.size(), 201u);
+}
+
+TEST_F(ObsTest, RejectsKindCollisionsAndBadNames)
+{
+    ho::MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), hu::ModelError);
+    EXPECT_THROW(reg.histogram("x", {1.0}), hu::ModelError);
+    EXPECT_THROW(reg.counter(""), hu::ModelError);
+
+    reg.histogram("h", {1.0, 2.0});
+    EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), hu::ModelError);
+    EXPECT_THROW(reg.counter("h"), hu::ModelError);
+    EXPECT_THROW(reg.histogram("bad", {}), hu::ModelError);
+    EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), hu::ModelError);
+}
+
+TEST_F(ObsTest, ResetValuesKeepsRegistrationsAndHandles)
+{
+    ho::MetricsRegistry reg;
+    ho::Counter& c = reg.counter("c");
+    ho::Gauge& g = reg.gauge("g");
+    ho::HistogramMetric& h = reg.histogram("h", {1.0});
+    c.add(7);
+    g.set(3.5);
+    h.observe(0.5);
+
+    reg.resetValues();
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(g.max(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    // The old handle still records into the same registration.
+    c.add(2);
+    EXPECT_EQ(reg.counter("c").value(), 2u);
+}
+
+TEST_F(ObsTest, HistogramBinSemanticsMatchUtilHistogram)
+{
+    const std::vector<double> edges = {10.0, 20.0, 30.0};
+    ho::MetricsRegistry reg;
+    ho::HistogramMetric& m = reg.histogram("h", edges);
+    hu::Histogram ref(edges);
+    for (const double x : {1.0, 5.0, 10.0, 15.0, 25.0, 40.0}) {
+        m.observe(x);
+        ref.add(x);
+    }
+    ASSERT_EQ(m.count(), ref.count());
+    for (std::size_t i = 0; i <= edges.size(); ++i)
+        EXPECT_EQ(m.binCount(i), ref.binCount(i)) << "bin " << i;
+    EXPECT_DOUBLE_EQ(m.sum(), 96.0);
+}
+
+TEST_F(ObsTest, EnableFlagGatesMacros)
+{
+    auto& global = ho::MetricsRegistry::global();
+
+    // Disabled: the macro body never runs, so the name never registers.
+    ho::setEnabled(false);
+    const std::size_t before = global.size();
+    for (int i = 0; i < 3; ++i)
+        HDDTHERM_OBS_COUNT("obs_test.gated.count");
+    HDDTHERM_OBS_GAUGE_SET("obs_test.gated.gauge", 9.0);
+    EXPECT_EQ(global.size(), before);
+
+    // Enabled: the site registers once and counts exactly.
+    ho::setEnabled(true);
+    for (int i = 0; i < 3; ++i)
+        HDDTHERM_OBS_COUNT("obs_test.gated.count");
+    HDDTHERM_OBS_ADD("obs_test.gated.count", 4);
+    HDDTHERM_OBS_GAUGE_SET("obs_test.gated.gauge", 9.0);
+    HDDTHERM_OBS_GAUGE_SET("obs_test.gated.gauge", 2.0);
+    EXPECT_EQ(global.counter("obs_test.gated.count").value(), 7u);
+    EXPECT_EQ(global.gauge("obs_test.gated.gauge").value(), 2.0);
+    EXPECT_EQ(global.gauge("obs_test.gated.gauge").max(), 9.0);
+
+    // Re-disabling stops recording through the cached handle.
+    ho::setEnabled(false);
+    HDDTHERM_OBS_COUNT("obs_test.gated.count");
+    EXPECT_EQ(global.counter("obs_test.gated.count").value(), 7u);
+}
+
+TEST_F(ObsTest, ScopedTimerObservesOnlyWhenEnabled)
+{
+    ho::MetricsRegistry reg;
+    ho::HistogramMetric& h = reg.histogram("t", {1e6});
+
+    {
+        ho::ScopedTimer off(h);
+    }
+    EXPECT_EQ(h.count(), 0u);
+
+    ho::setEnabled(true);
+    {
+        ho::ScopedTimer on(h);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    // Any sane wall time lands below the huge single edge.
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedWithinKinds)
+{
+    ho::MetricsRegistry reg;
+    reg.counter("z.last").add(1);
+    reg.counter("a.first").add(2);
+    reg.gauge("m.middle").set(1.0);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "a.first");
+    EXPECT_EQ(snap.counters[1].name, "z.last");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].name, "m.middle");
+}
+
+TEST_F(ObsTest, MergeIsAssociativeOnOverlappingSets)
+{
+    // Three snapshots with partial overlap in every kind.  Counter and
+    // bin addition is integer, gauge max is max, so both association
+    // orders must agree field-for-field (gauge.value is excluded from
+    // the claim only when zeros are involved; use non-zero values).
+    const auto snap = [](std::uint64_t c1, std::uint64_t c2, double g,
+                         std::vector<std::uint64_t> bins, double sum) {
+        ho::Snapshot s;
+        s.counters = {{"c.only", c1}, {"c.shared", c2}};
+        s.gauges = {{"g.shared", g, g}};
+        s.histograms = {{"h.shared", {1.0, 2.0}, std::move(bins), sum}};
+        return s;
+    };
+    const auto a = snap(1, 10, 2.0, {1, 0, 2}, 7.0);
+    const auto b = snap(2, 20, 5.0, {0, 3, 1}, 6.0);
+    const auto c = snap(3, 30, 3.0, {4, 1, 0}, 5.0);
+
+    ho::Snapshot left = a;
+    left.merge(b);
+    left.merge(c);
+
+    ho::Snapshot bc = b;
+    bc.merge(c);
+    ho::Snapshot right = a;
+    right.merge(bc);
+
+    expectEqual(left, right);
+    EXPECT_EQ(left.counters[1].value, 60u); // c.shared
+    EXPECT_EQ(left.gauges[0].max, 5.0);
+    EXPECT_EQ(left.gauges[0].value, 3.0); // last writer
+    EXPECT_EQ(left.histograms[0].counts,
+              (std::vector<std::uint64_t>{5, 4, 3}));
+    EXPECT_DOUBLE_EQ(left.histograms[0].sum, 18.0);
+}
+
+TEST_F(ObsTest, MergeAppendsDisjointMetricsSorted)
+{
+    ho::Snapshot a;
+    a.counters = {{"b", 1}};
+    ho::Snapshot b;
+    b.counters = {{"a", 2}, {"c", 3}};
+    a.merge(b);
+    ASSERT_EQ(a.counters.size(), 3u);
+    EXPECT_EQ(a.counters[0].name, "a");
+    EXPECT_EQ(a.counters[1].name, "b");
+    EXPECT_EQ(a.counters[2].name, "c");
+}
+
+TEST_F(ObsTest, MergeRejectsMismatchedHistogramEdges)
+{
+    ho::Snapshot a;
+    a.histograms = {{"h", {1.0, 2.0}, {0, 0, 0}, 0.0}};
+    ho::Snapshot b;
+    b.histograms = {{"h", {1.0, 3.0}, {0, 0, 0}, 0.0}};
+    EXPECT_THROW(a.merge(b), hu::ModelError);
+}
+
+TEST_F(ObsTest, PrometheusNameSanitizes)
+{
+    EXPECT_EQ(ho::prometheusName("sim.cache.read_hit"),
+              "hddtherm_sim_cache_read_hit");
+    EXPECT_EQ(ho::prometheusName("a-b c:d"), "hddtherm_a_b_c:d");
+}
+
+TEST_F(ObsTest, PrometheusExportGolden)
+{
+    ho::MetricsRegistry reg;
+    reg.counter("sim.ops").add(42);
+    reg.gauge("sim.depth").set(1.5);
+    reg.gauge("sim.depth").set(0.5);
+    auto& h = reg.histogram("sim.lat_ms", {1.0, 10.0});
+    h.observe(0.25); // bin 0
+    h.observe(5.0);  // bin 1
+    h.observe(50.0); // overflow
+    const std::string expected =
+        "# TYPE hddtherm_sim_ops counter\n"
+        "hddtherm_sim_ops 42\n"
+        "# TYPE hddtherm_sim_depth gauge\n"
+        "hddtherm_sim_depth 0.5\n"
+        "# TYPE hddtherm_sim_depth_max gauge\n"
+        "hddtherm_sim_depth_max 1.5\n"
+        "# TYPE hddtherm_sim_lat_ms histogram\n"
+        "hddtherm_sim_lat_ms_bucket{le=\"1\"} 1\n"
+        "hddtherm_sim_lat_ms_bucket{le=\"10\"} 2\n"
+        "hddtherm_sim_lat_ms_bucket{le=\"+Inf\"} 3\n"
+        "hddtherm_sim_lat_ms_sum 55.25\n"
+        "hddtherm_sim_lat_ms_count 3\n";
+    EXPECT_EQ(ho::toPrometheusText(reg.snapshot()), expected);
+}
+
+TEST_F(ObsTest, CsvExportGolden)
+{
+    ho::MetricsRegistry reg;
+    reg.counter("ops").add(7);
+    reg.gauge("depth").set(2.5);
+    reg.histogram("lat", {1.0}).observe(4.0);
+
+    const std::string path = ::testing::TempDir() + "obs_metrics_gold.csv";
+    ASSERT_TRUE(ho::toTable(reg.snapshot()).writeCsv(path));
+    const std::string expected = "metric,kind,label,value\n"
+                                 "ops,counter,,7\n"
+                                 "depth,gauge,value,2.5\n"
+                                 "depth,gauge,max,2.5\n"
+                                 "lat,histogram,le=1,0\n"
+                                 "lat,histogram,le=+Inf,1\n"
+                                 "lat,histogram,sum,4\n"
+                                 "lat,histogram,count,1\n";
+    EXPECT_EQ(slurp(path), expected);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ExportEqualSnapshotsByteIdentical)
+{
+    // Determinism property: two registries brought to the same state
+    // export the same bytes regardless of registration order.
+    ho::MetricsRegistry r1;
+    r1.counter("a").add(1);
+    r1.counter("b").add(2);
+    r1.gauge("g").set(3.0);
+    ho::MetricsRegistry r2;
+    r2.gauge("g").set(3.0);
+    r2.counter("b").add(2);
+    r2.counter("a").add(1);
+    EXPECT_EQ(ho::toPrometheusText(r1.snapshot()),
+              ho::toPrometheusText(r2.snapshot()));
+}
+
+TEST_F(ObsTest, Fnv1a64KnownVectors)
+{
+    EXPECT_EQ(ho::fnv1a64(""), 14695981039346656037ull);
+    EXPECT_EQ(ho::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(ho::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST_F(ObsTest, ManifestJsonIsFlatAndStable)
+{
+    ho::RunManifest m;
+    m.bench = "bench_x";
+    m.gitSha = "abc123";
+    m.command = "bench_x --csv \"out dir\"";
+    m.seed = 42;
+    m.config = "rpm=15000";
+    m.configHash = ho::fnv1a64(m.config);
+    m.wallSec = 1.5;
+    m.startedUtc = "2026-01-01T00:00:00Z";
+    const std::string json = ho::toJson(m);
+    EXPECT_NE(json.find("\"bench\": \"bench_x\""), std::string::npos);
+    EXPECT_NE(json.find("\"git_sha\": \"abc123\""), std::string::npos);
+    // The quote inside the command must be escaped.
+    EXPECT_NE(json.find("--csv \\\"out dir\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"config\": \"rpm=15000\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_sec\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"started_utc\": \"2026-01-01T00:00:00Z\""),
+              std::string::npos);
+    // Flat object: exactly one opening and one closing brace.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 1);
+}
+
+TEST_F(ObsTest, BenchRunWritesArtifactTriple)
+{
+    const char* argv[] = {"bench_fake", "--csv", "somewhere"};
+    ho::BenchRun run("bench_fake", 3, const_cast<char**>(argv));
+    EXPECT_TRUE(ho::enabled()); // benches always collect
+    run.setSeed(7);
+    run.setConfig("drives=4");
+    HDDTHERM_OBS_COUNT("obs_test.bench_run.tick");
+
+    const auto m = run.manifest();
+    EXPECT_EQ(m.bench, "bench_fake");
+    EXPECT_EQ(m.command, "bench_fake --csv somewhere");
+    EXPECT_EQ(m.seed, 7u);
+    EXPECT_EQ(m.configHash, ho::fnv1a64("drives=4"));
+    EXPECT_GE(m.wallSec, 0.0);
+    EXPECT_EQ(m.gitSha, ho::buildGitSha());
+    EXPECT_FALSE(m.startedUtc.empty());
+
+    // Empty dir is the "no --csv" path: a successful no-op.
+    EXPECT_TRUE(run.writeArtifacts(""));
+
+    const std::string dir = ::testing::TempDir();
+    ASSERT_TRUE(run.writeArtifacts(dir));
+    const std::string manifest = slurp(dir + "/manifest.json");
+    EXPECT_NE(manifest.find("\"git_sha\""), std::string::npos);
+    EXPECT_NE(manifest.find("\"seed\": 7"), std::string::npos);
+    const std::string prom = slurp(dir + "/metrics.prom");
+    EXPECT_NE(prom.find("hddtherm_obs_test_bench_run_tick"),
+              std::string::npos);
+    const std::string csv = slurp(dir + "/metrics.csv");
+    EXPECT_NE(csv.find("metric,kind,label,value"), std::string::npos);
+    std::remove((dir + "/manifest.json").c_str());
+    std::remove((dir + "/metrics.prom").c_str());
+    std::remove((dir + "/metrics.csv").c_str());
+
+    // Unwritable directory reports failure instead of silently dropping.
+    EXPECT_FALSE(run.writeArtifacts("/nonexistent/obs_dir"));
+}

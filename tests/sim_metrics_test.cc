@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Edge-case tests of sim::ResponseMetrics: merging an empty accumulator
+ * in either direction is the identity, and self-merge doubles the mass
+ * without corrupting the moments (alias safety).
+ */
+#include <cstddef>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace hs = hddtherm::sim;
+
+namespace {
+
+hs::IoCompletion
+completed(double arrival, double finish)
+{
+    hs::IoCompletion c;
+    c.arrival = arrival;
+    c.finish = finish;
+    return c;
+}
+
+} // namespace
+
+TEST(ResponseMetrics, StartsEmpty)
+{
+    const hs::ResponseMetrics m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.meanMs(), 0.0);
+    EXPECT_EQ(m.histogram().count(), 0u);
+}
+
+TEST(ResponseMetrics, MergeWithEmptyIsIdentity)
+{
+    hs::ResponseMetrics filled;
+    filled.record(completed(0.0, 0.010)); // 10 ms
+    filled.record(completed(0.0, 0.030)); // 30 ms
+    const double mean = filled.meanMs();
+    const double var = filled.stats().variance();
+
+    // Empty into filled: nothing changes.
+    filled.merge(hs::ResponseMetrics());
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_EQ(filled.meanMs(), mean);
+    EXPECT_EQ(filled.stats().variance(), var);
+
+    // Filled into empty: the empty side becomes a copy.
+    hs::ResponseMetrics empty;
+    empty.merge(filled);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.meanMs(), mean);
+    EXPECT_EQ(empty.stats().variance(), var);
+    for (std::size_t i = 0; i <= filled.histogram().bins(); ++i)
+        EXPECT_EQ(empty.histogram().binCount(i),
+                  filled.histogram().binCount(i));
+}
+
+TEST(ResponseMetrics, EmptySelfMergeStaysEmpty)
+{
+    hs::ResponseMetrics m;
+    m.merge(m);
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.meanMs(), 0.0);
+}
+
+TEST(ResponseMetrics, SelfMergeDoublesMassKeepsMoments)
+{
+    hs::ResponseMetrics m;
+    m.record(completed(0.0, 0.010));
+    m.record(completed(0.0, 0.030));
+    const double mean = m.meanMs();
+    const double var = m.stats().variance();
+    const std::uint64_t bin0 = m.histogram().binCount(1);
+
+    m.merge(m);
+
+    EXPECT_EQ(m.count(), 4u);
+    EXPECT_DOUBLE_EQ(m.meanMs(), mean);
+    // Duplicating every sample preserves the population variance.
+    EXPECT_NEAR(m.stats().variance(), var, 1e-9);
+    EXPECT_EQ(m.histogram().binCount(1), 2 * bin0);
+    EXPECT_EQ(m.histogram().count(), 4u);
+}

@@ -117,3 +117,67 @@ TEST(Histogram, RejectsBadEdges)
     EXPECT_THROW(hu::Histogram({}), hu::ModelError);
     EXPECT_THROW(hu::Histogram({2.0, 1.0}), hu::ModelError);
 }
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    const hu::Histogram h({1.0, 2.0});
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileEndpointsAreClamped)
+{
+    hu::Histogram h({1.0, 2.0, 3.0});
+    for (int i = 0; i < 30; ++i)
+        h.add(0.5 + double(i % 3));
+    // p = 0 asks for "at least 0 samples": the very bottom of the range.
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    // p = 1 never exceeds the last finite edge.
+    EXPECT_LE(h.quantile(1.0), 3.0);
+    EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+    // Out-of-range p is a caller error, not a clamp.
+    EXPECT_THROW(h.quantile(-0.1), hu::ModelError);
+    EXPECT_THROW(h.quantile(1.1), hu::ModelError);
+}
+
+TEST(Histogram, QuantileWithAllMassInOverflowReportsLastEdge)
+{
+    hu::Histogram h({1.0, 2.0});
+    for (int i = 0; i < 10; ++i)
+        h.add(100.0); // everything beyond the last edge
+    // The overflow bin has no upper bound; the last finite edge is the
+    // most honest answer the histogram can give.
+    EXPECT_EQ(h.quantile(0.5), 2.0);
+    EXPECT_EQ(h.quantile(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 1.0);
+}
+
+TEST(Histogram, SelfMergeDoublesEveryBin)
+{
+    hu::Histogram h({1.0, 2.0});
+    h.add(0.5);
+    h.add(1.5);
+    h.add(9.0);
+    h.merge(h);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(2), 2u);
+}
+
+TEST(OnlineStats, SelfMergePreservesMoments)
+{
+    hu::OnlineStats s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(5.0);
+    const double mean = s.mean();
+    const double var = s.variance();
+    s.merge(s);
+    EXPECT_EQ(s.count(), 6u);
+    EXPECT_DOUBLE_EQ(s.mean(), mean);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
