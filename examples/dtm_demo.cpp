@@ -5,13 +5,22 @@
  *
  *   ./dtm_demo [--policy none|gate|gate-rpm] [--rpm R] [--low-rpm R]
  *              [--requests N] [--faults schedule.ini]
+ *              [--checkpoint-every SEC] [--checkpoint-dir D]
+ *              [--resume-from PATH|DIR]
  *
  * With --faults the demo replays a fault schedule (see docs/faults.md and
  * examples/configs/fan_failure_emergency.ini), reruns the same workload
  * fault-free, and prints an emergency report of what the faults cost.
+ *
+ * --checkpoint-every SEC writes a crash-consistent checkpoint every SEC
+ * simulated seconds to --checkpoint-dir (default ./dtm-checkpoints);
+ * --resume-from continues from a checkpoint file (or the latest one in a
+ * directory) to a completion bit-identical with the uninterrupted run
+ * (see docs/checkpoint.md).
  */
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -32,6 +41,9 @@ main(int argc, char** argv)
     double low_rpm = 0.0;
     std::size_t requests = 20000;
     std::string faults_path;
+    double checkpoint_every = 0.0;
+    std::string checkpoint_dir = "dtm-checkpoints";
+    std::string resume_from;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
             const std::string p = argv[++i];
@@ -56,6 +68,15 @@ main(int argc, char** argv)
             ++i;
         } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
             faults_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                   i + 1 < argc) {
+            checkpoint_every = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                   i + 1 < argc) {
+            checkpoint_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume-from") == 0 &&
+                   i + 1 < argc) {
+            resume_from = argv[++i];
         }
     }
     if (policy == dtm::DtmPolicy::GateAndLowRpm && low_rpm <= 0.0)
@@ -88,8 +109,30 @@ main(int argc, char** argv)
                   << cfg.faults.size() << " events)";
     std::cout << "\n\n";
 
-    dtm::CoSimulation cosim(cfg);
-    const auto result = cosim.run(trace);
+    dtm::CoSimEngine engine(cfg);
+    if (checkpoint_every > 0.0) {
+        snap::CheckpointPolicy ckpt_policy;
+        ckpt_policy.directory = checkpoint_dir;
+        ckpt_policy.everySec = checkpoint_every;
+        engine.enableCheckpoints(ckpt_policy);
+    }
+    if (!resume_from.empty()) {
+        std::string path = resume_from;
+        if (std::filesystem::is_directory(path)) {
+            path = snap::latestCheckpoint(path);
+            if (path.empty()) {
+                std::cerr << "no checkpoint found in " << resume_from
+                          << "\n";
+                return 1;
+            }
+        }
+        std::cout << "resuming from " << path << "\n\n";
+        engine.restoreFromCheckpoint(path, trace);
+    } else {
+        engine.start(trace);
+    }
+    engine.advanceToCompletion();
+    const auto result = engine.result();
 
     util::TableWriter table({"metric", "value"});
     table.addRow({"requests completed",

@@ -11,17 +11,62 @@
  *
  *   ./fleet_explorer [--threads N] [--racks R] [--chassis C] [--bays B]
  *                    [--requests Q] [--seed S]
+ *                    [--checkpoint-every K] [--checkpoint-dir D]
+ *                    [--resume-from PATH|DIR]
+ *
+ * --checkpoint-every K writes a crash-consistent fleet checkpoint to
+ * --checkpoint-dir (default ./fleet-checkpoints) every K epoch barriers;
+ * --resume-from continues a run from a checkpoint file (or the latest
+ * one in a directory) to a bit-identical completion — the "result
+ * digest" line printed at the end matches the uninterrupted run's.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "fleet/fleet_sim.h"
+#include "snap/state.h"
 #include "util/log.h"
 #include "util/table.h"
 
 using namespace hddtherm;
+
+namespace {
+
+/// FNV-1a digest over every deterministic field of a fleet result
+/// (executor scheduling stats excluded): equal digests mean equal runs.
+std::uint64_t
+resultDigest(const fleet::FleetResult& r)
+{
+    std::string d;
+    char buf[320];
+    auto add = [&](const char* fmt, auto... args) {
+        std::snprintf(buf, sizeof buf, fmt, args...);
+        d += buf;
+    };
+    add("n=%llu|mean=%.17g|p95=%.17g|max=%.17g|",
+        static_cast<unsigned long long>(r.metrics.count()),
+        r.meanLatencyMs, r.p95LatencyMs, r.maxDriveTempC);
+    add("gates=%llu|speeds=%llu|gated=%.17g|invalid=%llu|fs=%llu|"
+        "fs_sec=%.17g|sim=%.17g|epochs=%llu|shards=%d|",
+        static_cast<unsigned long long>(r.gateEvents),
+        static_cast<unsigned long long>(r.speedChanges), r.gatedSec,
+        static_cast<unsigned long long>(r.invalidReadings),
+        static_cast<unsigned long long>(r.failSafeActivations),
+        r.failSafeSec, r.simulatedSec,
+        static_cast<unsigned long long>(r.epochs), r.shards);
+    for (const auto& c : r.chassis) {
+        add("c%d.%d=%.17g:%.17g:%llu:%.17g|", c.rack, c.chassis,
+            c.peakDriveAmbientC, c.peakDriveTempC,
+            static_cast<unsigned long long>(c.gateEvents), c.gatedSec);
+    }
+    return snap::fnv1a64(d.data(), d.size());
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -31,6 +76,9 @@ main(int argc, char** argv)
     int racks = 2, chassis = 3, bays = 8;
     std::size_t requests = 800;
     std::uint64_t seed = 7;
+    std::uint64_t checkpoint_every = 0;
+    std::string checkpoint_dir = "fleet-checkpoints";
+    std::string resume_from;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
             threads = std::atoi(argv[++i]);
@@ -44,6 +92,15 @@ main(int argc, char** argv)
             requests = std::size_t(std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             seed = std::uint64_t(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                 i + 1 < argc)
+            checkpoint_every = std::uint64_t(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                 i + 1 < argc)
+            checkpoint_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--resume-from") == 0 &&
+                 i + 1 < argc)
+            resume_from = argv[++i];
     }
 
     fleet::FleetConfig cfg;
@@ -66,8 +123,29 @@ main(int argc, char** argv)
                 cfg.racks, cfg.rack.chassisCount, cfg.chassis.bays,
                 cfg.totalBays(), cfg.workload.requests, threads);
 
+    snap::CheckpointPolicy policy;
+    policy.directory = checkpoint_dir;
+    policy.everyEpochs = checkpoint_every;
+    const snap::CheckpointPolicy* checkpoints =
+        checkpoint_every > 0 ? &policy : nullptr;
+
     fleet::FleetSimulation sim(cfg);
-    const auto result = sim.run(threads);
+    fleet::FleetResult result;
+    if (!resume_from.empty()) {
+        std::string path = resume_from;
+        if (std::filesystem::is_directory(path)) {
+            path = snap::latestCheckpoint(path);
+            if (path.empty()) {
+                std::cerr << "no checkpoint found in " << resume_from
+                          << "\n";
+                return 1;
+            }
+        }
+        std::printf("resuming from %s\n\n", path.c_str());
+        result = sim.resume(path, threads, nullptr, checkpoints);
+    } else {
+        result = sim.run(threads, nullptr, checkpoints);
+    }
 
     util::TableWriter table({"rack", "chassis", "peak ambient C",
                              "peak drive C", "gate events", "gated s"});
@@ -98,5 +176,7 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(result.executor.tasks),
                 static_cast<unsigned long long>(result.epochs),
                 static_cast<unsigned long long>(result.executor.steals));
+    std::printf("result digest: %016llx\n",
+                static_cast<unsigned long long>(resultDigest(result)));
     return 0;
 }

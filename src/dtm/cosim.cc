@@ -4,8 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
 
 #include "obs/metrics.h"
+#include "snap/snapshot.h"
+#include "snap/state.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -38,6 +43,25 @@ validateConfig(const CoSimConfig& config)
     }
 }
 
+/**
+ * Order-sensitive FNV-1a fingerprint of a workload in caller order.
+ * Checkpoints record this instead of embedding the trace: the trace is a
+ * pure function of the configuration seed, so resume regenerates it and
+ * validates the bytes it would have fed match the bytes the checkpointed
+ * run was feeding.
+ */
+std::uint64_t
+workloadFingerprint(const std::vector<sim::IoRequest>& workload)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const auto& req : workload) {
+        std::uint64_t words[5];
+        sim::packIoRequest(req, words);
+        hash = snap::fnv1a64(words, sizeof words, hash);
+    }
+    return hash;
+}
+
 /// One thermal model stands in for every (symmetric) member disk; disk 0
 /// supplies the measured VCM duty.
 thermal::DriveThermalConfig
@@ -51,6 +75,18 @@ thermalConfigFor(const CoSimConfig& config)
     tcfg.coolingScale =
         thermal::coolingScaleForPlatters(tcfg.geometry.platters);
     return tcfg;
+}
+
+/// printf-append onto a checkpoint description string.
+void
+appendf(std::string& out, const char* fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
 }
 
 } // namespace
@@ -115,15 +151,38 @@ CoSimEngine::start(const std::vector<sim::IoRequest>& workload)
         if (++completed_ == warmup_count_)
             system_.resetMetrics();
     });
-    for (const auto& req : workload)
-        system_.submit(req);
+    // The fingerprint covers the caller's order (what a resume will
+    // re-supply); the feed order is arrival order, stable so same-time
+    // requests keep the caller's order.
+    workload_hash_ = workloadFingerprint(workload);
+    workload_ = workload;
+    std::stable_sort(workload_.begin(), workload_.end(),
+                     [](const sim::IoRequest& a, const sim::IoRequest& b) {
+                         return a.arrival < b.arrival;
+                     });
+    // Prime the feed window before arming the periodic tasks, so the
+    // first arrivals take the lowest sequence numbers (as an eager
+    // submit would) and each control tick tops the window up from there.
+    feedArrivals(feedHorizon());
     // The DTM control loop is a periodic task in the kernel's thermal
     // domain: sensor sampling, governor decisions, and fault-player
     // updates all happen at the tick's timestamp, interleaved with the
     // storage domain's request events on the one shared clock.
     system_.events().schedulePeriodic(thermal_domain_,
                                       config_.controlIntervalSec,
+                                      "dtm.tick",
                                       [this]() { return tick(); });
+    // The checkpoint task is armed after the control loop, at the SAME
+    // period: at every coincident timestamp it fires second (the
+    // sequence number breaks the tie), captures the post-tick state, and
+    // stops exactly when the control loop does — so its last event never
+    // advances the clock past the bare run's horizon.  Its own counter
+    // decides which firings actually write (see checkpointTick).
+    if (ckpt_mgr_) {
+        system_.events().schedulePeriodic(
+            thermal_domain_, config_.controlIntervalSec,
+            "snap.checkpoint", [this]() { return checkpointTick(); });
+    }
 }
 
 bool
@@ -132,6 +191,11 @@ CoSimEngine::tick()
     const sim::SimTime now = system_.events().now();
     const double dt = now - last_tick_;
     last_tick_ = now;
+
+    // Top up the arrival feed window first: the window is two control
+    // intervals, so every arrival the kernel can reach before the next
+    // tick is already scheduled when this tick returns.
+    feedArrivals(feedHorizon());
 
     // Smooth the per-interval duty for governor decisions: raw 100 ms
     // windows swing between 0 and 1 on bursty traffic and would make the
@@ -191,10 +255,30 @@ CoSimEngine::tick()
                       "%zu/%zu requests done; releasing gates",
                       config_.maxSimulatedSec, completed_,
                       workload_size_);
+        // The control loop dies here but the kernel still drains every
+        // pending event; schedule the rest of the trace so the capped
+        // run completes the same request set an eager submit would.
+        feedArrivals(std::numeric_limits<double>::infinity());
         system_.gateAll(false);
         return false;
     }
     return true;
+}
+
+void
+CoSimEngine::feedArrivals(double until)
+{
+    while (feed_next_ < workload_.size() &&
+           workload_[feed_next_].arrival <= until) {
+        system_.submit(workload_[feed_next_]);
+        ++feed_next_;
+    }
+}
+
+double
+CoSimEngine::feedHorizon() const
+{
+    return system_.events().now() + 2.0 * config_.controlIntervalSec;
 }
 
 void
@@ -285,6 +369,10 @@ CoSimEngine::advanceToCompletion()
     HDDTHERM_REQUIRE(started_, "CoSimEngine::advanceToCompletion before "
                                "start");
     system_.runAll();
+    // A completed run leaves every queued checkpoint durable (and any
+    // writer-thread failure surfaces here, not in a destructor).
+    if (ckpt_mgr_)
+        ckpt_mgr_->flush();
 }
 
 bool
@@ -331,6 +419,321 @@ CoSimEngine::result() const
         result.meanVcmDuty = duty_weighted_ / result.simulatedSec;
     }
     return result;
+}
+
+void
+CoSimEngine::enableSnapshots()
+{
+    HDDTHERM_REQUIRE(!started_,
+                     "enable snapshots before CoSimEngine::start");
+    system_.events().enableSnapshots(true);
+}
+
+void
+CoSimEngine::enableCheckpoints(const snap::CheckpointPolicy& policy)
+{
+    HDDTHERM_REQUIRE(!started_,
+                     "enable checkpoints before CoSimEngine::start");
+    HDDTHERM_REQUIRE(policy.everySec > 0.0,
+                     "standalone checkpoint cadence is everySec "
+                     "(everyEpochs is a fleet concept)");
+    enableSnapshots();
+    ckpt_mgr_.emplace(policy);
+    // The cadence is quantized to control ticks: the checkpoint task
+    // fires in lockstep with the control loop (see checkpointTick).
+    ckpt_every_ticks_ = std::max<std::uint64_t>(
+        1, std::uint64_t(std::llround(policy.everySec /
+                                      config_.controlIntervalSec)));
+    ckpt_ticks_left_ = ckpt_every_ticks_;
+}
+
+void
+CoSimEngine::saveSections(snap::CheckpointWriter& out,
+                          const std::string& prefix) const
+{
+    HDDTHERM_REQUIRE(started_,
+                     "CoSimEngine::saveSections before start: nothing "
+                     "is in flight yet");
+    {
+        snap::StateWriter w(prefix + "dtm.cosim");
+        w.u64("workload_size", workload_size_);
+        w.u64("workload_hash", workload_hash_);
+        w.u64("feed_next", feed_next_);
+        w.u64("completed", completed_);
+        w.u64("warmup_count", warmup_count_);
+        w.boolean("gated", gated_);
+        w.boolean("powered", powered_);
+        w.boolean("fail_safe", fail_safe_);
+        w.i64("invalid_run", invalid_run_);
+        w.f64("last_seek_total", last_seek_total_);
+        w.f64("duty_weighted", duty_weighted_);
+        w.f64("duty_ewma", duty_ewma_);
+        w.f64("temp_integral", temp_integral_);
+        w.f64("last_tick", last_tick_);
+        w.u64("ckpt_index", ckpt_index_);
+        w.u64("ckpt_ticks_left", ckpt_ticks_left_);
+        w.u64("speed_changes", partial_.speedChanges);
+        w.f64("max_temp_c", partial_.maxTempC);
+        w.f64("envelope_exceeded_sec", partial_.envelopeExceededSec);
+        w.f64("gated_sec", partial_.gatedSec);
+        w.u64("gate_events", partial_.gateEvents);
+        w.u64("invalid_readings", partial_.invalidReadings);
+        w.u64("fail_safe_activations", partial_.failSafeActivations);
+        w.f64("fail_safe_sec", partial_.failSafeSec);
+        out.addSection(std::move(w));
+    }
+    {
+        snap::StateWriter w(prefix + "sim.system");
+        system_.saveState(w);
+        out.addSection(std::move(w));
+    }
+    {
+        snap::StateWriter w(prefix + "thermal.model");
+        model_.saveState(w);
+        out.addSection(std::move(w));
+    }
+    if (fault_player_) {
+        snap::StateWriter w(prefix + "fault.player");
+        fault_player_->saveState(w);
+        out.addSection(std::move(w));
+    }
+    {
+        // Kernel last: its restore re-arms events against the modules
+        // above, which must already carry their saved state.
+        snap::StateWriter w(prefix + "engine.kernel");
+        system_.events().saveState(w);
+        out.addSection(std::move(w));
+    }
+}
+
+void
+CoSimEngine::loadSections(const snap::CheckpointReader& in,
+                          const std::vector<sim::IoRequest>& workload,
+                          const std::string& prefix)
+{
+    HDDTHERM_REQUIRE(!started_,
+                     "CoSimEngine::loadSections needs a freshly "
+                     "constructed engine");
+    system_.events().enableSnapshots(true);
+    {
+        auto r = in.section(prefix + "dtm.cosim");
+        workload_size_ = r.u64("workload_size");
+        workload_hash_ = r.u64("workload_hash");
+        feed_next_ = r.u64("feed_next");
+        completed_ = r.u64("completed");
+        warmup_count_ = r.u64("warmup_count");
+        gated_ = r.boolean("gated");
+        powered_ = r.boolean("powered");
+        fail_safe_ = r.boolean("fail_safe");
+        invalid_run_ = int(r.i64("invalid_run"));
+        last_seek_total_ = r.f64("last_seek_total");
+        duty_weighted_ = r.f64("duty_weighted");
+        duty_ewma_ = r.f64("duty_ewma");
+        temp_integral_ = r.f64("temp_integral");
+        last_tick_ = r.f64("last_tick");
+        ckpt_index_ = r.u64("ckpt_index");
+        ckpt_ticks_left_ = r.u64("ckpt_ticks_left");
+        partial_.speedChanges = r.u64("speed_changes");
+        partial_.maxTempC = r.f64("max_temp_c");
+        partial_.envelopeExceededSec = r.f64("envelope_exceeded_sec");
+        partial_.gatedSec = r.f64("gated_sec");
+        partial_.gateEvents = r.u64("gate_events");
+        partial_.invalidReadings = r.u64("invalid_readings");
+        partial_.failSafeActivations = r.u64("fail_safe_activations");
+        partial_.failSafeSec = r.f64("fail_safe_sec");
+        HDDTHERM_REQUIRE(r.atEnd(), "checkpoint section '" +
+                                        r.section() +
+                                        "' has trailing fields");
+    }
+    // The checkpoint carries only the feed cursor and a fingerprint; the
+    // caller re-supplies the trace.  Validate it is byte-for-byte the
+    // trace the checkpointed run was feeding before trusting the cursor.
+    HDDTHERM_REQUIRE(workload.size() == workload_size_,
+                     "checkpoint section '" + prefix +
+                         "dtm.cosim': re-supplied workload has " +
+                         std::to_string(workload.size()) +
+                         " requests, checkpoint expects " +
+                         std::to_string(workload_size_));
+    HDDTHERM_REQUIRE(workloadFingerprint(workload) == workload_hash_,
+                     "checkpoint section '" + prefix +
+                         "dtm.cosim': re-supplied workload does not match "
+                         "the checkpointed run's trace (fingerprint "
+                         "mismatch)");
+    HDDTHERM_REQUIRE(feed_next_ <= workload_size_,
+                     "checkpoint section '" + prefix +
+                         "dtm.cosim': feed cursor past the workload end");
+    workload_ = workload;
+    std::stable_sort(workload_.begin(), workload_.end(),
+                     [](const sim::IoRequest& a, const sim::IoRequest& b) {
+                         return a.arrival < b.arrival;
+                     });
+    {
+        auto r = in.section(prefix + "sim.system");
+        system_.loadState(r);
+    }
+    {
+        auto r = in.section(prefix + "thermal.model");
+        model_.loadState(r);
+    }
+    if (fault_player_) {
+        auto r = in.section(prefix + "fault.player");
+        fault_player_->loadState(r);
+    }
+    // The mutators the restored state implies have already been applied
+    // through loadState (RPM, gates, power); re-assert the gate from the
+    // restored control flags so both authorities agree.
+    applyGates();
+    started_ = true;
+    system_.setCompletionCallback([this](const sim::IoCompletion&) {
+        if (++completed_ == warmup_count_)
+            system_.resetMetrics();
+    });
+    {
+        auto r = in.section(prefix + "engine.kernel");
+        system_.events().loadState(
+            r,
+            [this](const snap::EventTag& tag) {
+                return system_.restoreEvent(tag);
+            },
+            [this](const std::string& name)
+                -> engine::SimKernel::PeriodicCallback {
+                if (name == "dtm.tick")
+                    return [this]() { return tick(); };
+                if (name == "snap.checkpoint")
+                    return [this]() { return checkpointTick(); };
+                return nullptr;
+            });
+    }
+}
+
+void
+CoSimEngine::restoreFromCheckpoint(const std::string& path,
+                                   const std::vector<sim::IoRequest>& workload)
+{
+    snap::CheckpointReader in(path);
+    HDDTHERM_REQUIRE(in.configHash() == checkpointConfigHash(config_),
+                     "checkpoint '" + path +
+                         "' was written under a different configuration "
+                         "(config hash mismatch)");
+    loadSections(in, workload);
+}
+
+std::string
+CoSimEngine::writeCheckpoint()
+{
+    const std::string path = queueCheckpoint();
+    // The public API is synchronous: the file exists when it returns.
+    ckpt_mgr_->flush();
+    return path;
+}
+
+std::string
+CoSimEngine::queueCheckpoint()
+{
+    HDDTHERM_REQUIRE(ckpt_mgr_.has_value(),
+                     "writeCheckpoint without enableCheckpoints");
+    // Bump the index first so the saved value is the *next* index: a
+    // resumed run then numbers its checkpoints exactly like the
+    // uninterrupted one.
+    const std::uint64_t index = ckpt_index_++;
+    snap::CheckpointWriter out(checkpointConfigHash(config_));
+    {
+        snap::StateWriter meta("meta");
+        meta.str("kind", "dtm.cosim");
+        meta.f64("sim_time", now());
+        out.addSection(std::move(meta));
+    }
+    saveSections(out);
+    return ckpt_mgr_->write(out, index);
+}
+
+bool
+CoSimEngine::checkpointTick()
+{
+    // A restored task in a run resumed without enableCheckpoints stays
+    // resolvable but dies on its first firing.
+    if (!ckpt_mgr_)
+        return false;
+    // Mirror tick()'s stop condition exactly: both tasks then die at the
+    // same timestamp and runAll() drains to the same final time as a
+    // run without checkpointing.
+    if (finished() || system_.events().now() >= config_.maxSimulatedSec)
+        return false;
+    if (--ckpt_ticks_left_ == 0) {
+        // Reset before writing so the saved countdown is the full
+        // period, as the resumed run must observe it.  The periodic path
+        // queues without flushing: the fsync overlaps simulation.
+        ckpt_ticks_left_ = ckpt_every_ticks_;
+        queueCheckpoint();
+        HDDTHERM_OBS_COUNT("snap.checkpoint.written");
+    }
+    return true;
+}
+
+std::string
+checkpointDescription(const CoSimConfig& config)
+{
+    std::string d = "cosim-v1";
+    appendf(d, "|policy=%s", dtmPolicyName(config.policy));
+    appendf(d, "|envelope=%.17g", config.envelopeC);
+    appendf(d, "|gate=%.17g|resume=%.17g", config.gateThresholdC,
+            config.resumeThresholdC);
+    appendf(d, "|low_rpm=%.17g", config.lowRpm);
+    d += "|ladder=";
+    for (double rpm : config.rpmLadder)
+        appendf(d, "%.17g,", rpm);
+    appendf(d, "|ambient=%.17g", config.ambientC);
+    d += "|ambient_profile=";
+    for (const auto& [t, c] : config.ambientProfile)
+        appendf(d, "%.17g:%.17g,", t, c);
+    appendf(d, "|control=%.17g|thermal_dt=%.17g",
+            config.controlIntervalSec, config.thermalDtSec);
+    appendf(d, "|steady_start=%d", config.startAtSteadyState ? 1 : 0);
+    appendf(d, "|max_sec=%.17g|warmup=%.17g", config.maxSimulatedSec,
+            config.warmupFraction);
+    appendf(d, "|fail_safe_ticks=%d", config.failSafeInvalidTicks);
+
+    const sim::SystemConfig& sys = config.system;
+    appendf(d, "|disks=%d|raid=%d|stripe=%d", sys.disks, int(sys.raid),
+            sys.stripeSectors);
+    appendf(d, "|wb=%d:%.17g", sys.immediateWriteReport ? 1 : 0,
+            sys.writeReportLatencyMs);
+    const sim::DiskConfig& disk = sys.disk;
+    appendf(d, "|geom=%.17g:%.17g:%d:%.17g", disk.geometry.diameterInches,
+            disk.geometry.innerRatio, disk.geometry.platters,
+            disk.geometry.strokeEfficiency);
+    appendf(d, "|tech=%.17g:%.17g|zones=%d|rpm=%.17g", disk.tech.bpi,
+            disk.tech.tpi, disk.zones, disk.rpm);
+    if (disk.seekProfile) {
+        appendf(d, "|seek=%.17g:%.17g:%.17g",
+                disk.seekProfile->trackToTrackMs, disk.seekProfile->averageMs,
+                disk.seekProfile->fullStrokeMs);
+    } else {
+        d += "|seek=default";
+    }
+    appendf(d, "|head_switch=%.17g|overhead=%.17g|bus=%.17g",
+            disk.headSwitchMs, disk.controllerOverheadMs, disk.busMBps);
+    appendf(d, "|cache=%zu:%d:%d", disk.cacheBytes, disk.cacheSegments,
+            disk.readAheadToTrackEnd ? 1 : 0);
+    appendf(d, "|sched=%s", sim::schedulerPolicyName(disk.scheduler));
+    appendf(d, "|rpm_change=%.17g|idle_gaps=%d", disk.rpmChangeSecPerKrpm,
+            disk.recordIdleGaps ? 1 : 0);
+
+    appendf(d, "|noise_seed=%llu",
+            static_cast<unsigned long long>(config.faults.noiseSeed()));
+    d += "|faults=";
+    for (const auto& e : config.faults.events()) {
+        appendf(d, "%.17g:%d:%.17g:%.17g:%d,", e.timeSec, int(e.kind),
+                e.value, e.durationSec, e.target);
+    }
+    return d;
+}
+
+std::uint64_t
+checkpointConfigHash(const CoSimConfig& config)
+{
+    const std::string d = checkpointDescription(config);
+    return snap::fnv1a64(d.data(), d.size());
 }
 
 fault::EmergencyReport

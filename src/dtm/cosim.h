@@ -13,7 +13,9 @@
 #ifndef HDDTHERM_DTM_COSIM_H
 #define HDDTHERM_DTM_COSIM_H
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "dtm/governor.h"
@@ -21,6 +23,7 @@
 #include "fault/fault_player.h"
 #include "fault/fault_schedule.h"
 #include "sim/storage_system.h"
+#include "snap/checkpoint.h"
 #include "thermal/drive_thermal.h"
 #include "util/interp.h"
 
@@ -139,7 +142,15 @@ class CoSimEngine
   public:
     explicit CoSimEngine(const CoSimConfig& config);
 
-    /// Submit the whole workload and arm the DTM control loop.  Call once.
+    /**
+     * Take ownership of the workload and arm the DTM control loop.  Call
+     * once.  Arrivals are fed to the storage system lazily, a control
+     * interval ahead of the clock, so the kernel's pending-event set — and
+     * therefore a checkpoint — stays O(live traffic) instead of O(whole
+     * remaining trace).  Feeding order is the arrival order (ties keep
+     * the caller's order), which is also the submission order an eager
+     * submit of a time-sorted trace would use.
+     */
     void start(const std::vector<sim::IoRequest>& workload);
 
     /// Run events up to simulated time @p t (the clock advances to @p t
@@ -198,10 +209,87 @@ class CoSimEngine
     /// Configuration in force.
     const CoSimConfig& config() const { return config_; }
 
+    /// @name Checkpoint/restore (docs/checkpoint.md)
+    /// @{
+
+    /**
+     * Turn on the kernel's snapshot bookkeeping so an external
+     * coordinator (the fleet) can capture this engine's state with
+     * saveSections().  Must be called before start().
+     */
+    void enableSnapshots();
+
+    /**
+     * Standalone checkpointing: every policy.everySec simulated seconds
+     * a crash-consistent checkpoint of the whole engine is written to
+     * policy.directory (policy.everyEpochs is a fleet cadence and must
+     * be zero here).  Must be called before start(); implies
+     * enableSnapshots().
+     */
+    void enableCheckpoints(const snap::CheckpointPolicy& policy);
+
+    /**
+     * Append every stateful module to @p out as sections named
+     * "<prefix>dtm.cosim", "<prefix>sim.system", "<prefix>thermal.model",
+     * "<prefix>fault.player" (faulted runs only) and — last —
+     * "<prefix>engine.kernel".  The fleet passes "bay.<i>/" prefixes;
+     * standalone checkpoints use the empty prefix.  Requires start().
+     */
+    void saveSections(snap::CheckpointWriter& out,
+                      const std::string& prefix = {}) const;
+
+    /**
+     * Restore sections written by saveSections() into this engine, which
+     * must be freshly constructed from the identical configuration and
+     * not yet started.  @p workload re-supplies the run's workload —
+     * checkpoints deliberately do not embed the trace (it is a pure
+     * function of the configuration seed and can be arbitrarily long);
+     * instead they record its fingerprint, and restore validates the
+     * re-supplied trace against it.  Afterwards the engine behaves as
+     * started: the workload is in flight and
+     * advanceTo()/advanceToCompletion() produce bit-identical results to
+     * the uninterrupted run.
+     */
+    void loadSections(const snap::CheckpointReader& in,
+                      const std::vector<sim::IoRequest>& workload,
+                      const std::string& prefix = {});
+
+    /// Restore from a checkpoint file after validating its config hash
+    /// against this engine's configuration.  @p workload re-supplies the
+    /// run's workload (see loadSections).
+    void restoreFromCheckpoint(const std::string& path,
+                               const std::vector<sim::IoRequest>& workload);
+
+    /// Write one checkpoint now (needs enableCheckpoints); synchronous —
+    /// the returned file path exists when the call returns.
+    std::string writeCheckpoint();
+
+    /// Index the next checkpoint will be written under (survives
+    /// resume, so a continued run numbers checkpoints like the
+    /// uninterrupted one).
+    std::uint64_t checkpointIndex() const { return ckpt_index_; }
+
+    /// @}
+
   private:
     /// One control tick; returns true while the periodic task should
     /// keep firing (workload unfinished and safety cap not reached).
     bool tick();
+    /// Periodic "snap.checkpoint" task body.  Fires at every control
+    /// interval in lockstep with tick() (writing only every
+    /// ckpt_every_ticks_ firings) and mirrors tick()'s stop condition,
+    /// so it dies at the same timestamp as the control loop and a
+    /// checkpointed run's event horizon — and therefore its result — is
+    /// identical to a bare run's.
+    bool checkpointTick();
+    /// Serialize and queue one checkpoint without waiting for the file
+    /// to land (the periodic path; see snap::CheckpointManager).
+    std::string queueCheckpoint();
+    /// Submit every not-yet-fed request with arrival <= @p until.
+    void feedArrivals(double until);
+    /// Feed horizon for the current clock: two control intervals ahead,
+    /// so no tick can reach an arrival before the previous tick fed it.
+    double feedHorizon() const;
     void decidePolicy(const fault::SensorReading& reading);
     void enterFailSafeFloor();
     /// One gate authority: the disks are gated while the policy says so
@@ -218,6 +306,13 @@ class CoSimEngine
     std::optional<fault::FaultPlayer> fault_player_;
 
     CoSimResult partial_;
+    /// The run's workload, arrival-sorted (stable), fed lazily.
+    std::vector<sim::IoRequest> workload_;
+    /// Next workload_ index to submit.
+    std::size_t feed_next_ = 0;
+    /// Fingerprint of the caller-order workload; checkpoints carry it so
+    /// restore can validate the re-supplied trace.
+    std::uint64_t workload_hash_ = 0;
     std::size_t workload_size_ = 0;
     std::size_t completed_ = 0;
     std::size_t warmup_count_ = 0;
@@ -231,7 +326,23 @@ class CoSimEngine
     double duty_ewma_ = 0.0;
     double temp_integral_ = 0.0;
     sim::SimTime last_tick_ = 0.0;
+    std::optional<snap::CheckpointManager> ckpt_mgr_;
+    std::uint64_t ckpt_index_ = 0;
+    /// Checkpoint cadence in control ticks (everySec quantized).
+    std::uint64_t ckpt_every_ticks_ = 0;
+    /// Control ticks left until the next checkpoint write.
+    std::uint64_t ckpt_ticks_left_ = 0;
 };
+
+/**
+ * Canonical textual description of a configuration; its FNV-1a hash is
+ * the checkpoint header's config hash.  Two configurations with equal
+ * descriptions restore each other's checkpoints.
+ */
+std::string checkpointDescription(const CoSimConfig& config);
+
+/// FNV-1a hash of checkpointDescription().
+std::uint64_t checkpointConfigHash(const CoSimConfig& config);
 
 /// Joins a StorageSystem with the calibrated drive thermal model.
 class CoSimulation

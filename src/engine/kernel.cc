@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "snap/state.h"
 #include "util/error.h"
 
 namespace hddtherm::engine {
@@ -66,6 +67,20 @@ SimKernel::domainPriority(DomainId id) const
 void
 SimKernel::schedule(SimTime when, DomainId domain, Callback cb)
 {
+    scheduleImpl(when, domain, nullptr, std::move(cb));
+}
+
+void
+SimKernel::schedule(SimTime when, DomainId domain,
+                    const snap::EventTag& tag, Callback cb)
+{
+    scheduleImpl(when, domain, &tag, std::move(cb));
+}
+
+void
+SimKernel::scheduleImpl(SimTime when, DomainId domain,
+                        const snap::EventTag* tag, Callback cb)
+{
     HDDTHERM_REQUIRE(when >= now_, "cannot schedule into the past");
     HDDTHERM_REQUIRE(domain >= 0 && domain < domainCount(),
                      "unknown domain id");
@@ -77,6 +92,12 @@ SimKernel::schedule(SimTime when, DomainId domain, Callback cb)
              domains_[std::size_t(domain)].key_base |
                  (next_seq_++ << kDomainBits),
              std::move(cb)};
+    if (snapshots_) {
+        if (tag)
+            tags_.insert(seqOf(ev.key), *tag);
+        else
+            ++untagged_pending_;
+    }
     if (sink_)
         emit(TraceKind::Scheduled, ev);
     heap_.push(std::move(ev));
@@ -93,11 +114,25 @@ void
 SimKernel::schedulePeriodic(DomainId domain, SimTime period,
                             PeriodicCallback cb)
 {
+    schedulePeriodic(domain, period, std::string(), std::move(cb));
+}
+
+void
+SimKernel::schedulePeriodic(DomainId domain, SimTime period,
+                            std::string name, PeriodicCallback cb)
+{
     HDDTHERM_REQUIRE(period > 0.0, "period must be positive");
     HDDTHERM_REQUIRE(bool(cb), "missing periodic callback");
-    periodic_.push_back({domain, period, std::move(cb)});
+    HDDTHERM_REQUIRE(!snapshots_ || !name.empty(),
+                     "a snapshot-enabled kernel requires named periodic "
+                     "tasks");
+    periodic_.push_back({domain, period, std::move(cb), std::move(name)});
     const std::size_t index = periodic_.size() - 1;
-    schedule(now_ + period, domain, [this, index] { firePeriodic(index); });
+    snap::EventTag tag;
+    tag.kind = snap::kEvtPeriodic;
+    tag.aux = std::uint32_t(index);
+    schedule(now_ + period, domain, tag,
+             [this, index] { firePeriodic(index); });
 }
 
 void
@@ -108,14 +143,20 @@ SimKernel::firePeriodic(std::size_t index)
     // inline-stored closure would otherwise be destroyed while
     // executing) and the task is re-indexed after it returns.
     PeriodicCallback cb = std::move(periodic_[index].cb);
+    const std::size_t prev_firing = firing_periodic_;
+    firing_periodic_ = index;
     const bool keep = cb();
+    firing_periodic_ = prev_firing;
     if (!keep) {
         periodic_[index].cb = nullptr; // captured state dies with cb
         return;
     }
     PeriodicTask& task = periodic_[index];
     task.cb = std::move(cb);
-    schedule(now_ + task.period, task.domain,
+    snap::EventTag tag;
+    tag.kind = snap::kEvtPeriodic;
+    tag.aux = std::uint32_t(index);
+    schedule(now_ + task.period, task.domain, tag,
              [this, index] { firePeriodic(index); });
 }
 
@@ -132,6 +173,10 @@ SimKernel::runNext()
     heap_.pop();
     now_ = ev.when;
     ++fired_;
+    if (snapshots_) {
+        if (!tags_.erase(seqOf(ev.key)))
+            --untagged_pending_;
+    }
     if (sink_)
         emit(TraceKind::Fired, ev);
     ev.cb();
@@ -151,6 +196,217 @@ void
 SimKernel::runAll()
 {
     while (runNext()) {
+    }
+}
+
+void
+SimKernel::enableSnapshots(bool on)
+{
+    if (on == snapshots_)
+        return;
+    HDDTHERM_REQUIRE(heap_.empty() && periodic_.empty(),
+                     "snapshot bookkeeping must be toggled on an idle "
+                     "kernel (before any event or periodic task exists)");
+    snapshots_ = on;
+    tags_.clear();
+    untagged_pending_ = 0;
+}
+
+void
+SimKernel::saveState(snap::StateWriter& w) const
+{
+    HDDTHERM_REQUIRE(snapshots_,
+                     "cannot save kernel state: snapshots are not enabled "
+                     "on this kernel");
+    HDDTHERM_REQUIRE(untagged_pending_ == 0,
+                     "cannot save kernel state: " +
+                         std::to_string(untagged_pending_) +
+                         " pending event(s) were scheduled without a "
+                         "snapshot tag and cannot be reconstructed");
+
+    w.f64("kernel.now", now_);
+    w.u64("kernel.next_seq", next_seq_);
+    w.u64("kernel.fired", fired_);
+
+    // Domains are saved for validation only: restore requires the new
+    // kernel to have registered the identical domain table, which a
+    // rebuild from the same configuration guarantees.
+    w.u64("kernel.domains", domains_.size());
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        snap::ScopedPrefix scope(w, "domain" + std::to_string(i));
+        w.str("name", domains_[i].name);
+        w.i64("priority", domains_[i].priority);
+    }
+
+    // Dead tasks stay in the table so live indices — which pending
+    // kEvtPeriodic events reference through their aux field — survive
+    // the round trip unchanged.
+    w.u64("kernel.tasks", periodic_.size());
+    for (std::size_t i = 0; i < periodic_.size(); ++i) {
+        const PeriodicTask& task = periodic_[i];
+        // The task whose callback is executing right now (typically the
+        // checkpoint writer itself) has its callable moved out for the
+        // call, but it is very much alive.
+        const bool alive = bool(task.cb) || i == firing_periodic_;
+        HDDTHERM_REQUIRE(!alive || !task.name.empty(),
+                         "cannot save kernel state: a live periodic task "
+                         "has no name to restore it by");
+        snap::ScopedPrefix scope(w, "task" + std::to_string(i));
+        w.str("name", task.name);
+        w.u64("domain", std::uint64_t(task.domain));
+        w.f64("period", task.period);
+        w.boolean("alive", alive);
+    }
+
+    // The in-flight firing's re-fire event is scheduled only after its
+    // callback returns, so it is absent from the heap below; record which
+    // task is mid-firing so loadState() can re-arm it.  The re-arm
+    // consumes the next sequence number — exactly the one the
+    // uninterrupted run's post-return reschedule takes — so tie-break
+    // order stays bit-identical.  (This is also why a task that
+    // checkpoints from inside its own firing must keep ticking: a false
+    // return would leave the restored run with a re-fire the original
+    // never scheduled.)
+    w.u64("kernel.firing_task", firing_periodic_ == kNoTask
+                                    ? std::uint64_t(-1)
+                                    : std::uint64_t(firing_periodic_));
+
+    // Draining a copy of the heap yields events in exact fire order, so
+    // identical kernel states serialize to identical bytes regardless of
+    // the heap array's internal layout.
+    w.u64("kernel.events", heap_.size());
+    snap::BlobWriter blob;
+    blob.reserve(heap_.size() * 72);
+    auto copy = heap_;
+    while (!copy.empty()) {
+        const Event& ev = copy.top();
+        const snap::EventTag* tag = tags_.find(seqOf(ev.key));
+        HDDTHERM_ASSERT(tag != nullptr);
+        blob.f64(ev.when);
+        blob.u64(ev.key);
+        blob.u32(tag->kind);
+        blob.u32(tag->aux);
+        blob.words(tag->w.data(), tag->w.size());
+        copy.pop();
+    }
+    w.bytes("kernel.event_blob", blob.take());
+}
+
+void
+SimKernel::loadState(snap::StateReader& r, const EventResolver& events,
+                     const TaskResolver& tasks)
+{
+    HDDTHERM_REQUIRE(snapshots_,
+                     "enable snapshots before restoring a kernel");
+    HDDTHERM_REQUIRE(heap_.empty() && periodic_.empty() && fired_ == 0,
+                     "kernel restore requires a freshly built kernel");
+
+    now_ = r.f64("kernel.now");
+    next_seq_ = r.u64("kernel.next_seq");
+    fired_ = r.u64("kernel.fired");
+
+    const auto ndom = r.u64("kernel.domains");
+    HDDTHERM_REQUIRE(ndom == domains_.size(),
+                     "checkpoint section '" + r.section() +
+                         "': clock-domain count differs from this run's "
+                         "configuration");
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        snap::ScopedPrefix scope(r, "domain" + std::to_string(i));
+        const std::string name = r.str("name");
+        const auto priority = r.i64("priority");
+        HDDTHERM_REQUIRE(name == domains_[i].name &&
+                             priority == domains_[i].priority,
+                         "checkpoint section '" + r.section() +
+                             "': clock domain '" + name +
+                             "' does not match this run's configuration");
+    }
+
+    const auto ntask = r.u64("kernel.tasks");
+    for (std::size_t i = 0; i < ntask; ++i) {
+        snap::ScopedPrefix scope(r, "task" + std::to_string(i));
+        std::string name = r.str("name");
+        const auto domain = r.u64("domain");
+        const double period = r.f64("period");
+        const bool alive = r.boolean("alive");
+        HDDTHERM_REQUIRE(domain < std::uint64_t(domainCount()),
+                         "checkpoint section '" + r.section() +
+                             "': periodic task references an unknown "
+                             "clock domain");
+        PeriodicCallback cb;
+        if (alive) {
+            HDDTHERM_REQUIRE(bool(tasks),
+                             "checkpoint section '" + r.section() +
+                                 "': no task resolver provided for "
+                                 "periodic task '" + name + "'");
+            cb = tasks(name);
+            HDDTHERM_REQUIRE(bool(cb),
+                             "checkpoint section '" + r.section() +
+                                 "': the task resolver cannot rebuild "
+                                 "periodic task '" + name + "'");
+        }
+        periodic_.push_back(
+            {DomainId(domain), period, std::move(cb), std::move(name)});
+    }
+
+    const auto firing = r.u64("kernel.firing_task");
+
+    const auto nevents = r.u64("kernel.events");
+    const auto raw = r.bytes("kernel.event_blob");
+    snap::BlobReader blob("section '" + r.section() + "' events", raw);
+    for (std::uint64_t e = 0; e < nevents; ++e) {
+        const double when = blob.f64();
+        const std::uint64_t key = blob.u64();
+        snap::EventTag tag;
+        tag.kind = blob.u32();
+        tag.aux = blob.u32();
+        for (auto& word : tag.w)
+            word = blob.u64();
+
+        Callback cb;
+        if (tag.kind == snap::kEvtPeriodic) {
+            const std::size_t index = tag.aux;
+            HDDTHERM_REQUIRE(index < periodic_.size() &&
+                                 bool(periodic_[index].cb),
+                             "checkpoint section '" + r.section() +
+                                 "': pending periodic event references a "
+                                 "dead or missing task");
+            cb = [this, index] { firePeriodic(index); };
+        } else {
+            HDDTHERM_REQUIRE(bool(events),
+                             "checkpoint section '" + r.section() +
+                                 "': no event resolver provided");
+            cb = events(tag);
+            HDDTHERM_REQUIRE(bool(cb),
+                             "checkpoint section '" + r.section() +
+                                 "': the event resolver cannot rebuild "
+                                 "an event of kind " +
+                                 std::to_string(tag.kind));
+        }
+        // Events keep their original keys (sequence numbers included),
+        // bypassing schedule(): tie-break order is restored exactly.
+        tags_.insert(seqOf(key), tag);
+        heap_.push(Event{when, key, std::move(cb)});
+    }
+    HDDTHERM_REQUIRE(blob.atEnd(), "checkpoint section '" + r.section() +
+                                       "' carries trailing event bytes");
+
+    // The checkpoint was written from inside this task's firing: its
+    // re-fire event post-dates the save.  Re-arm it through the normal
+    // schedule path, which assigns the same sequence number the
+    // uninterrupted run's reschedule did.
+    if (firing != std::uint64_t(-1)) {
+        const std::size_t index = std::size_t(firing);
+        HDDTHERM_REQUIRE(index < periodic_.size() &&
+                             bool(periodic_[index].cb),
+                         "checkpoint section '" + r.section() +
+                             "': the mid-firing periodic task is dead or "
+                             "missing");
+        const PeriodicTask& task = periodic_[index];
+        snap::EventTag tag;
+        tag.kind = snap::kEvtPeriodic;
+        tag.aux = std::uint32_t(index);
+        schedule(now_ + task.period, task.domain, tag,
+                 [this, index] { firePeriodic(index); });
     }
 }
 

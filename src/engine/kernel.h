@@ -38,7 +38,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/tag_map.h"
 #include "engine/trace.h"
+#include "snap/snapshot.h"
 
 namespace hddtherm::engine {
 
@@ -94,6 +96,15 @@ class SimKernel
     /// Schedule @p cb at @p when under clock domain @p domain.
     void schedule(SimTime when, DomainId domain, Callback cb);
 
+    /**
+     * Schedule @p cb at @p when under @p domain with a snapshot tag: a
+     * typed description from which the owning module rebuilds the exact
+     * callback on restore (see snap/snapshot.h).  While snapshots are
+     * disabled the tag is ignored and this is plain schedule().
+     */
+    void schedule(SimTime when, DomainId domain,
+                  const snap::EventTag& tag, Callback cb);
+
     /// Schedule @p cb at now() + @p delay.
     void scheduleAfter(SimTime delay, Callback cb)
     {
@@ -112,6 +123,15 @@ class SimKernel
      */
     void schedulePeriodic(DomainId domain, SimTime period,
                           PeriodicCallback cb);
+
+    /**
+     * Arm a *named* periodic task.  The name is the task's identity in a
+     * checkpoint: on restore, loadState() asks its TaskResolver to
+     * rebuild the callback for each saved name.  Snapshot-enabled
+     * kernels require every periodic task to be named.
+     */
+    void schedulePeriodic(DomainId domain, SimTime period,
+                          std::string name, PeriodicCallback cb);
 
     /// Pop and run the earliest event; returns false if the queue is empty.
     bool runNext();
@@ -144,6 +164,59 @@ class SimKernel
 
     /// Currently attached sink, or nullptr.
     TraceSink* traceSink() const { return sink_; }
+
+    /// @name Checkpoint/restore
+    /// @{
+
+    /// Rebuilds the callback of one tagged event on restore.
+    using EventResolver = std::function<Callback(const snap::EventTag&)>;
+
+    /// Rebuilds the callback of one named periodic task on restore.
+    using TaskResolver =
+        std::function<PeriodicCallback(const std::string&)>;
+
+    /**
+     * Turn snapshot bookkeeping on or off.  Must be called before any
+     * event or periodic task exists — tags are recorded at schedule
+     * time, so a late enable would leave untrackable events behind.
+     * While enabled, every pending event carries its tag in a side
+     * table and untagged events are merely *counted*: they are legal,
+     * but saveState() refuses to run until they have fired.
+     */
+    void enableSnapshots(bool on);
+
+    /// True if snapshot bookkeeping is active.
+    bool snapshotsEnabled() const { return snapshots_; }
+
+    /// Pending events scheduled without a tag (0 is required to save).
+    std::size_t untaggedPending() const { return untagged_pending_; }
+
+    /**
+     * Serialize clocks, the periodic-task table, and every pending
+     * event (as its tag, in canonical (when, key) order).  Requires
+     * snapshots enabled, zero untagged pending events, and a name on
+     * every live periodic task — violations throw util::ModelError
+     * rather than silently dropping state.
+     */
+    void saveState(snap::StateWriter& w) const;
+
+    /**
+     * Restore a kernel saved by saveState().  Must be called on an idle
+     * kernel (no events, no periodic tasks) whose registered domains
+     * exactly match the saved run — modules register domains during
+     * construction, so rebuilding the object graph from the same config
+     * satisfies this.  Pending events are re-enqueued with their
+     * *original* heap keys and the sequence counter resumes where it
+     * left off, so tie-breaking — and therefore the simulation — is
+     * bit-identical to the uninterrupted run.  @p events rebuilds
+     * module-owned callbacks from their tags; @p tasks rebuilds named
+     * periodic callbacks (periodic re-fire events are handled
+     * internally).
+     */
+    void loadState(snap::StateReader& r, const EventResolver& events,
+                   const TaskResolver& tasks);
+
+    /// @}
 
   private:
     /**
@@ -183,18 +256,43 @@ class SimKernel
         DomainId domain;
         SimTime period;
         PeriodicCallback cb;
+        std::string name; ///< Checkpoint identity ("" = unnamed).
     };
 
     void firePeriodic(std::size_t index);
     void emit(TraceKind kind, const Event& ev);
+    void scheduleImpl(SimTime when, DomainId domain,
+                      const snap::EventTag* tag, Callback cb);
+
+    /// Sequence number packed inside an event key (unique per event).
+    static std::uint64_t seqOf(std::uint64_t key)
+    {
+        return (key >> kDomainBits) &
+               ((std::uint64_t(1) << kSeqBits) - 1);
+    }
+
+    /// Sentinel for firing_periodic_: no periodic callback in flight.
+    static constexpr std::size_t kNoTask = std::size_t(-1);
 
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
     std::vector<Domain> domains_;
     std::vector<PeriodicTask> periodic_;
+    /// Index of the periodic task currently executing (kNoTask outside a
+    /// firing).  saveState() needs it: a checkpoint written from inside a
+    /// periodic callback — the normal case, the checkpoint writer IS a
+    /// periodic task — must count that task as alive and note that its
+    /// re-fire event does not exist yet (it is scheduled only after the
+    /// callback returns), so loadState() can reconstruct it.
+    std::size_t firing_periodic_ = kNoTask;
     TraceSink* sink_ = nullptr;
     SimTime now_ = 0.0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t fired_ = 0;
+
+    /// Snapshot side table: sequence number -> tag of the pending event.
+    EventTagMap tags_;
+    std::size_t untagged_pending_ = 0;
+    bool snapshots_ = false;
 };
 
 } // namespace hddtherm::engine

@@ -1,6 +1,8 @@
 #include "fault/fault_player.h"
 
 #include "obs/metrics.h"
+#include "snap/state.h"
+#include "util/error.h"
 
 namespace hddtherm::fault {
 
@@ -53,6 +55,41 @@ FaultPlayer::sense(double t, double true_temp_c)
     if (noisy)
         HDDTHERM_OBS_COUNT("fault.sense.noisy");
     return {reported, true};
+}
+
+void
+FaultPlayer::saveState(snap::StateWriter& w) const
+{
+    noise_rng_.saveState(w);
+    std::vector<std::uint64_t> has;
+    std::vector<double> vals;
+    has.reserve(stuck_latch_.size());
+    vals.reserve(stuck_latch_.size());
+    for (const auto& latch : stuck_latch_) {
+        has.push_back(latch ? 1 : 0);
+        vals.push_back(latch ? *latch : 0.0);
+    }
+    w.u64vec("stuck_has", has);
+    w.f64vec("stuck_vals", vals);
+}
+
+void
+FaultPlayer::loadState(snap::StateReader& r)
+{
+    noise_rng_.loadState(r);
+    const auto has = r.u64vec("stuck_has");
+    const auto vals = r.f64vec("stuck_vals");
+    HDDTHERM_REQUIRE(has.size() == stuck_latch_.size() &&
+                         vals.size() == stuck_latch_.size(),
+                     "checkpoint section '" + r.section() +
+                         "': stuck-latch count does not match this run's "
+                         "fault schedule");
+    for (std::size_t i = 0; i < stuck_latch_.size(); ++i) {
+        if (has[i])
+            stuck_latch_[i] = vals[i];
+        else
+            stuck_latch_[i].reset();
+    }
 }
 
 } // namespace hddtherm::fault

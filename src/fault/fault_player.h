@@ -31,6 +31,11 @@
 #include "fault/fault_schedule.h"
 #include "util/random.h"
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::fault {
 
 /// One sensor sample as the DTM controller sees it.
@@ -77,6 +82,13 @@ class FaultPlayer
 
     /// Schedule being replayed.
     const FaultSchedule& schedule() const { return schedule_; }
+
+    /// Serialize the noise stream and stuck latches (the schedule itself
+    /// is configuration and is not saved).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore state written by saveState against the same schedule.
+    void loadState(snap::StateReader& r);
 
   private:
     FaultSchedule schedule_;

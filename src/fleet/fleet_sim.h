@@ -31,12 +31,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fleet/chassis_thermal.h"
 #include "fleet/shard_executor.h"
 #include "fleet/topology.h"
 #include "sim/metrics.h"
+#include "snap/checkpoint.h"
 
 namespace hddtherm::engine {
 class TraceSink;
@@ -96,9 +98,29 @@ class FleetSimulation
      * kernel's "fleet-epoch" domain (one event per ambient-sync
      * barrier).  Tracing never changes results: aggregates stay
      * bit-identical with or without a sink, for every thread count.
+     *
+     * @p checkpoints, when non-null, arms crash-consistent fleet
+     * checkpointing: every policy.everyEpochs barriers (policy.everySec
+     * must be 0 — the fleet cadence is epoch-based) the whole fleet
+     * state is written to policy.directory.  Checkpointing never changes
+     * results either (see docs/checkpoint.md).
      */
     FleetResult run(int threads = 1,
-                    engine::TraceSink* epoch_trace = nullptr);
+                    engine::TraceSink* epoch_trace = nullptr,
+                    const snap::CheckpointPolicy* checkpoints = nullptr);
+
+    /**
+     * Resume a run from @p checkpoint_path (written by run() with
+     * checkpointing armed, against an equal configuration — the config
+     * hash is validated) and carry it to completion.  The aggregated
+     * result is bit-identical to the uninterrupted run's for every
+     * thread count; ShardExecutor::Stats are scheduling counters and
+     * restart from zero.  Pass @p checkpoints to keep checkpointing the
+     * resumed run (indices continue where the parent left off).
+     */
+    FleetResult resume(const std::string& checkpoint_path, int threads = 1,
+                       engine::TraceSink* epoch_trace = nullptr,
+                       const snap::CheckpointPolicy* checkpoints = nullptr);
 
     /// Configuration in force.
     const FleetConfig& config() const { return config_; }
@@ -106,6 +128,14 @@ class FleetSimulation
   private:
     FleetConfig config_;
 };
+
+/// Canonical textual description of a fleet configuration (embeds the
+/// bay template's dtm::checkpointDescription); its FNV-1a hash is the
+/// fleet checkpoint's config hash.
+std::string checkpointDescription(const FleetConfig& config);
+
+/// FNV-1a hash of checkpointDescription().
+std::uint64_t checkpointConfigHash(const FleetConfig& config);
 
 } // namespace hddtherm::fleet
 

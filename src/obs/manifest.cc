@@ -93,7 +93,12 @@ toJson(const RunManifest& manifest)
         << std::dec << "\",\n"
         << "  \"wall_sec\": " << manifest.wallSec << ",\n"
         << "  \"started_utc\": \"" << jsonEscape(manifest.startedUtc)
-        << "\"\n"
+        << "\",\n"
+        << "  \"resume_from\": \"" << jsonEscape(manifest.resumeFrom)
+        << "\",\n"
+        << "  \"resume_config_hash\": \"" << std::hex
+        << manifest.resumeConfigHash << std::dec << "\",\n"
+        << "  \"resume_epoch\": " << manifest.resumeEpoch << "\n"
         << "}\n";
     return out.str();
 }
@@ -126,6 +131,9 @@ BenchRun::manifest() const
                     std::chrono::steady_clock::now() - start_)
                     .count();
     m.startedUtc = started_utc_;
+    m.resumeFrom = resume_from_;
+    m.resumeConfigHash = resume_config_hash_;
+    m.resumeEpoch = resume_epoch_;
     return m;
 }
 

@@ -40,6 +40,15 @@ struct RunManifest
     std::uint64_t configHash = 0; ///< fnv1a64(config).
     double wallSec = 0.0;        ///< Host wall time of the run.
     std::string startedUtc;      ///< Start timestamp, UTC ISO-8601.
+
+    /// @name Resume lineage (runs continued from a checkpoint).
+    /// Empty/zero for runs started from scratch.
+    /// @{
+    std::string resumeFrom;      ///< Parent checkpoint file path.
+    /// The parent checkpoint's embedded config hash (snap header).
+    std::uint64_t resumeConfigHash = 0;
+    std::uint64_t resumeEpoch = 0; ///< Fleet epoch counter at resume.
+    /// @}
 };
 
 /// Serialize @p manifest as a flat JSON object (stable key order).
@@ -62,6 +71,16 @@ class BenchRun
     /// Note a parameter summary; its hash lands in the manifest.
     void setConfig(std::string summary) { config_ = std::move(summary); }
 
+    /// Note that this run resumed from a checkpoint: the parent file,
+    /// its embedded config hash, and the epoch counter restored from it.
+    void setResume(std::string checkpoint_path, std::uint64_t config_hash,
+                   std::uint64_t epoch)
+    {
+        resume_from_ = std::move(checkpoint_path);
+        resume_config_hash_ = config_hash;
+        resume_epoch_ = epoch;
+    }
+
     /// Manifest snapshot (wall time = elapsed since construction).
     RunManifest manifest() const;
 
@@ -80,6 +99,9 @@ class BenchRun
     std::string config_;
     std::chrono::steady_clock::time_point start_;
     std::string started_utc_;
+    std::string resume_from_;
+    std::uint64_t resume_config_hash_ = 0;
+    std::uint64_t resume_epoch_ = 0;
 };
 
 } // namespace hddtherm::obs

@@ -1,6 +1,7 @@
 #include "sim/cache.h"
 
 #include <algorithm>
+#include "snap/state.h"
 
 #include "obs/metrics.h"
 #include "util/error.h"
@@ -64,6 +65,47 @@ void
 DiskCache::clear()
 {
     segments_.clear();
+}
+
+
+void
+DiskCache::saveState(snap::StateWriter& w) const
+{
+    // Front-to-back is MRU-to-LRU order; replaying install order on load
+    // reconstructs the recency list exactly.
+    snap::BlobWriter blob;
+    for (const auto& seg : segments_) {
+        blob.i64(seg.start);
+        blob.i64(seg.length);
+    }
+    w.u64("segments", segments_.size());
+    w.bytes("segment_blob", blob.take());
+    w.u64("read_hits", stats_.readHits);
+    w.u64("read_misses", stats_.readMisses);
+}
+
+void
+DiskCache::loadState(snap::StateReader& r)
+{
+    const auto count = r.u64("segments");
+    HDDTHERM_REQUIRE(count <= std::uint64_t(max_segments_),
+                     "checkpoint section '" + r.section() +
+                         "': cached segment count exceeds this cache's "
+                         "configuration");
+    const auto raw = r.bytes("segment_blob");
+    snap::BlobReader blob("section '" + r.section() + "' cache segments",
+                          raw);
+    segments_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Segment seg;
+        seg.start = blob.i64();
+        seg.length = blob.i64();
+        segments_.push_back(seg);
+    }
+    HDDTHERM_REQUIRE(blob.atEnd(), "checkpoint section '" + r.section() +
+                                       "' carries trailing cache bytes");
+    stats_.readHits = r.u64("read_hits");
+    stats_.readMisses = r.u64("read_misses");
 }
 
 } // namespace hddtherm::sim

@@ -16,6 +16,11 @@
 #include <list>
 #include <vector>
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::sim {
 
 /// Cache hit/miss statistics.
@@ -66,6 +71,12 @@ class DiskCache
 
     /// Number of segments currently holding data.
     int activeSegments() const { return int(segments_.size()); }
+
+    /// Serialize segment contents in recency order (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore contents written by saveState.
+    void loadState(snap::StateReader& r);
 
   private:
     struct Segment

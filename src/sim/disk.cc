@@ -1,7 +1,9 @@
 #include "sim/disk.h"
 
+#include <bit>
 #include <cmath>
 
+#include "snap/state.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -110,7 +112,10 @@ SimDisk::tryDispatch()
         // Spindle transition in progress: retry when it completes.
         if (!retry_scheduled_) {
             retry_scheduled_ = true;
-            events_.schedule(available_at_, domain_, [this] {
+            snap::EventTag tag;
+            tag.kind = snap::kEvtDiskRetry;
+            tag.aux = std::uint32_t(id_);
+            events_.schedule(available_at_, domain_, tag, [this] {
                 retry_scheduled_ = false;
                 tryDispatch();
             });
@@ -157,7 +162,12 @@ SimDisk::tryDispatch()
 
     activity_.busySec += service;
     const SimTime finish_time = now + service;
-    events_.schedule(finish_time, domain_,
+    snap::EventTag tag;
+    tag.kind = snap::kEvtDiskFinish;
+    tag.aux = std::uint32_t(id_);
+    packIoRequest(req, tag.w.data());
+    tag.w[5] = std::bit_cast<std::uint64_t>(finish_time);
+    events_.schedule(finish_time, domain_, tag,
                      [this, req, finish_time] { finish(req, finish_time); });
 }
 
@@ -176,6 +186,95 @@ SimDisk::finish(const IoRequest& request, SimTime finish_time)
     if (handler_)
         handler_(request, finish_time);
     tryDispatch();
+}
+
+void
+SimDisk::saveState(snap::StateWriter& w) const
+{
+    w.boolean("busy", busy_);
+    w.boolean("gated", gated_);
+    w.f64("idle_since", idle_since_);
+    w.i64("depth", depth_);
+    w.f64("depth_integral", depth_integral_);
+    w.f64("depth_changed_at", depth_changed_at_);
+    w.f64("available_at", available_at_);
+    w.f64("pending_rpm", pending_rpm_);
+    w.boolean("retry_scheduled", retry_scheduled_);
+    w.f64vec("idle_gaps", idle_gaps_);
+
+    w.f64("act.busy_sec", activity_.busySec);
+    w.f64("act.seek_sec", activity_.seekSec);
+    w.f64("act.rotation_sec", activity_.rotationSec);
+    w.f64("act.transfer_sec", activity_.transferSec);
+    w.u64("act.completions", activity_.completions);
+    w.u64("act.media_accesses", activity_.mediaAccesses);
+    w.u64("act.seeks", activity_.seeks);
+
+    {
+        snap::ScopedPrefix scope(w, "mech");
+        mechanics_.saveState(w);
+    }
+    {
+        snap::ScopedPrefix scope(w, "cache");
+        cache_.saveState(w);
+    }
+    {
+        snap::ScopedPrefix scope(w, "sched");
+        sched_.saveState(w);
+    }
+}
+
+void
+SimDisk::loadState(snap::StateReader& r)
+{
+    busy_ = r.boolean("busy");
+    gated_ = r.boolean("gated");
+    idle_since_ = r.f64("idle_since");
+    depth_ = int(r.i64("depth"));
+    depth_integral_ = r.f64("depth_integral");
+    depth_changed_at_ = r.f64("depth_changed_at");
+    available_at_ = r.f64("available_at");
+    pending_rpm_ = r.f64("pending_rpm");
+    retry_scheduled_ = r.boolean("retry_scheduled");
+    idle_gaps_ = r.f64vec("idle_gaps");
+
+    activity_.busySec = r.f64("act.busy_sec");
+    activity_.seekSec = r.f64("act.seek_sec");
+    activity_.rotationSec = r.f64("act.rotation_sec");
+    activity_.transferSec = r.f64("act.transfer_sec");
+    activity_.completions = r.u64("act.completions");
+    activity_.mediaAccesses = r.u64("act.media_accesses");
+    activity_.seeks = r.u64("act.seeks");
+
+    {
+        snap::ScopedPrefix scope(r, "mech");
+        mechanics_.loadState(r);
+    }
+    {
+        snap::ScopedPrefix scope(r, "cache");
+        cache_.loadState(r);
+    }
+    {
+        snap::ScopedPrefix scope(r, "sched");
+        sched_.loadState(r);
+    }
+}
+
+engine::SimKernel::Callback
+SimDisk::restoreEvent(const snap::EventTag& tag)
+{
+    if (tag.kind == snap::kEvtDiskRetry) {
+        return [this] {
+            retry_scheduled_ = false;
+            tryDispatch();
+        };
+    }
+    if (tag.kind == snap::kEvtDiskFinish) {
+        const IoRequest req = unpackIoRequest(tag.w.data());
+        const auto finish_time = std::bit_cast<SimTime>(tag.w[5]);
+        return [this, req, finish_time] { finish(req, finish_time); };
+    }
+    return nullptr;
 }
 
 } // namespace hddtherm::sim

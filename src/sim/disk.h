@@ -150,6 +150,21 @@ class SimDisk
     /// Configuration in force.
     const DiskConfig& config() const { return config_; }
 
+    /// @name Checkpoint/restore (driven by StorageSystem).
+    /// @{
+
+    /// Serialize dispatch state, mechanics, cache, queue, and counters.
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore state written by saveState.
+    void loadState(snap::StateReader& r);
+
+    /// Rebuild the callback of one of this disk's tagged pending events
+    /// (kEvtDiskFinish / kEvtDiskRetry).
+    engine::SimKernel::Callback restoreEvent(const snap::EventTag& tag);
+
+    /// @}
+
   private:
     void tryDispatch();
     void finish(const IoRequest& request, SimTime finish_time);

@@ -1,6 +1,7 @@
 #include "sim/mechanics.h"
 
 #include <cmath>
+#include "snap/state.h"
 
 #include "util/error.h"
 
@@ -97,6 +98,27 @@ DiskMechanics::service(const PhysicalAddress& addr, int sectors,
     }
     head_cylinder_ = cylinder;
     return out;
+}
+
+
+void
+DiskMechanics::saveState(snap::StateWriter& w) const
+{
+    w.f64("rpm", rpm_);
+    w.i64("head_cylinder", head_cylinder_);
+    w.f64("ref_time", ref_time_);
+    w.f64("ref_phase", ref_phase_);
+    w.i64("last_seek_distance", last_seek_distance_);
+}
+
+void
+DiskMechanics::loadState(snap::StateReader& r)
+{
+    rpm_ = r.f64("rpm");
+    head_cylinder_ = int(r.i64("head_cylinder"));
+    ref_time_ = r.f64("ref_time");
+    ref_phase_ = r.f64("ref_phase");
+    last_seek_distance_ = int(r.i64("last_seek_distance"));
 }
 
 } // namespace hddtherm::sim

@@ -14,6 +14,11 @@
 #include "sim/address_map.h"
 #include "sim/event.h"
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::sim {
 
 /// Decomposition of one mechanical service.
@@ -74,6 +79,12 @@ class DiskMechanics
 
     /// Seek distance (cylinders) the last service() call performed.
     int lastSeekDistance() const { return last_seek_distance_; }
+
+    /// Serialize head/spindle state (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore state written by saveState.
+    void loadState(snap::StateReader& r);
 
   private:
     const DiskAddressMap& map_;

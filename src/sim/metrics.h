@@ -50,6 +50,20 @@ class ResponseMetrics
     /// CDF over the paper's bins {5,10,20,40,60,90,120,150,200,200+} ms.
     const util::Histogram& histogram() const { return histogram_; }
 
+    /// Serialize both accumulators bitwise (checkpoint support).
+    void saveState(snap::StateWriter& w) const
+    {
+        stats_.saveState(w);
+        histogram_.saveState(w);
+    }
+
+    /// Restore accumulators written by saveState.
+    void loadState(snap::StateReader& r)
+    {
+        stats_.loadState(r);
+        histogram_.loadState(r);
+    }
+
   private:
     util::OnlineStats stats_;
     util::Histogram histogram_;

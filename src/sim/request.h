@@ -5,6 +5,8 @@
 #ifndef HDDTHERM_SIM_REQUEST_H
 #define HDDTHERM_SIM_REQUEST_H
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 #include "sim/event.h"
@@ -31,6 +33,35 @@ struct IoRequest
     /// True for writes.
     bool isWrite() const { return type == IoType::Write; }
 };
+
+/// @name Checkpoint packing.
+/// An IoRequest packs losslessly into five 64-bit words — the payload of
+/// snapshot event tags (snap::EventTag::w) and of blob-encoded queues.
+/// @{
+inline void
+packIoRequest(const IoRequest& r, std::uint64_t* w)
+{
+    w[0] = r.id;
+    w[1] = std::bit_cast<std::uint64_t>(r.arrival);
+    w[2] = std::uint64_t(r.lba);
+    w[3] = std::uint64_t(std::uint32_t(r.device)) << 32 |
+           std::uint32_t(r.sectors);
+    w[4] = r.isWrite() ? 1 : 0;
+}
+
+inline IoRequest
+unpackIoRequest(const std::uint64_t* w)
+{
+    IoRequest r;
+    r.id = w[0];
+    r.arrival = std::bit_cast<double>(w[1]);
+    r.lba = std::int64_t(w[2]);
+    r.device = int(std::int32_t(w[3] >> 32));
+    r.sectors = int(std::int32_t(std::uint32_t(w[3])));
+    r.type = w[4] ? IoType::Write : IoType::Read;
+    return r;
+}
+/// @}
 
 /// Completion record for one logical request.
 struct IoCompletion

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include "snap/state.h"
 
 #include "obs/metrics.h"
 #include "util/error.h"
@@ -86,6 +87,51 @@ Scheduler::pop(int head_cylinder)
     }
     HDDTHERM_ASSERT(false && "unknown scheduler policy");
     return take(queue_.begin());
+}
+
+
+void
+Scheduler::saveState(snap::StateWriter& w) const
+{
+    w.str("policy", schedulerPolicyName(policy_));
+    w.boolean("sweep_up", sweep_up_);
+    snap::BlobWriter blob;
+    for (const auto& entry : queue_) {
+        std::uint64_t words[5];
+        packIoRequest(entry.request, words);
+        for (const auto word : words)
+            blob.u64(word);
+        blob.i64(entry.cylinder);
+    }
+    w.u64("queued", queue_.size());
+    w.bytes("queue_blob", blob.take());
+}
+
+void
+Scheduler::loadState(snap::StateReader& r)
+{
+    const std::string policy = r.str("policy");
+    HDDTHERM_REQUIRE(policy == schedulerPolicyName(policy_),
+                     "checkpoint section '" + r.section() +
+                         "': scheduler policy '" + policy +
+                         "' does not match this run's configuration");
+    sweep_up_ = r.boolean("sweep_up");
+    const auto count = r.u64("queued");
+    const auto raw = r.bytes("queue_blob");
+    snap::BlobReader blob("section '" + r.section() + "' scheduler queue",
+                          raw);
+    queue_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t words[5];
+        for (auto& word : words)
+            word = blob.u64();
+        Entry entry;
+        entry.request = unpackIoRequest(words);
+        entry.cylinder = int(blob.i64());
+        queue_.push_back(std::move(entry));
+    }
+    HDDTHERM_REQUIRE(blob.atEnd(), "checkpoint section '" + r.section() +
+                                       "' carries trailing queue bytes");
 }
 
 } // namespace hddtherm::sim

@@ -17,6 +17,11 @@
 
 #include "sim/request.h"
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::sim {
 
 /// Available scheduling policies.
@@ -60,6 +65,12 @@ class Scheduler
 
     /// Policy in force.
     SchedulerPolicy policy() const { return policy_; }
+
+    /// Serialize the pending queue in arrival order (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore a queue written by saveState (policies must match).
+    void loadState(snap::StateReader& r);
 
   private:
     SchedulerPolicy policy_;

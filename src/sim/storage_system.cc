@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "snap/state.h"
 #include "util/error.h"
 
 namespace hddtherm::sim {
@@ -58,7 +59,10 @@ StorageSystem::submit(const IoRequest& request)
                          "device id out of range");
     }
     HDDTHERM_OBS_COUNT("sim.system.submitted");
-    events_.schedule(request.arrival, domain_,
+    snap::EventTag tag;
+    tag.kind = snap::kEvtArrival;
+    packIoRequest(request, tag.w.data());
+    events_.schedule(request.arrival, domain_, tag,
                      [this, request] { dispatch(request); });
 }
 
@@ -379,6 +383,148 @@ StorageSystem::completeLogical(Outstanding& out, SimTime finish)
     HDDTHERM_OBS_COUNT("sim.system.completed");
     if (callback_)
         callback_(done);
+}
+
+namespace {
+
+void
+blobWriteRequest(snap::BlobWriter& blob, const IoRequest& req)
+{
+    std::uint64_t words[5];
+    packIoRequest(req, words);
+    blob.words(words, 5);
+}
+
+IoRequest
+blobReadRequest(snap::BlobReader& blob)
+{
+    std::uint64_t words[5];
+    for (auto& word : words)
+        word = blob.u64();
+    return unpackIoRequest(words);
+}
+
+} // namespace
+
+void
+StorageSystem::saveState(snap::StateWriter& w) const
+{
+    {
+        snap::ScopedPrefix scope(w, "metrics");
+        metrics_.saveState(w);
+    }
+    w.u64("next_sub_id", next_sub_id_);
+    w.i64("preferred_mirror", preferred_mirror_);
+    w.i64("mirror_rr", mirror_rr_);
+    w.i64("failed", failed_);
+
+    // Hash maps are serialized in sorted-key order so identical states
+    // always produce identical checkpoint bytes.
+    std::vector<std::uint64_t> parent_ids;
+    parent_ids.reserve(inflight_.size());
+    for (const auto& [id, out] : inflight_)
+        parent_ids.push_back(id);
+    std::sort(parent_ids.begin(), parent_ids.end());
+    snap::BlobWriter inflight_blob;
+    inflight_blob.reserve(inflight_.size() * 57);
+    for (const auto id : parent_ids) {
+        const Outstanding& out = inflight_.at(id);
+        blobWriteRequest(inflight_blob, out.logical);
+        inflight_blob.i64(out.remaining);
+        inflight_blob.u8(out.reported ? 1 : 0);
+        inflight_blob.u64(out.phase2.size());
+        for (const auto& sub : out.phase2)
+            blobWriteRequest(inflight_blob, sub);
+    }
+    w.u64("inflight", inflight_.size());
+    w.bytes("inflight_blob", inflight_blob.take());
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> subs(
+        sub_to_parent_.begin(), sub_to_parent_.end());
+    std::sort(subs.begin(), subs.end());
+    snap::BlobWriter sub_blob;
+    for (const auto& [sub_id, parent_id] : subs) {
+        sub_blob.u64(sub_id);
+        sub_blob.u64(parent_id);
+    }
+    w.u64("subs", subs.size());
+    w.bytes("sub_blob", sub_blob.take());
+
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+        snap::ScopedPrefix scope(w, "disk" + std::to_string(i));
+        disks_[i]->saveState(w);
+    }
+}
+
+void
+StorageSystem::loadState(snap::StateReader& r)
+{
+    {
+        snap::ScopedPrefix scope(r, "metrics");
+        metrics_.loadState(r);
+    }
+    next_sub_id_ = r.u64("next_sub_id");
+    preferred_mirror_ = int(r.i64("preferred_mirror"));
+    mirror_rr_ = int(r.i64("mirror_rr"));
+    failed_ = int(r.i64("failed"));
+    HDDTHERM_REQUIRE(failed_ >= -1 && failed_ < config_.disks,
+                     "checkpoint section '" + r.section() +
+                         "': failed-disk index out of range");
+
+    const auto inflight_count = r.u64("inflight");
+    const auto inflight_raw = r.bytes("inflight_blob");
+    snap::BlobReader inflight_blob(
+        "section '" + r.section() + "' in-flight table", inflight_raw);
+    inflight_.clear();
+    for (std::uint64_t i = 0; i < inflight_count; ++i) {
+        Outstanding out;
+        out.logical = blobReadRequest(inflight_blob);
+        out.remaining = int(inflight_blob.i64());
+        out.reported = inflight_blob.u8() != 0;
+        const auto phase2 = inflight_blob.u64();
+        out.phase2.reserve(phase2);
+        for (std::uint64_t p = 0; p < phase2; ++p)
+            out.phase2.push_back(blobReadRequest(inflight_blob));
+        const auto id = out.logical.id;
+        inflight_.emplace(id, std::move(out));
+    }
+    HDDTHERM_REQUIRE(inflight_blob.atEnd(),
+                     "checkpoint section '" + r.section() +
+                         "' carries trailing in-flight bytes");
+
+    const auto sub_count = r.u64("subs");
+    const auto sub_raw = r.bytes("sub_blob");
+    snap::BlobReader sub_blob(
+        "section '" + r.section() + "' sub-request table", sub_raw);
+    sub_to_parent_.clear();
+    for (std::uint64_t i = 0; i < sub_count; ++i) {
+        const auto sub_id = sub_blob.u64();
+        const auto parent_id = sub_blob.u64();
+        sub_to_parent_.emplace(sub_id, parent_id);
+    }
+    HDDTHERM_REQUIRE(sub_blob.atEnd(),
+                     "checkpoint section '" + r.section() +
+                         "' carries trailing sub-request bytes");
+
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+        snap::ScopedPrefix scope(r, "disk" + std::to_string(i));
+        disks_[i]->loadState(r);
+    }
+}
+
+engine::SimKernel::Callback
+StorageSystem::restoreEvent(const snap::EventTag& tag)
+{
+    if (tag.kind == snap::kEvtArrival) {
+        const IoRequest request = unpackIoRequest(tag.w.data());
+        return [this, request] { dispatch(request); };
+    }
+    if (tag.kind == snap::kEvtDiskFinish ||
+        tag.kind == snap::kEvtDiskRetry) {
+        if (tag.aux < disks_.size())
+            return disks_[tag.aux]->restoreEvent(tag);
+    }
+    return nullptr;
 }
 
 } // namespace hddtherm::sim

@@ -122,6 +122,23 @@ class StorageSystem
     /// Index of the failed member, or -1 if the array is healthy.
     int failedDisk() const { return failed_; }
 
+    /// @name Checkpoint/restore
+    /// @{
+
+    /// Serialize controller + metrics + every member disk (the kernel is
+    /// saved separately by its owner).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore state written by saveState.
+    void loadState(snap::StateReader& r);
+
+    /// Rebuild the callback of one tagged pending event — logical
+    /// arrivals are the controller's own, disk events delegate to the
+    /// member the tag's aux field addresses.
+    engine::SimKernel::Callback restoreEvent(const snap::EventTag& tag);
+
+    /// @}
+
   private:
     struct Outstanding
     {

@@ -1,0 +1,189 @@
+#include "snap/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace hddtherm::snap {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Decode "<basename>-NNNNNNNNNNNN.hdtsnap" into its index, if it is one.
+std::optional<std::uint64_t>
+checkpointIndex(const std::string& filename, const std::string& basename)
+{
+    const std::string prefix = basename + "-";
+    const std::string suffix = kCheckpointExtension;
+    if (filename.size() <= prefix.size() + suffix.size())
+        return std::nullopt;
+    if (filename.compare(0, prefix.size(), prefix) != 0)
+        return std::nullopt;
+    if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+        return std::nullopt;
+    std::uint64_t index = 0;
+    for (std::size_t i = prefix.size();
+         i < filename.size() - suffix.size(); ++i) {
+        const char c = filename[i];
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        index = index * 10 + std::uint64_t(c - '0');
+    }
+    return index;
+}
+
+/// All checkpoint files for @p basename in @p directory, sorted by index.
+std::vector<std::pair<std::uint64_t, fs::path>>
+listCheckpoints(const std::string& directory, const std::string& basename)
+{
+    std::vector<std::pair<std::uint64_t, fs::path>> found;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(directory, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const auto index =
+            checkpointIndex(entry.path().filename().string(), basename);
+        if (index)
+            found.emplace_back(*index, entry.path());
+    }
+    std::sort(found.begin(), found.end());
+    return found;
+}
+
+} // namespace
+
+CheckpointManager::CheckpointManager(CheckpointPolicy policy)
+    : policy_(std::move(policy))
+{
+    HDDTHERM_REQUIRE(!policy_.directory.empty(),
+                     "checkpoint policy needs a directory");
+    HDDTHERM_REQUIRE(policy_.retain >= 1,
+                     "checkpoint retention must keep at least one file");
+    std::error_code ec;
+    fs::create_directories(policy_.directory, ec);
+    HDDTHERM_REQUIRE(fs::is_directory(policy_.directory),
+                     "cannot create checkpoint directory '" +
+                         policy_.directory + "'");
+}
+
+std::string
+CheckpointManager::pathFor(std::uint64_t index) const
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "-%012llu",
+                  static_cast<unsigned long long>(index));
+    return (fs::path(policy_.directory) /
+            (policy_.basename + suffix + kCheckpointExtension))
+        .string();
+}
+
+CheckpointManager::~CheckpointManager()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    if (writer_.joinable())
+        writer_.join();
+    // Destructors cannot throw; a final-write failure is still reported.
+    if (!error_.empty())
+        util::logWarn("checkpoint writer failed: %s", error_.c_str());
+}
+
+std::string
+CheckpointManager::write(const CheckpointWriter& ckpt, std::uint64_t index)
+{
+    std::string path = pathFor(index);
+    // Serialize on the caller's thread — the simulation state is only
+    // guaranteed coherent right now — and hand the bytes to the writer.
+    Job job{path, ckpt.serialize()};
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        rethrowPendingError();
+        if (!writer_.joinable())
+            writer_ = std::thread([this] { writerLoop(); });
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+    return path;
+}
+
+void
+CheckpointManager::flush()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    rethrowPendingError();
+}
+
+void
+CheckpointManager::writerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        busy_ = true;
+        lock.unlock();
+        std::string failure;
+        try {
+            writeCheckpointBytes(job.path, job.bytes);
+            prune();
+        } catch (const std::exception& e) {
+            failure = e.what();
+        }
+        lock.lock();
+        busy_ = false;
+        if (!failure.empty() && error_.empty())
+            error_ = failure;
+        if (queue_.empty())
+            idle_cv_.notify_all();
+    }
+}
+
+void
+CheckpointManager::rethrowPendingError()
+{
+    if (!error_.empty()) {
+        const std::string what = error_;
+        error_.clear();
+        throw util::ModelError("checkpoint write failed: " + what);
+    }
+}
+
+void
+CheckpointManager::prune() const
+{
+    auto found = listCheckpoints(policy_.directory, policy_.basename);
+    const std::size_t keep = std::size_t(policy_.retain);
+    if (found.size() <= keep)
+        return;
+    for (std::size_t i = 0; i + keep < found.size(); ++i) {
+        std::error_code ec;
+        fs::remove(found[i].second, ec);
+    }
+}
+
+std::string
+latestCheckpoint(const std::string& directory, const std::string& basename)
+{
+    const auto found = listCheckpoints(directory, basename);
+    return found.empty() ? std::string() : found.back().second.string();
+}
+
+} // namespace hddtherm::snap

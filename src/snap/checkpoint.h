@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Checkpoint cadence policy and on-disk lifecycle management.
+ *
+ * CheckpointManager owns the filesystem side of checkpointing — stable
+ * file naming, crash-consistent writes (delegated to
+ * CheckpointWriter::writeFile), and retention of the last K checkpoints —
+ * while staying ignorant of *what* is checkpointed.  The orchestration
+ * (which sections, at what simulated-time cadence) lives with the engines
+ * that own the state: dtm::CoSimEngine for standalone co-sims and
+ * fleet::FleetSimulator for fleet runs.
+ */
+#ifndef HDDTHERM_SNAP_CHECKPOINT_H
+#define HDDTHERM_SNAP_CHECKPOINT_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "snap/format.h"
+
+namespace hddtherm::snap {
+
+/// When and where to write checkpoints.
+struct CheckpointPolicy
+{
+    /// Directory checkpoints are written into (created if absent).
+    std::string directory;
+
+    /// Filename stem; files are "<basename>-<%012d index>.hdtsnap".
+    std::string basename = "checkpoint";
+
+    /// Simulated seconds between checkpoints (standalone co-sim cadence).
+    double everySec = 0.0;
+
+    /// Fleet epochs between checkpoints (fleet cadence).
+    std::uint64_t everyEpochs = 0;
+
+    /// How many most-recent checkpoints to keep; older ones are pruned.
+    int retain = 3;
+};
+
+/**
+ * Writes, names, and prunes checkpoints under one policy.
+ *
+ * File I/O runs on a private writer thread so the fsync-heavy write path
+ * overlaps simulation compute instead of stalling it (bench_snap_overhead
+ * gates the cadence cost).  Writes are queued in order and land via the
+ * usual temp-file + atomic-rename protocol, so the crash-consistency
+ * contract is unchanged: a crash loses at most the not-yet-durable tail
+ * of the queue, never corrupts a visible checkpoint, and resume picks up
+ * from the latest durable file.  flush() — also implied by destruction —
+ * drains the queue and rethrows any I/O error raised on the writer
+ * thread.
+ */
+class CheckpointManager
+{
+  public:
+    /// Validates the policy and creates the directory if needed.
+    explicit CheckpointManager(CheckpointPolicy policy);
+
+    /// Drains pending writes (failures are logged; see flush()).
+    ~CheckpointManager();
+
+    CheckpointManager(const CheckpointManager&) = delete;
+    CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+    /// Path checkpoint @p index would be written to.
+    std::string pathFor(std::uint64_t index) const;
+
+    /**
+     * Queue checkpoint @p index for an atomic write; after it lands the
+     * writer prunes checkpoints beyond the retention window.  Pruning
+     * scans the directory rather than a private write log, so a resumed
+     * run keeps pruning checkpoints its parent wrote.  Serialization
+     * happens on the calling thread (the simulation state must be read
+     * now); the file I/O happens on the writer thread.  @returns the
+     * final path, which is guaranteed to exist only after flush().
+     * @throws a pending writer-thread error, if any.
+     */
+    std::string write(const CheckpointWriter& ckpt, std::uint64_t index);
+
+    /**
+     * Block until every queued write is durable; rethrows the first
+     * writer-thread I/O error, if any.
+     */
+    void flush();
+
+    const CheckpointPolicy& policy() const { return policy_; }
+
+  private:
+    void prune() const;
+    void writerLoop();
+    void rethrowPendingError();
+
+    CheckpointPolicy policy_;
+
+    struct Job
+    {
+        std::string path;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< Signals the writer thread.
+    std::condition_variable idle_cv_;  ///< Signals flush() waiters.
+    std::deque<Job> queue_;
+    std::string error_;   ///< First writer-thread failure (sticky).
+    bool busy_ = false;   ///< Writer is mid-job (queue may be empty).
+    bool stopping_ = false;
+    std::thread writer_;  ///< Started lazily on the first write().
+};
+
+/**
+ * Most recent checkpoint "<basename>-NNN...N.hdtsnap" in @p directory,
+ * or "" if none exists.  "Most recent" means highest index — indices
+ * grow monotonically within a run and across resumes.
+ */
+std::string latestCheckpoint(const std::string& directory,
+                             const std::string& basename = "checkpoint");
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_CHECKPOINT_H

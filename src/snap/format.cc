@@ -1,0 +1,287 @@
+#include "snap/format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "util/error.h"
+
+namespace hddtherm::snap {
+
+namespace {
+
+void
+appendLe(std::vector<std::uint8_t>& out, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint64_t
+readLe(const std::uint8_t* p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
+syncToDisk(std::FILE* f)
+{
+#ifdef _WIN32
+    (void)f;
+#else
+    ::fsync(::fileno(f));
+#endif
+}
+
+} // namespace
+
+CheckpointWriter::CheckpointWriter(std::uint64_t config_hash)
+    : config_hash_(config_hash)
+{}
+
+void
+CheckpointWriter::addSection(const std::string& name,
+                             std::vector<std::uint8_t> payload)
+{
+    HDDTHERM_REQUIRE(!name.empty() && name.size() <= 0xffff,
+                     "checkpoint section name must fit 16 bits");
+    HDDTHERM_REQUIRE(!has(name), "duplicate checkpoint section '" + name +
+                                     "'");
+    sections_.push_back(Section{name, std::move(payload)});
+}
+
+void
+CheckpointWriter::addSection(StateWriter&& writer)
+{
+    addSection(writer.section(), writer.take());
+}
+
+bool
+CheckpointWriter::has(const std::string& name) const
+{
+    for (const auto& s : sections_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::uint8_t>
+CheckpointWriter::serialize() const
+{
+    // Fixed header + section table sizes are known up front, so payload
+    // offsets can be computed before anything is emitted.
+    std::size_t table_size = 0;
+    for (const auto& s : sections_)
+        table_size += 2 + s.name.size() + 8 + 8 + 8;
+    const std::size_t header_size = 8 + 4 + 4 + 8 + 8;
+
+    std::size_t total = header_size + table_size;
+    for (const auto& s : sections_)
+        total += s.payload.size();
+
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    out.insert(out.end(), kMagic, kMagic + 8);
+    appendLe(out, kFormatVersion, 4);
+    appendLe(out, sections_.size(), 4);
+    appendLe(out, config_hash_, 8);
+    appendLe(out, total, 8);
+
+    std::size_t offset = header_size + table_size;
+    for (const auto& s : sections_) {
+        appendLe(out, s.name.size(), 2);
+        out.insert(out.end(), s.name.begin(), s.name.end());
+        appendLe(out, offset, 8);
+        appendLe(out, s.payload.size(), 8);
+        appendLe(out, fnv1a64(s.payload.data(), s.payload.size()), 8);
+        offset += s.payload.size();
+    }
+    for (const auto& s : sections_)
+        out.insert(out.end(), s.payload.begin(), s.payload.end());
+
+    HDDTHERM_ASSERT(out.size() == total);
+    return out;
+}
+
+void
+CheckpointWriter::writeFile(const std::string& path) const
+{
+    writeCheckpointBytes(path, serialize());
+}
+
+void
+writeCheckpointBytes(const std::string& path,
+                     const std::vector<std::uint8_t>& bytes)
+{
+    const std::string tmp = path + ".tmp";
+
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    HDDTHERM_REQUIRE(f != nullptr,
+                     "cannot open checkpoint temp file '" + tmp + "'");
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    if (written == bytes.size() && flushed)
+        syncToDisk(f);
+    std::fclose(f);
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        HDDTHERM_REQUIRE(false,
+                         "short write to checkpoint temp file '" + tmp +
+                             "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        HDDTHERM_REQUIRE(false, "cannot rename checkpoint into place at '" +
+                                    path + "'");
+    }
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) : label_(path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    HDDTHERM_REQUIRE(f != nullptr,
+                     "cannot open checkpoint '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size > 0) {
+        bytes_.resize(std::size_t(size));
+        const std::size_t got =
+            std::fread(bytes_.data(), 1, bytes_.size(), f);
+        if (got != bytes_.size()) {
+            std::fclose(f);
+            HDDTHERM_REQUIRE(false,
+                             "cannot read checkpoint '" + path + "'");
+        }
+    }
+    std::fclose(f);
+    parse();
+}
+
+CheckpointReader::CheckpointReader(std::string label,
+                                   std::vector<std::uint8_t> bytes)
+    : label_(std::move(label)), bytes_(std::move(bytes))
+{
+    parse();
+}
+
+void
+CheckpointReader::parse()
+{
+    const std::size_t header_size = 8 + 4 + 4 + 8 + 8;
+    HDDTHERM_REQUIRE(bytes_.size() >= header_size,
+                     "checkpoint '" + label_ +
+                         "' is too short to hold a header");
+    HDDTHERM_REQUIRE(std::memcmp(bytes_.data(), kMagic, 8) == 0,
+                     "checkpoint '" + label_ +
+                         "' has a bad magic number (not a checkpoint?)");
+    version_ = std::uint32_t(readLe(bytes_.data() + 8, 4));
+    HDDTHERM_REQUIRE(version_ == kFormatVersion,
+                     "checkpoint '" + label_ +
+                         "' has unsupported format version " +
+                         std::to_string(version_) + " (this build reads " +
+                         std::to_string(kFormatVersion) + ")");
+    const auto section_count = std::size_t(readLe(bytes_.data() + 12, 4));
+    config_hash_ = readLe(bytes_.data() + 16, 8);
+    const std::uint64_t total = readLe(bytes_.data() + 24, 8);
+    HDDTHERM_REQUIRE(total == bytes_.size(),
+                     "checkpoint '" + label_ + "' is truncated: header " +
+                         "declares " + std::to_string(total) +
+                         " bytes, file holds " +
+                         std::to_string(bytes_.size()));
+
+    std::size_t pos = header_size;
+    struct Entry
+    {
+        std::string name;
+        std::uint64_t offset;
+        std::uint64_t size;
+        std::uint64_t checksum;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(section_count);
+    const auto need = [&](std::size_t n, const char* what) {
+        HDDTHERM_REQUIRE(pos + n <= bytes_.size(),
+                         "checkpoint '" + label_ +
+                             "' is truncated reading " + what);
+    };
+    for (std::size_t i = 0; i < section_count; ++i) {
+        need(2, "a section name length");
+        const auto name_len = std::size_t(readLe(bytes_.data() + pos, 2));
+        pos += 2;
+        need(name_len, "a section name");
+        Entry e;
+        e.name.assign(reinterpret_cast<const char*>(bytes_.data() + pos),
+                      name_len);
+        pos += name_len;
+        need(24, "a section table entry");
+        e.offset = readLe(bytes_.data() + pos, 8);
+        e.size = readLe(bytes_.data() + pos + 8, 8);
+        e.checksum = readLe(bytes_.data() + pos + 16, 8);
+        pos += 24;
+        HDDTHERM_REQUIRE(e.offset >= pos || e.size == 0,
+                         "checkpoint '" + label_ + "' section '" + e.name +
+                             "' overlaps the section table");
+        HDDTHERM_REQUIRE(e.offset <= bytes_.size() &&
+                             e.size <= bytes_.size() - e.offset,
+                         "checkpoint '" + label_ + "' section '" + e.name +
+                             "' extends past the end of the file");
+        entries.push_back(std::move(e));
+    }
+
+    for (const auto& e : entries) {
+        const std::uint64_t actual =
+            fnv1a64(bytes_.data() + e.offset, std::size_t(e.size));
+        HDDTHERM_REQUIRE(actual == e.checksum,
+                         "checkpoint '" + label_ + "' section '" + e.name +
+                             "' failed its checksum (corrupted?)");
+        names_.push_back(e.name);
+        payloads_.emplace_back(bytes_.begin() + std::ptrdiff_t(e.offset),
+                               bytes_.begin() +
+                                   std::ptrdiff_t(e.offset + e.size));
+    }
+}
+
+bool
+CheckpointReader::has(const std::string& name) const
+{
+    for (const auto& n : names_)
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::size_t
+CheckpointReader::indexOf(const std::string& name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return i;
+    HDDTHERM_REQUIRE(false, "checkpoint '" + label_ +
+                                "' has no section '" + name + "'");
+    return 0;
+}
+
+const std::vector<std::uint8_t>&
+CheckpointReader::sectionBytes(const std::string& name) const
+{
+    return payloads_[indexOf(name)];
+}
+
+StateReader
+CheckpointReader::section(const std::string& name) const
+{
+    const auto& payload = payloads_[indexOf(name)];
+    return StateReader(name, payload.data(), payload.size());
+}
+
+} // namespace hddtherm::snap

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The checkpoint container format (see docs/checkpoint.md for the spec).
+ *
+ * A checkpoint file is a little-endian binary:
+ *
+ *   magic "HDTSNAP1" | u32 format version | u32 section count |
+ *   u64 config hash  | u64 total file size |
+ *   section table: {u16 name length, name, u64 offset, u64 size,
+ *                   u64 FNV-1a checksum} per section |
+ *   section payloads (tagged field streams; see state.h)
+ *
+ * Readers validate everything up front — magic, version, total size
+ * (truncation anywhere fails loudly), table bounds, and every payload
+ * checksum — throwing util::ModelError naming the offending section.
+ * Unknown section *names* are skipped (forward compatibility: a newer
+ * writer may add sections an older reader ignores), but unknown format
+ * *versions* are rejected.
+ */
+#ifndef HDDTHERM_SNAP_FORMAT_H
+#define HDDTHERM_SNAP_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snap/state.h"
+
+namespace hddtherm::snap {
+
+/// First 8 bytes of every checkpoint file.
+inline constexpr char kMagic[8] = {'H', 'D', 'T', 'S', 'N', 'A', 'P', '1'};
+
+/// Container format version this build writes.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// File extension checkpoints are written under.
+inline constexpr const char* kCheckpointExtension = ".hdtsnap";
+
+/// Assembles one checkpoint: named sections + the config fingerprint.
+class CheckpointWriter
+{
+  public:
+    /// @param config_hash fingerprint of the run configuration; resume
+    ///        validates it against the caller's reconstructed config.
+    explicit CheckpointWriter(std::uint64_t config_hash);
+
+    /// Append a section (names must be unique within a checkpoint).
+    void addSection(const std::string& name,
+                    std::vector<std::uint8_t> payload);
+
+    /// Append a StateWriter's section under its own name.
+    void addSection(StateWriter&& writer);
+
+    /// True if a section of that name was added.
+    bool has(const std::string& name) const;
+
+    /// Config fingerprint this checkpoint was created with.
+    std::uint64_t configHash() const { return config_hash_; }
+
+    /// Encode the whole container.
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Crash-consistent write: serialize to "<path>.tmp", flush + fsync,
+     * then atomically rename over @p path.  A reader can never observe a
+     * half-written checkpoint.  @throws util::ModelError on I/O failure.
+     */
+    void writeFile(const std::string& path) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::uint64_t config_hash_;
+    std::vector<Section> sections_;
+};
+
+/**
+ * Crash-consistent raw write of already-serialized checkpoint bytes:
+ * "<path>.tmp" + fwrite + fflush + fsync, then an atomic rename over
+ * @p path.  A reader can never observe a half-written checkpoint.
+ * @throws util::ModelError on I/O failure.
+ */
+void writeCheckpointBytes(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes);
+
+/// Opens and fully validates one checkpoint.
+class CheckpointReader
+{
+  public:
+    /// Read and validate the file at @p path.
+    explicit CheckpointReader(const std::string& path);
+
+    /// Validate an in-memory container (@p label names it in errors).
+    CheckpointReader(std::string label, std::vector<std::uint8_t> bytes);
+
+    /// Config fingerprint stored in the header.
+    std::uint64_t configHash() const { return config_hash_; }
+
+    /// Container format version stored in the header.
+    std::uint32_t formatVersion() const { return version_; }
+
+    /// Section names in file order.
+    const std::vector<std::string>& sectionNames() const { return names_; }
+
+    /// True if the checkpoint carries section @p name.
+    bool has(const std::string& name) const;
+
+    /// Raw payload bytes of section @p name (throws if missing).
+    const std::vector<std::uint8_t>&
+    sectionBytes(const std::string& name) const;
+
+    /**
+     * Sequential reader over section @p name.  The returned reader
+     * borrows this object's buffers and must not outlive it.
+     * @throws util::ModelError if the section is missing.
+     */
+    StateReader section(const std::string& name) const;
+
+  private:
+    void parse();
+    std::size_t indexOf(const std::string& name) const;
+
+    std::string label_;
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t config_hash_ = 0;
+    std::uint32_t version_ = 0;
+    std::vector<std::string> names_;
+    std::vector<std::vector<std::uint8_t>> payloads_;
+};
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_FORMAT_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Checkpoint/restore vocabulary shared by every snapshottable module.
+ *
+ * The simulation kernel's event heap holds opaque closures, which cannot
+ * be serialized.  Snapshot support therefore rides on a side channel: a
+ * module that schedules an event it wants to survive a checkpoint attaches
+ * an EventTag — a typed, self-contained description (kind + a few words of
+ * payload) from which the module can rebuild the exact callback on
+ * restore.  Tags cost nothing while snapshots are disabled (the default)
+ * and one hash-map insert per event while enabled.
+ *
+ * Events scheduled *without* a tag are legal but mark the kernel
+ * unsnapshottable until they fire: SimKernel::saveState() fails loudly
+ * rather than silently dropping them (the closed-loop/hybrid drivers and
+ * the mirror controller schedule such closures; see docs/checkpoint.md).
+ */
+#ifndef HDDTHERM_SNAP_SNAPSHOT_H
+#define HDDTHERM_SNAP_SNAPSHOT_H
+
+#include <array>
+#include <cstdint>
+
+namespace hddtherm::snap {
+
+class StateWriter;
+class StateReader;
+
+/// @name Registered event kinds (stable on-disk identifiers).
+/// @{
+inline constexpr std::uint32_t kEvtPeriodic = 1;  ///< Kernel periodic tick.
+inline constexpr std::uint32_t kEvtArrival = 2;   ///< Logical I/O arrival.
+inline constexpr std::uint32_t kEvtDiskFinish = 3; ///< Disk service finish.
+inline constexpr std::uint32_t kEvtDiskRetry = 4;  ///< Disk dispatch retry.
+/// @}
+
+/**
+ * Serializable description of one pending event.  `kind` selects the
+ * rebuild recipe, `aux` addresses the owning component (periodic-task
+ * index, disk id), and `w` carries the kind-specific payload (e.g. a
+ * packed IoRequest).  Unused words must stay zero so records compare
+ * and hash stably.
+ */
+struct EventTag
+{
+    std::uint32_t kind = 0;
+    std::uint32_t aux = 0;
+    std::array<std::uint64_t, 6> w{};
+};
+
+/**
+ * Interface of a module whose live state can round-trip through a
+ * checkpoint section.  loadState() must consume fields in exactly the
+ * order saveState() wrote them (the stream is sequential and
+ * name-checked), and must leave the module bit-identical to the instant
+ * the checkpoint was taken.
+ */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+    virtual void saveState(StateWriter& w) const = 0;
+    virtual void loadState(StateReader& r) = 0;
+};
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_SNAPSHOT_H

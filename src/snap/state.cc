@@ -1,0 +1,446 @@
+#include "snap/state.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hddtherm::snap {
+
+namespace {
+
+// The append path is hot: a fleet checkpoint moves megabytes of blob
+// words through here (bench_snap_overhead gates the result), so the
+// value is staged on the stack and appended in one grow instead of one
+// push_back per byte.
+void
+appendLe(std::vector<std::uint8_t>& out, std::uint64_t v, unsigned bytes)
+{
+    HDDTHERM_ASSERT(bytes <= 8);
+    std::uint8_t staged[8];
+    for (unsigned i = 0; i < 8; ++i)
+        staged[i] = std::uint8_t(v >> (8 * i));
+    out.insert(out.end(), staged, staged + (bytes < 8 ? bytes : 8));
+}
+
+// Bulk little-endian append of a word array: a straight memcpy on
+// little-endian hosts, a per-word staging loop elsewhere.
+void
+appendLeWords(std::vector<std::uint8_t>& out, const std::uint64_t* words,
+              std::size_t count)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        const auto* p = reinterpret_cast<const std::uint8_t*>(words);
+        out.insert(out.end(), p, p + count * 8);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            appendLe(out, words[i], 8);
+    }
+}
+
+std::uint64_t
+readLe(const std::uint8_t* p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t size, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+const char*
+fieldTypeName(FieldType type)
+{
+    switch (type) {
+      case FieldType::U64:
+        return "u64";
+      case FieldType::I64:
+        return "i64";
+      case FieldType::F64:
+        return "f64";
+      case FieldType::Str:
+        return "str";
+      case FieldType::Bytes:
+        return "bytes";
+      case FieldType::U64Vec:
+        return "u64vec";
+      case FieldType::F64Vec:
+        return "f64vec";
+    }
+    return "unknown";
+}
+
+StateWriter::StateWriter(std::string section)
+    : section_(std::move(section))
+{}
+
+void
+StateWriter::header(FieldType type, const char* name)
+{
+    const std::string full = prefix_ + name;
+    HDDTHERM_REQUIRE(!full.empty() && full.size() <= 0xffff,
+                     "field name must fit 16 bits");
+    buffer_.push_back(std::uint8_t(type));
+    appendLe(buffer_, full.size(), 2);
+    buffer_.insert(buffer_.end(), full.begin(), full.end());
+}
+
+void
+StateWriter::u64(const char* name, std::uint64_t v)
+{
+    header(FieldType::U64, name);
+    appendLe(buffer_, v, 8);
+}
+
+void
+StateWriter::i64(const char* name, std::int64_t v)
+{
+    header(FieldType::I64, name);
+    appendLe(buffer_, std::uint64_t(v), 8);
+}
+
+void
+StateWriter::f64(const char* name, double v)
+{
+    header(FieldType::F64, name);
+    appendLe(buffer_, std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void
+StateWriter::str(const char* name, const std::string& v)
+{
+    header(FieldType::Str, name);
+    appendLe(buffer_, v.size(), 8);
+    buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void
+StateWriter::bytes(const char* name, const std::vector<std::uint8_t>& v)
+{
+    header(FieldType::Bytes, name);
+    appendLe(buffer_, v.size(), 8);
+    buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void
+StateWriter::u64vec(const char* name,
+                    const std::vector<std::uint64_t>& v)
+{
+    header(FieldType::U64Vec, name);
+    appendLe(buffer_, v.size(), 8);
+    appendLeWords(buffer_, v.data(), v.size());
+}
+
+void
+StateWriter::f64vec(const char* name, const std::vector<double>& v)
+{
+    header(FieldType::F64Vec, name);
+    appendLe(buffer_, v.size(), 8);
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    appendLeWords(buffer_,
+                  reinterpret_cast<const std::uint64_t*>(v.data()),
+                  v.size());
+}
+
+void
+StateWriter::pushPrefix(const std::string& prefix)
+{
+    prefix_stack_.push_back(prefix_.size());
+    prefix_ += prefix;
+    prefix_ += '.';
+}
+
+void
+StateWriter::popPrefix()
+{
+    HDDTHERM_ASSERT(!prefix_stack_.empty());
+    prefix_.resize(prefix_stack_.back());
+    prefix_stack_.pop_back();
+}
+
+StateReader::StateReader(std::string section, const std::uint8_t* data,
+                         std::size_t size)
+    : section_(std::move(section)), data_(data), size_(size)
+{}
+
+void
+StateReader::need(std::size_t n, const std::string& what)
+{
+    HDDTHERM_REQUIRE(pos_ + n <= size_,
+                     "checkpoint section '" + section_ +
+                         "' is truncated reading " + what);
+}
+
+bool
+StateReader::next(Field& out)
+{
+    if (atEnd())
+        return false;
+    need(1, "a field type tag");
+    const auto raw_type = data_[pos_++];
+    HDDTHERM_REQUIRE(raw_type >= std::uint8_t(FieldType::U64) &&
+                         raw_type <= std::uint8_t(FieldType::F64Vec),
+                     "checkpoint section '" + section_ +
+                         "' carries an unknown field type");
+    out = Field{};
+    out.type = FieldType(raw_type);
+    need(2, "a field name length");
+    const auto name_len = std::size_t(readLe(data_ + pos_, 2));
+    pos_ += 2;
+    need(name_len, "a field name");
+    out.name.assign(reinterpret_cast<const char*>(data_ + pos_),
+                    name_len);
+    pos_ += name_len;
+
+    switch (out.type) {
+      case FieldType::U64:
+      case FieldType::I64:
+      case FieldType::F64: {
+        need(8, "field '" + out.name + "'");
+        const std::uint64_t v = readLe(data_ + pos_, 8);
+        pos_ += 8;
+        out.u = v;
+        out.i = std::int64_t(v);
+        out.f = std::bit_cast<double>(v);
+        break;
+      }
+      case FieldType::Str:
+      case FieldType::Bytes: {
+        need(8, "length of field '" + out.name + "'");
+        const auto len = std::size_t(readLe(data_ + pos_, 8));
+        pos_ += 8;
+        need(len, "field '" + out.name + "'");
+        if (out.type == FieldType::Str)
+            out.s.assign(reinterpret_cast<const char*>(data_ + pos_),
+                         len);
+        else
+            out.raw.assign(data_ + pos_, data_ + pos_ + len);
+        pos_ += len;
+        break;
+      }
+      case FieldType::U64Vec:
+      case FieldType::F64Vec: {
+        need(8, "length of field '" + out.name + "'");
+        const auto count = std::size_t(readLe(data_ + pos_, 8));
+        pos_ += 8;
+        need(count * 8, "field '" + out.name + "'");
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint64_t v = readLe(data_ + pos_ + i * 8, 8);
+            if (out.type == FieldType::U64Vec)
+                out.uv.push_back(v);
+            else
+                out.fv.push_back(std::bit_cast<double>(v));
+        }
+        pos_ += count * 8;
+        break;
+      }
+    }
+    return true;
+}
+
+StateReader::Field
+StateReader::expect(FieldType type, const char* name)
+{
+    const std::string full = prefix_ + name;
+    Field f;
+    HDDTHERM_REQUIRE(next(f), "checkpoint section '" + section_ +
+                                  "' ended before field '" + full + "'");
+    HDDTHERM_REQUIRE(f.name == full && f.type == type,
+                     "checkpoint section '" + section_ +
+                         "': expected field '" + full + "' (" +
+                         fieldTypeName(type) + "), found '" + f.name +
+                         "' (" + fieldTypeName(f.type) + ")");
+    return f;
+}
+
+std::uint64_t
+StateReader::u64(const char* name)
+{
+    return expect(FieldType::U64, name).u;
+}
+
+std::int64_t
+StateReader::i64(const char* name)
+{
+    return expect(FieldType::I64, name).i;
+}
+
+double
+StateReader::f64(const char* name)
+{
+    return expect(FieldType::F64, name).f;
+}
+
+std::string
+StateReader::str(const char* name)
+{
+    return std::move(expect(FieldType::Str, name).s);
+}
+
+std::vector<std::uint8_t>
+StateReader::bytes(const char* name)
+{
+    return std::move(expect(FieldType::Bytes, name).raw);
+}
+
+std::vector<std::uint64_t>
+StateReader::u64vec(const char* name)
+{
+    return std::move(expect(FieldType::U64Vec, name).uv);
+}
+
+std::vector<double>
+StateReader::f64vec(const char* name)
+{
+    return std::move(expect(FieldType::F64Vec, name).fv);
+}
+
+void
+StateReader::pushPrefix(const std::string& prefix)
+{
+    prefix_stack_.push_back(prefix_.size());
+    prefix_ += prefix;
+    prefix_ += '.';
+}
+
+void
+StateReader::popPrefix()
+{
+    HDDTHERM_ASSERT(!prefix_stack_.empty());
+    prefix_.resize(prefix_stack_.back());
+    prefix_stack_.pop_back();
+}
+
+std::string
+StateReader::Field::display() const
+{
+    char buf[64];
+    switch (type) {
+      case FieldType::U64:
+        std::snprintf(buf, sizeof buf, "%" PRIu64, u);
+        return buf;
+      case FieldType::I64:
+        std::snprintf(buf, sizeof buf, "%" PRId64, i);
+        return buf;
+      case FieldType::F64:
+        // Round-trip precision: a diff over displays is a diff over bits
+        // for every value either checkpoint can actually hold.
+        std::snprintf(buf, sizeof buf, "%.17g", f);
+        return buf;
+      case FieldType::Str:
+        return "\"" + s + "\"";
+      case FieldType::Bytes:
+        std::snprintf(buf, sizeof buf, "<%zu bytes, fnv %016" PRIx64 ">",
+                      raw.size(), fnv1a64(raw.data(), raw.size()));
+        return buf;
+      case FieldType::U64Vec:
+      case FieldType::F64Vec: {
+        const std::size_t n =
+            type == FieldType::U64Vec ? uv.size() : fv.size();
+        const void* p = type == FieldType::U64Vec
+                            ? static_cast<const void*>(uv.data())
+                            : static_cast<const void*>(fv.data());
+        std::snprintf(buf, sizeof buf,
+                      "<%zu values, fnv %016" PRIx64 ">", n,
+                      fnv1a64(p, n * 8));
+        return buf;
+      }
+    }
+    return "?";
+}
+
+void
+BlobWriter::u32(std::uint32_t v)
+{
+    appendLe(buffer_, v, 4);
+}
+
+void
+BlobWriter::u64(std::uint64_t v)
+{
+    appendLe(buffer_, v, 8);
+}
+
+void
+BlobWriter::i64(std::int64_t v)
+{
+    appendLe(buffer_, std::uint64_t(v), 8);
+}
+
+void
+BlobWriter::f64(double v)
+{
+    appendLe(buffer_, std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void
+BlobWriter::words(const std::uint64_t* w, std::size_t count)
+{
+    appendLeWords(buffer_, w, count);
+}
+
+BlobReader::BlobReader(std::string context,
+                       const std::vector<std::uint8_t>& data)
+    : context_(std::move(context)), data_(&data)
+{}
+
+void
+BlobReader::need(std::size_t n)
+{
+    HDDTHERM_REQUIRE(pos_ + n <= data_->size(),
+                     "checkpoint blob '" + context_ + "' is truncated");
+}
+
+std::uint8_t
+BlobReader::u8()
+{
+    need(1);
+    return (*data_)[pos_++];
+}
+
+std::uint32_t
+BlobReader::u32()
+{
+    need(4);
+    const auto v = std::uint32_t(readLe(data_->data() + pos_, 4));
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+BlobReader::u64()
+{
+    need(8);
+    const auto v = readLe(data_->data() + pos_, 8);
+    pos_ += 8;
+    return v;
+}
+
+std::int64_t
+BlobReader::i64()
+{
+    return std::int64_t(u64());
+}
+
+double
+BlobReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+} // namespace hddtherm::snap

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Checkpoint section payloads: a stream of tagged, named fields.
+ *
+ * Every field is written as {type, name, value} in little-endian byte
+ * order.  Readers are strict and sequential: each typed getter consumes
+ * the next field and requires its (full, prefix-qualified) name and type
+ * to match, throwing util::ModelError naming the section and field on any
+ * mismatch or truncation — a corrupted or mis-ordered checkpoint can
+ * never be half-applied silently.  A generic cursor (next()) walks the
+ * same encoding without expectations, which is what the snap_inspect
+ * dump/diff tool uses to localize divergence between two checkpoints.
+ *
+ * Scoped prefixes ("disk0.", "mech.") let repeated sub-objects reuse one
+ * save/load routine while keeping every on-disk field name unique.  For
+ * high-volume homogeneous records (the kernel's pending-event list, the
+ * RAID controller's in-flight table) a Blob{Writer,Reader} packs raw
+ * primitives inside a single named bytes field.
+ */
+#ifndef HDDTHERM_SNAP_STATE_H
+#define HDDTHERM_SNAP_STATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hddtherm::snap {
+
+/// FNV-1a 64-bit over a byte range (checkpoint payload checksums).
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+/// On-disk field type tags (stable identifiers; never renumber).
+enum class FieldType : std::uint8_t
+{
+    U64 = 1,
+    I64 = 2,
+    F64 = 3,
+    Str = 4,
+    Bytes = 5,
+    U64Vec = 6,
+    F64Vec = 7,
+};
+
+/// Human-readable field-type name (diagnostics).
+const char* fieldTypeName(FieldType type);
+
+/// Serializes one checkpoint section as a tagged field stream.
+class StateWriter
+{
+  public:
+    /// @param section section name, used only in error messages.
+    explicit StateWriter(std::string section);
+
+    void u64(const char* name, std::uint64_t v);
+    void i64(const char* name, std::int64_t v);
+    void f64(const char* name, double v);
+    void boolean(const char* name, bool v) { u64(name, v ? 1 : 0); }
+    void str(const char* name, const std::string& v);
+    void bytes(const char* name, const std::vector<std::uint8_t>& v);
+    void u64vec(const char* name, const std::vector<std::uint64_t>& v);
+    void f64vec(const char* name, const std::vector<double>& v);
+
+    /// Enter/leave a name scope: fields written inside carry
+    /// "<prefix>." before their name.  Scopes nest.
+    void pushPrefix(const std::string& prefix);
+    void popPrefix();
+
+    /// Section name this writer serializes.
+    const std::string& section() const { return section_; }
+
+    /// Encoded payload so far.
+    const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+
+    /// Move the encoded payload out (the writer is spent afterwards).
+    std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  private:
+    void header(FieldType type, const char* name);
+
+    std::string section_;
+    std::string prefix_;
+    std::vector<std::size_t> prefix_stack_; ///< Previous prefix lengths.
+    std::vector<std::uint8_t> buffer_;
+};
+
+/// Strict sequential decoder for one checkpoint section.
+class StateReader
+{
+  public:
+    /**
+     * Decode @p size bytes at @p data (borrowed; must outlive the
+     * reader).  @p section names the section in error messages.
+     */
+    StateReader(std::string section, const std::uint8_t* data,
+                std::size_t size);
+
+    std::uint64_t u64(const char* name);
+    std::int64_t i64(const char* name);
+    double f64(const char* name);
+    bool boolean(const char* name) { return u64(name) != 0; }
+    std::string str(const char* name);
+    std::vector<std::uint8_t> bytes(const char* name);
+    std::vector<std::uint64_t> u64vec(const char* name);
+    std::vector<double> f64vec(const char* name);
+
+    /// Mirror of StateWriter::pushPrefix/popPrefix.
+    void pushPrefix(const std::string& prefix);
+    void popPrefix();
+
+    /// True once every field has been consumed.
+    bool atEnd() const { return pos_ >= size_; }
+
+    /// Section name being decoded.
+    const std::string& section() const { return section_; }
+
+    /// One decoded field, as the generic cursor yields it.
+    struct Field
+    {
+        std::string name; ///< Full (prefix-qualified) on-disk name.
+        FieldType type = FieldType::U64;
+        std::uint64_t u = 0;              ///< U64 value.
+        std::int64_t i = 0;               ///< I64 value.
+        double f = 0.0;                   ///< F64 value.
+        std::string s;                    ///< Str value.
+        std::vector<std::uint8_t> raw;    ///< Bytes value.
+        std::vector<std::uint64_t> uv;    ///< U64Vec value.
+        std::vector<double> fv;           ///< F64Vec value.
+
+        /// Canonical printable form (snap_inspect dump/diff lines).
+        std::string display() const;
+    };
+
+    /**
+     * Generic cursor: decode the next field without name/type
+     * expectations.  Returns false at end of section.  Still validates
+     * structure (throws on truncation).
+     */
+    bool next(Field& out);
+
+  private:
+    Field expect(FieldType type, const char* name);
+    void need(std::size_t n, const std::string& what);
+
+    std::string section_;
+    std::string prefix_;
+    std::vector<std::size_t> prefix_stack_;
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// RAII name scope for a StateWriter or StateReader.
+template <typename T>
+class ScopedPrefix
+{
+  public:
+    ScopedPrefix(T& target, const std::string& prefix) : target_(target)
+    {
+        target_.pushPrefix(prefix);
+    }
+    ~ScopedPrefix() { target_.popPrefix(); }
+    ScopedPrefix(const ScopedPrefix&) = delete;
+    ScopedPrefix& operator=(const ScopedPrefix&) = delete;
+
+  private:
+    T& target_;
+};
+
+/// Packs unnamed primitives for high-volume records inside one bytes
+/// field (little-endian, no per-value overhead).
+class BlobWriter
+{
+  public:
+    void u8(std::uint8_t v) { buffer_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    /// Bulk append of @p count 64-bit words (the fast path for packed
+    /// fixed-width records such as requests and pending events).
+    void words(const std::uint64_t* w, std::size_t count);
+
+    /// Grow the backing buffer ahead of a known-size record burst.
+    void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
+    /// Move the packed bytes out.
+    std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked sequential decoder for BlobWriter output.
+class BlobReader
+{
+  public:
+    /// @param context label for error messages (e.g. "section 'x' events").
+    BlobReader(std::string context, const std::vector<std::uint8_t>& data);
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+
+    bool atEnd() const { return pos_ >= data_->size(); }
+    std::size_t remaining() const { return data_->size() - pos_; }
+
+  private:
+    void need(std::size_t n);
+
+    std::string context_;
+    const std::vector<std::uint8_t>* data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_STATE_H

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "snap/state.h"
 #include "thermal/correlations.h"
 #include "util/error.h"
 #include "util/interp.h"
@@ -459,6 +460,36 @@ double
 steadyAirTempC(const DriveThermalConfig& config)
 {
     return DriveThermalModel(config).steadyAirTempC();
+}
+
+
+void
+DriveThermalModel::saveState(snap::StateWriter& w) const
+{
+    w.f64("clock_sec", clock_sec_);
+    w.f64("rpm", config_.rpm);
+    w.f64("vcm_duty", config_.vcmDuty);
+    w.f64("ambient_c", config_.ambientC);
+    w.f64("cooling_fault_scale", cooling_fault_scale_);
+    w.f64("ambient_offset_c", ambient_offset_c_);
+    w.boolean("powered", powered_);
+    net_.saveState(w);
+}
+
+void
+DriveThermalModel::loadState(snap::StateReader& r)
+{
+    clock_sec_ = r.f64("clock_sec");
+    config_.rpm = r.f64("rpm");
+    config_.vcmDuty = r.f64("vcm_duty");
+    config_.ambientC = r.f64("ambient_c");
+    cooling_fault_scale_ = r.f64("cooling_fault_scale");
+    ambient_offset_c_ = r.f64("ambient_offset_c");
+    powered_ = r.boolean("powered");
+    // Rebuild the operating-point-derived conductances and heat inputs,
+    // then overwrite the transient node state bitwise.
+    rebuildOperatingPoint();
+    net_.loadState(r);
 }
 
 } // namespace hddtherm::thermal

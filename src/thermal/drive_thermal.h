@@ -29,6 +29,11 @@
 #include "thermal/calibration.h"
 #include "thermal/network.h"
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::thermal {
 
 /// Static + operating configuration for the drive thermal model.
@@ -192,6 +197,19 @@ class DriveThermalModel
      * configurations (exposed for diagnostics/tests).
      */
     static double calibratedExternalFilmCoefficient();
+
+    /// @name Checkpoint/restore
+    /// @{
+
+    /// Serialize the operating point, fault overrides, clock, and the
+    /// transient node state.
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore state written by saveState (rebuilds the operating point,
+    /// then overwrites the transient node state bitwise).
+    void loadState(snap::StateReader& r);
+
+    /// @}
 
   private:
     void rebuildOperatingPoint();

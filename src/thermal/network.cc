@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snap/state.h"
 #include "util/error.h"
 
 namespace hddtherm::thermal {
@@ -284,6 +285,37 @@ ThermalNetwork::advance(
         elapsed += h;
         if (observer)
             observer(elapsed, *this);
+    }
+}
+
+
+void
+ThermalNetwork::saveState(snap::StateWriter& w) const
+{
+    std::vector<double> temps, heats;
+    temps.reserve(nodes_.size());
+    heats.reserve(nodes_.size());
+    for (const auto& node : nodes_) {
+        temps.push_back(node.temperatureC);
+        heats.push_back(node.heatInputW);
+    }
+    w.f64vec("net.temps", temps);
+    w.f64vec("net.heat", heats);
+}
+
+void
+ThermalNetwork::loadState(snap::StateReader& r)
+{
+    const auto temps = r.f64vec("net.temps");
+    const auto heats = r.f64vec("net.heat");
+    HDDTHERM_REQUIRE(temps.size() == nodes_.size() &&
+                         heats.size() == nodes_.size(),
+                     "checkpoint section '" + r.section() +
+                         "': thermal node count does not match this "
+                         "run's configuration");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i].temperatureC = temps[i];
+        nodes_[i].heatInputW = heats[i];
     }
 }
 

@@ -22,6 +22,11 @@
 #include <string>
 #include <vector>
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::thermal {
 
 /// A lumped thermal node.
@@ -100,6 +105,14 @@ class ThermalNetwork
     void advance(double duration, double dt,
                  const std::function<void(double, const ThermalNetwork&)>&
                      observer = nullptr);
+
+    /// Serialize node temperatures and heat inputs (checkpoint support).
+    /// Topology (nodes, edges, conductances) is configuration-derived and
+    /// is not saved; restore validates the node count instead.
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore temperatures/heat inputs written by saveState.
+    void loadState(snap::StateReader& r);
 
   private:
     struct Edge

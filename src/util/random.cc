@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "snap/state.h"
 #include "util/error.h"
 
 namespace hddtherm::util {
@@ -149,6 +150,25 @@ Rng::normal(double mean, double stddev)
     cached_normal_ = r * std::sin(theta);
     have_cached_normal_ = true;
     return mean + stddev * r * std::cos(theta);
+}
+
+void
+Rng::saveState(snap::StateWriter& w) const
+{
+    w.u64vec("rng.s", {s_[0], s_[1], s_[2], s_[3]});
+    w.boolean("rng.have_cached_normal", have_cached_normal_);
+    w.f64("rng.cached_normal", cached_normal_);
+}
+
+void
+Rng::loadState(snap::StateReader& r)
+{
+    const auto s = r.u64vec("rng.s");
+    HDDTHERM_REQUIRE(s.size() == 4, "checkpoint section '" + r.section() +
+                                        "': rng state must hold 4 words");
+    std::copy(s.begin(), s.end(), s_);
+    have_cached_normal_ = r.boolean("rng.have_cached_normal");
+    cached_normal_ = r.f64("rng.cached_normal");
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double theta)

@@ -13,6 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::util {
 
 /**
@@ -71,6 +76,12 @@ class Rng
 
     /// Standard normal variate (Box-Muller).
     double normal(double mean = 0.0, double stddev = 1.0);
+
+    /// Serialize the engine state (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore an engine state written by saveState.
+    void loadState(snap::StateReader& r);
 
   private:
     std::uint64_t s_[4];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snap/state.h"
 #include "util/error.h"
 
 namespace hddtherm::util {
@@ -42,6 +43,26 @@ double
 OnlineStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+OnlineStats::saveState(snap::StateWriter& w) const
+{
+    w.u64("stats.n", n_);
+    w.f64("stats.mean", mean_);
+    w.f64("stats.m2", m2_);
+    w.f64("stats.min", min_);
+    w.f64("stats.max", max_);
+}
+
+void
+OnlineStats::loadState(snap::StateReader& r)
+{
+    n_ = r.u64("stats.n");
+    mean_ = r.f64("stats.mean");
+    m2_ = r.f64("stats.m2");
+    min_ = r.f64("stats.min");
+    max_ = r.f64("stats.max");
 }
 
 Histogram::Histogram(std::vector<double> upper_edges)
@@ -95,6 +116,30 @@ double
 Histogram::overflowFraction() const
 {
     return total_ ? double(counts_.back()) / double(total_) : 0.0;
+}
+
+void
+Histogram::saveState(snap::StateWriter& w) const
+{
+    w.f64vec("hist.edges", edges_);
+    w.u64vec("hist.counts", counts_);
+    w.u64("hist.total", total_);
+}
+
+void
+Histogram::loadState(snap::StateReader& r)
+{
+    const auto edges = r.f64vec("hist.edges");
+    HDDTHERM_REQUIRE(edges == edges_,
+                     "checkpoint section '" + r.section() +
+                         "': histogram bin edges do not match this run's "
+                         "configuration");
+    const auto counts = r.u64vec("hist.counts");
+    HDDTHERM_REQUIRE(counts.size() == counts_.size(),
+                     "checkpoint section '" + r.section() +
+                         "': histogram bin count mismatch");
+    counts_ = counts;
+    total_ = r.u64("hist.total");
 }
 
 double

@@ -14,6 +14,11 @@
 #include <limits>
 #include <vector>
 
+namespace hddtherm::snap {
+class StateWriter;
+class StateReader;
+} // namespace hddtherm::snap
+
 namespace hddtherm::util {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -46,6 +51,12 @@ class OnlineStats
 
     /// Sum of all samples.
     double sum() const { return mean_ * double(n_); }
+
+    /// Serialize the accumulator bitwise (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore an accumulator written by saveState.
+    void loadState(snap::StateReader& r);
 
   private:
     std::uint64_t n_ = 0;
@@ -102,6 +113,13 @@ class Histogram
 
     /// Approximate p-quantile via linear interpolation within bins.
     double quantile(double p) const;
+
+    /// Serialize edges and counts (checkpoint support).
+    void saveState(snap::StateWriter& w) const;
+
+    /// Restore counts written by saveState; edges must match this
+    /// histogram's configuration (@throws util::ModelError otherwise).
+    void loadState(snap::StateReader& r);
 
   private:
     std::vector<double> edges_;

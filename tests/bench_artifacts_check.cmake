@@ -35,7 +35,8 @@ foreach(bench IN LISTS BENCHES)
     endforeach()
 
     file(READ "${dir}/manifest.json" manifest)
-    foreach(key git_sha command seed config_hash started_utc)
+    foreach(key git_sha command seed config_hash started_utc
+            resume_from resume_config_hash resume_epoch)
         string(FIND "${manifest}" "\"${key}\"" pos)
         if(pos EQUAL -1)
             message(FATAL_ERROR
