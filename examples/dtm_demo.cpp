@@ -6,6 +6,7 @@
  *   ./dtm_demo [--policy none|gate|gate-rpm] [--rpm R] [--low-rpm R]
  *              [--requests N] [--faults schedule.ini]
  *              [--checkpoint-every SEC] [--checkpoint-dir D]
+ *              [--checkpoint-delta] [--checkpoint-compress]
  *              [--resume-from PATH|DIR]
  *
  * With --faults the demo replays a fault schedule (see docs/faults.md and
@@ -14,9 +15,12 @@
  *
  * --checkpoint-every SEC writes a crash-consistent checkpoint every SEC
  * simulated seconds to --checkpoint-dir (default ./dtm-checkpoints);
- * --resume-from continues from a checkpoint file (or the latest one in a
- * directory) to a completion bit-identical with the uninterrupted run
- * (see docs/checkpoint.md).
+ * --checkpoint-delta writes incremental delta checkpoints between
+ * periodic full anchors and --checkpoint-compress LZ-compresses section
+ * payloads (both shrink steady-state checkpoint I/O; see
+ * docs/checkpoint.md).  --resume-from continues from a checkpoint file
+ * (or the latest one in a directory) to a completion bit-identical with
+ * the uninterrupted run.
  */
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +47,8 @@ main(int argc, char** argv)
     std::string faults_path;
     double checkpoint_every = 0.0;
     std::string checkpoint_dir = "dtm-checkpoints";
+    bool checkpoint_delta = false;
+    bool checkpoint_compress = false;
     std::string resume_from;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
@@ -74,6 +80,10 @@ main(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
                    i + 1 < argc) {
             checkpoint_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--checkpoint-delta") == 0) {
+            checkpoint_delta = true;
+        } else if (std::strcmp(argv[i], "--checkpoint-compress") == 0) {
+            checkpoint_compress = true;
         } else if (std::strcmp(argv[i], "--resume-from") == 0 &&
                    i + 1 < argc) {
             resume_from = argv[++i];
@@ -114,6 +124,8 @@ main(int argc, char** argv)
         snap::CheckpointPolicy ckpt_policy;
         ckpt_policy.directory = checkpoint_dir;
         ckpt_policy.everySec = checkpoint_every;
+        ckpt_policy.delta = checkpoint_delta;
+        ckpt_policy.compress = checkpoint_compress;
         engine.enableCheckpoints(ckpt_policy);
     }
     if (!resume_from.empty()) {

@@ -12,13 +12,17 @@
  *   ./fleet_explorer [--threads N] [--racks R] [--chassis C] [--bays B]
  *                    [--requests Q] [--seed S]
  *                    [--checkpoint-every K] [--checkpoint-dir D]
+ *                    [--checkpoint-delta] [--checkpoint-compress]
  *                    [--resume-from PATH|DIR]
  *
  * --checkpoint-every K writes a crash-consistent fleet checkpoint to
  * --checkpoint-dir (default ./fleet-checkpoints) every K epoch barriers;
- * --resume-from continues a run from a checkpoint file (or the latest
- * one in a directory) to a bit-identical completion — the "result
- * digest" line printed at the end matches the uninterrupted run's.
+ * --checkpoint-delta writes incremental delta checkpoints between
+ * periodic full anchors and --checkpoint-compress LZ-compresses section
+ * payloads (see docs/checkpoint.md); --resume-from continues a run from
+ * a checkpoint file (or the latest one in a directory) to a
+ * bit-identical completion — the "result digest" line printed at the
+ * end matches the uninterrupted run's.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +82,8 @@ main(int argc, char** argv)
     std::uint64_t seed = 7;
     std::uint64_t checkpoint_every = 0;
     std::string checkpoint_dir = "fleet-checkpoints";
+    bool checkpoint_delta = false;
+    bool checkpoint_compress = false;
     std::string resume_from;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
@@ -98,6 +104,10 @@ main(int argc, char** argv)
         else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
                  i + 1 < argc)
             checkpoint_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--checkpoint-delta") == 0)
+            checkpoint_delta = true;
+        else if (std::strcmp(argv[i], "--checkpoint-compress") == 0)
+            checkpoint_compress = true;
         else if (std::strcmp(argv[i], "--resume-from") == 0 &&
                  i + 1 < argc)
             resume_from = argv[++i];
@@ -126,6 +136,8 @@ main(int argc, char** argv)
     snap::CheckpointPolicy policy;
     policy.directory = checkpoint_dir;
     policy.everyEpochs = checkpoint_every;
+    policy.delta = checkpoint_delta;
+    policy.compress = checkpoint_compress;
     const snap::CheckpointPolicy* checkpoints =
         checkpoint_every > 0 ? &policy : nullptr;
 

@@ -4,19 +4,29 @@
  *
  *   ./snap_inspect <checkpoint>             header + section table
  *   ./snap_inspect --fields <checkpoint>    ...plus every field's value
+ *   ./snap_inspect --chain <checkpoint>     delta chain lineage
  *   ./snap_inspect --diff <a> <b>           field-by-field difference
+ *
+ * A plain dump reads the one container as stored — stored vs raw sizes,
+ * per-section encoding flags (lz = compressed, lz+dict = delta-encoded
+ * against the base), and the delta manifest when present — without
+ * touching any base file, so a lone delta can always be inspected.
+ * --fields, --chain, and --diff resolve base+delta chains (see
+ * docs/checkpoint.md), so delta leaves present their fully merged state;
+ * --diff prints each input's lineage first when it is a delta.
  *
  * --diff exits 0 when the two checkpoints are field-identical and 1 when
  * they differ (or either fails to parse), so scripts can assert
- * bit-identical resume behavior (see docs/checkpoint.md).  Floating
- * point is printed with %.17g, which round-trips doubles exactly; byte
- * blobs and vectors are summarized by length and FNV-1a digest.
+ * bit-identical resume behavior.  Floating point is printed with %.17g,
+ * which round-trips doubles exactly; byte blobs and vectors are
+ * summarized by length and FNV-1a digest.
  */
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "snap/delta.h"
 #include "snap/format.h"
 #include "util/error.h"
 
@@ -36,10 +46,60 @@ readFields(const snap::CheckpointReader& ckpt, const std::string& name)
     return fields;
 }
 
+const char*
+flagsLabel(std::uint8_t flags)
+{
+    if (flags & snap::kSectionDeltaDict)
+        return "lz+dict";
+    if (flags & snap::kSectionCompressed)
+        return "lz";
+    return "-";
+}
+
+/// Dump one container exactly as stored (no chain resolution).
 void
-dump(const snap::CheckpointReader& ckpt, bool with_fields)
+dumpStored(const snap::CheckpointReader& ckpt)
 {
     std::printf("format version : %u\n", ckpt.formatVersion());
+    std::printf("config hash    : %016llx\n",
+                static_cast<unsigned long long>(ckpt.configHash()));
+    std::printf("container      : %zu bytes, hash %016llx\n",
+                ckpt.containerSize(),
+                static_cast<unsigned long long>(ckpt.containerHash()));
+    const auto names = ckpt.sectionNames();
+    std::printf("sections       : %zu\n", names.size());
+    if (snap::isDeltaCheckpoint(ckpt)) {
+        const auto m = snap::readDeltaManifest(ckpt);
+        std::printf("delta          : index %llu over base %s "
+                    "(index %llu, hash %016llx), chain length %llu, "
+                    "%zu logical section(s)\n",
+                    static_cast<unsigned long long>(m.index),
+                    m.baseFile.c_str(),
+                    static_cast<unsigned long long>(m.baseIndex),
+                    static_cast<unsigned long long>(m.baseHash),
+                    static_cast<unsigned long long>(m.chainLength),
+                    m.names.size());
+    }
+    std::printf("\n");
+    for (const auto& name : names) {
+        const std::uint8_t flags = ckpt.sectionFlags(name);
+        std::string fields = "-";
+        // A dict-encoded payload only decodes against its base; its
+        // field count is unknowable from this file alone.
+        if (!(flags & snap::kSectionDeltaDict))
+            fields = std::to_string(readFields(ckpt, name).size());
+        std::printf("%-24s %8llu raw %8zu stored  %-7s %5s fields\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(ckpt.rawSize(name)),
+                    ckpt.storedBytes(name).size(), flagsLabel(flags),
+                    fields.c_str());
+    }
+}
+
+/// Dump a chain-resolved checkpoint, optionally with every field.
+void
+dumpResolved(const snap::CheckpointReader& ckpt, bool with_fields)
+{
     std::printf("config hash    : %016llx\n",
                 static_cast<unsigned long long>(ckpt.configHash()));
     const auto names = ckpt.sectionNames();
@@ -54,6 +114,15 @@ dump(const snap::CheckpointReader& ckpt, bool with_fields)
                             f.display().c_str());
         }
     }
+}
+
+void
+printLineage(const char* tag, const std::vector<snap::ChainHop>& lineage)
+{
+    if (lineage.size() == 1 && !lineage.front().delta)
+        return; // A full checkpoint has no chain worth printing.
+    std::printf("%s chain (leaf first):\n%s\n", tag,
+                snap::describeChain(lineage).c_str());
 }
 
 int
@@ -120,7 +189,7 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: snap_inspect [--fields] <checkpoint>\n"
+                 "usage: snap_inspect [--fields|--chain] <checkpoint>\n"
                  "       snap_inspect --diff <a> <b>\n");
     return 2;
 }
@@ -132,16 +201,29 @@ main(int argc, char** argv)
 {
     try {
         if (argc == 4 && std::string(argv[1]) == "--diff") {
-            const snap::CheckpointReader a(argv[2]);
-            const snap::CheckpointReader b(argv[3]);
+            std::vector<snap::ChainHop> la, lb;
+            const auto a = snap::resolveCheckpointChain(argv[2], &la);
+            const auto b = snap::resolveCheckpointChain(argv[3], &lb);
+            printLineage("first", la);
+            printLineage("second", lb);
             return diff(a, b);
         }
         if (argc == 3 && std::string(argv[1]) == "--fields") {
-            dump(snap::CheckpointReader(argv[2]), true);
+            std::vector<snap::ChainHop> lineage;
+            const auto ckpt =
+                snap::resolveCheckpointChain(argv[2], &lineage);
+            printLineage("checkpoint", lineage);
+            dumpResolved(ckpt, true);
+            return 0;
+        }
+        if (argc == 3 && std::string(argv[1]) == "--chain") {
+            std::vector<snap::ChainHop> lineage;
+            snap::resolveCheckpointChain(argv[2], &lineage);
+            std::printf("%s", snap::describeChain(lineage).c_str());
             return 0;
         }
         if (argc == 2 && argv[1][0] != '-') {
-            dump(snap::CheckpointReader(argv[1]), false);
+            dumpStored(snap::CheckpointReader(argv[1]));
             return 0;
         }
         return usage();

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "snap/delta.h"
 #include "snap/snapshot.h"
 #include "snap/state.h"
 #include "util/error.h"
@@ -610,12 +611,18 @@ void
 CoSimEngine::restoreFromCheckpoint(const std::string& path,
                                    const std::vector<sim::IoRequest>& workload)
 {
-    snap::CheckpointReader in(path);
+    // Resolving the chain makes resuming from a delta leaf transparent:
+    // a full checkpoint resolves to itself.
+    snap::CheckpointReader in = snap::resolveCheckpointChain(path);
     HDDTHERM_REQUIRE(in.configHash() == checkpointConfigHash(config_),
                      "checkpoint '" + path +
                          "' was written under a different configuration "
                          "(config hash mismatch)");
     loadSections(in, workload);
+    // The restored ckpt_index_ is the *next* index to write; prime the
+    // manager so the first post-resume delta diffs against this leaf.
+    if (ckpt_mgr_)
+        ckpt_mgr_->seedDelta(path, ckpt_index_);
 }
 
 std::string

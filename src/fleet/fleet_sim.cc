@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "engine/kernel.h"
+#include "snap/delta.h"
 #include "snap/snapshot.h"
 #include "snap/state.h"
 #include "trace/synth.h"
@@ -453,7 +454,9 @@ FleetSimulation::resume(const std::string& checkpoint_path, int threads,
                         engine::TraceSink* epoch_trace,
                         const snap::CheckpointPolicy* checkpoints)
 {
-    snap::CheckpointReader in(checkpoint_path);
+    // Resolving the chain makes resuming from a delta leaf transparent:
+    // a full checkpoint resolves to itself.
+    snap::CheckpointReader in = snap::resolveCheckpointChain(checkpoint_path);
     HDDTHERM_REQUIRE(in.configHash() == checkpointConfigHash(config_),
                      "checkpoint '" + checkpoint_path +
                          "' was written under a different fleet "
@@ -467,6 +470,10 @@ FleetSimulation::resume(const std::string& checkpoint_path, int threads,
     run.buildShards(true);
     run.epochs.setTraceSink(epoch_trace);
     run.loadCheckpoint(in);
+    // The restored ckpt_index is the *next* index to write; prime the
+    // manager so the first post-resume delta diffs against this leaf.
+    if (run.ckpt_mgr)
+        run.ckpt_mgr->seedDelta(checkpoint_path, run.ckpt_index);
     return run.finish();
 }
 

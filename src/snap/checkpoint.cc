@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
-#include <optional>
+#include <set>
 #include <vector>
 
+#include "snap/delta.h"
+#include "util/codec.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -39,22 +42,13 @@ checkpointIndex(const std::string& filename, const std::string& basename)
     return index;
 }
 
-/// All checkpoint files for @p basename in @p directory, sorted by index.
-std::vector<std::pair<std::uint64_t, fs::path>>
-listCheckpoints(const std::string& directory, const std::string& basename)
+void
+validatePolicy(const CheckpointPolicy& policy)
 {
-    std::vector<std::pair<std::uint64_t, fs::path>> found;
-    std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(directory, ec)) {
-        if (!entry.is_regular_file())
-            continue;
-        const auto index =
-            checkpointIndex(entry.path().filename().string(), basename);
-        if (index)
-            found.emplace_back(*index, entry.path());
-    }
-    std::sort(found.begin(), found.end());
-    return found;
+    HDDTHERM_REQUIRE(policy.retain >= 1,
+                     "checkpoint retention must keep at least one file");
+    HDDTHERM_REQUIRE(!policy.delta || policy.anchorEvery >= 1,
+                     "delta checkpoint policy needs anchorEvery >= 1");
 }
 
 } // namespace
@@ -64,24 +58,38 @@ CheckpointManager::CheckpointManager(CheckpointPolicy policy)
 {
     HDDTHERM_REQUIRE(!policy_.directory.empty(),
                      "checkpoint policy needs a directory");
-    HDDTHERM_REQUIRE(policy_.retain >= 1,
-                     "checkpoint retention must keep at least one file");
-    std::error_code ec;
-    fs::create_directories(policy_.directory, ec);
-    HDDTHERM_REQUIRE(fs::is_directory(policy_.directory),
-                     "cannot create checkpoint directory '" +
-                         policy_.directory + "'");
+    validatePolicy(policy_);
+    sink_ = std::make_unique<LocalDirSink>(policy_.directory);
+}
+
+CheckpointManager::CheckpointManager(CheckpointPolicy policy,
+                                     std::unique_ptr<CheckpointSink> sink)
+    : policy_(std::move(policy)), sink_(std::move(sink))
+{
+    HDDTHERM_REQUIRE(sink_ != nullptr, "checkpoint manager needs a sink");
+    validatePolicy(policy_);
+}
+
+std::string
+CheckpointManager::fileNameFor(std::uint64_t index) const
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "-%012llu",
+                  static_cast<unsigned long long>(index));
+    return policy_.basename + suffix + kCheckpointExtension;
 }
 
 std::string
 CheckpointManager::pathFor(std::uint64_t index) const
 {
-    char suffix[32];
-    std::snprintf(suffix, sizeof suffix, "-%012llu",
-                  static_cast<unsigned long long>(index));
-    return (fs::path(policy_.directory) /
-            (policy_.basename + suffix + kCheckpointExtension))
-        .string();
+    return sink_->describe(fileNameFor(index));
+}
+
+bool
+CheckpointManager::isAnchor(std::uint64_t index) const
+{
+    return !policy_.delta || policy_.anchorEvery <= 1 ||
+           index % policy_.anchorEvery == 0;
 }
 
 CheckpointManager::~CheckpointManager()
@@ -98,13 +106,100 @@ CheckpointManager::~CheckpointManager()
         util::logWarn("checkpoint writer failed: %s", error_.c_str());
 }
 
+std::vector<std::uint8_t>
+CheckpointManager::buildContainer(const CheckpointWriter& ckpt,
+                                  std::uint64_t index, bool delta)
+{
+    std::vector<StoredSection> stored;
+    const std::size_t n = ckpt.sectionCount();
+    stored.reserve(n + 1);
+
+    if (delta) {
+        HDDTHERM_REQUIRE(
+            have_last_ && last_index_ + 1 == index,
+            "delta checkpoint " + std::to_string(index) +
+                " has no in-memory base: indices must follow the "
+                "previous write, and resumed runs must seedDelta() "
+                "before their first checkpoint");
+        DeltaManifest m;
+        m.index = index;
+        m.baseIndex = index - 1;
+        m.baseFile = fileNameFor(index - 1);
+        m.baseHash = last_hash_;
+        m.chainLength = last_chain_len_ + 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto& payload = ckpt.sectionPayload(i);
+            m.names.push_back(ckpt.sectionName(i));
+            m.hashes.push_back(fnv1a64(payload.data(), payload.size()));
+        }
+        // The manifest is always first and never compressed, so chain
+        // tools can read it without touching any payload.
+        stored.push_back(
+            StoredSection{kDeltaSection, encodeDeltaManifest(m), 0});
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string& name = ckpt.sectionName(i);
+        const auto& payload = ckpt.sectionPayload(i);
+        const auto prev = last_raw_.find(name);
+        if (delta) {
+            const bool changed =
+                prev == last_raw_.end() || prev->second != payload;
+            if (!changed)
+                continue;
+        }
+        StoredSection s{name, payload, 0};
+        if (policy_.compress && !payload.empty()) {
+            // Deterministically pick the smallest of raw, plain LZ, and
+            // (for changed delta sections) an edit script against the
+            // base's copy — ties broken in that order.
+            std::size_t best = payload.size();
+            auto plain = util::codec::compress(payload);
+            if (plain.size() < best) {
+                best = plain.size();
+                s.stored = std::move(plain);
+                s.flags = kSectionCompressed;
+            }
+            if (delta && prev != last_raw_.end() &&
+                !prev->second.empty()) {
+                auto scripted = util::codec::compressWithDict(
+                    prev->second, payload.data(), payload.size());
+                if (scripted.size() < best) {
+                    s.stored = std::move(scripted);
+                    s.flags = kSectionDeltaDict;
+                }
+            }
+        }
+        stored.push_back(std::move(s));
+    }
+    return serializeSections(ckpt.configHash(), stored);
+}
+
+void
+CheckpointManager::rememberWrite(const CheckpointWriter& ckpt,
+                                 std::uint64_t index, bool delta,
+                                 const std::vector<std::uint8_t>& bytes)
+{
+    last_raw_.clear();
+    for (std::size_t i = 0; i < ckpt.sectionCount(); ++i)
+        last_raw_[ckpt.sectionName(i)] = ckpt.sectionPayload(i);
+    last_hash_ = fnv1a64(bytes.data(), bytes.size());
+    last_index_ = index;
+    last_chain_len_ = delta ? last_chain_len_ + 1 : 0;
+    have_last_ = true;
+}
+
 std::string
 CheckpointManager::write(const CheckpointWriter& ckpt, std::uint64_t index)
 {
-    std::string path = pathFor(index);
-    // Serialize on the caller's thread — the simulation state is only
+    // Serialize (and, in delta mode, diff against the previous
+    // checkpoint) on the caller's thread — the simulation state is only
     // guaranteed coherent right now — and hand the bytes to the writer.
-    Job job{path, ckpt.serialize()};
+    const bool delta = !isAnchor(index);
+    Job job{fileNameFor(index), buildContainer(ckpt, index, delta), index,
+            delta};
+    if (policy_.delta)
+        rememberWrite(ckpt, index, delta, job.bytes);
     {
         std::unique_lock<std::mutex> lock(mutex_);
         rethrowPendingError();
@@ -113,7 +208,34 @@ CheckpointManager::write(const CheckpointWriter& ckpt, std::uint64_t index)
         queue_.push_back(std::move(job));
     }
     work_cv_.notify_one();
-    return path;
+    return pathFor(index);
+}
+
+void
+CheckpointManager::seedDelta(const std::string& leaf_path,
+                             std::uint64_t next_index)
+{
+    if (!policy_.delta)
+        return;
+    HDDTHERM_REQUIRE(next_index >= 1,
+                     "cannot seed delta state before any checkpoint");
+    std::vector<ChainHop> lineage;
+    const CheckpointReader merged =
+        resolveCheckpointChain(leaf_path, &lineage);
+    if (lineage.front().delta)
+        HDDTHERM_REQUIRE(
+            lineage.front().index + 1 == next_index,
+            "checkpoint '" + leaf_path + "' has index " +
+                std::to_string(lineage.front().index) +
+                " but the resumed engine expects to write index " +
+                std::to_string(next_index) + " next");
+    last_raw_.clear();
+    for (const auto& name : merged.sectionNames())
+        last_raw_[name] = merged.sectionBytes(name);
+    last_hash_ = lineage.front().fileHash;
+    last_index_ = next_index - 1;
+    last_chain_len_ = lineage.front().chainLength;
+    have_last_ = true;
 }
 
 void
@@ -142,8 +264,8 @@ CheckpointManager::writerLoop()
         lock.unlock();
         std::string failure;
         try {
-            writeCheckpointBytes(job.path, job.bytes);
-            prune();
+            sink_->put(job.name, job.bytes);
+            prune(job);
         } catch (const std::exception& e) {
             failure = e.what();
         }
@@ -159,30 +281,96 @@ CheckpointManager::writerLoop()
 void
 CheckpointManager::rethrowPendingError()
 {
-    if (!error_.empty()) {
-        const std::string what = error_;
-        error_.clear();
-        throw util::ModelError("checkpoint write failed: " + what);
-    }
+    // Sticky by design: once a write has failed, every later write() and
+    // flush() keeps failing.  Continuing past a hole would be actively
+    // dangerous in delta mode — the next delta would pin a base that
+    // never became durable — and silently losing checkpoints is wrong in
+    // every mode.
+    if (!error_.empty())
+        throw util::ModelError("checkpoint write failed: " + error_);
 }
 
 void
-CheckpointManager::prune() const
+CheckpointManager::prune(const Job& landed)
 {
-    auto found = listCheckpoints(policy_.directory, policy_.basename);
-    const std::size_t keep = std::size_t(policy_.retain);
-    if (found.size() <= keep)
+    base_of_[landed.index] =
+        landed.delta ? std::optional<std::uint64_t>(landed.index - 1)
+                     : std::nullopt;
+
+    std::vector<std::pair<std::uint64_t, std::string>> found;
+    for (const auto& name : sink_->list()) {
+        const auto index = checkpointIndex(name, policy_.basename);
+        if (index)
+            found.emplace_back(*index, name);
+    }
+    std::sort(found.begin(), found.end());
+    const std::size_t keep_newest = std::size_t(policy_.retain);
+    if (found.size() <= keep_newest)
         return;
-    for (std::size_t i = 0; i + keep < found.size(); ++i) {
-        std::error_code ec;
-        fs::remove(found[i].second, ec);
+
+    std::map<std::uint64_t, std::string> present(found.begin(),
+                                                 found.end());
+    // The base of a checkpoint still unknown to this run (a parent
+    // run's file) is learned by reading its container; anything
+    // unreadable is conservatively treated as an anchor.
+    const auto baseOf =
+        [&](std::uint64_t index,
+            const std::string& name) -> std::optional<std::uint64_t> {
+        const auto cached = base_of_.find(index);
+        if (cached != base_of_.end())
+            return cached->second;
+        std::optional<std::uint64_t> base;
+        try {
+            const CheckpointReader reader(sink_->describe(name),
+                                          sink_->get(name));
+            if (isDeltaCheckpoint(reader))
+                base = readDeltaManifest(reader).baseIndex;
+        } catch (const std::exception&) {
+            base = std::nullopt;
+        }
+        base_of_[index] = base;
+        return base;
+    };
+
+    // Keep the newest K checkpoints plus every base a kept delta
+    // (transitively) depends on — pruning must never orphan a chain.
+    std::set<std::uint64_t> keep;
+    std::deque<std::uint64_t> work;
+    for (std::size_t i = found.size() - keep_newest; i < found.size();
+         ++i) {
+        keep.insert(found[i].first);
+        work.push_back(found[i].first);
+    }
+    while (!work.empty()) {
+        const std::uint64_t index = work.front();
+        work.pop_front();
+        const auto base = baseOf(index, present.at(index));
+        if (base && present.count(*base) && keep.insert(*base).second)
+            work.push_back(*base);
+    }
+
+    for (const auto& [index, name] : found) {
+        if (keep.count(index))
+            continue;
+        sink_->remove(name);
+        base_of_.erase(index);
     }
 }
 
 std::string
 latestCheckpoint(const std::string& directory, const std::string& basename)
 {
-    const auto found = listCheckpoints(directory, basename);
+    std::vector<std::pair<std::uint64_t, fs::path>> found;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(directory, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const auto index =
+            checkpointIndex(entry.path().filename().string(), basename);
+        if (index)
+            found.emplace_back(*index, entry.path());
+    }
+    std::sort(found.begin(), found.end());
     return found.empty() ? std::string() : found.back().second.string();
 }
 

@@ -1,14 +1,26 @@
 /**
  * @file
- * Checkpoint cadence policy and on-disk lifecycle management.
+ * Checkpoint cadence policy and storage lifecycle management.
  *
- * CheckpointManager owns the filesystem side of checkpointing — stable
- * file naming, crash-consistent writes (delegated to
- * CheckpointWriter::writeFile), and retention of the last K checkpoints —
- * while staying ignorant of *what* is checkpointed.  The orchestration
- * (which sections, at what simulated-time cadence) lives with the engines
- * that own the state: dtm::CoSimEngine for standalone co-sims and
+ * CheckpointManager owns the storage side of checkpointing — stable
+ * object naming, crash-consistent writes (delegated to a CheckpointSink),
+ * delta/anchor container assembly, and retention of the last K
+ * checkpoints (plus every base a retained delta depends on) — while
+ * staying ignorant of *what* is checkpointed.  The orchestration (which
+ * sections, at what simulated-time cadence) lives with the engines that
+ * own the state: dtm::CoSimEngine for standalone co-sims and
  * fleet::FleetSimulator for fleet runs.
+ *
+ * With CheckpointPolicy::delta enabled the manager remembers the raw
+ * payloads of the last durable checkpoint and emits *delta* containers
+ * carrying only changed sections (optionally LZ-encoded against the
+ * base's copy — see delta.h), writing a full "anchor" container every
+ * anchorEvery indices so chains stay bounded.  Whether an index is an
+ * anchor depends only on the index, never on run history, which is what
+ * keeps post-resume checkpoint files byte-identical to an uninterrupted
+ * run's.  A resumed engine must call seedDelta() after restoring so the
+ * first post-resume delta diffs against the same base the uninterrupted
+ * run would have.
  */
 #ifndef HDDTHERM_SNAP_CHECKPOINT_H
 #define HDDTHERM_SNAP_CHECKPOINT_H
@@ -16,12 +28,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "snap/format.h"
+#include "snap/sink.h"
 
 namespace hddtherm::snap {
 
@@ -40,22 +56,37 @@ struct CheckpointPolicy
     /// Fleet epochs between checkpoints (fleet cadence).
     std::uint64_t everyEpochs = 0;
 
-    /// How many most-recent checkpoints to keep; older ones are pruned.
+    /// How many most-recent checkpoints to keep; older ones are pruned
+    /// (a retained delta always keeps its whole base chain too).
     int retain = 3;
+
+    /// Write delta checkpoints: only sections whose payload moved since
+    /// the last durable checkpoint, with a manifest pinning the base.
+    bool delta = false;
+
+    /// Every how many indices a full anchor checkpoint is forced when
+    /// delta mode is on (index % anchorEvery == 0 is an anchor; 1 means
+    /// every checkpoint is full).
+    std::uint64_t anchorEvery = 8;
+
+    /// LZ-compress section payloads (and, in delta mode, encode changed
+    /// sections against the base's copy) whenever that is smaller.
+    bool compress = false;
 };
 
 /**
  * Writes, names, and prunes checkpoints under one policy.
  *
- * File I/O runs on a private writer thread so the fsync-heavy write path
- * overlaps simulation compute instead of stalling it (bench_snap_overhead
- * gates the cadence cost).  Writes are queued in order and land via the
- * usual temp-file + atomic-rename protocol, so the crash-consistency
- * contract is unchanged: a crash loses at most the not-yet-durable tail
- * of the queue, never corrupts a visible checkpoint, and resume picks up
- * from the latest durable file.  flush() — also implied by destruction —
- * drains the queue and rethrows any I/O error raised on the writer
- * thread.
+ * Storage I/O runs on a private writer thread so the fsync-heavy write
+ * path overlaps simulation compute instead of stalling it
+ * (bench_snap_overhead gates the cadence cost).  Writes are queued in
+ * order and land via the sink's atomic-put protocol, so the
+ * crash-consistency contract is unchanged: a crash loses at most the
+ * not-yet-durable tail of the queue, never corrupts a visible
+ * checkpoint, and resume picks up from the latest durable file — queue
+ * order also guarantees a delta's base is durable before the delta
+ * itself.  flush() — also implied by destruction — drains the queue and
+ * rethrows any I/O error raised on the writer thread.
  */
 class CheckpointManager
 {
@@ -63,26 +94,51 @@ class CheckpointManager
     /// Validates the policy and creates the directory if needed.
     explicit CheckpointManager(CheckpointPolicy policy);
 
+    /// Same, but storing through @p sink instead of a local directory
+    /// (policy.directory is ignored; naming and retention are
+    /// sink-agnostic).
+    CheckpointManager(CheckpointPolicy policy,
+                      std::unique_ptr<CheckpointSink> sink);
+
     /// Drains pending writes (failures are logged; see flush()).
     ~CheckpointManager();
 
     CheckpointManager(const CheckpointManager&) = delete;
     CheckpointManager& operator=(const CheckpointManager&) = delete;
 
-    /// Path checkpoint @p index would be written to.
+    /// Bare object name checkpoint @p index is stored under.
+    std::string fileNameFor(std::uint64_t index) const;
+
+    /// Locator (path, for local sinks) checkpoint @p index lands at.
     std::string pathFor(std::uint64_t index) const;
+
+    /// True if checkpoint @p index is written as a full (anchor)
+    /// container under this policy — a pure function of the index, so
+    /// resumed runs anchor on the same cadence as uninterrupted ones.
+    bool isAnchor(std::uint64_t index) const;
 
     /**
      * Queue checkpoint @p index for an atomic write; after it lands the
-     * writer prunes checkpoints beyond the retention window.  Pruning
-     * scans the directory rather than a private write log, so a resumed
-     * run keeps pruning checkpoints its parent wrote.  Serialization
-     * happens on the calling thread (the simulation state must be read
-     * now); the file I/O happens on the writer thread.  @returns the
-     * final path, which is guaranteed to exist only after flush().
+     * writer prunes checkpoints beyond the retention window (never
+     * orphaning a retained delta's base).  Pruning scans the sink rather
+     * than a private write log, so a resumed run keeps pruning
+     * checkpoints its parent wrote.  Serialization — and, in delta mode,
+     * the diff against the previous checkpoint — happens on the calling
+     * thread (the simulation state must be read now); the storage I/O
+     * happens on the writer thread.  @returns the final locator, which
+     * is guaranteed to exist only after flush().
      * @throws a pending writer-thread error, if any.
      */
     std::string write(const CheckpointWriter& ckpt, std::uint64_t index);
+
+    /**
+     * Prime delta state from the checkpoint chain ending at
+     * @p leaf_path, so the next write() — which must use index
+     * @p next_index == leaf index + 1 — diffs against the same base an
+     * uninterrupted run would have.  Resumed engines call this right
+     * after restoring; a no-op unless the policy enables delta mode.
+     */
+    void seedDelta(const std::string& leaf_path, std::uint64_t next_index);
 
     /**
      * Block until every queued write is durable; rethrows the first
@@ -92,18 +148,45 @@ class CheckpointManager
 
     const CheckpointPolicy& policy() const { return policy_; }
 
+    /// The sink writes land in (tests inspect mock sinks through this).
+    CheckpointSink& sink() { return *sink_; }
+
   private:
-    void prune() const;
+    struct Job
+    {
+        std::string name;             ///< Bare object name.
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t index = 0;
+        bool delta = false;
+    };
+
+    std::vector<std::uint8_t> buildContainer(const CheckpointWriter& ckpt,
+                                             std::uint64_t index,
+                                             bool delta);
+    void rememberWrite(const CheckpointWriter& ckpt, std::uint64_t index,
+                       bool delta,
+                       const std::vector<std::uint8_t>& bytes);
+    void prune(const Job& landed);
     void writerLoop();
     void rethrowPendingError();
 
     CheckpointPolicy policy_;
+    std::unique_ptr<CheckpointSink> sink_;
 
-    struct Job
-    {
-        std::string path;
-        std::vector<std::uint8_t> bytes;
-    };
+    /// @name Delta state — touched only by the simulation thread
+    /// (write()/seedDelta() callers), never by the writer thread.
+    /// @{
+    bool have_last_ = false;
+    std::uint64_t last_index_ = 0;
+    std::uint64_t last_hash_ = 0;      ///< FNV over the last file's bytes.
+    std::uint64_t last_chain_len_ = 0; ///< 0 when the last was an anchor.
+    std::map<std::string, std::vector<std::uint8_t>> last_raw_;
+    /// @}
+
+    /// index -> base index (nullopt: anchor); writer-thread only, fed by
+    /// landed jobs so pruning rarely has to re-read containers.
+    std::map<std::uint64_t, std::optional<std::uint64_t>> base_of_;
+
     std::mutex mutex_;
     std::condition_variable work_cv_;  ///< Signals the writer thread.
     std::condition_variable idle_cv_;  ///< Signals flush() waiters.

@@ -1,0 +1,231 @@
+#include "snap/delta.h"
+
+#include <filesystem>
+#include <map>
+
+#include "util/codec.h"
+#include "util/error.h"
+
+namespace hddtherm::snap {
+
+namespace fs = std::filesystem;
+
+bool
+isDeltaCheckpoint(const CheckpointReader& reader)
+{
+    return reader.has(kDeltaSection);
+}
+
+std::vector<std::uint8_t>
+encodeDeltaManifest(const DeltaManifest& m)
+{
+    HDDTHERM_ASSERT(m.names.size() == m.hashes.size());
+    StateWriter w((std::string(kDeltaSection)));
+    w.u64("index", m.index);
+    w.u64("base_index", m.baseIndex);
+    w.str("base_file", m.baseFile);
+    w.u64("base_hash", m.baseHash);
+    w.u64("chain_len", m.chainLength);
+    w.u64("sections", m.names.size());
+    for (std::size_t i = 0; i < m.names.size(); ++i) {
+        const std::string stem = "s" + std::to_string(i);
+        w.str((stem + ".name").c_str(), m.names[i]);
+        w.u64((stem + ".hash").c_str(), m.hashes[i]);
+    }
+    return w.take();
+}
+
+DeltaManifest
+readDeltaManifest(const CheckpointReader& reader)
+{
+    HDDTHERM_REQUIRE(isDeltaCheckpoint(reader),
+                     "checkpoint '" + reader.label() +
+                         "' is not a delta checkpoint (no '" +
+                         kDeltaSection + "' section)");
+    StateReader r = reader.section(kDeltaSection);
+    DeltaManifest m;
+    m.index = r.u64("index");
+    m.baseIndex = r.u64("base_index");
+    m.baseFile = r.str("base_file");
+    m.baseHash = r.u64("base_hash");
+    m.chainLength = r.u64("chain_len");
+    const std::uint64_t count = r.u64("sections");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string stem = "s" + std::to_string(i);
+        m.names.push_back(r.str((stem + ".name").c_str()));
+        m.hashes.push_back(r.u64((stem + ".hash").c_str()));
+    }
+    HDDTHERM_REQUIRE(r.atEnd(), "checkpoint '" + reader.label() +
+                                    "' has trailing data in its '" +
+                                    kDeltaSection + "' manifest");
+    return m;
+}
+
+CheckpointReader
+resolveCheckpointChain(const std::string& path,
+                       std::vector<ChainHop>* lineage)
+{
+    // Walk leaf -> anchor, validating each hop before trusting it.
+    std::vector<CheckpointReader> chain;
+    std::vector<std::string> paths{path};
+    chain.emplace_back(path);
+    std::vector<DeltaManifest> manifests;
+    while (isDeltaCheckpoint(chain.back())) {
+        HDDTHERM_REQUIRE(manifests.size() < kMaxChainLength,
+                         "checkpoint '" + path +
+                             "' has a delta chain longer than " +
+                             std::to_string(kMaxChainLength) +
+                             " (cycle or corruption?)");
+        DeltaManifest m = readDeltaManifest(chain.back());
+        HDDTHERM_REQUIRE(m.names.size() == m.hashes.size() &&
+                             !m.names.empty(),
+                         "checkpoint '" + paths.back() +
+                             "' has a malformed delta manifest");
+        HDDTHERM_REQUIRE(m.baseIndex + 1 == m.index,
+                         "checkpoint '" + paths.back() +
+                             "' declares a non-adjacent base (index " +
+                             std::to_string(m.index) + " on base " +
+                             std::to_string(m.baseIndex) + ")");
+        HDDTHERM_REQUIRE(
+            m.chainLength >= 1 && m.chainLength <= kMaxChainLength,
+            "checkpoint '" + paths.back() +
+                "' declares an invalid delta chain length " +
+                std::to_string(m.chainLength));
+        const fs::path base_path =
+            fs::path(paths.back()).parent_path() / m.baseFile;
+        std::error_code ec;
+        HDDTHERM_REQUIRE(fs::is_regular_file(base_path, ec),
+                         "checkpoint '" + paths.back() +
+                             "' references missing base checkpoint '" +
+                             base_path.string() +
+                             "' (pruned or never written?)");
+        paths.push_back(base_path.string());
+        chain.emplace_back(base_path.string());
+        HDDTHERM_REQUIRE(
+            chain.back().containerHash() == m.baseHash,
+            "checkpoint '" + paths[paths.size() - 2] +
+                "' pins base checkpoint '" + base_path.string() +
+                "' by hash, but the file's bytes do not match "
+                "(rewritten or corrupted?)");
+        HDDTHERM_REQUIRE(chain.back().configHash() ==
+                             chain.front().configHash(),
+                         "checkpoint '" + base_path.string() +
+                             "' was written under a different "
+                             "configuration than its delta '" + path + "'");
+        manifests.push_back(std::move(m));
+    }
+
+    // Chain lengths must count down to the anchor, and adjacent hops
+    // must agree on indices.
+    for (std::size_t i = 0; i < manifests.size(); ++i) {
+        HDDTHERM_REQUIRE(manifests[i].chainLength == manifests.size() - i,
+                         "checkpoint '" + paths[i] +
+                             "' declares chain length " +
+                             std::to_string(manifests[i].chainLength) +
+                             " but its chain holds " +
+                             std::to_string(manifests.size() - i) +
+                             " deltas");
+        if (i + 1 < manifests.size())
+            HDDTHERM_REQUIRE(manifests[i].baseIndex ==
+                                 manifests[i + 1].index,
+                             "checkpoint '" + paths[i] +
+                                 "' and its base disagree on the base's "
+                                 "index");
+    }
+
+    if (lineage) {
+        lineage->clear();
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+            ChainHop hop;
+            hop.path = paths[i];
+            hop.fileSize = chain[i].containerSize();
+            hop.fileHash = chain[i].containerHash();
+            if (i < manifests.size()) {
+                hop.index = manifests[i].index;
+                hop.delta = true;
+                hop.chainLength = manifests[i].chainLength;
+                hop.sectionsCarried = chain[i].sectionNames().size() - 1;
+                hop.baseFile = manifests[i].baseFile;
+            } else {
+                hop.index =
+                    manifests.empty() ? 0 : manifests.back().baseIndex;
+                hop.sectionsCarried = chain[i].sectionNames().size();
+            }
+            lineage->push_back(std::move(hop));
+        }
+    }
+
+    if (manifests.empty())
+        return std::move(chain.front()); // The leaf is already an anchor.
+
+    // Merge anchor -> leaf: later payloads override earlier ones;
+    // dictionary-encoded sections expand against the payload they
+    // replace (their base's copy, by construction).
+    std::map<std::string, std::vector<std::uint8_t>> raw;
+    for (const auto& name : chain.back().sectionNames())
+        raw[name] = chain.back().sectionBytes(name);
+    for (std::size_t k = manifests.size(); k-- > 0;) {
+        const CheckpointReader& d = chain[k];
+        for (const auto& name : d.sectionNames()) {
+            if (name == kDeltaSection)
+                continue;
+            if (d.sectionFlags(name) & kSectionDeltaDict) {
+                const auto it = raw.find(name);
+                HDDTHERM_REQUIRE(it != raw.end(),
+                                 "checkpoint '" + paths[k] +
+                                     "' section '" + name +
+                                     "' is delta-encoded but its base "
+                                     "carries no such section");
+                const auto& stored = d.storedBytes(name);
+                raw[name] = util::codec::decompressWithDict(
+                    it->second, stored.data(), stored.size(),
+                    "checkpoint '" + paths[k] + "' section '" + name +
+                        "'");
+            } else {
+                raw[name] = d.sectionBytes(name);
+            }
+        }
+    }
+
+    // Rebuild a self-contained container in the leaf's declared section
+    // order, verifying every payload against the manifest hashes.
+    const DeltaManifest& leaf = manifests.front();
+    CheckpointWriter rebuilt(chain.front().configHash());
+    for (std::size_t i = 0; i < leaf.names.size(); ++i) {
+        const auto it = raw.find(leaf.names[i]);
+        HDDTHERM_REQUIRE(it != raw.end(),
+                         "resolved chain for checkpoint '" + path +
+                             "' is missing section '" + leaf.names[i] +
+                             "'");
+        HDDTHERM_REQUIRE(
+            fnv1a64(it->second.data(), it->second.size()) ==
+                leaf.hashes[i],
+            "checkpoint '" + path + "' section '" + leaf.names[i] +
+                "' does not match its manifest hash after chain merge "
+                "(corrupted chain?)");
+        rebuilt.addSection(leaf.names[i], it->second);
+    }
+    return CheckpointReader(path, rebuilt.serialize());
+}
+
+std::string
+describeChain(const std::vector<ChainHop>& lineage)
+{
+    std::string out;
+    for (const auto& hop : lineage) {
+        out += hop.path;
+        if (hop.delta) {
+            out += "  delta index=" + std::to_string(hop.index) +
+                   " chain_len=" + std::to_string(hop.chainLength) +
+                   " carries=" + std::to_string(hop.sectionsCarried) +
+                   " base=" + hop.baseFile;
+        } else {
+            out += "  anchor sections=" +
+                   std::to_string(hop.sectionsCarried);
+        }
+        out += "  bytes=" + std::to_string(hop.fileSize) + "\n";
+    }
+    return out;
+}
+
+} // namespace hddtherm::snap

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Delta checkpoints: base + delta chain model and chain resolution.
+ *
+ * A *delta* checkpoint carries only the sections whose raw payload hash
+ * moved since the previous durable checkpoint, plus one reserved
+ * manifest section (kDeltaSection, always first and never compressed)
+ * that pins the chain together: the checkpoint's own index, its base
+ * checkpoint's index / filename / whole-file FNV-1a hash, the chain
+ * length back to the nearest full ("anchor") checkpoint, and the full
+ * logical section list with one raw-payload hash per section.  Changed
+ * sections may additionally be stored as an LZ edit script against the
+ * base's copy of the same section (kSectionDeltaDict), which is what
+ * makes steady-state deltas a small fraction of a full container.
+ *
+ * Resolution walks leaf → anchor, validating at every hop — a missing
+ * (pruned?) base, a base whose bytes do not match the pinned hash, a
+ * config-hash mismatch, or an inconsistent chain length are loud
+ * util::ModelError failures, never a silent fresh start — then merges
+ * anchor → leaf and rebuilds a self-contained container whose every
+ * section checks against the manifest hashes.  CheckpointManager writes
+ * anchors on a fixed index cadence (CheckpointPolicy::anchorEvery) so
+ * chains stay bounded and retention can always keep a delta's bases.
+ */
+#ifndef HDDTHERM_SNAP_DELTA_H
+#define HDDTHERM_SNAP_DELTA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snap/format.h"
+
+namespace hddtherm::snap {
+
+/// Reserved manifest section name marking a delta checkpoint.
+inline constexpr const char* kDeltaSection = "snap.delta";
+
+/// Hard cap on resolvable chain length (a cycle/corruption backstop far
+/// above any sane CheckpointPolicy::anchorEvery).
+inline constexpr std::uint64_t kMaxChainLength = 4096;
+
+/// Decoded kDeltaSection contents.
+struct DeltaManifest
+{
+    std::uint64_t index = 0;      ///< This checkpoint's index.
+    std::uint64_t baseIndex = 0;  ///< Immediate base's index (index - 1).
+    std::string baseFile;         ///< Base's bare filename (same sink).
+    std::uint64_t baseHash = 0;   ///< FNV-1a over the base's file bytes.
+    std::uint64_t chainLength = 0; ///< Deltas between here and the anchor.
+    /// Full logical section list, in container order, with the raw
+    /// (decoded) payload hash of every section — carried or not.
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> hashes;
+};
+
+/// True if @p reader is a delta checkpoint (carries kDeltaSection).
+bool isDeltaCheckpoint(const CheckpointReader& reader);
+
+/// Decode the manifest (throws if @p reader is not a delta checkpoint).
+DeltaManifest readDeltaManifest(const CheckpointReader& reader);
+
+/// Encode a manifest as the kDeltaSection payload.
+std::vector<std::uint8_t> encodeDeltaManifest(const DeltaManifest& m);
+
+/// One file visited while resolving a chain (leaf first).
+struct ChainHop
+{
+    std::string path;       ///< Filesystem path of this hop.
+    std::uint64_t index = 0; ///< Checkpoint index (0 if unknowable:
+                             ///< a lone anchor has no manifest).
+    bool delta = false;
+    std::uint64_t chainLength = 0;  ///< 0 for anchors.
+    std::size_t sectionsCarried = 0; ///< Payload sections in this file.
+    std::size_t fileSize = 0;
+    std::uint64_t fileHash = 0;     ///< FNV-1a over the file bytes.
+    std::string baseFile;           ///< Empty for anchors.
+};
+
+/**
+ * Open the checkpoint at @p path, resolving its base+delta chain if it
+ * is a delta.  Returns a fully validated, self-contained reader (for a
+ * delta leaf: rebuilt in memory, labeled with @p path, every merged
+ * section verified against the manifest's raw-payload hashes).  If
+ * @p lineage is non-null it receives one ChainHop per visited file,
+ * leaf first.
+ * @throws util::ModelError on a missing/pruned base, base-hash or
+ *         config-hash mismatch, inconsistent chain length, or any
+ *         container-level corruption.
+ */
+CheckpointReader
+resolveCheckpointChain(const std::string& path,
+                       std::vector<ChainHop>* lineage = nullptr);
+
+/// Human-readable lineage, one line per hop (snap_inspect --chain).
+std::string describeChain(const std::vector<ChainHop>& lineage);
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_DELTA_H

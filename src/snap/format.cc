@@ -9,6 +9,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/codec.h"
 #include "util/error.h"
 
 namespace hddtherm::snap {
@@ -43,6 +44,48 @@ syncToDisk(std::FILE* f)
 
 } // namespace
 
+std::vector<std::uint8_t>
+serializeSections(std::uint64_t config_hash,
+                  const std::vector<StoredSection>& sections)
+{
+    // Fixed header + section table sizes are known up front, so payload
+    // offsets can be computed before anything is emitted.
+    std::size_t table_size = 0;
+    for (const auto& s : sections)
+        table_size += 2 + s.name.size() + 8 + 8 + 8 + 1;
+    const std::size_t header_size = 8 + 4 + 4 + 8 + 8;
+
+    std::size_t total = header_size + table_size;
+    for (const auto& s : sections)
+        total += s.stored.size();
+
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    for (const char c : kMagic)
+        out.push_back(std::uint8_t(c));
+    appendLe(out, kFormatVersion, 4);
+    appendLe(out, sections.size(), 4);
+    appendLe(out, config_hash, 8);
+    appendLe(out, total, 8);
+
+    std::size_t offset = header_size + table_size;
+    for (const auto& s : sections) {
+        HDDTHERM_ASSERT((s.flags & ~kSectionKnownFlags) == 0);
+        appendLe(out, s.name.size(), 2);
+        out.insert(out.end(), s.name.begin(), s.name.end());
+        appendLe(out, offset, 8);
+        appendLe(out, s.stored.size(), 8);
+        appendLe(out, fnv1a64(s.stored.data(), s.stored.size()), 8);
+        out.push_back(s.flags);
+        offset += s.stored.size();
+    }
+    for (const auto& s : sections)
+        out.insert(out.end(), s.stored.begin(), s.stored.end());
+
+    HDDTHERM_ASSERT(out.size() == total);
+    return out;
+}
+
 CheckpointWriter::CheckpointWriter(std::uint64_t config_hash)
     : config_hash_(config_hash)
 {}
@@ -73,42 +116,39 @@ CheckpointWriter::has(const std::string& name) const
     return false;
 }
 
+const std::string&
+CheckpointWriter::sectionName(std::size_t i) const
+{
+    HDDTHERM_ASSERT(i < sections_.size());
+    return sections_[i].name;
+}
+
+const std::vector<std::uint8_t>&
+CheckpointWriter::sectionPayload(std::size_t i) const
+{
+    HDDTHERM_ASSERT(i < sections_.size());
+    return sections_[i].payload;
+}
+
 std::vector<std::uint8_t>
 CheckpointWriter::serialize() const
 {
-    // Fixed header + section table sizes are known up front, so payload
-    // offsets can be computed before anything is emitted.
-    std::size_t table_size = 0;
-    for (const auto& s : sections_)
-        table_size += 2 + s.name.size() + 8 + 8 + 8;
-    const std::size_t header_size = 8 + 4 + 4 + 8 + 8;
-
-    std::size_t total = header_size + table_size;
-    for (const auto& s : sections_)
-        total += s.payload.size();
-
-    std::vector<std::uint8_t> out;
-    out.reserve(total);
-    out.insert(out.end(), kMagic, kMagic + 8);
-    appendLe(out, kFormatVersion, 4);
-    appendLe(out, sections_.size(), 4);
-    appendLe(out, config_hash_, 8);
-    appendLe(out, total, 8);
-
-    std::size_t offset = header_size + table_size;
+    std::vector<StoredSection> stored;
+    stored.reserve(sections_.size());
     for (const auto& s : sections_) {
-        appendLe(out, s.name.size(), 2);
-        out.insert(out.end(), s.name.begin(), s.name.end());
-        appendLe(out, offset, 8);
-        appendLe(out, s.payload.size(), 8);
-        appendLe(out, fnv1a64(s.payload.data(), s.payload.size()), 8);
-        offset += s.payload.size();
+        StoredSection out{s.name, s.payload, 0};
+        if (compress_ && !s.payload.empty()) {
+            auto packed = util::codec::compress(s.payload);
+            // Only take the compressed form when it actually wins, so
+            // incompressible payloads never grow.
+            if (packed.size() < s.payload.size()) {
+                out.stored = std::move(packed);
+                out.flags = kSectionCompressed;
+            }
+        }
+        stored.push_back(std::move(out));
     }
-    for (const auto& s : sections_)
-        out.insert(out.end(), s.payload.begin(), s.payload.end());
-
-    HDDTHERM_ASSERT(out.size() == total);
-    return out;
+    return serializeSections(config_hash_, stored);
 }
 
 void
@@ -185,11 +225,11 @@ CheckpointReader::parse()
                      "checkpoint '" + label_ +
                          "' has a bad magic number (not a checkpoint?)");
     version_ = std::uint32_t(readLe(bytes_.data() + 8, 4));
-    HDDTHERM_REQUIRE(version_ == kFormatVersion,
+    HDDTHERM_REQUIRE(version_ == 1 || version_ == kFormatVersion,
                      "checkpoint '" + label_ +
                          "' has unsupported format version " +
                          std::to_string(version_) + " (this build reads " +
-                         std::to_string(kFormatVersion) + ")");
+                         "1.." + std::to_string(kFormatVersion) + ")");
     const auto section_count = std::size_t(readLe(bytes_.data() + 12, 4));
     config_hash_ = readLe(bytes_.data() + 16, 8);
     const std::uint64_t total = readLe(bytes_.data() + 24, 8);
@@ -198,6 +238,7 @@ CheckpointReader::parse()
                          "declares " + std::to_string(total) +
                          " bytes, file holds " +
                          std::to_string(bytes_.size()));
+    container_hash_ = fnv1a64(bytes_.data(), bytes_.size());
 
     std::size_t pos = header_size;
     struct Entry
@@ -206,6 +247,7 @@ CheckpointReader::parse()
         std::uint64_t offset;
         std::uint64_t size;
         std::uint64_t checksum;
+        std::uint8_t flags;
     };
     std::vector<Entry> entries;
     entries.reserve(section_count);
@@ -228,6 +270,16 @@ CheckpointReader::parse()
         e.size = readLe(bytes_.data() + pos + 8, 8);
         e.checksum = readLe(bytes_.data() + pos + 16, 8);
         pos += 24;
+        e.flags = 0;
+        if (version_ >= 2) {
+            need(1, "a section flags byte");
+            e.flags = bytes_[pos];
+            pos += 1;
+            HDDTHERM_REQUIRE(
+                (e.flags & ~kSectionKnownFlags) == 0,
+                "checkpoint '" + label_ + "' section '" + e.name +
+                    "' carries unknown flag bits (newer writer?)");
+        }
         HDDTHERM_REQUIRE(e.offset >= pos || e.size == 0,
                          "checkpoint '" + label_ + "' section '" + e.name +
                              "' overlaps the section table");
@@ -239,15 +291,23 @@ CheckpointReader::parse()
     }
 
     for (const auto& e : entries) {
+        // Checksums cover the stored bytes, so corruption is caught
+        // before any decompression is attempted.
         const std::uint64_t actual =
             fnv1a64(bytes_.data() + e.offset, std::size_t(e.size));
         HDDTHERM_REQUIRE(actual == e.checksum,
                          "checkpoint '" + label_ + "' section '" + e.name +
                              "' failed its checksum (corrupted?)");
         names_.push_back(e.name);
-        payloads_.emplace_back(bytes_.begin() + std::ptrdiff_t(e.offset),
-                               bytes_.begin() +
-                                   std::ptrdiff_t(e.offset + e.size));
+        flags_.push_back(e.flags);
+        stored_.emplace_back(bytes_.begin() + std::ptrdiff_t(e.offset),
+                             bytes_.begin() +
+                                 std::ptrdiff_t(e.offset + e.size));
+        decoded_.emplace_back();
+        if (e.flags & kSectionCompressed)
+            decoded_.back() = util::codec::decompress(
+                stored_.back(), "checkpoint '" + label_ + "' section '" +
+                                    e.name + "'");
     }
 }
 
@@ -271,16 +331,49 @@ CheckpointReader::indexOf(const std::string& name) const
     return 0;
 }
 
+std::uint8_t
+CheckpointReader::sectionFlags(const std::string& name) const
+{
+    return flags_[indexOf(name)];
+}
+
+const std::vector<std::uint8_t>&
+CheckpointReader::storedBytes(const std::string& name) const
+{
+    return stored_[indexOf(name)];
+}
+
+std::uint64_t
+CheckpointReader::rawSize(const std::string& name) const
+{
+    const std::size_t i = indexOf(name);
+    if (flags_[i] & kSectionCompressed)
+        return decoded_[i].size();
+    if (flags_[i] & kSectionDeltaDict)
+        return util::codec::decodedSize(
+            stored_[i].data(), stored_[i].size(),
+            "checkpoint '" + label_ + "' section '" + names_[i] + "'");
+    return stored_[i].size();
+}
+
 const std::vector<std::uint8_t>&
 CheckpointReader::sectionBytes(const std::string& name) const
 {
-    return payloads_[indexOf(name)];
+    const std::size_t i = indexOf(name);
+    HDDTHERM_REQUIRE(
+        (flags_[i] & kSectionDeltaDict) == 0,
+        "checkpoint '" + label_ + "' section '" + names_[i] +
+            "' is delta-encoded against its base checkpoint; resolve "
+            "the chain (snap::resolveCheckpointChain) to read it");
+    if (flags_[i] & kSectionCompressed)
+        return decoded_[i];
+    return stored_[i];
 }
 
 StateReader
 CheckpointReader::section(const std::string& name) const
 {
-    const auto& payload = payloads_[indexOf(name)];
+    const auto& payload = sectionBytes(name);
     return StateReader(name, payload.data(), payload.size());
 }
 

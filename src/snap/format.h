@@ -7,15 +7,24 @@
  *   magic "HDTSNAP1" | u32 format version | u32 section count |
  *   u64 config hash  | u64 total file size |
  *   section table: {u16 name length, name, u64 offset, u64 size,
- *                   u64 FNV-1a checksum} per section |
+ *                   u64 FNV-1a checksum, u8 flags (v2+)} per section |
  *   section payloads (tagged field streams; see state.h)
+ *
+ * Version 2 adds one flags byte per table entry.  Bit 0 marks a payload
+ * stored LZ-compressed (util/codec.h) and self-contained; bit 1 marks a
+ * payload compressed against the same-name section of the checkpoint's
+ * base (delta dictionary mode — see delta.h), which only a chain
+ * resolver can expand.  Checksums always cover the *stored* bytes, so
+ * validation never needs to decompress, and the header + section table
+ * are never compressed, keeping snap_inspect and up-front validation
+ * cheap.
  *
  * Readers validate everything up front — magic, version, total size
  * (truncation anywhere fails loudly), table bounds, and every payload
  * checksum — throwing util::ModelError naming the offending section.
  * Unknown section *names* are skipped (forward compatibility: a newer
  * writer may add sections an older reader ignores), but unknown format
- * *versions* are rejected.
+ * *versions* and unknown section *flag bits* are rejected.
  */
 #ifndef HDDTHERM_SNAP_FORMAT_H
 #define HDDTHERM_SNAP_FORMAT_H
@@ -32,10 +41,38 @@ namespace hddtherm::snap {
 inline constexpr char kMagic[8] = {'H', 'D', 'T', 'S', 'N', 'A', 'P', '1'};
 
 /// Container format version this build writes.
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// File extension checkpoints are written under.
 inline constexpr const char* kCheckpointExtension = ".hdtsnap";
+
+/// Section flag (v2+): payload is stored LZ-compressed, self-contained.
+inline constexpr std::uint8_t kSectionCompressed = 0x01;
+
+/// Section flag (v2+): payload is LZ-compressed against the same-name
+/// section of this checkpoint's base (see delta.h).  Only a chain
+/// resolver can expand it; sectionBytes() on such a section throws.
+inline constexpr std::uint8_t kSectionDeltaDict = 0x02;
+
+/// All flag bits this build understands; others are rejected.
+inline constexpr std::uint8_t kSectionKnownFlags =
+    kSectionCompressed | kSectionDeltaDict;
+
+/// One section as it will sit in the file: already-encoded stored bytes
+/// plus the flags describing that encoding.  The low-level container
+/// encoder below works on these; CheckpointManager uses it to build
+/// delta containers with per-section encodings it picked itself.
+struct StoredSection
+{
+    std::string name;
+    std::vector<std::uint8_t> stored;
+    std::uint8_t flags = 0;
+};
+
+/// Encode a whole container from already-encoded sections.
+std::vector<std::uint8_t>
+serializeSections(std::uint64_t config_hash,
+                  const std::vector<StoredSection>& sections);
 
 /// Assembles one checkpoint: named sections + the config fingerprint.
 class CheckpointWriter
@@ -58,6 +95,21 @@ class CheckpointWriter
     /// Config fingerprint this checkpoint was created with.
     std::uint64_t configHash() const { return config_hash_; }
 
+    /**
+     * When enabled, serialize() stores each section LZ-compressed
+     * whenever that is strictly smaller than the raw payload (flag
+     * kSectionCompressed).  Off by default; the choice is deterministic
+     * either way.
+     */
+    void setCompression(bool on) { compress_ = on; }
+
+    /// @name Raw-section access (CheckpointManager's delta builder).
+    /// @{
+    std::size_t sectionCount() const { return sections_.size(); }
+    const std::string& sectionName(std::size_t i) const;
+    const std::vector<std::uint8_t>& sectionPayload(std::size_t i) const;
+    /// @}
+
     /// Encode the whole container.
     std::vector<std::uint8_t> serialize() const;
 
@@ -76,6 +128,7 @@ class CheckpointWriter
     };
 
     std::uint64_t config_hash_;
+    bool compress_ = false;
     std::vector<Section> sections_;
 };
 
@@ -98,11 +151,22 @@ class CheckpointReader
     /// Validate an in-memory container (@p label names it in errors).
     CheckpointReader(std::string label, std::vector<std::uint8_t> bytes);
 
+    /// Label this container is known by in error messages (the path,
+    /// for file-backed readers).
+    const std::string& label() const { return label_; }
+
     /// Config fingerprint stored in the header.
     std::uint64_t configHash() const { return config_hash_; }
 
     /// Container format version stored in the header.
     std::uint32_t formatVersion() const { return version_; }
+
+    /// FNV-1a hash over the whole container's bytes (delta containers
+    /// pin their base checkpoint by this).
+    std::uint64_t containerHash() const { return container_hash_; }
+
+    /// Total container size in bytes.
+    std::size_t containerSize() const { return bytes_.size(); }
 
     /// Section names in file order.
     const std::vector<std::string>& sectionNames() const { return names_; }
@@ -110,7 +174,22 @@ class CheckpointReader
     /// True if the checkpoint carries section @p name.
     bool has(const std::string& name) const;
 
-    /// Raw payload bytes of section @p name (throws if missing).
+    /// Flags byte of section @p name (0 for version-1 containers).
+    std::uint8_t sectionFlags(const std::string& name) const;
+
+    /// Stored (possibly compressed) bytes of section @p name.
+    const std::vector<std::uint8_t>&
+    storedBytes(const std::string& name) const;
+
+    /// Decoded payload size of section @p name without materializing it.
+    std::uint64_t rawSize(const std::string& name) const;
+
+    /**
+     * Raw payload bytes of section @p name (throws if missing).
+     * Compressed sections were decoded up front; a delta-dictionary
+     * section (kSectionDeltaDict) cannot be expanded standalone and
+     * throws — resolve the chain first (delta.h).
+     */
     const std::vector<std::uint8_t>&
     sectionBytes(const std::string& name) const;
 
@@ -128,9 +207,14 @@ class CheckpointReader
     std::string label_;
     std::vector<std::uint8_t> bytes_;
     std::uint64_t config_hash_ = 0;
+    std::uint64_t container_hash_ = 0;
     std::uint32_t version_ = 0;
     std::vector<std::string> names_;
-    std::vector<std::vector<std::uint8_t>> payloads_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<std::vector<std::uint8_t>> stored_;
+    /// Decoded payloads for kSectionCompressed sections (parallel to
+    /// stored_; empty entries elsewhere — plain sections read stored_).
+    std::vector<std::vector<std::uint8_t>> decoded_;
 };
 
 } // namespace hddtherm::snap

@@ -1,0 +1,142 @@
+#include "snap/sink.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "snap/format.h"
+#include "util/error.h"
+
+namespace hddtherm::snap {
+
+namespace fs = std::filesystem;
+
+LocalDirSink::LocalDirSink(std::string directory)
+    : directory_(std::move(directory))
+{
+    HDDTHERM_REQUIRE(!directory_.empty(),
+                     "checkpoint sink needs a directory");
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    HDDTHERM_REQUIRE(fs::is_directory(directory_),
+                     "cannot create checkpoint directory '" + directory_ +
+                         "'");
+}
+
+void
+LocalDirSink::put(const std::string& name,
+                  const std::vector<std::uint8_t>& bytes)
+{
+    writeCheckpointBytes(describe(name), bytes);
+}
+
+std::vector<std::uint8_t>
+LocalDirSink::get(const std::string& name) const
+{
+    const std::string path = describe(name);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    HDDTHERM_REQUIRE(f != nullptr, "cannot open checkpoint '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes;
+    if (size > 0) {
+        bytes.resize(std::size_t(size));
+        const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+        if (got != bytes.size()) {
+            std::fclose(f);
+            HDDTHERM_REQUIRE(false, "cannot read checkpoint '" + path + "'");
+        }
+    }
+    std::fclose(f);
+    return bytes;
+}
+
+bool
+LocalDirSink::contains(const std::string& name) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(fs::path(directory_) / name, ec);
+}
+
+void
+LocalDirSink::remove(const std::string& name)
+{
+    std::error_code ec;
+    fs::remove(fs::path(directory_) / name, ec);
+}
+
+std::vector<std::string>
+LocalDirSink::list() const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+        if (entry.is_regular_file())
+            names.push_back(entry.path().filename().string());
+    }
+    return names;
+}
+
+std::string
+LocalDirSink::describe(const std::string& name) const
+{
+    return (fs::path(directory_) / name).string();
+}
+
+void
+MemoryCheckpointSink::put(const std::string& name,
+                          const std::vector<std::uint8_t>& bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    objects_[name] = bytes;
+}
+
+std::vector<std::uint8_t>
+MemoryCheckpointSink::get(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = objects_.find(name);
+    HDDTHERM_REQUIRE(it != objects_.end(),
+                     "cannot open checkpoint '" + describe(name) + "'");
+    return it->second;
+}
+
+bool
+MemoryCheckpointSink::contains(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return objects_.count(name) != 0;
+}
+
+void
+MemoryCheckpointSink::remove(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    objects_.erase(name);
+}
+
+std::vector<std::string>
+MemoryCheckpointSink::list() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(objects_.size());
+    for (const auto& kv : objects_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::string
+MemoryCheckpointSink::describe(const std::string& name) const
+{
+    return "mem://" + name;
+}
+
+std::size_t
+MemoryCheckpointSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return objects_.size();
+}
+
+} // namespace hddtherm::snap

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Where checkpoint bytes land: the CheckpointSink abstraction.
+ *
+ * CheckpointManager serializes on the simulation thread and performs all
+ * storage I/O on a private writer thread; a sink is the storage side of
+ * that split.  Every put() must be *atomic and durable*: a reader (or a
+ * crash) can never observe a half-written object.  LocalDirSink keeps
+ * today's temp-file + fflush + fsync + rename protocol; an object-store
+ * PUT sink slots in behind the same queue later without touching the
+ * determinism contract, because sinks only ever see finished container
+ * bytes.  MemoryCheckpointSink backs tests (and lets fault-injection
+ * sinks wrap it to exercise the manager's sticky-error path).
+ *
+ * Names handed to a sink are bare object names ("checkpoint-…#.hdtsnap"),
+ * never paths; describe() maps a name to a human/locator string (the
+ * full filesystem path for LocalDirSink).
+ */
+#ifndef HDDTHERM_SNAP_SINK_H
+#define HDDTHERM_SNAP_SINK_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hddtherm::snap {
+
+/// Durable storage for finished checkpoint containers.
+class CheckpointSink
+{
+  public:
+    virtual ~CheckpointSink() = default;
+
+    /**
+     * Durably store @p bytes under @p name, atomically replacing any
+     * previous object of that name.  @throws util::ModelError on
+     * failure, leaving any previous object intact.
+     */
+    virtual void put(const std::string& name,
+                     const std::vector<std::uint8_t>& bytes) = 0;
+
+    /// Fetch a stored object (throws util::ModelError if absent).
+    virtual std::vector<std::uint8_t> get(const std::string& name) const = 0;
+
+    /// True if an object of that name is stored.
+    virtual bool contains(const std::string& name) const = 0;
+
+    /// Delete an object if present (absence is not an error).
+    virtual void remove(const std::string& name) = 0;
+
+    /// Names of every stored object, in unspecified order.
+    virtual std::vector<std::string> list() const = 0;
+
+    /// Locator string for @p name (a filesystem path for local sinks).
+    virtual std::string describe(const std::string& name) const = 0;
+};
+
+/// Filesystem sink: one directory, temp+fsync+rename atomic puts.
+class LocalDirSink : public CheckpointSink
+{
+  public:
+    /// Creates @p directory if absent (throws if that fails).
+    explicit LocalDirSink(std::string directory);
+
+    void put(const std::string& name,
+             const std::vector<std::uint8_t>& bytes) override;
+    std::vector<std::uint8_t> get(const std::string& name) const override;
+    bool contains(const std::string& name) const override;
+    void remove(const std::string& name) override;
+    std::vector<std::string> list() const override;
+    std::string describe(const std::string& name) const override;
+
+    const std::string& directory() const { return directory_; }
+
+  private:
+    std::string directory_;
+};
+
+/// In-memory sink for tests: a mutex-protected name → bytes map.  puts
+/// are trivially atomic; fault-injection test sinks subclass this and
+/// fail selected puts to drive CheckpointManager's error path.
+class MemoryCheckpointSink : public CheckpointSink
+{
+  public:
+    void put(const std::string& name,
+             const std::vector<std::uint8_t>& bytes) override;
+    std::vector<std::uint8_t> get(const std::string& name) const override;
+    bool contains(const std::string& name) const override;
+    void remove(const std::string& name) override;
+    std::vector<std::string> list() const override;
+    std::string describe(const std::string& name) const override;
+
+    /// Number of stored objects.
+    std::size_t size() const;
+
+  protected:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<std::uint8_t>> objects_;
+};
+
+} // namespace hddtherm::snap
+
+#endif // HDDTHERM_SNAP_SINK_H

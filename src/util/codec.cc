@@ -1,0 +1,273 @@
+#include "util/codec.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hddtherm::util::codec {
+
+namespace {
+
+constexpr unsigned kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t(1) << kHashBits;
+/// How many chain candidates the matcher inspects per position.  Deeper
+/// searches buy ratio on the highly repetitive checkpoint field streams
+/// (names repeat across disks/bays) at linear encode cost.
+constexpr int kMaxChainDepth = 64;
+
+std::uint32_t
+hash4(const std::uint8_t* p)
+{
+    const std::uint32_t v = std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+                            std::uint32_t(p[2]) << 16 |
+                            std::uint32_t(p[3]) << 24;
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+appendLe(std::vector<std::uint8_t>& out, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+/// Emit one run length past a full nibble: 255-capped extension bytes.
+void
+appendExtension(std::vector<std::uint8_t>& out, std::size_t rem)
+{
+    while (rem >= 255) {
+        out.push_back(255);
+        rem -= 255;
+    }
+    out.push_back(std::uint8_t(rem));
+}
+
+/// One sequence: literals then (unless final) a match.
+void
+emitSequence(std::vector<std::uint8_t>& out, const std::uint8_t* literals,
+             std::size_t lit_len, std::size_t offset, std::size_t match_len)
+{
+    const std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+    const std::size_t match_code = match_len ? match_len - kMinMatch : 0;
+    const std::size_t match_nibble = match_code < 15 ? match_code : 15;
+    out.push_back(std::uint8_t(lit_nibble << 4 | match_nibble));
+    if (lit_nibble == 15)
+        appendExtension(out, lit_len - 15);
+    out.insert(out.end(), literals, literals + lit_len);
+    if (match_len == 0)
+        return; // Final, literal-only sequence: no offset follows.
+    appendLe(out, offset, 3);
+    if (match_nibble == 15)
+        appendExtension(out, match_code - 15);
+}
+
+/// Shared encoder: @p work is dict + data contiguously; only the data
+/// region (from @p start) is emitted, but matches may reach into the
+/// dictionary prefix.
+std::vector<std::uint8_t>
+compressImpl(const std::uint8_t* work, std::size_t start, std::size_t total)
+{
+    const std::size_t n = total - start;
+    std::vector<std::uint8_t> out;
+    out.reserve(8 + n / 2 + 16);
+    appendLe(out, n, 8);
+    if (n == 0)
+        return out;
+
+    // Hash-chain matcher: head[h] is the newest position hashing to h,
+    // prev[] links back through older ones.
+    std::vector<std::int32_t> head(kHashSize, -1);
+    std::vector<std::int32_t> prev(total, -1);
+    const auto insert = [&](std::size_t pos) {
+        if (pos + kMinMatch > total)
+            return;
+        const std::uint32_t h = hash4(work + pos);
+        prev[pos] = head[h];
+        head[h] = std::int32_t(pos);
+    };
+    for (std::size_t i = 0; i < start; ++i)
+        insert(i);
+
+    std::size_t pos = start;
+    std::size_t lit_start = start;
+    while (pos + kMinMatch <= total) {
+        std::size_t best_len = 0;
+        std::size_t best_pos = 0;
+        int depth = 0;
+        for (std::int32_t c = head[hash4(work + pos)];
+             c >= 0 && depth < kMaxChainDepth; c = prev[std::size_t(c)]) {
+            ++depth;
+            const auto cand = std::size_t(c);
+            if (pos - cand > kMaxOffset)
+                break; // Chains age monotonically; older is only further.
+            if (pos + best_len >= total)
+                break; // The best match already reaches the end.
+            if (work[cand + best_len] != work[pos + best_len])
+                continue; // Cheap reject: cannot beat the current best.
+            std::size_t len = 0;
+            const std::size_t cap = total - pos;
+            while (len < cap && work[cand + len] == work[pos + len])
+                ++len;
+            if (len > best_len) {
+                best_len = len;
+                best_pos = cand;
+            }
+        }
+        if (best_len >= kMinMatch) {
+            emitSequence(out, work + lit_start, pos - lit_start,
+                         pos - best_pos, best_len);
+            const std::size_t end = pos + best_len;
+            for (; pos < end; ++pos)
+                insert(pos);
+            lit_start = pos;
+        } else {
+            insert(pos);
+            ++pos;
+        }
+    }
+    // Trailing literals, if any; a stream may also end right after a
+    // match (the decoder stops once the declared size is reached).
+    if (lit_start < total)
+        emitSequence(out, work + lit_start, total - lit_start, 0, 0);
+    return out;
+}
+
+/// Shared decoder; @p dict supplies pre-loaded history (not re-emitted).
+std::vector<std::uint8_t>
+decompressImpl(const std::uint8_t* dict, std::size_t dict_len,
+               const std::uint8_t* in, std::size_t n,
+               const std::string& context)
+{
+    const auto fail = [&](const std::string& what) -> void {
+        throw ModelError(context + ": " + what);
+    };
+    if (n < 8)
+        fail("compressed stream is too short to hold its size header");
+    std::uint64_t raw_size = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        raw_size |= std::uint64_t(in[i]) << (8 * i);
+
+    // History starts with the dictionary; the decoded payload is the
+    // suffix past it.  Growth is bounds-checked against the declared
+    // size, so a corrupt header cannot drive an unbounded allocation.
+    std::vector<std::uint8_t> out(dict, dict + dict_len);
+    std::size_t pos = 8;
+    const auto readRun = [&](std::size_t nibble) {
+        std::size_t run = nibble;
+        if (nibble == 15) {
+            std::uint8_t b = 255;
+            while (b == 255) {
+                if (pos >= n)
+                    fail("compressed stream is truncated inside a "
+                         "run-length extension");
+                b = in[pos++];
+                run += b;
+            }
+        }
+        return run;
+    };
+    while (out.size() - dict_len < raw_size) {
+        if (pos >= n)
+            fail("compressed stream is truncated (declared " +
+                 std::to_string(raw_size) + " bytes, decoded " +
+                 std::to_string(out.size() - dict_len) + ")");
+        const std::uint8_t token = in[pos++];
+        const std::size_t lit_len = readRun(std::size_t(token) >> 4);
+        if (lit_len > n - pos)
+            fail("compressed stream is truncated inside a literal run");
+        if (out.size() - dict_len + lit_len > raw_size)
+            fail("literal run overruns the declared decoded size");
+        out.insert(out.end(), in + pos, in + pos + lit_len);
+        pos += lit_len;
+        if (pos == n)
+            break; // Final sequence: literals only.
+        if (pos + 3 > n)
+            fail("compressed stream is truncated inside a match offset");
+        const std::size_t offset = std::size_t(in[pos]) |
+                                   std::size_t(in[pos + 1]) << 8 |
+                                   std::size_t(in[pos + 2]) << 16;
+        pos += 3;
+        if (offset == 0 || offset > out.size())
+            fail("match offset reaches before the start of history");
+        const std::size_t match_len =
+            readRun(std::size_t(token) & 15) + kMinMatch;
+        if (out.size() - dict_len + match_len > raw_size)
+            fail("match overruns the declared decoded size");
+        // Byte-by-byte: overlapping matches reproduce periodic runs.
+        for (std::size_t i = 0; i < match_len; ++i)
+            out.push_back(out[out.size() - offset]);
+    }
+    if (out.size() - dict_len != raw_size)
+        fail("compressed stream ended " +
+             std::to_string(raw_size - (out.size() - dict_len)) +
+             " bytes short of its declared size");
+    if (pos != n)
+        fail("compressed stream carries trailing garbage");
+    out.erase(out.begin(), out.begin() + std::ptrdiff_t(dict_len));
+    return out;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+compress(const std::uint8_t* data, std::size_t size)
+{
+    return compressImpl(data, 0, size);
+}
+
+std::vector<std::uint8_t>
+compressWithDict(const std::vector<std::uint8_t>& dict,
+                 const std::uint8_t* data, std::size_t size)
+{
+    const std::size_t use = dict.size() < kMaxOffset ? dict.size()
+                                                     : kMaxOffset;
+    std::vector<std::uint8_t> work;
+    work.reserve(use + size);
+    work.insert(work.end(), dict.end() - std::ptrdiff_t(use), dict.end());
+    work.insert(work.end(), data, data + size);
+    return compressImpl(work.data(), use, work.size());
+}
+
+std::vector<std::uint8_t>
+decompress(const std::uint8_t* data, std::size_t size,
+           const std::string& context)
+{
+    return decompressImpl(nullptr, 0, data, size, context);
+}
+
+std::vector<std::uint8_t>
+decompressWithDict(const std::vector<std::uint8_t>& dict,
+                   const std::uint8_t* data, std::size_t size,
+                   const std::string& context)
+{
+    const std::size_t use = dict.size() < kMaxOffset ? dict.size()
+                                                     : kMaxOffset;
+    return decompressImpl(dict.data() + (dict.size() - use), use, data,
+                          size, context);
+}
+
+std::uint64_t
+decodedSize(const std::uint8_t* data, std::size_t size,
+            const std::string& context)
+{
+    HDDTHERM_REQUIRE(size >= 8, context + ": compressed stream is too "
+                                          "short to hold its size header");
+    std::uint64_t raw_size = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        raw_size |= std::uint64_t(data[i]) << (8 * i);
+    return raw_size;
+}
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t>& data)
+{
+    return compress(data.data(), data.size());
+}
+
+std::vector<std::uint8_t>
+decompress(const std::vector<std::uint8_t>& data, const std::string& context)
+{
+    return decompress(data.data(), data.size(), context);
+}
+
+} // namespace hddtherm::util::codec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small LZ-class codec for checkpoint section payloads.
+ *
+ * The encoded stream is self-describing and byte-oriented:
+ *
+ *   u64 decoded size (little-endian) | sequences...
+ *
+ * Each sequence is one token byte (high nibble: literal run length, low
+ * nibble: match length - 4, either nibble 15 spilling into 255-capped
+ * extension bytes), the literals, and — unless the sequence is the
+ * stream's final, literal-only one — a 24-bit little-endian match offset
+ * reaching up to 16 MiB back (wide enough that a delta-encoded section
+ * can match anywhere in its base, not just a trailing window).  Matches
+ * may overlap their own output
+ * (run-length shapes) and, in dictionary mode, reach back into a caller-
+ * supplied preset dictionary that is not part of the output; delta
+ * checkpoints use that to store a changed section as a cheap edit script
+ * against the base checkpoint's copy of the same section.
+ *
+ * The decoder is strict: truncation anywhere, an offset before the start
+ * of history, output disagreeing with the declared size, or trailing
+ * bytes all throw util::ModelError naming the caller's context.
+ * Compression is deterministic — equal inputs (and dictionaries) always
+ * produce equal streams, which the checkpoint bit-identity contract
+ * relies on (docs/checkpoint.md).
+ *
+ * The implementation is compiled into the bottom-layer hddtherm_snap
+ * library (see src/snap/CMakeLists.txt): hddtherm_util publicly links
+ * hddtherm_snap, so the codec living in hddtherm_util would be a cycle.
+ */
+#ifndef HDDTHERM_UTIL_CODEC_H
+#define HDDTHERM_UTIL_CODEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hddtherm::util::codec {
+
+/// Furthest back a match may reach (offsets are 24-bit).
+inline constexpr std::size_t kMaxOffset = (std::size_t(1) << 24) - 1;
+
+/// Shortest encodable match.
+inline constexpr std::size_t kMinMatch = 4;
+
+/// Compress @p size bytes at @p data.
+std::vector<std::uint8_t> compress(const std::uint8_t* data,
+                                   std::size_t size);
+
+/// Compress @p data against a preset dictionary: matches may reach into
+/// the last kMaxOffset bytes of @p dict, which the decoder must re-supply.
+std::vector<std::uint8_t>
+compressWithDict(const std::vector<std::uint8_t>& dict,
+                 const std::uint8_t* data, std::size_t size);
+
+/**
+ * Decode a compress() stream.  @p context names the payload in error
+ * messages (e.g. "checkpoint 'x' section 'y'").
+ * @throws util::ModelError on any truncation or corruption.
+ */
+std::vector<std::uint8_t> decompress(const std::uint8_t* data,
+                                     std::size_t size,
+                                     const std::string& context);
+
+/// Decode a compressWithDict() stream against the same dictionary.
+std::vector<std::uint8_t>
+decompressWithDict(const std::vector<std::uint8_t>& dict,
+                   const std::uint8_t* data, std::size_t size,
+                   const std::string& context);
+
+/// Decoded size declared in a stream's header (cheap: reads 8 bytes).
+std::uint64_t decodedSize(const std::uint8_t* data, std::size_t size,
+                          const std::string& context);
+
+/// @name Convenience overloads over whole vectors.
+/// @{
+std::vector<std::uint8_t> compress(const std::vector<std::uint8_t>& data);
+std::vector<std::uint8_t> decompress(const std::vector<std::uint8_t>& data,
+                                     const std::string& context);
+/// @}
+
+} // namespace hddtherm::util::codec
+
+#endif // HDDTHERM_UTIL_CODEC_H

@@ -1,0 +1,695 @@
+/**
+ * @file
+ * Torture tests of delta checkpoints, payload compression, and the
+ * checkpoint sink: resume from a compressed base+delta chain must be
+ * bit-identical to the uninterrupted run (fault-free, faulted, and
+ * fleet runs across thread counts); corrupted or truncated containers,
+ * missing or rewritten bases, and failing sinks must all fail loudly;
+ * and retention must never orphan a base a surviving delta depends on.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dtm/cosim.h"
+#include "fault/fault_schedule.h"
+#include "fleet/fleet_sim.h"
+#include "snap/checkpoint.h"
+#include "snap/delta.h"
+#include "snap/format.h"
+#include "snap/sink.h"
+#include "snap/state.h"
+#include "util/error.h"
+
+namespace fs = std::filesystem;
+namespace hd = hddtherm::dtm;
+namespace hf = hddtherm::fleet;
+namespace hfault = hddtherm::fault;
+namespace hs = hddtherm::sim;
+namespace hsnap = hddtherm::snap;
+namespace hu = hddtherm::util;
+
+namespace {
+
+/// A hot 2.6" drive (steady state above the envelope at full duty) so
+/// DTM policies actuate — and section payloads actually churn.
+hs::SystemConfig
+hotDrive()
+{
+    hs::SystemConfig cfg;
+    cfg.disk.geometry.diameterInches = 2.6;
+    cfg.disk.geometry.platters = 1;
+    cfg.disk.tech = {500e3, 60e3};
+    cfg.disk.rpm = 24534.0;
+    cfg.disk.rpmChangeSecPerKrpm = 0.02;
+    cfg.disks = 1;
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+fixedWorkload(std::size_t n, std::int64_t space, double rate)
+{
+    std::vector<hs::IoRequest> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 1.0 / rate;
+        hs::IoRequest r;
+        r.id = i + 1;
+        r.arrival = t;
+        r.lba = std::int64_t(i * 7919 * 512) % (space - 64);
+        r.sectors = 8;
+        r.type = i % 4 ? hs::IoType::Read : hs::IoType::Write;
+        out.push_back(r);
+    }
+    return out;
+}
+
+void
+expectSameResult(const hd::CoSimResult& a, const hd::CoSimResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.meanTempC, b.meanTempC);
+    EXPECT_EQ(a.envelopeExceededSec, b.envelopeExceededSec);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.meanVcmDuty, b.meanVcmDuty);
+    EXPECT_EQ(a.invalidReadings, b.invalidReadings);
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations);
+    EXPECT_EQ(a.failSafeSec, b.failSafeSec);
+}
+
+void
+expectSameFleetResult(const hf::FleetResult& a, const hf::FleetResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.meanLatencyMs, b.meanLatencyMs);
+    EXPECT_EQ(a.p95LatencyMs, b.p95LatencyMs);
+    EXPECT_EQ(a.maxDriveTempC, b.maxDriveTempC);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.shards, b.shards);
+    ASSERT_EQ(a.chassis.size(), b.chassis.size());
+    for (std::size_t i = 0; i < a.chassis.size(); ++i) {
+        EXPECT_EQ(a.chassis[i].peakDriveTempC,
+                  b.chassis[i].peakDriveTempC);
+        EXPECT_EQ(a.chassis[i].gateEvents, b.chassis[i].gateEvents);
+    }
+}
+
+fs::path
+scratchDir(const std::string& name)
+{
+    const fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFileBytes(const fs::path& path, const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+}
+
+std::vector<fs::path>
+checkpointFiles(const fs::path& dir)
+{
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir))
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::vector<std::uint8_t>
+endStateBytes(const hd::CoSimEngine& engine)
+{
+    hsnap::CheckpointWriter out(0);
+    engine.saveSections(out);
+    return out.serialize();
+}
+
+hsnap::CheckpointPolicy
+deltaPolicy(const fs::path& dir, double every_sec,
+            std::uint64_t every_epochs = 0)
+{
+    hsnap::CheckpointPolicy policy;
+    policy.directory = dir.string();
+    policy.everySec = every_sec;
+    policy.everyEpochs = every_epochs;
+    policy.retain = 1000; // keep everything: tests pick mid-run files
+    policy.delta = true;
+    policy.compress = true;
+    return policy;
+}
+
+/// A delta-chain leaf (anchor + >= @p min_deltas deltas) from @p files.
+fs::path
+deltaLeafWithChain(const std::vector<fs::path>& files,
+                   std::uint64_t min_deltas)
+{
+    for (const auto& file : files) {
+        const hsnap::CheckpointReader reader(file.string());
+        if (hsnap::isDeltaCheckpoint(reader) &&
+            hsnap::readDeltaManifest(reader).chainLength >= min_deltas)
+            return file;
+    }
+    ADD_FAILURE() << "no delta leaf with a chain of " << min_deltas
+                  << " among " << files.size() << " checkpoints";
+    return {};
+}
+
+/// Uninterrupted delta+compressed run vs resume-from-mid-chain: same
+/// results, same end state, byte-identical post-resume checkpoints.
+void
+checkDeltaResumeBitIdentity(const hd::CoSimConfig& cfg,
+                            const std::string& tag)
+{
+    const auto workload = fixedWorkload(
+        400, hs::StorageSystem(cfg.system).logicalSectors(), 100.0);
+
+    const auto dir_a = scratchDir("hddtherm-snap-delta-" + tag + "-a");
+    hd::CoSimEngine full(cfg);
+    full.enableCheckpoints(deltaPolicy(dir_a, 0.5));
+    full.start(workload);
+    full.advanceToCompletion();
+
+    // A delta run must also be a pure observer: identical to bare.
+    hd::CoSimEngine bare(cfg);
+    bare.start(workload);
+    bare.advanceToCompletion();
+    expectSameResult(bare.result(), full.result());
+
+    // The acceptance bar: resume from a leaf whose chain carries a base
+    // plus at least three deltas, all compressed.
+    const auto files_a = checkpointFiles(dir_a);
+    ASSERT_GE(files_a.size(), 5u);
+    const fs::path leaf = deltaLeafWithChain(files_a, 3);
+    std::vector<hsnap::ChainHop> lineage;
+    hsnap::resolveCheckpointChain(leaf.string(), &lineage);
+    ASSERT_GE(lineage.size(), 4u); // leaf + >=2 deltas + anchor
+    EXPECT_FALSE(lineage.back().delta);
+
+    const auto dir_b = scratchDir("hddtherm-snap-delta-" + tag + "-b");
+    hd::CoSimEngine resumed(cfg);
+    resumed.enableCheckpoints(deltaPolicy(dir_b, 0.5));
+    resumed.restoreFromCheckpoint(leaf.string(), workload);
+    resumed.advanceToCompletion();
+
+    expectSameResult(full.result(), resumed.result());
+    EXPECT_EQ(endStateBytes(full), endStateBytes(resumed));
+    // Post-resume checkpoints — deltas diffed against a restored base
+    // and anchors alike — must be byte-identical to the uninterrupted
+    // run's files of the same index.
+    const auto files_b = checkpointFiles(dir_b);
+    EXPECT_GE(files_b.size(), 1u);
+    for (const auto& file : files_b) {
+        const fs::path original = dir_a / file.filename();
+        ASSERT_TRUE(fs::exists(original)) << file.filename();
+        EXPECT_EQ(readFileBytes(file), readFileBytes(original))
+            << file.filename();
+    }
+    fs::remove_all(dir_a);
+    fs::remove_all(dir_b);
+}
+
+/// A sink that fails the Nth put() and every one after it, the way a
+/// full disk fails: prior objects stay durable and readable.
+class FailingSink : public hsnap::MemoryCheckpointSink
+{
+  public:
+    explicit FailingSink(std::size_t fail_from) : fail_from_(fail_from) {}
+
+    void put(const std::string& name,
+             const std::vector<std::uint8_t>& bytes) override
+    {
+        if (++puts_ >= fail_from_)
+            throw hu::ModelError("sink put '" + name +
+                                 "' failed: no space left on device");
+        MemoryCheckpointSink::put(name, bytes);
+    }
+
+  private:
+    std::size_t fail_from_;
+    std::size_t puts_ = 0;
+};
+
+/// One-section checkpoint whose payload varies with @p index (plus a
+/// constant section, so deltas have something to omit).
+hsnap::CheckpointWriter
+tinyCheckpoint(std::uint64_t index)
+{
+    hsnap::CheckpointWriter ckpt(0xc0fe);
+    hsnap::StateWriter stable("stable");
+    stable.str("motto", "never changes");
+    ckpt.addSection(std::move(stable));
+    hsnap::StateWriter moving("moving");
+    moving.u64("tick", index * 1000);
+    std::vector<double> values;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        values.push_back(double(index * 64 + i) * 0.5);
+    moving.f64vec("values", values);
+    ckpt.addSection(std::move(moving));
+    return ckpt;
+}
+
+} // namespace
+
+TEST(SnapDelta, FaultFreeGateRunResumesBitIdenticallyFromDeltaChain)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    checkDeltaResumeBitIdentity(cfg, "gate");
+}
+
+TEST(SnapDelta, FaultedGovernorRunResumesBitIdenticallyFromDeltaChain)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GovernSpeed;
+    cfg.rpmLadder = {15020.0, 18000.0, 21000.0, 24534.0};
+    cfg.faults = hfault::FaultSchedule(
+        {
+            {0.5, hfault::FaultKind::SensorNoise, 0.3, 3.0, -1},
+            {1.2, hfault::FaultKind::SensorDropout, 0.0, 1.0, -1},
+            {2.0, hfault::FaultKind::AmbientSpike, 4.0, 2.0, -1},
+        },
+        0x5eedu);
+    checkDeltaResumeBitIdentity(cfg, "governor");
+}
+
+TEST(SnapDelta, CompressedFullCheckpointsResumeBitIdentically)
+{
+    // Compression without delta mode: the flag composes independently.
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    const auto workload = fixedWorkload(
+        300, hs::StorageSystem(cfg.system).logicalSectors(), 100.0);
+
+    const auto dir_a = scratchDir("hddtherm-snap-delta-lz-a");
+    auto policy_a = deltaPolicy(dir_a, 1.0);
+    policy_a.delta = false;
+    hd::CoSimEngine full(cfg);
+    full.enableCheckpoints(policy_a);
+    full.start(workload);
+    full.advanceToCompletion();
+
+    const auto files_a = checkpointFiles(dir_a);
+    ASSERT_GE(files_a.size(), 2u);
+    for (const auto& file : files_a) {
+        EXPECT_FALSE(
+            hsnap::isDeltaCheckpoint(hsnap::CheckpointReader(file.string())))
+            << file.filename();
+    }
+    const fs::path mid = files_a[files_a.size() / 2];
+
+    const auto dir_b = scratchDir("hddtherm-snap-delta-lz-b");
+    auto policy_b = policy_a;
+    policy_b.directory = dir_b.string();
+    hd::CoSimEngine resumed(cfg);
+    resumed.enableCheckpoints(policy_b);
+    resumed.restoreFromCheckpoint(mid.string(), workload);
+    resumed.advanceToCompletion();
+
+    expectSameResult(full.result(), resumed.result());
+    for (const auto& file : checkpointFiles(dir_b)) {
+        EXPECT_EQ(readFileBytes(file),
+                  readFileBytes(dir_a / file.filename()))
+            << file.filename();
+    }
+    fs::remove_all(dir_a);
+    fs::remove_all(dir_b);
+}
+
+TEST(SnapDelta, FleetResumesBitIdenticallyFromDeltaChainAcrossThreads)
+{
+    hf::FleetConfig cfg;
+    cfg.racks = 1;
+    cfg.rack.chassisCount = 2;
+    cfg.chassis.bays = 3;
+    cfg.bay.system = hotDrive();
+    cfg.bay.policy = hd::DtmPolicy::GateRequests;
+    cfg.workload.requests = 150;
+    cfg.workload.arrivalRatePerSec = 100.0;
+    cfg.epochSec = 0.25;
+    cfg.maxSimulatedSec = 600.0;
+    cfg.seed = 7;
+
+    const auto dir = scratchDir("hddtherm-snap-delta-fleet");
+    hf::FleetSimulation fleet(cfg);
+    auto policy = deltaPolicy(dir, 0.0, 10);
+    policy.anchorEvery = 4;
+    const auto full = fleet.run(2, nullptr, &policy);
+
+    const auto files = checkpointFiles(dir);
+    ASSERT_GE(files.size(), 3u);
+    const fs::path leaf = deltaLeafWithChain(files, 1);
+    for (const int threads : {1, 4}) {
+        const auto resumed = fleet.resume(leaf.string(), threads);
+        expectSameFleetResult(full, resumed);
+    }
+
+    // Resumed-with-checkpoints: post-resume delta files byte-match the
+    // uninterrupted run's.
+    const auto dir_b = scratchDir("hddtherm-snap-delta-fleet-b");
+    auto policy_b = policy;
+    policy_b.directory = dir_b.string();
+    const auto resumed =
+        fleet.resume(leaf.string(), 1, nullptr, &policy_b);
+    expectSameFleetResult(full, resumed);
+    const auto files_b = checkpointFiles(dir_b);
+    EXPECT_GE(files_b.size(), 1u);
+    for (const auto& file : files_b) {
+        EXPECT_EQ(readFileBytes(file),
+                  readFileBytes(dir / file.filename()))
+            << file.filename();
+    }
+    fs::remove_all(dir);
+    fs::remove_all(dir_b);
+}
+
+TEST(SnapDelta, AnchorCadenceIsAPureFunctionOfTheIndex)
+{
+    hsnap::CheckpointPolicy policy;
+    policy.delta = true;
+    policy.anchorEvery = 4;
+    policy.retain = 1000;
+    auto sink = std::make_unique<hsnap::MemoryCheckpointSink>();
+    auto* mem = sink.get();
+    hsnap::CheckpointManager mgr(policy, std::move(sink));
+
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(mgr.isAnchor(i), i % 4 == 0) << i;
+        mgr.write(tinyCheckpoint(i), i);
+    }
+    mgr.flush();
+    EXPECT_EQ(mem->size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const hsnap::CheckpointReader reader(
+            mgr.fileNameFor(i), mem->get(mgr.fileNameFor(i)));
+        EXPECT_EQ(hsnap::isDeltaCheckpoint(reader), i % 4 != 0) << i;
+    }
+}
+
+TEST(SnapDelta, DeltaCarriesOnlyChangedSectionsAndAFullManifest)
+{
+    hsnap::CheckpointPolicy policy;
+    policy.delta = true;
+    policy.anchorEvery = 8;
+    auto sink = std::make_unique<hsnap::MemoryCheckpointSink>();
+    auto* mem = sink.get();
+    hsnap::CheckpointManager mgr(policy, std::move(sink));
+    mgr.write(tinyCheckpoint(0), 0);
+    mgr.write(tinyCheckpoint(1), 1);
+    mgr.flush();
+
+    const hsnap::CheckpointReader delta(mgr.fileNameFor(1),
+                                        mem->get(mgr.fileNameFor(1)));
+    ASSERT_TRUE(hsnap::isDeltaCheckpoint(delta));
+    EXPECT_FALSE(delta.has("stable")); // unchanged => omitted
+    EXPECT_TRUE(delta.has("moving"));
+
+    const auto manifest = hsnap::readDeltaManifest(delta);
+    EXPECT_EQ(manifest.index, 1u);
+    EXPECT_EQ(manifest.baseIndex, 0u);
+    EXPECT_EQ(manifest.baseFile, mgr.fileNameFor(0));
+    EXPECT_EQ(manifest.chainLength, 1u);
+    // The manifest lists the *full* logical section set, carried or not.
+    EXPECT_EQ(manifest.names,
+              (std::vector<std::string>{"stable", "moving"}));
+    const hsnap::CheckpointReader base(mgr.fileNameFor(0),
+                                       mem->get(mgr.fileNameFor(0)));
+    EXPECT_EQ(manifest.baseHash, base.containerHash());
+}
+
+TEST(SnapDelta, ChainLineageIsReportedLeafFirst)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    const auto workload = fixedWorkload(
+        400, hs::StorageSystem(cfg.system).logicalSectors(), 100.0);
+
+    const auto dir = scratchDir("hddtherm-snap-delta-lineage");
+    hd::CoSimEngine engine(cfg);
+    engine.enableCheckpoints(deltaPolicy(dir, 0.5));
+    engine.start(workload);
+    engine.advanceToCompletion();
+
+    const auto files = checkpointFiles(dir);
+    const fs::path leaf = deltaLeafWithChain(files, 3);
+    std::vector<hsnap::ChainHop> lineage;
+    hsnap::resolveCheckpointChain(leaf.string(), &lineage);
+
+    ASSERT_GE(lineage.size(), 4u);
+    EXPECT_EQ(lineage.front().path, leaf.string());
+    EXPECT_FALSE(lineage.back().delta); // ends at the anchor
+    EXPECT_EQ(lineage.back().chainLength, 0u);
+    for (std::size_t i = 0; i + 1 < lineage.size(); ++i) {
+        EXPECT_TRUE(lineage[i].delta);
+        EXPECT_EQ(lineage[i].chainLength, lineage.size() - 1 - i);
+        // Each hop's baseFile names the next hop down the chain.
+        EXPECT_EQ(lineage[i].baseFile,
+                  fs::path(lineage[i + 1].path).filename().string());
+        EXPECT_EQ(lineage[i].index, lineage[i + 1].index + 1);
+    }
+    const std::string text = hsnap::describeChain(lineage);
+    for (const auto& hop : lineage)
+        EXPECT_NE(text.find(fs::path(hop.path).filename().string()),
+                  std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(SnapDelta, TruncatedAndCorruptedChainFilesFailLoudlyNamingTheSection)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    const auto workload = fixedWorkload(
+        400, hs::StorageSystem(cfg.system).logicalSectors(), 100.0);
+
+    const auto dir = scratchDir("hddtherm-snap-delta-corrupt");
+    hd::CoSimEngine engine(cfg);
+    engine.enableCheckpoints(deltaPolicy(dir, 0.5));
+    engine.start(workload);
+    engine.advanceToCompletion();
+
+    const fs::path leaf = deltaLeafWithChain(checkpointFiles(dir), 2);
+    const auto pristine = readFileBytes(leaf);
+
+    // Truncation sweep: every cut must be a loud parse failure.
+    for (const std::size_t keep :
+         {std::size_t(0), std::size_t(4), std::size_t(7),
+          std::size_t(16), std::size_t(60), pristine.size() / 2,
+          pristine.size() - 1}) {
+        writeFileBytes(leaf, {pristine.begin(),
+                              pristine.begin() + std::ptrdiff_t(keep)});
+        EXPECT_THROW(hsnap::CheckpointReader(leaf.string()),
+                     hu::ModelError)
+            << "kept " << keep << " of " << pristine.size();
+        EXPECT_THROW(hsnap::resolveCheckpointChain(leaf.string()),
+                     hu::ModelError);
+    }
+
+    // A flipped byte inside each stored payload — compressed, dict-
+    // encoded, and the manifest alike — must fail naming the section.
+    writeFileBytes(leaf, pristine);
+    const hsnap::CheckpointReader reader(leaf.string());
+    for (const auto& name : reader.sectionNames()) {
+        const auto& stored = reader.storedBytes(name);
+        ASSERT_FALSE(stored.empty());
+        const auto it = std::search(pristine.begin(), pristine.end(),
+                                    stored.begin(), stored.end());
+        ASSERT_NE(it, pristine.end()) << name;
+        auto bent = pristine;
+        bent[std::size_t(it - pristine.begin())] ^= 0x01;
+        writeFileBytes(leaf, bent);
+        try {
+            hsnap::resolveCheckpointChain(leaf.string());
+            ADD_FAILURE() << "corrupt section " << name << " resolved";
+        } catch (const hu::ModelError& e) {
+            EXPECT_NE(std::strstr(e.what(), name.c_str()), nullptr)
+                << e.what();
+        }
+    }
+    writeFileBytes(leaf, pristine);
+    EXPECT_NO_THROW(hsnap::resolveCheckpointChain(leaf.string()));
+    fs::remove_all(dir);
+}
+
+TEST(SnapDelta, MissingOrRewrittenBaseIsALoudErrorNeverAFreshStart)
+{
+    hd::CoSimConfig cfg;
+    cfg.system = hotDrive();
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    const auto workload = fixedWorkload(
+        400, hs::StorageSystem(cfg.system).logicalSectors(), 100.0);
+
+    const auto dir = scratchDir("hddtherm-snap-delta-missing");
+    hd::CoSimEngine engine(cfg);
+    engine.enableCheckpoints(deltaPolicy(dir, 0.5));
+    engine.start(workload);
+    engine.advanceToCompletion();
+
+    const fs::path leaf = deltaLeafWithChain(checkpointFiles(dir), 2);
+    const auto manifest = hsnap::readDeltaManifest(
+        hsnap::CheckpointReader(leaf.string()));
+    const fs::path base = dir / manifest.baseFile;
+    const auto base_bytes = readFileBytes(base);
+
+    // Base deleted (over-pruned, say): resolving and resuming both fail
+    // loudly; nothing falls back to a fresh start.
+    fs::remove(base);
+    try {
+        hsnap::resolveCheckpointChain(leaf.string());
+        ADD_FAILURE() << "chain with a missing base resolved";
+    } catch (const hu::ModelError& e) {
+        EXPECT_NE(std::strstr(e.what(), "missing base"), nullptr)
+            << e.what();
+        EXPECT_NE(std::strstr(e.what(), "pruned"), nullptr) << e.what();
+    }
+    hd::CoSimEngine fresh(cfg);
+    EXPECT_THROW(fresh.restoreFromCheckpoint(leaf.string(), workload),
+                 hu::ModelError);
+
+    // Base replaced by a different (valid) container: the pinned hash
+    // must catch it.
+    const auto files = checkpointFiles(dir);
+    ASSERT_FALSE(files.empty());
+    writeFileBytes(base, readFileBytes(files.front() == base
+                                           ? files.back()
+                                           : files.front()));
+    try {
+        hsnap::resolveCheckpointChain(leaf.string());
+        ADD_FAILURE() << "chain with a rewritten base resolved";
+    } catch (const hu::ModelError& e) {
+        EXPECT_NE(std::strstr(e.what(), "hash"), nullptr) << e.what();
+    }
+
+    writeFileBytes(base, base_bytes);
+    EXPECT_NO_THROW(hsnap::resolveCheckpointChain(leaf.string()));
+    fs::remove_all(dir);
+}
+
+TEST(SnapDelta, RetentionNeverOrphansABaseASurvivingDeltaNeeds)
+{
+    const auto dir = scratchDir("hddtherm-snap-delta-retention");
+    hsnap::CheckpointPolicy policy;
+    policy.directory = dir.string();
+    policy.delta = true;
+    policy.compress = true;
+    policy.anchorEvery = 4;
+    policy.retain = 2;
+    {
+        hsnap::CheckpointManager mgr(policy);
+        for (std::uint64_t i = 0; i <= 6; ++i)
+            mgr.write(tinyCheckpoint(i), i);
+        mgr.flush();
+    }
+    // Newest two are indices 5 and 6 — both deltas.  Their chain runs
+    // back to the anchor at 4, which retention must have kept even
+    // though it is older than the retain window; everything before it
+    // must be gone.
+    std::vector<std::string> names;
+    for (const auto& file : checkpointFiles(dir))
+        names.push_back(file.filename().string());
+    hsnap::CheckpointManager probe(policy);
+    EXPECT_EQ(names, (std::vector<std::string>{probe.fileNameFor(4),
+                                               probe.fileNameFor(5),
+                                               probe.fileNameFor(6)}));
+    std::vector<hsnap::ChainHop> lineage;
+    EXPECT_NO_THROW(hsnap::resolveCheckpointChain(
+        probe.pathFor(6), &lineage));
+    EXPECT_EQ(lineage.size(), 3u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapDelta, FailingSinkRaisesStickyErrorAndPreservesTheDurableChain)
+{
+    hsnap::CheckpointPolicy policy;
+    policy.delta = true;
+    policy.compress = true;
+    policy.anchorEvery = 8;
+    auto sink = std::make_unique<FailingSink>(3); // third put ENOSPACEs
+    auto* mem = sink.get();
+    hsnap::CheckpointManager mgr(policy, std::move(sink));
+
+    mgr.write(tinyCheckpoint(0), 0);
+    mgr.write(tinyCheckpoint(1), 1);
+    mgr.flush(); // both durable
+    const auto bytes0 = mem->get(mgr.fileNameFor(0));
+    const auto bytes1 = mem->get(mgr.fileNameFor(1));
+
+    mgr.write(tinyCheckpoint(2), 2);
+    try {
+        mgr.flush();
+        ADD_FAILURE() << "flush over a failing sink succeeded";
+    } catch (const hu::ModelError& e) {
+        EXPECT_NE(std::strstr(e.what(), "no space left"), nullptr)
+            << e.what();
+    }
+    // The error is sticky: later writes and flushes keep failing rather
+    // than silently losing checkpoints.
+    EXPECT_THROW(mgr.write(tinyCheckpoint(3), 3), hu::ModelError);
+    EXPECT_THROW(mgr.flush(), hu::ModelError);
+
+    // The failed delta never landed and the prior durable chain is
+    // untouched and still consistent.
+    EXPECT_FALSE(mem->contains(mgr.fileNameFor(2)));
+    EXPECT_EQ(mem->get(mgr.fileNameFor(0)), bytes0);
+    EXPECT_EQ(mem->get(mgr.fileNameFor(1)), bytes1);
+    const hsnap::CheckpointReader survivor(mgr.fileNameFor(1), bytes1);
+    ASSERT_TRUE(hsnap::isDeltaCheckpoint(survivor));
+    EXPECT_EQ(hsnap::readDeltaManifest(survivor).baseHash,
+              hsnap::CheckpointReader(mgr.fileNameFor(0), bytes0)
+                  .containerHash());
+}
+
+TEST(SnapDelta, MemorySinkImplementsTheFullContract)
+{
+    hsnap::MemoryCheckpointSink sink;
+    EXPECT_FALSE(sink.contains("a"));
+    EXPECT_THROW(sink.get("a"), hu::ModelError);
+    sink.put("a", {1, 2, 3});
+    sink.put("b", {4});
+    EXPECT_TRUE(sink.contains("a"));
+    EXPECT_EQ(sink.get("a"), (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(sink.size(), 2u);
+    auto names = sink.list();
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(sink.describe("a"), "mem://a");
+    sink.put("a", {9}); // atomic replace
+    EXPECT_EQ(sink.get("a"), (std::vector<std::uint8_t>{9}));
+    sink.remove("a");
+    EXPECT_FALSE(sink.contains("a"));
+    EXPECT_NO_THROW(sink.remove("a")); // absence is not an error
+    EXPECT_EQ(sink.size(), 1u);
+}

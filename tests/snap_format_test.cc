@@ -358,8 +358,13 @@ TEST(CheckpointManager, FlushRethrowsWriterThreadFailures)
     out.addSection("s", {1, 2, 3});
     mgr.write(out, 1);
     EXPECT_THROW(mgr.flush(), hu::ModelError);
-    // The error is consumed; a subsequent flush of an idle queue is fine.
-    EXPECT_NO_THROW(mgr.flush());
+    // The error is sticky: later flushes (and writes) keep failing
+    // rather than silently losing checkpoints — in delta mode the next
+    // delta would otherwise pin a base that never became durable.
+    EXPECT_THROW(mgr.flush(), hu::ModelError);
+    hsnap::CheckpointWriter out2(1);
+    out2.addSection("s", {1, 2, 3});
+    EXPECT_THROW(mgr.write(out2, 2), hu::ModelError);
     fs::remove_all(dir);
 }
 
