@@ -10,11 +10,9 @@
  *
  * Usage: bench_cache_disk [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "sim/hybrid.h"
 #include "thermal/envelope.h"
 #include "trace/synth.h"
@@ -25,16 +23,13 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_cache_disk", argc, argv);
+    harness::Bench bench("bench_cache_disk", argc, argv,
+                         "Cache-disk hierarchy: small fast platter fronting a capacity drive (paper 5.4).");
     std::size_t requests = 30000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     // Envelope-limited speeds for the two members: a 4-platter 2.6"
     // capacity drive (with the roadmap's per-count cooling budget) and a
@@ -118,6 +113,5 @@ main(int argc, char** argv)
                  "into lower service times on the hot set\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/cache_disk.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -10,12 +10,10 @@
  *
  * Usage: bench_degraded_raid [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/energy.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "sim/storage_system.h"
 #include "thermal/envelope.h"
 #include "trace/synth.h"
@@ -70,16 +68,13 @@ replay(const sim::SystemConfig& system, int fail_disk,
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_degraded_raid", argc, argv);
+    harness::Bench bench("bench_degraded_raid", argc, argv,
+                         "Degraded-mode RAID: performance and thermal cost of a member failure.");
     std::size_t requests = 30000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Degraded-mode RAID: performance and thermal cost of a "
                  "member failure (" << requests << " requests)\n\n";
@@ -135,6 +130,5 @@ main(int argc, char** argv)
                  "bandwidth\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/degraded_raid.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -16,13 +16,11 @@
  *
  * Usage: bench_dtm_cosim [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
-#include "obs/manifest.h"
+#include "harness/run_builder.h"
+#include "harness/bench.h"
 #include "thermal/reliability.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -32,34 +30,34 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_dtm_cosim", argc, argv);
-    util::setLogLevel(util::LogLevel::Quiet);
-    std::size_t requests = 150000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    harness::Bench bench("bench_dtm_cosim", argc, argv,
+                         "DTM co-simulation: closed-loop throttling on average-case drives (paper 5).",
+                         util::LogLevel::Quiet);
+    harness::RunSpec spec;
+    spec.scenario = "Search-Engine";
+    spec.requests = 150000;
+    // Report steady behaviour: the first third of the run warms the
+    // slow thermal state into each policy's operating point.
+    spec.warmupFraction = 0.35;
+    spec.maxSimulatedSec = 600.0; // cap runaway (thrashing) cases
+    bench.flags().addPositionalSizeT(
+        "requests", &spec.requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
+    const std::size_t requests = spec.requests;
 
     // The Search-Engine array rebuilt from 2.6" average-case drives.  The
     // DTM headroom exists because typical operation keeps the VCM duty
     // well below the worst-case 100% the envelope was designed for
     // (paper §5.2).  Multi-speed transitions are the idealized fast ones
     // the throttling analysis assumes.
-    auto scenario = core::figure4Scenario("Search-Engine", requests);
-    scenario.system.disk.geometry.diameterInches = 2.6;
-    scenario.system.disk.geometry.platters = 1;
-    scenario.workload.arrivalRatePerSec = 600.0;
-    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
-
-    auto trace = [&scenario] {
-        const trace::SyntheticWorkload gen(scenario.workload);
-        const sim::StorageSystem probe(scenario.system);
-        return gen.generate(probe.logicalSectors()).toRequests();
-    }();
+    harness::RunBuilder builder(spec, [](core::ExperimentSpec& e) {
+        e.system.disk.geometry.diameterInches = 2.6;
+        e.system.disk.geometry.platters = 1;
+        e.workload.arrivalRatePerSec = 600.0;
+        e.system.disk.rpmChangeSecPerKrpm = 0.02;
+    });
+    auto trace = builder.makeTrace();
 
     struct Case
     {
@@ -91,18 +89,13 @@ main(int argc, char** argv)
                              "gates", "VCM duty", "AFR factor"});
     double baseline_mean = 0.0;
     for (const auto& c : cases) {
-        dtm::CoSimConfig cfg;
-        cfg.system = scenario.system;
+        dtm::CoSimConfig cfg = builder.cosim();
         cfg.system.disk.rpm = c.rpm;
         cfg.policy = c.policy;
         cfg.lowRpm = c.lowRpm;
         if (c.policy == dtm::DtmPolicy::GovernSpeed) {
             cfg.rpmLadder = {15020.0, 18000.0, 21000.0, 24534.0};
         }
-        // Report steady behaviour: the first third of the run warms the
-        // slow thermal state into each policy's operating point.
-        cfg.warmupFraction = 0.35;
-        cfg.maxSimulatedSec = 600.0; // cap runaway (thrashing) cases
         dtm::CoSimulation cosim(cfg);
         const auto result = cosim.run(trace);
         if (baseline_mean == 0.0)
@@ -137,6 +130,5 @@ main(int argc, char** argv)
                  "temperature (x2 per +15 C, paper §1)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/dtm_cosim.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -11,14 +11,12 @@
  *
  * Usage: bench_dtm_reliability [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/energy.h"
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
+#include "harness/run_builder.h"
 #include "thermal/reliability.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -28,33 +26,30 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_dtm_reliability", argc, argv);
-    util::setLogLevel(util::LogLevel::Warn);
-    std::size_t requests = 40000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    harness::Bench bench("bench_dtm_reliability", argc, argv,
+                         "DTM for reliability: spindle-speed trade space on a light workload (paper 6).",
+                         util::LogLevel::Warn);
+    harness::RunSpec spec;
+    spec.scenario = "OLTP";
+    spec.requests = 40000;
+    spec.warmupFraction = 0.5;
+    bench.flags().addPositionalSizeT(
+        "requests", &spec.requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
+    const std::size_t requests = spec.requests;
 
     // A light mixed workload on one 2.6" drive: the regime where speed is
     // a choice rather than a necessity.
-    auto scenario = core::figure4Scenario("OLTP", requests);
-    scenario.system.disks = 1;
-    scenario.system.raid = sim::RaidLevel::None;
-    scenario.system.disk.geometry.diameterInches = 2.6;
-    scenario.system.disk.geometry.platters = 1;
-    scenario.workload.devices = 1;
-    scenario.workload.arrivalRatePerSec = 45.0;
-
-    const auto workload = [&] {
-        const trace::SyntheticWorkload gen(scenario.workload);
-        const sim::StorageSystem probe(scenario.system);
-        return gen.generate(probe.logicalSectors()).toRequests();
-    }();
+    harness::RunBuilder builder(spec, [](core::ExperimentSpec& e) {
+        e.system.disks = 1;
+        e.system.raid = sim::RaidLevel::None;
+        e.system.disk.geometry.diameterInches = 2.6;
+        e.system.disk.geometry.platters = 1;
+        e.workload.devices = 1;
+        e.workload.arrivalRatePerSec = 45.0;
+    });
+    const auto workload = builder.makeTrace();
 
     std::cout << "DTM for reliability (paper §6): spindle-speed trade "
                  "space on a light workload, " << requests
@@ -64,12 +59,9 @@ main(int argc, char** argv)
     util::TableWriter table({"RPM", "mean ms", "mean temp C",
                              "AFR factor", "mean power W"});
     for (const double rpm : {7200.0, 10000.0, 12000.0, 15020.0}) {
-        dtm::CoSimConfig cfg;
-        cfg.system = scenario.system;
+        dtm::CoSimConfig cfg = builder.cosim();
         cfg.system.disk.rpm = rpm;
-        cfg.policy = dtm::DtmPolicy::None;
         cfg.startAtSteadyState = false; // cold start; report warm half
-        cfg.warmupFraction = 0.5;
         dtm::CoSimulation cosim(cfg);
         const auto result = cosim.run(workload);
 
@@ -96,6 +88,5 @@ main(int argc, char** argv)
                  "DTM-guarded)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/dtm_reliability.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

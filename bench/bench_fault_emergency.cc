@@ -14,14 +14,12 @@
  *
  * Usage: bench_fault_emergency [--requests N] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
+#include "harness/run_builder.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -62,34 +60,33 @@ emergencySchedule()
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fault_emergency", argc, argv);
-    util::setLogLevel(util::LogLevel::Warn);
-    std::size_t requests = 40000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
-            requests = std::size_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fault_emergency", argc, argv,
+                         "Cooling emergency replayed against unguarded "
+                         "and DTM-governed drives.",
+                         util::LogLevel::Warn);
+    harness::RunSpec spec;
+    spec.scenario = "Search-Engine";
+    spec.requests = 40000;
+    spec.maxSimulatedSec = 3600.0;
+    spec.rpmLadder = {24534.0, 20000.0, 15020.0, 12000.0, 10000.0};
+    bench.flags().addSizeT("--requests", &spec.requests, "N",
+                           "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
-    auto scenario = core::figure4Scenario("Search-Engine", requests);
-    scenario.system.disk.geometry.diameterInches = 2.6;
-    scenario.system.disk.geometry.platters = 1;
-    scenario.system.disk.rpm = 24534.0;
-    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
-    // Thermal emergencies unfold over minutes; slow the arrivals so the
-    // workload spans the whole fault window instead of racing past it.
-    scenario.workload.arrivalRatePerSec = 25.0;
-
-    dtm::CoSimConfig base;
-    base.system = scenario.system;
-    base.maxSimulatedSec = 3600.0;
-    base.rpmLadder = {24534.0, 20000.0, 15020.0, 12000.0, 10000.0};
-
-    const trace::SyntheticWorkload gen(scenario.workload);
-    const sim::StorageSystem probe(base.system);
-    const auto trace = gen.generate(probe.logicalSectors()).toRequests();
+    harness::RunBuilder builder(spec, [](core::ExperimentSpec& e) {
+        e.system.disk.geometry.diameterInches = 2.6;
+        e.system.disk.geometry.platters = 1;
+        e.system.disk.rpm = 24534.0;
+        e.system.disk.rpmChangeSecPerKrpm = 0.02;
+        // Thermal emergencies unfold over minutes; slow the arrivals so
+        // the workload spans the whole fault window instead of racing
+        // past it.
+        e.workload.arrivalRatePerSec = 25.0;
+    });
+    const std::size_t requests = spec.requests;
+    const dtm::CoSimConfig& base = builder.cosim();
+    const auto trace = builder.makeTrace();
 
     std::cout << "Fault emergency: airflow halved at t=60 s for 600 s, "
                  "+2 C ambient spike\nat t=90 s for 600 s, 5 s sensor "
@@ -152,6 +149,5 @@ main(int argc, char** argv)
                              unguarded.envelopeExceededSec, 1)
                   << "% of the exposure)";
     std::cout << ".\n";
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -7,10 +7,9 @@
  *
  * Usage: bench_fig1_transient [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "thermal/drive_thermal.h"
 #include "util/ascii_plot.h"
 #include "util/table.h"
@@ -20,12 +19,10 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig1_transient", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig1_transient", argc, argv,
+                         "Figure 1: Cheetah 15K.3 warm-up transient.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     thermal::DriveThermalConfig cfg;
     cfg.geometry.diameterInches = 2.6;
@@ -86,6 +83,5 @@ main(int argc, char** argv)
 
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/fig1.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -8,10 +8,9 @@
  *
  * Usage: bench_fig2_roadmap [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "roadmap/planner.h"
 #include "roadmap/roadmap.h"
 #include "util/ascii_plot.h"
@@ -68,12 +67,10 @@ printPlatterRoadmap(const roadmap::RoadmapEngine& engine, int platters,
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig2_roadmap", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig2_roadmap", argc, argv,
+                         "Figure 2: disk drive roadmap within the thermal envelope.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Figure 2: disk drive roadmap within the 45.22 C "
                  "thermal envelope\n\n";
@@ -184,6 +181,5 @@ main(int argc, char** argv)
     zbr.print(std::cout);
     if (!csv_dir.empty())
         zbr.writeCsv(csv_dir + "/fig2_zbr_ablation.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

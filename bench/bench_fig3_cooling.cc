@@ -5,10 +5,9 @@
  *
  * Usage: bench_fig3_cooling [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "roadmap/roadmap.h"
 #include "util/table.h"
 
@@ -17,12 +16,10 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig3_cooling", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig3_cooling", argc, argv,
+                         "Figure 3: cooling-system improvements.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Figure 3: cooling-system improvements "
                  "(1 platter; achievable IDR in MB/s; * = below target)\n\n";
@@ -70,6 +67,5 @@ main(int argc, char** argv)
             table.writeCsv(csv_dir + name);
         }
     }
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

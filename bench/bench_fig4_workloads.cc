@@ -6,13 +6,11 @@
  *
  * Usage: bench_fig4_workloads [requests-per-scenario] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/scenarios.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -21,17 +19,14 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig4_workloads", argc, argv);
-    util::setLogLevel(util::LogLevel::Warn);
+    harness::Bench bench("bench_fig4_workloads", argc, argv,
+                         "Figure 4: response-time impact of faster drives on server workloads.",
+                         util::LogLevel::Warn);
     std::size_t requests = 60000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Figure 4: performance impact of faster disk drives on "
                  "server workloads\n"
@@ -111,6 +106,5 @@ main(int argc, char** argv)
     sched_table.print(std::cout);
     if (!csv_dir.empty())
         sched_table.writeCsv(csv_dir + "/fig4_scheduler_ablation.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -8,11 +8,10 @@
  *
  * Usage: bench_fig5_slack [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
 #include "dtm/slack.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -20,12 +19,10 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig5_slack", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig5_slack", argc, argv,
+                         "Figure 5: thermal-design slack and the revised IDR roadmap.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     const roadmap::RoadmapEngine engine;
 
@@ -79,6 +76,5 @@ main(int argc, char** argv)
                  "design\n";
     if (!csv_dir.empty())
         idr_table.writeCsv(csv_dir + "/fig5b.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -9,11 +9,10 @@
  *
  * Usage: bench_fig6_throttle_traces [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
 #include "dtm/throttle.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -64,12 +63,10 @@ runScenario(const char* title, const dtm::ThrottleConfig& cfg,
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig6_throttle_traces", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig6_throttle_traces", argc, argv,
+                         "Figure 6: dynamic-throttling temperature traces.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Figure 6: dynamic-throttling temperature traces "
                  "(2.6\", 1 platter)\n\n";
@@ -85,6 +82,5 @@ main(int argc, char** argv)
     runScenario("(b) VCM + lower-RPM throttling at 37,001/22,001 RPM",
                 vcm_rpm, 4.0,
                 csv_dir.empty() ? "" : csv_dir + "/fig6b.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -7,11 +7,10 @@
  *
  * Usage: bench_fig7_throttle_ratio [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
 #include "dtm/throttle.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -47,12 +46,10 @@ runSweep(const char* title, const dtm::ThrottleConfig& cfg,
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fig7_throttle_ratio", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_fig7_throttle_ratio", argc, argv,
+                         "Figure 7: throttling ratios vs cooling time.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Figure 7: throttling ratios vs cooling time "
                  "(2.6\", 1 platter)\n"
@@ -86,6 +83,5 @@ main(int argc, char** argv)
     margin_table.print(std::cout);
     if (!csv_dir.empty())
         margin_table.writeCsv(csv_dir + "/fig7_margin_ablation.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

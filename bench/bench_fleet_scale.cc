@@ -19,34 +19,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fleet/fleet_sim.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/log.h"
 
 using namespace hddtherm;
 
 namespace {
-
-std::vector<int>
-parseList(const char* arg)
-{
-    std::vector<int> out;
-    const std::string s(arg);
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-        const std::size_t comma = s.find(',', pos);
-        const auto end = comma == std::string::npos ? s.size() : comma;
-        out.push_back(std::atoi(s.substr(pos, end - pos).c_str()));
-        pos = end + 1;
-    }
-    return out;
-}
 
 /// A 64-bay fleet = 2 racks x 4 chassis x (drives/8) bays, shrunk for
 /// smaller sweeps while keeping at least one rack of two chassis.
@@ -81,27 +64,24 @@ fleetOf(int drives, std::size_t requests, std::uint64_t seed)
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_fleet_scale", argc, argv);
-    util::setLogLevel(util::LogLevel::Quiet);
+    harness::Bench bench("bench_fleet_scale", argc, argv,
+                         "Fleet scaling: drives x executor-threads sweep "
+                         "with a determinism fingerprint.",
+                         util::LogLevel::Quiet);
     std::vector<int> drives = {16, 64};
     std::vector<int> threads = {1, 2, 4};
     std::size_t requests = 4000;
     std::uint64_t seed = 42;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--drives") == 0 && i + 1 < argc)
-            drives = parseList(argv[++i]);
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            threads = parseList(argv[++i]);
-        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
-            requests = std::size_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-            seed = std::uint64_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
-    bench_run.setSeed(seed);
-    bench_run.setConfig("requests=" + std::to_string(requests));
+    bench.flags().addIntList("--drives", &drives, "D1,D2,...",
+                             "fleet sizes to sweep");
+    bench.flags().addIntList("--threads", &threads, "T1,T2,...",
+                             "executor thread counts to sweep");
+    bench.flags().addSizeT("--requests", &requests, "N",
+                           "requests per drive");
+    bench.flags().addUint64("--seed", &seed, "S", "fleet workload seed");
+    bench.parse();
+    bench.run().setSeed(seed);
+    bench.run().setConfig("requests=" + std::to_string(requests));
 
     std::printf("{\"host_hardware_threads\": %u}\n",
                 std::thread::hardware_concurrency());
@@ -134,6 +114,5 @@ main(int argc, char** argv)
             std::fflush(stdout);
         }
     }
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

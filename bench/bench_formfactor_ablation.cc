@@ -8,10 +8,9 @@
  *
  * Usage: bench_formfactor_ablation [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "roadmap/roadmap.h"
 #include "util/roots.h"
 #include "util/table.h"
@@ -37,12 +36,10 @@ maxRpmAt(const hdd::FormFactor& ff, double ambient)
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_formfactor_ablation", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_formfactor_ablation", argc, argv,
+                         "Form-factor ablation: enclosure and ambient vs achievable RPM.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Form-factor ablation (2.6\" media, 1 platter, envelope "
               << thermal::kThermalEnvelopeC << " C)\n\n";
@@ -94,6 +91,5 @@ main(int argc, char** argv)
               << " C of extra cooling (paper: ~15 C)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/formfactor.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -25,8 +25,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,6 +33,7 @@
 
 #include "engine/kernel.h"
 #include "engine/trace.h"
+#include "harness/bench.h"
 #include "obs/manifest.h"
 #include "util/error.h"
 
@@ -183,22 +182,17 @@ report(const char* variant, const Sample& s, double legacy_rate)
 int
 main(int argc, char** argv)
 {
-    obs::BenchRun bench_run("bench_kernel_overhead", argc, argv);
-    std::string csv_dir;
+    harness::Bench bench("bench_kernel_overhead", argc, argv,
+                         "SimKernel event-dispatch overhead vs the legacy ad-hoc queue.");
     std::uint64_t total = 2'000'000;
     int actors = 64;
     int reps = 5;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
-            total = std::uint64_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--actors") == 0 && i + 1 < argc)
-            actors = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
-            reps = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
-    bench_run.setConfig("events=" + std::to_string(total) +
+    bench.flags().addUint64("--events", &total, "N",
+                            "events to dispatch per rep");
+    bench.flags().addInt("--actors", &actors, "N", "concurrent actors");
+    bench.flags().addInt("--reps", &reps, "N", "interleaved repetitions");
+    bench.parse();
+    bench.run().setConfig("events=" + std::to_string(total) +
                         " actors=" + std::to_string(actors) +
                         " reps=" + std::to_string(reps));
 
@@ -259,6 +253,6 @@ main(int argc, char** argv)
                      best_paired);
         return 1;
     }
-    bench_run.writeArtifacts(csv_dir);
+    bench.finish();
     return 0;
 }

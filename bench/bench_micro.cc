@@ -4,7 +4,6 @@
  * model components, documenting the cost of the building blocks every
  * experiment leans on.
  */
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,7 +12,7 @@
 #include "dtm/governor.h"
 #include "hdd/capacity.h"
 #include "hdd/drive_catalog.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "sim/cache.h"
 #include "sim/disk.h"
 #include "sim/event.h"
@@ -218,23 +217,24 @@ BENCHMARK(BM_HistogramAdd);
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_micro", argc, argv);
-    std::string csv_dir;
+    harness::Bench bench("bench_micro", argc, argv,
+                         "Google-benchmark microbenchmarks; unknown "
+                         "flags forward to the benchmark library.");
+    // Everything the harness does not own is google-benchmark's
+    // (--benchmark_filter and friends).
+    bench.flags().passThroughUnknown();
+    bench.parse();
+    std::vector<std::string> extra = bench.flags().extraArgs();
     std::vector<char*> args;
-    args.reserve(std::size_t(argc));
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-            continue;
-        }
-        args.push_back(argv[i]);
-    }
+    args.reserve(extra.size() + 1);
+    args.push_back(argv[0]);
+    for (auto& arg : extra)
+        args.push_back(arg.data());
     int filtered = int(args.size());
     benchmark::Initialize(&filtered, args.data());
     if (benchmark::ReportUnrecognizedArguments(filtered, args.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

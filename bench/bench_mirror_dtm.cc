@@ -13,12 +13,10 @@
  *
  * Usage: bench_mirror_dtm [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "dtm/mirror.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "trace/synth.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -28,17 +26,14 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_mirror_dtm", argc, argv);
-    util::setLogLevel(util::LogLevel::Warn);
+    harness::Bench bench("bench_mirror_dtm", argc, argv,
+                         "Mirrored-disk DTM: thermal-aware read steering (paper 5.4).",
+                         util::LogLevel::Warn);
     std::size_t requests = 30000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     sim::SystemConfig system;
     system.disk.geometry.diameterInches = 2.6;
@@ -100,6 +95,5 @@ main(int argc, char** argv)
                  "redistributes read seeks)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/mirror_dtm.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -27,13 +27,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "engine/kernel.h"
+#include "harness/bench.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 
@@ -146,22 +145,17 @@ report(const char* variant, const Sample& s, double bare_rate)
 int
 main(int argc, char** argv)
 {
-    obs::BenchRun bench_run("bench_obs_overhead", argc, argv);
-    std::string csv_dir;
+    harness::Bench bench("bench_obs_overhead", argc, argv,
+                         "Metrics/profiling layer overhead: bare vs disabled vs enabled.");
     std::uint64_t total = 2'000'000;
     int actors = 64;
     int reps = 5;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
-            total = std::uint64_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--actors") == 0 && i + 1 < argc)
-            actors = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
-            reps = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
-    bench_run.setConfig("events=" + std::to_string(total) +
+    bench.flags().addUint64("--events", &total, "N",
+                            "events to dispatch per rep");
+    bench.flags().addInt("--actors", &actors, "N", "concurrent actors");
+    bench.flags().addInt("--reps", &reps, "N", "interleaved repetitions");
+    bench.parse();
+    bench.run().setConfig("events=" + std::to_string(total) +
                         " actors=" + std::to_string(actors) +
                         " reps=" + std::to_string(reps));
 
@@ -227,6 +221,6 @@ main(int argc, char** argv)
     }
 
     obs::setEnabled(true); // artifacts describe the run we just did
-    bench_run.writeArtifacts(csv_dir);
+    bench.finish();
     return status;
 }

@@ -12,12 +12,10 @@
  *
  * Usage: bench_placement [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/energy.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "sim/storage_system.h"
 #include "thermal/envelope.h"
 #include "trace/placement.h"
@@ -70,16 +68,13 @@ replay(const sim::SystemConfig& system, const trace::Trace& tr)
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_placement", argc, argv);
+    harness::Bench bench("bench_placement", argc, argv,
+                         "Data-placement ablation: organ-pipe shuffling (paper 5.4).");
     std::size_t requests = 40000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     sim::SystemConfig system;
     system.disk.geometry.diameterInches = 2.6;
@@ -142,6 +137,5 @@ main(int argc, char** argv)
               << " extra RPM of envelope headroom\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/placement.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -35,17 +35,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
+#include "harness/run_builder.h"
 #include "snap/delta.h"
-#include "trace/synth.h"
 #include "util/log.h"
 
 using namespace hddtherm;
@@ -149,31 +146,32 @@ measureSizes(const dtm::CoSimConfig& cfg,
 int
 main(int argc, char** argv)
 {
-    obs::BenchRun bench_run("bench_snap_overhead", argc, argv);
-    util::setLogLevel(util::LogLevel::Quiet);
-    std::string csv_dir;
+    harness::Bench bench("bench_snap_overhead", argc, argv,
+                         "Checkpoint-cadence overhead vs a bare run.",
+                         util::LogLevel::Quiet);
     std::string out_path = "BENCH_snap.json";
     // ~67 simulated seconds of traffic, checkpointed twice at the
     // default 30 s cadence (the cadence docs/checkpoint.md recommends
     // for runs measured in simulated minutes or more).
-    std::size_t requests = 60000;
+    harness::RunSpec spec;
+    spec.scenario = "Search-Engine";
+    spec.requests = 60000;
+    spec.policy = "gate";
+    spec.maxSimulatedSec = 1200.0;
     double every_sec = 30.0; // default cadence the gate is priced at
     // Paired runs drift +-10% with host load; five pairs give the
     // best-pair selection a clean window to land in.
     int reps = 5;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
-            requests = std::size_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--every") == 0 && i + 1 < argc)
-            every_sec = std::atof(argv[++i]);
-        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
-            reps = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-            out_path = argv[++i];
-        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
-    bench_run.setConfig("requests=" + std::to_string(requests) +
+    bench.flags().addSizeT("--requests", &spec.requests, "N",
+                           "workload request count");
+    bench.flags().addDouble("--every", &every_sec, "SEC",
+                            "checkpoint cadence priced by the gate");
+    bench.flags().addInt("--reps", &reps, "N", "paired repetitions");
+    bench.flags().addString("--out", &out_path, "FILE",
+                            "BENCH_snap.json output path");
+    bench.parse();
+    const std::size_t requests = spec.requests;
+    bench.run().setConfig("requests=" + std::to_string(requests) +
                         " every_sec=" + std::to_string(every_sec) +
                         " reps=" + std::to_string(reps));
 
@@ -184,16 +182,9 @@ main(int argc, char** argv)
     // cadence on a sustainable system is the honest measurement; an
     // oversaturated drive's ever-growing backlog is a workload property,
     // not a snap overhead (see docs/checkpoint.md for cadence guidance).
-    const auto scenario = core::figure4Scenario("Search-Engine", requests);
-    dtm::CoSimConfig cfg;
-    cfg.system = scenario.system;
-    cfg.policy = dtm::DtmPolicy::GateRequests;
-    cfg.maxSimulatedSec = 1200.0;
-
-    const trace::SyntheticWorkload gen(scenario.workload);
-    const auto trace =
-        gen.generate(sim::StorageSystem(cfg.system).logicalSectors())
-            .toRequests();
+    const harness::RunBuilder builder(spec);
+    const dtm::CoSimConfig& cfg = builder.cosim();
+    const auto trace = builder.makeTrace();
 
     const auto dir = std::filesystem::temp_directory_path() /
                      "hddtherm-bench-snap-overhead";
@@ -249,17 +240,17 @@ main(int argc, char** argv)
     // bounded request count keeps the untimed runs cheap while still
     // yielding a steady anchor+delta population at the 5 s cadence;
     // everything is retained so that population survives to be measured.
-    const auto hot_scenario = core::figure4Scenario("Search-Engine", 20000);
-    dtm::CoSimConfig hot_cfg = cfg;
-    hot_cfg.system = hot_scenario.system;
-    hot_cfg.system.disk.geometry.diameterInches = 2.6;
-    hot_cfg.system.disk.geometry.platters = 1;
-    hot_cfg.system.disk.rpm = 24534.0;
-    hot_cfg.system.disk.rpmChangeSecPerKrpm = 0.02;
-    const trace::SyntheticWorkload hot_gen(hot_scenario.workload);
-    const auto hot_trace =
-        hot_gen.generate(sim::StorageSystem(hot_cfg.system).logicalSectors())
-            .toRequests();
+    harness::RunSpec hot_spec = spec;
+    hot_spec.requests = 20000;
+    const harness::RunBuilder hot_builder(
+        hot_spec, [](core::ExperimentSpec& e) {
+            e.system.disk.geometry.diameterInches = 2.6;
+            e.system.disk.geometry.platters = 1;
+            e.system.disk.rpm = 24534.0;
+            e.system.disk.rpmChangeSecPerKrpm = 0.02;
+        });
+    const dtm::CoSimConfig& hot_cfg = hot_builder.cosim();
+    const auto hot_trace = hot_builder.makeTrace();
     snap::CheckpointPolicy size_policy = policy;
     size_policy.everySec = 5.0;
     size_policy.retain = 100000;
@@ -368,6 +359,6 @@ main(int argc, char** argv)
         }
     }
 
-    bench_run.writeArtifacts(csv_dir);
+    bench.finish();
     return status;
 }

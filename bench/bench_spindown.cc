@@ -11,13 +11,11 @@
  *
  * Usage: bench_spindown [requests] [--csv dir]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/scenarios.h"
 #include "dtm/spindown.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -25,16 +23,13 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_spindown", argc, argv);
+    harness::Bench bench("bench_spindown", argc, argv,
+                         "Spin-down power management on server workloads (paper 2 context).");
     std::size_t requests = 30000;
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_dir = argv[++i];
-        } else {
-            requests = std::size_t(std::atoll(argv[i]));
-        }
-    }
+    bench.flags().addPositionalSizeT(
+        "requests", &requests, "workload request count");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Spin-down power management on server workloads "
                  "(paper §2 context; " << requests
@@ -117,6 +112,5 @@ main(int argc, char** argv)
                  "thermal (not power-mode) management of server disks\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/spindown.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -7,12 +7,11 @@
  * Usage: bench_table1_validation [--csv dir]
  */
 #include <cmath>
-#include <cstring>
 #include <iostream>
 
 #include "hdd/capacity.h"
 #include "hdd/drive_catalog.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "util/table.h"
 
 using namespace hddtherm;
@@ -20,12 +19,10 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_table1_validation", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_table1_validation", argc, argv,
+                         "Table 1: capacity / IDR model validation.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Table 1: capacity / IDR model validation "
                  "(nzones = 30)\n\n";
@@ -84,6 +81,5 @@ main(int argc, char** argv)
     zones.print(std::cout);
     if (!csv_dir.empty())
         zones.writeCsv(csv_dir + "/table1_zone_ablation.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

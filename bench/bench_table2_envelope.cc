@@ -8,11 +8,10 @@
  *
  * Usage: bench_table2_envelope [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
 #include "hdd/drive_catalog.h"
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "thermal/envelope.h"
 #include "util/table.h"
 
@@ -29,12 +28,10 @@ constexpr double kElectronicsDeltaC = 10.0;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_table2_envelope", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_table2_envelope", argc, argv,
+                         "Table 2: rated thermal envelopes vs modeled steady state.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     std::cout << "Table 2: rated thermal envelopes vs modeled steady "
                  "state\n(model excludes electronics; +10 C added for "
@@ -68,6 +65,5 @@ main(int argc, char** argv)
                  "55.22 C vs 55 C rated (paper §3.3)\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/table2.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

@@ -7,10 +7,9 @@
  *
  * Usage: bench_table3_rpm_thermal [--csv dir]
  */
-#include <cstring>
 #include <iostream>
 
-#include "obs/manifest.h"
+#include "harness/bench.h"
 #include "roadmap/roadmap.h"
 #include "thermal/reliability.h"
 #include "util/table.h"
@@ -20,12 +19,10 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
-    hddtherm::obs::BenchRun bench_run("bench_table3_rpm_thermal", argc, argv);
-    std::string csv_dir;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
-            csv_dir = argv[++i];
-    }
+    harness::Bench bench("bench_table3_rpm_thermal", argc, argv,
+                         "Table 3: RPM required for the 40% IDR CGR and its thermal profile.");
+    bench.parse();
+    const std::string csv_dir = bench.csvDir();
 
     const roadmap::RoadmapEngine engine; // paper defaults: 50 zones etc.
     static const double kSizes[] = {2.6, 2.1, 1.6};
@@ -90,6 +87,5 @@ main(int argc, char** argv)
               << "x\n";
     if (!csv_dir.empty())
         table.writeCsv(csv_dir + "/table3.csv");
-    bench_run.writeArtifacts(csv_dir);
-    return 0;
+    return bench.finish();
 }

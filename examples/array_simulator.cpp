@@ -8,11 +8,11 @@
  *   ./array_simulator spec.ini --trace t.csv # replay a saved trace
  *   ./array_simulator spec.ini --rpm 20000   # override spindle speed
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/config_io.h"
+#include "harness/bench.h"
+#include "harness/flags.h"
 #include "core/energy.h"
 #include "sim/latency_log.h"
 #include "trace/trace.h"
@@ -52,30 +52,30 @@ main(int argc, char** argv)
     std::string latency_path;
     double rpm_override = 0.0;
     bool init = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--init") == 0) {
-            init = true;
-        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-            trace_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--latency-log") == 0 &&
-                   i + 1 < argc) {
-            latency_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--rpm") == 0 && i + 1 < argc) {
-            rpm_override = std::atof(argv[++i]);
-        } else {
-            spec_path = argv[i];
-        }
-    }
+    harness::FlagParser flags(
+        "array_simulator",
+        "Drive the storage simulator from an experiment description "
+        "file (DiskSim .parv style).");
+    flags.addPositionalString("spec.ini", &spec_path,
+                              "experiment description file");
+    flags.addSwitch("--init", &init,
+                    "write a starter spec to the given path and exit");
+    flags.addString("--trace", &trace_path, "FILE",
+                    "replay a saved trace instead of synthesizing one");
+    flags.addString("--latency-log", &latency_path, "FILE",
+                    "write per-request latencies as CSV");
+    flags.addDouble("--rpm", &rpm_override, "R",
+                    "override the spec's spindle speed");
+    flags.parseOrExit(argc, argv);
     if (spec_path.empty()) {
-        std::cerr << "usage: array_simulator [--init] <spec.ini> "
-                     "[--trace file.csv] [--latency-log out.csv] "
-                     "[--rpm R]\n";
+        std::cerr << "array_simulator: a spec file is required (try "
+                     "--help)\n";
         return 1;
     }
     if (init)
         return writeStarterSpec(spec_path);
 
-    try {
+    return harness::guarded([&] {
         auto spec = core::loadExperimentSpec(spec_path);
         if (rpm_override > 0.0)
             spec.system.disk.rpm = rpm_override;
@@ -174,9 +174,6 @@ main(int argc, char** argv)
                 std::cerr << "cannot write " << latency_path << "\n";
             }
         }
-    } catch (const util::ModelError& e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 1;
-    }
-    return 0;
+        return 0;
+    });
 }

@@ -13,12 +13,12 @@
  * real hour's ambient change, but the workload runs continuously so the
  * thermal state is always exercised.
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
+#include "harness/bench.h"
+#include "harness/flags.h"
+#include "harness/run_builder.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -29,76 +29,75 @@ main(int argc, char** argv)
 {
     util::setLogLevel(util::LogLevel::Warn);
     double hours = 2.0;
-    bool governed = true;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
-            hours = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--no-governor") == 0) {
-            governed = false;
-        }
-    }
+    bool no_governor = false;
+    harness::FlagParser flags(
+        "diurnal_dtm",
+        "Speed-governor DTM riding a compressed diurnal ambient swing.");
+    flags.addDouble("--hours", &hours, "H", "compressed-day length");
+    flags.addSwitch("--no-governor", &no_governor,
+                    "gate-only DTM instead of the speed governor");
+    flags.parseOrExit(argc, argv);
+    const bool governed = !no_governor;
 
-    // Workload sized to fill the requested wall-clock window.
-    auto scenario = core::figure4Scenario("Search-Engine", 1000);
-    scenario.system.disk.geometry.diameterInches = 2.6;
-    scenario.system.disk.geometry.platters = 1;
-    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
-    scenario.workload.arrivalRatePerSec = 450.0;
-    scenario.workload.requests =
-        std::size_t(scenario.workload.arrivalRatePerSec * hours * 3600.0);
+    return harness::guarded([&] {
+        // Workload sized to fill the requested wall-clock window.
+        harness::RunSpec spec;
+        spec.scenario = "Search-Engine";
+        spec.requests = std::size_t(450.0 * hours * 3600.0);
+        spec.policy = governed ? "govern" : "gate";
+        spec.rpm = 24534.0;
+        spec.rpmLadder = {15020.0, 18000.0, 21000.0, 24534.0, 26000.0};
+        spec.maxSimulatedSec = hours * 3600.0 * 4.0;
+        harness::RunBuilder builder(
+            spec, [](core::ExperimentSpec& e) {
+                e.system.disk.geometry.diameterInches = 2.6;
+                e.system.disk.geometry.platters = 1;
+                e.system.disk.rpmChangeSecPerKrpm = 0.02;
+                e.workload.arrivalRatePerSec = 450.0;
+            });
 
-    dtm::CoSimConfig cfg;
-    cfg.system = scenario.system;
-    cfg.system.disk.rpm = 24534.0;
-    cfg.policy = governed ? dtm::DtmPolicy::GovernSpeed
-                          : dtm::DtmPolicy::GateRequests;
-    cfg.rpmLadder = {15020.0, 18000.0, 21000.0, 24534.0, 26000.0};
-    cfg.maxSimulatedSec = hours * 3600.0 * 4.0;
-    // A compressed "day": cool overnight (24 C), warming through the
-    // morning, an afternoon HVAC brown-out spike (31 C), recovery.
-    const double h = 3600.0;
-    cfg.ambientProfile = {{0.0, 24.0},
-                          {0.35 * hours * h, 27.0},
-                          {0.55 * hours * h, 31.0},
-                          {0.70 * hours * h, 28.0},
-                          {1.00 * hours * h, 25.0}};
+        // A compressed "day": cool overnight (24 C), warming through the
+        // morning, an afternoon HVAC brown-out spike (31 C), recovery.
+        const double h = 3600.0;
+        builder.cosim().ambientProfile = {{0.0, 24.0},
+                                          {0.35 * hours * h, 27.0},
+                                          {0.55 * hours * h, 31.0},
+                                          {0.70 * hours * h, 28.0},
+                                          {1.00 * hours * h, 25.0}};
 
-    const auto workload = [&] {
-        const trace::SyntheticWorkload gen(scenario.workload);
-        const sim::StorageSystem probe(cfg.system);
-        return gen.generate(probe.logicalSectors()).toRequests();
-    }();
+        const auto workload = builder.makeTrace();
 
-    std::cout << "Diurnal DTM: " << hours
-              << "h compressed day, ambient 24->31->25 C, "
-              << (governed ? "speed governor (ladder 15-26K RPM)"
-                           : "gate-only DTM at 24,534 RPM")
-              << "\n\n";
+        std::cout << "Diurnal DTM: " << hours
+                  << "h compressed day, ambient 24->31->25 C, "
+                  << (governed ? "speed governor (ladder 15-26K RPM)"
+                               : "gate-only DTM at 24,534 RPM")
+                  << "\n\n";
 
-    dtm::CoSimulation cosim(cfg);
-    const auto result = cosim.run(workload);
+        const auto result = builder.runCoSim(workload);
 
-    util::TableWriter table({"metric", "value"});
-    table.addRow({"requests completed",
-                  util::TableWriter::num(
-                      (long long)result.metrics.count())});
-    table.addRow({"mean response",
-                  util::TableWriter::num(result.metrics.meanMs()) +
-                      " ms"});
-    table.addRow({"mean air temp",
-                  util::TableWriter::num(result.meanTempC) + " C"});
-    table.addRow({"max air temp",
-                  util::TableWriter::num(result.maxTempC) + " C"});
-    table.addRow({"time above envelope",
-                  util::TableWriter::num(result.envelopeExceededSec, 1) +
-                      " s"});
-    table.addRow({"time gated",
-                  util::TableWriter::num(result.gatedSec, 1) + " s"});
-    table.addRow({"spindle speed changes",
-                  util::TableWriter::num(
-                      (long long)result.speedChanges)});
-    table.print(std::cout);
-    std::cout << "\n(try --no-governor to see the gate-only policy cope "
-                 "with the afternoon spike instead)\n";
-    return 0;
+        util::TableWriter table({"metric", "value"});
+        table.addRow({"requests completed",
+                      util::TableWriter::num(
+                          (long long)result.metrics.count())});
+        table.addRow({"mean response",
+                      util::TableWriter::num(result.metrics.meanMs()) +
+                          " ms"});
+        table.addRow({"mean air temp",
+                      util::TableWriter::num(result.meanTempC) + " C"});
+        table.addRow({"max air temp",
+                      util::TableWriter::num(result.maxTempC) + " C"});
+        table.addRow(
+            {"time above envelope",
+             util::TableWriter::num(result.envelopeExceededSec, 1) +
+                 " s"});
+        table.addRow({"time gated",
+                      util::TableWriter::num(result.gatedSec, 1) + " s"});
+        table.addRow({"spindle speed changes",
+                      util::TableWriter::num(
+                          (long long)result.speedChanges)});
+        table.print(std::cout);
+        std::cout << "\n(try --no-governor to see the gate-only policy "
+                     "cope with the afternoon spike instead)\n";
+        return 0;
+    });
 }

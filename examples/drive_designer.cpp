@@ -7,11 +7,10 @@
  *
  *   ./drive_designer [year] [--envelope C] [--ambient C]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/integrated.h"
+#include "harness/flags.h"
 #include "roadmap/scaling.h"
 #include "util/table.h"
 
@@ -23,15 +22,15 @@ main(int argc, char** argv)
     int year = 2005;
     double envelope = thermal::kThermalEnvelopeC;
     double ambient = thermal::kBaselineAmbientC;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--envelope") == 0 && i + 1 < argc) {
-            envelope = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--ambient") == 0 && i + 1 < argc) {
-            ambient = std::atof(argv[++i]);
-        } else {
-            year = std::atoi(argv[i]);
-        }
-    }
+    harness::FlagParser flags(
+        "drive_designer",
+        "Sweep the (platter size x count x RPM) design space for a "
+        "technology year.");
+    flags.addPositionalInt("year", &year, "technology year");
+    flags.addDouble("--envelope", &envelope, "C",
+                    "thermal envelope ceiling");
+    flags.addDouble("--ambient", &ambient, "C", "ambient temperature");
+    flags.parseOrExit(argc, argv);
 
     const roadmap::TechnologyTimeline timeline;
     const auto tech = timeline.tech(year);

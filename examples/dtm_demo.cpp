@@ -3,15 +3,19 @@
  * DTM demonstration: run a workload through the thermal/performance
  * co-simulation under a chosen policy and watch the temperature timeline.
  *
- *   ./dtm_demo [--policy none|gate|gate-rpm] [--rpm R] [--low-rpm R]
- *              [--requests N] [--faults schedule.ini]
+ *   ./dtm_demo [--spec run.ini] [--policy none|gate|gate-rpm|govern]
+ *              [--rpm R] [--low-rpm R] [--requests N]
+ *              [--faults schedule.ini]
  *              [--checkpoint-every SEC] [--checkpoint-dir D]
  *              [--checkpoint-delta] [--checkpoint-compress]
  *              [--resume-from PATH|DIR]
  *
- * With --faults the demo replays a fault schedule (see docs/faults.md and
- * examples/configs/fan_failure_emergency.ini), reruns the same workload
- * fault-free, and prints an emergency report of what the faults cost.
+ * --spec overlays a declarative run description (docs/harness.md,
+ * examples/configs/dtm_hot_drive.ini); every other flag overrides the
+ * file.  With --faults the demo replays a fault schedule (see
+ * docs/faults.md and examples/configs/fan_failure_emergency.ini), reruns
+ * the same workload fault-free, and prints an emergency report of what
+ * the faults cost.
  *
  * --checkpoint-every SEC writes a crash-consistent checkpoint every SEC
  * simulated seconds to --checkpoint-dir (default ./dtm-checkpoints);
@@ -22,15 +26,13 @@
  * (or the latest one in a directory) to a completion bit-identical with
  * the uninterrupted run.
  */
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <iostream>
 #include <string>
 
-#include "core/config_io.h"
-#include "core/scenarios.h"
 #include "dtm/cosim.h"
+#include "harness/bench.h"
+#include "harness/flags.h"
+#include "harness/run_builder.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -40,145 +42,90 @@ int
 main(int argc, char** argv)
 {
     util::setLogLevel(util::LogLevel::Warn);
-    dtm::DtmPolicy policy = dtm::DtmPolicy::GateRequests;
-    double rpm = 24534.0;
-    double low_rpm = 0.0;
-    std::size_t requests = 20000;
-    std::string faults_path;
-    double checkpoint_every = 0.0;
-    std::string checkpoint_dir = "dtm-checkpoints";
-    bool checkpoint_delta = false;
-    bool checkpoint_compress = false;
-    std::string resume_from;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
-            const std::string p = argv[++i];
-            if (p == "none")
-                policy = dtm::DtmPolicy::None;
-            else if (p == "gate")
-                policy = dtm::DtmPolicy::GateRequests;
-            else if (p == "gate-rpm")
-                policy = dtm::DtmPolicy::GateAndLowRpm;
-            else {
-                std::cerr << "unknown policy: " << p << "\n";
-                return 1;
-            }
-        } else if (std::strcmp(argv[i], "--rpm") == 0 && i + 1 < argc) {
-            rpm = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--low-rpm") == 0 &&
-                   i + 1 < argc) {
-            low_rpm = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--requests") == 0 &&
-                   i + 1 < argc) {
-            requests = std::size_t(std::atoll(argv[i + 1]));
-            ++i;
-        } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
-            faults_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-                   i + 1 < argc) {
-            checkpoint_every = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
-                   i + 1 < argc) {
-            checkpoint_dir = argv[++i];
-        } else if (std::strcmp(argv[i], "--checkpoint-delta") == 0) {
-            checkpoint_delta = true;
-        } else if (std::strcmp(argv[i], "--checkpoint-compress") == 0) {
-            checkpoint_compress = true;
-        } else if (std::strcmp(argv[i], "--resume-from") == 0 &&
-                   i + 1 < argc) {
-            resume_from = argv[++i];
+    return harness::guarded([&] {
+        // The demo's identity: the paper's hot 2.6" drive spinning above
+        // its envelope-safe speed, gated by default.
+        harness::RunSpec spec;
+        spec.scenario = "Search-Engine";
+        spec.requests = 20000;
+        spec.policy = "gate";
+        spec.rpm = 24534.0;
+        spec.maxSimulatedSec = 1200.0;
+        spec.checkpoint.directory = "dtm-checkpoints";
+
+        harness::FlagParser flags(
+            "dtm_demo",
+            "DTM co-simulation of a hot 2.6\" drive under a chosen "
+            "policy.");
+        harness::applySpecArgs(argc, argv, spec);
+        spec.addRunFlags(flags);
+        spec.addDtmFlags(flags);
+        spec.checkpoint.addFlags(
+            flags, harness::CheckpointOptions::Cadence::Seconds);
+        flags.parseOrExit(argc, argv);
+        const dtm::DtmPolicy policy = spec.dtmPolicy();
+        if (policy == dtm::DtmPolicy::GateAndLowRpm && spec.lowRpm <= 0.0)
+            spec.lowRpm = spec.rpm - 15000.0;
+
+        harness::RunBuilder builder(
+            spec, [](core::ExperimentSpec& e) {
+                e.system.disk.geometry.diameterInches = 2.6;
+                e.system.disk.geometry.platters = 1;
+                e.system.disk.rpmChangeSecPerKrpm = 0.02;
+            });
+        const auto trace = builder.makeTrace();
+
+        std::cout << "DTM demo: " << spec.scenario
+                  << "-like workload, 2.6\" drive at "
+                  << builder.cosim().system.disk.rpm << " RPM, policy "
+                  << dtm::dtmPolicyName(policy);
+        if (policy == dtm::DtmPolicy::GateAndLowRpm)
+            std::cout << " (low speed " << spec.lowRpm << " RPM)";
+        if (!spec.faultsPath.empty())
+            std::cout << "\nfault schedule: " << spec.faultsPath << " ("
+                      << builder.cosim().faults.size() << " events)";
+        std::cout << "\n\n";
+
+        if (!builder.resumePath().empty())
+            std::cout << "resuming from " << builder.resumePath()
+                      << "\n\n";
+        const auto result = builder.runCoSim(trace);
+
+        util::TableWriter table({"metric", "value"});
+        table.addRow({"requests completed",
+                      util::TableWriter::num(
+                          (long long)result.metrics.count())});
+        table.addRow({"mean response",
+                      util::TableWriter::num(result.metrics.meanMs()) +
+                          " ms"});
+        table.addRow({"simulated time",
+                      util::TableWriter::num(result.simulatedSec, 1) +
+                          " s"});
+        table.addRow({"mean VCM duty",
+                      util::TableWriter::num(result.meanVcmDuty, 3)});
+        table.addRow({"mean air temp",
+                      util::TableWriter::num(result.meanTempC) + " C"});
+        table.addRow({"max air temp",
+                      util::TableWriter::num(result.maxTempC) + " C"});
+        table.addRow(
+            {"time above envelope",
+             util::TableWriter::num(result.envelopeExceededSec, 1) +
+                 " s"});
+        table.addRow({"time gated",
+                      util::TableWriter::num(result.gatedSec, 1) + " s"});
+        table.addRow({"gate activations",
+                      util::TableWriter::num(
+                          (long long)result.gateEvents)});
+        table.print(std::cout);
+
+        if (!spec.faultsPath.empty()) {
+            // Rerun the same workload fault-free and report what the
+            // emergency cost (latency penalty, fail-safe time, etc.).
+            const auto baseline = builder.runBaseline(trace);
+            std::cout << "\nEmergency report (vs fault-free baseline):\n"
+                      << fault::formatEmergencyReport(
+                             dtm::emergencyReport(result, baseline));
         }
-    }
-    if (policy == dtm::DtmPolicy::GateAndLowRpm && low_rpm <= 0.0)
-        low_rpm = rpm - 15000.0;
-
-    auto scenario = core::figure4Scenario("Search-Engine", requests);
-    scenario.system.disk.geometry.diameterInches = 2.6;
-    scenario.system.disk.geometry.platters = 1;
-    scenario.system.disk.rpm = rpm;
-    scenario.system.disk.rpmChangeSecPerKrpm = 0.02;
-
-    dtm::CoSimConfig cfg;
-    cfg.system = scenario.system;
-    cfg.policy = policy;
-    cfg.lowRpm = low_rpm;
-    cfg.maxSimulatedSec = 1200.0;
-    if (!faults_path.empty())
-        cfg.faults = core::loadFaultSchedule(faults_path);
-
-    const trace::SyntheticWorkload gen(scenario.workload);
-    const sim::StorageSystem probe(cfg.system);
-    const auto trace = gen.generate(probe.logicalSectors()).toRequests();
-
-    std::cout << "DTM demo: Search-Engine-like workload, 2.6\" drive at "
-              << rpm << " RPM, policy " << dtm::dtmPolicyName(policy);
-    if (policy == dtm::DtmPolicy::GateAndLowRpm)
-        std::cout << " (low speed " << low_rpm << " RPM)";
-    if (!faults_path.empty())
-        std::cout << "\nfault schedule: " << faults_path << " ("
-                  << cfg.faults.size() << " events)";
-    std::cout << "\n\n";
-
-    dtm::CoSimEngine engine(cfg);
-    if (checkpoint_every > 0.0) {
-        snap::CheckpointPolicy ckpt_policy;
-        ckpt_policy.directory = checkpoint_dir;
-        ckpt_policy.everySec = checkpoint_every;
-        ckpt_policy.delta = checkpoint_delta;
-        ckpt_policy.compress = checkpoint_compress;
-        engine.enableCheckpoints(ckpt_policy);
-    }
-    if (!resume_from.empty()) {
-        std::string path = resume_from;
-        if (std::filesystem::is_directory(path)) {
-            path = snap::latestCheckpoint(path);
-            if (path.empty()) {
-                std::cerr << "no checkpoint found in " << resume_from
-                          << "\n";
-                return 1;
-            }
-        }
-        std::cout << "resuming from " << path << "\n\n";
-        engine.restoreFromCheckpoint(path, trace);
-    } else {
-        engine.start(trace);
-    }
-    engine.advanceToCompletion();
-    const auto result = engine.result();
-
-    util::TableWriter table({"metric", "value"});
-    table.addRow({"requests completed",
-                  util::TableWriter::num(
-                      (long long)result.metrics.count())});
-    table.addRow({"mean response",
-                  util::TableWriter::num(result.metrics.meanMs()) +
-                      " ms"});
-    table.addRow({"simulated time",
-                  util::TableWriter::num(result.simulatedSec, 1) + " s"});
-    table.addRow({"mean VCM duty",
-                  util::TableWriter::num(result.meanVcmDuty, 3)});
-    table.addRow({"mean air temp",
-                  util::TableWriter::num(result.meanTempC) + " C"});
-    table.addRow({"max air temp",
-                  util::TableWriter::num(result.maxTempC) + " C"});
-    table.addRow({"time above envelope",
-                  util::TableWriter::num(result.envelopeExceededSec, 1) +
-                      " s"});
-    table.addRow({"time gated",
-                  util::TableWriter::num(result.gatedSec, 1) + " s"});
-    table.addRow({"gate activations",
-                  util::TableWriter::num((long long)result.gateEvents)});
-    table.print(std::cout);
-
-    if (!faults_path.empty()) {
-        // Rerun the same workload fault-free and report what the
-        // emergency cost (latency penalty, fail-safe time, and so on).
-        dtm::CoSimConfig clean = cfg;
-        clean.faults = fault::FaultSchedule();
-        const auto baseline = dtm::CoSimulation(clean).run(trace);
-        std::cout << "\nEmergency report (vs fault-free baseline):\n"
-                  << fault::formatEmergencyReport(
-                         dtm::emergencyReport(result, baseline));
-    }
-    return 0;
+        return 0;
+    });
 }

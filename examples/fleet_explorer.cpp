@@ -9,29 +9,32 @@
  * throttling each chassis's drives suffered as a result — the
  * data-center version of the paper's single-drive throttling story.
  *
- *   ./fleet_explorer [--threads N] [--racks R] [--chassis C] [--bays B]
+ *   ./fleet_explorer [--spec run.ini]
+ *                    [--threads N] [--racks R] [--chassis C] [--bays B]
  *                    [--requests Q] [--seed S]
  *                    [--checkpoint-every K] [--checkpoint-dir D]
  *                    [--checkpoint-delta] [--checkpoint-compress]
  *                    [--resume-from PATH|DIR]
  *
- * --checkpoint-every K writes a crash-consistent fleet checkpoint to
- * --checkpoint-dir (default ./fleet-checkpoints) every K epoch barriers;
- * --checkpoint-delta writes incremental delta checkpoints between
- * periodic full anchors and --checkpoint-compress LZ-compresses section
- * payloads (see docs/checkpoint.md); --resume-from continues a run from
- * a checkpoint file (or the latest one in a directory) to a
+ * --spec overlays a declarative run description (docs/harness.md,
+ * examples/configs/fleet_smoke.ini); every other flag overrides the
+ * file.  --checkpoint-every K writes a crash-consistent fleet checkpoint
+ * to --checkpoint-dir (default ./fleet-checkpoints) every K epoch
+ * barriers; --checkpoint-delta writes incremental delta checkpoints
+ * between periodic full anchors and --checkpoint-compress LZ-compresses
+ * section payloads (see docs/checkpoint.md); --resume-from continues a
+ * run from a checkpoint file (or the latest one in a directory) to a
  * bit-identical completion — the "result digest" line printed at the
  * end matches the uninterrupted run's.
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "fleet/fleet_sim.h"
+#include "harness/bench.h"
+#include "harness/flags.h"
+#include "harness/run_builder.h"
 #include "snap/state.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -76,119 +79,86 @@ int
 main(int argc, char** argv)
 {
     util::setLogLevel(util::LogLevel::Warn);
-    int threads = 1;
-    int racks = 2, chassis = 3, bays = 8;
-    std::size_t requests = 800;
-    std::uint64_t seed = 7;
-    std::uint64_t checkpoint_every = 0;
-    std::string checkpoint_dir = "fleet-checkpoints";
-    bool checkpoint_delta = false;
-    bool checkpoint_compress = false;
-    std::string resume_from;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            threads = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--racks") == 0 && i + 1 < argc)
-            racks = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--chassis") == 0 && i + 1 < argc)
-            chassis = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--bays") == 0 && i + 1 < argc)
-            bays = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
-            requests = std::size_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-            seed = std::uint64_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-                 i + 1 < argc)
-            checkpoint_every = std::uint64_t(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
-                 i + 1 < argc)
-            checkpoint_dir = argv[++i];
-        else if (std::strcmp(argv[i], "--checkpoint-delta") == 0)
-            checkpoint_delta = true;
-        else if (std::strcmp(argv[i], "--checkpoint-compress") == 0)
-            checkpoint_compress = true;
-        else if (std::strcmp(argv[i], "--resume-from") == 0 &&
-                 i + 1 < argc)
-            resume_from = argv[++i];
-    }
+    return harness::guarded([&] {
+        // The fleet's identity: hot 2.6" drives above their envelope-safe
+        // speed behind a 27 C cold aisle, gated by DTM.
+        harness::RunSpec spec;
+        spec.requests = 800;
+        spec.policy = "gate";
+        spec.rpm = 24534.0;
+        spec.racks = 2;
+        spec.chassisPerRack = 3;
+        spec.baysPerChassis = 8;
+        spec.inletC = 27.0; // cold aisle: keeps the hot drive feasible
+        spec.seed = 7;
+        spec.epochSec = 0.25;
+        spec.checkpoint.directory = "fleet-checkpoints";
 
-    fleet::FleetConfig cfg;
-    cfg.racks = racks;
-    cfg.rack.chassisCount = chassis;
-    cfg.chassis.bays = bays;
-    cfg.rack.inletC = 27.0; // cold aisle: keeps the hot drive feasible
-    cfg.bay.system.disk.geometry.diameterInches = 2.6;
-    cfg.bay.system.disk.geometry.platters = 1;
-    cfg.bay.system.disk.tech = {500e3, 60e3};
-    cfg.bay.system.disk.rpm = 24534.0; // above the envelope-safe speed
-    cfg.bay.policy = dtm::DtmPolicy::GateRequests;
-    cfg.workload.requests = requests;
-    cfg.workload.arrivalRatePerSec = 100.0;
-    cfg.epochSec = 0.25;
-    cfg.seed = seed;
+        harness::FlagParser flags(
+            "fleet_explorer",
+            "Rack-scale co-simulation of throttling drives sharing "
+            "chassis air.");
+        harness::applySpecArgs(argc, argv, spec);
+        spec.addRunFlags(flags);
+        spec.addFleetFlags(flags);
+        spec.checkpoint.addFlags(
+            flags, harness::CheckpointOptions::Cadence::Epochs);
+        flags.parseOrExit(argc, argv);
 
-    std::printf("fleet: %d rack(s) x %d chassis x %d bays = %d drives, "
-                "%zu requests/drive, %d executor thread(s)\n\n",
-                cfg.racks, cfg.rack.chassisCount, cfg.chassis.bays,
-                cfg.totalBays(), cfg.workload.requests, threads);
+        harness::RunBuilder builder(
+            spec, [](core::ExperimentSpec& e) {
+                e.system.disk.geometry.diameterInches = 2.6;
+                e.system.disk.geometry.platters = 1;
+                e.system.disk.tech = {500e3, 60e3};
+                e.workload.arrivalRatePerSec = 100.0;
+            });
+        const fleet::FleetConfig& cfg = builder.fleet();
 
-    snap::CheckpointPolicy policy;
-    policy.directory = checkpoint_dir;
-    policy.everyEpochs = checkpoint_every;
-    policy.delta = checkpoint_delta;
-    policy.compress = checkpoint_compress;
-    const snap::CheckpointPolicy* checkpoints =
-        checkpoint_every > 0 ? &policy : nullptr;
+        std::printf(
+            "fleet: %d rack(s) x %d chassis x %d bays = %d drives, "
+            "%zu requests/drive, %d executor thread(s)\n\n",
+            cfg.racks, cfg.rack.chassisCount, cfg.chassis.bays,
+            cfg.totalBays(), cfg.workload.requests, spec.threads);
 
-    fleet::FleetSimulation sim(cfg);
-    fleet::FleetResult result;
-    if (!resume_from.empty()) {
-        std::string path = resume_from;
-        if (std::filesystem::is_directory(path)) {
-            path = snap::latestCheckpoint(path);
-            if (path.empty()) {
-                std::cerr << "no checkpoint found in " << resume_from
-                          << "\n";
-                return 1;
-            }
+        if (!builder.resumePath().empty())
+            std::printf("resuming from %s\n\n",
+                        builder.resumePath().c_str());
+        const fleet::FleetResult result = builder.runFleet();
+
+        util::TableWriter table({"rack", "chassis", "peak ambient C",
+                                 "peak drive C", "gate events",
+                                 "gated s"});
+        char buf[64];
+        for (const auto& c : result.chassis) {
+            std::vector<std::string> row;
+            row.push_back(std::to_string(c.rack));
+            row.push_back(std::to_string(c.chassis));
+            std::snprintf(buf, sizeof buf, "%.2f", c.peakDriveAmbientC);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof buf, "%.2f", c.peakDriveTempC);
+            row.push_back(buf);
+            row.push_back(std::to_string(c.gateEvents));
+            std::snprintf(buf, sizeof buf, "%.2f", c.gatedSec);
+            row.push_back(buf);
+            table.addRow(std::move(row));
         }
-        std::printf("resuming from %s\n\n", path.c_str());
-        result = sim.resume(path, threads, nullptr, checkpoints);
-    } else {
-        result = sim.run(threads, nullptr, checkpoints);
-    }
+        table.print(std::cout);
 
-    util::TableWriter table({"rack", "chassis", "peak ambient C",
-                             "peak drive C", "gate events", "gated s"});
-    char buf[64];
-    for (const auto& c : result.chassis) {
-        std::vector<std::string> row;
-        row.push_back(std::to_string(c.rack));
-        row.push_back(std::to_string(c.chassis));
-        std::snprintf(buf, sizeof buf, "%.2f", c.peakDriveAmbientC);
-        row.push_back(buf);
-        std::snprintf(buf, sizeof buf, "%.2f", c.peakDriveTempC);
-        row.push_back(buf);
-        row.push_back(std::to_string(c.gateEvents));
-        std::snprintf(buf, sizeof buf, "%.2f", c.gatedSec);
-        row.push_back(buf);
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-
-    std::printf("\nfleet totals: %llu requests, mean %.2f ms, P95 %.2f ms, "
-                "peak drive %.2f C, %llu gate events, %.1f s gated\n",
-                static_cast<unsigned long long>(result.metrics.count()),
-                result.meanLatencyMs, result.p95LatencyMs,
-                result.maxDriveTempC,
-                static_cast<unsigned long long>(result.gateEvents),
-                result.gatedSec);
-    std::printf("executor: %llu tasks over %llu epochs, %llu steals\n",
-                static_cast<unsigned long long>(result.executor.tasks),
-                static_cast<unsigned long long>(result.epochs),
-                static_cast<unsigned long long>(result.executor.steals));
-    std::printf("result digest: %016llx\n",
-                static_cast<unsigned long long>(resultDigest(result)));
-    return 0;
+        std::printf(
+            "\nfleet totals: %llu requests, mean %.2f ms, P95 %.2f ms, "
+            "peak drive %.2f C, %llu gate events, %.1f s gated\n",
+            static_cast<unsigned long long>(result.metrics.count()),
+            result.meanLatencyMs, result.p95LatencyMs,
+            result.maxDriveTempC,
+            static_cast<unsigned long long>(result.gateEvents),
+            result.gatedSec);
+        std::printf(
+            "executor: %llu tasks over %llu epochs, %llu steals\n",
+            static_cast<unsigned long long>(result.executor.tasks),
+            static_cast<unsigned long long>(result.epochs),
+            static_cast<unsigned long long>(result.executor.steals));
+        std::printf("result digest: %016llx\n",
+                    static_cast<unsigned long long>(resultDigest(result)));
+        return 0;
+    });
 }

@@ -9,10 +9,10 @@
  *
  *   ./quickstart [rpm]
  */
-#include <cstdlib>
 #include <iostream>
 
 #include "core/integrated.h"
+#include "harness/flags.h"
 #include "hdd/capacity.h"
 #include "thermal/reliability.h"
 #include "thermal/drive_thermal.h"
@@ -23,11 +23,18 @@ using namespace hddtherm;
 int
 main(int argc, char** argv)
 {
+    double rpm = 15000.0;
+    harness::FlagParser flags(
+        "quickstart", "Evaluate one 2.6\" drive design: capacity, "
+                      "performance, and thermals.");
+    flags.addPositionalDouble("rpm", &rpm, "spindle speed in RPM");
+    flags.parseOrExit(argc, argv);
+
     core::DriveDesign design;
     design.geometry.diameterInches = 2.6;
     design.geometry.platters = 1;
     design.tech = {533e3, 64e3}; // 2002-class recording point
-    design.rpm = argc > 1 ? std::atof(argv[1]) : 15000.0;
+    design.rpm = rpm;
 
     const auto eval = core::evaluateDesign(design);
 

@@ -6,10 +6,9 @@
  *   ./roadmap_explorer [--platters N] [--ambient C] [--start Y] [--end Y]
  *                      [--ff25]
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
+#include "harness/flags.h"
 #include "roadmap/roadmap.h"
 #include "util/ascii_plot.h"
 #include "util/table.h"
@@ -21,22 +20,20 @@ main(int argc, char** argv)
 {
     roadmap::RoadmapOptions opts;
     int platters = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--platters") == 0 && i + 1 < argc) {
-            platters = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--ambient") == 0 && i + 1 < argc) {
-            opts.ambientC = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
-            opts.startYear = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--end") == 0 && i + 1 < argc) {
-            opts.endYear = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--ff25") == 0) {
-            opts.enclosure = hdd::FormFactor::ff25();
-        } else {
-            std::cerr << "unknown argument: " << argv[i] << "\n";
-            return 1;
-        }
-    }
+    bool ff25 = false;
+    harness::FlagParser flags(
+        "roadmap_explorer",
+        "Chart the thermally constrained technology roadmap.");
+    flags.addInt("--platters", &platters, "N", "platters per drive");
+    flags.addDouble("--ambient", &opts.ambientC, "C",
+                    "ambient temperature");
+    flags.addInt("--start", &opts.startYear, "Y", "first roadmap year");
+    flags.addInt("--end", &opts.endYear, "Y", "last roadmap year");
+    flags.addSwitch("--ff25", &ff25,
+                    "use the 2.5\" mobile form-factor enclosure");
+    flags.parseOrExit(argc, argv);
+    if (ff25)
+        opts.enclosure = hdd::FormFactor::ff25();
 
     const roadmap::RoadmapEngine engine(opts);
     std::cout << "Thermally constrained roadmap, " << platters

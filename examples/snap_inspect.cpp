@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/flags.h"
 #include "snap/delta.h"
 #include "snap/format.h"
 #include "util/error.h"
@@ -199,34 +200,54 @@ usage()
 int
 main(int argc, char** argv)
 {
+    bool with_fields = false;
+    bool chain = false;
+    bool diff_mode = false;
+    std::string path_a;
+    std::string path_b;
+    harness::FlagParser flags(
+        "snap_inspect", "Dump or diff .hdtsnap checkpoint files.");
+    flags.addSwitch("--fields", &with_fields,
+                    "dump every field of the chain-resolved checkpoint");
+    flags.addSwitch("--chain", &chain, "print the delta chain lineage");
+    flags.addSwitch("--diff", &diff_mode,
+                    "field-by-field difference of two checkpoints");
+    flags.addPositionalString("checkpoint", &path_a, "checkpoint file");
+    flags.addPositionalString("other", &path_b,
+                              "second checkpoint (--diff only)");
+    flags.parseOrExit(argc, argv);
+
+    // Exactly one mode, with the operand count that mode needs.
+    const int modes = int(with_fields) + int(chain) + int(diff_mode);
+    if (modes > 1 || path_a.empty() ||
+        (diff_mode ? path_b.empty() : !path_b.empty()))
+        return usage();
+
     try {
-        if (argc == 4 && std::string(argv[1]) == "--diff") {
+        if (diff_mode) {
             std::vector<snap::ChainHop> la, lb;
-            const auto a = snap::resolveCheckpointChain(argv[2], &la);
-            const auto b = snap::resolveCheckpointChain(argv[3], &lb);
+            const auto a = snap::resolveCheckpointChain(path_a, &la);
+            const auto b = snap::resolveCheckpointChain(path_b, &lb);
             printLineage("first", la);
             printLineage("second", lb);
             return diff(a, b);
         }
-        if (argc == 3 && std::string(argv[1]) == "--fields") {
+        if (with_fields) {
             std::vector<snap::ChainHop> lineage;
             const auto ckpt =
-                snap::resolveCheckpointChain(argv[2], &lineage);
+                snap::resolveCheckpointChain(path_a, &lineage);
             printLineage("checkpoint", lineage);
             dumpResolved(ckpt, true);
             return 0;
         }
-        if (argc == 3 && std::string(argv[1]) == "--chain") {
+        if (chain) {
             std::vector<snap::ChainHop> lineage;
-            snap::resolveCheckpointChain(argv[2], &lineage);
+            snap::resolveCheckpointChain(path_a, &lineage);
             std::printf("%s", snap::describeChain(lineage).c_str());
             return 0;
         }
-        if (argc == 2 && argv[1][0] != '-') {
-            dumpStored(snap::CheckpointReader(argv[1]));
-            return 0;
-        }
-        return usage();
+        dumpStored(snap::CheckpointReader(path_a));
+        return 0;
     } catch (const util::ModelError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

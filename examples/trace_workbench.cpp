@@ -8,11 +8,11 @@
  *
  * scenario is one of: Openmail, OLTP, Search-Engine, TPC-C, TPC-H.
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/scenarios.h"
+#include "harness/bench.h"
+#include "harness/flags.h"
 #include "trace/trace.h"
 #include "util/table.h"
 
@@ -24,73 +24,79 @@ main(int argc, char** argv)
     std::string name = "Openmail";
     std::size_t requests = 30000;
     std::string save_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-            save_path = argv[++i];
-        } else if (std::isdigit(
-                       static_cast<unsigned char>(argv[i][0]))) {
-            requests = std::size_t(std::atoll(argv[i]));
-        } else {
-            name = argv[i];
+    harness::FlagParser flags(
+        "trace_workbench",
+        "Generate, characterize, save, and replay a synthetic server "
+        "workload.");
+    flags.addPositionalString(
+        "scenario", &name,
+        "Openmail, OLTP, Search-Engine, TPC-C, or TPC-H");
+    flags.addPositionalSizeT("requests", &requests,
+                             "workload request count");
+    flags.addString("--save", &save_path, "PATH",
+                    "persist the generated trace as CSV");
+    flags.parseOrExit(argc, argv);
+
+    return harness::guarded([&] {
+        const auto scenario = core::figure4Scenario(name, requests);
+        const auto trace = scenario.makeTrace();
+        const auto stats = trace::analyze(trace);
+
+        std::cout << "Workload '" << scenario.name << "' ("
+                  << sim::raidLevelName(scenario.system.raid) << ", "
+                  << scenario.system.disks << " disks)\n\n"
+                  << "  requests            : " << stats.requests << "\n"
+                  << "  duration            : "
+                  << util::TableWriter::num(stats.durationSec, 1) << " s ("
+                  << util::TableWriter::num(stats.arrivalRatePerSec, 0)
+                  << " req/s)\n"
+                  << "  read fraction       : "
+                  << util::TableWriter::num(stats.readFraction, 3) << "\n"
+                  << "  mean request size   : "
+                  << util::TableWriter::num(stats.meanSectors / 2.0, 1)
+                  << " KB\n"
+                  << "  sequential fraction : "
+                  << util::TableWriter::num(stats.sequentialFraction, 3)
+                  << "\n";
+
+        // Seek-profile statistics against the member-disk layout (the
+        // paper quotes 1952 cylinders / 86% arm movement for Openmail).
+        const sim::StorageSystem probe(scenario.system);
+        const auto seeks =
+            trace::analyzeSeeks(trace, probe.disk(0).addressMap());
+        std::cout << "  mean seek distance  : "
+                  << util::TableWriter::num(seeks.meanSeekCylinders, 0)
+                  << " cylinders (logical-volume view)\n"
+                  << "  arm movement        : "
+                  << util::TableWriter::num(
+                         100.0 * seeks.armMovementFraction, 1)
+                  << "% of requests\n\n";
+
+        if (!save_path.empty()) {
+            if (trace.save(save_path))
+                std::cout << "trace saved to " << save_path << "\n\n";
+            else
+                std::cerr << "failed to save trace to " << save_path
+                          << "\n";
         }
-    }
 
-    const auto scenario = core::figure4Scenario(name, requests);
-    const auto trace = scenario.makeTrace();
-    const auto stats = trace::analyze(trace);
-
-    std::cout << "Workload '" << scenario.name << "' ("
-              << sim::raidLevelName(scenario.system.raid) << ", "
-              << scenario.system.disks << " disks)\n\n"
-              << "  requests            : " << stats.requests << "\n"
-              << "  duration            : "
-              << util::TableWriter::num(stats.durationSec, 1) << " s ("
-              << util::TableWriter::num(stats.arrivalRatePerSec, 0)
-              << " req/s)\n"
-              << "  read fraction       : "
-              << util::TableWriter::num(stats.readFraction, 3) << "\n"
-              << "  mean request size   : "
-              << util::TableWriter::num(stats.meanSectors / 2.0, 1)
-              << " KB\n"
-              << "  sequential fraction : "
-              << util::TableWriter::num(stats.sequentialFraction, 3)
-              << "\n";
-
-    // Seek-profile statistics against the member-disk layout (the paper
-    // quotes 1952 cylinders / 86% arm movement for Openmail).
-    const sim::StorageSystem probe(scenario.system);
-    const auto seeks =
-        trace::analyzeSeeks(trace, probe.disk(0).addressMap());
-    std::cout << "  mean seek distance  : "
-              << util::TableWriter::num(seeks.meanSeekCylinders, 0)
-              << " cylinders (logical-volume view)\n"
-              << "  arm movement        : "
-              << util::TableWriter::num(
-                     100.0 * seeks.armMovementFraction, 1)
-              << "% of requests\n\n";
-
-    if (!save_path.empty()) {
-        if (trace.save(save_path))
-            std::cout << "trace saved to " << save_path << "\n\n";
-        else
-            std::cerr << "failed to save trace to " << save_path << "\n";
-    }
-
-    std::cout << "Replaying at the baseline "
-              << scenario.baseRpm << " RPM...\n";
-    const auto metrics = scenario.run(scenario.baseRpm, requests);
-    const auto cdf = metrics.histogram().cdf();
-    util::TableWriter table({"metric", "value"});
-    table.addRow({"mean response",
-                  util::TableWriter::num(metrics.meanMs()) + " ms"});
-    table.addRow({"p95 (approx)",
-                  util::TableWriter::num(
-                      metrics.histogram().quantile(0.95), 1) + " ms"});
-    table.addRow({"<= 20 ms", util::TableWriter::num(cdf[2], 3)});
-    table.addRow({"<= 60 ms", util::TableWriter::num(cdf[4], 3)});
-    table.addRow({"> 200 ms",
-                  util::TableWriter::num(
-                      metrics.histogram().overflowFraction(), 3)});
-    table.print(std::cout);
-    return 0;
+        std::cout << "Replaying at the baseline "
+                  << scenario.baseRpm << " RPM...\n";
+        const auto metrics = scenario.run(scenario.baseRpm, requests);
+        const auto cdf = metrics.histogram().cdf();
+        util::TableWriter table({"metric", "value"});
+        table.addRow({"mean response",
+                      util::TableWriter::num(metrics.meanMs()) + " ms"});
+        table.addRow(
+            {"p95 (approx)",
+             util::TableWriter::num(
+                 metrics.histogram().quantile(0.95), 1) + " ms"});
+        table.addRow({"<= 20 ms", util::TableWriter::num(cdf[2], 3)});
+        table.addRow({"<= 60 ms", util::TableWriter::num(cdf[4], 3)});
+        table.addRow({"> 200 ms",
+                      util::TableWriter::num(
+                          metrics.histogram().overflowFraction(), 3)});
+        table.print(std::cout);
+        return 0;
+    });
 }

@@ -32,8 +32,9 @@ lower(std::string s)
     return s;
 }
 
-using Section = std::map<std::string, std::string>;
-using Document = std::map<std::string, Section>;
+} // namespace
+
+namespace ini {
 
 Document
 parseDocument(const std::string& text)
@@ -82,81 +83,98 @@ parseDocument(const std::string& text)
     return doc;
 }
 
-/// Typed accessors that consume keys so leftovers can be reported.
-class SectionReader
+Document
+loadDocument(const std::string& path)
 {
-  public:
-    SectionReader(std::string name, Section section)
-        : name_(std::move(name)), section_(std::move(section))
-    {}
+    std::ifstream in(path);
+    HDDTHERM_REQUIRE(bool(in), "cannot open config file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseDocument(text.str());
+}
 
-    double
-    number(const std::string& key, double fallback)
-    {
-        const auto it = section_.find(key);
-        if (it == section_.end())
-            return fallback;
-        std::size_t pos = 0;
-        double value = 0.0;
-        try {
-            value = std::stod(it->second, &pos);
-        } catch (const std::exception&) {
-            pos = 0;
-        }
-        HDDTHERM_REQUIRE(pos == it->second.size(),
-                         "[" + name_ + "] " + key +
-                             ": not a number: " + it->second);
-        // std::stod happily parses "nan" and "inf"; a non-finite config
-        // value is never meaningful here and must not propagate silently
-        // into the models.
-        HDDTHERM_REQUIRE(std::isfinite(value),
-                         "[" + name_ + "] " + key +
-                             ": not a finite number: " + it->second);
-        section_.erase(it);
-        return value;
+double
+SectionReader::number(const std::string& key, double fallback)
+{
+    const auto it = section_.find(key);
+    if (it == section_.end())
+        return fallback;
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(it->second, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
     }
+    HDDTHERM_REQUIRE(pos == it->second.size(),
+                     "[" + name_ + "] " + key +
+                         ": not a number: " + it->second);
+    // std::stod happily parses "nan" and "inf"; a non-finite config
+    // value is never meaningful here and must not propagate silently
+    // into the models.
+    HDDTHERM_REQUIRE(std::isfinite(value),
+                     "[" + name_ + "] " + key +
+                         ": not a finite number: " + it->second);
+    section_.erase(it);
+    return value;
+}
 
-    std::string
-    word(const std::string& key, const std::string& fallback)
-    {
-        const auto it = section_.find(key);
-        if (it == section_.end())
-            return fallback;
-        const std::string value = lower(it->second);
-        section_.erase(it);
-        return value;
-    }
+std::string
+SectionReader::word(const std::string& key, const std::string& fallback)
+{
+    const auto it = section_.find(key);
+    if (it == section_.end())
+        return fallback;
+    const std::string value = lower(it->second);
+    section_.erase(it);
+    return value;
+}
 
-    bool
-    flag(const std::string& key, bool fallback)
-    {
-        const auto it = section_.find(key);
-        if (it == section_.end())
-            return fallback;
-        const std::string value = lower(it->second);
-        section_.erase(it);
-        if (value == "true" || value == "yes" || value == "1")
-            return true;
-        if (value == "false" || value == "no" || value == "0")
-            return false;
-        throw util::ModelError("[" + name_ + "] " + key +
-                               ": not a boolean: " + value);
-    }
+std::string
+SectionReader::text(const std::string& key, const std::string& fallback)
+{
+    const auto it = section_.find(key);
+    if (it == section_.end())
+        return fallback;
+    const std::string value = it->second;
+    section_.erase(it);
+    return value;
+}
 
-    void
-    finish() const
-    {
-        HDDTHERM_REQUIRE(section_.empty(),
-                         "[" + name_ + "] unknown key '" +
-                             (section_.empty() ? ""
-                                               : section_.begin()->first) +
-                             "'");
-    }
+bool
+SectionReader::flag(const std::string& key, bool fallback)
+{
+    const auto it = section_.find(key);
+    if (it == section_.end())
+        return fallback;
+    const std::string value = lower(it->second);
+    section_.erase(it);
+    if (value == "true" || value == "yes" || value == "1")
+        return true;
+    if (value == "false" || value == "no" || value == "0")
+        return false;
+    throw util::ModelError("[" + name_ + "] " + key +
+                           ": not a boolean: " + value);
+}
 
-  private:
-    std::string name_;
-    Section section_;
-};
+void
+SectionReader::finish() const
+{
+    HDDTHERM_REQUIRE(section_.empty(),
+                     "[" + name_ + "] unknown key '" +
+                         (section_.empty() ? ""
+                                           : section_.begin()->first) +
+                         "'");
+}
+
+} // namespace ini
+
+namespace {
+
+using ini::Document;
+using ini::Section;
+using ini::SectionReader;
+using ini::parseDocument;
 
 sim::SchedulerPolicy
 parseScheduler(const std::string& word)
@@ -256,16 +274,20 @@ raidWord(sim::RaidLevel level)
 ExperimentSpec
 parseExperimentSpec(const std::string& text)
 {
-    Document doc = parseDocument(text);
+    Document doc = ini::parseDocument(text);
     for (const auto& [section, _] : doc) {
         HDDTHERM_REQUIRE(section == "disk" || section == "array" ||
                              section == "workload",
                          "unknown section [" + section + "]");
     }
-
     ExperimentSpec spec;
-    const ExperimentSpec defaults;
+    applyExperimentSections(doc, spec);
+    return spec;
+}
 
+void
+applyExperimentSections(ini::Document& doc, ExperimentSpec& spec)
+{
     if (doc.count("disk")) {
         SectionReader disk("disk", doc["disk"]);
         auto& d = spec.system.disk;
@@ -293,6 +315,7 @@ parseExperimentSpec(const std::string& text)
         d.rpmChangeSecPerKrpm =
             disk.number("rpm_change_s_per_krpm", d.rpmChangeSecPerKrpm);
         disk.finish();
+        doc.erase("disk");
     }
 
     if (doc.count("array")) {
@@ -307,6 +330,7 @@ parseExperimentSpec(const std::string& text)
         spec.system.writeReportLatencyMs = array.number(
             "write_report_latency_ms", spec.system.writeReportLatencyMs);
         array.finish();
+        doc.erase("array");
     }
 
     if (doc.count("workload")) {
@@ -332,8 +356,8 @@ parseExperimentSpec(const std::string& text)
             w.number("device_zipf_theta", s.deviceZipfTheta);
         s.seed = std::uint64_t(w.number("seed", double(s.seed)));
         w.finish();
+        doc.erase("workload");
     }
-    return spec;
 }
 
 ExperimentSpec

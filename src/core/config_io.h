@@ -30,6 +30,7 @@
 #ifndef HDDTHERM_CORE_CONFIG_IO_H
 #define HDDTHERM_CORE_CONFIG_IO_H
 
+#include <map>
 #include <string>
 
 #include "fault/fault_schedule.h"
@@ -37,6 +38,67 @@
 #include "trace/synth.h"
 
 namespace hddtherm::core {
+
+/**
+ * The INI layer itself, exposed so other spec dialects (the harness's
+ * RunSpec) can share the tokenizer, the typed accessors, and the
+ * unknown-key discipline instead of growing their own parsers.
+ */
+namespace ini {
+
+using Section = std::map<std::string, std::string>;
+using Document = std::map<std::string, Section>;
+
+/**
+ * Parse INI text (sections, `key = value`, `#` comments) into a document.
+ * Keys and section names are lowercased; values keep their case.
+ * @throws util::ModelError on syntax errors and duplicate keys.
+ */
+Document parseDocument(const std::string& text);
+
+/// parseDocument() over a file; throws util::ModelError on I/O failure.
+Document loadDocument(const std::string& path);
+
+/**
+ * Typed accessors over one section that consume keys as they are read,
+ * so finish() can reject leftovers (typos must fail loudly, not fall
+ * back to defaults).  Every accessor takes a fallback returned when the
+ * key is absent — overlay semantics for free.
+ */
+class SectionReader
+{
+  public:
+    SectionReader(std::string name, Section section)
+        : name_(std::move(name)), section_(std::move(section))
+    {}
+
+    /// Finite number; throws on malformed/non-finite values.
+    double number(const std::string& key, double fallback);
+
+    /// Lowercased word (enumerations).
+    std::string word(const std::string& key, const std::string& fallback);
+
+    /// Raw string, case preserved (paths, names).
+    std::string text(const std::string& key, const std::string& fallback);
+
+    /// Boolean: true/yes/1 or false/no/0.
+    bool flag(const std::string& key, bool fallback);
+
+    /// True while @p key is present (not yet consumed).
+    bool has(const std::string& key) const
+    {
+        return section_.count(key) != 0;
+    }
+
+    /// Reject any keys never consumed.  @throws util::ModelError.
+    void finish() const;
+
+  private:
+    std::string name_;
+    Section section_;
+};
+
+} // namespace ini
 
 /// A parsed experiment description.
 struct ExperimentSpec
@@ -55,6 +117,16 @@ ExperimentSpec loadExperimentSpec(const std::string& path);
 
 /// Parse an experiment description from a string (for tests/tools).
 ExperimentSpec parseExperimentSpec(const std::string& text);
+
+/**
+ * Overlay the [disk]/[array]/[workload] sections of @p doc onto @p spec:
+ * present keys override, absent keys keep the values already in @p spec
+ * (so a scenario can serve as the base of a declarative run spec).
+ * Consumes the three sections from the document; other sections are left
+ * untouched for the caller's dialect.
+ * @throws util::ModelError on unknown keys or out-of-domain values.
+ */
+void applyExperimentSections(ini::Document& doc, ExperimentSpec& spec);
 
 /// Serialize a spec back to the file format.
 std::string formatExperimentSpec(const ExperimentSpec& spec);

@@ -1,0 +1,47 @@
+#include "harness/bench.h"
+
+#include <iostream>
+#include <utility>
+
+#include "util/error.h"
+
+namespace hddtherm::harness {
+
+Bench::Bench(std::string name, int argc, char** argv, std::string summary,
+             util::LogLevel level)
+    : run_(name, argc, argv),
+      flags_(std::move(name), std::move(summary)), argc_(argc),
+      argv_(argv)
+{
+    util::setLogLevel(level);
+}
+
+void
+Bench::parse()
+{
+    flags_.beginGroup("output");
+    flags_.addString("--csv", &csv_dir_, "DIR",
+                     "write CSV tables + manifest/metrics artifacts "
+                     "here");
+    flags_.parseOrExit(argc_, argv_);
+}
+
+int
+Bench::finish()
+{
+    run_.writeArtifacts(csv_dir_);
+    return 0;
+}
+
+int
+guarded(const std::function<int()>& body)
+{
+    try {
+        return body();
+    } catch (const util::ModelError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace hddtherm::harness

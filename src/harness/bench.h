@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bench: the boilerplate every bench binary repeated, as one object.
+ *
+ * Each of the 24 benches used to open with the same block — construct an
+ * obs::BenchRun (manifest provenance + metrics on), set the log level,
+ * hand-roll an argv loop for `[requests]` and `--csv dir`, and remember
+ * to call writeArtifacts() on the way out.  Bench folds that into the
+ * harness so it cannot be forgotten or diverge:
+ *
+ *     harness::Bench bench("bench_fig4_workloads", argc, argv,
+ *                          "Figure 4 response-time sweep.");
+ *     std::size_t requests = 60000;
+ *     bench.flags().addPositionalSizeT("requests", &requests,
+ *                                      "requests per scenario");
+ *     bench.parse();          // --csv registered, --help handled
+ *     ...
+ *     return bench.finish();  // manifest.json + metrics beside the CSVs
+ *
+ * Construction order matches the old hand-written mains exactly
+ * (BenchRun first — it enables metric collection — then the log level),
+ * so migrated benches are behavior-identical.
+ */
+#ifndef HDDTHERM_HARNESS_BENCH_H
+#define HDDTHERM_HARNESS_BENCH_H
+
+#include <functional>
+#include <string>
+
+#include "harness/flags.h"
+#include "obs/manifest.h"
+#include "util/log.h"
+
+namespace hddtherm::harness {
+
+/// Per-bench run context: provenance + flags + artifact emission.
+class Bench
+{
+  public:
+    /**
+     * Start a bench run: BenchRun provenance (metrics on), then
+     * @p level as the log level, then a FlagParser named @p name.
+     */
+    Bench(std::string name, int argc, char** argv, std::string summary,
+          util::LogLevel level = util::LogLevel::Info);
+
+    /// Register bench-specific options/positionals before parse().
+    FlagParser& flags() { return flags_; }
+
+    /// Register the shared `--csv DIR` option and parse argv
+    /// (parseOrExit semantics: --help exits 0, bad flags exit 2).
+    void parse();
+
+    /// The --csv directory ("" = console only).
+    const std::string& csvDir() const { return csv_dir_; }
+
+    /// Provenance record (setSeed/setConfig/setResume).
+    obs::BenchRun& run() { return run_; }
+
+    /// Write manifest.json + metrics beside the CSVs (no-op without
+    /// --csv).  Returns the process exit code.
+    int finish();
+
+  private:
+    obs::BenchRun run_;
+    FlagParser flags_;
+    int argc_;
+    char** argv_;
+    std::string csv_dir_;
+};
+
+/**
+ * Run @p body, turning an escaping util::ModelError into an error line
+ * on stderr and exit code 1 — the uniform failure path for example
+ * binaries (a bad spec file or an empty resume directory should not
+ * read as a crash).
+ */
+int guarded(const std::function<int()>& body);
+
+} // namespace hddtherm::harness
+
+#endif // HDDTHERM_HARNESS_BENCH_H

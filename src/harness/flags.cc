@@ -1,0 +1,447 @@
+#include "harness/flags.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hddtherm::harness {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string& what, const std::string& text,
+         const char* expected)
+{
+    throw util::ModelError(what + ": expected " + expected + ", got '" +
+                           text + "'");
+}
+
+} // namespace
+
+double
+parseDouble(const std::string& what, const std::string& text)
+{
+    if (text.empty())
+        badValue(what, text, "a number");
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE ||
+        !std::isfinite(value))
+        badValue(what, text, "a finite number");
+    return value;
+}
+
+long long
+parseInt64(const std::string& what, const std::string& text)
+{
+    if (text.empty())
+        badValue(what, text, "an integer");
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno == ERANGE)
+        badValue(what, text, "an integer");
+    return value;
+}
+
+std::uint64_t
+parseUint64(const std::string& what, const std::string& text)
+{
+    if (text.empty() || text.front() == '-')
+        badValue(what, text, "a non-negative integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno == ERANGE)
+        badValue(what, text, "a non-negative integer");
+    return std::uint64_t(value);
+}
+
+int
+parseInt(const std::string& what, const std::string& text)
+{
+    const long long value = parseInt64(what, text);
+    if (value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max())
+        badValue(what, text, "an int-range integer");
+    return int(value);
+}
+
+std::size_t
+parseSizeT(const std::string& what, const std::string& text)
+{
+    return std::size_t(parseUint64(what, text));
+}
+
+bool
+parseBool(const std::string& what, const std::string& text)
+{
+    if (text == "true" || text == "yes" || text == "1")
+        return true;
+    if (text == "false" || text == "no" || text == "0")
+        return false;
+    badValue(what, text, "a boolean (true/false)");
+}
+
+namespace {
+
+template <typename T, typename Parse>
+std::vector<T>
+parseList(const std::string& what, const std::string& text, Parse parse)
+{
+    std::vector<T> out;
+    std::size_t pos = 0;
+    if (text.empty())
+        badValue(what, text, "a comma-separated list");
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        out.push_back(parse(what, text.substr(pos, end - pos)));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+        if (pos == text.size()) // trailing comma
+            badValue(what, text, "a comma-separated list");
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<int>
+parseIntList(const std::string& what, const std::string& text)
+{
+    return parseList<int>(what, text, parseInt);
+}
+
+std::vector<double>
+parseDoubleList(const std::string& what, const std::string& text)
+{
+    return parseList<double>(what, text, parseDouble);
+}
+
+FlagParser::FlagParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{}
+
+void
+FlagParser::addOption(Option opt)
+{
+    HDDTHERM_ASSERT(find(opt.name) == nullptr);
+    opt.group = group_;
+    options_.push_back(std::move(opt));
+}
+
+const FlagParser::Option*
+FlagParser::find(const std::string& name) const
+{
+    for (const auto& opt : options_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+void
+FlagParser::addString(const std::string& name, std::string* out,
+                      const std::string& value_name,
+                      const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out](const std::string& text) { *out = text; }, nullptr});
+}
+
+void
+FlagParser::addDouble(const std::string& name, double* out,
+                      const std::string& value_name,
+                      const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseDouble("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addInt(const std::string& name, int* out,
+                   const std::string& value_name, const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseInt("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addSizeT(const std::string& name, std::size_t* out,
+                     const std::string& value_name,
+                     const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseSizeT("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addUint64(const std::string& name, std::uint64_t* out,
+                      const std::string& value_name,
+                      const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseUint64("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addSwitch(const std::string& name, bool* out,
+                      const std::string& help)
+{
+    addOption({name, "", help, {}, true, nullptr, out});
+}
+
+void
+FlagParser::addChoice(const std::string& name, std::string* out,
+                      std::vector<std::string> choices,
+                      const std::string& help)
+{
+    addOption({name, "WHICH", help, {}, false,
+               [out, name, choices = std::move(choices)](
+                   const std::string& text) {
+                   for (const auto& c : choices) {
+                       if (text == c) {
+                           *out = text;
+                           return;
+                       }
+                   }
+                   std::string valid;
+                   for (const auto& c : choices)
+                       valid += (valid.empty() ? "" : "|") + c;
+                   throw util::ModelError("flag " + name + ": '" + text +
+                                          "' is not one of " + valid);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addIntList(const std::string& name, std::vector<int>* out,
+                       const std::string& value_name,
+                       const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseIntList("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addDoubleList(const std::string& name,
+                          std::vector<double>* out,
+                          const std::string& value_name,
+                          const std::string& help)
+{
+    addOption({name, value_name, help, {}, false,
+               [out, name](const std::string& text) {
+                   *out = parseDoubleList("flag " + name, text);
+               },
+               nullptr});
+}
+
+void
+FlagParser::addPositionalString(const std::string& label, std::string* out,
+                                const std::string& help)
+{
+    positionals_.push_back(
+        {label, help, [out](const std::string& text) { *out = text; }});
+}
+
+void
+FlagParser::addPositionalDouble(const std::string& label, double* out,
+                                const std::string& help)
+{
+    positionals_.push_back({label, help,
+                            [out, label](const std::string& text) {
+                                *out = parseDouble("argument " + label,
+                                                   text);
+                            }});
+}
+
+void
+FlagParser::addPositionalInt(const std::string& label, int* out,
+                             const std::string& help)
+{
+    positionals_.push_back({label, help,
+                            [out, label](const std::string& text) {
+                                *out = parseInt("argument " + label, text);
+                            }});
+}
+
+void
+FlagParser::addPositionalSizeT(const std::string& label, std::size_t* out,
+                               const std::string& help)
+{
+    positionals_.push_back({label, help,
+                            [out, label](const std::string& text) {
+                                *out = parseSizeT("argument " + label,
+                                                  text);
+                            }});
+}
+
+void
+FlagParser::beginGroup(std::string title)
+{
+    group_ = std::move(title);
+}
+
+bool
+FlagParser::parse(int argc, char** argv)
+{
+    std::vector<std::string> args;
+    args.reserve(argc > 0 ? std::size_t(argc) - 1 : 0);
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+bool
+FlagParser::parse(const std::vector<std::string>& args)
+{
+    extra_.clear();
+    std::size_t next_positional = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg == "--help" || arg == "-h")
+            return false;
+        std::string name = arg;
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                name = arg.substr(0, eq);
+                inline_value = arg.substr(eq + 1);
+                has_inline = true;
+            }
+        }
+        if (const Option* opt = find(name)) {
+            if (opt->is_switch) {
+                if (has_inline)
+                    throw util::ModelError("flag " + name +
+                                           " takes no value");
+                *opt->switch_out = true;
+                continue;
+            }
+            std::string value;
+            if (has_inline) {
+                value = inline_value;
+            } else {
+                if (i + 1 >= args.size())
+                    throw util::ModelError("flag " + name +
+                                           ": missing value");
+                value = args[++i];
+            }
+            opt->apply(value);
+            continue;
+        }
+        const bool looks_like_flag =
+            arg.size() > 1 && arg.front() == '-' &&
+            !(std::isdigit(static_cast<unsigned char>(arg[1])) ||
+              arg[1] == '.');
+        if (looks_like_flag) {
+            if (pass_through_) {
+                extra_.push_back(arg);
+                continue;
+            }
+            throw util::ModelError("unknown flag: " + arg);
+        }
+        if (next_positional < positionals_.size()) {
+            positionals_[next_positional++].apply(arg);
+            continue;
+        }
+        if (pass_through_) {
+            extra_.push_back(arg);
+            continue;
+        }
+        throw util::ModelError("unexpected argument: " + arg);
+    }
+    return true;
+}
+
+void
+FlagParser::parseOrExit(int argc, char** argv)
+{
+    try {
+        if (!parse(argc, argv)) {
+            std::cout << helpText();
+            std::exit(0);
+        }
+    } catch (const util::ModelError& e) {
+        std::cerr << program_ << ": " << e.what() << "\n"
+                  << "try '" << program_ << " --help'\n";
+        std::exit(2);
+    }
+}
+
+std::string
+FlagParser::helpText() const
+{
+    std::ostringstream out;
+    out << "usage: " << program_ << " [options]";
+    for (const auto& p : positionals_)
+        out << " [" << p.label << "]";
+    out << "\n";
+    if (!summary_.empty())
+        out << "\n" << summary_ << "\n";
+    if (!positionals_.empty()) {
+        out << "\narguments:\n";
+        for (const auto& p : positionals_) {
+            std::string head = "  " + p.label;
+            if (head.size() < 26)
+                head.resize(26, ' ');
+            else
+                head += ' ';
+            out << head << p.help << "\n";
+        }
+    }
+    std::string group; // options before the first beginGroup()
+    bool opened = false;
+    auto open = [&](const std::string& title) {
+        out << "\n" << (title.empty() ? "options" : title) << ":\n";
+        opened = true;
+    };
+    for (const auto& opt : options_) {
+        if (!opened || opt.group != group) {
+            group = opt.group;
+            open(group);
+        }
+        std::string head = "  " + opt.name;
+        if (!opt.value_name.empty())
+            head += " " + opt.value_name;
+        if (head.size() < 26)
+            head.resize(26, ' ');
+        else
+            head += ' ';
+        out << head << opt.help << "\n";
+    }
+    if (!opened)
+        out << "\noptions:\n";
+    out << "  --help                  show this message and exit\n";
+    return out.str();
+}
+
+} // namespace hddtherm::harness

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Typed command-line parsing for every HDDTherm entry point.
+ *
+ * Before this layer, each of the repo's benches and examples hand-rolled
+ * its own `argv` loop on `std::atof`/`std::atoll`, which silently parse
+ * `"abc"` as 0 and wrap negative counts through `std::size_t`.  FlagParser
+ * replaces them all: options are registered with a type and a help line,
+ * `--help` output is generated, and malformed values, unknown flags, and
+ * stray arguments are rejected loudly (naming the flag and the offending
+ * text) instead of producing a garbage run.
+ *
+ *     harness::FlagParser flags("dtm_demo", "Run a DTM co-simulation.");
+ *     flags.addDouble("--rpm", &rpm, "R", "spindle speed");
+ *     flags.addSizeT("--requests", &requests, "N", "workload size");
+ *     flags.parseOrExit(argc, argv);   // --help prints and exits 0
+ *
+ * Values may be given as `--flag value` or `--flag=value`.  Positionals
+ * are declared in order and are always optional (the repo's entry points
+ * use them for "the one obvious knob", e.g. `bench_fig4_workloads 2000`).
+ * The throwing `parse()` overload backs the test suite; entry points use
+ * `parseOrExit()`, which turns a util::ModelError into an exit(2) with
+ * a "try --help" hint.
+ */
+#ifndef HDDTHERM_HARNESS_FLAGS_H
+#define HDDTHERM_HARNESS_FLAGS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hddtherm::harness {
+
+/// @name Strict scalar parsing
+/// Shared by FlagParser and RunSpec: the whole text must convert, the
+/// result must be finite / in range, and unsigned quantities reject
+/// negative input instead of wrapping.  @p what names the flag or key in
+/// the util::ModelError message.
+/// @{
+double parseDouble(const std::string& what, const std::string& text);
+long long parseInt64(const std::string& what, const std::string& text);
+std::uint64_t parseUint64(const std::string& what, const std::string& text);
+int parseInt(const std::string& what, const std::string& text);
+std::size_t parseSizeT(const std::string& what, const std::string& text);
+bool parseBool(const std::string& what, const std::string& text);
+/// Comma-separated list of strictly parsed values; empty elements rejected.
+std::vector<int> parseIntList(const std::string& what,
+                              const std::string& text);
+std::vector<double> parseDoubleList(const std::string& what,
+                                    const std::string& text);
+/// @}
+
+/// Declarative argv parser with typed options and generated --help.
+class FlagParser
+{
+  public:
+    /**
+     * @param program binary name for the usage line.
+     * @param summary one-line description printed atop --help.
+     */
+    explicit FlagParser(std::string program, std::string summary = "");
+
+    /// @name Option registration
+    /// @p name includes the leading dashes ("--rpm").  @p value_name
+    /// labels the operand in help ("--rpm R").  Registering a duplicate
+    /// name aborts (programmer error).
+    /// @{
+    void addString(const std::string& name, std::string* out,
+                   const std::string& value_name, const std::string& help);
+    void addDouble(const std::string& name, double* out,
+                   const std::string& value_name, const std::string& help);
+    void addInt(const std::string& name, int* out,
+                const std::string& value_name, const std::string& help);
+    void addSizeT(const std::string& name, std::size_t* out,
+                  const std::string& value_name, const std::string& help);
+    void addUint64(const std::string& name, std::uint64_t* out,
+                   const std::string& value_name, const std::string& help);
+    /// Presence flag: no operand, sets *out = true.
+    void addSwitch(const std::string& name, bool* out,
+                   const std::string& help);
+    /// String option restricted to @p choices; others are rejected with
+    /// the valid set in the message.
+    void addChoice(const std::string& name, std::string* out,
+                   std::vector<std::string> choices,
+                   const std::string& help);
+    void addIntList(const std::string& name, std::vector<int>* out,
+                    const std::string& value_name, const std::string& help);
+    void addDoubleList(const std::string& name, std::vector<double>* out,
+                       const std::string& value_name,
+                       const std::string& help);
+    /// @}
+
+    /// @name Positional registration
+    /// Filled left to right; all positionals are optional.
+    /// @{
+    void addPositionalString(const std::string& label, std::string* out,
+                             const std::string& help);
+    void addPositionalDouble(const std::string& label, double* out,
+                             const std::string& help);
+    void addPositionalInt(const std::string& label, int* out,
+                          const std::string& help);
+    void addPositionalSizeT(const std::string& label, std::size_t* out,
+                            const std::string& help);
+    /// @}
+
+    /// Start a titled option group in the help output (registration
+    /// order is preserved).
+    void beginGroup(std::string title);
+
+    /**
+     * Collect unrecognized arguments into extraArgs() instead of
+     * rejecting them — for binaries that forward to another flag
+     * consumer (bench_micro hands google-benchmark its flags).
+     */
+    void passThroughUnknown() { pass_through_ = true; }
+
+    /// Arguments left unconsumed under passThroughUnknown(), argv order.
+    const std::vector<std::string>& extraArgs() const { return extra_; }
+
+    /**
+     * Parse @p argv (argv[0] ignored).
+     * @returns false if --help/-h was seen (caller should print
+     *          helpText() and stop); true to proceed.
+     * @throws util::ModelError naming the flag/value on unknown flags,
+     *         missing operands, malformed or out-of-range values, and
+     *         unexpected positionals.
+     */
+    bool parse(int argc, char** argv);
+
+    /// parse() over an argument vector (tests).
+    bool parse(const std::vector<std::string>& args);
+
+    /// Parse; on --help print helpText() to stdout and exit(0); on error
+    /// print the message and a "try --help" hint to stderr and exit(2).
+    void parseOrExit(int argc, char** argv);
+
+    /// The generated help text.
+    std::string helpText() const;
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string value_name; ///< Empty for switches.
+        std::string help;
+        std::string group;
+        bool is_switch = false;
+        std::function<void(const std::string&)> apply;
+        bool* switch_out = nullptr;
+    };
+    struct Positional
+    {
+        std::string label;
+        std::string help;
+        std::function<void(const std::string&)> apply;
+    };
+
+    void addOption(Option opt);
+    const Option* find(const std::string& name) const;
+
+    std::string program_;
+    std::string summary_;
+    std::string group_;
+    std::vector<Option> options_;
+    std::vector<Positional> positionals_;
+    std::vector<std::string> extra_;
+    bool pass_through_ = false;
+};
+
+} // namespace hddtherm::harness
+
+#endif // HDDTHERM_HARNESS_FLAGS_H

@@ -1,0 +1,123 @@
+#include "harness/run_builder.h"
+
+#include "core/scenarios.h"
+#include "sim/storage_system.h"
+#include "trace/synth.h"
+#include "util/error.h"
+
+namespace hddtherm::harness {
+
+RunBuilder::RunBuilder(const RunSpec& spec, const BaseTweak& tweak)
+    : spec_(spec)
+{
+    // Base: a named Figure 4 scenario, or the spec's programmatic
+    // experiment.
+    core::ExperimentSpec base;
+    if (!spec_.scenario.empty()) {
+        const auto scenario = core::figure4Scenario(
+            spec_.scenario, spec_.requests ? spec_.requests : 60000);
+        base.system = scenario.system;
+        base.workload = scenario.workload;
+        base.hasWorkload = true;
+    } else {
+        base = spec_.experiment;
+    }
+    if (tweak)
+        tweak(base);
+
+    // INI [disk]/[array]/[workload] overlay (present keys win) ...
+    core::ini::Document overlay = spec_.overlay;
+    core::applyExperimentSections(overlay, base);
+
+    // ... and the CLI-bound scalars win last.
+    if (spec_.requests)
+        base.workload.requests = spec_.requests;
+    if (spec_.rpm > 0.0)
+        base.system.disk.rpm = spec_.rpm;
+
+    workload_ = base.workload;
+
+    cosim_.system = base.system;
+    cosim_.policy = spec_.dtmPolicy();
+    cosim_.lowRpm = spec_.lowRpm;
+    cosim_.rpmLadder = spec_.rpmLadder;
+    cosim_.ambientC = spec_.ambientC;
+    cosim_.controlIntervalSec = spec_.controlIntervalSec;
+    cosim_.maxSimulatedSec = spec_.maxSimulatedSec;
+    cosim_.warmupFraction = spec_.warmupFraction;
+    if (!spec_.faultsPath.empty())
+        cosim_.faults = core::loadFaultSchedule(spec_.faultsPath);
+
+    fleet_.racks = spec_.racks;
+    fleet_.rack.chassisCount = spec_.chassisPerRack;
+    fleet_.rack.inletC = spec_.inletC;
+    fleet_.chassis.bays = spec_.baysPerChassis;
+    fleet_.bay = cosim_;
+    // The fleet owns ambient management and fault routing; the bay
+    // template must carry neither.
+    fleet_.bay.ambientProfile.clear();
+    fleet_.bay.faults = fault::FaultSchedule();
+    fleet_.faults = cosim_.faults;
+    fleet_.workload = workload_;
+    fleet_.seed = spec_.seed;
+    fleet_.epochSec = spec_.epochSec;
+    fleet_.maxSimulatedSec = spec_.maxSimulatedSec;
+
+    resume_path_ = spec_.checkpoint.resolveResume();
+}
+
+std::vector<sim::IoRequest>
+RunBuilder::makeTrace() const
+{
+    const trace::SyntheticWorkload gen(workload_);
+    const sim::StorageSystem probe(cosim_.system);
+    return gen.generate(probe.logicalSectors()).toRequests();
+}
+
+sim::ResponseMetrics
+RunBuilder::runStorage(const std::vector<sim::IoRequest>& trace) const
+{
+    sim::StorageSystem array(cosim_.system);
+    return array.run(trace);
+}
+
+dtm::CoSimResult
+RunBuilder::runCoSim(const std::vector<sim::IoRequest>& trace)
+{
+    dtm::CoSimEngine engine(cosim_);
+    if (spec_.checkpoint.everySec > 0.0) {
+        snap::CheckpointPolicy policy = spec_.checkpoint.policy();
+        policy.everyEpochs = 0; // standalone cadence is seconds
+        engine.enableCheckpoints(policy);
+    }
+    if (!resume_path_.empty())
+        engine.restoreFromCheckpoint(resume_path_, trace);
+    else
+        engine.start(trace);
+    engine.advanceToCompletion();
+    return engine.result();
+}
+
+dtm::CoSimResult
+RunBuilder::runBaseline(const std::vector<sim::IoRequest>& trace) const
+{
+    dtm::CoSimConfig clean = cosim_;
+    clean.faults = fault::FaultSchedule();
+    return dtm::CoSimulation(clean).run(trace);
+}
+
+fleet::FleetResult
+RunBuilder::runFleet(engine::TraceSink* epoch_trace)
+{
+    fleet::FleetSimulation sim(fleet_);
+    snap::CheckpointPolicy policy = spec_.checkpoint.policy();
+    policy.everySec = 0.0; // fleet cadence is epoch-based
+    const snap::CheckpointPolicy* checkpoints =
+        spec_.checkpoint.everyEpochs > 0 ? &policy : nullptr;
+    if (!resume_path_.empty())
+        return sim.resume(resume_path_, spec_.threads, epoch_trace,
+                          checkpoints);
+    return sim.run(spec_.threads, epoch_trace, checkpoints);
+}
+
+} // namespace hddtherm::harness

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RunBuilder: the trace → sim → thermal → dtm → fleet wiring, once.
+ *
+ * Before the harness, every binary that ran a co-simulation repeated the
+ * same block: resolve a Figure 4 scenario, tweak the drive, build a
+ * SyntheticWorkload, probe a StorageSystem for its logical capacity,
+ * generate the trace, construct a CoSimConfig (or FleetConfig), and —
+ * only in the two binaries that grew the flags — arm checkpointing and
+ * resume.  RunBuilder performs that wiring from a RunSpec so snapshot/
+ * resume, fault injection, and artifact emission are available to every
+ * run:
+ *
+ *     harness::RunSpec spec;
+ *     spec.scenario = "Search-Engine";
+ *     ... register flag groups, applySpecArgs, parseOrExit ...
+ *     harness::RunBuilder run(spec);
+ *     const auto trace = run.makeTrace();
+ *     const auto result = run.runCoSim(trace);
+ *
+ * Precedence while resolving the experiment: the scenario (or the
+ * spec's programmatic `experiment`) is the base, the optional tweak
+ * callback stamps the binary's identity on it (e.g. dtm_demo's 2.6"
+ * single-platter drive), the INI [disk]/[array]/[workload] overlay
+ * applies on top, and the CLI-bound scalar fields (--rpm, --requests)
+ * win last.
+ */
+#ifndef HDDTHERM_HARNESS_RUN_BUILDER_H
+#define HDDTHERM_HARNESS_RUN_BUILDER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dtm/cosim.h"
+#include "fleet/fleet_sim.h"
+#include "harness/run_spec.h"
+#include "sim/request.h"
+
+namespace hddtherm::harness {
+
+/// Wires subsystems from a RunSpec and runs them.
+class RunBuilder
+{
+  public:
+    /// Stamp a binary's fixed identity onto the resolved base
+    /// experiment, before the INI overlay and CLI fields apply.
+    using BaseTweak = std::function<void(core::ExperimentSpec&)>;
+
+    /**
+     * Resolve @p spec into ready-to-run configurations.
+     * @throws util::ModelError on unknown scenario/policy names, a bad
+     *         fault-schedule or overlay key, or an empty resume
+     *         directory.
+     */
+    explicit RunBuilder(const RunSpec& spec, const BaseTweak& tweak = {});
+
+    /// The spec this builder resolved.
+    const RunSpec& spec() const { return spec_; }
+
+    /// @name Resolved configurations
+    /// Mutable so entry points can apply last-mile adjustments (a bench
+    /// sweeping RPM mutates cosim().system.disk.rpm between runs).
+    /// @{
+    dtm::CoSimConfig& cosim() { return cosim_; }
+    const dtm::CoSimConfig& cosim() const { return cosim_; }
+    fleet::FleetConfig& fleet() { return fleet_; }
+    const fleet::FleetConfig& fleet() const { return fleet_; }
+    trace::WorkloadSpec& workload() { return workload_; }
+    const trace::WorkloadSpec& workload() const { return workload_; }
+    /// @}
+
+    /// Resolved resume checkpoint ("" when the run starts fresh).
+    const std::string& resumePath() const { return resume_path_; }
+
+    /// Generate the run's trace (deterministic for a fixed spec).
+    std::vector<sim::IoRequest> makeTrace() const;
+
+    /// Plain storage run, no thermal loop (Figure 4 style sweeps).
+    sim::ResponseMetrics
+    runStorage(const std::vector<sim::IoRequest>& trace) const;
+
+    /**
+     * Closed-loop co-simulation of @p trace under cosim(), with the
+     * spec's checkpoint cadence armed and resume honored.
+     */
+    dtm::CoSimResult runCoSim(const std::vector<sim::IoRequest>& trace);
+
+    /// The same run with the fault schedule cleared — the fault-free
+    /// baseline emergency reports compare against.
+    dtm::CoSimResult
+    runBaseline(const std::vector<sim::IoRequest>& trace) const;
+
+    /**
+     * Fleet run on the spec's topology and thread count, with epoch
+     * checkpointing armed and resume honored.  @p resumed, when
+     * non-null, reports whether the run continued from a checkpoint.
+     */
+    fleet::FleetResult runFleet(engine::TraceSink* epoch_trace = nullptr);
+
+  private:
+    RunSpec spec_;
+    trace::WorkloadSpec workload_;
+    dtm::CoSimConfig cosim_;
+    fleet::FleetConfig fleet_;
+    std::string resume_path_;
+};
+
+} // namespace hddtherm::harness
+
+#endif // HDDTHERM_HARNESS_RUN_BUILDER_H

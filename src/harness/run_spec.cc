@@ -1,0 +1,316 @@
+#include "harness/run_spec.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "harness/flags.h"
+#include "util/error.h"
+
+namespace hddtherm::harness {
+
+snap::CheckpointPolicy
+CheckpointOptions::policy() const
+{
+    snap::CheckpointPolicy policy;
+    policy.directory = directory;
+    policy.everySec = everySec;
+    policy.everyEpochs = everyEpochs;
+    policy.delta = delta;
+    policy.compress = compress;
+    return policy;
+}
+
+std::string
+CheckpointOptions::resolveResume() const
+{
+    if (resumeFrom.empty())
+        return "";
+    if (!std::filesystem::is_directory(resumeFrom))
+        return resumeFrom;
+    const std::string path = snap::latestCheckpoint(resumeFrom);
+    HDDTHERM_REQUIRE(!path.empty(),
+                     "no checkpoint found in " + resumeFrom);
+    return path;
+}
+
+void
+CheckpointOptions::addFlags(FlagParser& flags, Cadence cadence)
+{
+    flags.beginGroup("checkpointing (docs/checkpoint.md)");
+    if (cadence == Cadence::Seconds) {
+        flags.addDouble("--checkpoint-every", &everySec, "SEC",
+                        "write a checkpoint every SEC simulated seconds");
+    } else {
+        flags.addUint64("--checkpoint-every", &everyEpochs, "K",
+                        "write a checkpoint every K epoch barriers");
+    }
+    flags.addString("--checkpoint-dir", &directory, "DIR",
+                    "directory checkpoints are written into");
+    flags.addSwitch("--checkpoint-delta", &delta,
+                    "incremental delta checkpoints between full anchors");
+    flags.addSwitch("--checkpoint-compress", &compress,
+                    "LZ-compress checkpoint section payloads");
+    flags.addString("--resume-from", &resumeFrom, "PATH",
+                    "resume from a checkpoint file (or the latest in a "
+                    "directory)");
+}
+
+dtm::DtmPolicy
+parseDtmPolicy(const std::string& word)
+{
+    if (word == "none")
+        return dtm::DtmPolicy::None;
+    if (word == "gate")
+        return dtm::DtmPolicy::GateRequests;
+    if (word == "gate-rpm")
+        return dtm::DtmPolicy::GateAndLowRpm;
+    if (word == "govern")
+        return dtm::DtmPolicy::GovernSpeed;
+    throw util::ModelError("unknown DTM policy: " + word +
+                           " (expected none|gate|gate-rpm|govern)");
+}
+
+const char*
+dtmPolicyWord(dtm::DtmPolicy policy)
+{
+    switch (policy) {
+      case dtm::DtmPolicy::None:
+        return "none";
+      case dtm::DtmPolicy::GateRequests:
+        return "gate";
+      case dtm::DtmPolicy::GateAndLowRpm:
+        return "gate-rpm";
+      case dtm::DtmPolicy::GovernSpeed:
+        return "govern";
+    }
+    return "none";
+}
+
+dtm::DtmPolicy
+RunSpec::dtmPolicy() const
+{
+    return parseDtmPolicy(policy);
+}
+
+void
+RunSpec::addRunFlags(FlagParser& flags)
+{
+    flags.beginGroup("run");
+    flags.addString("--spec", &specPath, "FILE",
+                    "run-spec INI overlaid under the other flags "
+                    "(docs/harness.md)");
+    flags.addString("--scenario", &scenario, "NAME",
+                    "Figure 4 scenario the experiment starts from");
+    flags.addSizeT("--requests", &requests, "N",
+                   "workload request count");
+}
+
+void
+RunSpec::addDtmFlags(FlagParser& flags)
+{
+    flags.beginGroup("thermal management");
+    flags.addChoice("--policy", &policy,
+                    {"none", "gate", "gate-rpm", "govern"},
+                    "DTM policy: none|gate|gate-rpm|govern");
+    flags.addDouble("--rpm", &rpm, "R", "spindle speed override");
+    flags.addDouble("--low-rpm", &lowRpm, "R",
+                    "second speed for the gate-rpm policy");
+    flags.addDouble("--ambient", &ambientC, "C",
+                    "external ambient temperature");
+    flags.addString("--faults", &faultsPath, "FILE",
+                    "fault-schedule INI to replay (docs/faults.md)");
+}
+
+void
+RunSpec::addFleetFlags(FlagParser& flags)
+{
+    flags.beginGroup("fleet topology");
+    flags.addInt("--threads", &threads, "N",
+                 "executor threads (0 = hardware concurrency)");
+    flags.addInt("--racks", &racks, "R", "identical racks");
+    flags.addInt("--chassis", &chassisPerRack, "C", "chassis per rack");
+    flags.addInt("--bays", &baysPerChassis, "B",
+                 "drive bays per chassis");
+    flags.addUint64("--seed", &seed, "S",
+                    "root seed for per-bay workload streams");
+}
+
+void
+RunSpec::addOutputFlags(FlagParser& flags)
+{
+    flags.beginGroup("output");
+    flags.addString("--csv", &csvDir, "DIR",
+                    "write CSV tables + manifest/metrics artifacts here");
+}
+
+void
+applyRunDocument(core::ini::Document doc, RunSpec& spec)
+{
+    using core::ini::SectionReader;
+
+    for (const auto& [section, _] : doc) {
+        HDDTHERM_REQUIRE(
+            section == "run" || section == "dtm" || section == "fleet" ||
+                section == "checkpoint" || section == "output" ||
+                section == "disk" || section == "array" ||
+                section == "workload",
+            "unknown section [" + section + "]");
+    }
+
+    if (doc.count("run")) {
+        SectionReader run("run", doc["run"]);
+        spec.scenario = run.text("scenario", spec.scenario);
+        spec.requests =
+            std::size_t(run.number("requests", double(spec.requests)));
+        run.finish();
+        doc.erase("run");
+    }
+
+    if (doc.count("dtm")) {
+        SectionReader d("dtm", doc["dtm"]);
+        spec.policy = d.word("policy", spec.policy);
+        parseDtmPolicy(spec.policy); // validate at load time
+        spec.rpm = d.number("rpm", spec.rpm);
+        spec.lowRpm = d.number("low_rpm", spec.lowRpm);
+        if (d.has("rpm_ladder"))
+            spec.rpmLadder = parseDoubleList(
+                "[dtm] rpm_ladder", d.text("rpm_ladder", ""));
+        spec.ambientC = d.number("ambient_c", spec.ambientC);
+        spec.controlIntervalSec =
+            d.number("control_interval", spec.controlIntervalSec);
+        spec.maxSimulatedSec =
+            d.number("max_simulated_sec", spec.maxSimulatedSec);
+        spec.warmupFraction =
+            d.number("warmup_fraction", spec.warmupFraction);
+        spec.faultsPath = d.text("faults", spec.faultsPath);
+        d.finish();
+        doc.erase("dtm");
+    }
+
+    if (doc.count("fleet")) {
+        SectionReader f("fleet", doc["fleet"]);
+        spec.racks = int(f.number("racks", spec.racks));
+        spec.chassisPerRack =
+            int(f.number("chassis", spec.chassisPerRack));
+        spec.baysPerChassis = int(f.number("bays", spec.baysPerChassis));
+        spec.inletC = f.number("inlet_c", spec.inletC);
+        spec.seed = std::uint64_t(f.number("seed", double(spec.seed)));
+        spec.epochSec = f.number("epoch_sec", spec.epochSec);
+        spec.threads = int(f.number("threads", spec.threads));
+        f.finish();
+        doc.erase("fleet");
+    }
+
+    if (doc.count("checkpoint")) {
+        SectionReader c("checkpoint", doc["checkpoint"]);
+        auto& ckpt = spec.checkpoint;
+        ckpt.everySec = c.number("every_sec", ckpt.everySec);
+        ckpt.everyEpochs = std::uint64_t(
+            c.number("every_epochs", double(ckpt.everyEpochs)));
+        ckpt.directory = c.text("dir", ckpt.directory);
+        ckpt.delta = c.flag("delta", ckpt.delta);
+        ckpt.compress = c.flag("compress", ckpt.compress);
+        ckpt.resumeFrom = c.text("resume_from", ckpt.resumeFrom);
+        c.finish();
+        doc.erase("checkpoint");
+    }
+
+    if (doc.count("output")) {
+        SectionReader o("output", doc["output"]);
+        spec.csvDir = o.text("csv", spec.csvDir);
+        o.finish();
+        doc.erase("output");
+    }
+
+    // What is left are experiment sections; validate their keys now (a
+    // typo must fail at load time, not when RunBuilder finally applies
+    // the overlay) by applying a copy to a throwaway spec.
+    core::ini::Document probe = doc;
+    core::ExperimentSpec scratch;
+    core::applyExperimentSections(probe, scratch);
+    for (auto& [section, keys] : doc) {
+        for (auto& [key, value] : keys)
+            spec.overlay[section][key] = value;
+    }
+}
+
+void
+loadRunSpec(const std::string& path, RunSpec& spec)
+{
+    applyRunDocument(core::ini::loadDocument(path), spec);
+}
+
+std::string
+formatRunSpec(const RunSpec& spec)
+{
+    std::ostringstream out;
+    out << "[run]\n";
+    if (!spec.scenario.empty())
+        out << "scenario = " << spec.scenario << "\n";
+    out << "requests = " << spec.requests << "\n";
+
+    out << "\n[dtm]\n";
+    out << "policy = " << spec.policy << "\n";
+    out << "rpm = " << spec.rpm << "\n";
+    out << "low_rpm = " << spec.lowRpm << "\n";
+    if (!spec.rpmLadder.empty()) {
+        out << "rpm_ladder = ";
+        for (std::size_t i = 0; i < spec.rpmLadder.size(); ++i)
+            out << (i ? "," : "") << spec.rpmLadder[i];
+        out << "\n";
+    }
+    out << "ambient_c = " << spec.ambientC << "\n";
+    out << "control_interval = " << spec.controlIntervalSec << "\n";
+    out << "max_simulated_sec = " << spec.maxSimulatedSec << "\n";
+    out << "warmup_fraction = " << spec.warmupFraction << "\n";
+    if (!spec.faultsPath.empty())
+        out << "faults = " << spec.faultsPath << "\n";
+
+    out << "\n[fleet]\n";
+    out << "racks = " << spec.racks << "\n";
+    out << "chassis = " << spec.chassisPerRack << "\n";
+    out << "bays = " << spec.baysPerChassis << "\n";
+    out << "inlet_c = " << spec.inletC << "\n";
+    out << "seed = " << spec.seed << "\n";
+    out << "epoch_sec = " << spec.epochSec << "\n";
+    out << "threads = " << spec.threads << "\n";
+
+    out << "\n[checkpoint]\n";
+    out << "every_sec = " << spec.checkpoint.everySec << "\n";
+    out << "every_epochs = " << spec.checkpoint.everyEpochs << "\n";
+    out << "dir = " << spec.checkpoint.directory << "\n";
+    out << "delta = " << (spec.checkpoint.delta ? "true" : "false")
+        << "\n";
+    out << "compress = " << (spec.checkpoint.compress ? "true" : "false")
+        << "\n";
+    if (!spec.checkpoint.resumeFrom.empty())
+        out << "resume_from = " << spec.checkpoint.resumeFrom << "\n";
+
+    if (!spec.csvDir.empty())
+        out << "\n[output]\ncsv = " << spec.csvDir << "\n";
+
+    for (const auto& [section, keys] : spec.overlay) {
+        out << "\n[" << section << "]\n";
+        for (const auto& [key, value] : keys)
+            out << key << " = " << value << "\n";
+    }
+    return out.str();
+}
+
+void
+applySpecArgs(int argc, char** argv, RunSpec& spec)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--spec") {
+            HDDTHERM_REQUIRE(i + 1 < argc, "flag --spec: missing value");
+            spec.specPath = argv[++i];
+            loadRunSpec(spec.specPath, spec);
+        } else if (arg.compare(0, 7, "--spec=") == 0) {
+            spec.specPath = arg.substr(7);
+            loadRunSpec(spec.specPath, spec);
+        }
+    }
+}
+
+} // namespace hddtherm::harness

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Declarative run description: one spec names everything a run needs.
+ *
+ * A RunSpec collects what the repo's 33 entry points used to wire by
+ * hand — workload and storage system (optionally seeded from a Figure 4
+ * scenario), DTM policy, fleet topology, fault schedule, checkpoint
+ * policy, and artifact export — into one value that can be
+ *
+ *   1. defaulted programmatically (each binary keeps its identity),
+ *   2. overlaid from an INI file (`--spec run.ini`, core/config_io
+ *      dialect, unknown sections/keys rejected), and
+ *   3. overlaid again by typed CLI flags (CLI wins),
+ *
+ * then handed to RunBuilder for the actual trace → sim → thermal → dtm
+ * → fleet wiring.  A new experiment becomes an INI file, not a new
+ * main().  See docs/harness.md for the full schema; the short form:
+ *
+ *     [run]          scenario, requests
+ *     [dtm]          policy, rpm, low_rpm, rpm_ladder, ambient_c,
+ *                    control_interval, max_simulated_sec,
+ *                    warmup_fraction, faults
+ *     [fleet]        racks, chassis, bays, inlet_c, seed, epoch_sec,
+ *                    threads
+ *     [checkpoint]   every_sec, every_epochs, dir, delta, compress,
+ *                    resume_from
+ *     [output]       csv
+ *     [disk]/[array]/[workload]   core/config_io experiment overlay
+ */
+#ifndef HDDTHERM_HARNESS_RUN_SPEC_H
+#define HDDTHERM_HARNESS_RUN_SPEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/config_io.h"
+#include "dtm/cosim.h"
+#include "snap/checkpoint.h"
+
+namespace hddtherm::harness {
+
+class FlagParser;
+
+/**
+ * The checkpoint/resume option block dtm_demo and fleet_explorer used
+ * to copy-paste, as one reusable group.  Cadence is seconds for
+ * standalone co-simulations and epochs for fleet runs; addFlags() binds
+ * `--checkpoint-every` to whichever the entry point asked for.
+ */
+struct CheckpointOptions
+{
+    double everySec = 0.0;          ///< Standalone cadence (0 = off).
+    std::uint64_t everyEpochs = 0;  ///< Fleet cadence (0 = off).
+    std::string directory = "checkpoints";
+    bool delta = false;
+    bool compress = false;
+    std::string resumeFrom;         ///< Checkpoint file or directory.
+
+    /// Cadence unit --checkpoint-every binds to.
+    enum class Cadence { Seconds, Epochs };
+
+    /// True once either cadence is armed.
+    bool enabled() const { return everySec > 0.0 || everyEpochs > 0; }
+
+    /// The snap policy this block describes.
+    snap::CheckpointPolicy policy() const;
+
+    /**
+     * Resolve resumeFrom to a concrete checkpoint file: "" when unset,
+     * the path itself when it names a file, the newest checkpoint when
+     * it names a directory.
+     * @throws util::ModelError if a named directory holds none.
+     */
+    std::string resolveResume() const;
+
+    /// Register the `--checkpoint-every/-dir/-delta/-compress` and
+    /// `--resume-from` group on @p flags.
+    void addFlags(FlagParser& flags, Cadence cadence);
+};
+
+/// Everything one run needs, overlayable from INI and CLI.
+struct RunSpec
+{
+    /// @name [run]
+    /// @{
+    /// Figure 4 scenario the experiment starts from ("" = the
+    /// programmatic defaults in `experiment`).
+    std::string scenario;
+    /// Request-count override (0 = keep the scenario/workload count).
+    std::size_t requests = 0;
+    /// @}
+
+    /**
+     * Programmatic base system+workload, used when `scenario` is empty.
+     * The raw [disk]/[array]/[workload] INI sections are kept in
+     * `overlay` and applied by RunBuilder *after* scenario resolution,
+     * so file keys override the scenario, and CLI flags override both.
+     */
+    core::ExperimentSpec experiment;
+    core::ini::Document overlay;
+
+    /// @name [dtm]
+    /// @{
+    std::string policy = "none"; ///< none|gate|gate-rpm|govern.
+    double rpm = 0.0;            ///< Spindle override (0 = keep disk's).
+    double lowRpm = 0.0;         ///< Second speed for gate-rpm.
+    std::vector<double> rpmLadder; ///< Speed ladder for govern.
+    double ambientC = thermal::kBaselineAmbientC;
+    double controlIntervalSec = 0.1;
+    double maxSimulatedSec = 86400.0;
+    double warmupFraction = 0.0;
+    std::string faultsPath;      ///< Fault schedule INI ("" = none).
+    /// @}
+
+    /// @name [fleet]
+    /// @{
+    int racks = 1;
+    int chassisPerRack = 4;
+    int baysPerChassis = 8;
+    double inletC = thermal::kBaselineAmbientC;
+    std::uint64_t seed = 1;
+    double epochSec = 0.5;
+    int threads = 1;
+    /// @}
+
+    CheckpointOptions checkpoint; ///< [checkpoint]
+
+    /// @name [output]
+    /// @{
+    std::string csvDir; ///< Artifact directory ("" = console only).
+    /// @}
+
+    /// Backing store for the --spec flag (already consumed by the
+    /// pre-scan; registered so --help documents it).
+    std::string specPath;
+
+    /// dtm::DtmPolicy named by `policy`.  @throws util::ModelError.
+    dtm::DtmPolicy dtmPolicy() const;
+
+    /// @name Flag groups
+    /// Entry points register only the groups they expose.
+    /// @{
+    void addRunFlags(FlagParser& flags);   ///< --spec/--scenario/--requests
+    void addDtmFlags(FlagParser& flags);   ///< --policy/--rpm/--low-rpm/...
+    void addFleetFlags(FlagParser& flags); ///< --threads/--racks/...
+    void addOutputFlags(FlagParser& flags); ///< --csv
+    /// @}
+};
+
+/// Map a policy word (none|gate|gate-rpm|govern) to the enum.
+/// @throws util::ModelError on anything else.
+dtm::DtmPolicy parseDtmPolicy(const std::string& word);
+
+/// The word for a policy (round-trips parseDtmPolicy).
+const char* dtmPolicyWord(dtm::DtmPolicy policy);
+
+/**
+ * Overlay a parsed run document onto @p spec: the harness sections set
+ * their fields ([run]/[dtm]/[fleet]/[checkpoint]/[output], present keys
+ * win, absent keys keep the spec's values) and the experiment sections
+ * ([disk]/[array]/[workload]) are merged into spec.overlay for
+ * RunBuilder.  Unknown sections and keys are rejected.
+ * @throws util::ModelError.
+ */
+void applyRunDocument(core::ini::Document doc, RunSpec& spec);
+
+/// applyRunDocument() over a file.  @throws util::ModelError.
+void loadRunSpec(const std::string& path, RunSpec& spec);
+
+/// Serialize @p spec to the INI dialect (applyRunDocument round-trips).
+std::string formatRunSpec(const RunSpec& spec);
+
+/**
+ * Pre-scan @p argv for `--spec FILE` / `--spec=FILE` occurrences and
+ * overlay each file onto @p spec in order.  Runs before FlagParser so
+ * the file is loaded first and every other CLI flag overrides it —
+ * regardless of where --spec sits on the command line.
+ * @throws util::ModelError on a missing value or unreadable file.
+ */
+void applySpecArgs(int argc, char** argv, RunSpec& spec);
+
+} // namespace hddtherm::harness
+
+#endif // HDDTHERM_HARNESS_RUN_SPEC_H

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * RunBuilder property tests: the declarative harness is pure sugar over
+ * the hand-wired trace → sim → thermal → dtm wiring.  Bit-identity is
+ * required — same trace, same result fields — for the fault-free and
+ * faulted paths; checkpointing must be a pure observer of a run; a
+ * resumed harness run must complete bit-identically to the uninterrupted
+ * one including the checkpoint bytes it writes after the resume point;
+ * and fleet results must not depend on the executor thread count.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "core/scenarios.h"
+#include "dtm/cosim.h"
+#include "fleet/fleet_sim.h"
+#include "harness/run_builder.h"
+#include "sim/storage_system.h"
+#include "trace/synth.h"
+
+namespace fs = std::filesystem;
+namespace hc = hddtherm::core;
+namespace hd = hddtherm::dtm;
+namespace hf = hddtherm::fleet;
+namespace hh = hddtherm::harness;
+namespace hs = hddtherm::sim;
+namespace ht = hddtherm::trace;
+
+namespace {
+
+/// The binary identity every test stamps on its base experiment: the
+/// paper's hot 2.6" single-platter drive under a fast arrival stream.
+void
+hotDriveTweak(hc::ExperimentSpec& e)
+{
+    e.system.disk.geometry.diameterInches = 2.6;
+    e.system.disk.geometry.platters = 1;
+    e.system.disk.tech = {500e3, 60e3};
+    e.system.disk.rpmChangeSecPerKrpm = 0.02;
+    e.system.disks = 1;
+    e.workload.devices = 1;
+    e.workload.arrivalRatePerSec = 600.0;
+}
+
+/// A gate-policy run hot enough that DTM actually actuates.
+hh::RunSpec
+gateSpec()
+{
+    hh::RunSpec spec;
+    spec.scenario = "Search-Engine";
+    spec.requests = 2000;
+    spec.policy = "gate";
+    spec.rpm = 24534.0;
+    spec.maxSimulatedSec = 1200.0;
+    return spec;
+}
+
+/// The wiring every binary repeated before the harness existed,
+/// reproduced by hand for the given spec fields.
+hd::CoSimConfig
+handWiredConfig(const hh::RunSpec& spec)
+{
+    auto scenario = hc::figure4Scenario(spec.scenario, spec.requests);
+    hc::ExperimentSpec base;
+    base.system = scenario.system;
+    base.workload = scenario.workload;
+    hotDriveTweak(base);
+    base.workload.requests = spec.requests;
+    base.system.disk.rpm = spec.rpm;
+
+    hd::CoSimConfig cfg;
+    cfg.system = base.system;
+    cfg.policy = hd::DtmPolicy::GateRequests;
+    cfg.maxSimulatedSec = spec.maxSimulatedSec;
+    if (!spec.faultsPath.empty())
+        cfg.faults = hc::loadFaultSchedule(spec.faultsPath);
+    return cfg;
+}
+
+std::vector<hs::IoRequest>
+handWiredTrace(const hh::RunSpec& spec, const hd::CoSimConfig& cfg)
+{
+    auto scenario = hc::figure4Scenario(spec.scenario, spec.requests);
+    hc::ExperimentSpec base;
+    base.workload = scenario.workload;
+    hotDriveTweak(base);
+    base.workload.requests = spec.requests;
+    const ht::SyntheticWorkload gen(base.workload);
+    const hs::StorageSystem probe(cfg.system);
+    return gen.generate(probe.logicalSectors()).toRequests();
+}
+
+/// Strict equality of every deterministic co-sim result field.
+void
+expectSameResult(const hd::CoSimResult& a, const hd::CoSimResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.metrics.meanMs(), b.metrics.meanMs());
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.maxTempC, b.maxTempC);
+    EXPECT_EQ(a.meanTempC, b.meanTempC);
+    EXPECT_EQ(a.envelopeExceededSec, b.envelopeExceededSec);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.meanVcmDuty, b.meanVcmDuty);
+    EXPECT_EQ(a.invalidReadings, b.invalidReadings);
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations);
+    EXPECT_EQ(a.failSafeSec, b.failSafeSec);
+}
+
+void
+expectSameFleetResult(const hf::FleetResult& a, const hf::FleetResult& b)
+{
+    EXPECT_EQ(a.metrics.count(), b.metrics.count());
+    EXPECT_EQ(a.meanLatencyMs, b.meanLatencyMs);
+    EXPECT_EQ(a.p95LatencyMs, b.p95LatencyMs);
+    EXPECT_EQ(a.maxDriveTempC, b.maxDriveTempC);
+    EXPECT_EQ(a.gateEvents, b.gateEvents);
+    EXPECT_EQ(a.speedChanges, b.speedChanges);
+    EXPECT_EQ(a.gatedSec, b.gatedSec);
+    EXPECT_EQ(a.simulatedSec, b.simulatedSec);
+    EXPECT_EQ(a.epochs, b.epochs);
+    ASSERT_EQ(a.chassis.size(), b.chassis.size());
+    for (std::size_t i = 0; i < a.chassis.size(); ++i) {
+        EXPECT_EQ(a.chassis[i].peakDriveTempC, b.chassis[i].peakDriveTempC);
+        EXPECT_EQ(a.chassis[i].gateEvents, b.chassis[i].gateEvents);
+    }
+}
+
+fs::path
+scratchDir(const std::string& name)
+{
+    const fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/// Checkpoint files in @p dir, sorted by index.
+std::vector<fs::path>
+checkpointFiles(const fs::path& dir)
+{
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir))
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/// A two-event fault schedule file (airflow degrade + ambient step).
+std::string
+writeFaultFile(const std::string& name)
+{
+    const std::string path = (fs::temp_directory_path() / name).string();
+    std::ofstream out(path);
+    out << "[schedule]\n"
+           "noise_seed = 2005\n"
+           "\n"
+           "[fault.0]\n"
+           "at = 1\n"
+           "kind = airflow_degrade\n"
+           "factor = 0.35\n"
+           "duration = 600\n"
+           "\n"
+           "[fault.1]\n"
+           "at = 2\n"
+           "kind = ambient_step\n"
+           "delta_c = 3\n";
+    return path;
+}
+
+} // namespace
+
+TEST(RunBuilder, MatchesHandWiringBitForBit)
+{
+    const hh::RunSpec spec = gateSpec();
+
+    hh::RunBuilder builder(spec, hotDriveTweak);
+    const auto harness_trace = builder.makeTrace();
+    const auto harness_result = builder.runCoSim(harness_trace);
+
+    const hd::CoSimConfig cfg = handWiredConfig(spec);
+    const auto trace = handWiredTrace(spec, cfg);
+    ASSERT_EQ(harness_trace.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(harness_trace[i].arrival, trace[i].arrival);
+        EXPECT_EQ(harness_trace[i].lba, trace[i].lba);
+        EXPECT_EQ(harness_trace[i].sectors, trace[i].sectors);
+    }
+    const auto result = hd::CoSimulation(cfg).run(trace);
+
+    expectSameResult(harness_result, result);
+    EXPECT_GT(harness_result.gateEvents, 0u)
+        << "hot drive under gate policy should actually throttle";
+}
+
+TEST(RunBuilder, FaultedRunMatchesHandWiring)
+{
+    hh::RunSpec spec = gateSpec();
+    spec.faultsPath =
+        writeFaultFile("hddtherm-harness-builder-faults.ini");
+
+    hh::RunBuilder builder(spec, hotDriveTweak);
+    const auto harness_result = builder.runCoSim(builder.makeTrace());
+
+    const hd::CoSimConfig cfg = handWiredConfig(spec);
+    const auto result = hd::CoSimulation(cfg).run(handWiredTrace(spec, cfg));
+
+    expectSameResult(harness_result, result);
+    // And the fault-free baseline really strips the schedule.
+    const auto baseline = builder.runBaseline(builder.makeTrace());
+    hh::RunSpec clean_spec = spec;
+    clean_spec.faultsPath.clear();
+    hh::RunBuilder clean(clean_spec, hotDriveTweak);
+    expectSameResult(baseline, clean.runCoSim(clean.makeTrace()));
+    std::remove(spec.faultsPath.c_str());
+}
+
+TEST(RunBuilder, CheckpointingIsAPureObserver)
+{
+    const hh::RunSpec plain_spec = gateSpec();
+    hh::RunBuilder plain(plain_spec, hotDriveTweak);
+    const auto plain_result = plain.runCoSim(plain.makeTrace());
+
+    const auto dir = scratchDir("hddtherm-harness-ckpt-observer");
+    hh::RunSpec ckpt_spec = gateSpec();
+    ckpt_spec.checkpoint.everySec = 1.0;
+    ckpt_spec.checkpoint.directory = dir.string();
+    hh::RunBuilder ckpt(ckpt_spec, hotDriveTweak);
+    const auto ckpt_result = ckpt.runCoSim(ckpt.makeTrace());
+
+    expectSameResult(plain_result, ckpt_result);
+    EXPECT_FALSE(checkpointFiles(dir).empty());
+    fs::remove_all(dir);
+}
+
+TEST(RunBuilder, ResumedRunIsBitIdenticalIncludingCheckpointBytes)
+{
+    const auto dir_a = scratchDir("hddtherm-harness-resume-a");
+    hh::RunSpec spec_a = gateSpec();
+    spec_a.checkpoint.everySec = 1.0;
+    spec_a.checkpoint.directory = dir_a.string();
+    hh::RunBuilder full(spec_a, hotDriveTweak);
+    const auto full_result = full.runCoSim(full.makeTrace());
+    const auto files_a = checkpointFiles(dir_a);
+    ASSERT_GE(files_a.size(), 2u)
+        << "cadence produced too few checkpoints for a mid-run resume";
+
+    // Resume from the earliest retained checkpoint into a fresh
+    // directory, through the same declarative API an entry point uses.
+    const auto dir_b = scratchDir("hddtherm-harness-resume-b");
+    hh::RunSpec spec_b = gateSpec();
+    spec_b.checkpoint.everySec = 1.0;
+    spec_b.checkpoint.directory = dir_b.string();
+    spec_b.checkpoint.resumeFrom = files_a.front().string();
+    hh::RunBuilder resumed(spec_b, hotDriveTweak);
+    EXPECT_EQ(resumed.resumePath(), files_a.front().string());
+    const auto resumed_result = resumed.runCoSim(resumed.makeTrace());
+
+    expectSameResult(full_result, resumed_result);
+
+    // Checkpoints written after the resume point must be byte-identical
+    // to the uninterrupted run's files of the same index.
+    const auto files_b = checkpointFiles(dir_b);
+    ASSERT_GE(files_b.size(), 1u);
+    for (const auto& file_b : files_b) {
+        const fs::path same = dir_a / file_b.filename();
+        ASSERT_TRUE(fs::exists(same))
+            << "resumed run wrote " << file_b.filename()
+            << " which the full run never produced";
+        EXPECT_EQ(readFileBytes(file_b), readFileBytes(same))
+            << file_b.filename() << " differs from the full run's copy";
+    }
+
+    // Resuming via a directory resolves to the newest checkpoint in it.
+    hh::RunSpec spec_c = gateSpec();
+    spec_c.checkpoint.resumeFrom = dir_a.string();
+    hh::RunBuilder latest(spec_c, hotDriveTweak);
+    EXPECT_EQ(latest.resumePath(), files_a.back().string());
+
+    fs::remove_all(dir_a);
+    fs::remove_all(dir_b);
+}
+
+TEST(RunBuilder, FleetResultIsThreadCountInvariant)
+{
+    hh::RunSpec spec;
+    spec.requests = 200;
+    spec.policy = "gate";
+    spec.rpm = 24534.0;
+    spec.racks = 1;
+    spec.chassisPerRack = 2;
+    spec.baysPerChassis = 2;
+    spec.inletC = 27.0;
+    spec.seed = 7;
+    spec.epochSec = 0.25;
+    const auto fleetTweak = [](hc::ExperimentSpec& e) {
+        e.system.disk.geometry.diameterInches = 2.6;
+        e.system.disk.geometry.platters = 1;
+        e.system.disk.tech = {500e3, 60e3};
+        e.workload.arrivalRatePerSec = 100.0;
+    };
+
+    hh::RunSpec one = spec;
+    one.threads = 1;
+    hh::RunBuilder builder_one(one, fleetTweak);
+    const auto result_one = builder_one.runFleet();
+
+    hh::RunSpec two = spec;
+    two.threads = 2;
+    hh::RunBuilder builder_two(two, fleetTweak);
+    const auto result_two = builder_two.runFleet();
+
+    expectSameFleetResult(result_one, result_two);
+    EXPECT_GT(result_one.metrics.count(), 0u);
+}

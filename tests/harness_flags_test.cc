@@ -1,0 +1,214 @@
+/**
+ * @file
+ * FlagParser contract tests: strict numeric parsing (the regression
+ * against the old atof/atoll loops that read "abc" as 0 and wrapped
+ * negative counts through size_t), typed options, positionals, loud
+ * rejection of unknown flags and malformed values, pass-through mode,
+ * and the generated --help text.
+ */
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/flags.h"
+#include "util/error.h"
+
+namespace hh = hddtherm::harness;
+namespace hu = hddtherm::util;
+
+namespace {
+
+/// The ModelError message a callable throws ("" = it did not throw).
+template <typename Fn>
+std::string
+errorOf(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const hu::ModelError& e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(StrictParse, RejectsTextTheOldAtofLoopsReadAsZero)
+{
+    // std::atof("abc") == 0.0 and std::atoll("12x") == 12: both produced
+    // silently wrong runs before the harness.
+    EXPECT_THROW(hh::parseDouble("--rpm", "abc"), hu::ModelError);
+    EXPECT_THROW(hh::parseDouble("--rpm", "12x"), hu::ModelError);
+    EXPECT_THROW(hh::parseDouble("--rpm", ""), hu::ModelError);
+    EXPECT_THROW(hh::parseInt64("--n", "7.5"), hu::ModelError);
+    EXPECT_THROW(hh::parseInt("--n", "five"), hu::ModelError);
+    EXPECT_DOUBLE_EQ(hh::parseDouble("--rpm", "1.5e4"), 15000.0);
+    EXPECT_EQ(hh::parseInt64("--n", "-12"), -12);
+}
+
+TEST(StrictParse, RejectsNonFiniteDoubles)
+{
+    EXPECT_THROW(hh::parseDouble("--rpm", "nan"), hu::ModelError);
+    EXPECT_THROW(hh::parseDouble("--rpm", "inf"), hu::ModelError);
+    EXPECT_THROW(hh::parseDouble("--rpm", "1e999"), hu::ModelError);
+}
+
+TEST(StrictParse, RejectsNegativesForUnsignedInsteadOfWrapping)
+{
+    // size_t(std::atoll("-5")) used to wrap to 18446744073709551611.
+    EXPECT_THROW(hh::parseSizeT("--requests", "-5"), hu::ModelError);
+    EXPECT_THROW(hh::parseUint64("--seed", "-1"), hu::ModelError);
+    EXPECT_EQ(hh::parseSizeT("--requests", "42"), 42u);
+    EXPECT_EQ(hh::parseUint64("--seed", "7"), 7u);
+}
+
+TEST(StrictParse, ErrorsNameTheFlagAndTheOffendingText)
+{
+    const auto msg = errorOf([] { hh::parseDouble("--rpm", "abc"); });
+    EXPECT_NE(msg.find("--rpm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+}
+
+TEST(StrictParse, IntRangeIsEnforced)
+{
+    EXPECT_THROW(hh::parseInt("--n", "99999999999"), hu::ModelError);
+    EXPECT_EQ(hh::parseInt("--n", "2147483647"), 2147483647);
+}
+
+TEST(StrictParse, ListsAreStrictToo)
+{
+    EXPECT_EQ(hh::parseIntList("--threads", "1,2,4"),
+              (std::vector<int>{1, 2, 4}));
+    EXPECT_THROW(hh::parseIntList("--threads", "1,,4"), hu::ModelError);
+    EXPECT_THROW(hh::parseIntList("--threads", "1,x"), hu::ModelError);
+    EXPECT_EQ(hh::parseDoubleList("--ladder", "1.5,2"),
+              (std::vector<double>{1.5, 2.0}));
+}
+
+TEST(FlagParser, ParsesTypedOptionsAndPositionals)
+{
+    double rpm = 0.0;
+    std::size_t requests = 10;
+    bool fast = false;
+    std::string out;
+    std::size_t pos = 5;
+    hh::FlagParser flags("prog");
+    flags.addDouble("--rpm", &rpm, "R", "spindle speed");
+    flags.addSizeT("--requests", &requests, "N", "count");
+    flags.addSwitch("--fast", &fast, "go fast");
+    flags.addString("--out", &out, "FILE", "output");
+    flags.addPositionalSizeT("n", &pos, "positional count");
+    EXPECT_TRUE(flags.parse(
+        {"--rpm", "12000", "--requests=99", "--fast", "7", "--out",
+         "a.csv"}));
+    EXPECT_DOUBLE_EQ(rpm, 12000.0);
+    EXPECT_EQ(requests, 99u);
+    EXPECT_TRUE(fast);
+    EXPECT_EQ(out, "a.csv");
+    EXPECT_EQ(pos, 7u);
+}
+
+TEST(FlagParser, RejectsUnknownFlagsLoudly)
+{
+    hh::FlagParser flags("prog");
+    const auto msg = errorOf([&] { flags.parse({"--bogus"}); });
+    EXPECT_NE(msg.find("--bogus"), std::string::npos) << msg;
+}
+
+TEST(FlagParser, RejectsStrayPositionals)
+{
+    hh::FlagParser flags("prog");
+    EXPECT_THROW(flags.parse({"stray"}), hu::ModelError);
+}
+
+TEST(FlagParser, RejectsMissingAndMalformedValues)
+{
+    double rpm = 0.0;
+    hh::FlagParser flags("prog");
+    flags.addDouble("--rpm", &rpm, "R", "spindle speed");
+    EXPECT_THROW(flags.parse({"--rpm"}), hu::ModelError);
+    const auto msg = errorOf([&] { flags.parse({"--rpm", "abc"}); });
+    EXPECT_NE(msg.find("--rpm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+}
+
+TEST(FlagParser, SwitchesTakeNoValue)
+{
+    bool fast = false;
+    hh::FlagParser flags("prog");
+    flags.addSwitch("--fast", &fast, "go fast");
+    EXPECT_THROW(flags.parse({"--fast=yes"}), hu::ModelError);
+}
+
+TEST(FlagParser, ChoiceRejectsValuesOutsideTheSet)
+{
+    std::string policy = "none";
+    hh::FlagParser flags("prog");
+    flags.addChoice("--policy", &policy, {"none", "gate"}, "DTM policy");
+    EXPECT_TRUE(flags.parse({"--policy", "gate"}));
+    EXPECT_EQ(policy, "gate");
+    const auto msg =
+        errorOf([&] { flags.parse({"--policy", "freeze"}); });
+    EXPECT_NE(msg.find("freeze"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gate"), std::string::npos)
+        << "message should list the valid set: " << msg;
+}
+
+TEST(FlagParser, NegativeNumbersAreValuesNotFlags)
+{
+    double low = 0.0;
+    hh::FlagParser flags("prog");
+    flags.addDouble("--low", &low, "R", "low speed");
+    EXPECT_TRUE(flags.parse({"--low", "-5.5"}));
+    EXPECT_DOUBLE_EQ(low, -5.5);
+}
+
+TEST(FlagParser, HelpRequestStopsParsing)
+{
+    hh::FlagParser flags("prog");
+    EXPECT_FALSE(flags.parse({"--help"}));
+    EXPECT_FALSE(flags.parse({"-h"}));
+}
+
+TEST(FlagParser, PassThroughCollectsUnknownArgs)
+{
+    double rpm = 0.0;
+    hh::FlagParser flags("prog");
+    flags.addDouble("--rpm", &rpm, "R", "spindle speed");
+    flags.passThroughUnknown();
+    EXPECT_TRUE(flags.parse(
+        {"--benchmark_filter=BM_x", "--rpm", "90", "stray"}));
+    EXPECT_DOUBLE_EQ(rpm, 90.0);
+    EXPECT_EQ(flags.extraArgs(),
+              (std::vector<std::string>{"--benchmark_filter=BM_x",
+                                        "stray"}));
+}
+
+TEST(FlagParser, HelpTextGolden)
+{
+    double rpm = 0.0;
+    bool fast = false;
+    std::size_t requests = 0;
+    hh::FlagParser flags("prog", "One-line summary.");
+    flags.addPositionalSizeT("requests", &requests, "request count");
+    flags.addDouble("--rpm", &rpm, "R", "spindle speed");
+    flags.beginGroup("tuning");
+    flags.addSwitch("--fast", &fast, "go fast");
+    const std::string expected =
+        "usage: prog [options] [requests]\n"
+        "\n"
+        "One-line summary.\n"
+        "\n"
+        "arguments:\n"
+        "  requests                request count\n"
+        "\n"
+        "options:\n"
+        "  --rpm R                 spindle speed\n"
+        "\n"
+        "tuning:\n"
+        "  --fast                  go fast\n"
+        "  --help                  show this message and exit\n";
+    EXPECT_EQ(flags.helpText(), expected);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * RunSpec contract tests: the INI → CLI precedence chain, round-tripping
+ * through formatRunSpec, loud rejection of unknown sections/keys (both
+ * harness sections and the [disk]/[array]/[workload] experiment
+ * overlay), the shared checkpoint option block, and the --spec pre-scan.
+ */
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/flags.h"
+#include "harness/run_spec.h"
+#include "util/error.h"
+
+namespace hc = hddtherm::core;
+namespace hd = hddtherm::dtm;
+namespace hh = hddtherm::harness;
+namespace hu = hddtherm::util;
+
+namespace {
+
+void
+applyText(const std::string& text, hh::RunSpec& spec)
+{
+    hh::applyRunDocument(hc::ini::parseDocument(text), spec);
+}
+
+/// Write @p text to a temp file and return its path.
+std::string
+tempSpecFile(const std::string& name, const std::string& text)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+} // namespace
+
+TEST(RunSpec, IniOverlaysDefaultsAndAbsentKeysKeepThem)
+{
+    hh::RunSpec spec;
+    spec.scenario = "Search-Engine";
+    spec.requests = 20000;
+    spec.policy = "gate";
+    spec.rpm = 24534.0;
+    applyText(R"(
+[run]
+requests = 500
+
+[dtm]
+policy = govern
+rpm_ladder = 15020, 18000, 24534
+)",
+              spec);
+    EXPECT_EQ(spec.requests, 500u);
+    EXPECT_EQ(spec.policy, "govern");
+    EXPECT_EQ(spec.rpmLadder,
+              (std::vector<double>{15020.0, 18000.0, 24534.0}));
+    // Keys the file does not mention keep the programmatic defaults.
+    EXPECT_EQ(spec.scenario, "Search-Engine");
+    EXPECT_DOUBLE_EQ(spec.rpm, 24534.0);
+}
+
+TEST(RunSpec, CliOverridesIni)
+{
+    hh::RunSpec spec;
+    spec.policy = "gate";
+    applyText("[dtm]\npolicy = govern\nrpm = 11111\n", spec);
+    ASSERT_EQ(spec.policy, "govern");
+
+    hh::FlagParser flags("prog");
+    spec.addRunFlags(flags);
+    spec.addDtmFlags(flags);
+    EXPECT_TRUE(flags.parse({"--policy", "gate-rpm", "--requests", "9"}));
+    EXPECT_EQ(spec.policy, "gate-rpm");
+    EXPECT_EQ(spec.requests, 9u);
+    // A CLI flag not given leaves the INI value in place.
+    EXPECT_DOUBLE_EQ(spec.rpm, 11111.0);
+}
+
+TEST(RunSpec, SpecArgsLoadInOrderAndBeforeOtherFlags)
+{
+    hh::RunSpec spec;
+    const auto path = tempSpecFile("hddtherm-spec-prescan.ini",
+                                   "[dtm]\npolicy = govern\n"
+                                   "[run]\nrequests = 777\n");
+    const std::string arg = "--spec=" + path;
+    // --spec may sit anywhere on the command line; the pre-scan loads it
+    // first so every other flag wins.
+    std::vector<std::string> argv_strings = {"prog", "--policy", "gate",
+                                             arg};
+    std::vector<char*> argv;
+    for (auto& s : argv_strings)
+        argv.push_back(s.data());
+    hh::applySpecArgs(int(argv.size()), argv.data(), spec);
+    EXPECT_EQ(spec.policy, "govern");
+    EXPECT_EQ(spec.requests, 777u);
+    EXPECT_EQ(spec.specPath, path);
+
+    hh::FlagParser flags("prog");
+    spec.addRunFlags(flags);
+    spec.addDtmFlags(flags);
+    EXPECT_TRUE(flags.parse(int(argv.size()), argv.data()));
+    EXPECT_EQ(spec.policy, "gate"); // CLI wins over the file
+    EXPECT_EQ(spec.requests, 777u); // file value survives: no CLI override
+    std::remove(path.c_str());
+}
+
+TEST(RunSpec, FormatRoundTrips)
+{
+    hh::RunSpec spec;
+    spec.scenario = "OLTP";
+    spec.requests = 1234;
+    spec.policy = "gate-rpm";
+    spec.rpm = 24534.0;
+    spec.lowRpm = 9534.0;
+    spec.rpmLadder = {15020.0, 24534.0};
+    spec.ambientC = 31.5;
+    spec.maxSimulatedSec = 600.0;
+    spec.warmupFraction = 0.25;
+    spec.racks = 3;
+    spec.chassisPerRack = 2;
+    spec.baysPerChassis = 5;
+    spec.inletC = 27.0;
+    spec.seed = 99;
+    spec.epochSec = 0.25;
+    spec.threads = 4;
+    spec.checkpoint.everySec = 30.0;
+    spec.checkpoint.directory = "ck";
+    spec.checkpoint.delta = true;
+    spec.checkpoint.compress = true;
+    spec.csvDir = "out";
+    spec.overlay["workload"]["read_fraction"] = "0.9";
+
+    hh::RunSpec back;
+    applyText(hh::formatRunSpec(spec), back);
+    EXPECT_EQ(back.scenario, spec.scenario);
+    EXPECT_EQ(back.requests, spec.requests);
+    EXPECT_EQ(back.policy, spec.policy);
+    EXPECT_DOUBLE_EQ(back.rpm, spec.rpm);
+    EXPECT_DOUBLE_EQ(back.lowRpm, spec.lowRpm);
+    EXPECT_EQ(back.rpmLadder, spec.rpmLadder);
+    EXPECT_DOUBLE_EQ(back.ambientC, spec.ambientC);
+    EXPECT_DOUBLE_EQ(back.maxSimulatedSec, spec.maxSimulatedSec);
+    EXPECT_DOUBLE_EQ(back.warmupFraction, spec.warmupFraction);
+    EXPECT_EQ(back.racks, spec.racks);
+    EXPECT_EQ(back.chassisPerRack, spec.chassisPerRack);
+    EXPECT_EQ(back.baysPerChassis, spec.baysPerChassis);
+    EXPECT_DOUBLE_EQ(back.inletC, spec.inletC);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_DOUBLE_EQ(back.epochSec, spec.epochSec);
+    EXPECT_EQ(back.threads, spec.threads);
+    EXPECT_DOUBLE_EQ(back.checkpoint.everySec, spec.checkpoint.everySec);
+    EXPECT_EQ(back.checkpoint.directory, spec.checkpoint.directory);
+    EXPECT_TRUE(back.checkpoint.delta);
+    EXPECT_TRUE(back.checkpoint.compress);
+    EXPECT_EQ(back.csvDir, spec.csvDir);
+    EXPECT_EQ(back.overlay, spec.overlay);
+}
+
+TEST(RunSpec, RejectsUnknownSectionsAndKeys)
+{
+    hh::RunSpec spec;
+    EXPECT_THROW(applyText("[bogus]\nx = 1\n", spec), hu::ModelError);
+    EXPECT_THROW(applyText("[dtm]\nplocy = gate\n", spec),
+                 hu::ModelError);
+    EXPECT_THROW(applyText("[checkpoint]\nevery = 5\n", spec),
+                 hu::ModelError);
+    // Experiment-overlay typos must fail at load time too, not when
+    // RunBuilder finally applies the overlay.
+    EXPECT_THROW(applyText("[workload]\nrequets = 100\n", spec),
+                 hu::ModelError);
+    EXPECT_THROW(applyText("[disk]\nrmp = 15000\n", spec),
+                 hu::ModelError);
+}
+
+TEST(RunSpec, RejectsUnknownPolicyWordAtLoadTime)
+{
+    hh::RunSpec spec;
+    EXPECT_THROW(applyText("[dtm]\npolicy = freeze\n", spec),
+                 hu::ModelError);
+    EXPECT_EQ(hh::parseDtmPolicy("gate-rpm"),
+              hd::DtmPolicy::GateAndLowRpm);
+    EXPECT_STREQ(hh::dtmPolicyWord(hd::DtmPolicy::GovernSpeed), "govern");
+}
+
+TEST(CheckpointOptions, PolicyMapsAllFields)
+{
+    hh::CheckpointOptions opts;
+    EXPECT_FALSE(opts.enabled());
+    opts.everySec = 12.5;
+    opts.everyEpochs = 4;
+    opts.directory = "somewhere";
+    opts.delta = true;
+    opts.compress = true;
+    EXPECT_TRUE(opts.enabled());
+    const auto policy = opts.policy();
+    EXPECT_DOUBLE_EQ(policy.everySec, 12.5);
+    EXPECT_EQ(policy.everyEpochs, 4u);
+    EXPECT_EQ(policy.directory, "somewhere");
+    EXPECT_TRUE(policy.delta);
+    EXPECT_TRUE(policy.compress);
+}
+
+TEST(CheckpointOptions, ResolveResumeHandlesFileDirAndEmpty)
+{
+    hh::CheckpointOptions opts;
+    EXPECT_EQ(opts.resolveResume(), "");
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "hddtherm-harness-empty-resume";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    opts.resumeFrom = dir.string();
+    EXPECT_THROW(opts.resolveResume(), hu::ModelError);
+    std::filesystem::remove_all(dir);
+}
